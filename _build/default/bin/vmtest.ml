@@ -1,0 +1,189 @@
+(* vmtest — interpreter-guided differential JIT compiler unit testing.
+
+   Subcommands:
+     explore  <instr>        concolically explore one instruction
+     difftest <instr>        differential-test one instruction
+     campaign                run the full evaluation (Tables 2-3, Figs 5-7)
+     list                    list testable instructions and native methods *)
+
+open Cmdliner
+
+(* --- instruction name parsing --- *)
+
+let bytecode_by_name name =
+  List.find_opt
+    (fun op -> Bytecodes.Opcode.mnemonic op = name)
+    (Bytecodes.Encoding.all_defined_opcodes ())
+
+let native_by_name name =
+  List.find_opt
+    (fun (i : Interpreter.Primitive_table.info) -> i.name = name)
+    Interpreter.Primitive_table.all
+
+let subject_of_string s : (Concolic.Path.subject, string) result =
+  (* sequences: "seq:mnemonic,mnemonic,..." *)
+  if String.length s > 4 && String.sub s 0 4 = "seq:" then begin
+    let names =
+      String.split_on_char ',' (String.sub s 4 (String.length s - 4))
+    in
+    let ops = List.map (fun n -> (n, bytecode_by_name (String.trim n))) names in
+    match List.find_opt (fun (_, op) -> op = None) ops with
+    | Some (bad, _) -> Error (Printf.sprintf "unknown byte-code %S in sequence" bad)
+    | None ->
+        Ok (Concolic.Path.Bytecode_seq (List.map (fun (_, op) -> Option.get op) ops))
+  end
+  else
+    match bytecode_by_name s with
+    | Some op -> Ok (Concolic.Path.Bytecode op)
+    | None -> (
+        match native_by_name s with
+        | Some i -> Ok (Concolic.Path.Native i.id)
+        | None -> (
+            match int_of_string_opt s with
+            | Some id when Interpreter.Primitive_table.find id <> None ->
+                Ok (Concolic.Path.Native id)
+            | _ ->
+                Error
+                  (Printf.sprintf
+                     "unknown instruction %S (try `vmtest list`)" s)))
+
+let subject_conv =
+  let parse s = Result.map_error (fun m -> `Msg m) (subject_of_string s) in
+  let print ppf s = Fmt.string ppf (Concolic.Path.subject_name s) in
+  Arg.conv (parse, print)
+
+let compiler_conv =
+  Arg.enum
+    [
+      ("native", Jit.Cogits.Native_method_compiler);
+      ("simple", Jit.Cogits.Simple_stack_cogit);
+      ("s2r", Jit.Cogits.Stack_to_register_cogit);
+      ("regalloc", Jit.Cogits.Register_allocating_cogit);
+    ]
+
+let arch_conv =
+  Arg.enum [ ("x86", Jit.Codegen.X86); ("arm32", Jit.Codegen.Arm32) ]
+
+let defects_conv =
+  Arg.enum
+    [ ("paper", Interpreter.Defects.paper); ("pristine", Interpreter.Defects.pristine) ]
+
+let defects_arg =
+  Arg.(
+    value
+    & opt defects_conv Interpreter.Defects.paper
+    & info [ "defects" ] ~docv:"CONFIG"
+        ~doc:"Seeded-defect configuration: $(b,paper) or $(b,pristine).")
+
+let subject_arg =
+  Arg.(
+    required
+    & pos 0 (some subject_conv) None
+    & info [] ~docv:"INSTR"
+        ~doc:
+          "Instruction under test: a byte-code mnemonic (e.g. \
+           $(b,special[+]), $(b,dup)), a native method name/id (e.g. \
+           $(b,primAdd), $(b,40)), or a sequence \
+           $(b,seq:pushOne,pushTwo,special[+]).")
+
+(* --- explore --- *)
+
+let explore_cmd =
+  let run defects subject =
+    let r = Concolic.Explorer.explore ~defects subject in
+    if r.unsupported then
+      print_endline "instruction not supported by the concolic tester (§4.3)"
+    else begin
+      Printf.printf "%d paths (%d executions, %d unsat, %d beyond solver)\n\n"
+        (List.length r.paths) r.iterations r.unsat_negations
+        r.skipped_negations;
+      List.iter
+        (fun p -> Format.printf "%a@.@." Concolic.Path.pp p)
+        r.paths
+    end
+  in
+  Cmd.v
+    (Cmd.info "explore" ~doc:"Concolically explore one VM instruction")
+    Term.(const run $ defects_arg $ subject_arg)
+
+(* --- difftest --- *)
+
+let difftest_cmd =
+  let compiler_arg =
+    Arg.(
+      value
+      & opt (some compiler_conv) None
+      & info [ "c"; "compiler" ] ~docv:"COMPILER"
+          ~doc:"Compiler under test (native, simple, s2r, regalloc).")
+  in
+  let arch_arg =
+    Arg.(
+      value
+      & opt_all arch_conv [ Jit.Codegen.X86; Jit.Codegen.Arm32 ]
+      & info [ "a"; "arch" ] ~docv:"ARCH" ~doc:"Target ISA (repeatable).")
+  in
+  let run defects compiler arches subject =
+    let compiler =
+      match (compiler, subject) with
+      | Some c, _ -> c
+      | None, Concolic.Path.Native _ -> Jit.Cogits.Native_method_compiler
+      | None, (Concolic.Path.Bytecode _ | Concolic.Path.Bytecode_seq _) ->
+          Jit.Cogits.Stack_to_register_cogit
+    in
+    let r =
+      Ijdt_core.Campaign.test_instruction ~defects ~arches ~compiler subject
+    in
+    Printf.printf "%s × %s: paths=%d curated=%d differences=%d\n"
+      (Concolic.Path.subject_name subject)
+      (Jit.Cogits.name compiler) r.paths r.curated r.differences;
+    List.iter
+      (fun d -> Printf.printf "  %s\n" (Difftest.Difference.to_string d))
+      r.diffs
+  in
+  Cmd.v
+    (Cmd.info "difftest"
+       ~doc:"Differential-test one instruction against a JIT compiler")
+    Term.(const run $ defects_arg $ compiler_arg $ arch_arg $ subject_arg)
+
+(* --- campaign --- *)
+
+let campaign_cmd =
+  let iters_arg =
+    Arg.(
+      value & opt int 96
+      & info [ "max-iterations" ] ~docv:"N"
+          ~doc:"Concolic execution budget per instruction.")
+  in
+  let run defects max_iterations =
+    let c = Ijdt_core.Campaign.run ~max_iterations ~defects () in
+    Ijdt_core.Tables.all Format.std_formatter c
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:"Run the full evaluation: 4 compilers × 2 ISAs (Tables 2-3)")
+    Term.(const run $ defects_arg $ iters_arg)
+
+(* --- list --- *)
+
+let list_cmd =
+  let run () =
+    print_endline "Byte-code instructions:";
+    List.iter
+      (fun op -> Printf.printf "  %s\n" (Bytecodes.Opcode.mnemonic op))
+      (Bytecodes.Encoding.all_defined_opcodes ());
+    print_endline "Native methods:";
+    List.iter
+      (fun (i : Interpreter.Primitive_table.info) ->
+        Printf.printf "  %3d %s/%d\n" i.id i.name i.arity)
+      Interpreter.Primitive_table.all
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List testable instructions and native methods")
+    Term.(const run $ const ())
+
+let () =
+  let doc = "interpreter-guided differential JIT compiler unit testing" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "vmtest" ~version:"1.0.0" ~doc)
+          [ explore_cmd; difftest_cmd; campaign_cmd; list_cmd ]))

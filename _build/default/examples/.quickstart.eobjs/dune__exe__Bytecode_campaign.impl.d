@@ -1,0 +1,1 @@
+examples/bytecode_campaign.ml: Bytecodes Difftest Ijdt_core Jit List Printf

@@ -1,0 +1,1 @@
+examples/bytecode_campaign.mli:

@@ -1,0 +1,1 @@
+examples/cross_isa.ml: Array Bytecodes Concolic Difftest Ijdt_core Interpreter Jit List Machine Printf

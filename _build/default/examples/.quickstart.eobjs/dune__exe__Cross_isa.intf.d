@@ -1,0 +1,1 @@
+examples/cross_isa.mli:

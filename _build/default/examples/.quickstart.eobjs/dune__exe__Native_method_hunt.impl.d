@@ -1,0 +1,1 @@
+examples/native_method_hunt.ml: Concolic Difftest Hashtbl Ijdt_core Interpreter List Printf String Symbolic

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Bytecodes Concolic Difftest Ijdt_core Interpreter List Printf Solver String Symbolic Sys

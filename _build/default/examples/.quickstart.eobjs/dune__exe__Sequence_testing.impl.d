@@ -1,0 +1,1 @@
+examples/sequence_testing.ml: Array Bytecodes Concolic Difftest Ijdt_core Interpreter Jit List Machine Printf

@@ -1,0 +1,1 @@
+examples/sequence_testing.mli:

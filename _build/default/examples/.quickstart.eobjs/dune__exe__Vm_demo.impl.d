@@ -1,0 +1,1 @@
+examples/vm_demo.ml: Bytecodes Class_desc Class_table Heap Interpreter Object_memory Objformat Printf Scavenger Value Vm_objects

@@ -1,0 +1,44 @@
+(* Byte-code compiler campaign: differential-test the full byte-code set
+   against the three byte-code compilers (§5.1 experiments 2-4).
+
+   Prints a per-compiler summary (the byte-code rows of Table 2) and the
+   differences the exploration uncovered, grouped by root cause.
+
+     dune exec examples/bytecode_campaign.exe *)
+
+let () =
+  Printf.printf
+    "Differential testing of the byte-code set against the three byte-code \
+     compilers\n\n%!";
+  let c =
+    Ijdt_core.Vm_testing.campaign
+      ~compilers:[ `Simple; `Stack_to_register; `Register_allocating ]
+      ()
+  in
+  List.iter
+    (fun cr ->
+      Printf.printf "%-36s instructions=%d paths=%d curated=%d differences=%d\n"
+        (Jit.Cogits.name cr.Ijdt_core.Campaign.compiler)
+        (Ijdt_core.Campaign.tested_instructions cr)
+        (Ijdt_core.Campaign.total_paths cr)
+        (Ijdt_core.Campaign.total_curated cr)
+        (Ijdt_core.Campaign.total_differences cr))
+    c.results;
+  Printf.printf "\nRoot causes:\n";
+  List.iter
+    (fun (family, cause, paths) ->
+      Printf.printf "  [%s] %s — %d paths\n"
+        (Difftest.Difference.family_name family)
+        cause paths)
+    (Ijdt_core.Campaign.causes c);
+  (* A closer look at one finding: the stack-to-register compilers inline
+     the bitwise byte-codes without the interpreter's sign checks. *)
+  Printf.printf
+    "\nDetail: bitAnd: on negative operands (behavioural difference)\n";
+  let report =
+    Ijdt_core.Vm_testing.test_instruction ~compiler:`Stack_to_register
+      (`Bytecode (Bytecodes.Opcode.Arith_special Bytecodes.Opcode.Sel_bit_and))
+  in
+  List.iter
+    (fun d -> Printf.printf "  %s\n" (Difftest.Difference.to_string d))
+    report.diffs

@@ -1,0 +1,54 @@
+(* Native-method bug hunt: the paper's experiment 1 (§5.1) — test the
+   template-based native-method compiler against all 112 native methods
+   and report every defect family found, from segfault-producing missing
+   type checks to unimplemented FFI templates.
+
+     dune exec examples/native_method_hunt.exe *)
+
+let () =
+  Printf.printf
+    "Hunting differences between the interpreter and the native-method \
+     template compiler (112 native methods)\n\n%!";
+  let c = Ijdt_core.Vm_testing.campaign ~compilers:[ `Native_methods ] () in
+  let cr = List.hd c.results in
+  Printf.printf "instructions=%d paths=%d curated=%d differences=%d\n\n"
+    (Ijdt_core.Campaign.tested_instructions cr)
+    (Ijdt_core.Campaign.total_paths cr)
+    (Ijdt_core.Campaign.total_curated cr)
+    (Ijdt_core.Campaign.total_differences cr);
+  (* defect families, Table 3 style *)
+  Printf.printf "Defect families (root causes):\n";
+  List.iter
+    (fun (f, n) ->
+      if n > 0 then
+        Printf.printf "  %-36s %d\n" (Difftest.Difference.family_name f) n)
+    (Ijdt_core.Campaign.causes_by_family c);
+  (* one concrete example of each family found on native methods *)
+  Printf.printf "\nOne example difference per family:\n";
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun cr ->
+      List.iter
+        (fun (r : Ijdt_core.Campaign.instruction_result) ->
+          List.iter
+            (fun (d : Difftest.Difference.t) ->
+              if not (Hashtbl.mem seen d.family) then begin
+                Hashtbl.replace seen d.family ();
+                Printf.printf "  %s\n" (Difftest.Difference.to_string d)
+              end)
+            r.diffs)
+        cr.Ijdt_core.Campaign.instructions)
+    c.results;
+  (* The headline bug: primitiveAsFloat's interpreter-side missing type
+     check (paper Listing 5): coercing a pointer receiver produces a
+     garbage float where the compiled version correctly fails. *)
+  Printf.printf "\nListing 5 in action — primAsFloat paths:\n";
+  let r = Ijdt_core.Vm_testing.explore (`Native Interpreter.Primitive_table.id_as_float) in
+  List.iter
+    (fun (p : Concolic.Path.t) ->
+      Printf.printf "  %s => %s [output: %s]\n"
+        (Symbolic.Path_condition.to_string p.path_condition)
+        (Interpreter.Exit_condition.to_string p.exit_)
+        (String.concat " | "
+           (List.map Symbolic.Sym_expr.to_string p.output.stack)))
+    r.paths

@@ -1,0 +1,1 @@
+lib/bytecodes/compiled_method.pp.ml: Array Bytes Encoding Fmt Opcode Vm_objects

@@ -1,0 +1,1 @@
+lib/bytecodes/compiled_method.pp.mli: Bytes Fmt Opcode Vm_objects

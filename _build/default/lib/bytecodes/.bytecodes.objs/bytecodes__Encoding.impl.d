@@ -1,0 +1,1 @@
+lib/bytecodes/encoding.pp.ml: Bytes Char List Opcode Printf

@@ -1,0 +1,1 @@
+lib/bytecodes/encoding.pp.mli: Bytes Opcode

@@ -1,0 +1,1 @@
+lib/bytecodes/method_builder.pp.ml: Array Compiled_method Encoding List Opcode Vm_objects

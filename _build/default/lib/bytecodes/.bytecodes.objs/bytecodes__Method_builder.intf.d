@@ -1,0 +1,1 @@
+lib/bytecodes/method_builder.pp.mli: Compiled_method Opcode Vm_objects

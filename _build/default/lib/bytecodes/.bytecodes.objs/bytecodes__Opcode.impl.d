@@ -1,0 +1,1 @@
+lib/bytecodes/opcode.pp.ml: Ppx_deriving_runtime Printf

@@ -1,0 +1,40 @@
+(* A typed view over a compiled-method heap object.
+
+   The heap stores methods as raw literals + bytecode bytes; this module
+   pairs a method oop with its decoded header so the interpreter and the
+   JIT front-ends share one access protocol. *)
+
+type t = { oop : Vm_objects.Value.t; body : Vm_objects.Heap.method_body }
+
+let of_oop heap oop =
+  let body = Vm_objects.Heap.method_body heap oop in
+  { oop; body }
+
+let oop t = t.oop
+let num_args t = t.body.Vm_objects.Heap.num_args
+let num_temps t = t.body.Vm_objects.Heap.num_temps
+let native_method t = t.body.Vm_objects.Heap.native_method
+let bytecode t = t.body.Vm_objects.Heap.bytecode
+let literals t = t.body.Vm_objects.Heap.literals
+let num_literals t = Array.length t.body.Vm_objects.Heap.literals
+
+let literal_at t i =
+  let lits = t.body.Vm_objects.Heap.literals in
+  if i < 0 || i >= Array.length lits then
+    raise (Vm_objects.Heap.Invalid_access { oop = t.oop; index = i })
+  else lits.(i)
+
+let instruction_at t pc = Encoding.decode t.body.Vm_objects.Heap.bytecode pc
+let bytecode_size t = Bytes.length t.body.Vm_objects.Heap.bytecode
+let instructions t = Encoding.decode_all t.body.Vm_objects.Heap.bytecode
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>method(args=%d temps=%d lits=%d%a)@,%a@]" (num_args t)
+    (num_temps t) (num_literals t)
+    (fun ppf -> function
+      | Some p -> Fmt.pf ppf " native=%d" p
+      | None -> ())
+    (native_method t)
+    (Fmt.list ~sep:Fmt.cut (fun ppf (pc, i) ->
+         Fmt.pf ppf "  %3d: %s" pc (Opcode.mnemonic i)))
+    (instructions t)

@@ -1,0 +1,25 @@
+(** A typed view over a compiled-method heap object, shared by the
+    interpreter and the JIT front-ends. *)
+
+type t
+
+val of_oop : Vm_objects.Heap.t -> Vm_objects.Value.t -> t
+(** @raise Vm_objects.Heap.Invalid_access if the oop is not a method. *)
+
+val oop : t -> Vm_objects.Value.t
+val num_args : t -> int
+val num_temps : t -> int
+(** Temporaries excluding arguments. *)
+
+val native_method : t -> int option
+val bytecode : t -> Bytes.t
+val literals : t -> Vm_objects.Value.t array
+val num_literals : t -> int
+
+val literal_at : t -> int -> Vm_objects.Value.t
+(** @raise Vm_objects.Heap.Invalid_access on out-of-range index. *)
+
+val instruction_at : t -> int -> Opcode.t * int
+val bytecode_size : t -> int
+val instructions : t -> (int * Opcode.t) list
+val pp : t Fmt.t

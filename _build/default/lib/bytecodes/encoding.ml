@@ -1,0 +1,246 @@
+(* Byte encoding and decoding of the instruction set.
+
+   Layout (single-byte unless noted):
+
+     0x00-0x0F  pushReceiverVariable 0-15
+     0x10-0x1F  pushLiteralConstant 0-15
+     0x20-0x2B  pushTemp 0-11
+     0x2C-0x33  pushReceiver, pushTrue, pushFalse, pushNil,
+                pushZero, pushOne, pushMinusOne, pushTwo
+     0x34-0x36  dup, pop, swap
+     0x37-0x3B  returnTop, returnReceiver, returnTrue, returnFalse, returnNil
+     0x3C       pushThisContext
+     0x3D       nop
+     0x3E-0x3F  (unassigned)
+     0x40-0x47  storeAndPopReceiverVariable 0-7
+     0x48-0x4F  storeAndPopTemp 0-7
+     0x50-0x57  jump 1-8
+     0x58-0x5F  jumpFalse 1-8
+     0x60-0x67  jumpTrue 1-8
+     0x68-0x77  arithmetic special sends (16)
+     0x78-0x87  common special sends (16)
+     0x88-0x97  send literal selector 0-15, 0 args
+     0x98-0xA7  send literal selector 0-15, 1 arg
+     0xA8-0xB7  send literal selector 0-15, 2 args
+     0xB8-0xBF  (unassigned)
+     0xC0-0xC9  two-byte extended instructions
+     0xCA-0xFF  (unassigned)
+
+   Defined opcodes: 190 (38 families), against Pharo's 255 in 77 families. *)
+
+open Opcode
+
+exception Invalid_bytecode of { byte : int; pc : int }
+
+let special_of_int = function
+  | 0 -> Sel_add
+  | 1 -> Sel_sub
+  | 2 -> Sel_lt
+  | 3 -> Sel_gt
+  | 4 -> Sel_le
+  | 5 -> Sel_ge
+  | 6 -> Sel_eq
+  | 7 -> Sel_ne
+  | 8 -> Sel_mul
+  | 9 -> Sel_divide
+  | 10 -> Sel_mod
+  | 11 -> Sel_make_point
+  | 12 -> Sel_bit_shift
+  | 13 -> Sel_int_div
+  | 14 -> Sel_bit_and
+  | 15 -> Sel_bit_or
+  | n -> invalid_arg (Printf.sprintf "special_of_int %d" n)
+
+let int_of_special = function
+  | Sel_add -> 0
+  | Sel_sub -> 1
+  | Sel_lt -> 2
+  | Sel_gt -> 3
+  | Sel_le -> 4
+  | Sel_ge -> 5
+  | Sel_eq -> 6
+  | Sel_ne -> 7
+  | Sel_mul -> 8
+  | Sel_divide -> 9
+  | Sel_mod -> 10
+  | Sel_make_point -> 11
+  | Sel_bit_shift -> 12
+  | Sel_int_div -> 13
+  | Sel_bit_and -> 14
+  | Sel_bit_or -> 15
+
+let common_of_int = function
+  | 0 -> Sel_at
+  | 1 -> Sel_at_put
+  | 2 -> Sel_size
+  | 3 -> Sel_identical
+  | 4 -> Sel_not_identical
+  | 5 -> Sel_class
+  | 6 -> Sel_new
+  | 7 -> Sel_new_with_arg
+  | 8 -> Sel_point_x
+  | 9 -> Sel_point_y
+  | 10 -> Sel_identity_hash
+  | 11 -> Sel_is_nil
+  | 12 -> Sel_not_nil
+  | 13 -> Sel_bit_xor
+  | 14 -> Sel_as_character
+  | 15 -> Sel_char_value
+  | n -> invalid_arg (Printf.sprintf "common_of_int %d" n)
+
+let int_of_common = function
+  | Sel_at -> 0
+  | Sel_at_put -> 1
+  | Sel_size -> 2
+  | Sel_identical -> 3
+  | Sel_not_identical -> 4
+  | Sel_class -> 5
+  | Sel_new -> 6
+  | Sel_new_with_arg -> 7
+  | Sel_point_x -> 8
+  | Sel_point_y -> 9
+  | Sel_identity_hash -> 10
+  | Sel_is_nil -> 11
+  | Sel_not_nil -> 12
+  | Sel_bit_xor -> 13
+  | Sel_as_character -> 14
+  | Sel_char_value -> 15
+
+let encode instr =
+  match instr with
+  | Push_receiver_variable n when n >= 0 && n <= 15 -> [ n ]
+  | Push_literal_constant n when n >= 0 && n <= 15 -> [ 0x10 + n ]
+  | Push_temp n when n >= 0 && n <= 11 -> [ 0x20 + n ]
+  | Push_receiver -> [ 0x2C ]
+  | Push_true -> [ 0x2D ]
+  | Push_false -> [ 0x2E ]
+  | Push_nil -> [ 0x2F ]
+  | Push_zero -> [ 0x30 ]
+  | Push_one -> [ 0x31 ]
+  | Push_minus_one -> [ 0x32 ]
+  | Push_two -> [ 0x33 ]
+  | Dup -> [ 0x34 ]
+  | Pop -> [ 0x35 ]
+  | Swap -> [ 0x36 ]
+  | Return_top -> [ 0x37 ]
+  | Return_receiver -> [ 0x38 ]
+  | Return_true -> [ 0x39 ]
+  | Return_false -> [ 0x3A ]
+  | Return_nil -> [ 0x3B ]
+  | Push_this_context -> [ 0x3C ]
+  | Nop -> [ 0x3D ]
+  | Store_and_pop_receiver_variable n when n >= 0 && n <= 7 -> [ 0x40 + n ]
+  | Store_and_pop_temp n when n >= 0 && n <= 7 -> [ 0x48 + n ]
+  | Jump n when n >= 1 && n <= 8 -> [ 0x50 + n - 1 ]
+  | Jump_false n when n >= 1 && n <= 8 -> [ 0x58 + n - 1 ]
+  | Jump_true n when n >= 1 && n <= 8 -> [ 0x60 + n - 1 ]
+  | Arith_special s -> [ 0x68 + int_of_special s ]
+  | Common_special s -> [ 0x78 + int_of_common s ]
+  | Send { selector; num_args }
+    when selector >= 0 && selector <= 15 && num_args >= 0 && num_args <= 2 ->
+      [ 0x88 + (num_args * 16) + selector ]
+  | Push_temp_ext n when n >= 0 && n <= 255 -> [ 0xC0; n ]
+  | Push_literal_ext n when n >= 0 && n <= 255 -> [ 0xC1; n ]
+  | Store_temp_ext n when n >= 0 && n <= 255 -> [ 0xC2; n ]
+  | Push_receiver_variable_ext n when n >= 0 && n <= 255 -> [ 0xC3; n ]
+  | Store_receiver_variable_ext n when n >= 0 && n <= 255 -> [ 0xC4; n ]
+  | Jump_ext n when n >= -128 && n <= 127 -> [ 0xC5; n + 128 ]
+  | Jump_false_ext n when n >= -128 && n <= 127 -> [ 0xC6; n + 128 ]
+  | Jump_true_ext n when n >= -128 && n <= 127 -> [ 0xC7; n + 128 ]
+  | Send_ext { selector; num_args }
+    when selector >= 0 && selector <= 31 && num_args >= 0 && num_args <= 7 ->
+      [ 0xC8; (selector * 8) + num_args ]
+  | Push_integer_byte n when n >= -128 && n <= 127 -> [ 0xC9; n + 128 ]
+  | _ ->
+      invalid_arg
+        (Printf.sprintf "Encoding.encode: operand out of range in %s"
+           (Opcode.mnemonic instr))
+
+let decode bytes pc =
+  if pc < 0 || pc >= Bytes.length bytes then
+    raise (Invalid_bytecode { byte = -1; pc });
+  let b = Char.code (Bytes.get bytes pc) in
+  let operand () =
+    if pc + 1 >= Bytes.length bytes then
+      raise (Invalid_bytecode { byte = b; pc })
+    else Char.code (Bytes.get bytes (pc + 1))
+  in
+  let one instr = (instr, pc + 1) in
+  let two instr = (instr, pc + 2) in
+  match b with
+  | _ when b <= 0x0F -> one (Push_receiver_variable b)
+  | _ when b <= 0x1F -> one (Push_literal_constant (b - 0x10))
+  | _ when b <= 0x2B -> one (Push_temp (b - 0x20))
+  | 0x2C -> one Push_receiver
+  | 0x2D -> one Push_true
+  | 0x2E -> one Push_false
+  | 0x2F -> one Push_nil
+  | 0x30 -> one Push_zero
+  | 0x31 -> one Push_one
+  | 0x32 -> one Push_minus_one
+  | 0x33 -> one Push_two
+  | 0x34 -> one Dup
+  | 0x35 -> one Pop
+  | 0x36 -> one Swap
+  | 0x37 -> one Return_top
+  | 0x38 -> one Return_receiver
+  | 0x39 -> one Return_true
+  | 0x3A -> one Return_false
+  | 0x3B -> one Return_nil
+  | 0x3C -> one Push_this_context
+  | 0x3D -> one Nop
+  | _ when b >= 0x40 && b <= 0x47 ->
+      one (Store_and_pop_receiver_variable (b - 0x40))
+  | _ when b >= 0x48 && b <= 0x4F -> one (Store_and_pop_temp (b - 0x48))
+  | _ when b >= 0x50 && b <= 0x57 -> one (Jump (b - 0x50 + 1))
+  | _ when b >= 0x58 && b <= 0x5F -> one (Jump_false (b - 0x58 + 1))
+  | _ when b >= 0x60 && b <= 0x67 -> one (Jump_true (b - 0x60 + 1))
+  | _ when b >= 0x68 && b <= 0x77 -> one (Arith_special (special_of_int (b - 0x68)))
+  | _ when b >= 0x78 && b <= 0x87 -> one (Common_special (common_of_int (b - 0x78)))
+  | _ when b >= 0x88 && b <= 0xB7 ->
+      let rel = b - 0x88 in
+      one (Send { selector = rel mod 16; num_args = rel / 16 })
+  | 0xC0 -> two (Push_temp_ext (operand ()))
+  | 0xC1 -> two (Push_literal_ext (operand ()))
+  | 0xC2 -> two (Store_temp_ext (operand ()))
+  | 0xC3 -> two (Push_receiver_variable_ext (operand ()))
+  | 0xC4 -> two (Store_receiver_variable_ext (operand ()))
+  | 0xC5 -> two (Jump_ext (operand () - 128))
+  | 0xC6 -> two (Jump_false_ext (operand () - 128))
+  | 0xC7 -> two (Jump_true_ext (operand () - 128))
+  | 0xC8 ->
+      let o = operand () in
+      two (Send_ext { selector = o / 8; num_args = o mod 8 })
+  | 0xC9 -> two (Push_integer_byte (operand () - 128))
+  | _ -> raise (Invalid_bytecode { byte = b; pc })
+
+let encode_all instrs =
+  let bs = List.concat_map encode instrs in
+  let b = Bytes.create (List.length bs) in
+  List.iteri (fun i x -> Bytes.set b i (Char.chr x)) bs;
+  b
+
+let decode_all bytes =
+  let rec go pc acc =
+    if pc >= Bytes.length bytes then List.rev acc
+    else
+      let instr, pc' = decode bytes pc in
+      go pc' ((pc, instr) :: acc)
+  in
+  go 0 []
+
+(* Every decodable single first byte, used to enumerate the instruction set
+   under test (Table 2's "tested instructions" column enumerates encoded
+   instructions, not families). *)
+let all_defined_opcodes () =
+  let acc = ref [] in
+  for b = 255 downto 0 do
+    let probe =
+      if b >= 0xC0 && b <= 0xC9 then Bytes.of_string (Printf.sprintf "%c%c" (Char.chr b) '\005')
+      else Bytes.make 1 (Char.chr b)
+    in
+    match decode probe 0 with
+    | instr, _ -> acc := instr :: !acc
+    | exception Invalid_bytecode _ -> ()
+  done;
+  !acc

@@ -1,0 +1,24 @@
+(** Byte encoding/decoding of the bytecode set (190 defined opcodes in 38
+    families; see the layout table in the implementation). *)
+
+exception Invalid_bytecode of { byte : int; pc : int }
+
+val encode : Opcode.t -> int list
+(** Encoded bytes of an instruction.
+    @raise Invalid_argument if an operand is out of encodable range. *)
+
+val decode : Bytes.t -> int -> Opcode.t * int
+(** [decode code pc] is the instruction at [pc] and the next pc.
+    @raise Invalid_bytecode on an unassigned or truncated opcode. *)
+
+val encode_all : Opcode.t list -> Bytes.t
+val decode_all : Bytes.t -> (int * Opcode.t) list
+
+val all_defined_opcodes : unit -> Opcode.t list
+(** One decoded instruction per defined opcode byte (extended opcodes are
+    probed with a representative operand). *)
+
+val special_of_int : int -> Opcode.special_selector
+val int_of_special : Opcode.special_selector -> int
+val common_of_int : int -> Opcode.common_selector
+val int_of_common : Opcode.common_selector -> int

@@ -1,0 +1,77 @@
+(* Fluent builder for compiled methods.
+
+   The differential tester builds one method per instruction under test
+   (§4.2: "our compilation unit is a method"), so this builder is on the
+   hot path of test generation. *)
+
+type t = {
+  heap : Vm_objects.Heap.t;
+  mutable num_args : int;
+  mutable num_temps : int;
+  mutable literals : Vm_objects.Value.t list; (* reversed *)
+  mutable instructions : Opcode.t list; (* reversed *)
+  mutable native_method : int option;
+}
+
+let create heap =
+  {
+    heap;
+    num_args = 0;
+    num_temps = 0;
+    literals = [];
+    instructions = [];
+    native_method = None;
+  }
+
+let num_args t n =
+  if n < 0 then invalid_arg "Method_builder.num_args: negative";
+  t.num_args <- n;
+  t
+
+let num_temps t n =
+  if n < 0 then invalid_arg "Method_builder.num_temps: negative";
+  t.num_temps <- n;
+  t
+
+let native_method t p =
+  t.native_method <- Some p;
+  t
+
+let add_literal t v =
+  t.literals <- v :: t.literals;
+  (t, List.length t.literals - 1)
+
+let literal_index t v =
+  match
+    List.find_index (Vm_objects.Value.equal v) (List.rev t.literals)
+  with
+  | Some i -> i
+  | None -> snd (add_literal t v)
+
+let instr t i =
+  t.instructions <- i :: t.instructions;
+  t
+
+let instrs t is =
+  List.iter (fun i -> ignore (instr t i)) is;
+  t
+
+let install t =
+  let literals = Array.of_list (List.rev t.literals) in
+  let bytecode = Encoding.encode_all (List.rev t.instructions) in
+  let oop =
+    Vm_objects.Heap.allocate_method t.heap ~literals ~bytecode
+      ~num_args:t.num_args ~num_temps:t.num_temps
+      ~native_method:t.native_method
+  in
+  Compiled_method.of_oop t.heap oop
+
+(* Convenience: build and install in one shot. *)
+let build heap ?(args = 0) ?(temps = 0) ?(literals = []) ?native instructions =
+  let b = create heap in
+  ignore (num_args b args);
+  ignore (num_temps b temps);
+  List.iter (fun l -> ignore (add_literal b l)) literals;
+  (match native with Some p -> ignore (native_method b p) | None -> ());
+  ignore (instrs b instructions);
+  install b

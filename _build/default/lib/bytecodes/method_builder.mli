@@ -1,0 +1,29 @@
+(** Fluent builder for compiled methods — the differential tester builds
+    one method per instruction under test. *)
+
+type t
+
+val create : Vm_objects.Heap.t -> t
+val num_args : t -> int -> t
+val num_temps : t -> int -> t
+val native_method : t -> int -> t
+
+val add_literal : t -> Vm_objects.Value.t -> t * int
+(** Append a literal; returns its literal-frame index. *)
+
+val literal_index : t -> Vm_objects.Value.t -> int
+(** Index of an equal literal, appending it if absent. *)
+
+val instr : t -> Opcode.t -> t
+val instrs : t -> Opcode.t list -> t
+val install : t -> Compiled_method.t
+
+val build :
+  Vm_objects.Heap.t ->
+  ?args:int ->
+  ?temps:int ->
+  ?literals:Vm_objects.Value.t list ->
+  ?native:int ->
+  Opcode.t list ->
+  Compiled_method.t
+(** Build and install a method in one call. *)

@@ -1,0 +1,297 @@
+(* The bytecode instruction set.
+
+   A Pharo/Sista-inspired stack-machine bytecode set: single-byte encodings
+   for the common cases, two-byte extended encodings for large indices and
+   offsets.  The set deliberately mirrors the structure the paper relies
+   on: many single-byte instructions grouped in few *families* (the Pharo
+   set has 255 bytecodes in 77 families; ours has 190 in 38 families), with
+   optimised arithmetic "special send" bytecodes that inline integer (and
+   partly float) fast paths in the interpreter. *)
+
+(* Selectors reachable through the optimised special-send bytecodes. *)
+type special_selector =
+  | Sel_add
+  | Sel_sub
+  | Sel_lt
+  | Sel_gt
+  | Sel_le
+  | Sel_ge
+  | Sel_eq
+  | Sel_ne
+  | Sel_mul
+  | Sel_divide
+  | Sel_mod
+  | Sel_make_point
+  | Sel_bit_shift
+  | Sel_int_div
+  | Sel_bit_and
+  | Sel_bit_or
+[@@deriving show { with_path = false }, eq, ord]
+
+type common_selector =
+  | Sel_at
+  | Sel_at_put
+  | Sel_size
+  | Sel_identical
+  | Sel_not_identical
+  | Sel_class
+  | Sel_new
+  | Sel_new_with_arg
+  | Sel_point_x
+  | Sel_point_y
+  | Sel_identity_hash
+  | Sel_is_nil
+  | Sel_not_nil
+  | Sel_bit_xor
+  | Sel_as_character
+  | Sel_char_value
+[@@deriving show { with_path = false }, eq, ord]
+
+type t =
+  | Push_receiver_variable of int (* 0-15 *)
+  | Push_literal_constant of int (* 0-15 *)
+  | Push_temp of int (* 0-11; temps include arguments first *)
+  | Push_receiver
+  | Push_true
+  | Push_false
+  | Push_nil
+  | Push_zero
+  | Push_one
+  | Push_minus_one
+  | Push_two
+  | Dup
+  | Pop
+  | Swap
+  | Return_top
+  | Return_receiver
+  | Return_true
+  | Return_false
+  | Return_nil
+  | Push_this_context (* unsupported by the concolic tester, cf. §4.3 *)
+  | Nop
+  | Store_and_pop_receiver_variable of int (* 0-7 *)
+  | Store_and_pop_temp of int (* 0-7 *)
+  | Jump of int (* forward 1-8 *)
+  | Jump_false of int (* forward 1-8 *)
+  | Jump_true of int (* forward 1-8 *)
+  | Arith_special of special_selector
+  | Common_special of common_selector
+  | Send of { selector : int; num_args : int } (* literal-frame selector *)
+  (* Two-byte extended encodings *)
+  | Push_temp_ext of int
+  | Push_literal_ext of int
+  | Store_temp_ext of int
+  | Push_receiver_variable_ext of int
+  | Store_receiver_variable_ext of int
+  | Jump_ext of int (* signed offset, -128..127 *)
+  | Jump_false_ext of int
+  | Jump_true_ext of int
+  | Send_ext of { selector : int; num_args : int } (* sel*8+args in operand *)
+  | Push_integer_byte of int (* signed byte pushed as a small integer *)
+[@@deriving show { with_path = false }, eq, ord]
+
+(* Instruction families, the unit of grouping for the paper's statistics
+   (e.g. Fig. 5 paths-per-instruction). *)
+type family =
+  | F_push_receiver_variable
+  | F_push_literal
+  | F_push_temp
+  | F_push_constant
+  | F_push_receiver
+  | F_stack_manipulation
+  | F_return
+  | F_push_context
+  | F_nop
+  | F_store_receiver_variable
+  | F_store_temp
+  | F_jump
+  | F_conditional_jump
+  | F_arith_add_sub
+  | F_arith_mul_div
+  | F_arith_compare
+  | F_arith_bitwise
+  | F_make_point
+  | F_at_access
+  | F_object_query
+  | F_allocation
+  | F_identity
+  | F_send
+[@@deriving show { with_path = false }, eq, ord]
+
+let family = function
+  | Push_receiver_variable _ | Push_receiver_variable_ext _ ->
+      F_push_receiver_variable
+  | Push_literal_constant _ | Push_literal_ext _ -> F_push_literal
+  | Push_temp _ | Push_temp_ext _ -> F_push_temp
+  | Push_true | Push_false | Push_nil | Push_zero | Push_one | Push_minus_one
+  | Push_two | Push_integer_byte _ ->
+      F_push_constant
+  | Push_receiver -> F_push_receiver
+  | Dup | Pop | Swap -> F_stack_manipulation
+  | Return_top | Return_receiver | Return_true | Return_false | Return_nil ->
+      F_return
+  | Push_this_context -> F_push_context
+  | Nop -> F_nop
+  | Store_and_pop_receiver_variable _ | Store_receiver_variable_ext _ ->
+      F_store_receiver_variable
+  | Store_and_pop_temp _ | Store_temp_ext _ -> F_store_temp
+  | Jump _ | Jump_ext _ -> F_jump
+  | Jump_false _ | Jump_true _ | Jump_false_ext _ | Jump_true_ext _ ->
+      F_conditional_jump
+  | Arith_special (Sel_add | Sel_sub) -> F_arith_add_sub
+  | Arith_special (Sel_mul | Sel_divide | Sel_mod | Sel_int_div) ->
+      F_arith_mul_div
+  | Arith_special (Sel_lt | Sel_gt | Sel_le | Sel_ge | Sel_eq | Sel_ne) ->
+      F_arith_compare
+  | Arith_special (Sel_bit_shift | Sel_bit_and | Sel_bit_or) -> F_arith_bitwise
+  | Arith_special Sel_make_point -> F_make_point
+  | Common_special (Sel_at | Sel_at_put) -> F_at_access
+  | Common_special
+      ( Sel_size | Sel_class | Sel_point_x | Sel_point_y | Sel_identity_hash
+      | Sel_is_nil | Sel_not_nil | Sel_as_character | Sel_char_value ) ->
+      F_object_query
+  | Common_special (Sel_new | Sel_new_with_arg) -> F_allocation
+  | Common_special (Sel_identical | Sel_not_identical) -> F_identity
+  | Common_special Sel_bit_xor -> F_arith_bitwise
+  | Send _ | Send_ext _ -> F_send
+
+let special_selector_name = function
+  | Sel_add -> "+"
+  | Sel_sub -> "-"
+  | Sel_lt -> "<"
+  | Sel_gt -> ">"
+  | Sel_le -> "<="
+  | Sel_ge -> ">="
+  | Sel_eq -> "="
+  | Sel_ne -> "~="
+  | Sel_mul -> "*"
+  | Sel_divide -> "/"
+  | Sel_mod -> "\\\\"
+  | Sel_make_point -> "@"
+  | Sel_bit_shift -> "bitShift:"
+  | Sel_int_div -> "//"
+  | Sel_bit_and -> "bitAnd:"
+  | Sel_bit_or -> "bitOr:"
+
+let common_selector_name = function
+  | Sel_at -> "at:"
+  | Sel_at_put -> "at:put:"
+  | Sel_size -> "size"
+  | Sel_identical -> "=="
+  | Sel_not_identical -> "~~"
+  | Sel_class -> "class"
+  | Sel_new -> "new"
+  | Sel_new_with_arg -> "new:"
+  | Sel_point_x -> "x"
+  | Sel_point_y -> "y"
+  | Sel_identity_hash -> "identityHash"
+  | Sel_is_nil -> "isNil"
+  | Sel_not_nil -> "notNil"
+  | Sel_bit_xor -> "bitXor:"
+  | Sel_as_character -> "asCharacter"
+  | Sel_char_value -> "charValue"
+
+(* Human-readable mnemonic, used in reports and test names. *)
+let mnemonic = function
+  | Push_receiver_variable n -> Printf.sprintf "pushRcvrVar%d" n
+  | Push_literal_constant n -> Printf.sprintf "pushLit%d" n
+  | Push_temp n -> Printf.sprintf "pushTemp%d" n
+  | Push_receiver -> "pushReceiver"
+  | Push_true -> "pushTrue"
+  | Push_false -> "pushFalse"
+  | Push_nil -> "pushNil"
+  | Push_zero -> "pushZero"
+  | Push_one -> "pushOne"
+  | Push_minus_one -> "pushMinusOne"
+  | Push_two -> "pushTwo"
+  | Dup -> "dup"
+  | Pop -> "pop"
+  | Swap -> "swap"
+  | Return_top -> "returnTop"
+  | Return_receiver -> "returnReceiver"
+  | Return_true -> "returnTrue"
+  | Return_false -> "returnFalse"
+  | Return_nil -> "returnNil"
+  | Push_this_context -> "pushThisContext"
+  | Nop -> "nop"
+  | Store_and_pop_receiver_variable n -> Printf.sprintf "storePopRcvrVar%d" n
+  | Store_and_pop_temp n -> Printf.sprintf "storePopTemp%d" n
+  | Jump n -> Printf.sprintf "jump%d" n
+  | Jump_false n -> Printf.sprintf "jumpFalse%d" n
+  | Jump_true n -> Printf.sprintf "jumpTrue%d" n
+  | Arith_special s -> Printf.sprintf "special[%s]" (special_selector_name s)
+  | Common_special s -> Printf.sprintf "special[%s]" (common_selector_name s)
+  | Send { selector; num_args } ->
+      Printf.sprintf "sendLit%d/%d" selector num_args
+  | Push_temp_ext n -> Printf.sprintf "pushTempExt%d" n
+  | Push_literal_ext n -> Printf.sprintf "pushLitExt%d" n
+  | Store_temp_ext n -> Printf.sprintf "storeTempExt%d" n
+  | Push_receiver_variable_ext n -> Printf.sprintf "pushRcvrVarExt%d" n
+  | Store_receiver_variable_ext n -> Printf.sprintf "storeRcvrVarExt%d" n
+  | Jump_ext n -> Printf.sprintf "jumpExt%+d" n
+  | Jump_false_ext n -> Printf.sprintf "jumpFalseExt%+d" n
+  | Jump_true_ext n -> Printf.sprintf "jumpTrueExt%+d" n
+  | Send_ext { selector; num_args } ->
+      Printf.sprintf "sendExt%d/%d" selector num_args
+  | Push_integer_byte n -> Printf.sprintf "pushInt%+d" n
+
+(* Stack effect metadata used by the differential tester to build methods
+   whose operand-stack shape satisfies the instruction (Listing 3 schema:
+   prepend pushes).  [consumed] counts operands popped, assuming the fast
+   path; the concolic exploration refines this per-path. *)
+let min_operands = function
+  | Push_receiver_variable _ | Push_literal_constant _ | Push_temp _
+  | Push_receiver | Push_true | Push_false | Push_nil | Push_zero | Push_one
+  | Push_minus_one | Push_two | Push_this_context | Nop | Jump _ | Jump_ext _
+  | Push_temp_ext _ | Push_literal_ext _ | Push_receiver_variable_ext _
+  | Push_integer_byte _ ->
+      0
+  | Dup | Pop | Return_top | Jump_false _ | Jump_true _ | Jump_false_ext _
+  | Jump_true_ext _ | Store_and_pop_receiver_variable _ | Store_and_pop_temp _
+  | Store_temp_ext _ | Store_receiver_variable_ext _ ->
+      1
+  | Return_receiver | Return_true | Return_false | Return_nil -> 0
+  | Swap -> 2
+  | Arith_special _ -> 2
+  | Common_special
+      ( Sel_size | Sel_class | Sel_new | Sel_point_x | Sel_point_y
+      | Sel_identity_hash | Sel_is_nil | Sel_not_nil | Sel_as_character
+      | Sel_char_value ) ->
+      1
+  | Common_special
+      ( Sel_at | Sel_identical | Sel_not_identical | Sel_new_with_arg
+      | Sel_bit_xor ) ->
+      2
+  | Common_special Sel_at_put -> 3
+  | Send { num_args; _ } | Send_ext { num_args; _ } -> num_args + 1
+
+(* Is this instruction a control-transfer (affects how the JIT compiles a
+   following stop/return)? *)
+let is_branch = function
+  | Jump _ | Jump_false _ | Jump_true _ | Jump_ext _ | Jump_false_ext _
+  | Jump_true_ext _ ->
+      true
+  | _ -> false
+
+let is_return = function
+  | Return_top | Return_receiver | Return_true | Return_false | Return_nil ->
+      true
+  | _ -> false
+
+let is_send = function
+  | Send _ | Send_ext _ -> true
+  | _ -> false
+
+let all_special_selectors =
+  [
+    Sel_add; Sel_sub; Sel_lt; Sel_gt; Sel_le; Sel_ge; Sel_eq; Sel_ne; Sel_mul;
+    Sel_divide; Sel_mod; Sel_make_point; Sel_bit_shift; Sel_int_div;
+    Sel_bit_and; Sel_bit_or;
+  ]
+
+let all_common_selectors =
+  [
+    Sel_at; Sel_at_put; Sel_size; Sel_identical; Sel_not_identical; Sel_class;
+    Sel_new; Sel_new_with_arg; Sel_point_x; Sel_point_y; Sel_identity_hash;
+    Sel_is_nil; Sel_not_nil; Sel_bit_xor; Sel_as_character; Sel_char_value;
+  ]

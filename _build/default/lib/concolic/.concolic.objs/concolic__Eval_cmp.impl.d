@@ -1,0 +1,1 @@
+lib/concolic/eval_cmp.pp.ml: Interpreter

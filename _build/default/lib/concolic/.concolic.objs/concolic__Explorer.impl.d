@@ -1,0 +1,1 @@
+lib/concolic/explorer.pp.ml: Array Bytecodes Hashtbl Interpreter List Materialize Path Printf Queue Shadow_machine Solver Symbolic Vm_objects

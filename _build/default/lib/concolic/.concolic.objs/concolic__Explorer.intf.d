@@ -1,0 +1,1 @@
+lib/concolic/explorer.pp.mli: Bytecodes Interpreter Path Vm_objects

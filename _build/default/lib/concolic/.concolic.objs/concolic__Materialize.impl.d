@@ -1,0 +1,1 @@
+lib/concolic/materialize.pp.ml: Array Bytecodes Class_desc Class_table Hashtbl Interpreter List Object_memory Objformat Option Printf Solver Symbolic Value Vm_objects

@@ -1,0 +1,1 @@
+lib/concolic/materialize.pp.mli: Bytecodes Interpreter Solver Symbolic Vm_objects

@@ -1,0 +1,1 @@
+lib/concolic/path.pp.ml: Bytecodes Fmt Interpreter List Shadow_machine Solver String Symbolic

@@ -1,0 +1,1 @@
+lib/concolic/path.pp.mli: Bytecodes Fmt Interpreter Shadow_machine Solver Symbolic

@@ -1,0 +1,1 @@
+lib/concolic/sequences.pp.ml: Array Bytecodes List Path Random

@@ -1,0 +1,1 @@
+lib/concolic/sequences.pp.mli: Path Random

@@ -1,0 +1,1 @@
+lib/concolic/shadow_machine.pp.ml: Array Bytecodes Class_desc Class_table Eval_cmp Float Hashtbl Heap Int32 Int64 Interpreter List Object_memory Solver Symbolic Value Vm_objects

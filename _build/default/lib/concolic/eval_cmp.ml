@@ -1,0 +1,19 @@
+(* Concrete comparison helpers for the machine-signature [cmp] type. *)
+
+let int (c : Interpreter.Machine_intf.cmp) (a : int) b =
+  match c with
+  | Ceq -> a = b
+  | Cne -> a <> b
+  | Clt -> a < b
+  | Cle -> a <= b
+  | Cgt -> a > b
+  | Cge -> a >= b
+
+let float (c : Interpreter.Machine_intf.cmp) (a : float) b =
+  match c with
+  | Ceq -> a = b
+  | Cne -> a <> b
+  | Clt -> a < b
+  | Cle -> a <= b
+  | Cgt -> a > b
+  | Cge -> a >= b

@@ -1,0 +1,264 @@
+(* The concolic exploration engine (§2.3).
+
+   For one VM instruction (byte-code or native method), repeatedly:
+   1. solve the seed path-condition prefix to get concrete inputs,
+   2. materialise a fresh object memory and frame,
+   3. execute the instruction on the shadow machine, collecting the path
+      condition as it held and the exit condition,
+   4. record the path, then negate every not-already-negated clause to
+      seed further explorations (generational search).
+
+   Unlike classic concolic testing, exploration does *not* stop at
+   erroneous exits — invalid-frame and invalid-memory paths are recorded
+   like any other (they are the tester's cue to materialise deeper stacks
+   and bigger objects). *)
+
+module Sym = Symbolic.Sym_expr
+module PC = Symbolic.Path_condition
+
+type result = {
+  subject : Path.subject;
+  paths : Path.t list;
+  iterations : int; (* concolic executions performed *)
+  skipped_negations : int; (* negated prefixes the solver could not crack *)
+  unsat_negations : int; (* negated prefixes proven infeasible *)
+  unsupported : bool; (* instruction not supported by the tester (§4.3) *)
+}
+
+(* Method shape for the instruction under test. *)
+let required_temps (op : Bytecodes.Opcode.t) =
+  match op with
+  | Push_temp n | Push_temp_ext n | Store_and_pop_temp n | Store_temp_ext n ->
+      n + 1
+  | _ -> 0
+
+let default_literal_count = 16
+
+let method_in_for subject (om : Vm_objects.Object_memory.t) :
+    Bytecodes.Compiled_method.t =
+  let heap = Vm_objects.Object_memory.heap om in
+  let literals =
+    List.init default_literal_count (fun i ->
+        (Vm_objects.Value.of_small_int (101 + i) :> Vm_objects.Value.t))
+  in
+  match subject with
+  | Path.Bytecode op ->
+      Bytecodes.Method_builder.build heap ~args:0 ~temps:(required_temps op)
+        ~literals [ op ]
+  | Path.Bytecode_seq ops ->
+      let temps =
+        List.fold_left (fun acc op -> max acc (required_temps op)) 0 ops
+      in
+      Bytecodes.Method_builder.build heap ~args:0 ~temps ~literals ops
+  | Path.Native id ->
+      let arity = Interpreter.Primitive_table.arity id in
+      (* Native methods are hybrid (§4.2): native behaviour plus a
+         byte-code fallback body. *)
+      Bytecodes.Method_builder.build heap ~args:arity ~literals ~native:id
+        [ Bytecodes.Opcode.Push_nil; Bytecodes.Opcode.Return_top ]
+
+let temp_count subject =
+  match subject with
+  | Path.Bytecode op -> required_temps op
+  | Path.Bytecode_seq ops ->
+      List.fold_left (fun acc op -> max acc (required_temps op)) 0 ops
+  | Path.Native id -> Interpreter.Primitive_table.arity id
+
+(* One concolic execution: returns the exit condition; the shadow machine
+   accumulates the path condition and outputs. *)
+let execute_once ?(lookahead = false) ~defects subject
+    (shadow : Shadow_machine.t) : Interpreter.Exit_condition.t =
+  match subject with
+  | Path.Bytecode_seq _ -> (
+      (* run the whole sequence: Success when the pc runs past the last
+         instruction; any other exit ends the path where it happened *)
+      let meth = Shadow_machine.M.compiled_method shadow in
+      let size = Bytecodes.Compiled_method.bytecode_size meth in
+      let rec go fuel =
+        if fuel <= 0 then
+          raise (Interpreter.Machine_intf.Unsupported_feature "sequence fuel")
+        else if Shadow_machine.M.pc shadow >= size then
+          Interpreter.Exit_condition.Success
+        else
+          match
+            Shadow_machine.note_return shadow
+              (Shadow_machine.Interpreter_shadow.step ~lookahead shadow)
+          with
+          | Shadow_machine.Interpreter_shadow.Continue -> go (fuel - 1)
+          | Shadow_machine.Interpreter_shadow.Exit_send { selector; num_args }
+            ->
+              Interpreter.Exit_condition.Message_send { selector; num_args }
+          | Shadow_machine.Interpreter_shadow.Exit_return _ ->
+              Interpreter.Exit_condition.Method_return
+      in
+      match go 64 with
+      | e -> e
+      | exception Interpreter.Machine_intf.Invalid_frame_access ->
+          Invalid_frame
+      | exception Interpreter.Machine_intf.Invalid_memory_trap ->
+          Invalid_memory_access
+      | exception Bytecodes.Encoding.Invalid_bytecode _ ->
+          (* a jump escaped the sequence: running off the method *)
+          Invalid_memory_access)
+  | Path.Bytecode _ -> (
+      match
+        Shadow_machine.note_return shadow
+          (Shadow_machine.Interpreter_shadow.step shadow)
+      with
+      | Shadow_machine.Interpreter_shadow.Continue -> Success
+      | Shadow_machine.Interpreter_shadow.Exit_send { selector; num_args } ->
+          Message_send { selector; num_args }
+      | Shadow_machine.Interpreter_shadow.Exit_return _ -> Method_return
+      | exception Interpreter.Machine_intf.Invalid_frame_access ->
+          Invalid_frame
+      | exception Interpreter.Machine_intf.Invalid_memory_trap ->
+          Invalid_memory_access)
+  | Path.Native id -> (
+      match Shadow_machine.Native_shadow.run ~defects shadow ~prim_id:id with
+      | Shadow_machine.Native_shadow.Succeeded -> Success
+      | Shadow_machine.Native_shadow.Failed -> Failure
+      | exception Interpreter.Machine_intf.Invalid_frame_access ->
+          Invalid_frame
+      | exception Interpreter.Machine_intf.Invalid_memory_trap ->
+          Invalid_memory_access)
+
+(* Inherit already-negated flags from the seed prefix (the clauses the
+   re-execution reproduced). *)
+let align ~(seed : PC.t) (raw : PC.t) : PC.t =
+  let rec go seed raw =
+    match (seed, raw) with
+    | ( (s : PC.clause) :: seed_rest,
+        (r : PC.clause) :: raw_rest )
+      when Sym.equal s.cond r.cond ->
+        { r with already_negated = s.already_negated } :: go seed_rest raw_rest
+    | _, raw -> raw
+  in
+  go seed raw
+
+(* All child seeds of an explored path: negate each not-already-negated
+   clause, keeping the prefix before it. *)
+let children (pc : PC.t) : PC.t list =
+  let rec go prefix_rev acc = function
+    | [] -> List.rev acc
+    | (c : PC.clause) :: rest ->
+        let acc =
+          if c.already_negated then acc
+          else
+            let child =
+              List.rev_append prefix_rev
+                [ { PC.cond = Sym.negate c.cond; already_negated = true } ]
+            in
+            child :: acc
+        in
+        go (c :: prefix_rev) acc rest
+  in
+  go [] [] pc
+
+let prefix_key (pc : PC.t) = PC.to_string pc
+
+let explore ?(max_iterations = 128) ?(defects = Interpreter.Defects.default)
+    ?(lookahead = false) (subject : Path.subject) : result =
+  let gen = Sym.Gen.create () in
+  let recv_var = Sym.Gen.fresh gen ~name:"receiver" ~sort:Sym.Oop in
+  let size_var = Sym.Gen.fresh gen ~name:"operand_stack_size" ~sort:Sym.Int in
+  let stack_size_term = Sym.Var size_var in
+  let temp_vars =
+    Array.init (temp_count subject) (fun i ->
+        Sym.Gen.fresh gen ~name:(Printf.sprintf "temp%d" i) ~sort:Sym.Oop)
+  in
+  let entry_vars : (int, Sym.var) Hashtbl.t = Hashtbl.create 8 in
+  let entry_var rank =
+    match Hashtbl.find_opt entry_vars rank with
+    | Some v -> v
+    | None ->
+        let v = Sym.Gen.fresh gen ~name:(Printf.sprintf "s%d" rank) ~sort:Sym.Oop in
+        Hashtbl.replace entry_vars rank v;
+        v
+  in
+  let worklist = Queue.create () in
+  Queue.add PC.empty worklist;
+  let visited = Hashtbl.create 64 in
+  Hashtbl.replace visited (prefix_key PC.empty) ();
+  let seen_paths = Hashtbl.create 64 in
+  let paths = ref [] in
+  let iterations = ref 0 in
+  let skipped = ref 0 in
+  let unsat = ref 0 in
+  let unsupported = ref false in
+  (try
+     while (not (Queue.is_empty worklist)) && !iterations < max_iterations do
+       let seed = Queue.pop worklist in
+       match Solver.Solve.solve (PC.conditions seed) with
+       | Solver.Solve.Unsat -> incr unsat
+       | Solver.Solve.Unknown _ -> incr skipped
+       | Solver.Solve.Sat model -> (
+           incr iterations;
+           let input =
+             Materialize.build ~model ~method_in:(method_in_for subject)
+               ~recv_var ~temp_vars ~entry_var ~stack_size_term
+           in
+           let stack_syms =
+             List.init input.stack_depth (fun i ->
+                 Sym.Var (entry_var (input.stack_depth - 1 - i)))
+           in
+           let shadow =
+             Shadow_machine.create ~om:input.om ~frame:input.frame
+               ~meth:input.meth ~recv_sym:(Sym.Var recv_var)
+               ~temps_sym:(Array.map (fun v -> Sym.Var v) temp_vars)
+               ~stack_syms ~stack_size_term
+               ~bindings:(List.map (fun (t, v) -> (t, v)) input.bindings)
+           in
+           match execute_once ~lookahead ~defects subject shadow with
+           | exception Interpreter.Machine_intf.Unsupported_feature _ ->
+               unsupported := true;
+               raise Exit
+           | exit_ ->
+               let aligned = align ~seed (Shadow_machine.path shadow) in
+               let input_frame =
+                 Symbolic.Abstract_frame.make ~receiver:(Sym.Var recv_var)
+                   ~method_oop:(Bytecodes.Compiled_method.oop input.meth)
+                   ~temps:(Array.map (fun v -> Sym.Var v) temp_vars)
+                   ~operand_stack:stack_syms ~pc:0
+               in
+               let path =
+                 {
+                   Path.subject;
+                   input_frame;
+                   input_stack_depth = input.stack_depth;
+                   output =
+                     {
+                       Path.stack = Shadow_machine.output_stack_syms shadow;
+                       temps = Shadow_machine.output_temps_syms shadow;
+                       pc = Interpreter.Frame.pc input.frame;
+                       effects = Shadow_machine.effects shadow;
+                       return_value = Shadow_machine.return_sym shadow;
+                     };
+                   path_condition = aligned;
+                   exit_;
+                   model;
+                   stack_size_term;
+                 }
+               in
+               let k = Path.key path in
+               if not (Hashtbl.mem seen_paths k) then begin
+                 Hashtbl.replace seen_paths k ();
+                 paths := path :: !paths
+               end;
+               List.iter
+                 (fun child ->
+                   let ck = prefix_key child in
+                   if not (Hashtbl.mem visited ck) then begin
+                     Hashtbl.replace visited ck ();
+                     Queue.add child worklist
+                   end)
+                 (children aligned))
+     done
+   with Exit -> ());
+  {
+    subject;
+    paths = List.rev !paths;
+    iterations = !iterations;
+    skipped_negations = !skipped;
+    unsat_negations = !unsat;
+    unsupported = !unsupported;
+  }

@@ -1,0 +1,27 @@
+(** Input materialisation: interpret a solver model's structural object
+    descriptions to build a concrete object memory and VM frame (§3.2).
+
+    Deterministic for a given model, so the explorer (interpreter side)
+    and the differential tester (compiled side) rebuild byte-identical
+    inputs independently — including identical oops, since heap
+    allocation order is reproduced exactly. *)
+
+type input = {
+  om : Vm_objects.Object_memory.t;
+  frame : Interpreter.Frame.t;
+  meth : Bytecodes.Compiled_method.t;
+  bindings : (Symbolic.Sym_expr.t * Vm_objects.Value.t) list;
+      (** term → materialised oop, for every materialised input term *)
+  stack_depth : int;
+}
+
+val build :
+  model:Solver.Model.t ->
+  method_in:(Vm_objects.Object_memory.t -> Bytecodes.Compiled_method.t) ->
+  recv_var:Symbolic.Sym_expr.var ->
+  temp_vars:Symbolic.Sym_expr.var array ->
+  entry_var:(int -> Symbolic.Sym_expr.var) ->
+  stack_size_term:Symbolic.Sym_expr.t ->
+  input
+(** [entry_var rank] is the input-stack variable at [rank] below the top
+    (rank 0 = top of the input operand stack). *)

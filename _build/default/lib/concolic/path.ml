@@ -1,0 +1,55 @@
+(* Explored paths: everything the differential tester needs to re-create
+   the input, run the compiled code, and validate the output (§3.2: copies
+   of both the input and output constraints, plus the exit condition). *)
+
+module Sym = Symbolic.Sym_expr
+
+type subject =
+  | Bytecode of Bytecodes.Opcode.t
+  | Native of int
+  | Bytecode_seq of Bytecodes.Opcode.t list
+      (* sequence testing: the paper's future work ("generate minimal and
+         relevant byte-code sequences for unit testing the JIT compiler") *)
+
+let subject_name = function
+  | Bytecode op -> Bytecodes.Opcode.mnemonic op
+  | Native id -> Interpreter.Primitive_table.name id
+  | Bytecode_seq ops ->
+      "seq[" ^ String.concat "; " (List.map Bytecodes.Opcode.mnemonic ops) ^ "]"
+
+let subject_is_native = function
+  | Bytecode _ | Bytecode_seq _ -> false
+  | Native _ -> true
+
+type output = {
+  stack : Sym.t list; (* bottom-up, after execution *)
+  temps : Sym.t array;
+  pc : int;
+  effects : Shadow_machine.effect list;
+  return_value : Sym.t option;
+}
+
+type t = {
+  subject : subject;
+  input_frame : Symbolic.Abstract_frame.t;
+  input_stack_depth : int;
+  output : output;
+  path_condition : Symbolic.Path_condition.t;
+  exit_ : Interpreter.Exit_condition.t;
+  model : Solver.Model.t; (* the witness that drove this path *)
+  stack_size_term : Sym.t;
+}
+
+(* Canonical key for deduplication: condition sequence + exit. *)
+let key t =
+  Symbolic.Path_condition.to_string t.path_condition
+  ^ " => "
+  ^ Interpreter.Exit_condition.to_string t.exit_
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%s: %s@,  path: %s@,  out stack: [%a] pc=%d@]"
+    (subject_name t.subject)
+    (Interpreter.Exit_condition.to_string t.exit_)
+    (Symbolic.Path_condition.to_string t.path_condition)
+    Fmt.(list ~sep:(any " | ") (fun ppf e -> Fmt.string ppf (Sym.to_string e)))
+    t.output.stack t.output.pc

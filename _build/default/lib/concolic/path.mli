@@ -1,0 +1,38 @@
+(** Explored paths: everything the differential tester needs to re-create
+    the input, run the compiled code and validate the output — copies of
+    the input and output constraints plus the exit condition (§3.2). *)
+
+module Sym = Symbolic.Sym_expr
+
+type subject =
+  | Bytecode of Bytecodes.Opcode.t
+  | Native of int  (** native method (primitive) id *)
+  | Bytecode_seq of Bytecodes.Opcode.t list
+      (** sequence testing — the paper's future-work extension *)
+
+val subject_name : subject -> string
+val subject_is_native : subject -> bool
+
+type output = {
+  stack : Sym.t list;  (** operand stack after execution, bottom-up *)
+  temps : Sym.t array;
+  pc : int;
+  effects : Shadow_machine.effect list;  (** heap writes performed *)
+  return_value : Sym.t option;  (** on method-return exits *)
+}
+
+type t = {
+  subject : subject;
+  input_frame : Symbolic.Abstract_frame.t;
+  input_stack_depth : int;
+  output : output;
+  path_condition : Symbolic.Path_condition.t;
+  exit_ : Interpreter.Exit_condition.t;
+  model : Solver.Model.t;  (** the witness that drove this path *)
+  stack_size_term : Sym.t;
+}
+
+val key : t -> string
+(** Canonical deduplication key: condition sequence + exit. *)
+
+val pp : t Fmt.t

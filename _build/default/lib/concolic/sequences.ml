@@ -1,0 +1,99 @@
+(* Minimal, relevant byte-code sequences for unit testing the JIT
+   compilers — the extension the paper's conclusion announces as future
+   work.
+
+   Sequences matter because the stack-to-register compilers' interesting
+   behaviour lives *between* instructions: the parse-time simulation
+   stack carries pushed values in registers and constants across
+   instruction boundaries, only writing to the machine stack when a
+   consumer (or a merge point) forces it.  Single-instruction units
+   always end in a flush, so only sequences exercise deferred stack
+   writes, constant-carrying pushes feeding inlined arithmetic, and
+   branch merge points. *)
+
+module Op = Bytecodes.Opcode
+
+let seq ops = Path.Bytecode_seq ops
+
+(* Hand-curated sequences, each exercising a distinct cross-instruction
+   behaviour. *)
+let corpus : Path.subject list =
+  [
+    (* constants flowing straight into inlined arithmetic: the classic
+       stack-to-register win (no machine stack traffic at all) *)
+    seq [ Op.Push_one; Op.Push_two; Op.Arith_special Op.Sel_add ];
+    seq [ Op.Push_two; Op.Push_two; Op.Arith_special Op.Sel_mul ];
+    (* mixed: an unknown operand below, constants above *)
+    seq [ Op.Push_one; Op.Arith_special Op.Sel_add ];
+    seq [ Op.Push_integer_byte 10; Op.Arith_special Op.Sel_lt ];
+    (* chained arithmetic: the result of one inlined special feeds the
+       next without touching memory *)
+    seq
+      [
+        Op.Push_one;
+        Op.Arith_special Op.Sel_add;
+        Op.Push_two;
+        Op.Arith_special Op.Sel_mul;
+      ];
+    (* stack shuffling across instructions *)
+    seq [ Op.Dup; Op.Arith_special Op.Sel_add ];
+    seq [ Op.Swap; Op.Arith_special Op.Sel_sub ];
+    seq [ Op.Push_one; Op.Dup; Op.Arith_special Op.Sel_add; Op.Pop ];
+    (* pushes followed by a literal send: the flush-before-send path *)
+    seq [ Op.Push_one; Op.Send { selector = 0; num_args = 1 } ];
+    (* compare feeding a conditional branch (explicit, no look-ahead) *)
+    seq [ Op.Arith_special Op.Sel_lt; Op.Jump_false 1; Op.Push_one ];
+    seq [ Op.Arith_special Op.Sel_eq; Op.Jump_true 1; Op.Push_nil ];
+    (* a diamond: both branch arms merge at the sequence end *)
+    seq [ Op.Jump_false 2; Op.Push_one; Op.Jump 1; Op.Push_two ];
+    (* unconditional jump over an instruction *)
+    seq [ Op.Jump 1; Op.Pop; Op.Push_true ];
+    (* temp traffic across instructions *)
+    seq [ Op.Store_and_pop_temp 0; Op.Push_temp 0; Op.Push_temp 0; Op.Arith_special Op.Sel_add ];
+    (* receiver-variable read/write pairs *)
+    seq [ Op.Push_receiver_variable 0; Op.Push_one; Op.Arith_special Op.Sel_add; Op.Store_and_pop_receiver_variable 0 ];
+    (* returns cut the sequence short *)
+    seq [ Op.Push_one; Op.Return_top; Op.Push_two ];
+    (* seeded-defect carriers inside sequences *)
+    seq [ Op.Push_integer_byte 12; Op.Arith_special Op.Sel_bit_and ];
+    seq [ Op.Push_integer_byte (-2); Op.Arith_special Op.Sel_bit_shift ];
+    seq [ Op.Push_one; Op.Common_special Op.Sel_bit_xor ];
+    (* common specials chained *)
+    seq [ Op.Common_special Op.Sel_class; Op.Common_special Op.Sel_identity_hash ];
+    seq [ Op.Push_one; Op.Common_special Op.Sel_at; Op.Pop ];
+    seq [ Op.Common_special Op.Sel_is_nil; Op.Jump_false 1; Op.Push_nil ];
+  ]
+
+(* Deterministic pseudo-random sequences over a "safe" opcode pool
+   (no raw branches — their targets are added separately so they always
+   land inside the sequence). *)
+let pool : Op.t array =
+  [|
+    Op.Push_one;
+    Op.Push_two;
+    Op.Push_zero;
+    Op.Push_minus_one;
+    Op.Push_integer_byte 5;
+    Op.Push_nil;
+    Op.Push_true;
+    Op.Push_receiver;
+    Op.Dup;
+    Op.Pop;
+    Op.Swap;
+    Op.Arith_special Op.Sel_add;
+    Op.Arith_special Op.Sel_sub;
+    Op.Arith_special Op.Sel_mul;
+    Op.Arith_special Op.Sel_lt;
+    Op.Arith_special Op.Sel_eq;
+    Op.Common_special Op.Sel_identical;
+    Op.Common_special Op.Sel_class;
+    Op.Common_special Op.Sel_is_nil;
+  |]
+
+let random_sequence ~rng ~length : Path.subject =
+  seq (List.init length (fun _ -> pool.(Random.State.int rng (Array.length pool))))
+
+let random_corpus ?(seed = 0xC0FFEE) ~count ~max_length () =
+  let rng = Random.State.make [| seed |] in
+  List.init count (fun _ ->
+      random_sequence ~rng ~length:(1 + Random.State.int rng max_length))

@@ -1,0 +1,16 @@
+(** Minimal, relevant byte-code sequences for JIT unit testing — the
+    extension announced as future work in the paper's conclusion.
+
+    Sequences exercise what single-instruction units cannot: deferred
+    stack writes across instruction boundaries, constants flowing from
+    pushes into inlined arithmetic, and branch merge points. *)
+
+val corpus : Path.subject list
+(** Hand-curated sequences, one per cross-instruction behaviour. *)
+
+val random_sequence : rng:Random.State.t -> length:int -> Path.subject
+(** A random sequence over a branch-free opcode pool. *)
+
+val random_corpus :
+  ?seed:int -> count:int -> max_length:int -> unit -> Path.subject list
+(** Deterministic pseudo-random corpus. *)

@@ -1,0 +1,669 @@
+(* The shadow machine: the concolic instantiation of the VM-semantics
+   signature.
+
+   Every value is a (concrete, symbolic) pair.  Concrete parts execute
+   against a real object memory — this run *is* a normal interpretation —
+   while symbolic parts accumulate the semantic expressions of §3.3.
+   Every *branching* operation (tag tests, comparisons, class tests,
+   bounds checks) records the condition as it concretely held on the
+   current path condition; value-level operations compose symbolic
+   expressions without branching.
+
+   Frame-shape discipline (paper Fig. 2): reading below the operand stack
+   records a stack-size constraint against the symbolic stack-size
+   variable; reading out of an object's bounds records a size constraint
+   against [Num_slots_of]/[Indexable_size_of] before trapping.  Negating
+   those clauses is what makes the exploration materialise deeper stacks
+   and bigger objects. *)
+
+open Vm_objects
+module Sym = Symbolic.Sym_expr
+
+type sval = { conc : Value.t; sym : Sym.t }
+type snum = { nconc : int; nsym : Sym.t }
+type sfl = { fconc : float; fsym : Sym.t }
+
+type effect =
+  | Slot_write of { target : Sym.t; index : int; stored : Sym.t }
+  | Byte_write of { target : Sym.t; index : int; stored : Sym.t }
+
+type t = {
+  om : Object_memory.t;
+  frame : Interpreter.Frame.t;
+  meth : Bytecodes.Compiled_method.t;
+  recv_sym : Sym.t;
+  temps_sym : Sym.t array;
+  mutable stack_sym : Sym.t list; (* top first, mirrors frame.stack *)
+  stack_size_term : Sym.t; (* symbolic size of the *input* operand stack *)
+  input_depth : int; (* materialised input operand-stack depth *)
+  mutable max_stack_checked : int; (* deepest input-stack access so far *)
+  mutable path : Symbolic.Path_condition.t;
+  mutable effects : effect list; (* reversed *)
+  (* Symbolic identity of heap objects allocated *during* execution, and
+     of input objects (receiver, stack entries, their slots). *)
+  obj_syms : (Value.t, Sym.t) Hashtbl.t;
+  mutable return_sym : Sym.t option;
+}
+
+let create ~om ~frame ~meth ~recv_sym ~temps_sym ~stack_syms ~stack_size_term
+    ~bindings =
+  let t =
+    {
+      om;
+      frame;
+      meth;
+      recv_sym;
+      temps_sym = Array.copy temps_sym;
+      stack_sym = List.rev stack_syms (* given bottom-up; store top-first *);
+      stack_size_term;
+      input_depth = List.length stack_syms;
+      max_stack_checked = 0;
+      path = Symbolic.Path_condition.empty;
+      effects = [];
+      obj_syms = Hashtbl.create 32;
+      return_sym = None;
+    }
+  in
+  (* Remember the symbolic identity of every materialised input object so
+     that structural queries on them stay symbolic. *)
+  List.iter
+    (fun (sym, v) ->
+      if Value.is_pointer v then Hashtbl.replace t.obj_syms v sym)
+    bindings;
+  t
+
+let path t = t.path
+let effects t = List.rev t.effects
+let return_sym t = t.return_sym
+let output_stack_syms t = List.rev t.stack_sym (* bottom-up *)
+let output_temps_syms t = Array.copy t.temps_sym
+
+(* Record a path clause, deduplicating structurally identical clauses
+   (bounds checks repeat freely across semantic operations). *)
+let record t cond =
+  (* Skip constant conditions (e.g. bounds checks on literal indices):
+     their negations are unsatisfiable and would only pollute the path. *)
+  let trivial =
+    try
+      ignore (Solver.Eval.eval_int (Solver.Eval.create_env ())
+                (match cond with
+                 | Sym.Cmp (_, a, _) -> a
+                 | Sym.Not (Sym.Cmp (_, a, _)) -> a
+                 | _ -> raise Solver.Eval.Failed));
+      (match cond with
+       | Sym.Cmp (_, _, b) | Sym.Not (Sym.Cmp (_, _, b)) ->
+           ignore (Solver.Eval.eval_int (Solver.Eval.create_env ()) b)
+       | _ -> ());
+      true
+    with Solver.Eval.Failed -> false
+  in
+  if not trivial then begin
+    let dup =
+      List.exists
+        (fun (c : Symbolic.Path_condition.clause) -> Sym.equal c.cond cond)
+        t.path
+    in
+    if not dup then t.path <- Symbolic.Path_condition.record t.path cond
+  end
+
+let record_bool t cond held =
+  record t (if held then cond else Sym.negate cond);
+  held
+
+(* Symbolic identity of an arbitrary concrete oop: known objects keep
+   their variable; immediates and unknown objects become constants. *)
+let sym_of t (v : Value.t) : Sym.t =
+  if Value.is_small_int v then
+    Sym.Integer_object_of (Sym.Int_const (Value.small_int_value v))
+  else
+    match Hashtbl.find_opt t.obj_syms v with
+    | Some s -> s
+    | None -> Sym.Oop_const v
+
+let sval_of t v = { conc = v; sym = sym_of t v }
+
+(* Register an object freshly allocated during execution under its
+   symbolic construction. *)
+let register_alloc t v sym =
+  Hashtbl.replace t.obj_syms v sym;
+  { conc = v; sym }
+
+module M = struct
+  type value = sval
+  type num = snum
+  type fl = sfl
+  type nonrec t = t
+
+  (* --- Frame --- *)
+
+  let receiver t = { conc = Interpreter.Frame.receiver t.frame; sym = t.recv_sym }
+  let method_oop t = Bytecodes.Compiled_method.oop t.meth
+
+  (* Entries pushed during execution sit above the materialised input
+     entries; only accesses that reach into the input portion constrain
+     the symbolic input stack size (Fig. 2 of the paper). *)
+  let input_rank t n =
+    let depth = Interpreter.Frame.depth t.frame in
+    let new_entries = max 0 (depth - t.input_depth) in
+    n - new_entries
+
+  let require_input_depth t rank =
+    (* The access needs input entries down to [rank] (0 = input top). *)
+    if rank >= 0 && rank + 1 > t.max_stack_checked then begin
+      record t (Sym.Cmp (Sym.Cgt, t.stack_size_term, Sym.Int_const rank));
+      t.max_stack_checked <- rank + 1
+    end
+
+  let stack_value t n =
+    let depth = Interpreter.Frame.depth t.frame in
+    if n < depth then begin
+      require_input_depth t (input_rank t n);
+      {
+        conc = Interpreter.Frame.stack_value t.frame n;
+        sym = List.nth t.stack_sym n;
+      }
+    end
+    else begin
+      let rank = input_rank t n in
+      record t (Sym.Not (Sym.Cmp (Sym.Cgt, t.stack_size_term, Sym.Int_const rank)));
+      raise Interpreter.Machine_intf.Invalid_frame_access
+    end
+
+  let push t (v : sval) =
+    Interpreter.Frame.push t.frame v.conc;
+    t.stack_sym <- v.sym :: t.stack_sym
+
+  let pop t n =
+    let depth = Interpreter.Frame.depth t.frame in
+    if n > depth then begin
+      let rank = input_rank t (n - 1) in
+      record t
+        (Sym.Not (Sym.Cmp (Sym.Cgt, t.stack_size_term, Sym.Int_const rank)));
+      raise Interpreter.Machine_intf.Invalid_frame_access
+    end;
+    if n > 0 then require_input_depth t (input_rank t (n - 1));
+    Interpreter.Frame.pop t.frame n;
+    let rec drop n l = if n = 0 then l else drop (n - 1) (List.tl l) in
+    t.stack_sym <- drop n t.stack_sym
+
+  let pop_then_push t n v =
+    pop t n;
+    push t v
+
+  let temp_at t n =
+    if n < 0 || n >= Array.length t.temps_sym then
+      raise Interpreter.Machine_intf.Invalid_frame_access
+    else { conc = Interpreter.Frame.temp_at t.frame n; sym = t.temps_sym.(n) }
+
+  let temp_at_put t n (v : sval) =
+    if n < 0 || n >= Array.length t.temps_sym then
+      raise Interpreter.Machine_intf.Invalid_frame_access
+    else begin
+      Interpreter.Frame.temp_at_put t.frame n v.conc;
+      t.temps_sym.(n) <- v.sym
+    end
+
+  let literal_at t n =
+    if n < 0 || n >= Bytecodes.Compiled_method.num_literals t.meth then
+      raise Interpreter.Machine_intf.Invalid_memory_trap
+    else
+      let v = Bytecodes.Compiled_method.literal_at t.meth n in
+      sval_of t v
+
+  let method_num_args t = Bytecodes.Compiled_method.num_args t.meth
+  let method_num_temps t = Bytecodes.Compiled_method.num_temps t.meth
+  let pc t = Interpreter.Frame.pc t.frame
+  let set_pc t pc = Interpreter.Frame.set_pc t.frame pc
+
+  (* --- Constants --- *)
+
+  let nil t = { conc = Object_memory.nil t.om; sym = Sym.Oop_const (Object_memory.nil t.om) }
+  let true_ t =
+    { conc = Object_memory.true_obj t.om; sym = Sym.Oop_const (Object_memory.true_obj t.om) }
+  let false_ t =
+    { conc = Object_memory.false_obj t.om; sym = Sym.Oop_const (Object_memory.false_obj t.om) }
+  let bool_object t b =
+    {
+      conc = Object_memory.bool_object t.om b;
+      sym = Sym.Bool_object_of (Sym.Bool_const b);
+    }
+  let num_const (_ : t) i = { nconc = i; nsym = Sym.Int_const i }
+  let float_const (_ : t) f = { fconc = f; fsym = Sym.Float_const f }
+
+  (* --- Small integers --- *)
+
+  let is_integer_object t (v : sval) =
+    record_bool t (Sym.Is_small_int v.sym) (Value.is_small_int v.conc)
+
+  (* Non-short-circuit, like the tag-mask check in the Pharo interpreter:
+     both operands are tested (and recorded) even when the first fails
+     (cf. Table 1 of the paper). *)
+  let are_integers t a b =
+    let ra = is_integer_object t a in
+    let rb = is_integer_object t b in
+    ra && rb
+
+  let assert_is_integer t (v : sval) =
+    (* visible to exploration, no behavioural effect (assert removed in
+       production): record the condition as it held so its negation gets
+       explored *)
+    ignore
+      (record_bool t (Sym.Is_small_int v.sym) (Value.is_small_int v.conc))
+
+  let integer_value_of (_ : t) (v : sval) =
+    { nconc = Value.small_int_value v.conc; nsym = Sym.Integer_value_of v.sym }
+
+  let unchecked_integer_value_of (_ : t) (v : sval) =
+    {
+      nconc = Value.unchecked_small_int_value v.conc;
+      nsym = Sym.Integer_value_of v.sym;
+    }
+
+  let is_integer_value t (n : snum) =
+    record_bool t
+      (Sym.Is_in_small_int_range n.nsym)
+      (Value.is_small_int_value n.nconc)
+
+  let integer_object_of (_ : t) (n : snum) =
+    let clamped =
+      if Value.is_small_int_value n.nconc then n.nconc
+      else ((n.nconc mod (Value.max_small_int + 1)) + (Value.max_small_int + 1))
+           mod (Value.max_small_int + 1)
+    in
+    { conc = Value.of_small_int clamped; sym = Sym.Integer_object_of n.nsym }
+
+  (* --- Integer arithmetic --- *)
+
+  let nbin conc sym a b = { nconc = conc a.nconc b.nconc; nsym = sym a.nsym b.nsym }
+  let num_add (_ : t) a b = nbin ( + ) (fun x y -> Sym.Add (x, y)) a b
+  let num_sub (_ : t) a b = nbin ( - ) (fun x y -> Sym.Sub (x, y)) a b
+  let num_mul (_ : t) a b = nbin ( * ) (fun x y -> Sym.Mul (x, y)) a b
+
+  let num_div (_ : t) a b =
+    { nconc = Solver.Eval.floor_div a.nconc b.nconc; nsym = Sym.Div (a.nsym, b.nsym) }
+
+  let num_mod (_ : t) a b =
+    { nconc = Solver.Eval.floor_mod a.nconc b.nconc; nsym = Sym.Mod (a.nsym, b.nsym) }
+
+  let num_quo (_ : t) a b = { nconc = a.nconc / b.nconc; nsym = Sym.Quo (a.nsym, b.nsym) }
+  let num_rem (_ : t) a b = { nconc = a.nconc mod b.nconc; nsym = Sym.Rem (a.nsym, b.nsym) }
+  let num_neg (_ : t) a = { nconc = -a.nconc; nsym = Sym.Neg a.nsym }
+  let num_abs (_ : t) a = { nconc = abs a.nconc; nsym = Sym.Abs a.nsym }
+  let num_bit_and (_ : t) a b = nbin ( land ) (fun x y -> Sym.Bit_and (x, y)) a b
+  let num_bit_or (_ : t) a b = nbin ( lor ) (fun x y -> Sym.Bit_or (x, y)) a b
+  let num_bit_xor (_ : t) a b = nbin ( lxor ) (fun x y -> Sym.Bit_xor (x, y)) a b
+  let num_shift_left (_ : t) a b = nbin ( lsl ) (fun x y -> Sym.Shift_left (x, y)) a b
+  let num_shift_right (_ : t) a b = nbin ( asr ) (fun x y -> Sym.Shift_right (x, y)) a b
+
+  let sym_cmp (c : Interpreter.Machine_intf.cmp) : Sym.cmp =
+    match c with
+    | Ceq -> Ceq
+    | Cne -> Cne
+    | Clt -> Clt
+    | Cle -> Cle
+    | Cgt -> Cgt
+    | Cge -> Cge
+
+  let num_cmp t c a b =
+    record_bool t
+      (Sym.Cmp (sym_cmp c, a.nsym, b.nsym))
+      (Eval_cmp.int c a.nconc b.nconc)
+
+  let num_cmp_value t c a b =
+    {
+      conc = Object_memory.bool_object t.om (Eval_cmp.int c a.nconc b.nconc);
+      sym = Sym.Bool_object_of (Sym.Cmp (sym_cmp c, a.nsym, b.nsym));
+    }
+
+  (* --- Floats --- *)
+
+  let is_float_object t (v : sval) =
+    record_bool t (Sym.Is_float_object v.sym)
+      (Object_memory.is_float_object t.om v.conc)
+
+  let float_value_of t (v : sval) =
+    { fconc = Object_memory.float_value_of t.om v.conc; fsym = Sym.Float_value_of v.sym }
+
+  let float_object_of t (f : sfl) =
+    register_alloc t
+      (Object_memory.float_object_of t.om f.fconc)
+      (Sym.Float_object_of f.fsym)
+
+  let float_of_num (_ : t) (n : snum) =
+    { fconc = float_of_int n.nconc; fsym = Sym.Int_to_float n.nsym }
+
+  let float_unop (_ : t) op (f : sfl) =
+    let conc =
+      match (op : Interpreter.Machine_intf.funop) with
+      | F_neg -> -.f.fconc
+      | F_abs -> Float.abs f.fconc
+      | F_sqrt -> sqrt f.fconc
+      | F_sin -> sin f.fconc
+      | F_cos -> cos f.fconc
+      | F_arctan -> atan f.fconc
+      | F_ln -> log f.fconc
+      | F_exp -> exp f.fconc
+    in
+    let sop : Sym.funop =
+      match op with
+      | F_neg -> F_neg
+      | F_abs -> F_abs
+      | F_sqrt -> F_sqrt
+      | F_sin -> F_sin
+      | F_cos -> F_cos
+      | F_arctan -> F_arctan
+      | F_ln -> F_ln
+      | F_exp -> F_exp
+    in
+    { fconc = conc; fsym = Sym.F_unop (sop, f.fsym) }
+
+  let float_binop (_ : t) op a b =
+    let conc =
+      match (op : Interpreter.Machine_intf.fbinop) with
+      | F_add -> a.fconc +. b.fconc
+      | F_sub -> a.fconc -. b.fconc
+      | F_mul -> a.fconc *. b.fconc
+      | F_div -> a.fconc /. b.fconc
+      | F_times_two_power -> a.fconc *. (2.0 ** b.fconc)
+    in
+    let sop : Sym.fbinop =
+      match op with
+      | F_add -> F_add
+      | F_sub -> F_sub
+      | F_mul -> F_mul
+      | F_div -> F_div
+      | F_times_two_power -> F_times_two_power
+    in
+    { fconc = conc; fsym = Sym.F_binop (sop, a.fsym, b.fsym) }
+
+  let float_cmp t c a b =
+    record_bool t
+      (Sym.F_cmp (sym_cmp c, a.fsym, b.fsym))
+      (Eval_cmp.float c a.fconc b.fconc)
+
+  let float_cmp_value t c a b =
+    {
+      conc = Object_memory.bool_object t.om (Eval_cmp.float c a.fconc b.fconc);
+      sym = Sym.Bool_object_of (Sym.F_cmp (sym_cmp c, a.fsym, b.fsym));
+    }
+
+  let float_truncated (_ : t) f =
+    { nconc = int_of_float (Float.trunc f.fconc); nsym = Sym.Float_truncated f.fsym }
+
+  let float_rounded (_ : t) f =
+    { nconc = int_of_float (Float.round f.fconc); nsym = Sym.Float_rounded f.fsym }
+
+  let float_ceiling (_ : t) f =
+    { nconc = int_of_float (Float.ceil f.fconc); nsym = Sym.Float_ceiling f.fsym }
+
+  let float_floor (_ : t) f =
+    { nconc = int_of_float (Float.floor f.fconc); nsym = Sym.Float_floor f.fsym }
+
+  let float_fraction_part (_ : t) f =
+    {
+      fconc = f.fconc -. Float.trunc f.fconc;
+      fsym = Sym.Float_fraction_part f.fsym;
+    }
+
+  let float_exponent (_ : t) f =
+    {
+      nconc = (if f.fconc = 0.0 then 0 else snd (Float.frexp f.fconc) - 1);
+      nsym = Sym.Float_exponent f.fsym;
+    }
+
+  let float_is_nan t f =
+    record_bool t (Sym.F_is_nan f.fsym) (Float.is_nan f.fconc)
+
+  let float_is_infinite t f =
+    record_bool t (Sym.F_is_infinite f.fsym)
+      (Float.abs f.fconc = Float.infinity)
+
+  let float_bits32 (_ : t) f =
+    {
+      nconc = Int32.to_int (Int32.bits_of_float f.fconc) land 0xFFFFFFFF;
+      nsym = Sym.Float_bits32 f.fsym;
+    }
+
+  let float_of_bits32 (_ : t) n =
+    {
+      fconc = Int32.float_of_bits (Int32.of_int n.nconc);
+      fsym = Sym.Float_of_bits32 n.nsym;
+    }
+
+  let float_bits64_hi (_ : t) f =
+    {
+      nconc =
+        Int64.to_int (Int64.shift_right_logical (Int64.bits_of_float f.fconc) 32)
+        land 0xFFFFFFFF;
+      nsym = Sym.Float_bits64_hi f.fsym;
+    }
+
+  let float_bits64_lo (_ : t) f =
+    {
+      nconc = Int64.to_int (Int64.bits_of_float f.fconc) land 0xFFFFFFFF;
+      nsym = Sym.Float_bits64_lo f.fsym;
+    }
+
+  let float_of_bits64 (_ : t) ~hi ~lo =
+    {
+      fconc =
+        Int64.float_of_bits
+          (Int64.logor
+             (Int64.shift_left (Int64.of_int (hi.nconc land 0xFFFFFFFF)) 32)
+             (Int64.of_int (lo.nconc land 0xFFFFFFFF)));
+      fsym = Sym.Float_of_bits64 (hi.nsym, lo.nsym);
+    }
+
+  (* --- Classes and structure --- *)
+
+  let has_class t (v : sval) ~class_id =
+    record_bool t
+      (Sym.Has_class (v.sym, class_id))
+      (Object_memory.class_index_of t.om v.conc = class_id)
+
+  let class_object_of t (v : sval) =
+    { conc = Object_memory.class_object_of t.om v.conc; sym = Sym.Class_object_of v.sym }
+
+  let is_pointers_object t (v : sval) =
+    record_bool t (Sym.Is_pointers v.sym)
+      (Object_memory.is_pointers_object t.om v.conc)
+
+  let is_bytes_object t (v : sval) =
+    record_bool t (Sym.Is_bytes v.sym)
+      (Object_memory.is_bytes_object t.om v.conc)
+
+  let is_indexable t (v : sval) =
+    record_bool t (Sym.Is_indexable v.sym)
+      (Object_memory.is_indexable t.om v.conc)
+
+  let guard f =
+    try f ()
+    with Heap.Invalid_access _ -> raise Interpreter.Machine_intf.Invalid_memory_trap
+
+  let fixed_size_of t (v : sval) =
+    {
+      nconc = guard (fun () -> Object_memory.fixed_size_of t.om v.conc);
+      nsym = Sym.Fixed_size_of v.sym;
+    }
+
+  let indexable_size_of t (v : sval) =
+    {
+      nconc = guard (fun () -> Object_memory.indexable_size t.om v.conc);
+      nsym = Sym.Indexable_size_of v.sym;
+    }
+
+  let num_slots_of t (v : sval) =
+    {
+      nconc = guard (fun () -> Object_memory.num_slots t.om v.conc);
+      nsym = Sym.Num_slots_of v.sym;
+    }
+
+  let identity_hash_of t (v : sval) =
+    {
+      nconc = Object_memory.identity_hash t.om v.conc;
+      nsym = Sym.Identity_hash_of v.sym;
+    }
+
+  let oop_equal t (a : sval) (b : sval) =
+    record_bool t (Sym.Oop_eq (a.sym, b.sym)) (Value.equal a.conc b.conc)
+
+  let oop_equal_value t (a : sval) (b : sval) =
+    {
+      conc = Object_memory.bool_object t.om (Value.equal a.conc b.conc);
+      sym = Sym.Bool_object_of (Sym.Oop_eq (a.sym, b.sym));
+    }
+
+  let branch_on_boolean t (v : sval) =
+    let specials = Object_memory.specials t.om in
+    match Vm_objects.Special_objects.to_bool specials v.conc with
+    | Some b ->
+        (* when the boolean was just produced by a comparison, branch on
+           the underlying condition rather than on the wrapper object --
+           this is what lets negation explore the other arm *)
+        (match v.sym with
+        | Sym.Bool_object_of cond ->
+            record t (if b then cond else Sym.negate cond)
+        | _ ->
+            record t
+              (Sym.Has_class
+                 ( v.sym,
+                   if b then Class_table.true_id else Class_table.false_id )));
+        Some b
+    | None ->
+        record t (Sym.Not (Sym.Has_class (v.sym, Class_table.true_id)));
+        record t (Sym.Not (Sym.Has_class (v.sym, Class_table.false_id)));
+        None
+
+  (* --- Heap access ---
+
+     Bounds are validated with recorded constraints before the concrete
+     access, so negations materialise bigger objects (§3.4: invalid
+     memory accesses tell the engine that "subsequent executions need
+     more slots in an object"). *)
+
+  let slot_bounds_check t (v : sval) (i : snum) =
+    let ptr_ok = is_pointers_object t v in
+    if not ptr_ok then raise Interpreter.Machine_intf.Invalid_memory_trap;
+    let slots = num_slots_of t v in
+    let lo_ok =
+      record_bool t
+        (Sym.Cmp (Sym.Cge, i.nsym, Sym.Int_const 0))
+        (i.nconc >= 0)
+    in
+    let hi_ok =
+      record_bool t
+        (Sym.Cmp (Sym.Clt, i.nsym, slots.nsym))
+        (i.nconc < slots.nconc)
+    in
+    if not (lo_ok && hi_ok) then
+      raise Interpreter.Machine_intf.Invalid_memory_trap
+
+  let slot_at t (v : sval) (i : snum) =
+    slot_bounds_check t v i;
+    let conc = guard (fun () -> Object_memory.fetch_pointer t.om v.conc i.nconc) in
+    { conc; sym = Sym.Slot_at (v.sym, i.nsym) }
+
+  let slot_at_put t (v : sval) (i : snum) (x : sval) =
+    slot_bounds_check t v i;
+    guard (fun () -> Object_memory.store_pointer t.om v.conc i.nconc x.conc);
+    t.effects <- Slot_write { target = v.sym; index = i.nconc; stored = x.sym } :: t.effects
+
+  let byte_bounds_check t (v : sval) (i : snum) =
+    let bytes_ok = is_bytes_object t v in
+    if not bytes_ok then raise Interpreter.Machine_intf.Invalid_memory_trap;
+    let size = indexable_size_of t v in
+    let lo_ok =
+      record_bool t (Sym.Cmp (Sym.Cge, i.nsym, Sym.Int_const 0)) (i.nconc >= 0)
+    in
+    let hi_ok =
+      record_bool t
+        (Sym.Cmp (Sym.Clt, i.nsym, size.nsym))
+        (i.nconc < size.nconc)
+    in
+    if not (lo_ok && hi_ok) then
+      raise Interpreter.Machine_intf.Invalid_memory_trap
+
+  let byte_at t (v : sval) (i : snum) =
+    byte_bounds_check t v i;
+    let conc = guard (fun () -> Object_memory.fetch_byte t.om v.conc i.nconc) in
+    { nconc = conc; nsym = Sym.Byte_at (v.sym, i.nsym) }
+
+  let byte_at_put t (v : sval) (i : snum) (x : snum) =
+    byte_bounds_check t v i;
+    guard (fun () -> Object_memory.store_byte t.om v.conc i.nconc x.nconc);
+    t.effects <-
+      Byte_write { target = v.sym; index = i.nconc; stored = x.nsym } :: t.effects
+
+  (* --- Allocation --- *)
+
+  let instantiate t ~class_id ~size =
+    register_alloc t
+      (Object_memory.instantiate_class t.om ~class_id ~indexable_size:size.nconc)
+      (Sym.Fresh_object { class_id; size = size.nsym })
+
+  let make_point t (x : sval) (y : sval) =
+    let p =
+      Object_memory.instantiate_class t.om ~class_id:Class_table.point_id
+        ~indexable_size:0
+    in
+    Object_memory.store_pointer t.om p 0 x.conc;
+    Object_memory.store_pointer t.om p 1 y.conc;
+    register_alloc t p (Sym.Point_of (x.sym, y.sym))
+
+  let char_object_of t (n : snum) =
+    let c =
+      Object_memory.instantiate_class t.om ~class_id:Class_table.character_id
+        ~indexable_size:0
+    in
+    Object_memory.store_pointer t.om c 0 (Value.of_small_int n.nconc);
+    register_alloc t c (Sym.Char_object_of n.nsym)
+
+  let char_value_of t (v : sval) =
+    {
+      nconc =
+        guard (fun () ->
+            Value.small_int_value (Object_memory.fetch_pointer t.om v.conc 0));
+      nsym = Sym.Char_value_of v.sym;
+    }
+
+  let shallow_copy t (v : sval) =
+    register_alloc t
+      (guard (fun () -> Object_memory.shallow_copy t.om v.conc))
+      (Sym.Shallow_copy_of v.sym)
+
+  (* --- Method access --- *)
+
+  let compiled_method t = t.meth
+
+  let is_class_object t (v : sval) =
+    record_bool t
+      (Sym.Has_class (v.sym, Class_table.class_class_id))
+      (Object_memory.is_class_object t.om v.conc)
+
+  let class_value_is_indexable t (v : sval) =
+    let described = Object_memory.class_id_described_by t.om v.conc in
+    let desc =
+      Class_table.lookup_exn (Object_memory.class_table t.om) described
+    in
+    record_bool t
+      (Sym.Describes_indexable_class v.sym)
+      (Class_desc.is_variable desc)
+
+  let instantiate_from_class_value t (v : sval) ~size =
+    let described = Object_memory.class_id_described_by t.om v.conc in
+    register_alloc t
+      (Object_memory.instantiate_class t.om ~class_id:described
+         ~indexable_size:size.nconc)
+      (Sym.Fresh_object { class_id = described; size = size.nsym })
+end
+
+module Interpreter_shadow = Interpreter.Interp.Make (M)
+module Native_shadow = Interpreter.Primitives.Make (M)
+
+(* Capture the method return value symbolically when the interpreter exits
+   with a return. *)
+let note_return t (o : Interpreter_shadow.outcome) =
+  (match o with
+  | Interpreter_shadow.Exit_return v -> t.return_sym <- Some v.sym
+  | _ -> ());
+  o

@@ -1,0 +1,1 @@
+lib/core/campaign.pp.ml: Bytecodes Concolic Difftest Hashtbl Interpreter Jit List Option Unix

@@ -1,0 +1,1 @@
+lib/core/campaign.pp.mli: Concolic Difftest Interpreter Jit

@@ -1,0 +1,1 @@
+lib/core/tables.pp.ml: Bytecodes Campaign Concolic Difftest Format Interpreter Jit List String Symbolic

@@ -1,0 +1,1 @@
+lib/core/tables.pp.mli: Campaign Format

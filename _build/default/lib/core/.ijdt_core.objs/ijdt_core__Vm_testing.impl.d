@@ -1,0 +1,1 @@
+lib/core/vm_testing.pp.ml: Bytecodes Campaign Concolic Difftest Format Interpreter Jit List Option Tables

@@ -1,0 +1,1 @@
+lib/core/vm_testing.pp.mli: Bytecodes Campaign Concolic Difftest Format Interpreter Jit

@@ -1,0 +1,165 @@
+(* Campaign orchestration: the paper's evaluation pipeline (§5).
+
+   A campaign explores every instruction of a compiler's test universe
+   with the concolic engine, then runs the differential tests on each
+   curated path, on one or both ISAs, and aggregates per-instruction and
+   per-compiler statistics — the data behind Table 2, Table 3 and
+   Figures 5-7. *)
+
+type instruction_result = {
+  subject : Concolic.Path.subject;
+  paths : int; (* interpreter paths discovered *)
+  curated : int; (* paths the tester could re-create and execute *)
+  differences : int; (* paths that differ between engines *)
+  unsupported : bool;
+  explore_time : float; (* seconds of concolic exploration *)
+  test_time : float; (* seconds running the generated tests *)
+  diffs : Difftest.Difference.t list;
+}
+
+type compiler_result = {
+  compiler : Jit.Cogits.compiler;
+  instructions : instruction_result list;
+}
+
+type t = {
+  defects : Interpreter.Defects.t;
+  arches : Jit.Codegen.arch list;
+  results : compiler_result list;
+}
+
+(* The test universes (§5.1): the native-method compiler is tested on the
+   112 native methods; the three byte-code compilers on the byte-code
+   set, minus the instructions the tester does not support (§4.3). *)
+let native_subjects () =
+  List.map (fun id -> Concolic.Path.Native id) Interpreter.Primitive_table.ids
+
+let bytecode_subjects () =
+  Bytecodes.Encoding.all_defined_opcodes ()
+  |> List.filter (fun op -> op <> Bytecodes.Opcode.Push_this_context)
+  |> List.map (fun op -> Concolic.Path.Bytecode op)
+
+let subjects_for = function
+  | Jit.Cogits.Native_method_compiler -> native_subjects ()
+  | _ -> bytecode_subjects ()
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* Explore one instruction and run its differential tests against one
+   compiler on the given architectures.  A path counts as ONE difference
+   if it differs on any architecture (the paper's per-path counting). *)
+let test_instruction ?(max_iterations = 96) ~defects ~arches ~compiler subject
+    : instruction_result =
+  let exploration, explore_time =
+    time (fun () -> Concolic.Explorer.explore ~max_iterations ~defects subject)
+  in
+  if exploration.unsupported then
+    {
+      subject;
+      paths = 0;
+      curated = 0;
+      differences = 0;
+      unsupported = true;
+      explore_time;
+      test_time = 0.0;
+      diffs = [];
+    }
+  else begin
+    let results, test_time =
+      time (fun () ->
+          List.map
+            (fun path ->
+              let outcomes =
+                List.map
+                  (fun arch -> Difftest.Runner.run_path ~defects ~compiler ~arch path)
+                  arches
+              in
+              (path, outcomes))
+            exploration.paths)
+    in
+    let curated =
+      List.length
+        (List.filter
+           (fun (_, outcomes) ->
+             List.for_all
+               (function Difftest.Runner.Curated_out _ -> false | _ -> true)
+               outcomes)
+           results)
+    in
+    let diffs =
+      List.filter_map
+        (fun (_, outcomes) ->
+          List.find_map
+            (function Difftest.Runner.Diff d -> Some d | _ -> None)
+            outcomes)
+        results
+    in
+    {
+      subject;
+      paths = List.length exploration.paths;
+      curated;
+      differences = List.length diffs;
+      unsupported = false;
+      explore_time;
+      test_time;
+      diffs;
+    }
+  end
+
+let run_compiler ?(max_iterations = 96) ~defects ~arches compiler :
+    compiler_result =
+  let instructions =
+    List.map
+      (fun subject -> test_instruction ~max_iterations ~defects ~arches ~compiler subject)
+      (subjects_for compiler)
+  in
+  { compiler; instructions }
+
+let run ?(max_iterations = 96) ?(defects = Interpreter.Defects.paper)
+    ?(arches = Jit.Codegen.all_arches)
+    ?(compilers = Jit.Cogits.all) () : t =
+  {
+    defects;
+    arches;
+    results = List.map (run_compiler ~max_iterations ~defects ~arches) compilers;
+  }
+
+(* --- aggregations --- *)
+
+let tested_instructions cr =
+  List.length (List.filter (fun r -> not r.unsupported) cr.instructions)
+
+let total_paths cr =
+  List.fold_left (fun acc r -> acc + r.paths) 0 cr.instructions
+
+let total_curated cr =
+  List.fold_left (fun acc r -> acc + r.curated) 0 cr.instructions
+
+let total_differences cr =
+  List.fold_left (fun acc r -> acc + r.differences) 0 cr.instructions
+
+let all_diffs t =
+  List.concat_map (fun cr -> List.concat_map (fun r -> r.diffs) cr.instructions) t.results
+
+(* Root causes, counted once per cause (paper §5.3). *)
+let causes t =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (d : Difftest.Difference.t) ->
+      let key = (d.family, d.cause) in
+      Hashtbl.replace tbl key (1 + Option.value (Hashtbl.find_opt tbl key) ~default:0))
+    (all_diffs t);
+  Hashtbl.fold (fun (family, cause) n acc -> (family, cause, n) :: acc) tbl []
+  |> List.sort compare
+
+let causes_by_family t =
+  List.map
+    (fun family ->
+      let n =
+        List.length (List.filter (fun (f, _, _) -> f = family) (causes t))
+      in
+      (family, n))
+    Difftest.Difference.all_families

@@ -1,0 +1,80 @@
+(** Campaign orchestration: the paper's evaluation pipeline (§5).
+
+    A campaign explores every instruction of each compiler's test
+    universe with the concolic engine, runs the differential tests on
+    each curated path across the requested ISAs, and aggregates the
+    per-instruction and per-compiler statistics behind Table 2, Table 3
+    and Figures 5-7. *)
+
+type instruction_result = {
+  subject : Concolic.Path.subject;
+  paths : int;  (** interpreter paths discovered *)
+  curated : int;  (** paths the tester could re-create and execute *)
+  differences : int;  (** paths differing between engines *)
+  unsupported : bool;
+  explore_time : float;  (** seconds of concolic exploration (Fig. 6) *)
+  test_time : float;  (** seconds running the generated tests (Fig. 7) *)
+  diffs : Difftest.Difference.t list;
+}
+
+type compiler_result = {
+  compiler : Jit.Cogits.compiler;
+  instructions : instruction_result list;
+}
+
+type t = {
+  defects : Interpreter.Defects.t;
+  arches : Jit.Codegen.arch list;
+  results : compiler_result list;
+}
+
+val native_subjects : unit -> Concolic.Path.subject list
+(** The 112 native methods (§5.1 experiment 1). *)
+
+val bytecode_subjects : unit -> Concolic.Path.subject list
+(** The byte-code set minus the instructions the tester does not support
+    (§4.3). *)
+
+val subjects_for : Jit.Cogits.compiler -> Concolic.Path.subject list
+
+val test_instruction :
+  ?max_iterations:int ->
+  defects:Interpreter.Defects.t ->
+  arches:Jit.Codegen.arch list ->
+  compiler:Jit.Cogits.compiler ->
+  Concolic.Path.subject ->
+  instruction_result
+(** Explore one instruction and differential-test all its paths.  A path
+    counts as one difference if it differs on any architecture. *)
+
+val run_compiler :
+  ?max_iterations:int ->
+  defects:Interpreter.Defects.t ->
+  arches:Jit.Codegen.arch list ->
+  Jit.Cogits.compiler ->
+  compiler_result
+
+val run :
+  ?max_iterations:int ->
+  ?defects:Interpreter.Defects.t ->
+  ?arches:Jit.Codegen.arch list ->
+  ?compilers:Jit.Cogits.compiler list ->
+  unit ->
+  t
+(** The full evaluation (defaults: paper defects, both ISAs, all four
+    compilers). *)
+
+(** {1 Aggregations} *)
+
+val tested_instructions : compiler_result -> int
+val total_paths : compiler_result -> int
+val total_curated : compiler_result -> int
+val total_differences : compiler_result -> int
+val all_diffs : t -> Difftest.Difference.t list
+
+val causes : t -> (Difftest.Difference.family * string * int) list
+(** Root causes with the number of affected paths, counted once per
+    cause (paper §5.3), sorted. *)
+
+val causes_by_family : t -> (Difftest.Difference.family * int) list
+(** Table 3: cause counts per defect family. *)

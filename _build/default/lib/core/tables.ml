@@ -1,0 +1,219 @@
+(* Rendering of the paper's tables and figures from campaign data.
+
+   - Table 1: concolic execution paths of the add byte-code;
+   - Table 2: per-compiler tested instructions / paths / curated /
+     differences;
+   - Table 3: defect-family summary (root causes, counted once);
+   - Figure 5: paths per instruction, grouped by instruction kind;
+   - Figure 6: concolic exploration time per instruction kind;
+   - Figure 7: test execution time per compiler. *)
+
+let fprintf = Format.fprintf
+
+(* --- Table 1: example paths of the add byte-code --- *)
+
+let table1 ppf () =
+  let r =
+    Concolic.Explorer.explore
+      (Concolic.Path.Bytecode (Bytecodes.Opcode.Arith_special Bytecodes.Opcode.Sel_add))
+  in
+  fprintf ppf "Table 1: concolic execution paths of the add byte-code@.";
+  fprintf ppf "%-18s | %-50s@." "exit" "path";
+  fprintf ppf "%s@." (String.make 100 '-');
+  List.iter
+    (fun (p : Concolic.Path.t) ->
+      fprintf ppf "%-18s | %s@."
+        (Interpreter.Exit_condition.to_string p.exit_)
+        (Symbolic.Path_condition.to_string p.path_condition))
+    r.paths
+
+(* --- Table 2 --- *)
+
+type table2_row = {
+  compiler : string;
+  tested : int;
+  paths : int;
+  curated : int;
+  differences : int;
+}
+
+let table2_rows (c : Campaign.t) : table2_row list =
+  let rows =
+    List.map
+      (fun cr ->
+        {
+          compiler = Jit.Cogits.name cr.Campaign.compiler;
+          tested = Campaign.tested_instructions cr;
+          paths = Campaign.total_paths cr;
+          curated = Campaign.total_curated cr;
+          differences = Campaign.total_differences cr;
+        })
+      c.Campaign.results
+  in
+  let total =
+    {
+      compiler = "Total";
+      tested = List.fold_left (fun a r -> a + r.tested) 0 rows;
+      paths = List.fold_left (fun a r -> a + r.paths) 0 rows;
+      curated = List.fold_left (fun a r -> a + r.curated) 0 rows;
+      differences = List.fold_left (fun a r -> a + r.differences) 0 rows;
+    }
+  in
+  rows @ [ total ]
+
+let table2 ppf (c : Campaign.t) =
+  fprintf ppf
+    "Table 2: results running the approach on the four compilers@.";
+  fprintf ppf "%-36s %8s %8s %9s %14s@." "Compiler" "#Instr" "#Paths"
+    "#Curated" "#Differences";
+  fprintf ppf "%s@." (String.make 80 '-');
+  List.iter
+    (fun r ->
+      let pct =
+        if r.curated = 0 then 0.0
+        else 100.0 *. float_of_int r.differences /. float_of_int r.curated
+      in
+      fprintf ppf "%-36s %8d %8d %9d %8d (%.2f%%)@." r.compiler r.tested
+        r.paths r.curated r.differences pct)
+    (table2_rows c)
+
+(* --- Table 3 --- *)
+
+let table3 ppf (c : Campaign.t) =
+  fprintf ppf "Table 3: summary of found defects (root causes)@.";
+  fprintf ppf "%-36s %8s@." "Family" "#Cases";
+  fprintf ppf "%s@." (String.make 46 '-');
+  let by_family = Campaign.causes_by_family c in
+  List.iter
+    (fun (f, n) ->
+      fprintf ppf "%-36s %8d@." (Difftest.Difference.family_name f) n)
+    by_family;
+  fprintf ppf "%-36s %8d@." "Total"
+    (List.fold_left (fun a (_, n) -> a + n) 0 by_family)
+
+let causes ppf (c : Campaign.t) =
+  fprintf ppf "Root causes (defects counted once, with affected paths):@.";
+  List.iter
+    (fun (f, cause, paths) ->
+      fprintf ppf "  [%-32s] %-55s %3d paths@."
+        (Difftest.Difference.family_name f)
+        cause paths)
+    (Campaign.causes c)
+
+(* --- Figures: simple statistics over per-instruction series --- *)
+
+type stats = { n : int; mean : float; median : float; min : float; max : float }
+
+let stats_of = function
+  | [] -> { n = 0; mean = 0.; median = 0.; min = 0.; max = 0. }
+  | xs ->
+      let sorted = List.sort compare xs in
+      let n = List.length xs in
+      let sum = List.fold_left ( +. ) 0.0 xs in
+      {
+        n;
+        mean = sum /. float_of_int n;
+        median = List.nth sorted (n / 2);
+        min = List.hd sorted;
+        max = List.nth sorted (n - 1);
+      }
+
+let pp_stats ppf ~unit s =
+  fprintf ppf "n=%d mean=%.3f%s median=%.3f%s min=%.3f%s max=%.3f%s" s.n
+    s.mean unit s.median unit s.min unit s.max unit
+
+let instruction_results_of_kind (c : Campaign.t) ~native =
+  List.concat_map
+    (fun cr ->
+      if (cr.Campaign.compiler = Jit.Cogits.Native_method_compiler) = native
+      then List.filter (fun r -> not r.Campaign.unsupported) cr.instructions
+      else [])
+    c.Campaign.results
+
+(* Figure 5: paths per instruction, byte-codes vs native methods. *)
+let figure5 ppf (c : Campaign.t) =
+  fprintf ppf "Figure 5: paths per instruction (log-scale distribution)@.";
+  let series ~native =
+    (* byte-code instructions are triplicated across the three compilers;
+       take one compiler's view *)
+    let rs =
+      if native then instruction_results_of_kind c ~native:true
+      else
+        match
+          List.find_opt
+            (fun cr -> cr.Campaign.compiler = Jit.Cogits.Simple_stack_cogit)
+            c.Campaign.results
+        with
+        | Some cr ->
+            List.filter (fun r -> not r.Campaign.unsupported) cr.instructions
+        | None -> []
+    in
+    List.map (fun r -> float_of_int r.Campaign.paths) rs
+  in
+  fprintf ppf "  Bytecode:      %a@." (fun ppf -> pp_stats ppf ~unit:"") (stats_of (series ~native:false));
+  fprintf ppf "  Native Method: %a@." (fun ppf -> pp_stats ppf ~unit:"") (stats_of (series ~native:true))
+
+(* Figure 6: concolic exploration time per instruction kind. *)
+let figure6 ppf (c : Campaign.t) =
+  fprintf ppf "Figure 6: concolic execution time per kind of instruction@.";
+  let series rs = List.map (fun r -> 1000.0 *. r.Campaign.explore_time) rs in
+  let bc =
+    match
+      List.find_opt
+        (fun cr -> cr.Campaign.compiler = Jit.Cogits.Simple_stack_cogit)
+        c.Campaign.results
+    with
+    | Some cr -> List.filter (fun r -> not r.Campaign.unsupported) cr.instructions
+    | None -> []
+  in
+  let nm = instruction_results_of_kind c ~native:true in
+  fprintf ppf "  Bytecode:      %a@."
+    (fun ppf -> pp_stats ppf ~unit:"ms")
+    (stats_of (series bc));
+  fprintf ppf "  Native Method: %a@."
+    (fun ppf -> pp_stats ppf ~unit:"ms")
+    (stats_of (series nm));
+  let total rs = List.fold_left (fun a r -> a +. r.Campaign.explore_time) 0.0 rs in
+  fprintf ppf "  Totals: bytecode %.2fs, native methods %.2fs@." (total bc)
+    (total nm)
+
+(* Figure 7: test execution time per compiler. *)
+let figure7 ppf (c : Campaign.t) =
+  fprintf ppf "Figure 7: test execution time per compiler@.";
+  List.iter
+    (fun cr ->
+      let rs = List.filter (fun r -> not r.Campaign.unsupported) cr.Campaign.instructions in
+      let series = List.map (fun r -> 1000.0 *. r.Campaign.test_time) rs in
+      let total = List.fold_left (fun a r -> a +. r.Campaign.test_time) 0.0 rs in
+      fprintf ppf "  %-36s %a (total %.2fs)@."
+        (Jit.Cogits.name cr.Campaign.compiler)
+        (fun ppf -> pp_stats ppf ~unit:"ms")
+        (stats_of series) total)
+    c.Campaign.results
+
+let headline ppf (c : Campaign.t) =
+  let tests =
+    List.fold_left (fun a cr -> a + Campaign.total_curated cr) 0 c.Campaign.results
+  in
+  let diffs =
+    List.fold_left (fun a cr -> a + Campaign.total_differences cr) 0 c.Campaign.results
+  in
+  let causes = List.length (Campaign.causes c) in
+  fprintf ppf
+    "Headline: generated %d differential tests, found %d differences from %d causes.@."
+    tests diffs causes
+
+let all ppf (c : Campaign.t) =
+  table2 ppf c;
+  fprintf ppf "@.";
+  table3 ppf c;
+  fprintf ppf "@.";
+  causes ppf c;
+  fprintf ppf "@.";
+  figure5 ppf c;
+  fprintf ppf "@.";
+  figure6 ppf c;
+  fprintf ppf "@.";
+  figure7 ppf c;
+  fprintf ppf "@.";
+  headline ppf c

@@ -1,0 +1,46 @@
+(** Rendering of the paper's tables and figures from campaign data:
+    Table 1 (add byte-code paths), Table 2 (per-compiler results),
+    Table 3 (defect families), and the statistics behind Figures 5-7. *)
+
+val table1 : Format.formatter -> unit -> unit
+(** Explore the add byte-code and print its paths (Table 1). *)
+
+type table2_row = {
+  compiler : string;
+  tested : int;
+  paths : int;
+  curated : int;
+  differences : int;
+}
+
+val table2_rows : Campaign.t -> table2_row list
+(** The data rows (including the total row), for programmatic use. *)
+
+val table2 : Format.formatter -> Campaign.t -> unit
+val table3 : Format.formatter -> Campaign.t -> unit
+val causes : Format.formatter -> Campaign.t -> unit
+(** The full root-cause listing with affected-path counts. *)
+
+type stats = {
+  n : int;
+  mean : float;
+  median : float;
+  min : float;
+  max : float;
+}
+
+val stats_of : float list -> stats
+
+val figure5 : Format.formatter -> Campaign.t -> unit
+(** Paths per instruction, byte-codes vs native methods. *)
+
+val figure6 : Format.formatter -> Campaign.t -> unit
+(** Concolic exploration time per instruction kind. *)
+
+val figure7 : Format.formatter -> Campaign.t -> unit
+(** Test execution time per compiler. *)
+
+val headline : Format.formatter -> Campaign.t -> unit
+(** The §5 headline: tests generated / differences / causes. *)
+
+val all : Format.formatter -> Campaign.t -> unit

@@ -1,0 +1,70 @@
+(** The public facade of the interpreter-guided differential testing
+    library.
+
+    {[
+      (* explore one instruction's interpreter paths (§2.3) *)
+      let exploration = Vm_testing.explore (`Bytecode add) in
+
+      (* differential-test it against one compiler (§2.4) *)
+      let report =
+        Vm_testing.test_instruction ~compiler:`Stack_to_register
+          (`Bytecode add)
+      in
+
+      (* or run the paper's full evaluation (§5) *)
+      let campaign = Vm_testing.campaign () in
+      Vm_testing.print_tables campaign
+    ]} *)
+
+type subject =
+  [ `Bytecode of Bytecodes.Opcode.t | `Native of int (* primitive id *) ]
+
+type compiler =
+  [ `Native_methods | `Simple | `Stack_to_register | `Register_allocating ]
+
+type arch = [ `X86 | `Arm32 ]
+
+val to_path_subject : subject -> Concolic.Path.subject
+val to_cogit : compiler -> Jit.Cogits.compiler
+val to_arch : arch -> Jit.Codegen.arch
+
+val explore :
+  ?max_iterations:int ->
+  ?defects:Interpreter.Defects.t ->
+  subject ->
+  Concolic.Explorer.result
+(** Concolically explore every execution path of one instruction. *)
+
+val test_instruction :
+  ?max_iterations:int ->
+  ?defects:Interpreter.Defects.t ->
+  ?arches:arch list ->
+  compiler:compiler ->
+  subject ->
+  Campaign.instruction_result
+(** Explore and differential-test one instruction against one compiler
+    (default: paper defects, both ISAs). *)
+
+val run_path :
+  ?defects:Interpreter.Defects.t ->
+  compiler:compiler ->
+  arch:arch ->
+  Concolic.Path.t ->
+  Difftest.Runner.outcome
+(** Differential-test a single already-explored path. *)
+
+val campaign :
+  ?max_iterations:int ->
+  ?defects:Interpreter.Defects.t ->
+  ?arches:arch list ->
+  ?compilers:compiler list ->
+  unit ->
+  Campaign.t
+(** The full evaluation of §5 (4 compilers × 2 ISAs by default). *)
+
+val print_tables : ?ppf:Format.formatter -> Campaign.t -> unit
+(** Render Tables 2-3 and Figures 5-7 plus the cause listing. *)
+
+val all_bytecode_subjects : unit -> subject list
+val all_native_subjects : unit -> subject list
+val subject_name : subject -> string

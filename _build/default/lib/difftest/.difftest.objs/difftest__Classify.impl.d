@@ -1,0 +1,1 @@
+lib/difftest/classify.pp.ml: Bytecodes Concolic Difference Interpreter Jit List Machine Option Printf String Symbolic

@@ -1,0 +1,1 @@
+lib/difftest/classify.pp.mli: Concolic Difference Interpreter Jit

@@ -1,0 +1,1 @@
+lib/difftest/concrete_eval.pp.ml: Class_table Float Fmt Hashtbl Heap Int32 Int64 List Obj Object_memory Printf Solver Symbolic Value Vm_objects

@@ -1,0 +1,1 @@
+lib/difftest/concrete_eval.pp.mli: Fmt Symbolic Vm_objects

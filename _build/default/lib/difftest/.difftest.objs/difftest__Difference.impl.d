@@ -1,0 +1,1 @@
+lib/difftest/difference.pp.ml: Concolic Interpreter Jit Machine Ppx_deriving_runtime Printf

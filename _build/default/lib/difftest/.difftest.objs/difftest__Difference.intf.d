@@ -1,0 +1,1 @@
+lib/difftest/difference.pp.mli: Concolic Format Interpreter Jit Machine

@@ -1,0 +1,1 @@
+lib/difftest/runner.pp.ml: Array Bytecodes Classify Concolic Concrete_eval Difference Interpreter Jit List Machine Printf Solver Symbolic Vm_objects

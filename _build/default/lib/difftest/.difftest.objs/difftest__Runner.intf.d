@@ -1,0 +1,1 @@
+lib/difftest/runner.pp.mli: Concolic Difference Interpreter Jit

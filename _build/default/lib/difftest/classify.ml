@@ -1,0 +1,133 @@
+(* Defect identification (§5.3): map each observed difference to a root
+   cause.  The paper counts "a defect only once regardless of how many
+   execution paths it led to a failure", so causes are stable string
+   identifiers; reports aggregate paths per cause. *)
+
+open Difference
+module Op = Bytecodes.Opcode
+
+let float_prims_missing_receiver_check =
+  [ 41; 42; 43; 44; 45; 46; 47; 48; 49; 50; 51; 52; 55 ]
+
+let rec classify ~(compiler : Jit.Cogits.compiler)
+    ~(subject : Concolic.Path.subject)
+    ~(exit_ : Interpreter.Exit_condition.t) ~(observed : observed) :
+    family * string =
+  match (observed, subject) with
+  | _, Concolic.Path.Bytecode_seq ops -> (
+      (* sequence testing: attribute the difference to the responsible
+         instruction, identified by the send selector that one engine
+         took and the other did not *)
+      let responsible_selector =
+        match (exit_, observed) with
+        | Interpreter.Exit_condition.Message_send { selector; _ }, _ ->
+            Some selector
+        | _, O_send info -> Some info.Machine.Machine_code.selector
+        | _ -> None
+      in
+      let as_opcode = function
+        | Interpreter.Exit_condition.Special sel -> Some (Op.Arith_special sel)
+        | Interpreter.Exit_condition.Common sel -> Some (Op.Common_special sel)
+        | _ -> None
+      in
+      match Option.bind responsible_selector as_opcode with
+      | Some op ->
+          classify ~compiler ~subject:(Concolic.Path.Bytecode op) ~exit_
+            ~observed
+      | None ->
+          ( Optimisation_difference,
+            Printf.sprintf "sequence-difference-%s"
+              (String.concat ";" (List.map Op.mnemonic ops)) ))
+  | O_not_compiled _, Concolic.Path.Native id ->
+      ( Missing_functionality,
+        Printf.sprintf "missing-template-%s" (Interpreter.Primitive_table.name id) )
+  | O_not_compiled msg, Concolic.Path.Bytecode op ->
+      ( Missing_functionality,
+        Printf.sprintf "missing-bytecode-support-%s(%s)" (Op.mnemonic op) msg )
+  | O_simulation_error msg, _ -> (Simulation_error, msg)
+  | _, Concolic.Path.Native 40 when exit_ = Interpreter.Exit_condition.Success
+    ->
+      (* the interpreter succeeded where the (correct) compiled version
+         failed: the receiver check is missing in the interpreter *)
+      ( Missing_interpreter_type_check,
+        "primAsFloat-receiver-check-compiled-away" )
+  | _, Concolic.Path.Native id
+    when List.mem id float_prims_missing_receiver_check
+         && exit_ = Interpreter.Exit_condition.Failure ->
+      (* the interpreter failed its receiver check; the compiled template
+         unboxed blindly (usually a segfault) *)
+      ( Missing_compiled_type_check,
+        Printf.sprintf "%s-missing-compiled-receiver-check"
+          (Interpreter.Primitive_table.name id) )
+  | _, Concolic.Path.Native (14 | 15 | 16) ->
+      (Behavioural_difference, "template-bitwise-unsigned-operands")
+  | _, Concolic.Path.Native 17 ->
+      (Behavioural_difference, "template-bitshift-negative-distance")
+  | _, Concolic.Path.Bytecode (Op.Arith_special sel) -> (
+      let prefix = Jit.Cogits.short_name compiler in
+      match sel with
+      | Op.Sel_bit_and ->
+          if compiler = Jit.Cogits.Simple_stack_cogit then
+            (Optimisation_difference, "simple-no-bitwise-type-prediction")
+          else (Behavioural_difference, "bc-bitand-unsigned-operands")
+      | Op.Sel_bit_or ->
+          if compiler = Jit.Cogits.Simple_stack_cogit then
+            (Optimisation_difference, "simple-no-bitwise-type-prediction")
+          else (Behavioural_difference, "bc-bitor-unsigned-operands")
+      | Op.Sel_bit_shift ->
+          if compiler = Jit.Cogits.Simple_stack_cogit then
+            (Optimisation_difference, "simple-no-bitwise-type-prediction")
+          else (Behavioural_difference, "bc-bitshift-negative-distance")
+      | Op.Sel_add | Op.Sel_sub ->
+          if compiler = Jit.Cogits.Simple_stack_cogit then
+            (* on an integer path the compiled send is a missing integer
+               prediction; on a float path a missing float prediction —
+               Simple inlines neither, so tell them apart by what the
+               interpreter managed to inline (it succeeded either way) *)
+            (Optimisation_difference, "simple-no-int-addsub-prediction")
+          else (Optimisation_difference, prefix ^ "-no-float-arith-prediction")
+      | Op.Sel_mul | Op.Sel_int_div | Op.Sel_mod ->
+          if compiler = Jit.Cogits.Simple_stack_cogit then
+            (Optimisation_difference, "simple-no-int-muldiv-prediction")
+          else (Optimisation_difference, prefix ^ "-no-float-arith-prediction")
+      | Op.Sel_divide ->
+          (* [/] has a float fast path only; its missing prediction falls
+             under the mul/div family for the Simple compiler *)
+          if compiler = Jit.Cogits.Simple_stack_cogit then
+            (Optimisation_difference, "simple-no-float-muldiv-prediction")
+          else (Optimisation_difference, prefix ^ "-no-float-arith-prediction")
+      | Op.Sel_lt | Op.Sel_gt | Op.Sel_le | Op.Sel_ge | Op.Sel_eq | Op.Sel_ne
+        ->
+          (Optimisation_difference, "simple-no-int-compare-prediction")
+      | Op.Sel_make_point ->
+          (Optimisation_difference, prefix ^ "-make-point-difference"))
+  | _, Concolic.Path.Bytecode (Op.Common_special Op.Sel_bit_xor) ->
+      ( Optimisation_difference,
+        Jit.Cogits.short_name compiler ^ "-bitxor-inlined-not-in-interpreter" )
+  | _, Concolic.Path.Native id ->
+      ( Missing_functionality,
+        Printf.sprintf "unclassified-native-%s"
+          (Interpreter.Primitive_table.name id) )
+  | _, Concolic.Path.Bytecode op ->
+      ( Optimisation_difference,
+        Printf.sprintf "unclassified-bytecode-%s" (Op.mnemonic op) )
+
+(* Seed-aware disambiguation for add/sub/mul on the Simple compiler: the
+   interpreter inlines both integer and float arithmetic, so a
+   Simple-compiler difference on an integer path and one on a float path
+   have different root causes.  The path condition tells them apart. *)
+let refine_simple_arith ~(path : Concolic.Path.t) (family, cause) =
+  let is_float_path =
+    List.exists
+      (fun c ->
+        match (c : Symbolic.Path_condition.clause).cond with
+        | Symbolic.Sym_expr.Is_float_object _ -> true
+        | _ -> false)
+      path.Concolic.Path.path_condition
+  in
+  match cause with
+  | "simple-no-int-addsub-prediction" when is_float_path ->
+      (family, "simple-no-float-addsub-prediction")
+  | "simple-no-int-muldiv-prediction" when is_float_path ->
+      (family, "simple-no-float-muldiv-prediction")
+  | _ -> (family, cause)

@@ -1,0 +1,26 @@
+(** Defect identification (§5.3): map each observed difference to a root
+    cause.  The paper counts "a defect only once regardless of how many
+    execution paths it led to a failure"; causes are stable string
+    identifiers and reports aggregate paths per cause. *)
+
+val float_prims_missing_receiver_check : int list
+(** The 13 float native methods whose compiled templates skip the
+    receiver type check (the Missing-compiled-type-check seeds). *)
+
+val classify :
+  compiler:Jit.Cogits.compiler ->
+  subject:Concolic.Path.subject ->
+  exit_:Interpreter.Exit_condition.t ->
+  observed:Difference.observed ->
+  Difference.family * string
+(** The defect family and root-cause id of a difference.  Sequence
+    subjects are attributed to the responsible instruction (identified by
+    the send selector one engine took and the other did not). *)
+
+val refine_simple_arith :
+  path:Concolic.Path.t ->
+  Difference.family * string ->
+  Difference.family * string
+(** Disambiguate the Simple compiler's integer- vs float-prediction
+    causes using the path condition (a float path mentions
+    [Is_float_object]). *)

@@ -1,0 +1,238 @@
+(* Output-constraint evaluation (§2.2 step 4).
+
+   The differential oracle validates the compiled execution against the
+   *output constraints* recorded during the concolic run.  Given the
+   concrete bindings of the input terms (from the deterministic
+   re-materialisation) and the machine-side object memory, this module
+   evaluates a symbolic output expression to an *expected value*: either
+   an exact oop, or a structural description of an object the compiled
+   code must have allocated (boxed float, point, character, fresh
+   instance, shallow copy). *)
+
+open Vm_objects
+module Sym = Symbolic.Sym_expr
+
+type expected =
+  | Exact of Value.t
+  | Boxed_float of float
+  | Char_obj of int
+  | Point_obj of expected * expected
+  | Fresh_obj of { class_id : int; indexable : int }
+  | Copy_of of Value.t
+
+exception Unevaluable of string
+
+type env = { om : Object_memory.t; bindings : (Sym.t, Value.t) Hashtbl.t }
+
+let create ~om ~bindings =
+  let tbl = Hashtbl.create 32 in
+  List.iter (fun (k, v) -> Hashtbl.replace tbl k v) bindings;
+  { om; bindings = tbl }
+
+let give_up fmt = Printf.ksprintf (fun m -> raise (Unevaluable m)) fmt
+
+let rec eval_oop env (e : Sym.t) : expected =
+  match Hashtbl.find_opt env.bindings e with
+  | Some v -> Exact v
+  | None -> (
+      match e with
+      | Var _ -> give_up "unbound input variable %s" (Sym.to_string e)
+      | Oop_const v -> Exact v
+      | Integer_object_of n -> Exact (Value.of_small_int (eval_int env n))
+      | Bool_object_of b ->
+          Exact (Object_memory.bool_object env.om (eval_bool env b))
+      | Float_object_of f -> Boxed_float (eval_float env f)
+      | Char_object_of n -> Char_obj (eval_int env n)
+      | Point_of (a, b) -> Point_obj (eval_oop env a, eval_oop env b)
+      | Fresh_object { class_id; size } ->
+          Fresh_obj { class_id; indexable = eval_int env size }
+      | Shallow_copy_of a -> (
+          match eval_oop env a with
+          | Exact v -> Copy_of v
+          | _ -> give_up "shallow copy of a non-input object")
+      | Slot_at (obj, idx) -> (
+          match eval_oop env obj with
+          | Exact v ->
+              Exact (Object_memory.fetch_pointer env.om v (eval_int env idx))
+          | _ -> give_up "slot of a non-input object")
+      | Class_object_of a -> (
+          match eval_oop env a with
+          | Exact v -> Exact (Object_memory.class_object_of env.om v)
+          | Boxed_float _ ->
+              Exact
+                (Object_memory.class_object env.om
+                   ~class_id:Class_table.boxed_float_id)
+          | _ -> give_up "class of a structural expected value")
+      | _ -> give_up "unexpected oop expression %s" (Sym.to_string e))
+
+and eval_int env (e : Sym.t) : int =
+  match e with
+  | Int_const c -> c
+  | Integer_value_of a -> (
+      match eval_oop env a with
+      | Exact v ->
+          if Value.is_small_int v then Value.small_int_value v
+          else
+            (* unchecked untag: deterministic garbage, mirroring the
+               interpreter's missing-type-check path *)
+            Value.unchecked_small_int_value v
+      | _ -> give_up "integer value of structural object")
+  | Indexable_size_of a -> with_exact env a (Object_memory.indexable_size env.om)
+  | Num_slots_of a -> with_exact env a (Object_memory.num_slots env.om)
+  | Fixed_size_of a -> with_exact env a (Object_memory.fixed_size_of env.om)
+  | Identity_hash_of a -> with_exact env a (Object_memory.identity_hash env.om)
+  | Class_index_of a -> with_exact env a (Object_memory.class_index_of env.om)
+  | Char_value_of a ->
+      with_exact env a (fun v ->
+          Value.small_int_value (Object_memory.fetch_pointer env.om v 0))
+  | Byte_at (obj, idx) ->
+      with_exact env obj (fun v ->
+          Object_memory.fetch_byte env.om v (eval_int env idx))
+  | Add (a, b) -> eval_int env a + eval_int env b
+  | Sub (a, b) -> eval_int env a - eval_int env b
+  | Mul (a, b) -> eval_int env a * eval_int env b
+  | Neg a -> -eval_int env a
+  | Abs a -> abs (eval_int env a)
+  | Div (a, b) -> div_guard env a b Solver.Eval.floor_div
+  | Mod (a, b) -> div_guard env a b Solver.Eval.floor_mod
+  | Quo (a, b) -> div_guard env a b ( / )
+  | Rem (a, b) -> div_guard env a b (fun x y -> x mod y)
+  | Bit_and (a, b) -> eval_int env a land eval_int env b
+  | Bit_or (a, b) -> eval_int env a lor eval_int env b
+  | Bit_xor (a, b) -> eval_int env a lxor eval_int env b
+  | Shift_left (a, b) ->
+      let s = eval_int env b in
+      if s < 0 || s > 62 then give_up "shift amount" else eval_int env a lsl s
+  | Shift_right (a, b) ->
+      let s = eval_int env b in
+      if s < 0 || s > 62 then give_up "shift amount" else eval_int env a asr s
+  | Float_truncated a -> int_of_float (Float.trunc (eval_float env a))
+  | Float_rounded a -> int_of_float (Float.round (eval_float env a))
+  | Float_ceiling a -> int_of_float (Float.ceil (eval_float env a))
+  | Float_floor a -> int_of_float (Float.floor (eval_float env a))
+  | Float_exponent a ->
+      let f = eval_float env a in
+      if f = 0.0 then 0 else snd (Float.frexp f) - 1
+  | Float_bits32 a ->
+      Int32.to_int (Int32.bits_of_float (eval_float env a)) land 0xFFFFFFFF
+  | Float_bits64_hi a ->
+      Int64.to_int
+        (Int64.shift_right_logical (Int64.bits_of_float (eval_float env a)) 32)
+      land 0xFFFFFFFF
+  | Float_bits64_lo a ->
+      Int64.to_int (Int64.bits_of_float (eval_float env a)) land 0xFFFFFFFF
+  | Var { sort = Int; _ } -> give_up "unbound integer variable"
+  | _ -> give_up "unexpected integer expression %s" (Sym.to_string e)
+
+and div_guard env a b f =
+  let bv = eval_int env b in
+  if bv = 0 then give_up "division by zero" else f (eval_int env a) bv
+
+and with_exact env a f =
+  match eval_oop env a with
+  | Exact v -> f v
+  | _ -> give_up "structural object in scalar context"
+
+and eval_float env (e : Sym.t) : float =
+  match e with
+  | Float_const f -> f
+  | Float_value_of a -> (
+      match eval_oop env a with
+      | Exact v -> Object_memory.float_value_of env.om v
+      | Boxed_float f -> f
+      | _ -> give_up "float value of structural object")
+  | Int_to_float a -> float_of_int (eval_int env a)
+  | F_unop (op, a) -> (
+      let f = eval_float env a in
+      match op with
+      | F_neg -> -.f
+      | F_abs -> Float.abs f
+      | F_sqrt -> sqrt f
+      | F_sin -> sin f
+      | F_cos -> cos f
+      | F_arctan -> atan f
+      | F_ln -> log f
+      | F_exp -> exp f)
+  | F_binop (op, a, b) -> (
+      let x = eval_float env a and y = eval_float env b in
+      match op with
+      | F_add -> x +. y
+      | F_sub -> x -. y
+      | F_mul -> x *. y
+      | F_div -> x /. y
+      | F_times_two_power -> x *. (2.0 ** y))
+  | Float_fraction_part a ->
+      let f = eval_float env a in
+      f -. Float.trunc f
+  | Float_of_bits32 a -> Int32.float_of_bits (Int32.of_int (eval_int env a))
+  | Float_of_bits64 (hi, lo) ->
+      Int64.float_of_bits
+        (Int64.logor
+           (Int64.shift_left (Int64.of_int (eval_int env hi land 0xFFFFFFFF)) 32)
+           (Int64.of_int (eval_int env lo land 0xFFFFFFFF)))
+  | _ -> give_up "unexpected float expression %s" (Sym.to_string e)
+
+and eval_bool env (e : Sym.t) : bool =
+  match e with
+  | Bool_const b -> b
+  | Not a -> not (eval_bool env a)
+  | And (a, b) -> eval_bool env a && eval_bool env b
+  | Or (a, b) -> eval_bool env a || eval_bool env b
+  | Cmp (c, a, b) -> Solver.Eval.cmp_holds c (eval_int env a) (eval_int env b)
+  | F_cmp (c, a, b) ->
+      Solver.Eval.fcmp_holds c (eval_float env a) (eval_float env b)
+  | Oop_eq (a, b) -> (
+      match (eval_oop env a, eval_oop env b) with
+      | Exact x, Exact y -> Value.equal x y
+      | _ -> give_up "identity of structural objects")
+  | Is_small_int a -> (
+      match eval_oop env a with
+      | Exact v -> Value.is_small_int v
+      | _ -> false)
+  | _ -> give_up "unexpected boolean expression %s" (Sym.to_string e)
+
+(* Does a machine word satisfy an expected value, in the machine's object
+   memory?  [forbidden] lists input oops a *fresh* allocation must differ
+   from. *)
+let rec matches env (expected : expected) (word : int) : bool =
+  let as_value w = (Obj.magic (w : int) : Value.t) in
+  let v = as_value word in
+  let valid () = Heap.is_valid_object (Object_memory.heap env.om) v in
+  match expected with
+  | Exact x -> Value.equal x v
+  | Boxed_float f ->
+      Value.is_pointer v && valid ()
+      && Object_memory.is_float_object env.om v
+      &&
+      let g = Object_memory.float_value_of env.om v in
+      g = f || (Float.is_nan g && Float.is_nan f)
+  | Char_obj c ->
+      Value.is_pointer v && valid ()
+      && Object_memory.class_index_of env.om v = Class_table.character_id
+      && Value.equal
+           (Object_memory.fetch_pointer env.om v 0)
+           (Value.of_small_int c)
+  | Point_obj (ex, ey) ->
+      Value.is_pointer v && valid ()
+      && Object_memory.class_index_of env.om v = Class_table.point_id
+      && matches env ex (Object_memory.fetch_pointer env.om v 0 :> int)
+      && matches env ey (Object_memory.fetch_pointer env.om v 1 :> int)
+  | Fresh_obj { class_id; indexable } ->
+      Value.is_pointer v && valid ()
+      && Object_memory.class_index_of env.om v = class_id
+      && Object_memory.indexable_size env.om v = indexable
+  | Copy_of orig ->
+      Value.is_pointer v && valid ()
+      && (not (Value.equal v orig))
+      && Object_memory.class_index_of env.om v
+         = Object_memory.class_index_of env.om orig
+      && Object_memory.num_slots env.om v = Object_memory.num_slots env.om orig
+
+let pp_expected ppf = function
+  | Exact v -> Fmt.pf ppf "exactly %a" Value.pp v
+  | Boxed_float f -> Fmt.pf ppf "float(%g)" f
+  | Char_obj c -> Fmt.pf ppf "char(%d)" c
+  | Point_obj _ -> Fmt.pf ppf "point(...)"
+  | Fresh_obj { class_id; indexable } ->
+      Fmt.pf ppf "fresh(class=%d, size=%d)" class_id indexable
+  | Copy_of v -> Fmt.pf ppf "copy of %a" Value.pp v

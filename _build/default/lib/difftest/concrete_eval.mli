@@ -1,0 +1,38 @@
+(** Output-constraint evaluation (§2.2 step 4).
+
+    The oracle validates the compiled execution against the output
+    constraints recorded during the concolic run: given the concrete
+    bindings of the input terms and the machine-side object memory,
+    evaluate a symbolic output expression to an {!expected} value —
+    either an exact oop or a structural description of an object the
+    compiled code must have allocated. *)
+
+type expected =
+  | Exact of Vm_objects.Value.t
+  | Boxed_float of float
+  | Char_obj of int
+  | Point_obj of expected * expected
+  | Fresh_obj of { class_id : int; indexable : int }
+  | Copy_of of Vm_objects.Value.t
+
+exception Unevaluable of string
+
+type env
+
+val create :
+  om:Vm_objects.Object_memory.t ->
+  bindings:(Symbolic.Sym_expr.t * Vm_objects.Value.t) list ->
+  env
+
+val eval_oop : env -> Symbolic.Sym_expr.t -> expected
+(** @raise Unevaluable on expressions outside the output fragment. *)
+
+val eval_int : env -> Symbolic.Sym_expr.t -> int
+val eval_float : env -> Symbolic.Sym_expr.t -> float
+val eval_bool : env -> Symbolic.Sym_expr.t -> bool
+
+val matches : env -> expected -> int -> bool
+(** Does a machine word satisfy the expected value in the machine's
+    object memory (structural comparison for allocated expecteds)? *)
+
+val pp_expected : expected Fmt.t

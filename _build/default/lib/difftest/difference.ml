@@ -1,0 +1,80 @@
+(* Differences between interpreter and compiled executions, and their
+   classification into the six defect families of the paper's Table 3. *)
+
+type family =
+  | Missing_interpreter_type_check
+  | Missing_compiled_type_check
+  | Optimisation_difference
+  | Behavioural_difference
+  | Missing_functionality
+  | Simulation_error
+[@@deriving show { with_path = false }, eq, ord]
+
+let family_name = function
+  | Missing_interpreter_type_check -> "Missing interpreter type check"
+  | Missing_compiled_type_check -> "Missing compiled type check"
+  | Optimisation_difference -> "Optimisation difference"
+  | Behavioural_difference -> "Behavioral difference"
+  | Missing_functionality -> "Missing Functionality"
+  | Simulation_error -> "Simulation Error"
+
+let all_families =
+  [
+    Missing_interpreter_type_check;
+    Missing_compiled_type_check;
+    Optimisation_difference;
+    Behavioural_difference;
+    Missing_functionality;
+    Simulation_error;
+  ]
+
+(* What the compiled execution was observed to do. *)
+type observed =
+  | O_success of { marker : int } (* hit the success breakpoint *)
+  | O_send of Machine.Machine_code.send_info
+  | O_return of int
+  | O_failure (* native method hit the fall-through breakpoint *)
+  | O_segfault
+  | O_simulation_error of string
+  | O_not_compiled of string
+  | O_out_of_fuel
+
+let observed_to_string = function
+  | O_success { marker } -> Printf.sprintf "success (marker %d)" marker
+  | O_send i ->
+      Printf.sprintf "send %s/%d"
+        (Interpreter.Exit_condition.selector_name i.selector)
+        i.num_args
+  | O_return _ -> "method return"
+  | O_failure -> "native method failure (breakpoint)"
+  | O_segfault -> "segmentation fault"
+  | O_simulation_error m -> "simulation error: " ^ m
+  | O_not_compiled m -> "not compiled: " ^ m
+  | O_out_of_fuel -> "out of fuel"
+
+type kind =
+  | Exit_mismatch of { expected : Interpreter.Exit_condition.t; observed : observed }
+  | Value_mismatch of { what : string }
+
+type t = {
+  compiler : Jit.Cogits.compiler;
+  arch : Jit.Codegen.arch;
+  subject : Concolic.Path.subject;
+  path_key : string;
+  kind : kind;
+  family : family;
+  cause : string; (* root-cause identifier; paper counts defects by cause *)
+}
+
+let to_string d =
+  Printf.sprintf "[%s/%s] %s: %s — %s (%s)"
+    (Jit.Cogits.short_name d.compiler)
+    (Jit.Codegen.arch_name d.arch)
+    (Concolic.Path.subject_name d.subject)
+    (match d.kind with
+    | Exit_mismatch { expected; observed } ->
+        Printf.sprintf "interpreter: %s, compiled: %s"
+          (Interpreter.Exit_condition.to_string expected)
+          (observed_to_string observed)
+    | Value_mismatch { what } -> "value mismatch: " ^ what)
+    (family_name d.family) d.cause

@@ -1,0 +1,50 @@
+(** Differences between interpreter and compiled executions, classified
+    into the six defect families of the paper's Table 3. *)
+
+type family =
+  | Missing_interpreter_type_check
+  | Missing_compiled_type_check
+  | Optimisation_difference
+  | Behavioural_difference
+  | Missing_functionality
+  | Simulation_error
+
+val family_name : family -> string
+val all_families : family list
+val equal_family : family -> family -> bool
+val compare_family : family -> family -> int
+val pp_family : Format.formatter -> family -> unit
+val show_family : family -> string
+
+(** What the compiled execution was observed to do. *)
+type observed =
+  | O_success of { marker : int }  (** hit a success breakpoint *)
+  | O_send of Machine.Machine_code.send_info
+  | O_return of int
+  | O_failure  (** native method fell through to the breakpoint *)
+  | O_segfault
+  | O_simulation_error of string
+  | O_not_compiled of string
+  | O_out_of_fuel
+
+val observed_to_string : observed -> string
+
+type kind =
+  | Exit_mismatch of {
+      expected : Interpreter.Exit_condition.t;
+      observed : observed;
+    }
+  | Value_mismatch of { what : string }
+
+type t = {
+  compiler : Jit.Cogits.compiler;
+  arch : Jit.Codegen.arch;
+  subject : Concolic.Path.subject;
+  path_key : string;
+  kind : kind;
+  family : family;
+  cause : string;
+      (** root-cause identifier; the paper counts defects once per cause *)
+}
+
+val to_string : t -> string

@@ -1,0 +1,407 @@
+(* The differential test runner (§2.4, §4.2).
+
+   For each concolically explored path:
+   1. *curate*: re-solve the recorded path condition; paths the solver
+      cannot crack (bitwise constraints, precision limits) are curated
+      out, mirroring the paper's curated-paths column;
+   2. rebuild the concrete input deterministically from the path's model
+      (the same materialisation the interpreter side used);
+   3. compile the instruction with the compiler under test and run the
+      machine code on the CPU simulator, adapting the stack-machine input
+      to the register-machine calling convention;
+   4. validate the exit condition and the observable outputs against the
+      recorded output constraints. *)
+
+module Sym = Symbolic.Sym_expr
+module EC = Interpreter.Exit_condition
+
+type outcome =
+  | Pass
+  | Expected_failure (* invalid-frame paths etc. (§3.4) *)
+  | Curated_out of string
+  | Diff of Difference.t
+
+let is_diff = function Diff _ -> true | _ -> false
+
+(* Rebuild the materialisation parameters recorded in a path. *)
+let rebuild_input (path : Concolic.Path.t) =
+  let frame = path.input_frame in
+  let as_var e =
+    match (e : Sym.t) with
+    | Var v -> v
+    | _ -> invalid_arg "Runner: input frame entry is not a variable"
+  in
+  let recv_var = as_var (Symbolic.Abstract_frame.receiver frame) in
+  let temp_vars =
+    Array.map as_var (Symbolic.Abstract_frame.temps frame)
+  in
+  let stack = Symbolic.Abstract_frame.operand_stack frame in
+  let n = List.length stack in
+  let entry_var rank =
+    (* bottom-up list [rank n-1; ...; rank 0] *)
+    if rank < n then as_var (List.nth stack (n - 1 - rank))
+    else
+      (* never materialised beyond the recorded depth *)
+      { Sym.id = 100000 + rank; name = Printf.sprintf "s%d!" rank; sort = Sym.Oop }
+  in
+  let method_in om =
+    Concolic.Explorer.method_in_for path.subject om
+  in
+  Concolic.Materialize.build ~model:path.model ~method_in ~recv_var ~temp_vars
+    ~entry_var ~stack_size_term:path.stack_size_term
+
+(* Expected final pc → stop marker mapping for branch instructions. *)
+let expected_marker (path : Concolic.Path.t) =
+  match path.subject with
+  | Concolic.Path.Native _ -> 0
+  | Concolic.Path.Bytecode_seq _ ->
+      (* every sequence path that succeeds runs to the end marker *)
+      0
+  | Concolic.Path.Bytecode op -> (
+      match op with
+      | Bytecodes.Opcode.Jump d | Jump_false d | Jump_true d ->
+          let next = 1 in
+          if path.output.pc = next + d then 1 else 0
+      | Jump_ext d | Jump_false_ext d | Jump_true_ext d ->
+          let next = 2 in
+          if path.output.pc = next + d then 1 else 0
+      | _ -> 0)
+
+(* Map a send selector recorded by the interpreter to the trampoline info
+   the compiled code must call. *)
+let send_info_matches (expected : EC.selector * int)
+    (info : Machine.Machine_code.send_info) =
+  let sel, n = expected in
+  EC.equal_selector sel info.selector && n = info.num_args
+
+let run_machine ~defects cpu program =
+  match Machine.Cpu.run cpu program with
+  | Machine.Cpu.Returned w -> Difference.O_return w
+  | Machine.Cpu.Stopped 0 -> Difference.O_success { marker = 0 }
+  | Machine.Cpu.Stopped m -> Difference.O_success { marker = m }
+  | Machine.Cpu.Called_trampoline info -> Difference.O_send info
+  | Machine.Cpu.Segfault -> Difference.O_segfault
+  | Machine.Cpu.Out_of_fuel -> Difference.O_out_of_fuel
+  | exception Machine.Register_accessors.Simulation_error msg ->
+      ignore defects;
+      Difference.O_simulation_error msg
+
+(* Validate machine outputs against the recorded output constraints. *)
+let check_outputs ~(path : Concolic.Path.t) ~(env : Concrete_eval.env)
+    ~(cpu : Machine.Cpu.t) ~(stack_expected : Sym.t list)
+    ~(check_stack : bool) : string option =
+  let om = Machine.Cpu.object_memory cpu in
+  ignore om;
+  let mismatch = ref None in
+  let note what = if !mismatch = None then mismatch := Some what in
+  (if check_stack then begin
+     let words = Machine.Cpu.stack_words cpu in
+     if List.length words <> List.length stack_expected then
+       note
+         (Printf.sprintf "stack depth: machine %d, interpreter %d"
+            (List.length words)
+            (List.length stack_expected))
+     else
+       List.iteri
+         (fun i (w, e) ->
+           match Concrete_eval.eval_oop env e with
+           | expected ->
+               if not (Concrete_eval.matches env expected w) then
+                 note (Printf.sprintf "stack slot %d" i)
+           | exception Concrete_eval.Unevaluable m ->
+               note ("unevaluable output: " ^ m))
+         (List.combine words stack_expected)
+   end);
+  (* heap effects: the compiled run must have performed the same stores *)
+  List.iter
+    (fun (eff : Concolic.Shadow_machine.effect) ->
+      match eff with
+      | Concolic.Shadow_machine.Slot_write { target; index; stored } -> (
+          match Concrete_eval.eval_oop env target with
+          | Concrete_eval.Exact tv -> (
+              match Concrete_eval.eval_oop env stored with
+              | expected -> (
+                  match
+                    Vm_objects.Object_memory.fetch_pointer
+                      (Machine.Cpu.object_memory cpu) tv index
+                  with
+                  | actual ->
+                      if not (Concrete_eval.matches env expected (actual :> int))
+                      then note (Printf.sprintf "heap slot %d" index)
+                  | exception Vm_objects.Heap.Invalid_access _ ->
+                      note "heap write target invalid")
+              | exception Concrete_eval.Unevaluable m ->
+                  note ("unevaluable stored value: " ^ m))
+          | _ -> ()
+          | exception Concrete_eval.Unevaluable _ -> ())
+      | Concolic.Shadow_machine.Byte_write { target; index; stored } -> (
+          match Concrete_eval.eval_oop env target with
+          | Concrete_eval.Exact tv -> (
+              match Concrete_eval.eval_int env stored with
+              | expected -> (
+                  match
+                    Vm_objects.Object_memory.fetch_byte
+                      (Machine.Cpu.object_memory cpu) tv index
+                  with
+                  | actual ->
+                      if actual <> expected land 0xff then
+                        note (Printf.sprintf "heap byte %d" index)
+                  | exception Vm_objects.Heap.Invalid_access _ ->
+                      note "heap write target invalid")
+              | exception Concrete_eval.Unevaluable m ->
+                  note ("unevaluable stored byte: " ^ m))
+          | _ -> ()
+          | exception Concrete_eval.Unevaluable _ -> ()))
+    path.output.effects;
+  !mismatch
+
+let diff ~compiler ~arch ~(path : Concolic.Path.t) kind =
+  let family, cause =
+    Classify.classify ~compiler ~subject:path.subject ~exit_:path.exit_
+      ~observed:
+        (match kind with
+        | Difference.Exit_mismatch { observed; _ } -> observed
+        | Difference.Value_mismatch _ -> Difference.O_success { marker = 0 })
+  in
+  let family, cause = Classify.refine_simple_arith ~path (family, cause) in
+  Diff
+    {
+      Difference.compiler;
+      arch;
+      subject = path.subject;
+      path_key = Concolic.Path.key path;
+      kind;
+      family;
+      cause;
+    }
+
+(* --- byte-code instruction testing --- *)
+
+let run_bytecode_path ~defects ~compiler ~arch (path : Concolic.Path.t)
+    (op : [ `One of Bytecodes.Opcode.t | `Seq of Bytecodes.Opcode.t list ]) :
+    outcome =
+  match path.exit_ with
+  | EC.Invalid_frame ->
+      (* expected failures: the frame generator simply lacked elements *)
+      Expected_failure
+  | _ -> (
+      match Solver.Solve.solve (Symbolic.Path_condition.conditions path.path_condition) with
+      | Solver.Solve.Unknown reason -> Curated_out reason
+      | Solver.Solve.Unsat -> Curated_out "path condition re-solve unsat"
+      | Solver.Solve.Sat _ -> (
+          let input = rebuild_input path in
+          let om = input.om in
+          let meth = input.meth in
+          let literals =
+            Array.map
+              (fun (v : Vm_objects.Value.t) -> (v :> int))
+              (Bytecodes.Compiled_method.literals meth)
+          in
+          let stack_setup =
+            List.map
+              (fun (v : Vm_objects.Value.t) -> (v :> int))
+              (Interpreter.Frame.stack_bottom_up input.frame)
+          in
+          let compiled =
+            match op with
+            | `One op ->
+                (fun () ->
+                  Jit.Cogits.compile_bytecode_to_machine compiler ~defects
+                    ~literals ~stack_setup ~arch op)
+            | `Seq ops ->
+                (fun () ->
+                  Jit.Cogits.compile_sequence_to_machine compiler ~defects
+                    ~literals ~stack_setup ~arch ops)
+          in
+          match compiled () with
+          | exception Jit.Cogits.Not_compiled msg ->
+              diff ~compiler ~arch ~path
+                (Difference.Exit_mismatch
+                   { expected = path.exit_; observed = Difference.O_not_compiled msg })
+          | program -> (
+              let cpu =
+                Machine.Cpu.create
+                  ~accessor_gaps:defects.Interpreter.Defects.simulation_accessor_gaps
+                  om
+              in
+              Machine.Cpu.set_reg cpu Machine.Machine_code.r_receiver
+                ((Interpreter.Frame.receiver input.frame :> int));
+              Array.iteri
+                (fun i (v : Vm_objects.Value.t) ->
+                  Machine.Cpu.set_temp cpu i (v :> int))
+                (Interpreter.Frame.temps input.frame);
+              let observed = run_machine ~defects cpu program in
+              let env =
+                Concrete_eval.create ~om
+                  ~bindings:
+                    (List.map (fun (t, v) -> (t, v)) input.bindings)
+              in
+              let mismatch k = diff ~compiler ~arch ~path k in
+              match (path.exit_, observed) with
+              | EC.Success, Difference.O_success { marker } ->
+                  if marker <> expected_marker path then
+                    mismatch
+                      (Difference.Exit_mismatch
+                         { expected = path.exit_; observed })
+                  else begin
+                    (* temps check *)
+                    let temp_mismatch = ref None in
+                    Array.iteri
+                      (fun i e ->
+                        match Concrete_eval.eval_oop env e with
+                        | expected ->
+                            if
+                              not
+                                (Concrete_eval.matches env expected
+                                   (Machine.Cpu.temp cpu i))
+                            then
+                              if !temp_mismatch = None then
+                                temp_mismatch :=
+                                  Some (Printf.sprintf "temp %d" i)
+                        | exception Concrete_eval.Unevaluable m ->
+                            if !temp_mismatch = None then
+                              temp_mismatch := Some ("unevaluable temp: " ^ m))
+                      path.output.temps;
+                    match
+                      ( !temp_mismatch,
+                        check_outputs ~path ~env ~cpu
+                          ~stack_expected:path.output.stack ~check_stack:true )
+                    with
+                    | None, None -> Pass
+                    | Some what, _ | None, Some what ->
+                        mismatch (Difference.Value_mismatch { what })
+                  end
+              | EC.Message_send { selector; num_args }, Difference.O_send info
+                ->
+                  if send_info_matches (selector, num_args) info then Pass
+                  else
+                    mismatch
+                      (Difference.Exit_mismatch
+                         { expected = path.exit_; observed })
+              | EC.Method_return, Difference.O_return w -> (
+                  match path.output.return_value with
+                  | None -> Pass
+                  | Some e -> (
+                      match Concrete_eval.eval_oop env e with
+                      | expected ->
+                          if Concrete_eval.matches env expected w then Pass
+                          else
+                            mismatch
+                              (Difference.Value_mismatch
+                                 { what = "return value" })
+                      | exception Concrete_eval.Unevaluable m ->
+                          mismatch
+                            (Difference.Value_mismatch
+                               { what = "unevaluable return: " ^ m })))
+              | EC.Invalid_memory_access, Difference.O_segfault ->
+                  (* unsafe byte-codes: both engines fault — expected *)
+                  Expected_failure
+              | _, Difference.O_simulation_error _ ->
+                  mismatch
+                    (Difference.Exit_mismatch
+                       { expected = path.exit_; observed })
+              | _ ->
+                  mismatch
+                    (Difference.Exit_mismatch
+                       { expected = path.exit_; observed }))))
+
+(* --- native method testing --- *)
+
+let run_native_path ~defects ~compiler:_ ~arch (path : Concolic.Path.t)
+    (prim_id : int) : outcome =
+  let compiler = Jit.Cogits.Native_method_compiler in
+  match path.exit_ with
+  | EC.Invalid_frame -> Expected_failure
+  | _ -> (
+      match
+        Solver.Solve.solve (Symbolic.Path_condition.conditions path.path_condition)
+      with
+      | Solver.Solve.Unknown reason -> Curated_out reason
+      | Solver.Solve.Unsat -> Curated_out "path condition re-solve unsat"
+      | Solver.Solve.Sat _ -> (
+          let arity = Interpreter.Primitive_table.arity prim_id in
+          let input = rebuild_input path in
+          let stack = Interpreter.Frame.stack_bottom_up input.frame in
+          if List.length stack <> arity + 1 then Expected_failure
+          else
+            match Jit.Cogits.compile_native_to_machine ~defects ~arch prim_id with
+            | exception Jit.Cogits.Not_compiled msg ->
+                diff ~compiler ~arch ~path
+                  (Difference.Exit_mismatch
+                     {
+                       expected = path.exit_;
+                       observed = Difference.O_not_compiled msg;
+                     })
+            | program -> (
+                let om = input.om in
+                let cpu =
+                  Machine.Cpu.create
+                    ~accessor_gaps:
+                      defects.Interpreter.Defects.simulation_accessor_gaps om
+                in
+                (* calling convention: receiver + args in registers *)
+                List.iteri
+                  (fun i (v : Vm_objects.Value.t) ->
+                    Machine.Cpu.set_reg cpu
+                      (if i = 0 then Machine.Machine_code.r_receiver
+                       else Machine.Machine_code.r_arg0 + i - 1)
+                      (v :> int))
+                  stack;
+                let observed =
+                  (* for native methods the breakpoint means the template
+                     fell through: the primitive failed (Listing 4) *)
+                  match run_machine ~defects cpu program with
+                  | Difference.O_success { marker = 0 } -> Difference.O_failure
+                  | o -> o
+                in
+                let env =
+                  Concrete_eval.create ~om
+                    ~bindings:(List.map (fun (t, v) -> (t, v)) input.bindings)
+                in
+                let mismatch k = diff ~compiler ~arch ~path k in
+                match (path.exit_, observed) with
+                | EC.Success, Difference.O_return w -> (
+                    (* the answer is the single value left on the operand
+                       stack by the interpreter *)
+                    match List.rev path.output.stack with
+                    | result :: _ -> (
+                        match Concrete_eval.eval_oop env result with
+                        | expected ->
+                            if Concrete_eval.matches env expected w then begin
+                              match
+                                check_outputs ~path ~env ~cpu
+                                  ~stack_expected:[] ~check_stack:false
+                              with
+                              | None -> Pass
+                              | Some what ->
+                                  mismatch (Difference.Value_mismatch { what })
+                            end
+                            else
+                              mismatch
+                                (Difference.Value_mismatch { what = "result" })
+                        | exception Concrete_eval.Unevaluable m ->
+                            mismatch
+                              (Difference.Value_mismatch
+                                 { what = "unevaluable result: " ^ m }))
+                    | [] ->
+                        mismatch
+                          (Difference.Value_mismatch
+                             { what = "no result on interpreter stack" }))
+                | EC.Failure, Difference.O_failure ->
+                    (* both failed their operand checks: the compiled code
+                       fell through to the breakpoint (Listing 4) *)
+                    Pass
+                | _ ->
+                    mismatch
+                      (Difference.Exit_mismatch
+                         { expected = path.exit_; observed }))))
+
+let run_path ~defects ~compiler ~arch (path : Concolic.Path.t) : outcome =
+  match (path.subject, compiler) with
+  | Concolic.Path.Bytecode op, (Jit.Cogits.Simple_stack_cogit | Jit.Cogits.Stack_to_register_cogit | Jit.Cogits.Register_allocating_cogit) ->
+      run_bytecode_path ~defects ~compiler ~arch path (`One op)
+  | Concolic.Path.Bytecode_seq ops, (Jit.Cogits.Simple_stack_cogit | Jit.Cogits.Stack_to_register_cogit | Jit.Cogits.Register_allocating_cogit) ->
+      run_bytecode_path ~defects ~compiler ~arch path (`Seq ops)
+  | Concolic.Path.Native id, Jit.Cogits.Native_method_compiler ->
+      run_native_path ~defects ~compiler ~arch path id
+  | _ -> invalid_arg "Runner.run_path: compiler/subject mismatch"

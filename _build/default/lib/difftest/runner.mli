@@ -1,0 +1,25 @@
+(** The differential test runner (§2.4, §4.2): curate each explored path
+    (re-solving its condition, mirroring the paper's curated-paths
+    column), rebuild the concrete input deterministically, compile with
+    the compiler under test, run the machine code on the CPU simulator,
+    and validate exit condition and observable outputs against the
+    recorded output constraints. *)
+
+type outcome =
+  | Pass
+  | Expected_failure
+      (** invalid-frame paths and unsafe byte-code faults (§3.4) *)
+  | Curated_out of string
+      (** the solver cannot re-create this path's input (§4.3 limits) *)
+  | Diff of Difference.t
+
+val is_diff : outcome -> bool
+
+val run_path :
+  defects:Interpreter.Defects.t ->
+  compiler:Jit.Cogits.compiler ->
+  arch:Jit.Codegen.arch ->
+  Concolic.Path.t ->
+  outcome
+(** Differential-test one explored path against one compiler on one ISA.
+    @raise Invalid_argument on a compiler/subject kind mismatch. *)

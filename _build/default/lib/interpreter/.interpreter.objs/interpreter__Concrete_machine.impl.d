@@ -1,0 +1,1 @@
+lib/interpreter/concrete_machine.pp.ml: Bytecodes Class_desc Class_table Exit_condition Float Frame Heap Int32 Int64 Interp Machine_intf Object_memory Primitives Value Vm_objects

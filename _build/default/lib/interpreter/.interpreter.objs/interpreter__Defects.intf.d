@@ -1,0 +1,1 @@
+lib/interpreter/defects.pp.mli:

@@ -1,0 +1,1 @@
+lib/interpreter/exit_condition.pp.ml: Bytecodes Fmt Ppx_deriving_runtime Printf

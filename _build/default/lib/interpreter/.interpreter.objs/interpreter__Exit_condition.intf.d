@@ -1,0 +1,1 @@
+lib/interpreter/exit_condition.pp.mli: Bytecodes Fmt Format

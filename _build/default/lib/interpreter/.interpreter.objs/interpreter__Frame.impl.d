@@ -1,0 +1,1 @@
+lib/interpreter/frame.pp.ml: Array Bytecodes Fmt List Machine_intf Printf Vm_objects

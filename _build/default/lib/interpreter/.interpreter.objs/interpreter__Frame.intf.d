@@ -1,0 +1,1 @@
+lib/interpreter/frame.pp.mli: Bytecodes Fmt Vm_objects

@@ -1,0 +1,1 @@
+lib/interpreter/inline_cache.pp.mli:

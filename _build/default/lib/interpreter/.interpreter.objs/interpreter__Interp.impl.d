@@ -1,0 +1,1 @@
+lib/interpreter/interp.pp.ml: Bytecodes Exit_condition Machine_intf Vm_objects

@@ -1,0 +1,1 @@
+lib/interpreter/machine_intf.pp.ml: Bytecodes Vm_objects

@@ -1,0 +1,1 @@
+lib/interpreter/primitive_table.pp.ml: Hashtbl List Ppx_deriving_runtime Printf

@@ -1,0 +1,1 @@
+lib/interpreter/primitive_table.pp.mli: Format

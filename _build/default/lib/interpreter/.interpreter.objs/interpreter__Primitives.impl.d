@@ -1,0 +1,1 @@
+lib/interpreter/primitives.pp.ml: Defects Machine_intf Printf Vm_objects

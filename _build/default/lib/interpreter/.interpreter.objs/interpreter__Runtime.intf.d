@@ -1,0 +1,1 @@
+lib/interpreter/runtime.pp.mli: Bytecodes Defects Frame Vm_objects

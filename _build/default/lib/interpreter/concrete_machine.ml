@@ -1,0 +1,277 @@
+(* The concrete machine: plain execution of the interpreter against the
+   real object memory.  This instantiation is "production" semantics —
+   no constraint recording, raw OCaml scalars for [num] and [fl]. *)
+
+open Vm_objects
+
+type t = { om : Object_memory.t; frame : Frame.t }
+
+let create ~om ~frame = { om; frame }
+let object_memory t = t.om
+let frame t = t.frame
+
+module M = struct
+  type value = Value.t
+  type num = int
+  type fl = float
+  type nonrec t = t
+
+  (* --- Frame --- *)
+
+  let receiver t = Frame.receiver t.frame
+  let method_oop t = Bytecodes.Compiled_method.oop (Frame.meth t.frame)
+  let stack_value t n = Frame.stack_value t.frame n
+  let push t v = Frame.push t.frame v
+  let pop t n = Frame.pop t.frame n
+
+  let pop_then_push t n v =
+    Frame.pop t.frame n;
+    Frame.push t.frame v
+
+  let temp_at t n = Frame.temp_at t.frame n
+  let temp_at_put t n v = Frame.temp_at_put t.frame n v
+
+  let literal_at t n =
+    let meth = Frame.meth t.frame in
+    if n < 0 || n >= Bytecodes.Compiled_method.num_literals meth then
+      raise Machine_intf.Invalid_memory_trap
+    else Bytecodes.Compiled_method.literal_at meth n
+
+  let method_num_args t = Bytecodes.Compiled_method.num_args (Frame.meth t.frame)
+  let method_num_temps t =
+    Bytecodes.Compiled_method.num_temps (Frame.meth t.frame)
+
+  let pc t = Frame.pc t.frame
+  let set_pc t pc = Frame.set_pc t.frame pc
+
+  (* --- Constants --- *)
+
+  let nil t = Object_memory.nil t.om
+  let true_ t = Object_memory.true_obj t.om
+  let false_ t = Object_memory.false_obj t.om
+  let bool_object t b = Object_memory.bool_object t.om b
+  let num_const (_ : t) i = i
+  let float_const (_ : t) f = f
+
+  (* --- Small integers --- *)
+
+  let are_integers t a b = Object_memory.are_integers t.om a b
+  let is_integer_object t v = Object_memory.is_integer_object t.om v
+  let integer_value_of t v = Object_memory.integer_value_of t.om v
+  let unchecked_integer_value_of (_ : t) v = Value.unchecked_small_int_value v
+  let is_integer_value t i = Object_memory.is_integer_value t.om i
+  let integer_object_of t i = Object_memory.integer_object_of t.om i
+  let assert_is_integer (_ : t) (_ : Value.t) = ()
+
+  (* --- Integer arithmetic --- *)
+
+  let num_add (_ : t) a b = a + b
+  let num_sub (_ : t) a b = a - b
+  let num_mul (_ : t) a b = a * b
+
+  (* Floor division/modulo (Smalltalk [//] and [\\] semantics). *)
+  let num_div (_ : t) a b =
+    let q = a / b and r = a mod b in
+    if r <> 0 && r lxor b < 0 then q - 1 else q
+
+  let num_mod (_ : t) a b =
+    let r = a mod b in
+    if r <> 0 && r lxor b < 0 then r + b else r
+
+  let num_quo (_ : t) a b = a / b
+  let num_rem (_ : t) a b = a mod b
+  let num_neg (_ : t) a = -a
+  let num_abs (_ : t) a = abs a
+  let num_bit_and (_ : t) a b = a land b
+  let num_bit_or (_ : t) a b = a lor b
+  let num_bit_xor (_ : t) a b = a lxor b
+  let num_shift_left (_ : t) a b = a lsl b
+  let num_shift_right (_ : t) a b = a asr b
+
+  let cmp_int c a b =
+    match (c : Machine_intf.cmp) with
+    | Ceq -> a = b
+    | Cne -> a <> b
+    | Clt -> a < b
+    | Cle -> a <= b
+    | Cgt -> a > b
+    | Cge -> a >= b
+
+  let num_cmp (_ : t) c a b = cmp_int c a b
+  let num_cmp_value t c a b = bool_object t (cmp_int c a b)
+
+  (* --- Floats --- *)
+
+  let is_float_object t v = Object_memory.is_float_object t.om v
+  let float_value_of t v = Object_memory.float_value_of t.om v
+  let float_object_of t f = Object_memory.float_object_of t.om f
+  let float_of_num (_ : t) i = float_of_int i
+
+  let float_unop (_ : t) op f =
+    match (op : Machine_intf.funop) with
+    | F_neg -> -.f
+    | F_abs -> Float.abs f
+    | F_sqrt -> sqrt f
+    | F_sin -> sin f
+    | F_cos -> cos f
+    | F_arctan -> atan f
+    | F_ln -> log f
+    | F_exp -> exp f
+
+  let float_binop (_ : t) op a b =
+    match (op : Machine_intf.fbinop) with
+    | F_add -> a +. b
+    | F_sub -> a -. b
+    | F_mul -> a *. b
+    | F_div -> a /. b
+    | F_times_two_power -> a *. (2.0 ** b)
+
+  let cmp_float c a b =
+    match (c : Machine_intf.cmp) with
+    | Ceq -> a = b
+    | Cne -> a <> b
+    | Clt -> a < b
+    | Cle -> a <= b
+    | Cgt -> a > b
+    | Cge -> a >= b
+
+  let float_cmp (_ : t) c a b = cmp_float c a b
+  let float_cmp_value t c a b = bool_object t (cmp_float c a b)
+  let float_truncated (_ : t) f = int_of_float (Float.trunc f)
+  let float_rounded (_ : t) f = int_of_float (Float.round f)
+  let float_ceiling (_ : t) f = int_of_float (Float.ceil f)
+  let float_floor (_ : t) f = int_of_float (Float.floor f)
+  let float_fraction_part (_ : t) f = f -. Float.trunc f
+
+  let float_exponent (_ : t) f =
+    if f = 0.0 then 0 else snd (Float.frexp f) - 1
+
+  let float_is_nan (_ : t) f = Float.is_nan f
+  let float_is_infinite (_ : t) f = Float.abs f = Float.infinity
+
+  let float_bits32 (_ : t) f = Int32.to_int (Int32.bits_of_float f) land 0xFFFFFFFF
+  let float_of_bits32 (_ : t) n = Int32.float_of_bits (Int32.of_int n)
+
+  let float_bits64_hi (_ : t) f =
+    Int64.to_int (Int64.shift_right_logical (Int64.bits_of_float f) 32)
+    land 0xFFFFFFFF
+
+  let float_bits64_lo (_ : t) f =
+    Int64.to_int (Int64.bits_of_float f) land 0xFFFFFFFF
+
+  let float_of_bits64 (_ : t) ~hi ~lo =
+    Int64.float_of_bits
+      (Int64.logor
+         (Int64.shift_left (Int64.of_int (hi land 0xFFFFFFFF)) 32)
+         (Int64.of_int (lo land 0xFFFFFFFF)))
+
+  (* --- Classes and structure --- *)
+
+  let has_class t v ~class_id = Object_memory.class_index_of t.om v = class_id
+  let class_object_of t v = Object_memory.class_object_of t.om v
+
+  let is_pointers_object t v = Object_memory.is_pointers_object t.om v
+  let is_bytes_object t v = Object_memory.is_bytes_object t.om v
+  let is_indexable t v = Object_memory.is_indexable t.om v
+
+  let guard_obj f =
+    try f () with Heap.Invalid_access _ -> raise Machine_intf.Invalid_memory_trap
+
+  let fixed_size_of t v = guard_obj (fun () -> Object_memory.fixed_size_of t.om v)
+  let indexable_size_of t v =
+    guard_obj (fun () -> Object_memory.indexable_size t.om v)
+  let num_slots_of t v = guard_obj (fun () -> Object_memory.num_slots t.om v)
+  let identity_hash_of t v = Object_memory.identity_hash t.om v
+  let oop_equal (_ : t) a b = Value.equal a b
+  let oop_equal_value t a b = bool_object t (Value.equal a b)
+
+  let branch_on_boolean t v =
+    Vm_objects.Special_objects.to_bool (Object_memory.specials t.om) v
+
+  (* --- Heap access --- *)
+
+  let slot_at t v i =
+    guard_obj (fun () ->
+        if not (is_pointers_object t v) then
+          raise Machine_intf.Invalid_memory_trap
+        else Object_memory.fetch_pointer t.om v i)
+
+  let slot_at_put t v i x =
+    guard_obj (fun () ->
+        if not (is_pointers_object t v) then
+          raise Machine_intf.Invalid_memory_trap
+        else Object_memory.store_pointer t.om v i x)
+
+  let byte_at t v i = guard_obj (fun () -> Object_memory.fetch_byte t.om v i)
+
+  let byte_at_put t v i x =
+    guard_obj (fun () -> Object_memory.store_byte t.om v i x)
+
+  (* --- Allocation --- *)
+
+  let instantiate t ~class_id ~size =
+    Object_memory.instantiate_class t.om ~class_id ~indexable_size:size
+
+  let make_point t x y =
+    let p =
+      Object_memory.instantiate_class t.om
+        ~class_id:Class_table.point_id ~indexable_size:0
+    in
+    Object_memory.store_pointer t.om p 0 x;
+    Object_memory.store_pointer t.om p 1 y;
+    p
+
+  let char_object_of t v =
+    let c =
+      Object_memory.instantiate_class t.om
+        ~class_id:Class_table.character_id ~indexable_size:0
+    in
+    Object_memory.store_pointer t.om c 0 (integer_object_of t v);
+    c
+
+  let char_value_of t v =
+    guard_obj (fun () ->
+        integer_value_of t (Object_memory.fetch_pointer t.om v 0))
+
+  let shallow_copy t v = guard_obj (fun () -> Object_memory.shallow_copy t.om v)
+
+  (* --- Method access --- *)
+
+  let compiled_method t = Frame.meth t.frame
+  let is_class_object t v = Object_memory.is_class_object t.om v
+
+  let class_value_is_indexable t v =
+    let id = Object_memory.class_id_described_by t.om v in
+    let desc = Class_table.lookup_exn (Object_memory.class_table t.om) id in
+    Class_desc.is_variable desc
+
+  let instantiate_from_class_value t v ~size =
+    let id = Object_memory.class_id_described_by t.om v in
+    Object_memory.instantiate_class t.om ~class_id:id ~indexable_size:size
+end
+
+module Interpreter = Interp.Make (M)
+module Native = Primitives.Make (M)
+
+(* Convenience: run the current method (bytecode or native) to its exit
+   condition, returning also the final frame. *)
+let run_to_exit t =
+  let meth = Frame.meth t.frame in
+  match Bytecodes.Compiled_method.native_method meth with
+  | Some prim_id -> (
+      match Native.run t ~prim_id with
+      | Native.Succeeded -> Exit_condition.Success
+      | Native.Failed -> Exit_condition.Failure
+      | exception Machine_intf.Invalid_frame_access -> Exit_condition.Invalid_frame
+      | exception Machine_intf.Invalid_memory_trap ->
+          Exit_condition.Invalid_memory_access)
+  | None -> (
+      match Interpreter.run t with
+      | Ok Interpreter.Continue -> assert false
+      | Ok (Interpreter.Exit_send { selector; num_args }) ->
+          Exit_condition.Message_send { selector; num_args }
+      | Ok (Interpreter.Exit_return _) -> Exit_condition.Method_return
+      | Error `Out_of_fuel -> Exit_condition.Success
+      | exception Machine_intf.Invalid_frame_access -> Exit_condition.Invalid_frame
+      | exception Machine_intf.Invalid_memory_trap ->
+          Exit_condition.Invalid_memory_access)

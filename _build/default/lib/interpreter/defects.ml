@@ -1,0 +1,73 @@
+(* Seeded-defect configuration.
+
+   The paper's evaluation runs against the real (historically buggy) Pharo
+   VM; our reproduction seeds one defect per root cause the paper reports
+   (Table 3) and gates every seed behind this record so the test suite can
+   also validate a pristine, zero-difference baseline.
+
+   Field default = the *paper* configuration (defect present). *)
+
+type t = {
+  as_float_interpreter_check : bool;
+      (** [true] = primAsFloat checks its receiver (fixed).  [false] =
+          the check is an assertion compiled away (paper Listing 5):
+          1 "missing interpreter type check" cause. *)
+  float_template_receiver_check : bool;
+      (** [true] = compiled float primitives type-check the receiver.
+          [false] = they unbox blindly and segfault (13 "missing compiled
+          type check" causes). *)
+  template_bitwise_sign_checks : bool;
+      (** [true] = compiled bitwise primitives fail on negative operands
+          like the interpreter.  [false] = they compute unsigned-style
+          results (2 "behavioural difference" causes on native methods). *)
+  bytecode_bitwise_sign_checks : bool;
+      (** Same, for the inlined bitAnd:/bitOr:/bitShift: byte-codes of the
+          stack-to-register compilers (3 "behavioural difference"
+          causes). *)
+  inline_bitxor_in_stack_to_register : bool;
+      (** [true] = the stack-to-register compilers inline bitXor:, which
+          the interpreter never does (1 "optimisation difference" cause in
+          the compiler's favour per compiler). *)
+  ffi_templates_implemented : bool;
+      (** [false] = the 23 FFI native methods have no compiler template in
+          the 32-bit compiler ("missing functionality" causes). *)
+  simulation_accessor_gaps : bool;
+      (** [true] = the CPU simulator's reflective register-accessor table
+          is missing two entries, reproducing the 2 "simulation error"
+          causes. *)
+  compilers_inline_float_arith : bool;
+      (** [true] = an ablation where the stack-to-register compilers also
+          inline float arithmetic like the interpreter does, removing the
+          float optimisation-difference findings. *)
+}
+
+(* The evaluation configuration: all defects present, mirroring the VM
+   state the paper measured. *)
+let paper =
+  {
+    as_float_interpreter_check = false;
+    float_template_receiver_check = false;
+    template_bitwise_sign_checks = false;
+    bytecode_bitwise_sign_checks = false;
+    inline_bitxor_in_stack_to_register = true;
+    ffi_templates_implemented = false;
+    simulation_accessor_gaps = true;
+    compilers_inline_float_arith = false;
+  }
+
+(* Everything fixed: differential testing against this configuration must
+   find no differences on supported instructions (used as a false-positive
+   check by the test suite). *)
+let pristine =
+  {
+    as_float_interpreter_check = true;
+    float_template_receiver_check = true;
+    template_bitwise_sign_checks = true;
+    bytecode_bitwise_sign_checks = true;
+    inline_bitxor_in_stack_to_register = false;
+    ffi_templates_implemented = true;
+    simulation_accessor_gaps = false;
+    compilers_inline_float_arith = true;
+  }
+
+let default = paper

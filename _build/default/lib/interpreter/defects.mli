@@ -1,0 +1,45 @@
+(** Seeded-defect configuration.
+
+    The paper's evaluation runs against the real (historically buggy)
+    Pharo VM; our reproduction seeds one defect per root cause it reports
+    (Table 3) and gates every seed behind this record so the test suite
+    can also validate a pristine, zero-difference baseline.  Field
+    defaults in {!paper} correspond to the defect being present. *)
+
+type t = {
+  as_float_interpreter_check : bool;
+      (** [false] = primAsFloat's receiver check is an assertion compiled
+          away (paper Listing 5): 1 missing-interpreter-type-check cause. *)
+  float_template_receiver_check : bool;
+      (** [false] = 13 compiled float primitives unbox blindly and
+          segfault on wrong receivers. *)
+  template_bitwise_sign_checks : bool;
+      (** [false] = compiled bitwise primitives accept negative operands
+          the interpreter rejects (2 behavioural causes). *)
+  bytecode_bitwise_sign_checks : bool;
+      (** Same, for the inlined bitwise byte-codes of the
+          stack-to-register compilers (3 behavioural causes). *)
+  inline_bitxor_in_stack_to_register : bool;
+      (** [true] = the stack-to-register compilers inline bitXor:, which
+          the interpreter never does (optimisation-in-the-compiler's-
+          favour causes). *)
+  ffi_templates_implemented : bool;
+      (** [false] = the FFI native methods have no compiler template
+          (missing-functionality causes). *)
+  simulation_accessor_gaps : bool;
+      (** [true] = two reflective register accessors are missing from the
+          CPU simulator (2 simulation-error causes). *)
+  compilers_inline_float_arith : bool;
+      (** Ablation: the stack-to-register compilers also inline float
+          arithmetic, removing those optimisation differences. *)
+}
+
+val paper : t
+(** The evaluation configuration: all defects present. *)
+
+val pristine : t
+(** Everything fixed: differential testing must find no differences on
+    supported instructions (the false-positive check). *)
+
+val default : t
+(** [paper]. *)

@@ -1,0 +1,50 @@
+(* Instruction exit conditions (paper §3.4).
+
+   An exit condition models *how* an instruction's execution finished; the
+   differential tester validates that interpreted and compiled code exit
+   equivalently (e.g. a [Message_send] exit must correspond to a
+   trampoline / inline-cache call in machine code). *)
+
+type selector =
+  | Special of Bytecodes.Opcode.special_selector
+  | Common of Bytecodes.Opcode.common_selector
+  | Literal of int (* index into the method's literal frame *)
+  | Must_be_boolean (* conditional jump on a non-boolean *)
+[@@deriving show { with_path = false }, eq, ord]
+
+type t =
+  | Success (* ran to completion *)
+  | Failure (* native method failed its operand checks *)
+  | Message_send of { selector : selector; num_args : int }
+  | Method_return (* returned to the caller *)
+  | Invalid_frame (* access past the end of the stack frame *)
+  | Invalid_memory_access (* out-of-bounds object access *)
+[@@deriving show { with_path = false }, eq, ord]
+
+let selector_name = function
+  | Special s -> Bytecodes.Opcode.special_selector_name s
+  | Common s -> Bytecodes.Opcode.common_selector_name s
+  | Literal i -> Printf.sprintf "literal:%d" i
+  | Must_be_boolean -> "mustBeBoolean"
+
+let to_string = function
+  | Success -> "success"
+  | Failure -> "failure"
+  | Message_send { selector; num_args } ->
+      Printf.sprintf "send %s/%d" (selector_name selector) num_args
+  | Method_return -> "method return"
+  | Invalid_frame -> "invalid frame"
+  | Invalid_memory_access -> "invalid memory access"
+
+(* Is this exit an *expected failure* for the given instruction kind?
+   Invalid-frame exits are always expected (the frame generator simply
+   needs more elements); invalid memory accesses are expected for
+   byte-code instructions (unsafe by design) but are genuine errors for
+   native methods, which must check and fail instead (§3.4). *)
+let is_expected_failure ~native t =
+  match t with
+  | Invalid_frame -> true
+  | Invalid_memory_access -> not native
+  | Success | Failure | Message_send _ | Method_return -> false
+
+let pp ppf t = Fmt.string ppf (to_string t)

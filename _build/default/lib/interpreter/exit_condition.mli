@@ -1,0 +1,36 @@
+(** Instruction exit conditions (§3.4): how an instruction's execution
+    finished.  The differential tester validates that interpreted and
+    compiled code exit equivalently — a [Message_send] must correspond to
+    a trampoline/inline-cache call, a native-method [Failure] to the
+    fall-through breakpoint (Listing 4), and so on. *)
+
+type selector =
+  | Special of Bytecodes.Opcode.special_selector
+  | Common of Bytecodes.Opcode.common_selector
+  | Literal of int  (** index into the method's literal frame *)
+  | Must_be_boolean  (** conditional jump on a non-boolean *)
+
+type t =
+  | Success  (** ran to completion *)
+  | Failure  (** native method failed its operand checks *)
+  | Message_send of { selector : selector; num_args : int }
+  | Method_return  (** returned to the caller *)
+  | Invalid_frame  (** access past the end of the stack frame *)
+  | Invalid_memory_access  (** out-of-bounds object access *)
+
+val selector_name : selector -> string
+val to_string : t -> string
+
+val is_expected_failure : native:bool -> t -> bool
+(** Invalid-frame exits are always expected failures; invalid memory
+    accesses are expected for (unsafe) byte-codes but genuine errors for
+    (safe) native methods (§3.4). *)
+
+val pp : t Fmt.t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val equal_selector : selector -> selector -> bool
+val compare_selector : selector -> selector -> int
+val pp_selector : Format.formatter -> selector -> unit
+val show_selector : selector -> string
+val show : t -> string

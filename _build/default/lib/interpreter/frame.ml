@@ -1,0 +1,68 @@
+(* Concrete VM stack frames: receiver, method, temporaries (arguments
+   first) and a growable operand stack. *)
+
+type t = {
+  receiver : Vm_objects.Value.t;
+  meth : Bytecodes.Compiled_method.t;
+  temps : Vm_objects.Value.t array;
+  mutable stack : Vm_objects.Value.t list; (* top first *)
+  mutable pc : int;
+}
+
+let create ~receiver ~meth ~temps ~stack =
+  let wanted =
+    Bytecodes.Compiled_method.num_args meth
+    + Bytecodes.Compiled_method.num_temps meth
+  in
+  if Array.length temps <> wanted then
+    invalid_arg
+      (Printf.sprintf "Frame.create: %d temps, method wants %d"
+         (Array.length temps) wanted);
+  { receiver; meth; temps; stack = List.rev stack; pc = 0 }
+
+let receiver t = t.receiver
+let meth t = t.meth
+let temps t = t.temps
+let pc t = t.pc
+let set_pc t pc = t.pc <- pc
+let depth t = List.length t.stack
+
+(* Bottom → top, matching [Abstract_frame.operand_stack]. *)
+let stack_bottom_up t = List.rev t.stack
+
+let stack_value t n =
+  match List.nth_opt t.stack n with
+  | Some v -> v
+  | None -> raise Machine_intf.Invalid_frame_access
+
+let push t v = t.stack <- v :: t.stack
+
+let pop t n =
+  let rec drop n l =
+    if n = 0 then l
+    else
+      match l with
+      | _ :: rest -> drop (n - 1) rest
+      | [] -> raise Machine_intf.Invalid_frame_access
+  in
+  t.stack <- drop n t.stack
+
+let temp_at t n =
+  if n < 0 || n >= Array.length t.temps then
+    raise Machine_intf.Invalid_frame_access
+  else t.temps.(n)
+
+let temp_at_put t n v =
+  if n < 0 || n >= Array.length t.temps then
+    raise Machine_intf.Invalid_frame_access
+  else t.temps.(n) <- v
+
+let copy t = { t with temps = Array.copy t.temps }
+
+let pp ppf t =
+  Fmt.pf ppf "frame{recv=%a; temps=[%a]; stack(top-first)=[%a]; pc=%d}"
+    Vm_objects.Value.pp t.receiver
+    Fmt.(array ~sep:semi Vm_objects.Value.pp)
+    t.temps
+    Fmt.(list ~sep:semi Vm_objects.Value.pp)
+    t.stack t.pc

@@ -1,0 +1,41 @@
+(** Concrete VM stack frames: receiver, method, temporaries (arguments
+    first) and a growable operand stack. *)
+
+type t
+
+val create :
+  receiver:Vm_objects.Value.t ->
+  meth:Bytecodes.Compiled_method.t ->
+  temps:Vm_objects.Value.t array ->
+  stack:Vm_objects.Value.t list ->
+  t
+(** [stack] is given bottom-up. [temps] must have exactly
+    [num_args + num_temps] entries.
+    @raise Invalid_argument on a temp-count mismatch. *)
+
+val receiver : t -> Vm_objects.Value.t
+val meth : t -> Bytecodes.Compiled_method.t
+val temps : t -> Vm_objects.Value.t array
+val pc : t -> int
+val set_pc : t -> int -> unit
+val depth : t -> int
+
+val stack_bottom_up : t -> Vm_objects.Value.t list
+(** The operand stack, bottom → top. *)
+
+val stack_value : t -> int -> Vm_objects.Value.t
+(** [stack_value t 0] is the top of stack.
+    @raise Interpreter.Machine_intf.Invalid_frame_access past the end. *)
+
+val push : t -> Vm_objects.Value.t -> unit
+
+val pop : t -> int -> unit
+(** @raise Interpreter.Machine_intf.Invalid_frame_access on underflow. *)
+
+val temp_at : t -> int -> Vm_objects.Value.t
+val temp_at_put : t -> int -> Vm_objects.Value.t -> unit
+
+val copy : t -> t
+(** A copy with its own temps array and stack (the heap is shared). *)
+
+val pp : t Fmt.t

@@ -1,0 +1,97 @@
+(* Inline caches for compiled sends.
+
+   The paper's "message send" exit condition expects compiled code to
+   "perform a call to a trampoline or to a method linked through mono-,
+   poly- or mega-morphic inline caches" (§3.4, citing Hölzle et al.).
+   This module models those send-site caches and their state machine:
+
+     Unlinked --first send--> Monomorphic --new class--> Polymorphic
+              --more than [poly_limit] classes--> Megamorphic
+
+   A megamorphic site stops caching and always takes the lookup
+   trampoline.  Hit/miss counters make cache behaviour observable for
+   tests and examples. *)
+
+type target = int (* an opaque handle for linked machine code / method *)
+
+type state =
+  | Unlinked
+  | Monomorphic of { class_id : int; target : target }
+  | Polymorphic of (int * target) list (* class id → target, newest first *)
+  | Megamorphic
+
+type t = {
+  mutable state : state;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let poly_limit = 6
+(* the classic PIC size from the Hölzle/Chambers/Ungar design *)
+
+let create () = { state = Unlinked; hits = 0; misses = 0 }
+
+let state t = t.state
+let hits t = t.hits
+let misses t = t.misses
+
+let state_name t =
+  match t.state with
+  | Unlinked -> "unlinked"
+  | Monomorphic _ -> "monomorphic"
+  | Polymorphic _ -> "polymorphic"
+  | Megamorphic -> "megamorphic"
+
+(* Probe the cache for a receiver class.  [Some target] is a cache hit;
+   [None] means the send must go through the lookup trampoline (and
+   should then {!link} the result). *)
+let probe t ~class_id : target option =
+  match t.state with
+  | Unlinked ->
+      t.misses <- t.misses + 1;
+      None
+  | Monomorphic { class_id = c; target } ->
+      if c = class_id then begin
+        t.hits <- t.hits + 1;
+        Some target
+      end
+      else begin
+        t.misses <- t.misses + 1;
+        None
+      end
+  | Polymorphic entries -> (
+      match List.assoc_opt class_id entries with
+      | Some target ->
+          t.hits <- t.hits + 1;
+          Some target
+      | None ->
+          t.misses <- t.misses + 1;
+          None)
+  | Megamorphic ->
+      (* megamorphic sites always call the trampoline *)
+      t.misses <- t.misses + 1;
+      None
+
+(* Link the send site after a trampoline lookup: advances the cache
+   state machine.  Linking an already-present class refreshes its
+   target (method installation may have changed it). *)
+let link t ~class_id ~target =
+  match t.state with
+  | Unlinked -> t.state <- Monomorphic { class_id; target }
+  | Monomorphic { class_id = c; _ } when c = class_id ->
+      t.state <- Monomorphic { class_id; target }
+  | Monomorphic { class_id = c; target = old } ->
+      t.state <- Polymorphic [ (class_id, target); (c, old) ]
+  | Polymorphic entries ->
+      let entries = (class_id, target) :: List.remove_assoc class_id entries in
+      if List.length entries > poly_limit then t.state <- Megamorphic
+      else t.state <- Polymorphic entries
+  | Megamorphic -> ()
+
+(* Invalidate (e.g. after installing a method that shadows cached
+   lookups). *)
+let flush t = t.state <- Unlinked
+
+let hit_ratio t =
+  let total = t.hits + t.misses in
+  if total = 0 then 0.0 else float_of_int t.hits /. float_of_int total

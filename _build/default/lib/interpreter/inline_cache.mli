@@ -1,0 +1,36 @@
+(** Send-site inline caches: the monomorphic → polymorphic → megamorphic
+    state machine of Hölzle et al., referenced by the paper's
+    message-send exit condition (§3.4). *)
+
+type target = int
+(** An opaque handle for the linked method / machine code. *)
+
+type state =
+  | Unlinked
+  | Monomorphic of { class_id : int; target : target }
+  | Polymorphic of (int * target) list  (** class id → target *)
+  | Megamorphic
+
+type t
+
+val poly_limit : int
+(** Maximum polymorphic entries before the site goes megamorphic. *)
+
+val create : unit -> t
+val state : t -> state
+val state_name : t -> string
+val hits : t -> int
+val misses : t -> int
+
+val probe : t -> class_id:int -> target option
+(** Cache lookup for a receiver class; [None] means take the lookup
+    trampoline (then {!link} the result).  Updates hit/miss counters. *)
+
+val link : t -> class_id:int -> target:target -> unit
+(** Link the site after a trampoline lookup, advancing the state
+    machine.  No-op on megamorphic sites. *)
+
+val flush : t -> unit
+(** Reset to unlinked (e.g. after a method installation). *)
+
+val hit_ratio : t -> float

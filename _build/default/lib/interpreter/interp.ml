@@ -1,0 +1,448 @@
+(* The byte-code interpreter, written once as a functor over the
+   VM-semantics machine signature.
+
+   This is the paper's "interpreter as executable specification": the same
+   source below runs concretely (instantiated with {!Concrete_machine}) and
+   concolically (instantiated with the shadow machine, which records a
+   semantic constraint at every branching operation).
+
+   Fast-path policy (drives the optimisation-difference findings of §5.3):
+   - integer static type prediction on [+ - * // \\ < > <= >= = ~=] and on
+     the bitwise specials [bitAnd: bitOr: bitShift:] (the bitwise fast
+     paths additionally require non-negative operands and fall back to a
+     message send otherwise — the behavioural difference the paper
+     reports);
+   - float static type prediction on [+ - * /];
+   - no fast path for [/] on integers, [@], [bitXor:], [new], [new:]
+     (plain message sends). *)
+
+module Make (M : Machine_intf.S_WITH_METHOD) = struct
+  type outcome =
+    | Continue (* instruction completed; pc updated *)
+    | Exit_send of { selector : Exit_condition.selector; num_args : int }
+    | Exit_return of M.value
+
+  open Bytecodes.Opcode
+
+  let special_send sel = Exit_send { selector = Exit_condition.Special sel; num_args = 1 }
+  let common_send sel n = Exit_send { selector = Exit_condition.Common sel; num_args = n }
+
+  (* Check the send's receiver is present in the frame (the send machinery
+     reads it), recording the stack-depth requirement. *)
+  let check_send_frame m num_args = ignore (M.stack_value m num_args)
+
+  let zero m = M.num_const m 0
+
+  (* --- Integer fast path for arithmetic specials (Listing 1) --- *)
+
+  let int_arith ?lookahead m sel =
+    let rcvr = M.stack_value m 1 in
+    let arg = M.stack_value m 0 in
+    if M.are_integers m rcvr arg then begin
+      let a = M.integer_value_of m rcvr in
+      let b = M.integer_value_of m arg in
+      let finish_num result =
+        (* Check for overflow *)
+        if M.is_integer_value m result then begin
+          M.pop_then_push m 2 (M.integer_object_of m result);
+          Some Continue
+        end
+        else (* Slow path, message send *) Some (special_send sel)
+      in
+      let finish_bool c =
+        match lookahead with
+        | Some (jump_if, target, after) ->
+            (* byte-code look-ahead (§4.3, here implemented): a compare
+               followed by a conditional jump skips materialising the
+               boolean and branches directly; the comparison becomes a
+               recorded path condition instead of a pushed value *)
+            let holds = M.num_cmp m c a b in
+            M.pop m 2;
+            M.set_pc m (if holds = jump_if then target else after);
+            Some Continue
+        | None ->
+            M.pop_then_push m 2 (M.num_cmp_value m c a b);
+            Some Continue
+      in
+      let non_negative v = M.num_cmp m Machine_intf.Cge v (zero m) in
+      (* bitAnd:/bitOr: of two immediates cannot overflow: push directly *)
+      let finish_num_no_overflow result =
+        M.pop_then_push m 2 (M.integer_object_of m result);
+        Some Continue
+      in
+      match sel with
+      | Sel_add -> finish_num (M.num_add m a b)
+      | Sel_sub -> finish_num (M.num_sub m a b)
+      | Sel_mul -> finish_num (M.num_mul m a b)
+      | Sel_int_div ->
+          if M.num_cmp m Machine_intf.Cne b (zero m) then
+            finish_num (M.num_div m a b)
+          else Some (special_send sel)
+      | Sel_mod ->
+          if M.num_cmp m Machine_intf.Cne b (zero m) then
+            finish_num (M.num_mod m a b)
+          else Some (special_send sel)
+      | Sel_lt -> finish_bool Machine_intf.Clt
+      | Sel_gt -> finish_bool Machine_intf.Cgt
+      | Sel_le -> finish_bool Machine_intf.Cle
+      | Sel_ge -> finish_bool Machine_intf.Cge
+      | Sel_eq -> finish_bool Machine_intf.Ceq
+      | Sel_ne -> finish_bool Machine_intf.Cne
+      | Sel_bit_and ->
+          (* The interpreter's bitwise fast path only supports
+             non-negative operands and falls back to the (library)
+             message send otherwise. *)
+          if non_negative a && non_negative b then
+            finish_num_no_overflow (M.num_bit_and m a b)
+          else Some (special_send sel)
+      | Sel_bit_or ->
+          if non_negative a && non_negative b then
+            finish_num_no_overflow (M.num_bit_or m a b)
+          else Some (special_send sel)
+      | Sel_bit_shift ->
+          if non_negative b then
+            if M.num_cmp m Machine_intf.Cle b (M.num_const m 30) then
+              finish_num (M.num_shift_left m a b)
+            else Some (special_send sel)
+          else Some (special_send sel)
+      | Sel_divide | Sel_make_point -> None (* no integer fast path *)
+    end
+    else None
+
+  (* --- Float fast path for arithmetic specials --- *)
+
+  let has_float_fast_path = function
+    | Sel_add | Sel_sub | Sel_mul | Sel_divide -> true
+    | _ -> false
+
+  let float_arith m sel =
+    let rcvr = M.stack_value m 1 in
+    let arg = M.stack_value m 0 in
+    if
+      has_float_fast_path sel
+      && M.is_float_object m rcvr
+      && M.is_float_object m arg
+    then begin
+      let a = M.float_value_of m rcvr in
+      let b = M.float_value_of m arg in
+      let finish f =
+        M.pop_then_push m 2 (M.float_object_of m f);
+        Some Continue
+      in
+      match sel with
+      | Sel_add -> finish (M.float_binop m Machine_intf.F_add a b)
+      | Sel_sub -> finish (M.float_binop m Machine_intf.F_sub a b)
+      | Sel_mul -> finish (M.float_binop m Machine_intf.F_mul a b)
+      | Sel_divide ->
+          if M.float_cmp m Machine_intf.Cne b (M.float_const m 0.0) then
+            finish (M.float_binop m Machine_intf.F_div a b)
+          else Some (special_send sel)
+      | _ -> None (* no float fast path for comparisons and the rest *)
+    end
+    else None
+
+  let arith_special ?lookahead m sel =
+    check_send_frame m 1;
+    match int_arith ?lookahead m sel with
+    | Some outcome -> outcome
+    | None -> (
+        match float_arith m sel with
+        | Some outcome -> outcome
+        | None -> special_send sel)
+
+  (* --- Common special sends --- *)
+
+  (* at: — fast path for indexable receivers with an in-range integer
+     index (1-based, Smalltalk convention). *)
+  let special_at m =
+    check_send_frame m 1;
+    let rcvr = M.stack_value m 1 in
+    let index = M.stack_value m 0 in
+    if M.is_integer_object m index && M.is_indexable m rcvr then begin
+      let i = M.integer_value_of m index in
+      if
+        M.num_cmp m Machine_intf.Cge i (M.num_const m 1)
+        && M.num_cmp m Machine_intf.Cle i (M.indexable_size_of m rcvr)
+      then begin
+        let zero_based = M.num_sub m i (M.num_const m 1) in
+        let result =
+          if M.is_pointers_object m rcvr then
+            M.slot_at m rcvr (M.num_add m (M.fixed_size_of m rcvr) zero_based)
+          else M.integer_object_of m (M.byte_at m rcvr zero_based)
+        in
+        M.pop_then_push m 2 result;
+        Continue
+      end
+      else common_send Sel_at 1
+    end
+    else common_send Sel_at 1
+
+  let special_at_put m =
+    check_send_frame m 2;
+    let rcvr = M.stack_value m 2 in
+    let index = M.stack_value m 1 in
+    let stored = M.stack_value m 0 in
+    if M.is_integer_object m index && M.is_indexable m rcvr then begin
+      let i = M.integer_value_of m index in
+      if
+        M.num_cmp m Machine_intf.Cge i (M.num_const m 1)
+        && M.num_cmp m Machine_intf.Cle i (M.indexable_size_of m rcvr)
+      then begin
+        let zero_based = M.num_sub m i (M.num_const m 1) in
+        if M.is_pointers_object m rcvr then begin
+          M.slot_at_put m rcvr
+            (M.num_add m (M.fixed_size_of m rcvr) zero_based)
+            stored;
+          M.pop_then_push m 3 stored;
+          Continue
+        end
+        else if M.is_integer_object m stored then begin
+          let v = M.integer_value_of m stored in
+          if
+            M.num_cmp m Machine_intf.Cge v (zero m)
+            && M.num_cmp m Machine_intf.Cle v (M.num_const m 255)
+          then begin
+            M.byte_at_put m rcvr zero_based v;
+            M.pop_then_push m 3 stored;
+            Continue
+          end
+          else common_send Sel_at_put 2
+        end
+        else common_send Sel_at_put 2
+      end
+      else common_send Sel_at_put 2
+    end
+    else common_send Sel_at_put 2
+
+  let common_special m sel =
+    match sel with
+    | Sel_at -> special_at m
+    | Sel_at_put -> special_at_put m
+    | Sel_size ->
+        check_send_frame m 0;
+        let rcvr = M.stack_value m 0 in
+        if M.is_indexable m rcvr then begin
+          M.pop_then_push m 1
+            (M.integer_object_of m (M.indexable_size_of m rcvr));
+          Continue
+        end
+        else common_send Sel_size 0
+    | Sel_identical ->
+        let rcvr = M.stack_value m 1 in
+        let arg = M.stack_value m 0 in
+        M.pop_then_push m 2 (M.oop_equal_value m rcvr arg);
+        Continue
+    | Sel_not_identical ->
+        let rcvr = M.stack_value m 1 in
+        let arg = M.stack_value m 0 in
+        let eq = M.oop_equal_value m rcvr arg in
+        (* not-identical is the boolean complement; expressed by comparing
+           the equality object against false. *)
+        M.pop_then_push m 2 (M.oop_equal_value m eq (M.false_ m));
+        Continue
+    | Sel_class ->
+        let rcvr = M.stack_value m 0 in
+        M.pop_then_push m 1 (M.class_object_of m rcvr);
+        Continue
+    | Sel_new | Sel_new_with_arg ->
+        (* No fast path: class instantiation is a plain message send at
+           the byte-code level (the primNew native methods provide the
+           optimised version). *)
+        let n = if sel = Sel_new then 0 else 1 in
+        check_send_frame m n;
+        common_send sel n
+    | Sel_point_x | Sel_point_y ->
+        check_send_frame m 0;
+        let rcvr = M.stack_value m 0 in
+        if M.has_class m rcvr ~class_id:Vm_objects.Class_table.point_id then begin
+          let slot = if sel = Sel_point_x then 0 else 1 in
+          M.pop_then_push m 1 (M.slot_at m rcvr (M.num_const m slot));
+          Continue
+        end
+        else common_send sel 0
+    | Sel_identity_hash ->
+        let rcvr = M.stack_value m 0 in
+        M.pop_then_push m 1 (M.integer_object_of m (M.identity_hash_of m rcvr));
+        Continue
+    | Sel_is_nil ->
+        let rcvr = M.stack_value m 0 in
+        M.pop_then_push m 1 (M.oop_equal_value m rcvr (M.nil m));
+        Continue
+    | Sel_not_nil ->
+        let rcvr = M.stack_value m 0 in
+        let eq = M.oop_equal_value m rcvr (M.nil m) in
+        M.pop_then_push m 1 (M.oop_equal_value m eq (M.false_ m));
+        Continue
+    | Sel_bit_xor ->
+        (* No interpreter fast path: bitXor: is always a message send
+           (some compilers *do* inline it — an optimisation difference
+           in the compiler's favour, cf. §5.3). *)
+        check_send_frame m 1;
+        common_send Sel_bit_xor 1
+    | Sel_as_character ->
+        check_send_frame m 0;
+        let rcvr = M.stack_value m 0 in
+        if M.is_integer_object m rcvr then begin
+          let v = M.integer_value_of m rcvr in
+          if
+            M.num_cmp m Machine_intf.Cge v (zero m)
+            && M.num_cmp m Machine_intf.Cle v (M.num_const m 0x10FFFF)
+          then begin
+            M.pop_then_push m 1 (M.char_object_of m v);
+            Continue
+          end
+          else common_send Sel_as_character 0
+        end
+        else common_send Sel_as_character 0
+    | Sel_char_value ->
+        check_send_frame m 0;
+        let rcvr = M.stack_value m 0 in
+        if M.has_class m rcvr ~class_id:Vm_objects.Class_table.character_id
+        then begin
+          M.pop_then_push m 1 (M.integer_object_of m (M.char_value_of m rcvr));
+          Continue
+        end
+        else common_send Sel_char_value 0
+
+  (* --- Conditional jumps --- *)
+
+  let conditional_jump m ~jump_if ~target =
+    let v = M.stack_value m 0 in
+    match M.branch_on_boolean m v with
+    | Some b ->
+        M.pop m 1;
+        if b = jump_if then M.set_pc m target;
+        Continue
+    | None ->
+        (* Non-boolean: send #mustBeBoolean to the value, leaving it on
+           the stack as the receiver. *)
+        Exit_send { selector = Exit_condition.Must_be_boolean; num_args = 0 }
+
+  (* --- Instruction dispatch --- *)
+
+  (* When look-aheads are enabled, a comparison special followed by a
+     conditional jump fuses with it: returns [(jump_if, target, after)]
+     for the branch the comparison should take. *)
+  let fused_jump m sel ~next_pc ~lookahead =
+    if not lookahead then None
+    else
+      match (sel : special_selector) with
+      | Sel_lt | Sel_gt | Sel_le | Sel_ge | Sel_eq | Sel_ne -> (
+          let meth = M.compiled_method m in
+          match Bytecodes.Compiled_method.instruction_at meth next_pc with
+          | Jump_false d, after -> Some (false, after + d, after)
+          | Jump_true d, after -> Some (true, after + d, after)
+          | Jump_false_ext d, after -> Some (false, after + d, after)
+          | Jump_true_ext d, after -> Some (true, after + d, after)
+          | _ -> None
+          | exception Bytecodes.Encoding.Invalid_bytecode _ -> None)
+      | _ -> None
+
+  let execute ?(lookahead = false) m instr ~next_pc =
+    M.set_pc m next_pc;
+    match instr with
+    | Push_receiver_variable n | Push_receiver_variable_ext n ->
+        M.push m (M.slot_at m (M.receiver m) (M.num_const m n));
+        Continue
+    | Push_literal_constant n | Push_literal_ext n ->
+        M.push m (M.literal_at m n);
+        Continue
+    | Push_temp n | Push_temp_ext n ->
+        M.push m (M.temp_at m n);
+        Continue
+    | Push_receiver ->
+        M.push m (M.receiver m);
+        Continue
+    | Push_true ->
+        M.push m (M.true_ m);
+        Continue
+    | Push_false ->
+        M.push m (M.false_ m);
+        Continue
+    | Push_nil ->
+        M.push m (M.nil m);
+        Continue
+    | Push_zero ->
+        M.push m (M.integer_object_of m (zero m));
+        Continue
+    | Push_one ->
+        M.push m (M.integer_object_of m (M.num_const m 1));
+        Continue
+    | Push_minus_one ->
+        M.push m (M.integer_object_of m (M.num_const m (-1)));
+        Continue
+    | Push_two ->
+        M.push m (M.integer_object_of m (M.num_const m 2));
+        Continue
+    | Push_integer_byte n ->
+        M.push m (M.integer_object_of m (M.num_const m n));
+        Continue
+    | Dup ->
+        M.push m (M.stack_value m 0);
+        Continue
+    | Pop ->
+        M.pop m 1;
+        Continue
+    | Swap ->
+        let a = M.stack_value m 0 in
+        let b = M.stack_value m 1 in
+        M.pop_then_push m 2 a;
+        M.push m b;
+        Continue
+    | Return_top -> Exit_return (M.stack_value m 0)
+    | Return_receiver -> Exit_return (M.receiver m)
+    | Return_true -> Exit_return (M.true_ m)
+    | Return_false -> Exit_return (M.false_ m)
+    | Return_nil -> Exit_return (M.nil m)
+    | Push_this_context ->
+        (* Stack-frame reification (lazy context-to-stack mapping) is not
+           supported by the concolic tester prototype (§4.3). *)
+        raise (Machine_intf.Unsupported_feature "pushThisContext")
+    | Nop -> Continue
+    | Store_and_pop_receiver_variable n | Store_receiver_variable_ext n ->
+        let v = M.stack_value m 0 in
+        M.slot_at_put m (M.receiver m) (M.num_const m n) v;
+        M.pop m 1;
+        Continue
+    | Store_and_pop_temp n | Store_temp_ext n ->
+        let v = M.stack_value m 0 in
+        M.temp_at_put m n v;
+        M.pop m 1;
+        Continue
+    | Jump delta | Jump_ext delta ->
+        M.set_pc m (next_pc + delta);
+        Continue
+    | Jump_false delta | Jump_false_ext delta ->
+        conditional_jump m ~jump_if:false ~target:(next_pc + delta)
+    | Jump_true delta | Jump_true_ext delta ->
+        conditional_jump m ~jump_if:true ~target:(next_pc + delta)
+    | Arith_special sel -> arith_special ?lookahead:(fused_jump m sel ~next_pc ~lookahead) m sel
+    | Common_special sel -> common_special m sel
+    | Send { selector; num_args } | Send_ext { selector; num_args } ->
+        (* Validate the selector literal exists and the receiver is in the
+           frame, then leave the main interpreter for the send machinery. *)
+        ignore (M.literal_at m selector);
+        check_send_frame m num_args;
+        Exit_send { selector = Exit_condition.Literal selector; num_args }
+
+  (* Execute the instruction at the current pc.  [lookahead] enables the
+     compare-and-branch fusion (off by default: the paper's prototype
+     does not support it, §4.3). *)
+  let step ?lookahead m =
+    let meth = M.compiled_method m in
+    let instr, next_pc = Bytecodes.Compiled_method.instruction_at meth (M.pc m) in
+    execute ?lookahead m instr ~next_pc
+
+  (* Run until the method returns, a send exits the main loop, or [fuel]
+     instructions have executed (protection against infinite loops in
+     generated methods). *)
+  let run ?(fuel = 10_000) m =
+    let rec go n =
+      if n <= 0 then Error `Out_of_fuel
+      else
+        match step m with
+        | Continue -> go (n - 1)
+        | (Exit_send _ | Exit_return _) as o -> Ok o
+    in
+    go fuel
+end

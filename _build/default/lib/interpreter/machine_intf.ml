@@ -1,0 +1,196 @@
+(* The VM-semantics machine signature.
+
+   The byte-code interpreter and the native methods are written once, as a
+   functor over this signature (see {!Interp} and {!Primitives}).  The
+   signature captures the *semantic* operations of the VM — tag tests,
+   untagging, overflow checks, class queries, bounds-checked slot access —
+   exactly the level at which the paper records constraints (§3.3).
+
+   Two instantiations exist:
+   - {!Concrete_machine}: plain execution against the real object memory;
+   - [Concolic.Shadow_machine]: concrete *and* symbolic execution; every
+     predicate both returns its concrete truth value and records the
+     corresponding semantic constraint on the current path condition.
+
+   Frame and memory validity violations are signalled with the dedicated
+   exceptions below; callers map them to the corresponding exit
+   conditions. *)
+
+exception Invalid_frame_access
+exception Invalid_memory_trap
+exception Unsupported_feature of string
+
+type cmp = Ceq | Cne | Clt | Cle | Cgt | Cge
+
+type funop = F_neg | F_abs | F_sqrt | F_sin | F_cos | F_arctan | F_ln | F_exp
+type fbinop = F_add | F_sub | F_mul | F_div | F_times_two_power
+
+module type S = sig
+  type value (* a tagged oop *)
+  type num (* an untagged machine integer *)
+  type fl (* an unboxed float *)
+  type t (* machine state: current frame + object memory *)
+
+  (* {2 Frame and operand stack} *)
+
+  val receiver : t -> value
+  val method_oop : t -> Vm_objects.Value.t
+
+  val stack_value : t -> int -> value
+  (** [stack_value m n] reads [n] entries below the top (0 = top).
+      @raise Invalid_frame_access past the frame end. *)
+
+  val push : t -> value -> unit
+  val pop : t -> int -> unit
+  val pop_then_push : t -> int -> value -> unit
+  val temp_at : t -> int -> value
+  val temp_at_put : t -> int -> value -> unit
+  val literal_at : t -> int -> value
+  val method_num_args : t -> int
+  val method_num_temps : t -> int
+  val pc : t -> int
+  val set_pc : t -> int -> unit
+
+  (* {2 Constants} *)
+
+  val nil : t -> value
+  val true_ : t -> value
+  val false_ : t -> value
+  val bool_object : t -> bool -> value
+  val num_const : t -> int -> num
+  val float_const : t -> float -> fl
+
+  (* {2 Small integer protocol} *)
+
+  val are_integers : t -> value -> value -> bool
+  val is_integer_object : t -> value -> bool
+  val integer_value_of : t -> value -> num
+
+  val unchecked_integer_value_of : t -> value -> num
+  (** Untag without a tag check — the buggy interpreter path of
+      [primitiveAsFloat] (paper Listing 5).  Yields garbage on pointers. *)
+
+  val is_integer_value : t -> num -> bool
+  (** Overflow check: does the untagged value fit a 31-bit immediate? *)
+
+  val integer_object_of : t -> num -> value
+
+  val assert_is_integer : t -> value -> unit
+  (** An [assert:]-style check: removed at production run time (no
+      behavioural effect) but visible to the simulation — the concolic
+      shadow machine records the type condition so both assertion
+      outcomes are explored (this is how the paper's missing-interpreter-
+      type-check defect in [primitiveAsFloat] is discovered). *)
+
+  (* {2 Integer arithmetic (value level — no branching)} *)
+
+  val num_add : t -> num -> num -> num
+  val num_sub : t -> num -> num -> num
+  val num_mul : t -> num -> num -> num
+  val num_div : t -> num -> num -> num (* floor division; divisor checked *)
+  val num_mod : t -> num -> num -> num
+  val num_quo : t -> num -> num -> num (* truncated division *)
+  val num_rem : t -> num -> num -> num
+  val num_neg : t -> num -> num
+  val num_abs : t -> num -> num
+  val num_bit_and : t -> num -> num -> num
+  val num_bit_or : t -> num -> num -> num
+  val num_bit_xor : t -> num -> num -> num
+  val num_shift_left : t -> num -> num -> num
+  val num_shift_right : t -> num -> num -> num
+
+  (* {2 Integer predicates (branching — record path constraints)} *)
+
+  val num_cmp : t -> cmp -> num -> num -> bool
+
+  val num_cmp_value : t -> cmp -> num -> num -> value
+  (** Comparison as a boolean oop, without branching (keeps path counts
+      low for compare instructions that just push their result). *)
+
+  (* {2 Float protocol} *)
+
+  val is_float_object : t -> value -> bool
+  val float_value_of : t -> value -> fl
+  val float_object_of : t -> fl -> value
+  val float_of_num : t -> num -> fl
+  val float_unop : t -> funop -> fl -> fl
+  val float_binop : t -> fbinop -> fl -> fl -> fl
+  val float_cmp : t -> cmp -> fl -> fl -> bool
+  val float_cmp_value : t -> cmp -> fl -> fl -> value
+  val float_truncated : t -> fl -> num
+  val float_rounded : t -> fl -> num
+  val float_ceiling : t -> fl -> num
+  val float_floor : t -> fl -> num
+  val float_fraction_part : t -> fl -> fl
+  val float_exponent : t -> fl -> num
+  val float_is_nan : t -> fl -> bool
+  val float_is_infinite : t -> fl -> bool
+
+  (* Bit-level float representation, for the FFI float accessors.  The
+     64-bit pattern is exposed as two 32-bit halves so that [num] never
+     needs more than 33 bits. *)
+  val float_bits32 : t -> fl -> num
+  val float_of_bits32 : t -> num -> fl
+  val float_bits64_hi : t -> fl -> num
+  val float_bits64_lo : t -> fl -> num
+  val float_of_bits64 : t -> hi:num -> lo:num -> fl
+
+  (* {2 Class and structure queries} *)
+
+  val has_class : t -> value -> class_id:int -> bool
+  val class_object_of : t -> value -> value
+  val is_pointers_object : t -> value -> bool
+  val is_bytes_object : t -> value -> bool
+  val is_indexable : t -> value -> bool
+  val fixed_size_of : t -> value -> num
+  val indexable_size_of : t -> value -> num
+  val num_slots_of : t -> value -> num
+  val identity_hash_of : t -> value -> num
+  val oop_equal : t -> value -> value -> bool
+  val oop_equal_value : t -> value -> value -> value
+
+  val branch_on_boolean : t -> value -> bool option
+  (** [Some b] when the value is the true/false singleton (recording the
+      identity constraint), [None] otherwise ("must be boolean"). *)
+
+  (* {2 Heap access (bounds-checked)} *)
+
+  val slot_at : t -> value -> num -> value
+  (** 0-based pointer-slot read.
+      @raise Invalid_memory_trap on a non-pointers object or
+      out-of-bounds index. *)
+
+  val slot_at_put : t -> value -> num -> value -> unit
+  val byte_at : t -> value -> num -> num
+  val byte_at_put : t -> value -> num -> num -> unit
+
+  (* {2 Allocation} *)
+
+  val instantiate : t -> class_id:int -> size:num -> value
+  val make_point : t -> value -> value -> value
+  val char_object_of : t -> num -> value
+  val char_value_of : t -> value -> num
+  val shallow_copy : t -> value -> value
+end
+
+(* Extension: access to the (concrete) method under execution, needed by
+   the dispatch loop to decode bytecode and by native methods to reach the
+   literal frame. *)
+module type S_WITH_METHOD = sig
+  include S
+
+  val compiled_method : t -> Bytecodes.Compiled_method.t
+
+  val is_class_object : t -> value -> bool
+  (** Is the value a class object (an instance of the well-known Class
+      class)?  Records a class constraint in shadow mode. *)
+
+  val class_value_is_indexable : t -> value -> bool
+  (** Does the class *described by* this class object have a variable
+      (indexable) instance format?  Caller must have checked
+      {!is_class_object}. *)
+
+  val instantiate_from_class_value : t -> value -> size:num -> value
+  (** Allocate a fresh instance of the class *described by* the given
+      class object.  Caller must have checked {!is_class_object}. *)
+end

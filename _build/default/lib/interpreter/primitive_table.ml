@@ -1,0 +1,171 @@
+(* The native-method (primitive) table: 112 native methods, mirroring the
+   paper's evaluation scope ("112 tested native method instructions").
+
+   Native methods are *safe by design* (§3.1): they check the types and
+   shapes of all their operands and fail with a failure code otherwise —
+   except where a defect is deliberately seeded (primitiveAsFloat's
+   missing interpreter type check, §5.3).
+
+   Groups follow the Pharo primitive ranges loosely: small-integer
+   arithmetic, float arithmetic, object access/allocation, FFI accessors
+   (the ones "never implemented in the 32-bit compiler version") and quick
+   methods. *)
+
+type group = G_integer | G_float | G_object | G_ffi | G_quick
+[@@deriving show { with_path = false }, eq, ord]
+
+type info = {
+  id : int;
+  name : string;
+  arity : int; (* number of arguments, excluding the receiver *)
+  group : group;
+}
+
+let mk id name arity group = { id; name; arity; group }
+
+(* Well-known ids referenced across the codebase. *)
+let id_add = 1
+let id_as_float = 40
+let id_float_add = 41
+let id_bit_and = 14
+let id_bit_or = 15
+let id_bit_xor = 16
+let id_bit_shift = 17
+
+let all : info list =
+  [
+    (* --- Small integer arithmetic (ids 1-27) --- *)
+    mk 1 "primAdd" 1 G_integer;
+    mk 2 "primSubtract" 1 G_integer;
+    mk 3 "primLessThan" 1 G_integer;
+    mk 4 "primGreaterThan" 1 G_integer;
+    mk 5 "primLessOrEqual" 1 G_integer;
+    mk 6 "primGreaterOrEqual" 1 G_integer;
+    mk 7 "primEqual" 1 G_integer;
+    mk 8 "primNotEqual" 1 G_integer;
+    mk 9 "primMultiply" 1 G_integer;
+    mk 10 "primDivide" 1 G_integer;
+    mk 11 "primMod" 1 G_integer;
+    mk 12 "primDiv" 1 G_integer;
+    mk 13 "primQuo" 1 G_integer;
+    mk 14 "primBitAnd" 1 G_integer;
+    mk 15 "primBitOr" 1 G_integer;
+    mk 16 "primBitXor" 1 G_integer;
+    mk 17 "primBitShift" 1 G_integer;
+    mk 18 "primMakePoint" 1 G_integer;
+    mk 19 "primNegated" 0 G_integer;
+    mk 20 "primAbs" 0 G_integer;
+    mk 21 "primRem" 1 G_integer;
+    mk 22 "primMin" 1 G_integer;
+    mk 23 "primMax" 1 G_integer;
+    mk 24 "primSign" 0 G_integer;
+    mk 25 "primBetweenAnd" 2 G_integer;
+    mk 26 "primHashMultiply" 0 G_integer;
+    mk 27 "primAsInteger" 0 G_integer;
+    (* --- Conversion (id 40): the missing-interpreter-type-check seed --- *)
+    mk 40 "primAsFloat" 0 G_integer;
+    (* --- Float arithmetic (ids 41-67) --- *)
+    mk 41 "primFloatAdd" 1 G_float;
+    mk 42 "primFloatSubtract" 1 G_float;
+    mk 43 "primFloatLessThan" 1 G_float;
+    mk 44 "primFloatGreaterThan" 1 G_float;
+    mk 45 "primFloatLessOrEqual" 1 G_float;
+    mk 46 "primFloatGreaterOrEqual" 1 G_float;
+    mk 47 "primFloatEqual" 1 G_float;
+    mk 48 "primFloatNotEqual" 1 G_float;
+    mk 49 "primFloatMultiply" 1 G_float;
+    mk 50 "primFloatDivide" 1 G_float;
+    mk 51 "primFloatTruncated" 0 G_float;
+    mk 52 "primFloatFractionPart" 0 G_float;
+    mk 53 "primFloatExponent" 0 G_float;
+    mk 54 "primFloatTimesTwoPower" 1 G_float;
+    mk 55 "primFloatSquareRoot" 0 G_float;
+    mk 56 "primFloatSin" 0 G_float;
+    mk 57 "primFloatCos" 0 G_float;
+    mk 58 "primFloatArcTan" 0 G_float;
+    mk 59 "primFloatLn" 0 G_float;
+    mk 60 "primFloatExp" 0 G_float;
+    mk 61 "primFloatRounded" 0 G_float;
+    mk 62 "primFloatCeiling" 0 G_float;
+    mk 63 "primFloatFloor" 0 G_float;
+    mk 64 "primFloatAbs" 0 G_float;
+    mk 65 "primFloatNegated" 0 G_float;
+    mk 66 "primFloatIsInfinite" 0 G_float;
+    mk 67 "primFloatIsNan" 0 G_float;
+    (* --- Object access and allocation (ids 70-95) --- *)
+    mk 70 "primAt" 1 G_object;
+    mk 71 "primAtPut" 2 G_object;
+    mk 72 "primSize" 0 G_object;
+    mk 73 "primStringAt" 1 G_object;
+    mk 74 "primStringAtPut" 2 G_object;
+    mk 75 "primArrayAt" 1 G_object;
+    mk 76 "primNew" 0 G_object;
+    mk 77 "primNewWithArg" 1 G_object;
+    mk 78 "primIdentityHash" 0 G_object;
+    mk 79 "primClass" 0 G_object;
+    mk 80 "primShallowCopy" 0 G_object;
+    mk 81 "primInstVarAt" 1 G_object;
+    mk 82 "primInstVarAtPut" 2 G_object;
+    mk 83 "primAsCharacter" 0 G_object;
+    mk 84 "primCharValue" 0 G_object;
+    mk 85 "primIdentical" 1 G_object;
+    mk 86 "primNotIdentical" 1 G_object;
+    mk 87 "primIsNil" 0 G_object;
+    mk 88 "primNotNil" 0 G_object;
+    mk 89 "primPointX" 0 G_object;
+    mk 90 "primPointY" 0 G_object;
+    mk 91 "primPointSetX" 1 G_object;
+    mk 92 "primPointSetY" 1 G_object;
+    mk 93 "primStringSize" 0 G_object;
+    mk 94 "primIsPointers" 0 G_object;
+    mk 95 "primIsBytes" 0 G_object;
+    (* --- FFI accessors (ids 100-122) — never implemented in the 32-bit
+       compiler (the missing-functionality seeds) --- *)
+    mk 100 "primFFILoadInt8" 1 G_ffi;
+    mk 101 "primFFILoadUint8" 1 G_ffi;
+    mk 102 "primFFILoadInt16" 1 G_ffi;
+    mk 103 "primFFILoadUint16" 1 G_ffi;
+    mk 104 "primFFILoadInt32" 1 G_ffi;
+    mk 105 "primFFILoadUint32" 1 G_ffi;
+    mk 106 "primFFILoadInt64" 1 G_ffi;
+    mk 107 "primFFIStoreInt8" 2 G_ffi;
+    mk 108 "primFFIStoreInt16" 2 G_ffi;
+    mk 109 "primFFIStoreInt32" 2 G_ffi;
+    mk 110 "primFFIStoreInt64" 2 G_ffi;
+    mk 111 "primFFILoadPointer" 1 G_ffi;
+    mk 112 "primFFIStorePointer" 2 G_ffi;
+    mk 113 "primFFIIsNull" 0 G_ffi;
+    mk 114 "primFFISizeOf" 0 G_ffi;
+    mk 115 "primFFIStructByteAt" 1 G_ffi;
+    mk 116 "primFFIStructByteAtPut" 2 G_ffi;
+    mk 117 "primFFIAllocate" 0 G_ffi;
+    mk 118 "primFFIFree" 0 G_ffi;
+    mk 119 "primFFILoadFloat32" 1 G_ffi;
+    mk 120 "primFFILoadFloat64" 1 G_ffi;
+    mk 121 "primFFIStoreFloat32" 2 G_ffi;
+    mk 122 "primFFIStoreFloat64" 2 G_ffi;
+    (* --- Quick methods (ids 130-137), cf. Pharo's quick primitives --- *)
+    mk 130 "primQuickReturnSelf" 0 G_quick;
+    mk 131 "primQuickReturnTrue" 0 G_quick;
+    mk 132 "primQuickReturnFalse" 0 G_quick;
+    mk 133 "primQuickReturnNil" 0 G_quick;
+    mk 134 "primQuickReturnMinusOne" 0 G_quick;
+    mk 135 "primQuickReturnZero" 0 G_quick;
+    mk 136 "primQuickReturnOne" 0 G_quick;
+    mk 137 "primQuickReturnTwo" 0 G_quick;
+  ]
+
+let count = List.length all
+let by_id = Hashtbl.create 128
+let () = List.iter (fun i -> Hashtbl.replace by_id i.id i) all
+let find id = Hashtbl.find_opt by_id id
+
+let find_exn id =
+  match find id with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Primitive_table.find_exn: %d" id)
+
+let name id = (find_exn id).name
+let arity id = (find_exn id).arity
+let group id = (find_exn id).group
+let ids = List.map (fun i -> i.id) all

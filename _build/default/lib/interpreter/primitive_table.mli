@@ -1,0 +1,46 @@
+(** The native-method (primitive) table: 112 native methods, matching the
+    paper's evaluation scope.  Native methods are safe by design (§3.1):
+    they validate operand types/shapes and fail with a failure code —
+    except where a defect is deliberately seeded. *)
+
+type group =
+  | G_integer
+  | G_float
+  | G_object
+  | G_ffi  (** never implemented in the 32-bit compiler (seeded) *)
+  | G_quick
+
+val show_group : group -> string
+val pp_group : Format.formatter -> group -> unit
+val equal_group : group -> group -> bool
+val compare_group : group -> group -> int
+
+type info = {
+  id : int;
+  name : string;
+  arity : int;  (** number of arguments, excluding the receiver *)
+  group : group;
+}
+
+val all : info list
+val count : int
+(** 112, the paper's tested-native-methods count. *)
+
+val find : int -> info option
+val find_exn : int -> info
+val name : int -> string
+val arity : int -> int
+val group : int -> group
+val ids : int list
+
+(** {1 Well-known ids} *)
+
+val id_add : int
+val id_as_float : int
+(** The seeded missing-interpreter-type-check primitive (Listing 5). *)
+
+val id_float_add : int
+val id_bit_and : int
+val id_bit_or : int
+val id_bit_xor : int
+val id_bit_shift : int

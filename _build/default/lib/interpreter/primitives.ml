@@ -1,0 +1,680 @@
+(* Native methods (primitives), written as a functor over the VM-semantics
+   machine signature, like {!Interp}.
+
+   Native methods are *safe by design* (§3.1): they validate the types and
+   shapes of their operands and answer [Failed] when a check does not hold,
+   leaving the operand stack untouched so that interpretation can continue
+   with the user-defined fallback code.  On [Succeeded], the receiver and
+   arguments have been popped and the result pushed, and execution returns
+   to the caller.
+
+   Deliberately seeded defect (paper §5.3, Listing 5): [primAsFloat] (id
+   40) checks its receiver with an assertion that is compiled away, so the
+   interpreter untags pointer receivers as if they were integers and
+   produces garbage floats.
+
+   Stack convention: receiver at [stack_value arity], arguments above. *)
+
+module Make (M : Machine_intf.S_WITH_METHOD) = struct
+  type result = Succeeded | Failed
+
+  exception Prim_failed
+
+  open Machine_intf
+
+  let fail () = raise Prim_failed
+
+  let check b = if not b then fail ()
+
+  (* Pop receiver + [arity] args, push the result. *)
+  let answer m ~arity v =
+    M.pop_then_push m (arity + 1) v;
+    Succeeded
+
+  let int_receiver m ~arity =
+    let rcvr = M.stack_value m arity in
+    check (M.is_integer_object m rcvr);
+    M.integer_value_of m rcvr
+
+  let int_arg m ~depth =
+    let arg = M.stack_value m depth in
+    check (M.is_integer_object m arg);
+    M.integer_value_of m arg
+
+  let float_receiver m ~arity =
+    let rcvr = M.stack_value m arity in
+    check (M.is_float_object m rcvr);
+    M.float_value_of m rcvr
+
+  let float_arg m ~depth =
+    let arg = M.stack_value m depth in
+    check (M.is_float_object m arg);
+    M.float_value_of m arg
+
+  let in_range m v = check (M.is_integer_value m v)
+
+  let answer_int m ~arity v =
+    in_range m v;
+    answer m ~arity (M.integer_object_of m v)
+
+  let answer_bool m ~arity v = answer m ~arity v
+  let c0 m = M.num_const m 0
+  let c1 m = M.num_const m 1
+
+  (* --- Small integer primitives --- *)
+
+  let int_binop m f =
+    let a = int_receiver m ~arity:1 in
+    let b = int_arg m ~depth:0 in
+    answer_int m ~arity:1 (f a b)
+
+  let int_cmp m c =
+    let a = int_receiver m ~arity:1 in
+    let b = int_arg m ~depth:0 in
+    answer_bool m ~arity:1 (M.num_cmp_value m c a b)
+
+  (* Both operands must be non-negative: the interpreter's bitwise
+     primitives delegate negative cases to library code (the behavioural
+     difference of §5.3 — the compiled templates accept any sign). *)
+  let int_bitop m f =
+    let a = int_receiver m ~arity:1 in
+    let b = int_arg m ~depth:0 in
+    check (M.num_cmp m Cge a (c0 m));
+    check (M.num_cmp m Cge b (c0 m));
+    (* no overflow check: bitwise ops on non-negative immediates stay in
+       range, so the fast path pushes directly *)
+    answer m ~arity:1 (M.integer_object_of m (f a b))
+
+  let prim_divide m =
+    let a = int_receiver m ~arity:1 in
+    let b = int_arg m ~depth:0 in
+    check (M.num_cmp m Cne b (c0 m));
+    (* Exact division only: [10 / 4] is a Fraction, built in the fallback. *)
+    check (M.num_cmp m Ceq (M.num_mod m a b) (c0 m));
+    answer_int m ~arity:1 (M.num_div m a b)
+
+  let prim_bit_shift m =
+    let a = int_receiver m ~arity:1 in
+    let b = int_arg m ~depth:0 in
+    (* Negative shifts (right shifts) take the library fallback in the
+       interpreter. *)
+    check (M.num_cmp m Cge b (c0 m));
+    check (M.num_cmp m Cle b (M.num_const m 30));
+    answer_int m ~arity:1 (M.num_shift_left m a b)
+
+  let prim_as_float m ~checked =
+    if checked then begin
+      (* Fixed behaviour: explicit receiver type check. *)
+      let v = int_receiver m ~arity:0 in
+      answer m ~arity:0 (M.float_object_of m (M.float_of_num m v))
+    end
+    else begin
+      (* BUG (seeded, Listing 5): the receiver type is only checked with
+         an assertion that is removed at compile time.  Pointer receivers
+         are untagged as integers, producing garbage. *)
+      let rcvr = M.stack_value m 0 in
+      M.assert_is_integer m rcvr;
+      let v = M.unchecked_integer_value_of m rcvr in
+      answer m ~arity:0 (M.float_object_of m (M.float_of_num m v))
+    end
+
+  (* --- Float primitives --- *)
+
+  let float_binop m op =
+    let a = float_receiver m ~arity:1 in
+    let b = float_arg m ~depth:0 in
+    answer m ~arity:1 (M.float_object_of m (M.float_binop m op a b))
+
+  let float_cmp m c =
+    let a = float_receiver m ~arity:1 in
+    let b = float_arg m ~depth:0 in
+    answer_bool m ~arity:1 (M.float_cmp_value m c a b)
+
+  let float_unary m op =
+    let a = float_receiver m ~arity:0 in
+    answer m ~arity:0 (M.float_object_of m (M.float_unop m op a))
+
+  let float_to_int m conv =
+    let a = float_receiver m ~arity:0 in
+    answer_int m ~arity:0 (conv m a)
+
+  (* --- Object access helpers --- *)
+
+  (* 1-based indexable access, shared by primAt / primAtPut / primArrayAt. *)
+  let indexable_index m rcvr ~depth =
+    let index = M.stack_value m depth in
+    check (M.is_integer_object m index);
+    let i = M.integer_value_of m index in
+    check (M.num_cmp m Cge i (c1 m));
+    check (M.num_cmp m Cle i (M.indexable_size_of m rcvr));
+    M.num_sub m i (c1 m)
+
+  let prim_at m =
+    let rcvr = M.stack_value m 1 in
+    check (M.is_indexable m rcvr);
+    let zero_based = indexable_index m rcvr ~depth:0 in
+    let v =
+      if M.is_pointers_object m rcvr then
+        M.slot_at m rcvr (M.num_add m (M.fixed_size_of m rcvr) zero_based)
+      else M.integer_object_of m (M.byte_at m rcvr zero_based)
+    in
+    answer m ~arity:1 v
+
+  let prim_at_put m =
+    let rcvr = M.stack_value m 2 in
+    check (M.is_indexable m rcvr);
+    let zero_based = indexable_index m rcvr ~depth:1 in
+    let stored = M.stack_value m 0 in
+    if M.is_pointers_object m rcvr then begin
+      M.slot_at_put m rcvr
+        (M.num_add m (M.fixed_size_of m rcvr) zero_based)
+        stored;
+      answer m ~arity:2 stored
+    end
+    else begin
+      check (M.is_integer_object m stored);
+      let v = M.integer_value_of m stored in
+      check (M.num_cmp m Cge v (c0 m));
+      check (M.num_cmp m Cle v (M.num_const m 255));
+      M.byte_at_put m rcvr zero_based v;
+      answer m ~arity:2 stored
+    end
+
+  let prim_string_at m =
+    let rcvr = M.stack_value m 1 in
+    check (M.is_bytes_object m rcvr);
+    let zero_based = indexable_index m rcvr ~depth:0 in
+    answer m ~arity:1 (M.char_object_of m (M.byte_at m rcvr zero_based))
+
+  let prim_string_at_put m =
+    let rcvr = M.stack_value m 2 in
+    check (M.is_bytes_object m rcvr);
+    let zero_based = indexable_index m rcvr ~depth:1 in
+    let stored = M.stack_value m 0 in
+    check
+      (M.has_class m stored ~class_id:Vm_objects.Class_table.character_id);
+    let v = M.char_value_of m stored in
+    check (M.num_cmp m Cge v (c0 m));
+    check (M.num_cmp m Cle v (M.num_const m 255));
+    M.byte_at_put m rcvr zero_based v;
+    answer m ~arity:2 stored
+
+  let prim_inst_var_at m =
+    let rcvr = M.stack_value m 1 in
+    check (M.is_pointers_object m rcvr);
+    let index = M.stack_value m 0 in
+    check (M.is_integer_object m index);
+    let i = M.integer_value_of m index in
+    check (M.num_cmp m Cge i (c1 m));
+    check (M.num_cmp m Cle i (M.num_slots_of m rcvr));
+    answer m ~arity:1 (M.slot_at m rcvr (M.num_sub m i (c1 m)))
+
+  let prim_inst_var_at_put m =
+    let rcvr = M.stack_value m 2 in
+    check (M.is_pointers_object m rcvr);
+    let index = M.stack_value m 1 in
+    check (M.is_integer_object m index);
+    let i = M.integer_value_of m index in
+    check (M.num_cmp m Cge i (c1 m));
+    check (M.num_cmp m Cle i (M.num_slots_of m rcvr));
+    let stored = M.stack_value m 0 in
+    M.slot_at_put m rcvr (M.num_sub m i (c1 m)) stored;
+    answer m ~arity:2 stored
+
+  let prim_new m =
+    let rcvr = M.stack_value m 0 in
+    check (M.is_class_object m rcvr);
+    answer m ~arity:0 (M.instantiate_from_class_value m rcvr ~size:(c0 m))
+
+  let prim_new_with_arg m =
+    let rcvr = M.stack_value m 1 in
+    check (M.is_class_object m rcvr);
+    check (M.class_value_is_indexable m rcvr);
+    let size = int_arg m ~depth:0 in
+    check (M.num_cmp m Cge size (c0 m));
+    check (M.num_cmp m Cle size (M.num_const m 65535));
+    answer m ~arity:1 (M.instantiate_from_class_value m rcvr ~size)
+
+  let point_accessor m slot =
+    let rcvr = M.stack_value m 0 in
+    check (M.has_class m rcvr ~class_id:Vm_objects.Class_table.point_id);
+    answer m ~arity:0 (M.slot_at m rcvr (M.num_const m slot))
+
+  let point_setter m slot =
+    let rcvr = M.stack_value m 1 in
+    check (M.has_class m rcvr ~class_id:Vm_objects.Class_table.point_id);
+    let v = M.stack_value m 0 in
+    M.slot_at_put m rcvr (M.num_const m slot) v;
+    answer m ~arity:1 rcvr
+
+  (* --- FFI primitives ---
+
+     All operate on ExternalAddress byte objects with 0-based offsets,
+     mirroring raw memory accessors. *)
+
+  let external_receiver m ~arity =
+    let rcvr = M.stack_value m arity in
+    check
+      (M.has_class m rcvr
+         ~class_id:Vm_objects.Class_table.external_address_id);
+    rcvr
+
+  (* Offset argument: [width] bytes starting at the offset must be in
+     bounds. *)
+  let ffi_offset m rcvr ~depth ~width =
+    let off = int_arg m ~depth in
+    check (M.num_cmp m Cge off (c0 m));
+    check
+      (M.num_cmp m Cle
+         (M.num_add m off (M.num_const m width))
+         (M.indexable_size_of m rcvr));
+    off
+
+  (* Little-endian load of [width] bytes as a non-negative integer. *)
+  let ffi_load_unsigned m rcvr off ~width =
+    let rec go i acc =
+      if i >= width then acc
+      else
+        let b = M.byte_at m rcvr (M.num_add m off (M.num_const m i)) in
+        let shifted = M.num_mul m b (M.num_const m (1 lsl (8 * i))) in
+        go (i + 1) (M.num_add m acc shifted)
+    in
+    go 0 (c0 m)
+
+  (* Two's-complement reinterpretation, [((x + 2^(w-1)) mod 2^w) - 2^(w-1)],
+     expressed with pure arithmetic so the solver never sees bit
+     operations. *)
+  let to_signed m v ~bits =
+    let half = 1 lsl (bits - 1) in
+    let full = 1 lsl bits in
+    M.num_sub m
+      (M.num_mod m (M.num_add m v (M.num_const m half)) (M.num_const m full))
+      (M.num_const m half)
+
+  let ffi_load m ~width ~signed =
+    let rcvr = external_receiver m ~arity:1 in
+    let off = ffi_offset m rcvr ~depth:0 ~width in
+    let v = ffi_load_unsigned m rcvr off ~width in
+    let v = if signed then to_signed m v ~bits:(8 * width) else v in
+    answer_int m ~arity:1 v
+
+  (* Little-endian store of a (checked) signed integer. *)
+  let ffi_store m ~width =
+    let rcvr = external_receiver m ~arity:2 in
+    let off = ffi_offset m rcvr ~depth:1 ~width in
+    let stored = M.stack_value m 0 in
+    check (M.is_integer_object m stored);
+    let v = M.integer_value_of m stored in
+    let bits = 8 * width in
+    let bound = if bits >= Vm_objects.Value.small_int_bits then None else Some (1 lsl (bits - 1)) in
+    (match bound with
+    | Some b ->
+        check (M.num_cmp m Cge v (M.num_const m (-b)));
+        check (M.num_cmp m Clt v (M.num_const m b))
+    | None -> ());
+    (* Normalise to unsigned, then peel bytes arithmetically. *)
+    let unsigned =
+      if bits >= Vm_objects.Value.small_int_bits then
+        (* width covers the whole small-int range: no wrap needed for the
+           low bytes; the sign is folded in byte by byte below. *)
+        M.num_mod m
+          (M.num_add m v (M.num_const m (1 lsl (min bits 40))))
+          (M.num_const m (1 lsl (min bits 40)))
+      else
+        M.num_mod m
+          (M.num_add m v (M.num_const m (1 lsl bits)))
+          (M.num_const m (1 lsl bits))
+    in
+    let rec go i rest =
+      if i >= width then ()
+      else begin
+        let b = M.num_mod m rest (M.num_const m 256) in
+        M.byte_at_put m rcvr (M.num_add m off (M.num_const m i)) b;
+        go (i + 1) (M.num_div m rest (M.num_const m 256))
+      end
+    in
+    go 0 unsigned;
+    answer m ~arity:2 stored
+
+  let prim_ffi_load_pointer m =
+    let rcvr = external_receiver m ~arity:1 in
+    let off = ffi_offset m rcvr ~depth:0 ~width:4 in
+    (* Reads 4 bytes into a fresh 4-byte ExternalAddress. *)
+    let fresh =
+      M.instantiate m ~class_id:Vm_objects.Class_table.external_address_id
+        ~size:(M.num_const m 4)
+    in
+    for i = 0 to 3 do
+      let b = M.byte_at m rcvr (M.num_add m off (M.num_const m i)) in
+      M.byte_at_put m fresh (M.num_const m i) b
+    done;
+    answer m ~arity:1 fresh
+
+  let prim_ffi_store_pointer m =
+    let rcvr = external_receiver m ~arity:2 in
+    let off = ffi_offset m rcvr ~depth:1 ~width:4 in
+    let arg = M.stack_value m 0 in
+    check
+      (M.has_class m arg ~class_id:Vm_objects.Class_table.external_address_id);
+    check (M.num_cmp m Cge (M.indexable_size_of m arg) (M.num_const m 4));
+    for i = 0 to 3 do
+      let b = M.byte_at m arg (M.num_const m i) in
+      M.byte_at_put m rcvr (M.num_add m off (M.num_const m i)) b
+    done;
+    answer m ~arity:2 arg
+
+  let prim_ffi_load_float m ~width =
+    let rcvr = external_receiver m ~arity:1 in
+    let off = ffi_offset m rcvr ~depth:0 ~width in
+    let f =
+      if width = 4 then
+        M.float_of_bits32 m (ffi_load_unsigned m rcvr off ~width:4)
+      else
+        let lo = ffi_load_unsigned m rcvr off ~width:4 in
+        let hi =
+          ffi_load_unsigned m rcvr (M.num_add m off (M.num_const m 4)) ~width:4
+        in
+        M.float_of_bits64 m ~hi ~lo
+    in
+    answer m ~arity:1 (M.float_object_of m f)
+
+  let store_bytes_of m rcvr off v ~width =
+    let rec go i rest =
+      if i >= width then ()
+      else begin
+        let b = M.num_mod m rest (M.num_const m 256) in
+        M.byte_at_put m rcvr (M.num_add m off (M.num_const m i)) b;
+        go (i + 1) (M.num_div m rest (M.num_const m 256))
+      end
+    in
+    go 0 v
+
+  let prim_ffi_store_float m ~width =
+    let rcvr = external_receiver m ~arity:2 in
+    let off = ffi_offset m rcvr ~depth:1 ~width in
+    let stored = M.stack_value m 0 in
+    check (M.is_float_object m stored);
+    let f = M.float_value_of m stored in
+    if width = 4 then store_bytes_of m rcvr off (M.float_bits32 m f) ~width:4
+    else begin
+      store_bytes_of m rcvr off (M.float_bits64_lo m f) ~width:4;
+      store_bytes_of m rcvr
+        (M.num_add m off (M.num_const m 4))
+        (M.float_bits64_hi m f) ~width:4
+    end;
+    answer m ~arity:2 stored
+
+  (* --- Dispatch --- *)
+
+  let run_unprotected m ~defects ~prim_id =
+    let checked_as_float = defects.Defects.as_float_interpreter_check in
+    match prim_id with
+    (* Small integers *)
+    | 1 -> int_binop m (M.num_add m)
+    | 2 -> int_binop m (M.num_sub m)
+    | 3 -> int_cmp m Clt
+    | 4 -> int_cmp m Cgt
+    | 5 -> int_cmp m Cle
+    | 6 -> int_cmp m Cge
+    | 7 -> int_cmp m Ceq
+    | 8 -> int_cmp m Cne
+    | 9 -> int_binop m (M.num_mul m)
+    | 10 -> prim_divide m
+    | 11 ->
+        let a = int_receiver m ~arity:1 in
+        let b = int_arg m ~depth:0 in
+        check (M.num_cmp m Cne b (c0 m));
+        answer_int m ~arity:1 (M.num_mod m a b)
+    | 12 ->
+        let a = int_receiver m ~arity:1 in
+        let b = int_arg m ~depth:0 in
+        check (M.num_cmp m Cne b (c0 m));
+        answer_int m ~arity:1 (M.num_div m a b)
+    | 13 ->
+        let a = int_receiver m ~arity:1 in
+        let b = int_arg m ~depth:0 in
+        check (M.num_cmp m Cne b (c0 m));
+        answer_int m ~arity:1 (M.num_quo m a b)
+    | 14 -> int_bitop m (M.num_bit_and m)
+    | 15 -> int_bitop m (M.num_bit_or m)
+    | 16 -> int_bitop m (M.num_bit_xor m)
+    | 17 -> prim_bit_shift m
+    | 18 ->
+        let rcvr = M.stack_value m 1 in
+        check (M.is_integer_object m rcvr);
+        let arg = M.stack_value m 0 in
+        answer m ~arity:1 (M.make_point m rcvr arg)
+    | 19 -> answer_int m ~arity:0 (M.num_neg m (int_receiver m ~arity:0))
+    | 20 -> answer_int m ~arity:0 (M.num_abs m (int_receiver m ~arity:0))
+    | 21 ->
+        let a = int_receiver m ~arity:1 in
+        let b = int_arg m ~depth:0 in
+        check (M.num_cmp m Cne b (c0 m));
+        answer_int m ~arity:1 (M.num_rem m a b)
+    | 22 ->
+        let a = int_receiver m ~arity:1 in
+        let b = int_arg m ~depth:0 in
+        if M.num_cmp m Cle a b then answer_int m ~arity:1 a
+        else answer_int m ~arity:1 b
+    | 23 ->
+        let a = int_receiver m ~arity:1 in
+        let b = int_arg m ~depth:0 in
+        if M.num_cmp m Cge a b then answer_int m ~arity:1 a
+        else answer_int m ~arity:1 b
+    | 24 ->
+        let a = int_receiver m ~arity:0 in
+        if M.num_cmp m Cgt a (c0 m) then answer_int m ~arity:0 (c1 m)
+        else if M.num_cmp m Clt a (c0 m) then
+          answer_int m ~arity:0 (M.num_const m (-1))
+        else answer_int m ~arity:0 (c0 m)
+    | 25 ->
+        let a = int_receiver m ~arity:2 in
+        let lo = int_arg m ~depth:1 in
+        let hi = int_arg m ~depth:0 in
+        let ge = M.num_cmp m Cge a lo in
+        let le = M.num_cmp m Cle a hi in
+        answer_bool m ~arity:2 (M.bool_object m (ge && le))
+    | 26 ->
+        let a = int_receiver m ~arity:0 in
+        check (M.num_cmp m Cge a (c0 m));
+        answer_int m ~arity:0
+          (M.num_mod m
+             (M.num_mul m a (M.num_const m 1664525))
+             (M.num_const m (1 lsl 28)))
+    | 27 ->
+        let a = int_receiver m ~arity:0 in
+        answer_int m ~arity:0 a
+    (* Conversion *)
+    | 40 -> prim_as_float m ~checked:checked_as_float
+    (* Floats *)
+    | 41 -> float_binop m F_add
+    | 42 -> float_binop m F_sub
+    | 43 -> float_cmp m Clt
+    | 44 -> float_cmp m Cgt
+    | 45 -> float_cmp m Cle
+    | 46 -> float_cmp m Cge
+    | 47 -> float_cmp m Ceq
+    | 48 -> float_cmp m Cne
+    | 49 -> float_binop m F_mul
+    | 50 ->
+        let a = float_receiver m ~arity:1 in
+        let b = float_arg m ~depth:0 in
+        check (M.float_cmp m Cne b (M.float_const m 0.0));
+        answer m ~arity:1 (M.float_object_of m (M.float_binop m F_div a b))
+    | 51 -> float_to_int m M.float_truncated
+    | 52 ->
+        let a = float_receiver m ~arity:0 in
+        answer m ~arity:0 (M.float_object_of m (M.float_fraction_part m a))
+    | 53 ->
+        let a = float_receiver m ~arity:0 in
+        answer_int m ~arity:0 (M.float_exponent m a)
+    | 54 ->
+        let a = float_receiver m ~arity:1 in
+        let p = int_arg m ~depth:0 in
+        check (M.num_cmp m Cge p (M.num_const m (-1022)));
+        check (M.num_cmp m Cle p (M.num_const m 1023));
+        answer m ~arity:1
+          (M.float_object_of m
+             (M.float_binop m F_times_two_power a (M.float_of_num m p)))
+    | 55 ->
+        let a = float_receiver m ~arity:0 in
+        check (M.float_cmp m Cge a (M.float_const m 0.0));
+        answer m ~arity:0 (M.float_object_of m (M.float_unop m F_sqrt a))
+    | 56 -> float_unary m F_sin
+    | 57 -> float_unary m F_cos
+    | 58 -> float_unary m F_arctan
+    | 59 ->
+        let a = float_receiver m ~arity:0 in
+        check (M.float_cmp m Cgt a (M.float_const m 0.0));
+        answer m ~arity:0 (M.float_object_of m (M.float_unop m F_ln a))
+    | 60 -> float_unary m F_exp
+    | 61 -> float_to_int m M.float_rounded
+    | 62 -> float_to_int m M.float_ceiling
+    | 63 -> float_to_int m M.float_floor
+    | 64 -> float_unary m F_abs
+    | 65 -> float_unary m F_neg
+    | 66 ->
+        let a = float_receiver m ~arity:0 in
+        answer_bool m ~arity:0 (M.bool_object m (M.float_is_infinite m a))
+    | 67 ->
+        let a = float_receiver m ~arity:0 in
+        answer_bool m ~arity:0 (M.bool_object m (M.float_is_nan m a))
+    (* Object access *)
+    | 70 -> prim_at m
+    | 71 -> prim_at_put m
+    | 72 ->
+        let rcvr = M.stack_value m 0 in
+        check (M.is_indexable m rcvr);
+        answer m ~arity:0 (M.integer_object_of m (M.indexable_size_of m rcvr))
+    | 73 -> prim_string_at m
+    | 74 -> prim_string_at_put m
+    | 75 ->
+        let rcvr = M.stack_value m 1 in
+        check (M.has_class m rcvr ~class_id:Vm_objects.Class_table.array_id);
+        let zero_based = indexable_index m rcvr ~depth:0 in
+        answer m ~arity:1 (M.slot_at m rcvr zero_based)
+    | 76 -> prim_new m
+    | 77 -> prim_new_with_arg m
+    | 78 ->
+        let rcvr = M.stack_value m 0 in
+        answer m ~arity:0 (M.integer_object_of m (M.identity_hash_of m rcvr))
+    | 79 ->
+        let rcvr = M.stack_value m 0 in
+        answer m ~arity:0 (M.class_object_of m rcvr)
+    | 80 ->
+        let rcvr = M.stack_value m 0 in
+        check (not (M.is_integer_object m rcvr));
+        answer m ~arity:0 (M.shallow_copy m rcvr)
+    | 81 -> prim_inst_var_at m
+    | 82 -> prim_inst_var_at_put m
+    | 83 ->
+        let v = int_receiver m ~arity:0 in
+        check (M.num_cmp m Cge v (c0 m));
+        check (M.num_cmp m Cle v (M.num_const m 0x10FFFF));
+        answer m ~arity:0 (M.char_object_of m v)
+    | 84 ->
+        let rcvr = M.stack_value m 0 in
+        check
+          (M.has_class m rcvr ~class_id:Vm_objects.Class_table.character_id);
+        answer m ~arity:0 (M.integer_object_of m (M.char_value_of m rcvr))
+    | 85 ->
+        let rcvr = M.stack_value m 1 in
+        let arg = M.stack_value m 0 in
+        answer_bool m ~arity:1 (M.oop_equal_value m rcvr arg)
+    | 86 ->
+        let rcvr = M.stack_value m 1 in
+        let arg = M.stack_value m 0 in
+        let eq = M.oop_equal_value m rcvr arg in
+        answer_bool m ~arity:1 (M.oop_equal_value m eq (M.false_ m))
+    | 87 ->
+        let rcvr = M.stack_value m 0 in
+        answer_bool m ~arity:0 (M.oop_equal_value m rcvr (M.nil m))
+    | 88 ->
+        let rcvr = M.stack_value m 0 in
+        let eq = M.oop_equal_value m rcvr (M.nil m) in
+        answer_bool m ~arity:0 (M.oop_equal_value m eq (M.false_ m))
+    | 89 -> point_accessor m 0
+    | 90 -> point_accessor m 1
+    | 91 -> point_setter m 0
+    | 92 -> point_setter m 1
+    | 93 ->
+        let rcvr = M.stack_value m 0 in
+        check (M.is_bytes_object m rcvr);
+        answer m ~arity:0 (M.integer_object_of m (M.indexable_size_of m rcvr))
+    | 94 ->
+        let rcvr = M.stack_value m 0 in
+        answer_bool m ~arity:0 (M.bool_object m (M.is_pointers_object m rcvr))
+    | 95 ->
+        let rcvr = M.stack_value m 0 in
+        answer_bool m ~arity:0 (M.bool_object m (M.is_bytes_object m rcvr))
+    (* FFI *)
+    | 100 -> ffi_load m ~width:1 ~signed:true
+    | 101 -> ffi_load m ~width:1 ~signed:false
+    | 102 -> ffi_load m ~width:2 ~signed:true
+    | 103 -> ffi_load m ~width:2 ~signed:false
+    | 104 ->
+        (* 32-bit signed values can exceed the 31-bit immediate range;
+           [answer_int] fails the primitive in that case. *)
+        ffi_load m ~width:4 ~signed:true
+    | 105 -> ffi_load m ~width:4 ~signed:false
+    | 106 -> ffi_load m ~width:8 ~signed:true
+    | 107 -> ffi_store m ~width:1
+    | 108 -> ffi_store m ~width:2
+    | 109 -> ffi_store m ~width:4
+    | 110 -> ffi_store m ~width:8
+    | 111 -> prim_ffi_load_pointer m
+    | 112 -> prim_ffi_store_pointer m
+    | 113 ->
+        let rcvr = external_receiver m ~arity:0 in
+        answer_bool m ~arity:0
+          (M.num_cmp_value m Ceq (M.indexable_size_of m rcvr) (c0 m))
+    | 114 ->
+        let rcvr = external_receiver m ~arity:0 in
+        answer m ~arity:0 (M.integer_object_of m (M.indexable_size_of m rcvr))
+    | 115 ->
+        let rcvr = external_receiver m ~arity:1 in
+        let zero_based = indexable_index m rcvr ~depth:0 in
+        answer m ~arity:1 (M.integer_object_of m (M.byte_at m rcvr zero_based))
+    | 116 ->
+        let rcvr = external_receiver m ~arity:2 in
+        let zero_based = indexable_index m rcvr ~depth:1 in
+        let stored = M.stack_value m 0 in
+        check (M.is_integer_object m stored);
+        let v = M.integer_value_of m stored in
+        check (M.num_cmp m Cge v (c0 m));
+        check (M.num_cmp m Cle v (M.num_const m 255));
+        M.byte_at_put m rcvr zero_based v;
+        answer m ~arity:2 stored
+    | 117 ->
+        let n = int_receiver m ~arity:0 in
+        check (M.num_cmp m Cge n (c0 m));
+        check (M.num_cmp m Cle n (M.num_const m 65535));
+        answer m ~arity:0
+          (M.instantiate m
+             ~class_id:Vm_objects.Class_table.external_address_id ~size:n)
+    | 118 ->
+        let _rcvr = external_receiver m ~arity:0 in
+        answer m ~arity:0 (M.nil m)
+    | 119 -> prim_ffi_load_float m ~width:4
+    | 120 -> prim_ffi_load_float m ~width:8
+    | 121 -> prim_ffi_store_float m ~width:4
+    | 122 -> prim_ffi_store_float m ~width:8
+    (* Quick methods *)
+    | 130 -> answer m ~arity:0 (M.stack_value m 0)
+    | 131 -> answer m ~arity:0 (M.true_ m)
+    | 132 -> answer m ~arity:0 (M.false_ m)
+    | 133 -> answer m ~arity:0 (M.nil m)
+    | 134 -> answer m ~arity:0 (M.integer_object_of m (M.num_const m (-1)))
+    | 135 -> answer m ~arity:0 (M.integer_object_of m (c0 m))
+    | 136 -> answer m ~arity:0 (M.integer_object_of m (c1 m))
+    | 137 -> answer m ~arity:0 (M.integer_object_of m (M.num_const m 2))
+    | _ ->
+        raise
+          (Machine_intf.Unsupported_feature
+             (Printf.sprintf "native method %d" prim_id))
+
+  let run ?(defects = Defects.default) m ~prim_id =
+    match run_unprotected m ~defects ~prim_id with
+    | r -> r
+    | exception Prim_failed -> Failed
+end

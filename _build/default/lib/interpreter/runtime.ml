@@ -1,0 +1,256 @@
+(* The send machinery: method dictionaries, late-bound lookup along the
+   superclass chain, frame activation and cross-frame returns.
+
+   The differential tester treats "message send" as an *exit condition*
+   (the compiled code must reach the send trampoline, §3.4); this module
+   is what lies behind that trampoline in a running VM — it completes the
+   interpreter into a full execution engine so the substrate can run real
+   programs (used by the examples and by integration tests).
+
+   Selector identity is by string (interned symbols in a real VM); the
+   special and common byte-code selectors resolve through their canonical
+   Smalltalk names ("+", "at:put:", ...). *)
+
+open Vm_objects
+
+type t = {
+  om : Object_memory.t;
+  methods : (int * string, Value.t) Hashtbl.t; (* (class id, selector) → method *)
+  caches : (int * int, Inline_cache.t) Hashtbl.t;
+      (* send-site inline caches, keyed by (caller method oop, site pc) *)
+  defects : Defects.t;
+}
+
+exception
+  Does_not_understand of { class_id : int; selector : string }
+
+exception Must_be_boolean
+exception Vm_error of string
+
+let create ?(defects = Defects.default) om =
+  { om; methods = Hashtbl.create 64; caches = Hashtbl.create 64; defects }
+
+let object_memory t = t.om
+
+let install_method t ~class_id ~selector meth_oop =
+  if not (Heap.is_method (Object_memory.heap t.om) meth_oop) then
+    invalid_arg "Runtime.install_method: not a compiled method";
+  Hashtbl.replace t.methods (class_id, selector) meth_oop;
+  (* installing a method can shadow linked lookups: flush every send-site
+     cache (a real VM flushes selectively) *)
+  Hashtbl.iter (fun _ c -> Inline_cache.flush c) t.caches
+
+(* The inline cache of a send site, created unlinked on first use. *)
+let cache_at t ~site =
+  match Hashtbl.find_opt t.caches site with
+  | Some c -> c
+  | None ->
+      let c = Inline_cache.create () in
+      Hashtbl.replace t.caches site c;
+      c
+
+let cache_statistics t =
+  Hashtbl.fold
+    (fun _ c (sites, hits, misses) ->
+      (sites + 1, hits + Inline_cache.hits c, misses + Inline_cache.misses c))
+    t.caches (0, 0, 0)
+
+(* Compile-and-install convenience. *)
+let define t ~class_id ~selector ?(args = 0) ?(temps = 0) ?(literals = [])
+    ?native instrs =
+  let meth =
+    Bytecodes.Method_builder.build
+      (Object_memory.heap t.om)
+      ~args ~temps ~literals ?native instrs
+  in
+  install_method t ~class_id ~selector (Bytecodes.Compiled_method.oop meth);
+  meth
+
+(* Method lookup along the superclass chain. *)
+let lookup t ~class_id ~selector =
+  let table = Object_memory.class_table t.om in
+  let rec go cid =
+    match Hashtbl.find_opt t.methods (cid, selector) with
+    | Some m -> Some m
+    | None -> (
+        match Class_table.lookup table cid with
+        | Some desc -> (
+            match Class_desc.superclass desc with
+            | Some super -> go super
+            | None -> None)
+        | None -> None)
+  in
+  go class_id
+
+let lookup_exn t ~class_id ~selector =
+  match lookup t ~class_id ~selector with
+  | Some m -> m
+  | None -> raise (Does_not_understand { class_id; selector })
+
+(* Resolve an interpreter exit selector to its Smalltalk name. *)
+let selector_name t (frame : Frame.t) (sel : Exit_condition.selector) =
+  match sel with
+  | Exit_condition.Special s -> Bytecodes.Opcode.special_selector_name s
+  | Exit_condition.Common s -> Bytecodes.Opcode.common_selector_name s
+  | Exit_condition.Must_be_boolean -> "mustBeBoolean"
+  | Exit_condition.Literal i ->
+      (* the selector literal is a byte string (symbol) *)
+      let lit = Bytecodes.Compiled_method.literal_at (Frame.meth frame) i in
+      let om = t.om in
+      if Object_memory.is_bytes_object om lit then begin
+        let n = Object_memory.indexable_size om lit in
+        String.init n (fun k -> Char.chr (Object_memory.fetch_byte om lit k))
+      end
+      else raise (Vm_error (Printf.sprintf "selector literal %d is not a symbol" i))
+
+(* Activate [meth_oop]: receiver and [num_args] arguments are on the
+   caller's stack; pop them into a fresh frame. *)
+let activate t ~(caller : Frame.t) ~meth_oop ~num_args : Frame.t =
+  let meth = Bytecodes.Compiled_method.of_oop (Object_memory.heap t.om) meth_oop in
+  if Bytecodes.Compiled_method.num_args meth <> num_args then
+    raise
+      (Vm_error
+         (Printf.sprintf "method expects %d arguments, send has %d"
+            (Bytecodes.Compiled_method.num_args meth)
+            num_args));
+  let receiver = Frame.stack_value caller num_args in
+  let args = List.init num_args (fun i -> Frame.stack_value caller (num_args - 1 - i)) in
+  Frame.pop caller (num_args + 1);
+  let temps =
+    Array.init
+      (num_args + Bytecodes.Compiled_method.num_temps meth)
+      (fun i ->
+        if i < num_args then List.nth args i else Object_memory.nil t.om)
+  in
+  Frame.create ~receiver ~meth ~temps ~stack:[]
+
+(* Run a frame to its method return, executing sends by activating new
+   frames (and native methods by invoking the primitive with byte-code
+   fallback, §4.2). *)
+let rec run_frame ?(fuel = 100_000) ?(depth = 0) t (frame : Frame.t) : Value.t =
+  if depth > 200 then raise (Vm_error "call stack too deep");
+  let m = Concrete_machine.create ~om:t.om ~frame in
+  let rec interpret fuel =
+    if fuel <= 0 then raise (Vm_error "out of fuel")
+    else
+      match Concrete_machine.Interpreter.step m with
+      | Concrete_machine.Interpreter.Continue -> interpret (fuel - 1)
+      | Concrete_machine.Interpreter.Exit_return v -> v
+      | Concrete_machine.Interpreter.Exit_send { selector; num_args } ->
+          if selector = Exit_condition.Must_be_boolean then
+            raise Must_be_boolean;
+          let name = selector_name t frame selector in
+          let receiver = Frame.stack_value frame num_args in
+          let class_id = Object_memory.class_index_of t.om receiver in
+          let site =
+            ((Bytecodes.Compiled_method.oop (Frame.meth frame) :> int),
+             Frame.pc frame)
+          in
+          let result =
+            send ~site t ~caller:frame ~class_id ~selector:name ~num_args
+              ~depth
+          in
+          Frame.push frame result;
+          interpret (fuel - 1)
+  in
+  interpret fuel
+
+and send ?site t ~caller ~class_id ~selector ~num_args ~depth : Value.t =
+  (* probe the send-site inline cache first (mono → poly → megamorphic);
+     a miss performs the full lookup and links the site *)
+  let meth_oop =
+    match site with
+    | None -> lookup_exn t ~class_id ~selector
+    | Some site -> (
+        let cache = cache_at t ~site in
+        match Inline_cache.probe cache ~class_id with
+        | Some target -> (Obj.magic (target : int) : Value.t)
+        | None ->
+            let m = lookup_exn t ~class_id ~selector in
+            Inline_cache.link cache ~class_id ~target:(m :> int);
+            m)
+  in
+  let meth = Bytecodes.Compiled_method.of_oop (Object_memory.heap t.om) meth_oop in
+  match Bytecodes.Compiled_method.native_method meth with
+  | Some prim_id -> (
+      (* hybrid native method (§4.2): try the native behaviour on the
+         caller's operand stack; on failure, fall through to the
+         byte-code body *)
+      let m = Concrete_machine.create ~om:t.om ~frame:caller in
+      match
+        Concrete_machine.Native.run ~defects:t.defects m ~prim_id
+      with
+      | Concrete_machine.Native.Succeeded ->
+          (* the primitive popped receiver+args and pushed its answer *)
+          let v = Frame.stack_value caller 0 in
+          Frame.pop caller 1;
+          v
+      | Concrete_machine.Native.Failed ->
+          let callee = activate t ~caller ~meth_oop ~num_args in
+          run_frame ~depth:(depth + 1) t callee)
+  | None ->
+      let callee = activate t ~caller ~meth_oop ~num_args in
+      run_frame ~depth:(depth + 1) t callee
+
+(* Entry point: send [selector] to [receiver] with [args]. *)
+let send_message t receiver selector args =
+  (* a synthetic frame holding receiver + args as the operand stack *)
+  let meth =
+    Bytecodes.Method_builder.build
+      (Object_memory.heap t.om)
+      [ Bytecodes.Opcode.Nop ]
+  in
+  let frame =
+    Frame.create ~receiver:(Object_memory.nil t.om) ~meth ~temps:[||]
+      ~stack:(receiver :: args)
+  in
+  let class_id = Object_memory.class_index_of t.om receiver in
+  send t ~caller:frame ~class_id ~selector ~num_args:(List.length args)
+    ~depth:0
+
+(* --- garbage collection interface --- *)
+
+(* Everything the runtime keeps alive across collections: the permanent
+   object-memory roots plus every installed method (their literal frames
+   keep selector symbols and literals alive transitively). *)
+let gc_roots t =
+  Object_memory.permanent_roots t.om
+  @ Hashtbl.fold (fun _ m acc -> m :: acc) t.methods []
+
+(* Remap the runtime's tables through a collection's forwarding function.
+   Inline caches hold raw method handles, so they are flushed wholesale
+   (a real VM remaps them from the frame/code caches instead). *)
+let remap_after_gc t (forward : Value.t -> Value.t) =
+  let entries = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.methods [] in
+  Hashtbl.reset t.methods;
+  List.iter (fun (k, v) -> Hashtbl.replace t.methods k (forward v)) entries;
+  Hashtbl.iter (fun _ c -> Inline_cache.flush c) t.caches
+
+(* --- a tiny standard library, so the substrate runs real programs --- *)
+
+let symbol t name = Object_memory.allocate_string t.om name
+
+let install_kernel t =
+  let open Bytecodes.Opcode in
+  let int_id = Class_table.small_integer_id in
+  (* arithmetic fallbacks delegate to the native methods *)
+  List.iter
+    (fun (selector, prim) ->
+      ignore
+        (define t ~class_id:int_id ~selector ~args:1 ~native:prim
+           [ Push_nil; Return_top ]))
+    [
+      ("+", 1); ("-", 2); ("<", 3); (">", 4); ("<=", 5); (">=", 6); ("=", 7);
+      ("~=", 8); ("*", 9); ("//", 12); ("\\\\", 11); ("min:", 22); ("max:", 23);
+    ];
+  ignore
+    (define t ~class_id:int_id ~selector:"asFloat" ~native:40
+       [ Push_nil; Return_top ]);
+  (* Object >> yourself *)
+  ignore (define t ~class_id:Class_table.object_id ~selector:"yourself" [ Return_receiver ]);
+  ignore
+    (define t ~class_id:Class_table.object_id ~selector:"isNil" [ Return_false ]);
+  ignore
+    (define t ~class_id:Class_table.undefined_object_id ~selector:"isNil"
+       [ Return_true ]);
+  t

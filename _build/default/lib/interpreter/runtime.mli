@@ -1,0 +1,70 @@
+(** The send machinery behind the paper's message-send exit condition:
+    method dictionaries, late-bound lookup along the superclass chain,
+    frame activation, hybrid native methods with byte-code fallback
+    (§4.2), and send-site inline caches.
+
+    Completes the interpreter into a full execution engine, used by the
+    examples and integration tests to run real programs on the
+    substrate. *)
+
+type t
+
+exception Does_not_understand of { class_id : int; selector : string }
+exception Must_be_boolean
+exception Vm_error of string
+
+val create : ?defects:Defects.t -> Vm_objects.Object_memory.t -> t
+val object_memory : t -> Vm_objects.Object_memory.t
+
+val install_method :
+  t -> class_id:int -> selector:string -> Vm_objects.Value.t -> unit
+(** Install a compiled-method oop under [(class_id, selector)], flushing
+    the send-site inline caches.
+    @raise Invalid_argument if the oop is not a compiled method. *)
+
+val define :
+  t ->
+  class_id:int ->
+  selector:string ->
+  ?args:int ->
+  ?temps:int ->
+  ?literals:Vm_objects.Value.t list ->
+  ?native:int ->
+  Bytecodes.Opcode.t list ->
+  Bytecodes.Compiled_method.t
+(** Compile and install a method in one call. *)
+
+val lookup : t -> class_id:int -> selector:string -> Vm_objects.Value.t option
+(** Method lookup along the superclass chain. *)
+
+val lookup_exn : t -> class_id:int -> selector:string -> Vm_objects.Value.t
+(** @raise Does_not_understand when no class in the chain implements it. *)
+
+val send_message :
+  t -> Vm_objects.Value.t -> string -> Vm_objects.Value.t list -> Vm_objects.Value.t
+(** [send_message t receiver selector args] performs a full send and
+    returns the method's answer.
+    @raise Does_not_understand / Must_be_boolean / Vm_error on errors. *)
+
+val run_frame : ?fuel:int -> ?depth:int -> t -> Frame.t -> Vm_objects.Value.t
+(** Run a frame to its method return, executing sends by activating new
+    frames (native methods run their primitive first and fall back to
+    their byte-code body on failure). *)
+
+val cache_statistics : t -> int * int * int
+(** [(send sites, hits, misses)] over all inline caches. *)
+
+val gc_roots : t -> Vm_objects.Value.t list
+(** Everything the runtime keeps alive across collections: permanent
+    object-memory roots plus every installed method. *)
+
+val remap_after_gc : t -> (Vm_objects.Value.t -> Vm_objects.Value.t) -> unit
+(** Remap the method table through a collection's forwarding function
+    and flush the inline caches. *)
+
+val symbol : t -> string -> Vm_objects.Value.t
+(** Allocate a selector symbol (a byte string). *)
+
+val install_kernel : t -> t
+(** Install a minimal standard library (integer arithmetic through the
+    native methods, [yourself], [isNil], ...), returning [t]. *)

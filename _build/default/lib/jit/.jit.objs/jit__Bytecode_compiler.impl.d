@@ -1,0 +1,1 @@
+lib/jit/bytecode_compiler.pp.ml: Array Bytecodes Interpreter Ir List Machine Printf Vm_objects

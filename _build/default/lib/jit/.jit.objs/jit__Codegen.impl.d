@@ -1,0 +1,1 @@
+lib/jit/codegen.pp.ml: Ir List Machine Printf Vm_objects

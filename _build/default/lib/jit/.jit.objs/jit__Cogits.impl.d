@@ -1,0 +1,1 @@
+lib/jit/cogits.pp.ml: Bytecode_compiler Codegen Interpreter Ir Linear_scan List Native_templates Ppx_deriving_runtime Printf

@@ -1,0 +1,1 @@
+lib/jit/cogits.pp.mli: Bytecodes Codegen Format Interpreter Ir Machine

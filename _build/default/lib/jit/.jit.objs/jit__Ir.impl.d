@@ -1,0 +1,1 @@
+lib/jit/ir.pp.ml: Interpreter List Machine Ppx_deriving_runtime Printf Vm_objects

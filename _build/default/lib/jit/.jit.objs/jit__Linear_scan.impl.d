@@ -1,0 +1,1 @@
+lib/jit/linear_scan.pp.ml: Array Hashtbl Ir List

@@ -1,0 +1,1 @@
+lib/jit/native_templates.pp.ml: Interpreter Ir List Vm_objects

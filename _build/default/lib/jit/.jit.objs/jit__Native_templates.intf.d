@@ -1,0 +1,1 @@
+lib/jit/native_templates.pp.mli: Interpreter Ir

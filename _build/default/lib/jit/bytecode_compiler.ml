@@ -1,0 +1,778 @@
+(* The byte-code front-end compiler core, shared by the three byte-code
+   cogits (§4.1):
+
+   - [SimpleStackBasedCogit]: maps pushes and pops 1:1 to machine stack
+     operations and performs *no* static type prediction — every
+     arithmetic special compiles to a message send;
+   - [StackToRegisterCogit]: uses a parse-time simulation stack so pushed
+     values travel in registers/constants and only reach the machine
+     stack when something consumes them; inlines integer (but not float)
+     arithmetic;
+   - [RegisterAllocatingCogit]: the same front-end followed by a
+     linear-scan register allocation pass (see {!Linear_scan}).
+
+   The compilation unit is a whole method (§4.2): the differential tester
+   prepends pushes for the required operand-stack shape (Listing 3) and
+   appends a breakpoint marker; branch targets land on distinct markers.
+
+   Seeded behavioural differences (§5.3) live here, gated by
+   {!Interpreter.Defects.t}: the inlined bitwise byte-codes of the
+   stack-to-register compilers skip the interpreter's non-negative
+   operand checks, and bitXor: is inlined even though the interpreter
+   always sends it. *)
+
+open Ir
+module Op = Bytecodes.Opcode
+
+type policy = {
+  name : string;
+  simulate_stack : bool;
+  inline_int_arith : bool; (* + - * // \\ *)
+  inline_int_compare : bool; (* < > <= >= = ~= *)
+  inline_bitwise : bool; (* bitAnd: bitOr: bitShift: *)
+}
+
+let simple_policy =
+  {
+    name = "SimpleStackBasedCogit";
+    simulate_stack = false;
+    inline_int_arith = false;
+    inline_int_compare = false;
+    inline_bitwise = false;
+  }
+
+let stack_to_register_policy =
+  {
+    name = "StackToRegisterCogit";
+    simulate_stack = true;
+    inline_int_arith = true;
+    inline_int_compare = true;
+    inline_bitwise = true;
+  }
+
+(* --- Parse-time simulation stack --- *)
+
+type sim_entry = SE_const of int | SE_vreg of vreg
+
+type t = {
+  ctx : ctx;
+  policy : policy;
+  literals : int array; (* tagged literal words of the method *)
+  mutable sim : sim_entry list; (* top first; only when simulate_stack *)
+  mutable taken_label : string;
+      (* where the current instruction's branch edge lands: a stop marker
+         for single-instruction units, a pc label inside a sequence *)
+}
+
+let create ~defects ~policy ~literals =
+  { ctx = create_ctx ~defects; policy; literals; sim = []; taken_label = "taken" }
+
+let defects t = t.ctx.defects
+let emit t i = Ir.emit t.ctx i
+let vreg t = fresh_vreg t.ctx
+let label t p = fresh_label t.ctx p
+
+let operand_of_entry = function SE_const c -> C c | SE_vreg v -> V v
+
+(* Materialise an operand into a simulation-stack entry. *)
+let entry_of_operand t (o : operand) =
+  match o with
+  | C c -> SE_const c
+  | V v -> SE_vreg v
+  | Recv | Arg _ ->
+      let v = vreg t in
+      emit t (I_move (v, o));
+      SE_vreg v
+
+let push_operand t (o : operand) =
+  if t.policy.simulate_stack then t.sim <- entry_of_operand t o :: t.sim
+  else emit t (I_push o)
+
+let pop_operand t : operand =
+  if t.policy.simulate_stack then
+    match t.sim with
+    | e :: rest ->
+        t.sim <- rest;
+        operand_of_entry e
+    | [] ->
+        (* Simulation stack underflow: consume from the machine stack. *)
+        let v = vreg t in
+        emit t (I_pop v);
+        V v
+  else begin
+    let v = vreg t in
+    emit t (I_pop v);
+    V v
+  end
+
+(* Write all simulated entries to the machine stack (done at sends,
+   branches and at the end of the compilation unit). *)
+let flush t =
+  if t.policy.simulate_stack then begin
+    List.iter (fun e -> emit t (I_push (operand_of_entry e))) (List.rev t.sim);
+    t.sim <- []
+  end
+
+let send t selector num_args =
+  flush t;
+  emit t (I_send { Machine.Machine_code.selector; num_args })
+
+(* Re-push popped operands (bottom-up order) before taking a slow path. *)
+let repush t (ops_bottom_up : operand list) =
+  List.iter (fun o -> push_operand t o) ops_bottom_up
+
+(* --- Inlined arithmetic specials --- *)
+
+(* Common shape: pop arg then receiver, try the fast path, fall back to
+   the special-selector send with the operands restored. *)
+(* After a fast path deposits its result, canonicalise the top simulation
+   entry into a shared register so every fast path reaching the join has
+   the same stack shape (real Cogit merges simulation states the same
+   way). *)
+let canonicalise_result t shared =
+  if t.policy.simulate_stack then begin
+    match t.sim with
+    | e :: rest ->
+        (match e with
+        | SE_vreg v when v = shared -> ()
+        | _ -> emit t (I_move (shared, operand_of_entry e)));
+        t.sim <- SE_vreg shared :: rest
+    | [] -> ()
+  end
+  else begin
+    (* machine-stack policy: move through the shared register uniformly *)
+    emit t (I_pop shared);
+    emit t (I_push (V shared))
+  end
+
+(* Try each fast path in turn; each starts from the same simulation-stack
+   state and deposits its result in [shared].  The final fallback restores
+   the operands and performs the send. *)
+let with_binary_fastpaths t selector ~fasts =
+  let arg = pop_operand t in
+  let rcvr = pop_operand t in
+  let saved = t.sim in
+  let shared = vreg t in
+  let done_ = label t "done" in
+  List.iter
+    (fun fast ->
+      t.sim <- saved;
+      let next = label t "try_next" in
+      fast ~rcvr ~arg ~slow:next;
+      canonicalise_result t shared;
+      emit t (I_jump done_);
+      emit t (I_label next))
+    fasts;
+  t.sim <- saved;
+  repush t [ rcvr; arg ];
+  send t selector 1;
+  emit t (I_label done_);
+  t.sim <- (if t.policy.simulate_stack then SE_vreg shared :: saved else [])
+
+let with_binary_fastpath t selector ~fast =
+  with_binary_fastpaths t selector ~fasts:[ fast ]
+
+let untag2 t ~rcvr ~arg ~slow =
+  emit t (I_check_small_int (rcvr, slow));
+  emit t (I_check_small_int (arg, slow));
+  let ua = vreg t and ub = vreg t in
+  emit t (I_untag (ua, rcvr));
+  emit t (I_untag (ub, arg));
+  (ua, ub)
+
+let int_arith_fast t op ~check_divisor ~rcvr ~arg ~slow =
+  let ua, ub = untag2 t ~rcvr ~arg ~slow in
+  if check_divisor then emit t (I_cmp_jump (Eq, V ub, C 0, slow));
+  let r = vreg t in
+  emit t (I_alu (op, r, V ua, V ub));
+  emit t (I_jump_overflow slow);
+  let tagged = vreg t in
+  emit t (I_tag (tagged, V r));
+  push_operand t (V tagged)
+
+let int_compare_fast t cond ~rcvr ~arg ~slow =
+  let ua, ub = untag2 t ~rcvr ~arg ~slow in
+  let r = vreg t in
+  emit t (I_bool_result (cond, r, V ua, V ub));
+  push_operand t (V r)
+
+(* The inlined bitwise byte-codes: the interpreter's fast path requires
+   non-negative operands (and falls back to library code otherwise); the
+   compiled version only performs those sign checks in the pristine
+   configuration — the seeded behavioural difference of §5.3. *)
+let int_bitwise_fast t op ~rcvr ~arg ~slow =
+  let ua, ub = untag2 t ~rcvr ~arg ~slow in
+  if (defects t).Interpreter.Defects.bytecode_bitwise_sign_checks then begin
+    emit t (I_cmp_jump (Lt, V ua, C 0, slow));
+    emit t (I_cmp_jump (Lt, V ub, C 0, slow))
+  end;
+  let r = vreg t in
+  emit t (I_alu (op, r, V ua, V ub));
+  (* no overflow check: And/Or of two immediates stays in range *)
+  let tagged = vreg t in
+  emit t (I_tag (tagged, V r));
+  push_operand t (V tagged)
+
+let bit_shift_fast t ~rcvr ~arg ~slow =
+  let ua, ub = untag2 t ~rcvr ~arg ~slow in
+  let negative = label t "shift_right" in
+  let done_ = label t "shift_done" in
+  let r = vreg t in
+  let tagged = vreg t in
+  if (defects t).Interpreter.Defects.bytecode_bitwise_sign_checks then
+    (* pristine: negative shift distances take the slow path, like the
+       interpreter *)
+    emit t (I_cmp_jump (Lt, V ub, C 0, slow))
+  else emit t (I_cmp_jump (Lt, V ub, C 0, negative));
+  emit t (I_cmp_jump (Gt, V ub, C 30, slow));
+  emit t (I_alu (Shl, r, V ua, V ub));
+  emit t (I_jump_overflow slow);
+  emit t (I_tag (tagged, V r));
+  emit t (I_jump done_);
+  if not (defects t).Interpreter.Defects.bytecode_bitwise_sign_checks then begin
+    (* seeded: compiled code handles negative distances as arithmetic
+       right shifts and succeeds where the interpreter sends *)
+    emit t (I_label negative);
+    let mag = vreg t in
+    emit t (I_alu (Sub, mag, C 0, V ub));
+    emit t (I_cmp_jump (Gt, V mag, C 30, slow));
+    emit t (I_alu (Sar, r, V ua, V mag));
+    emit t (I_tag (tagged, V r))
+  end;
+  emit t (I_label done_);
+  (* both branches left the result in [tagged]; push once at the join *)
+  push_operand t (V tagged)
+
+let float_arith_fast t op ~check_divisor ~rcvr ~arg ~slow =
+  emit t (I_check_class (rcvr, Vm_objects.Class_table.boxed_float_id, slow));
+  emit t (I_check_class (arg, Vm_objects.Class_table.boxed_float_id, slow));
+  emit t (I_unbox_float (0, rcvr));
+  emit t (I_unbox_float (1, arg));
+  if check_divisor then begin
+    emit t (I_cvt_int_float (2, C 0));
+    emit t (I_fcmp_jump (Eq, 1, 2, slow))
+  end;
+  emit t (I_falu (op, 0, 0, 1));
+  let r = vreg t in
+  emit t (I_box_float (r, 0));
+  push_operand t (V r)
+
+let compile_arith t (sel : Op.special_selector) =
+  let inline_float = (defects t).Interpreter.Defects.compilers_inline_float_arith in
+  let plain_send () =
+    send t (Interpreter.Exit_condition.Special sel) 1
+  in
+  (* Build the fast path chain the policy allows. *)
+  let int_fast op ~check_divisor =
+    if t.policy.inline_int_arith then
+      Some
+        (fun ~rcvr ~arg ~slow -> int_arith_fast t op ~check_divisor ~rcvr ~arg ~slow)
+    else None
+  in
+  let cmp_fast cond =
+    if t.policy.inline_int_compare then
+      Some (fun ~rcvr ~arg ~slow -> int_compare_fast t cond ~rcvr ~arg ~slow)
+    else None
+  in
+  let bit_fast op =
+    if t.policy.inline_bitwise then
+      Some (fun ~rcvr ~arg ~slow -> int_bitwise_fast t op ~rcvr ~arg ~slow)
+    else None
+  in
+  let float_fast op ~check_divisor =
+    if inline_float && t.policy.simulate_stack then
+      Some
+        (fun ~rcvr ~arg ~slow ->
+          float_arith_fast t op ~check_divisor ~rcvr ~arg ~slow)
+    else None
+  in
+  let opt l = List.filter_map (fun x -> x) l in
+  let fasts : (rcvr:Ir.operand -> arg:Ir.operand -> slow:string -> unit) list =
+    match sel with
+    | Sel_add ->
+        opt [ int_fast Add ~check_divisor:false; float_fast FAdd ~check_divisor:false ]
+    | Sel_sub ->
+        opt [ int_fast Sub ~check_divisor:false; float_fast FSub ~check_divisor:false ]
+    | Sel_mul ->
+        opt [ int_fast Mul ~check_divisor:false; float_fast FMul ~check_divisor:false ]
+    | Sel_int_div -> opt [ int_fast Div ~check_divisor:true ]
+    | Sel_mod -> opt [ int_fast Mod ~check_divisor:true ]
+    | Sel_divide ->
+        (* no integer fast path for [/] — the interpreter has none either *)
+        opt [ float_fast FDiv ~check_divisor:true ]
+    | Sel_lt -> opt [ cmp_fast Lt ]
+    | Sel_gt -> opt [ cmp_fast Gt ]
+    | Sel_le -> opt [ cmp_fast Le ]
+    | Sel_ge -> opt [ cmp_fast Ge ]
+    | Sel_eq -> opt [ cmp_fast Eq ]
+    | Sel_ne -> opt [ cmp_fast Ne ]
+    | Sel_bit_and -> opt [ bit_fast And ]
+    | Sel_bit_or -> opt [ bit_fast Or ]
+    | Sel_bit_shift ->
+        if t.policy.inline_bitwise then
+          [ (fun ~rcvr ~arg ~slow -> bit_shift_fast t ~rcvr ~arg ~slow) ]
+        else []
+    | Sel_make_point -> [] (* never inlined *)
+  in
+  match fasts with
+  | [] -> plain_send ()
+  | fasts ->
+      with_binary_fastpaths t (Interpreter.Exit_condition.Special sel) ~fasts
+
+(* --- Inlined common specials (same semantics as the interpreter in all
+   three byte-code compilers) --- *)
+
+let with_unary_fastpath t sel ~fast =
+  let rcvr = pop_operand t in
+  let saved = t.sim in
+  let shared = vreg t in
+  let slow = label t "slow" in
+  let done_ = label t "done" in
+  fast ~rcvr ~slow;
+  canonicalise_result t shared;
+  emit t (I_jump done_);
+  emit t (I_label slow);
+  t.sim <- saved;
+  repush t [ rcvr ];
+  send t (Interpreter.Exit_condition.Common sel) 0;
+  emit t (I_label done_);
+  t.sim <- (if t.policy.simulate_stack then SE_vreg shared :: saved else [])
+
+let compile_at_fixed t =
+  let idx = pop_operand t in
+  let rcvr = pop_operand t in
+  let base_sim = t.sim in
+  let slow = label t "slow" in
+  let done_ = label t "done" in
+  let bytes_case = label t "bytes" in
+  emit t (I_check_small_int (idx, slow));
+  emit t (I_check_indexable (rcvr, slow));
+  let i = vreg t in
+  emit t (I_untag (i, idx));
+  emit t (I_cmp_jump (Lt, V i, C 1, slow));
+  let size = vreg t in
+  emit t (I_load_indexable_size (size, rcvr));
+  emit t (I_cmp_jump (Gt, V i, V size, slow));
+  let i0 = vreg t in
+  emit t (I_alu (Sub, i0, V i, C 1));
+  let res = vreg t in
+  emit t (I_check_pointers (rcvr, bytes_case));
+  let f = vreg t in
+  emit t (I_load_fixed_size (f, rcvr));
+  let slot = vreg t in
+  emit t (I_alu (Add, slot, V f, V i0));
+  emit t (I_load_slot (res, rcvr, V slot));
+  emit t (I_jump done_);
+  emit t (I_label bytes_case);
+  let b = vreg t in
+  emit t (I_load_byte (b, rcvr, V i0));
+  emit t (I_tag (res, V b));
+  emit t (I_label done_);
+  let after = label t "after" in
+  push_operand t (V res);
+  emit t (I_jump after);
+  emit t (I_label slow);
+  t.sim <- base_sim;
+  repush t [ rcvr; idx ];
+  send t (Interpreter.Exit_condition.Common Op.Sel_at) 1;
+  emit t (I_label after);
+  t.sim <- (if t.policy.simulate_stack then SE_vreg res :: base_sim else [])
+
+let compile_at_put t =
+  let stored = pop_operand t in
+  let idx = pop_operand t in
+  let rcvr = pop_operand t in
+  let base_sim = t.sim in
+  let slow = label t "slow" in
+  let after = label t "after" in
+  let bytes_case = label t "bytes" in
+  emit t (I_check_small_int (idx, slow));
+  emit t (I_check_indexable (rcvr, slow));
+  let i = vreg t in
+  emit t (I_untag (i, idx));
+  emit t (I_cmp_jump (Lt, V i, C 1, slow));
+  let size = vreg t in
+  emit t (I_load_indexable_size (size, rcvr));
+  emit t (I_cmp_jump (Gt, V i, V size, slow));
+  let i0 = vreg t in
+  emit t (I_alu (Sub, i0, V i, C 1));
+  emit t (I_check_pointers (rcvr, bytes_case));
+  let f = vreg t in
+  emit t (I_load_fixed_size (f, rcvr));
+  let slot = vreg t in
+  emit t (I_alu (Add, slot, V f, V i0));
+  emit t (I_store_slot (rcvr, V slot, stored));
+  emit t (I_jump after);
+  emit t (I_label bytes_case);
+  emit t (I_check_small_int (stored, slow));
+  let sv = vreg t in
+  emit t (I_untag (sv, stored));
+  emit t (I_cmp_jump (Lt, V sv, C 0, slow));
+  emit t (I_cmp_jump (Gt, V sv, C 255, slow));
+  emit t (I_store_byte (rcvr, V i0, V sv));
+  emit t (I_jump after);
+  emit t (I_label slow);
+  t.sim <- base_sim;
+  repush t [ rcvr; idx; stored ];
+  send t (Interpreter.Exit_condition.Common Op.Sel_at_put) 2;
+  emit t (I_label after);
+  t.sim <- base_sim;
+  push_operand t stored
+
+let compile_common t (sel : Op.common_selector) =
+  match sel with
+  | Sel_at -> compile_at_fixed t
+  | Sel_at_put -> compile_at_put t
+  | Sel_size ->
+      with_unary_fastpath t sel ~fast:(fun ~rcvr ~slow ->
+          emit t (I_check_indexable (rcvr, slow));
+          let s = vreg t in
+          emit t (I_load_indexable_size (s, rcvr));
+          let tagged = vreg t in
+          emit t (I_tag (tagged, V s));
+          push_operand t (V tagged))
+  | Sel_identical | Sel_not_identical ->
+      let arg = pop_operand t in
+      let rcvr = pop_operand t in
+      let r = vreg t in
+      let cond : Ir.cond = if sel = Sel_identical then Eq else Ne in
+      emit t (I_bool_result (cond, r, rcvr, arg));
+      push_operand t (V r)
+  | Sel_class ->
+      let rcvr = pop_operand t in
+      let r = vreg t in
+      emit t (I_load_class_object (r, rcvr));
+      push_operand t (V r)
+  | Sel_is_nil | Sel_not_nil ->
+      let rcvr = pop_operand t in
+      let r = vreg t in
+      let cond : Ir.cond = if sel = Sel_is_nil then Eq else Ne in
+      emit t (I_bool_result (cond, r, rcvr, C nil_word));
+      push_operand t (V r)
+  | Sel_identity_hash ->
+      let rcvr = pop_operand t in
+      let h = vreg t in
+      emit t (I_identity_hash (h, rcvr));
+      let tagged = vreg t in
+      emit t (I_tag (tagged, V h));
+      push_operand t (V tagged)
+  | Sel_point_x | Sel_point_y ->
+      with_unary_fastpath t sel ~fast:(fun ~rcvr ~slow ->
+          emit t (I_check_class (rcvr, Vm_objects.Class_table.point_id, slow));
+          let r = vreg t in
+          emit t
+            (I_load_slot (r, rcvr, C (if sel = Sel_point_x then 0 else 1)));
+          push_operand t (V r))
+  | Sel_as_character ->
+      with_unary_fastpath t sel ~fast:(fun ~rcvr ~slow ->
+          emit t (I_check_small_int (rcvr, slow));
+          let v = vreg t in
+          emit t (I_untag (v, rcvr));
+          emit t (I_cmp_jump (Lt, V v, C 0, slow));
+          emit t (I_cmp_jump (Gt, V v, C 0x10FFFF, slow));
+          let c = vreg t in
+          emit t (I_make_char (c, V v));
+          push_operand t (V c))
+  | Sel_char_value ->
+      with_unary_fastpath t sel ~fast:(fun ~rcvr ~slow ->
+          emit t
+            (I_check_class (rcvr, Vm_objects.Class_table.character_id, slow));
+          let v = vreg t in
+          emit t (I_char_value (v, rcvr));
+          let tagged = vreg t in
+          emit t (I_tag (tagged, V v));
+          push_operand t (V tagged))
+  | Sel_bit_xor ->
+      (* The interpreter never inlines bitXor:; the stack-to-register
+         compilers do when the seed is active — an optimisation present
+         in the compiler but not the interpreter (§5.3). *)
+      if
+        t.policy.simulate_stack
+        && (defects t).Interpreter.Defects.inline_bitxor_in_stack_to_register
+      then
+        with_binary_fastpath t
+          (Interpreter.Exit_condition.Common Op.Sel_bit_xor)
+          ~fast:(fun ~rcvr ~arg ~slow ->
+            let ua, ub = untag2 t ~rcvr ~arg ~slow in
+            let r = vreg t in
+            emit t (I_alu (Xor, r, V ua, V ub));
+            let tagged = vreg t in
+            emit t (I_tag (tagged, V r));
+            push_operand t (V tagged))
+      else send t (Interpreter.Exit_condition.Common sel) 1
+  | Sel_new -> send t (Interpreter.Exit_condition.Common sel) 0
+  | Sel_new_with_arg -> send t (Interpreter.Exit_condition.Common sel) 1
+
+(* --- Conditional jumps --- *)
+
+let compile_conditional_jump t ~jump_if_false =
+  let o = pop_operand t in
+  flush t;
+  let fall = label t "fall" in
+  let jump_word = if jump_if_false then false_word else true_word in
+  let stay_word = if jump_if_false then true_word else false_word in
+  emit t (I_cmp_jump (Eq, o, C jump_word, t.taken_label));
+  emit t (I_cmp_jump (Eq, o, C stay_word, fall));
+  (* Non-boolean: send #mustBeBoolean with the value back on the stack. *)
+  emit t (I_push o);
+  emit t
+    (I_send
+       { Machine.Machine_code.selector = Interpreter.Exit_condition.Must_be_boolean; num_args = 0 });
+  emit t (I_label fall)
+
+(* --- Main dispatch --- *)
+
+let literal t n =
+  if n < 0 || n >= Array.length t.literals then
+    raise (Unsupported_instruction (Printf.sprintf "literal %d out of range" n))
+  else t.literals.(n)
+
+let compile_instruction t (instr : Op.t) =
+  match instr with
+  | Push_receiver_variable n ->
+      let v = vreg t in
+      emit t (I_load_slot (v, Recv, C n));
+      push_operand t (V v)
+  | Push_receiver_variable_ext n ->
+      (* The extended form uses the scratch register whose reflective
+         setter is missing (the seeded simulation-error path). *)
+      emit t (I_load_slot (scratch2, Recv, C n));
+      push_operand t (V scratch2)
+  | Push_literal_constant n | Push_literal_ext n ->
+      push_operand t (C (literal t n))
+  | Push_temp n | Push_temp_ext n ->
+      let v = vreg t in
+      emit t (I_load_temp (v, n));
+      push_operand t (V v)
+  | Push_receiver -> push_operand t Recv
+  | Push_true -> push_operand t (C true_word)
+  | Push_false -> push_operand t (C false_word)
+  | Push_nil -> push_operand t (C nil_word)
+  | Push_zero -> push_operand t (C (tagged_int 0))
+  | Push_one -> push_operand t (C (tagged_int 1))
+  | Push_minus_one -> push_operand t (C (tagged_int (-1)))
+  | Push_two -> push_operand t (C (tagged_int 2))
+  | Push_integer_byte n -> push_operand t (C (tagged_int n))
+  | Dup ->
+      if t.policy.simulate_stack then begin
+        match t.sim with
+        | e :: _ -> t.sim <- e :: t.sim
+        | [] ->
+            let v = vreg t in
+            emit t (I_pop v);
+            t.sim <- SE_vreg v :: SE_vreg v :: t.sim
+      end
+      else begin
+        let v = vreg t in
+        emit t (I_pop v);
+        emit t (I_push (V v));
+        emit t (I_push (V v))
+      end
+  | Pop -> ignore (pop_operand t)
+  | Swap ->
+      let a = pop_operand t in
+      let b = pop_operand t in
+      push_operand t a;
+      push_operand t b
+  | Return_top ->
+      let o = pop_operand t in
+      emit t (I_return o)
+  | Return_receiver -> emit t (I_return Recv)
+  | Return_true -> emit t (I_return (C true_word))
+  | Return_false -> emit t (I_return (C false_word))
+  | Return_nil -> emit t (I_return (C nil_word))
+  | Push_this_context ->
+      raise (Unsupported_instruction "pushThisContext (context reification)")
+  | Nop -> ()
+  | Store_and_pop_receiver_variable n ->
+      let o = pop_operand t in
+      emit t (I_store_slot (Recv, C n, o))
+  | Store_receiver_variable_ext n ->
+      (* Stores through the scratch register whose reflective getter is
+         missing (the second seeded simulation-error path). *)
+      let o = pop_operand t in
+      emit t (I_move (scratch1, o));
+      emit t (I_store_slot (Recv, C n, V scratch1))
+  | Store_and_pop_temp n | Store_temp_ext n ->
+      let o = pop_operand t in
+      emit t (I_store_temp (n, o))
+  | Jump _ | Jump_ext _ ->
+      flush t;
+      emit t (I_jump t.taken_label)
+  | Jump_false _ | Jump_false_ext _ ->
+      compile_conditional_jump t ~jump_if_false:true
+  | Jump_true _ | Jump_true_ext _ ->
+      compile_conditional_jump t ~jump_if_false:false
+  | Arith_special sel -> compile_arith t sel
+  | Common_special sel -> compile_common t sel
+  | Send { selector; num_args } | Send_ext { selector; num_args } ->
+      ignore (literal t selector);
+      send t (Interpreter.Exit_condition.Literal selector) num_args
+
+(* --- Compilation unit (Listing 3): setup pushes, the instruction, and a
+   success marker; branch targets land on marker 1. --- *)
+
+let compile ~defects ~policy ~literals ~(stack_setup : int list)
+    (instr : Op.t) : ir list =
+  let t = create ~defects ~policy ~literals in
+  List.iter (fun w -> push_operand t (C w)) stack_setup;
+  compile_instruction t instr;
+  flush t;
+  emit t (I_stop 0);
+  (if Op.is_branch instr then begin
+     emit t (I_label "taken");
+     emit t (I_stop 1)
+   end);
+  finish t.ctx
+
+(* --- Compilation of byte-code sequences (the paper's future work:
+   "generate minimal and relevant byte-code sequences for unit testing
+   the JIT compiler").
+
+   A sequence compiles as one unit: the parse-time simulation stack flows
+   across instruction boundaries — exactly where the stack-to-register
+   optimisation pays off — and branch targets resolve to pc labels inside
+   the unit.  At every boundary that is a branch target the simulation
+   stack is flushed, so all inbound edges agree on machine-stack
+   residency (the real Cogit's merge-point discipline). --- *)
+
+let sequence_pcs (instrs : Op.t list) =
+  (* byte pc of each instruction, plus the end pc *)
+  let rec go pc = function
+    | [] -> [ pc ]
+    | i :: rest -> pc :: go (pc + List.length (Bytecodes.Encoding.encode i)) rest
+  in
+  go 0 instrs
+
+let branch_targets (instrs : Op.t list) =
+  let pcs = sequence_pcs instrs in
+  List.concat
+    (List.mapi
+       (fun k instr ->
+         let pc = List.nth pcs k in
+         let next = List.nth pcs (k + 1) in
+         ignore pc;
+         match (instr : Op.t) with
+         | Jump d | Jump_false d | Jump_true d -> [ next + d ]
+         | Jump_ext d | Jump_false_ext d | Jump_true_ext d -> [ next + d ]
+         | _ -> [])
+       instrs)
+
+(* Compare-and-branch fusion (byte-code look-aheads, §4.3 implemented):
+   an integer-comparison special immediately followed by a conditional
+   jump compiles to a compare and a conditional branch, skipping the
+   boolean materialisation — the classic Cogit peephole.  Enabled for the
+   stack-to-register policies, matching the interpreter's optional
+   look-ahead mode. *)
+let compile_fused_compare_branch t (cond : Ir.cond) ~jump_if ~target_label =
+  let arg = pop_operand t in
+  let rcvr = pop_operand t in
+  let saved = t.sim in
+  let slow = label t "slow" in
+  let done_ = label t "cmpbr_done" in
+  let ua, ub = untag2 t ~rcvr ~arg ~slow in
+  flush t;
+  (* branch to the target when the comparison outcome equals the jump
+     sense; fall through otherwise *)
+  let branch_cond : Ir.cond =
+    if jump_if then cond
+    else
+      match cond with
+      | Eq -> Ne
+      | Ne -> Eq
+      | Lt -> Ge
+      | Le -> Gt
+      | Gt -> Le
+      | Ge -> Lt
+      | c -> c
+  in
+  emit t (I_cmp_jump (branch_cond, V ua, V ub, target_label));
+  emit t (I_jump done_);
+  emit t (I_label slow);
+  t.sim <- saved;
+  repush t [ rcvr; arg ];
+  (* the slow path sends the comparison selector like the interpreter *)
+  send t
+    (Interpreter.Exit_condition.Special
+       (match cond with
+       | Lt -> Op.Sel_lt
+       | Le -> Op.Sel_le
+       | Gt -> Op.Sel_gt
+       | Ge -> Op.Sel_ge
+       | Eq -> Op.Sel_eq
+       | _ -> Op.Sel_ne))
+    1;
+  emit t (I_label done_);
+  t.sim <- []
+
+let compare_cond_of_selector : Op.special_selector -> Ir.cond option = function
+  | Op.Sel_lt -> Some Lt
+  | Op.Sel_gt -> Some Gt
+  | Op.Sel_le -> Some Le
+  | Op.Sel_ge -> Some Ge
+  | Op.Sel_eq -> Some Eq
+  | Op.Sel_ne -> Some Ne
+  | _ -> None
+
+let compile_sequence ?(lookahead = false) ~defects ~policy ~literals
+    ~(stack_setup : int list) (instrs : Op.t list) : ir list =
+  let t = create ~defects ~policy ~literals in
+  let pcs = sequence_pcs instrs in
+  let size = List.nth pcs (List.length instrs) in
+  let targets = List.sort_uniq compare (branch_targets instrs) in
+  List.iter
+    (fun target ->
+      if target < 0 || target > size then
+        raise
+          (Unsupported_instruction
+             (Printf.sprintf "branch target %d escapes the sequence" target)))
+    targets;
+  List.iter (fun w -> push_operand t (C w)) stack_setup;
+  let arr = Array.of_list instrs in
+  let n = Array.length arr in
+  let skip = Array.make n false in
+  Array.iteri
+    (fun k instr ->
+      if not skip.(k) then begin
+        let pc = List.nth pcs k in
+        let next = List.nth pcs (k + 1) in
+        (* merge point: all edges must agree on machine-stack residency *)
+        if List.mem pc targets then begin
+          flush t;
+          emit t (I_label (Printf.sprintf "pc_%d" pc))
+        end;
+        (* look-ahead fusion: compare + conditional jump *)
+        let fused =
+          if lookahead && t.policy.simulate_stack && k + 1 < n then
+            match ((instr : Op.t), arr.(k + 1)) with
+            | Arith_special sel, (Jump_false d | Jump_false_ext d) -> (
+                match compare_cond_of_selector sel with
+                | Some cond -> Some (cond, false, d)
+                | None -> None)
+            | Arith_special sel, (Jump_true d | Jump_true_ext d) -> (
+                match compare_cond_of_selector sel with
+                | Some cond -> Some (cond, true, d)
+                | None -> None)
+            | _ -> None
+          else None
+        in
+        match fused with
+        | Some (cond, jump_if, d) ->
+            let after = List.nth pcs (k + 2) in
+            skip.(k + 1) <- true;
+            compile_fused_compare_branch t cond ~jump_if
+              ~target_label:(Printf.sprintf "pc_%d" (after + d))
+        | None ->
+            (match (instr : Op.t) with
+            | Jump d | Jump_false d | Jump_true d ->
+                t.taken_label <- Printf.sprintf "pc_%d" (next + d)
+            | Jump_ext d | Jump_false_ext d | Jump_true_ext d ->
+                t.taken_label <- Printf.sprintf "pc_%d" (next + d)
+            | _ -> ());
+            compile_instruction t instr
+      end)
+    arr;
+  flush t;
+  if List.mem size targets then emit t (I_label (Printf.sprintf "pc_%d" size));
+  emit t (I_stop 0);
+  finish t.ctx

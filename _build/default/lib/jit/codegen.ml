@@ -1,0 +1,302 @@
+(* IR → machine-code lowering, shared between the two back-ends.
+
+   The back-ends differ where real ISAs differ: data movement, ALU shape
+   (x86 two-address with destructive destinations vs ARM32 three-address),
+   compares, tag tests and branches.  Complex object-representation ops
+   lower to the shared simulator pseudo-ops (cf. {!Machine.Machine_code}).
+
+   Scratch-register discipline: [scratch0] and the class register are the
+   only general materialisation scratches; [scratch1]/[scratch2] are
+   reserved for the extended receiver-variable byte-codes so that the
+   seeded simulation-error accessors only fire on those instructions. *)
+
+module MC = Machine.Machine_code
+
+module type ISA = sig
+  val name : string
+  val mov_ri : MC.reg -> int -> MC.instr list
+  val mov_rr : MC.reg -> MC.reg -> MC.instr list
+
+  val alu : MC.alu -> dst:MC.reg -> a:MC.reg -> b:MC.operand -> MC.instr list
+  (** [dst := a op b]; must set flags like the simulator's ALU. *)
+
+  val cmp : MC.reg -> MC.operand -> MC.instr list
+  val test_tag : MC.reg -> MC.instr list
+  val jcc : MC.cond -> string -> MC.instr list
+  val jmp : string -> MC.instr list
+  val push : MC.operand -> MC.instr list
+  val pop : MC.reg -> MC.instr list
+end
+
+module X86 : ISA = struct
+  let name = "x86"
+  let mov_ri r i = [ MC.X_mov_ri (r, i) ]
+  let mov_rr d s = if d = s then [] else [ MC.X_mov_rr (d, s) ]
+
+  (* Two-address: dst := dst op b, so first move a into dst — taking care
+     not to clobber b when it aliases dst. *)
+  let alu op ~dst ~a ~b =
+    match b with
+    | MC.R br when br = dst && a <> dst ->
+        (* save b into the class scratch before overwriting dst *)
+        [
+          MC.X_mov_rr (MC.r_class, br);
+          MC.X_mov_rr (dst, a);
+          MC.X_alu (op, dst, MC.R MC.r_class);
+        ]
+    | _ -> mov_rr dst a @ [ MC.X_alu (op, dst, b) ]
+
+  let cmp r o = [ MC.X_cmp (r, o) ]
+  let test_tag r = [ MC.X_test_tag r ]
+  let jcc c l = [ MC.X_jcc (c, l) ]
+  let jmp l = [ MC.X_jmp l ]
+  let push o = [ MC.X_push o ]
+  let pop r = [ MC.X_pop r ]
+end
+
+module Arm32 : ISA = struct
+  let name = "arm32"
+  let mov_ri r i = [ MC.A_mov_i (r, i) ]
+  let mov_rr d s = if d = s then [] else [ MC.A_mov (d, s) ]
+  let alu op ~dst ~a ~b = [ MC.A_alu (op, dst, a, b) ]
+  let cmp r o = [ MC.A_cmp (r, o) ]
+  let test_tag r = [ MC.A_tst_tag r ]
+  let jcc c l = [ MC.A_b (Some c, l) ]
+  let jmp l = [ MC.A_b (None, l) ]
+  let push o = [ MC.A_push o ]
+  let pop r = [ MC.A_pop r ]
+end
+
+type arch = X86 | Arm32
+
+let arch_name = function X86 -> "x86" | Arm32 -> "arm32"
+let all_arches = [ X86; Arm32 ]
+
+exception Codegen_error of string
+
+module Make (I : ISA) = struct
+  let phys_of_vreg (v : Ir.vreg) : MC.reg =
+    if v >= 100 && v <= 102 then MC.r_scratch0 + (v - 100)
+    else if v >= 0 && v < Ir.max_direct_vreg then MC.r_temp_base + v
+    else
+      raise
+        (Codegen_error
+           (Printf.sprintf "vreg %d exceeds the register file (allocator pass missing)" v))
+
+  type st = { mutable out : MC.instr list (* reversed *); mutable labels : int }
+
+  let emit st is = List.iter (fun i -> st.out <- i :: st.out) is
+
+  let fresh_label st =
+    let n = st.labels in
+    st.labels <- n + 1;
+    Printf.sprintf "cg$%d" n
+
+  (* Materialise an IR operand into a register ([scratch] used for
+     constants). *)
+  let reg_of st (o : Ir.operand) ~(scratch : MC.reg) : MC.reg =
+    match o with
+    | Ir.V v -> phys_of_vreg v
+    | Ir.C c ->
+        emit st (I.mov_ri scratch c);
+        scratch
+    | Ir.Recv -> MC.r_receiver
+    | Ir.Arg n -> MC.r_arg0 + n
+
+  (* Operand position that accepts immediates directly. *)
+  let mop (o : Ir.operand) : MC.operand =
+    match o with
+    | Ir.V v -> MC.R (phys_of_vreg v)
+    | Ir.C c -> MC.I c
+    | Ir.Recv -> MC.R MC.r_receiver
+    | Ir.Arg n -> MC.R (MC.r_arg0 + n)
+
+  let lower_instr st (i : Ir.ir) =
+    match i with
+    | Ir.I_label l -> emit st [ MC.Label l ]
+    | Ir.I_move (d, o) -> (
+        match o with
+        | Ir.C c -> emit st (I.mov_ri (phys_of_vreg d) c)
+        | _ -> emit st (I.mov_rr (phys_of_vreg d) (reg_of st o ~scratch:MC.r_scratch0)))
+    | Ir.I_push o -> emit st (I.push (mop o))
+    | Ir.I_pop d -> emit st (I.pop (phys_of_vreg d))
+    | Ir.I_load_temp (d, n) -> emit st [ MC.Load_temp (phys_of_vreg d, n) ]
+    | Ir.I_store_temp (n, o) ->
+        emit st [ MC.Store_temp (n, reg_of st o ~scratch:MC.r_scratch0) ]
+    | Ir.I_check_small_int (o, l) ->
+        let r = reg_of st o ~scratch:MC.r_scratch0 in
+        emit st (I.test_tag r);
+        emit st (I.jcc MC.Ne l)
+    | Ir.I_check_not_small_int (o, l) ->
+        let r = reg_of st o ~scratch:MC.r_scratch0 in
+        emit st (I.test_tag r);
+        emit st (I.jcc MC.Eq l)
+    | Ir.I_check_class (o, cid, l) ->
+        let r = reg_of st o ~scratch:MC.r_scratch0 in
+        emit st [ MC.Load_class_index (MC.r_class, r) ];
+        emit st (I.cmp MC.r_class (MC.I cid));
+        emit st (I.jcc MC.Ne l)
+    | Ir.I_check_pointers (o, l) ->
+        let r = reg_of st o ~scratch:MC.r_scratch0 in
+        emit st (I.test_tag r);
+        emit st (I.jcc MC.Eq l);
+        emit st [ MC.Load_format (MC.r_class, r) ];
+        emit st (I.cmp MC.r_class (MC.I 1));
+        emit st (I.jcc MC.Gt l)
+    | Ir.I_check_bytes (o, l) ->
+        let r = reg_of st o ~scratch:MC.r_scratch0 in
+        emit st (I.test_tag r);
+        emit st (I.jcc MC.Eq l);
+        emit st [ MC.Load_format (MC.r_class, r) ];
+        emit st (I.cmp MC.r_class (MC.I 2));
+        emit st (I.jcc MC.Ne l)
+    | Ir.I_check_indexable (o, l) ->
+        let r = reg_of st o ~scratch:MC.r_scratch0 in
+        emit st (I.test_tag r);
+        emit st (I.jcc MC.Eq l);
+        emit st [ MC.Load_format (MC.r_class, r) ];
+        emit st (I.cmp MC.r_class (MC.I 1));
+        emit st (I.jcc MC.Lt l);
+        emit st (I.cmp MC.r_class (MC.I 2));
+        emit st (I.jcc MC.Gt l)
+    | Ir.I_untag (d, o) ->
+        let r = reg_of st o ~scratch:MC.r_scratch0 in
+        emit st (I.alu MC.Sar ~dst:(phys_of_vreg d) ~a:r ~b:(MC.I 1))
+    | Ir.I_tag (d, o) ->
+        let r = reg_of st o ~scratch:MC.r_scratch0 in
+        let d = phys_of_vreg d in
+        emit st (I.alu MC.Shl ~dst:d ~a:r ~b:(MC.I 1));
+        emit st (I.alu MC.Or ~dst:d ~a:d ~b:(MC.I 1))
+    | Ir.I_alu (op, d, a, b) ->
+        let ra = reg_of st a ~scratch:MC.r_scratch0 in
+        emit st (I.alu op ~dst:(phys_of_vreg d) ~a:ra ~b:(mop b))
+    | Ir.I_jump_overflow l -> emit st (I.jcc MC.Vs l)
+    | Ir.I_check_range (o, l) ->
+        let r = reg_of st o ~scratch:MC.r_scratch0 in
+        emit st (I.cmp r (MC.I Vm_objects.Value.max_small_int));
+        emit st (I.jcc MC.Gt l);
+        emit st (I.cmp r (MC.I Vm_objects.Value.min_small_int));
+        emit st (I.jcc MC.Lt l)
+    | Ir.I_cmp_jump (c, a, b, l) ->
+        let ra = reg_of st a ~scratch:MC.r_scratch0 in
+        emit st (I.cmp ra (mop b));
+        emit st (I.jcc c l)
+    | Ir.I_jump l -> emit st (I.jmp l)
+    | Ir.I_bool_result (c, d, a, b) ->
+        let ra = reg_of st a ~scratch:MC.r_scratch0 in
+        emit st (I.cmp ra (mop b));
+        let d = phys_of_vreg d in
+        let l = fresh_label st in
+        emit st (I.mov_ri d Ir.true_word);
+        emit st (I.jcc c l);
+        emit st (I.mov_ri d Ir.false_word);
+        emit st [ MC.Label l ]
+    | Ir.I_load_slot (d, base, idx) ->
+        let b = reg_of st base ~scratch:MC.r_scratch0 in
+        emit st [ MC.Load_slot (phys_of_vreg d, b, mop idx) ]
+    | Ir.I_store_slot (base, idx, v) ->
+        let b = reg_of st base ~scratch:MC.r_scratch0 in
+        let r = reg_of st v ~scratch:MC.r_class in
+        emit st [ MC.Store_slot (b, mop idx, r) ]
+    | Ir.I_load_byte (d, base, idx) ->
+        let b = reg_of st base ~scratch:MC.r_scratch0 in
+        emit st [ MC.Load_byte (phys_of_vreg d, b, mop idx) ]
+    | Ir.I_store_byte (base, idx, v) ->
+        let b = reg_of st base ~scratch:MC.r_scratch0 in
+        let r = reg_of st v ~scratch:MC.r_class in
+        emit st [ MC.Store_byte (b, mop idx, r) ]
+    | Ir.I_load_num_slots (d, o) ->
+        emit st
+          [ MC.Load_num_slots (phys_of_vreg d, reg_of st o ~scratch:MC.r_scratch0) ]
+    | Ir.I_load_indexable_size (d, o) ->
+        emit st
+          [
+            MC.Load_indexable_size
+              (phys_of_vreg d, reg_of st o ~scratch:MC.r_scratch0);
+          ]
+    | Ir.I_load_fixed_size (d, o) ->
+        emit st
+          [ MC.Load_fixed_size (phys_of_vreg d, reg_of st o ~scratch:MC.r_scratch0) ]
+    | Ir.I_load_class_object (d, o) ->
+        emit st
+          [
+            MC.Load_class_object
+              (phys_of_vreg d, reg_of st o ~scratch:MC.r_scratch0);
+          ]
+    | Ir.I_unbox_float (f, o) ->
+        emit st [ MC.Unbox_float (f, reg_of st o ~scratch:MC.r_scratch0) ]
+    | Ir.I_box_float (d, f) -> emit st [ MC.Box_float (phys_of_vreg d, f) ]
+    | Ir.I_falu (op, d, a, b) -> emit st [ MC.Falu (op, d, a, b) ]
+    | Ir.I_fsqrt (d, s) -> emit st [ MC.Fsqrt (d, s) ]
+    | Ir.I_fcmp_jump (c, a, b, l) ->
+        emit st [ MC.Fcmp (a, b) ];
+        emit st (I.jcc c l)
+    | Ir.I_fbool_result (c, d, a, b) ->
+        emit st [ MC.Fcmp (a, b) ];
+        let d = phys_of_vreg d in
+        let l = fresh_label st in
+        emit st (I.mov_ri d Ir.true_word);
+        emit st (I.jcc c l);
+        emit st (I.mov_ri d Ir.false_word);
+        emit st [ MC.Label l ]
+    | Ir.I_cvt_int_float (f, o) ->
+        emit st [ MC.Cvt_int_float (f, reg_of st o ~scratch:MC.r_scratch0) ]
+    | Ir.I_trunc_float_int (d, f) ->
+        emit st [ MC.Cvt_float_int (phys_of_vreg d, f) ]
+    | Ir.I_float_from_bits32 (f, o) ->
+        emit st [ MC.Float_from_bits32 (f, reg_of st o ~scratch:MC.r_scratch0) ]
+    | Ir.I_float_to_bits32 (d, f) ->
+        emit st [ MC.Float_to_bits32 (phys_of_vreg d, f) ]
+    | Ir.I_float_from_bits64 (f, hi, lo) ->
+        let rhi = reg_of st hi ~scratch:MC.r_scratch0 in
+        let rlo = reg_of st lo ~scratch:MC.r_class in
+        emit st [ MC.Float_from_bits64 (f, rhi, rlo) ]
+    | Ir.I_float_to_bits64_hi (d, f) ->
+        emit st [ MC.Float_to_bits64_hi (phys_of_vreg d, f) ]
+    | Ir.I_float_to_bits64_lo (d, f) ->
+        emit st [ MC.Float_to_bits64_lo (phys_of_vreg d, f) ]
+    | Ir.I_identity_hash (d, o) ->
+        emit st
+          [ MC.Identity_hash (phys_of_vreg d, reg_of st o ~scratch:MC.r_scratch0) ]
+    | Ir.I_shallow_copy (d, o) ->
+        emit st
+          [
+            MC.Shallow_copy_op (phys_of_vreg d, reg_of st o ~scratch:MC.r_scratch0);
+          ]
+    | Ir.I_make_point (d, a, b) ->
+        let ra = reg_of st a ~scratch:MC.r_scratch0 in
+        let rb = reg_of st b ~scratch:MC.r_class in
+        emit st [ MC.Make_point_op (phys_of_vreg d, ra, rb) ]
+    | Ir.I_make_char (d, o) ->
+        emit st
+          [ MC.Make_char_op (phys_of_vreg d, reg_of st o ~scratch:MC.r_scratch0) ]
+    | Ir.I_char_value (d, o) ->
+        emit st
+          [ MC.Char_value_op (phys_of_vreg d, reg_of st o ~scratch:MC.r_scratch0) ]
+    | Ir.I_alloc (d, cid, size) ->
+        emit st [ MC.Alloc (phys_of_vreg d, cid, mop size) ]
+    | Ir.I_send info -> emit st [ MC.Call_trampoline info ]
+    | Ir.I_return o ->
+        (match o with
+        | Ir.C c -> emit st (I.mov_ri MC.r_result c)
+        | _ ->
+            emit st
+              (I.mov_rr MC.r_result (reg_of st o ~scratch:MC.r_scratch0)));
+        emit st [ MC.Ret ]
+    | Ir.I_stop n -> emit st [ MC.Brk n ]
+    | Ir.I_spill_store (slot, v) ->
+        emit st [ MC.Spill_store (slot, phys_of_vreg v) ]
+    | Ir.I_spill_load (d, slot) ->
+        emit st [ MC.Spill_load (phys_of_vreg d, slot) ]
+
+  let lower (irs : Ir.ir list) : MC.program =
+    let st = { out = []; labels = 0 } in
+    List.iter (lower_instr st) irs;
+    MC.assemble (List.rev st.out)
+end
+
+module X86_gen = Make (X86)
+module Arm32_gen = Make (Arm32)
+
+let lower ~(arch : arch) irs =
+  match arch with X86 -> X86_gen.lower irs | Arm32 -> Arm32_gen.lower irs

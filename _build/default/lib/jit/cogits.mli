@@ -1,0 +1,79 @@
+(** The four compiler front-ends of the evaluation (§4.1, Table 2),
+    behind one interface the differential tester drives. *)
+
+type compiler =
+  | Native_method_compiler  (** hand-written IR templates (§4.2) *)
+  | Simple_stack_cogit  (** push/pop 1:1, no type prediction *)
+  | Stack_to_register_cogit  (** parse-time simulation stack (production) *)
+  | Register_allocating_cogit  (** + linear-scan allocation (experimental) *)
+
+val name : compiler -> string
+(** The compiler's row label in Table 2. *)
+
+val short_name : compiler -> string
+val all : compiler list
+val bytecode_compilers : compiler list
+val equal_compiler : compiler -> compiler -> bool
+val compare_compiler : compiler -> compiler -> int
+val pp_compiler : Format.formatter -> compiler -> unit
+val show_compiler : compiler -> string
+
+exception Not_compiled of string
+(** The compiler has no implementation for this unit — the paper's
+    "missing functionality" differences surface as this at test time. *)
+
+val fit_registers : Ir.ir list -> Ir.ir list
+(** Spill-on-demand: units using more virtual registers than the machine
+    has temps are routed through the linear-scan allocator. *)
+
+val compile_bytecode :
+  compiler ->
+  defects:Interpreter.Defects.t ->
+  literals:int array ->
+  stack_setup:int list ->
+  Bytecodes.Opcode.t ->
+  Ir.ir list
+(** Compile one byte-code instruction as a unit (setup pushes +
+    instruction + stop markers, Listing 3).
+    @raise Not_compiled when unsupported. *)
+
+val compile_sequence :
+  ?lookahead:bool ->
+  compiler ->
+  defects:Interpreter.Defects.t ->
+  literals:int array ->
+  stack_setup:int list ->
+  Bytecodes.Opcode.t list ->
+  Ir.ir list
+(** Compile a byte-code sequence as one unit (future-work extension).
+    [lookahead] fuses compare + conditional-jump pairs (stack-to-register
+    policies only). *)
+
+val compile_native : defects:Interpreter.Defects.t -> int -> Ir.ir list
+(** Compile a native method from its template (Listing 4 schema).
+    @raise Not_compiled for the 60 seeded missing templates. *)
+
+val compile_bytecode_to_machine :
+  compiler ->
+  defects:Interpreter.Defects.t ->
+  literals:int array ->
+  stack_setup:int list ->
+  arch:Codegen.arch ->
+  Bytecodes.Opcode.t ->
+  Machine.Machine_code.program
+
+val compile_sequence_to_machine :
+  ?lookahead:bool ->
+  compiler ->
+  defects:Interpreter.Defects.t ->
+  literals:int array ->
+  stack_setup:int list ->
+  arch:Codegen.arch ->
+  Bytecodes.Opcode.t list ->
+  Machine.Machine_code.program
+
+val compile_native_to_machine :
+  defects:Interpreter.Defects.t ->
+  arch:Codegen.arch ->
+  int ->
+  Machine.Machine_code.program

@@ -1,0 +1,247 @@
+(* The compiler intermediate representation (cf. paper Listing 2).
+
+   A register-based linear IR with virtual registers, explicit type-check
+   instructions ([I_check_small_int] is the paper's [checkSmallInteger]),
+   tag/untag conversions, overflow-checked arithmetic, and the runtime
+   interface ops (trampoline sends, returns, breakpoints).
+
+   Virtual registers [0..7] map to machine temp registers;
+   the reserved virtual registers [scratch0/1/2] map to the machine
+   scratch registers (used by the extended receiver-variable byte-codes,
+   where the seeded simulation-error accessors live). *)
+
+type vreg = int [@@deriving show, eq]
+
+(* Reserved virtual registers mapping to the machine scratch registers. *)
+let scratch0 = 100
+let scratch1 = 101
+let scratch2 = 102
+let max_plain_vreg = 64 (* virtual; codegen fits them into 16 machine temps *)
+let max_direct_vreg = 16 (* vregs mapping 1:1 onto machine temp registers *)
+
+type operand =
+  | V of vreg
+  | C of int (* a constant machine word (tagged oop or untagged int) *)
+  | Recv (* the receiver register *)
+  | Arg of int (* argument registers (native-method convention) *)
+[@@deriving show { with_path = false }, eq]
+
+type cond = Machine.Machine_code.cond =
+  | Eq | Ne | Lt | Le | Gt | Ge | Vs | Vc
+[@@deriving show { with_path = false }, eq]
+
+type alu = Machine.Machine_code.alu =
+  | Add | Sub | Mul | Div | Mod | Quo | Rem | And | Or | Xor | Shl | Sar
+[@@deriving show { with_path = false }, eq]
+
+type falu = Machine.Machine_code.falu = FAdd | FSub | FMul | FDiv
+[@@deriving show { with_path = false }, eq]
+
+type send_info = Machine.Machine_code.send_info = {
+  selector : Interpreter.Exit_condition.selector;
+  num_args : int;
+}
+[@@deriving show { with_path = false }, eq]
+
+type ir =
+  | I_label of string
+  | I_move of vreg * operand
+  | I_push of operand
+  | I_pop of vreg
+  | I_load_temp of vreg * int
+  | I_store_temp of int * operand
+  (* type and shape checks: jump to the label when the check FAILS *)
+  | I_check_small_int of operand * string
+  | I_check_not_small_int of operand * string (* jump when it IS tagged *)
+  | I_check_class of operand * int * string
+  | I_check_pointers of operand * string
+  | I_check_bytes of operand * string
+  | I_check_indexable of operand * string
+  | I_untag of vreg * operand
+  | I_tag of vreg * operand
+  | I_alu of alu * vreg * operand * operand (* dst = a op b; sets flags *)
+  | I_jump_overflow of string (* after a flag-setting op *)
+  | I_check_range of operand * string (* jump if outside smallint range *)
+  | I_cmp_jump of cond * operand * operand * string
+  | I_jump of string
+  | I_bool_result of cond * vreg * operand * operand (* dst = bool oop *)
+  (* heap access (unsafe: traps on bad input, like real compiled code) *)
+  | I_load_slot of vreg * operand * operand
+  | I_store_slot of operand * operand * operand (* base, index, value *)
+  | I_load_byte of vreg * operand * operand
+  | I_store_byte of operand * operand * operand
+  | I_load_num_slots of vreg * operand
+  | I_load_indexable_size of vreg * operand
+  | I_load_fixed_size of vreg * operand
+  | I_load_class_object of vreg * operand
+  (* floats; float registers are physical (F0..F3) *)
+  | I_unbox_float of int * operand
+  | I_box_float of vreg * int
+  | I_falu of falu * int * int * int
+  | I_fsqrt of int * int
+  | I_fcmp_jump of cond * int * int * string
+  | I_fbool_result of cond * vreg * int * int
+  | I_cvt_int_float of int * operand (* float reg ← untagged int *)
+  | I_trunc_float_int of vreg * int
+  | I_float_from_bits32 of int * operand
+  | I_float_to_bits32 of vreg * int
+  | I_float_from_bits64 of int * operand * operand (* freg, hi, lo *)
+  | I_float_to_bits64_hi of vreg * int
+  | I_float_to_bits64_lo of vreg * int
+  (* object ops *)
+  | I_identity_hash of vreg * operand
+  | I_shallow_copy of vreg * operand
+  | I_make_point of vreg * operand * operand
+  | I_make_char of vreg * operand
+  | I_char_value of vreg * operand
+  | I_alloc of vreg * int * operand
+  (* runtime interface *)
+  | I_send of send_info
+  | I_return of operand
+  | I_stop of int
+  (* register-allocator spills *)
+  | I_spill_store of int * vreg
+  | I_spill_load of vreg * int
+[@@deriving show { with_path = false }]
+
+(* --- Compile context: code emission, fresh registers and labels --- *)
+
+exception Unsupported_instruction of string
+
+type ctx = {
+  mutable code : ir list; (* reversed *)
+  mutable next_vreg : int;
+  mutable next_label : int;
+  defects : Interpreter.Defects.t;
+}
+
+let create_ctx ~defects = { code = []; next_vreg = 0; next_label = 0; defects }
+
+let emit ctx i = ctx.code <- i :: ctx.code
+
+let fresh_vreg ctx =
+  let v = ctx.next_vreg in
+  if v >= max_plain_vreg then
+    raise (Unsupported_instruction "virtual register pressure too high");
+  ctx.next_vreg <- v + 1;
+  v
+
+let fresh_label ctx prefix =
+  let n = ctx.next_label in
+  ctx.next_label <- n + 1;
+  Printf.sprintf "%s_%d" prefix n
+
+let finish ctx = List.rev ctx.code
+
+(* Tagged well-known constants (singleton oops are deterministic). *)
+let nil_word = 8
+let true_word = 16
+let false_word = 24
+let tagged_int i = (Vm_objects.Value.of_small_int i :> int)
+
+(* Registers used by virtual registers (for the linear-scan allocator). *)
+let operand_vregs = function V v -> [ v ] | C _ | Recv | Arg _ -> []
+
+let def_use (i : ir) : vreg list * vreg list =
+  (* (defs, uses) *)
+  match i with
+  | I_label _ | I_jump _ | I_jump_overflow _ | I_send _ | I_stop _ -> ([], [])
+  | I_move (d, o) -> ([ d ], operand_vregs o)
+  | I_push o -> ([], operand_vregs o)
+  | I_pop d -> ([ d ], [])
+  | I_load_temp (d, _) -> ([ d ], [])
+  | I_store_temp (_, o) -> ([], operand_vregs o)
+  | I_check_small_int (o, _)
+  | I_check_not_small_int (o, _)
+  | I_check_class (o, _, _)
+  | I_check_pointers (o, _)
+  | I_check_bytes (o, _)
+  | I_check_indexable (o, _)
+  | I_check_range (o, _) ->
+      ([], operand_vregs o)
+  | I_untag (d, o) | I_tag (d, o) -> ([ d ], operand_vregs o)
+  | I_alu (_, d, a, b) -> ([ d ], operand_vregs a @ operand_vregs b)
+  | I_cmp_jump (_, a, b, _) -> ([], operand_vregs a @ operand_vregs b)
+  | I_bool_result (_, d, a, b) -> ([ d ], operand_vregs a @ operand_vregs b)
+  | I_load_slot (d, a, b) | I_load_byte (d, a, b) ->
+      ([ d ], operand_vregs a @ operand_vregs b)
+  | I_store_slot (a, b, c) | I_store_byte (a, b, c) ->
+      ([], operand_vregs a @ operand_vregs b @ operand_vregs c)
+  | I_load_num_slots (d, o)
+  | I_load_indexable_size (d, o)
+  | I_load_fixed_size (d, o)
+  | I_load_class_object (d, o)
+  | I_identity_hash (d, o)
+  | I_shallow_copy (d, o)
+  | I_make_char (d, o)
+  | I_char_value (d, o)
+  | I_alloc (d, _, o) ->
+      ([ d ], operand_vregs o)
+  | I_make_point (d, a, b) -> ([ d ], operand_vregs a @ operand_vregs b)
+  | I_unbox_float (_, o) | I_cvt_int_float (_, o) -> ([], operand_vregs o)
+  | I_box_float (d, _)
+  | I_trunc_float_int (d, _)
+  | I_float_to_bits32 (d, _)
+  | I_float_to_bits64_hi (d, _)
+  | I_float_to_bits64_lo (d, _) ->
+      ([ d ], [])
+  | I_float_from_bits32 (_, o) -> ([], operand_vregs o)
+  | I_float_from_bits64 (_, a, b) -> ([], operand_vregs a @ operand_vregs b)
+  | I_falu _ | I_fsqrt _ | I_fcmp_jump _ -> ([], [])
+  | I_fbool_result (_, d, _, _) -> ([ d ], [])
+  | I_return o -> ([], operand_vregs o)
+  | I_spill_store (_, v) -> ([], [ v ])
+  | I_spill_load (d, _) -> ([ d ], [])
+
+(* Rewrite every virtual register through [f] (reserved scratch vregs are
+   left untouched); used by the linear-scan allocator. *)
+let map_vregs (f : vreg -> vreg) (i : ir) : ir =
+  let g v = if v >= 100 then v else f v in
+  let o = function V v -> V (g v) | (C _ | Recv | Arg _) as x -> x in
+  match i with
+  | I_label _ | I_jump _ | I_jump_overflow _ | I_send _ | I_stop _ -> i
+  | I_move (d, a) -> I_move (g d, o a)
+  | I_push a -> I_push (o a)
+  | I_pop d -> I_pop (g d)
+  | I_load_temp (d, n) -> I_load_temp (g d, n)
+  | I_store_temp (n, a) -> I_store_temp (n, o a)
+  | I_check_small_int (a, l) -> I_check_small_int (o a, l)
+  | I_check_not_small_int (a, l) -> I_check_not_small_int (o a, l)
+  | I_check_class (a, c, l) -> I_check_class (o a, c, l)
+  | I_check_pointers (a, l) -> I_check_pointers (o a, l)
+  | I_check_bytes (a, l) -> I_check_bytes (o a, l)
+  | I_check_indexable (a, l) -> I_check_indexable (o a, l)
+  | I_untag (d, a) -> I_untag (g d, o a)
+  | I_tag (d, a) -> I_tag (g d, o a)
+  | I_alu (op, d, a, b) -> I_alu (op, g d, o a, o b)
+  | I_check_range (a, l) -> I_check_range (o a, l)
+  | I_cmp_jump (c, a, b, l) -> I_cmp_jump (c, o a, o b, l)
+  | I_bool_result (c, d, a, b) -> I_bool_result (c, g d, o a, o b)
+  | I_load_slot (d, a, b) -> I_load_slot (g d, o a, o b)
+  | I_store_slot (a, b, c) -> I_store_slot (o a, o b, o c)
+  | I_load_byte (d, a, b) -> I_load_byte (g d, o a, o b)
+  | I_store_byte (a, b, c) -> I_store_byte (o a, o b, o c)
+  | I_load_num_slots (d, a) -> I_load_num_slots (g d, o a)
+  | I_load_indexable_size (d, a) -> I_load_indexable_size (g d, o a)
+  | I_load_fixed_size (d, a) -> I_load_fixed_size (g d, o a)
+  | I_load_class_object (d, a) -> I_load_class_object (g d, o a)
+  | I_unbox_float (f', a) -> I_unbox_float (f', o a)
+  | I_box_float (d, f') -> I_box_float (g d, f')
+  | I_falu _ | I_fsqrt _ | I_fcmp_jump _ -> i
+  | I_fbool_result (c, d, a, b) -> I_fbool_result (c, g d, a, b)
+  | I_cvt_int_float (f', a) -> I_cvt_int_float (f', o a)
+  | I_trunc_float_int (d, f') -> I_trunc_float_int (g d, f')
+  | I_float_from_bits32 (f', a) -> I_float_from_bits32 (f', o a)
+  | I_float_to_bits32 (d, f') -> I_float_to_bits32 (g d, f')
+  | I_float_from_bits64 (f', a, b) -> I_float_from_bits64 (f', o a, o b)
+  | I_float_to_bits64_hi (d, f') -> I_float_to_bits64_hi (g d, f')
+  | I_float_to_bits64_lo (d, f') -> I_float_to_bits64_lo (g d, f')
+  | I_identity_hash (d, a) -> I_identity_hash (g d, o a)
+  | I_shallow_copy (d, a) -> I_shallow_copy (g d, o a)
+  | I_make_point (d, a, b) -> I_make_point (g d, o a, o b)
+  | I_make_char (d, a) -> I_make_char (g d, o a)
+  | I_char_value (d, a) -> I_char_value (g d, o a)
+  | I_alloc (d, c, a) -> I_alloc (g d, c, o a)
+  | I_return a -> I_return (o a)
+  | I_spill_store (s, v) -> I_spill_store (s, g v)
+  | I_spill_load (d, s) -> I_spill_load (g d, s)

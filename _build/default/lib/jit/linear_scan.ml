@@ -1,0 +1,138 @@
+(* Linear-scan register allocation (Poletto & Sarkar style), the pass that
+   distinguishes the experimental [RegisterAllocatingCogit] from the
+   production [StackToRegisterCogit] (§4.1).
+
+   Liveness is conservative: an interval spans a vreg's first to last
+   textual occurrence, which is safe for the forward-branching code the
+   byte-code front-end emits.  Intervals are allocated to a small pool of
+   physical-temp vregs; the rest spill to simulator spill slots, with
+   three reserved vregs used as per-instruction spill staging. *)
+
+let allocatable = [ 0; 1; 2; 3 ]
+let spill_temps = [| 13; 14; 15 |]
+
+type interval = { vreg : Ir.vreg; start : int; stop : int }
+
+type assignment = To_reg of Ir.vreg | To_slot of int
+
+let intervals (code : Ir.ir array) : interval list =
+  let first = Hashtbl.create 16 and last = Hashtbl.create 16 in
+  Array.iteri
+    (fun i instr ->
+      let defs, uses = Ir.def_use instr in
+      List.iter
+        (fun v ->
+          if v < 100 then begin
+            if not (Hashtbl.mem first v) then Hashtbl.replace first v i;
+            Hashtbl.replace last v i
+          end)
+        (defs @ uses))
+    code;
+  Hashtbl.fold
+    (fun v start acc -> { vreg = v; start; stop = Hashtbl.find last v } :: acc)
+    first []
+  |> List.sort (fun a b -> compare (a.start, a.vreg) (b.start, b.vreg))
+
+(* Allocate intervals to registers, spilling the furthest-ending active
+   interval on pressure. *)
+let allocate (ivs : interval list) : (Ir.vreg, assignment) Hashtbl.t =
+  let assign = Hashtbl.create 16 in
+  let active = ref [] (* (interval, reg), sorted by stop *) in
+  let free = ref allocatable in
+  let next_slot = ref 0 in
+  let expire point =
+    let expired, live =
+      List.partition (fun (iv, _) -> iv.stop < point) !active
+    in
+    List.iter (fun (_, r) -> free := r :: !free) expired;
+    active := live
+  in
+  List.iter
+    (fun iv ->
+      expire iv.start;
+      match !free with
+      | r :: rest ->
+          free := rest;
+          Hashtbl.replace assign iv.vreg (To_reg r);
+          active := List.sort (fun (a, _) (b, _) -> compare b.stop a.stop) ((iv, r) :: !active)
+      | [] -> (
+          (* spill the active interval ending last, or this one *)
+          match !active with
+          | (victim, r) :: rest when victim.stop > iv.stop ->
+              Hashtbl.replace assign victim.vreg
+                (To_slot
+                   (let s = !next_slot in
+                    incr next_slot;
+                    s));
+              Hashtbl.replace assign iv.vreg (To_reg r);
+              active :=
+                List.sort (fun (a, _) (b, _) -> compare b.stop a.stop) ((iv, r) :: rest)
+          | _ ->
+              Hashtbl.replace assign iv.vreg
+                (To_slot
+                   (let s = !next_slot in
+                    incr next_slot;
+                    s))))
+    ivs;
+  assign
+
+(* Rewrite the code under an assignment, staging spilled vregs through the
+   reserved temps around each instruction. *)
+let rewrite (code : Ir.ir list) : Ir.ir list =
+  let arr = Array.of_list code in
+  let assign = allocate (intervals arr) in
+  let out = ref [] in
+  let emit i = out := i :: !out in
+  Array.iter
+    (fun instr ->
+      let defs, uses = Ir.def_use instr in
+      let mentioned =
+        List.sort_uniq compare (List.filter (fun v -> v < 100) (defs @ uses))
+      in
+      let spilled =
+        List.filter
+          (fun v ->
+            match Hashtbl.find_opt assign v with
+            | Some (To_slot _) -> true
+            | _ -> false)
+          mentioned
+      in
+      if List.length spilled > Array.length spill_temps then
+        raise (Ir.Unsupported_instruction "too many spilled operands");
+      let staging = Hashtbl.create 4 in
+      List.iteri
+        (fun i v -> Hashtbl.replace staging v spill_temps.(i))
+        spilled;
+      let slot_of v =
+        match Hashtbl.find_opt assign v with
+        | Some (To_slot s) -> Some s
+        | _ -> None
+      in
+      (* load spilled uses *)
+      List.iter
+        (fun v ->
+          match slot_of v with
+          | Some s when List.mem v uses ->
+              emit (Ir.I_spill_load (Hashtbl.find staging v, s))
+          | _ -> ())
+        spilled;
+      let remap v =
+        match Hashtbl.find_opt staging v with
+        | Some tmp -> tmp
+        | None -> (
+            match Hashtbl.find_opt assign v with
+            | Some (To_reg r) -> r
+            | Some (To_slot _) -> assert false
+            | None -> v)
+      in
+      emit (Ir.map_vregs remap instr);
+      (* store spilled defs *)
+      List.iter
+        (fun v ->
+          match slot_of v with
+          | Some s when List.mem v defs ->
+              emit (Ir.I_spill_store (s, Hashtbl.find staging v))
+          | _ -> ())
+        spilled)
+    arr;
+  List.rev !out

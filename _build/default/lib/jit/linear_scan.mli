@@ -1,0 +1,19 @@
+(** Linear-scan register allocation (Poletto & Sarkar style) — the pass
+    that distinguishes the experimental RegisterAllocatingCogit from the
+    production StackToRegisterCogit (§4.1).
+
+    Liveness is conservative (first to last textual occurrence), safe for
+    the forward-branching code the front-ends emit. *)
+
+val allocatable : Ir.vreg list
+(** The virtual registers intervals are packed into. *)
+
+val spill_temps : Ir.vreg array
+(** Reserved staging registers for spilled operands. *)
+
+val rewrite : Ir.ir list -> Ir.ir list
+(** Allocate and rewrite: every surviving virtual register is one of
+    {!allocatable} or {!spill_temps}; spilled values travel through
+    simulator spill slots.
+    @raise Ir.Unsupported_instruction if one instruction mentions more
+    spilled operands than there are staging registers. *)

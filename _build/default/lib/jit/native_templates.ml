@@ -1,0 +1,465 @@
+(* The native-method template-based compiler (§4.1, §4.2).
+
+   Each native method the compiler supports has a hand-written IR
+   template.  Compiled native methods follow Listing 4's schema: the
+   machine code starts with the native behaviour and, when an operand
+   check fails, jumps to the [fail] epilogue — a breakpoint/stop
+   instruction that detects the fall-through into the (uncompiled here)
+   byte-code fallback body.
+
+   Calling convention: receiver in the receiver register, arguments in
+   the argument registers; success returns to the caller with the result
+   in the result register.
+
+   Seeded defects (§5.3, gated by {!Interpreter.Defects.t}):
+   - the 13 float templates (ids 41-52 and 55) do NOT type-check the
+     receiver: they unbox blindly and segfault on wrong receivers
+     ("missing compiled type check");
+   - the bitwise templates (ids 14-17) skip the interpreter's
+     non-negative operand checks ("behavioural difference");
+   - the 23 FFI templates (ids 100-122) are not implemented at all
+     ("missing functionality"). *)
+
+open Ir
+
+exception Missing_template of int
+
+let fail_label = "fail"
+
+let float_class = Vm_objects.Class_table.boxed_float_id
+let ext_addr_class = Vm_objects.Class_table.external_address_id
+
+type t = { ctx : ctx }
+
+let emit t = Ir.emit t.ctx
+let vreg t = fresh_vreg t.ctx
+let label t p = fresh_label t.ctx p
+let defects t = t.ctx.defects
+
+(* --- building blocks --- *)
+
+let check_small t o = emit t (I_check_small_int (o, fail_label))
+
+let untag_into t o =
+  let v = vreg t in
+  emit t (I_untag (v, o));
+  v
+
+let return_tagged t v =
+  (* range-check then tag and return *)
+  emit t (I_check_range (V v, fail_label));
+  let r = vreg t in
+  emit t (I_tag (r, V v));
+  emit t (I_return (V r))
+
+let int_receiver t =
+  check_small t Recv;
+  untag_into t Recv
+
+let int_arg t n =
+  check_small t (Arg n);
+  untag_into t (Arg n)
+
+(* Receiver unboxing for float templates: the receiver class check is the
+   seeded missing-compiled-type-check defect. *)
+let unbox_float_receiver t ~freg =
+  if (defects t).Interpreter.Defects.float_template_receiver_check then
+    emit t (I_check_class (Recv, float_class, fail_label));
+  emit t (I_unbox_float (freg, Recv))
+
+let unbox_float_arg t n ~freg =
+  (* arguments are always checked, matching the interpreter *)
+  emit t (I_check_class (Arg n, float_class, fail_label));
+  emit t (I_unbox_float (freg, Arg n))
+
+let box_and_return t ~freg =
+  let r = vreg t in
+  emit t (I_box_float (r, freg));
+  emit t (I_return (V r))
+
+let bool_return t cond a b =
+  let r = vreg t in
+  emit t (I_bool_result (cond, r, a, b));
+  emit t (I_return (V r))
+
+let fbool_return t cond fa fb =
+  let r = vreg t in
+  emit t (I_fbool_result (cond, r, fa, fb));
+  emit t (I_return (V r))
+
+(* --- integer templates --- *)
+
+let int_binop_template t op ~check_divisor =
+  let a = int_receiver t in
+  let b = int_arg t 0 in
+  if check_divisor then emit t (I_cmp_jump (Eq, V b, C 0, fail_label));
+  let r = vreg t in
+  emit t (I_alu (op, r, V a, V b));
+  return_tagged t r
+
+let int_cmp_template t cond =
+  let a = int_receiver t in
+  let b = int_arg t 0 in
+  bool_return t cond (V a) (V b)
+
+let int_bitop_template t op =
+  let a = int_receiver t in
+  let b = int_arg t 0 in
+  if (defects t).Interpreter.Defects.template_bitwise_sign_checks then begin
+    (* pristine: match the interpreter's non-negative requirement *)
+    emit t (I_cmp_jump (Lt, V a, C 0, fail_label));
+    emit t (I_cmp_jump (Lt, V b, C 0, fail_label))
+  end;
+  let r = vreg t in
+  emit t (I_alu (op, r, V a, V b));
+  let tagged = vreg t in
+  emit t (I_tag (tagged, V r));
+  emit t (I_return (V tagged))
+
+let bit_shift_template t =
+  let a = int_receiver t in
+  let b = int_arg t 0 in
+  let sign_checks = (defects t).Interpreter.Defects.template_bitwise_sign_checks in
+  if sign_checks then begin
+    emit t (I_cmp_jump (Lt, V b, C 0, fail_label));
+    emit t (I_cmp_jump (Gt, V b, C 30, fail_label));
+    let r = vreg t in
+    emit t (I_alu (Shl, r, V a, V b));
+    return_tagged t r
+  end
+  else begin
+    (* seeded: negative distances shift right and succeed *)
+    let neg = label t "shift_neg" in
+    emit t (I_cmp_jump (Lt, V b, C 0, neg));
+    emit t (I_cmp_jump (Gt, V b, C 30, fail_label));
+    let r = vreg t in
+    emit t (I_alu (Shl, r, V a, V b));
+    return_tagged t r;
+    emit t (I_label neg);
+    let mag = vreg t in
+    emit t (I_alu (Sub, mag, C 0, V b));
+    emit t (I_cmp_jump (Gt, V mag, C 30, fail_label));
+    let r2 = vreg t in
+    emit t (I_alu (Sar, r2, V a, V mag));
+    return_tagged t r2
+  end
+
+(* --- FFI templates (only in the "implemented" configuration) --- *)
+
+let ffi_receiver t ~arity:_ =
+  emit t (I_check_class (Recv, ext_addr_class, fail_label))
+
+let ffi_offset t ~arg ~width =
+  let off = int_arg t arg in
+  emit t (I_cmp_jump (Lt, V off, C 0, fail_label));
+  let end_ = vreg t in
+  emit t (I_alu (Add, end_, V off, C width));
+  let size = vreg t in
+  emit t (I_load_indexable_size (size, Recv));
+  emit t (I_cmp_jump (Gt, V end_, V size, fail_label));
+  off
+
+(* Little-endian load of [width] bytes into a fresh vreg (mirrors the
+   interpreter's pure-arithmetic composition). *)
+let ffi_load_unsigned t ~off ~width =
+  let acc = vreg t in
+  emit t (I_move (acc, C 0));
+  let byte = vreg t in
+  let addr = vreg t in
+  let shifted = vreg t in
+  for i = width - 1 downto 0 do
+    (* acc = acc * 256 + byte[off+i], high byte first *)
+    emit t (I_alu (Add, addr, V off, C i));
+    emit t (I_load_byte (byte, Recv, V addr));
+    emit t (I_alu (Mul, shifted, V acc, C 256));
+    emit t (I_alu (Add, acc, V shifted, V byte))
+  done;
+  acc
+
+let to_signed t v ~bits =
+  let half = 1 lsl (bits - 1) in
+  let full = 1 lsl bits in
+  let a = vreg t in
+  emit t (I_alu (Add, a, V v, C half));
+  let b = vreg t in
+  emit t (I_alu (Mod, b, V a, C full));
+  let r = vreg t in
+  emit t (I_alu (Sub, r, V b, C half));
+  r
+
+let ffi_load_template t ~width ~signed =
+  ffi_receiver t ~arity:1;
+  let off = ffi_offset t ~arg:0 ~width in
+  let v = ffi_load_unsigned t ~off ~width in
+  let v = if signed then to_signed t v ~bits:(8 * width) else v in
+  return_tagged t v
+
+let ffi_store_bytes t ~off ~value ~width ~base_extra =
+  let rest = vreg t in
+  emit t (I_move (rest, V value));
+  let b = vreg t in
+  let addr = vreg t in
+  for i = 0 to width - 1 do
+    emit t (I_alu (Mod, b, V rest, C 256));
+    emit t (I_alu (Add, addr, V off, C (i + base_extra)));
+    emit t (I_store_byte (Recv, V addr, V b));
+    emit t (I_alu (Div, rest, V rest, C 256))
+  done
+
+let ffi_store_template t ~width =
+  ffi_receiver t ~arity:2;
+  let off = ffi_offset t ~arg:0 ~width in
+  check_small t (Arg 1);
+  let v = untag_into t (Arg 1) in
+  let bits = 8 * width in
+  if bits < Vm_objects.Value.small_int_bits then begin
+    let half = 1 lsl (bits - 1) in
+    emit t (I_cmp_jump (Lt, V v, C (-half), fail_label));
+    emit t (I_cmp_jump (Ge, V v, C half, fail_label))
+  end;
+  let norm_bits = min bits 40 in
+  let full = 1 lsl norm_bits in
+  let a = vreg t in
+  emit t (I_alu (Add, a, V v, C full));
+  let unsigned = vreg t in
+  emit t (I_alu (Mod, unsigned, V a, C full));
+  ffi_store_bytes t ~off ~value:unsigned ~width ~base_extra:0;
+  emit t (I_return (Arg 1))
+
+(* --- dispatch --- *)
+
+(* The set of native methods the template compiler implements in the
+   paper configuration: 52 of the 112.  The remaining 60 are the seeded
+   "missing functionality" causes. *)
+let implemented_in_paper_config =
+  List.concat
+    [
+      List.init 27 (fun i -> i + 1) (* integer arithmetic *);
+      [ 40 ] (* asFloat *);
+      List.init 12 (fun i -> i + 41) (* float arith/cmp/trunc/frac *);
+      [ 55 ] (* sqrt *);
+      [ 78; 79; 85 ] (* identityHash, class, identical *);
+      List.init 8 (fun i -> i + 130) (* quick methods *);
+    ]
+
+let compile_template t prim_id =
+  let d = defects t in
+  match prim_id with
+  | 1 -> int_binop_template t Add ~check_divisor:false
+  | 2 -> int_binop_template t Sub ~check_divisor:false
+  | 3 -> int_cmp_template t Lt
+  | 4 -> int_cmp_template t Gt
+  | 5 -> int_cmp_template t Le
+  | 6 -> int_cmp_template t Ge
+  | 7 -> int_cmp_template t Eq
+  | 8 -> int_cmp_template t Ne
+  | 9 -> int_binop_template t Mul ~check_divisor:false
+  | 10 ->
+      (* exact division *)
+      let a = int_receiver t in
+      let b = int_arg t 0 in
+      emit t (I_cmp_jump (Eq, V b, C 0, fail_label));
+      let m = vreg t in
+      emit t (I_alu (Mod, m, V a, V b));
+      emit t (I_cmp_jump (Ne, V m, C 0, fail_label));
+      let q = vreg t in
+      emit t (I_alu (Div, q, V a, V b));
+      return_tagged t q
+  | 11 -> int_binop_template t Mod ~check_divisor:true
+  | 12 -> int_binop_template t Div ~check_divisor:true
+  | 13 -> int_binop_template t Quo ~check_divisor:true
+  | 14 -> int_bitop_template t And
+  | 15 -> int_bitop_template t Or
+  | 16 -> int_bitop_template t Xor
+  | 17 -> bit_shift_template t
+  | 18 ->
+      check_small t Recv;
+      let p = vreg t in
+      emit t (I_make_point (p, Recv, Arg 0));
+      emit t (I_return (V p))
+  | 19 ->
+      let a = int_receiver t in
+      let r = vreg t in
+      emit t (I_alu (Sub, r, C 0, V a));
+      return_tagged t r
+  | 20 ->
+      let a = int_receiver t in
+      let pos = label t "abs_pos" in
+      emit t (I_cmp_jump (Ge, V a, C 0, pos));
+      let r = vreg t in
+      emit t (I_alu (Sub, r, C 0, V a));
+      return_tagged t r;
+      emit t (I_label pos);
+      return_tagged t a
+  | 21 -> int_binop_template t Rem ~check_divisor:true
+  | 22 | 23 ->
+      let a = int_receiver t in
+      let b = int_arg t 0 in
+      let pick_b = label t "pick_b" in
+      let cond : Ir.cond = if prim_id = 22 then Gt else Lt in
+      emit t (I_cmp_jump (cond, V a, V b, pick_b));
+      return_tagged t a;
+      emit t (I_label pick_b);
+      return_tagged t b
+  | 24 ->
+      let a = int_receiver t in
+      let neg = label t "sign_neg" in
+      let zero = label t "sign_zero" in
+      emit t (I_cmp_jump (Lt, V a, C 0, neg));
+      emit t (I_cmp_jump (Eq, V a, C 0, zero));
+      emit t (I_return (C (tagged_int 1)));
+      emit t (I_label neg);
+      emit t (I_return (C (tagged_int (-1))));
+      emit t (I_label zero);
+      emit t (I_return (C (tagged_int 0)))
+  | 25 ->
+      let a = int_receiver t in
+      let lo = int_arg t 0 in
+      let hi = int_arg t 1 in
+      let no = label t "between_no" in
+      emit t (I_cmp_jump (Lt, V a, V lo, no));
+      emit t (I_cmp_jump (Gt, V a, V hi, no));
+      emit t (I_return (C true_word));
+      emit t (I_label no);
+      emit t (I_return (C false_word))
+  | 26 ->
+      let a = int_receiver t in
+      emit t (I_cmp_jump (Lt, V a, C 0, fail_label));
+      let m = vreg t in
+      emit t (I_alu (Mul, m, V a, C 1664525));
+      let r = vreg t in
+      emit t (I_alu (Mod, r, V m, C (1 lsl 28)));
+      return_tagged t r
+  | 27 ->
+      let a = int_receiver t in
+      return_tagged t a
+  | 40 ->
+      (* the COMPILED version of asFloat is correct: it checks the
+         receiver (the interpreter side carries the seeded bug) *)
+      let a = int_receiver t in
+      emit t (I_cvt_int_float (0, V a));
+      box_and_return t ~freg:0
+  | 41 | 42 | 49 | 50 ->
+      unbox_float_receiver t ~freg:0;
+      unbox_float_arg t 0 ~freg:1;
+      if prim_id = 50 then begin
+        emit t (I_cvt_int_float (2, C 0));
+        emit t (I_fcmp_jump (Eq, 1, 2, fail_label))
+      end;
+      let op : Ir.falu =
+        match prim_id with
+        | 41 -> FAdd
+        | 42 -> FSub
+        | 49 -> FMul
+        | _ -> FDiv
+      in
+      emit t (I_falu (op, 0, 0, 1));
+      box_and_return t ~freg:0
+  | 43 | 44 | 45 | 46 | 47 | 48 ->
+      unbox_float_receiver t ~freg:0;
+      unbox_float_arg t 0 ~freg:1;
+      let cond : Ir.cond =
+        match prim_id with
+        | 43 -> Lt
+        | 44 -> Gt
+        | 45 -> Le
+        | 46 -> Ge
+        | 47 -> Eq
+        | _ -> Ne
+      in
+      fbool_return t cond 0 1
+  | 51 ->
+      unbox_float_receiver t ~freg:0;
+      let r = vreg t in
+      emit t (I_trunc_float_int (r, 0));
+      return_tagged t r
+  | 52 ->
+      unbox_float_receiver t ~freg:0;
+      (* fractionPart = f - truncated(f), recomputed in float registers *)
+      let tr = vreg t in
+      emit t (I_trunc_float_int (tr, 0));
+      emit t (I_cvt_int_float (1, V tr));
+      emit t (I_falu (FSub, 0, 0, 1));
+      box_and_return t ~freg:0
+  | 55 ->
+      unbox_float_receiver t ~freg:0;
+      emit t (I_cvt_int_float (1, C 0));
+      emit t (I_fcmp_jump (Lt, 0, 1, fail_label));
+      emit t (I_fsqrt (0, 0));
+      box_and_return t ~freg:0
+  | 78 ->
+      let h = vreg t in
+      emit t (I_identity_hash (h, Recv));
+      return_tagged t h
+  | 79 ->
+      let c = vreg t in
+      emit t (I_load_class_object (c, Recv));
+      emit t (I_return (V c))
+  | 85 -> bool_return t Eq Recv (Arg 0)
+  | 130 -> emit t (I_return Recv)
+  | 131 -> emit t (I_return (C true_word))
+  | 132 -> emit t (I_return (C false_word))
+  | 133 -> emit t (I_return (C nil_word))
+  | 134 -> emit t (I_return (C (tagged_int (-1))))
+  | 135 -> emit t (I_return (C (tagged_int 0)))
+  | 136 -> emit t (I_return (C (tagged_int 1)))
+  | 137 -> emit t (I_return (C (tagged_int 2)))
+  (* --- FFI: only when the templates are implemented --- *)
+  | 100 when d.ffi_templates_implemented -> ffi_load_template t ~width:1 ~signed:true
+  | 101 when d.ffi_templates_implemented -> ffi_load_template t ~width:1 ~signed:false
+  | 102 when d.ffi_templates_implemented -> ffi_load_template t ~width:2 ~signed:true
+  | 103 when d.ffi_templates_implemented -> ffi_load_template t ~width:2 ~signed:false
+  | 104 when d.ffi_templates_implemented -> ffi_load_template t ~width:4 ~signed:true
+  | 105 when d.ffi_templates_implemented -> ffi_load_template t ~width:4 ~signed:false
+  | 106 when d.ffi_templates_implemented -> ffi_load_template t ~width:8 ~signed:true
+  | 107 when d.ffi_templates_implemented -> ffi_store_template t ~width:1
+  | 108 when d.ffi_templates_implemented -> ffi_store_template t ~width:2
+  | 109 when d.ffi_templates_implemented -> ffi_store_template t ~width:4
+  | 110 when d.ffi_templates_implemented -> ffi_store_template t ~width:8
+  | 113 when d.ffi_templates_implemented ->
+      ffi_receiver t ~arity:0;
+      let s = vreg t in
+      emit t (I_load_indexable_size (s, Recv));
+      bool_return t Eq (V s) (C 0)
+  | 114 when d.ffi_templates_implemented ->
+      ffi_receiver t ~arity:0;
+      let s = vreg t in
+      emit t (I_load_indexable_size (s, Recv));
+      return_tagged t s
+  | 115 when d.ffi_templates_implemented ->
+      ffi_receiver t ~arity:1;
+      check_small t (Arg 0);
+      let i = untag_into t (Arg 0) in
+      emit t (I_cmp_jump (Lt, V i, C 1, fail_label));
+      let s = vreg t in
+      emit t (I_load_indexable_size (s, Recv));
+      emit t (I_cmp_jump (Gt, V i, V s, fail_label));
+      let i0 = vreg t in
+      emit t (I_alu (Sub, i0, V i, C 1));
+      let b = vreg t in
+      emit t (I_load_byte (b, Recv, V i0));
+      return_tagged t b
+  | 117 when d.ffi_templates_implemented ->
+      let n = int_receiver t in
+      emit t (I_cmp_jump (Lt, V n, C 0, fail_label));
+      emit t (I_cmp_jump (Gt, V n, C 65535, fail_label));
+      let r = vreg t in
+      emit t (I_alloc (r, ext_addr_class, V n));
+      emit t (I_return (V r))
+  | 118 when d.ffi_templates_implemented ->
+      ffi_receiver t ~arity:0;
+      emit t (I_return (C nil_word))
+  | _ -> raise (Missing_template prim_id)
+
+let compile ~defects prim_id : ir list =
+  let t = { ctx = create_ctx ~defects } in
+  compile_template t prim_id;
+  emit t (I_label fail_label);
+  emit t (I_stop 0);
+  finish t.ctx
+
+let is_implemented ~defects prim_id =
+  match compile ~defects prim_id with
+  | (_ : ir list) -> true
+  | exception Missing_template _ -> false
+  | exception Unsupported_instruction _ -> false

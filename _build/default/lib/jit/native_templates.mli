@@ -1,0 +1,25 @@
+(** The native-method template-based compiler (§4.1-4.2).
+
+    Each supported native method has a hand-written IR template following
+    Listing 4's schema: the native behaviour first; operand-check
+    failures jump to a breakpoint epilogue that detects the fall-through
+    into the byte-code fallback.
+
+    Seeded defects (§5.3, gated by {!Interpreter.Defects.t}): the 13
+    float templates skip the receiver type check; the bitwise templates
+    skip the sign checks; the FFI templates are absent entirely. *)
+
+exception Missing_template of int
+
+val fail_label : string
+(** The label of the breakpoint epilogue. *)
+
+val implemented_in_paper_config : int list
+(** The 52 native methods with templates under the paper configuration
+    (the other 60 are the missing-functionality causes). *)
+
+val compile : defects:Interpreter.Defects.t -> int -> Ir.ir list
+(** The template of one native method, plus the fail epilogue.
+    @raise Missing_template for unimplemented ids. *)
+
+val is_implemented : defects:Interpreter.Defects.t -> int -> bool

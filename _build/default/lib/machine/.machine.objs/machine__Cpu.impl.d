@@ -1,0 +1,1 @@
+lib/machine/cpu.pp.ml: Array Class_desc Class_table Float Hashtbl Heap Int32 Int64 List Machine_code Obj Object_memory Objformat Ppx_deriving_runtime Printf Register_accessors Value Vm_objects

@@ -1,0 +1,1 @@
+lib/machine/cpu.pp.mli: Machine_code Vm_objects

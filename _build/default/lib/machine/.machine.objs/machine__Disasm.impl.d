@@ -1,0 +1,1 @@
+lib/machine/disasm.pp.ml: Array Buffer Interpreter Machine_code Printf

@@ -1,0 +1,1 @@
+lib/machine/disasm.pp.mli: Machine_code

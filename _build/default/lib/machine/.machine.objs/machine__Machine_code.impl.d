@@ -1,0 +1,1 @@
+lib/machine/machine_code.pp.ml: Array Fmt Hashtbl Interpreter Ppx_deriving_runtime Printf

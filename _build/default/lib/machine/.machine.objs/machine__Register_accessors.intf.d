@@ -1,0 +1,1 @@
+lib/machine/register_accessors.pp.mli:

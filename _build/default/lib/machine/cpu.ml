@@ -1,0 +1,441 @@
+(* The CPU simulator — our stand-in for the Unicorn-based simulation
+   environment of the paper's Fig. 4.
+
+   Executes {!Machine_code.program}s over a machine-side object memory.
+   Words are tagged oops (or raw untagged integers mid-sequence).  Heap
+   accesses are bounds-checked: an invalid access enters the reflective
+   trap handler, which performs the faulting register transfer through
+   {!Register_accessors} (where the seeded simulation-error gaps live) and
+   reports a segmentation fault.
+
+   Termination statuses map to the exit conditions the differential
+   oracle compares (§3.4): return-to-caller, breakpoint hit (Listing 4's
+   fall-through detector), trampoline call (message send), segfault. *)
+
+open Vm_objects
+
+type status =
+  | Returned of int (* word in r_result *)
+  | Stopped of int (* breakpoint marker id *)
+  | Called_trampoline of Machine_code.send_info
+  | Segfault
+  | Out_of_fuel
+[@@deriving show { with_path = false }]
+
+type t = {
+  om : Object_memory.t;
+  regs : int array;
+  fregs : float array;
+  mutable stack : int list; (* machine operand stack, top first *)
+  temps : int array; (* frame temporary slots *)
+  spills : int array; (* register-allocator spill slots *)
+  accessors : Register_accessors.accessor array;
+  mutable flag_eq : bool;
+  mutable flag_lt : bool;
+  mutable flag_ov : bool;
+}
+
+let create ?(accessor_gaps = true) om =
+  {
+    om;
+    regs = Array.make Machine_code.num_regs 0;
+    fregs = Array.make Machine_code.num_fregs 0.0;
+    stack = [];
+    temps = Array.make 32 0;
+    spills = Array.make 64 0;
+    accessors = Register_accessors.table ~gaps:accessor_gaps;
+    flag_eq = false;
+    flag_lt = false;
+    flag_ov = false;
+  }
+
+let set_reg t r v = t.regs.(r) <- v
+let set_temp t i v = t.temps.(i) <- v
+let temp t i = t.temps.(i)
+let reg t r = t.regs.(r)
+let stack_words t = List.rev t.stack (* bottom-up *)
+let push_word t v = t.stack <- v :: t.stack
+let object_memory t = t.om
+
+exception Trap_segfault
+
+(* Reflective trap handling: the simulation transfers the faulting value
+   through the per-register accessor table, then reports the fault.  A
+   missing accessor raises {!Register_accessors.Simulation_error}. *)
+let trap_load t dst =
+  Register_accessors.set t.accessors t.regs dst 0xDEAD;
+  raise Trap_segfault
+
+let trap_store t src =
+  ignore (Register_accessors.get t.accessors t.regs src);
+  raise Trap_segfault
+
+let as_value v = (Obj.magic (v : int) : Value.t)
+(* Machine words *are* tagged oops; [Value.t] is a private int, so this
+   reinterpretation is the identity.  Centralised here. *)
+
+let valid_pointer t w =
+  let v = as_value w in
+  Value.is_pointer v && Heap.is_valid_object (Object_memory.heap t.om) v
+
+let cond_holds t (c : Machine_code.cond) =
+  match c with
+  | Eq -> t.flag_eq
+  | Ne -> not t.flag_eq
+  | Lt -> t.flag_lt
+  | Le -> t.flag_lt || t.flag_eq
+  | Gt -> not (t.flag_lt || t.flag_eq)
+  | Ge -> not t.flag_lt
+  | Vs -> t.flag_ov
+  | Vc -> not t.flag_ov
+
+let set_flags_cmp t a b =
+  t.flag_eq <- a = b;
+  t.flag_lt <- a < b;
+  t.flag_ov <- false
+
+(* ALU result flags; overflow = result escapes the 31-bit immediate range
+   (the tag-arithmetic overflow check of a 32-bit VM). *)
+let set_flags_result t r =
+  t.flag_eq <- r = 0;
+  t.flag_lt <- r < 0;
+  t.flag_ov <- not (Value.is_small_int_value r)
+
+let alu_op (op : Machine_code.alu) a b =
+  match op with
+  | Add -> a + b
+  | Sub -> a - b
+  | Mul -> a * b
+  | Div ->
+      if b = 0 then raise Trap_segfault
+      else
+        let q = a / b and r = a mod b in
+        if r <> 0 && r lxor b < 0 then q - 1 else q
+  | Mod ->
+      if b = 0 then raise Trap_segfault
+      else
+        let r = a mod b in
+        if r <> 0 && r lxor b < 0 then r + b else r
+  | Quo -> if b = 0 then raise Trap_segfault else a / b
+  | Rem -> if b = 0 then raise Trap_segfault else a mod b
+  | And -> a land b
+  | Or -> a lor b
+  | Xor -> a lxor b
+  | Shl -> if b >= 0 && b <= 62 then a lsl b else raise Trap_segfault
+  | Sar -> if b >= 0 && b <= 62 then a asr b else a asr 62
+
+(* Unchecked float unboxing, as compiled code without a receiver check
+   would do it (the 13 seeded missing-compiled-type-check defects):
+   dereferencing an immediate segfaults; small objects read past their
+   body and segfault; other shapes produce garbage doubles. *)
+let unbox_float_unchecked t w =
+  let v = as_value w in
+  if Value.is_small_int v then raise Trap_segfault
+  else if not (valid_pointer t w) then raise Trap_segfault
+  else if Object_memory.is_float_object t.om v then
+    Object_memory.float_value_of t.om v
+  else
+    let heap = Object_memory.heap t.om in
+    match Heap.format_of heap v with
+    | Objformat.Fixed_pointers n when n < 2 -> raise Trap_segfault
+    | Objformat.Variable_bytes when Heap.indexable_size heap v < 8 ->
+        raise Trap_segfault
+    | _ -> Heap.unchecked_float_value heap v
+
+let run ?(fuel = 100_000) (t : t) (program : Machine_code.program) : status =
+  let labels = Machine_code.label_map program in
+  let goto l =
+    match Hashtbl.find_opt labels l with
+    | Some i -> i
+    | None -> invalid_arg (Printf.sprintf "Cpu.run: undefined label %s" l)
+  in
+  let operand (o : Machine_code.operand) =
+    match o with R r -> t.regs.(r) | I i -> i
+  in
+  let pointer_check w =
+    if not (valid_pointer t w) then raise Trap_segfault else as_value w
+  in
+  let rec exec i fuel : status =
+    if fuel <= 0 then Out_of_fuel
+    else if i >= Array.length program then Segfault (* ran off the code *)
+    else
+      let next () = exec (i + 1) (fuel - 1) in
+      let jump l = exec (goto l) (fuel - 1) in
+      match program.(i) with
+      | Label _ -> next ()
+      | Call_trampoline info -> Called_trampoline info
+      | Ret -> Returned t.regs.(Machine_code.r_result)
+      | Brk id -> Stopped id
+      (* --- object representation layer --- *)
+      | Load_class_index (dst, src) ->
+          (try
+             t.regs.(dst) <- Object_memory.class_index_of t.om (as_value t.regs.(src))
+           with Heap.Invalid_access _ -> trap_load t dst);
+          next ()
+      | Load_class_object (dst, src) ->
+          (try
+             t.regs.(dst) <-
+               (Object_memory.class_object_of t.om (as_value t.regs.(src)) :> int)
+           with Heap.Invalid_access _ | Invalid_argument _ -> trap_load t dst);
+          next ()
+      | Load_slot (dst, base, idx) ->
+          (try
+             let b = pointer_check t.regs.(base) in
+             if not (Object_memory.is_pointers_object t.om b) then
+               raise Trap_segfault;
+             t.regs.(dst) <-
+               (Object_memory.fetch_pointer t.om b (operand idx) :> int)
+           with Heap.Invalid_access _ | Trap_segfault -> trap_load t dst);
+          next ()
+      | Store_slot (base, idx, src) ->
+          (try
+             let b = pointer_check t.regs.(base) in
+             if not (Object_memory.is_pointers_object t.om b) then
+               raise Trap_segfault;
+             Object_memory.store_pointer t.om b (operand idx)
+               (as_value t.regs.(src))
+           with Heap.Invalid_access _ | Trap_segfault -> trap_store t src);
+          next ()
+      | Load_byte (dst, base, idx) ->
+          (try
+             let b = pointer_check t.regs.(base) in
+             t.regs.(dst) <- Object_memory.fetch_byte t.om b (operand idx)
+           with Heap.Invalid_access _ | Trap_segfault -> trap_load t dst);
+          next ()
+      | Store_byte (base, idx, src) ->
+          (try
+             let b = pointer_check t.regs.(base) in
+             Object_memory.store_byte t.om b (operand idx) t.regs.(src)
+           with Heap.Invalid_access _ | Trap_segfault -> trap_store t src);
+          next ()
+      | Load_num_slots (dst, src) ->
+          (try t.regs.(dst) <- Object_memory.num_slots t.om (pointer_check t.regs.(src))
+           with Heap.Invalid_access _ | Trap_segfault -> trap_load t dst);
+          next ()
+      | Load_indexable_size (dst, src) ->
+          (try
+             t.regs.(dst) <-
+               Object_memory.indexable_size t.om (pointer_check t.regs.(src))
+           with Heap.Invalid_access _ | Trap_segfault -> trap_load t dst);
+          next ()
+      | Load_fixed_size (dst, src) ->
+          (try
+             t.regs.(dst) <-
+               Object_memory.fixed_size_of t.om (pointer_check t.regs.(src))
+           with Heap.Invalid_access _ | Trap_segfault -> trap_load t dst);
+          next ()
+      | Load_format (dst, src) ->
+          (try
+             let v = pointer_check t.regs.(src) in
+             t.regs.(dst) <-
+               (match Heap.format_of (Object_memory.heap t.om) v with
+               | Objformat.Fixed_pointers _ -> 0
+               | Objformat.Variable_pointers _ -> 1
+               | Objformat.Variable_bytes -> 2
+               | Objformat.Boxed_float -> 3
+               | Objformat.Compiled_method -> 4)
+           with Heap.Invalid_access _ | Trap_segfault -> trap_load t dst);
+          next ()
+      | Load_temp (dst, i) ->
+          if i < 0 || i >= Array.length t.temps then trap_load t dst
+          else begin
+            t.regs.(dst) <- t.temps.(i);
+            next ()
+          end
+      | Store_temp (i, src) ->
+          if i < 0 || i >= Array.length t.temps then trap_store t src
+          else begin
+            t.temps.(i) <- t.regs.(src);
+            next ()
+          end
+      | Unbox_float (fd, src) ->
+          t.fregs.(fd) <- unbox_float_unchecked t t.regs.(src);
+          next ()
+      | Box_float (dst, fs) ->
+          t.regs.(dst) <- (Object_memory.float_object_of t.om t.fregs.(fs) :> int);
+          next ()
+      | Falu (op, fd, fa, fb) ->
+          let a = t.fregs.(fa) and b = t.fregs.(fb) in
+          t.fregs.(fd) <-
+            (match op with
+            | FAdd -> a +. b
+            | FSub -> a -. b
+            | FMul -> a *. b
+            | FDiv -> a /. b);
+          next ()
+      | Fcmp (fa, fb) ->
+          let a = t.fregs.(fa) and b = t.fregs.(fb) in
+          t.flag_eq <- a = b;
+          t.flag_lt <- a < b;
+          t.flag_ov <- Float.is_nan a || Float.is_nan b;
+          next ()
+      | Fsqrt (fd, fs) ->
+          t.fregs.(fd) <- sqrt t.fregs.(fs);
+          next ()
+      | Cvt_int_float (fd, src) ->
+          t.fregs.(fd) <- float_of_int t.regs.(src);
+          next ()
+      | Cvt_float_int (dst, fs) ->
+          t.regs.(dst) <- int_of_float (Float.trunc t.fregs.(fs));
+          next ()
+      | Alloc (dst, class_id, size) ->
+          t.regs.(dst) <-
+            (Object_memory.instantiate_class t.om ~class_id
+               ~indexable_size:(operand size)
+              :> int);
+          next ()
+      | Alloc_flex (dst, slots) ->
+          let n = operand slots in
+          let cid =
+            Class_desc.class_id
+              (Object_memory.register_class t.om
+                 ~name:(Printf.sprintf "JitObject%d" n)
+                 ~format:(Objformat.Fixed_pointers n))
+          in
+          t.regs.(dst) <-
+            (Object_memory.instantiate_class t.om ~class_id:cid
+               ~indexable_size:0
+              :> int);
+          next ()
+      | Identity_hash (dst, src) ->
+          t.regs.(dst) <- Object_memory.identity_hash t.om (as_value t.regs.(src));
+          next ()
+      | Shallow_copy_op (dst, src) ->
+          (try
+             t.regs.(dst) <-
+               (Object_memory.shallow_copy t.om (pointer_check t.regs.(src)) :> int)
+           with Heap.Invalid_access _ | Trap_segfault -> trap_load t dst);
+          next ()
+      | Make_point_op (dst, x, y) ->
+          let p =
+            Object_memory.instantiate_class t.om ~class_id:Class_table.point_id
+              ~indexable_size:0
+          in
+          Object_memory.store_pointer t.om p 0 (as_value t.regs.(x));
+          Object_memory.store_pointer t.om p 1 (as_value t.regs.(y));
+          t.regs.(dst) <- (p :> int);
+          next ()
+      | Make_char_op (dst, src) ->
+          let c =
+            Object_memory.instantiate_class t.om
+              ~class_id:Class_table.character_id ~indexable_size:0
+          in
+          Object_memory.store_pointer t.om c 0
+            (Value.of_small_int (t.regs.(src) land 0x1FFFFF));
+          t.regs.(dst) <- (c :> int);
+          next ()
+      | Float_from_bits32 (fd, src) ->
+          t.fregs.(fd) <- Int32.float_of_bits (Int32.of_int t.regs.(src));
+          next ()
+      | Float_to_bits32 (dst, fs) ->
+          t.regs.(dst) <-
+            Int32.to_int (Int32.bits_of_float t.fregs.(fs)) land 0xFFFFFFFF;
+          next ()
+      | Float_from_bits64 (fd, hi, lo) ->
+          t.fregs.(fd) <-
+            Int64.float_of_bits
+              (Int64.logor
+                 (Int64.shift_left
+                    (Int64.of_int (t.regs.(hi) land 0xFFFFFFFF))
+                    32)
+                 (Int64.of_int (t.regs.(lo) land 0xFFFFFFFF)));
+          next ()
+      | Float_to_bits64_hi (dst, fs) ->
+          t.regs.(dst) <-
+            Int64.to_int
+              (Int64.shift_right_logical (Int64.bits_of_float t.fregs.(fs)) 32)
+            land 0xFFFFFFFF;
+          next ()
+      | Float_to_bits64_lo (dst, fs) ->
+          t.regs.(dst) <-
+            Int64.to_int (Int64.bits_of_float t.fregs.(fs)) land 0xFFFFFFFF;
+          next ()
+      | Char_value_op (dst, src) ->
+          (try
+             let c = pointer_check t.regs.(src) in
+             t.regs.(dst) <-
+               Value.small_int_value (Object_memory.fetch_pointer t.om c 0)
+           with Heap.Invalid_access _ | Trap_segfault -> trap_load t dst);
+          next ()
+      | Spill_store (slot, src) ->
+          if slot < 0 || slot >= Array.length t.spills then trap_store t src
+          else begin
+            t.spills.(slot) <- t.regs.(src);
+            next ()
+          end
+      | Spill_load (dst, slot) ->
+          if slot < 0 || slot >= Array.length t.spills then trap_load t dst
+          else begin
+            t.regs.(dst) <- t.spills.(slot);
+            next ()
+          end
+      (* --- x86 style --- *)
+      | X_mov_ri (r, v) ->
+          t.regs.(r) <- v;
+          next ()
+      | X_mov_rr (d, s) ->
+          t.regs.(d) <- t.regs.(s);
+          next ()
+      | X_alu (op, d, s) ->
+          let r = alu_op op t.regs.(d) (operand s) in
+          t.regs.(d) <- r;
+          set_flags_result t r;
+          next ()
+      | X_neg r ->
+          t.regs.(r) <- -t.regs.(r);
+          set_flags_result t t.regs.(r);
+          next ()
+      | X_cmp (r, o) ->
+          set_flags_cmp t t.regs.(r) (operand o);
+          next ()
+      | X_test_tag r ->
+          t.flag_eq <- t.regs.(r) land 1 = 1;
+          next ()
+      | X_jcc (c, l) -> if cond_holds t c then jump l else next ()
+      | X_jmp l -> jump l
+      | X_push o ->
+          push_word t (operand o);
+          next ()
+      | X_pop r -> (
+          match t.stack with
+          | v :: rest ->
+              t.regs.(r) <- v;
+              t.stack <- rest;
+              next ()
+          | [] -> Segfault)
+      (* --- ARM32 style --- *)
+      | A_mov_i (r, v) ->
+          t.regs.(r) <- v;
+          next ()
+      | A_mov (d, s) ->
+          t.regs.(d) <- t.regs.(s);
+          next ()
+      | A_alu (op, rd, rn, rm) ->
+          let r = alu_op op t.regs.(rn) (operand rm) in
+          t.regs.(rd) <- r;
+          set_flags_result t r;
+          next ()
+      | A_rsb (rd, rn, imm) ->
+          t.regs.(rd) <- imm - t.regs.(rn);
+          set_flags_result t t.regs.(rd);
+          next ()
+      | A_cmp (r, o) ->
+          set_flags_cmp t t.regs.(r) (operand o);
+          next ()
+      | A_tst_tag r ->
+          t.flag_eq <- t.regs.(r) land 1 = 1;
+          next ()
+      | A_b (None, l) -> jump l
+      | A_b (Some c, l) -> if cond_holds t c then jump l else next ()
+      | A_push o ->
+          push_word t (operand o);
+          next ()
+      | A_pop r -> (
+          match t.stack with
+          | v :: rest ->
+              t.regs.(r) <- v;
+              t.stack <- rest;
+              next ()
+          | [] -> Segfault)
+  in
+  try exec 0 fuel with Trap_segfault -> Segfault

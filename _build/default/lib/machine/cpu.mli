@@ -1,0 +1,44 @@
+(** The CPU simulator — the stand-in for the Unicorn-based simulation
+    environment of the paper's Fig. 4.
+
+    Executes {!Machine_code.program}s over a machine-side object memory.
+    Heap accesses are bounds-checked: an invalid access enters the
+    reflective trap handler ({!Register_accessors}, where the seeded
+    simulation-error gaps live) and reports a segmentation fault.
+    Termination statuses map onto the exit conditions the differential
+    oracle compares (§3.4). *)
+
+type status =
+  | Returned of int  (** return to caller, word in the result register *)
+  | Stopped of int  (** breakpoint hit, with its marker id *)
+  | Called_trampoline of Machine_code.send_info  (** message-send exit *)
+  | Segfault
+  | Out_of_fuel
+
+val show_status : status -> string
+
+type t
+
+val create : ?accessor_gaps:bool -> Vm_objects.Object_memory.t -> t
+(** [accessor_gaps] seeds the two missing reflective accessors (the
+    paper's "simulation error" defects); default [true]. *)
+
+val set_reg : t -> Machine_code.reg -> int -> unit
+val reg : t -> Machine_code.reg -> int
+val set_temp : t -> int -> int -> unit
+(** Frame temporary slots (the tester's calling convention for byte-code
+    methods). *)
+
+val temp : t -> int -> int
+
+val stack_words : t -> int list
+(** The machine operand stack, bottom → top. *)
+
+val push_word : t -> int -> unit
+val object_memory : t -> Vm_objects.Object_memory.t
+
+val run : ?fuel:int -> t -> Machine_code.program -> status
+(** Execute from the first instruction until a terminal status.
+    @raise Register_accessors.Simulation_error when a trap needs a
+    missing reflective accessor (the seeded defect).
+    @raise Invalid_argument on an undefined branch label. *)

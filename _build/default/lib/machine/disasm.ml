@@ -1,0 +1,148 @@
+(* Disassembler for the simulated machine code — the stand-in for the
+   LLVM disassembler of the paper's simulation environment (Fig. 4).
+
+   Renders x86-style instructions in an Intel-like syntax and ARM32-style
+   instructions in UAL-like syntax; the shared object-representation
+   pseudo-ops render as runtime calls, the way a listing of real Cogit
+   output shows calls into the object representation. *)
+
+open Machine_code
+
+let gp r = reg_name r
+let fp r = Printf.sprintf "f%d" r
+
+let operand = function R r -> gp r | I i -> Printf.sprintf "#%d" i
+
+let cond_suffix = function
+  | Eq -> "eq"
+  | Ne -> "ne"
+  | Lt -> "lt"
+  | Le -> "le"
+  | Gt -> "gt"
+  | Ge -> "ge"
+  | Vs -> "vs"
+  | Vc -> "vc"
+
+let x86_cc = function
+  | Eq -> "e"
+  | Ne -> "ne"
+  | Lt -> "l"
+  | Le -> "le"
+  | Gt -> "g"
+  | Ge -> "ge"
+  | Vs -> "o"
+  | Vc -> "no"
+
+let alu_name = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div -> "sdivf" (* floor division helper *)
+  | Mod -> "smodf"
+  | Quo -> "sdiv"
+  | Rem -> "srem"
+  | And -> "and"
+  | Or -> "orr"
+  | Xor -> "eor"
+  | Shl -> "lsl"
+  | Sar -> "asr"
+
+let x86_alu_name = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "imul"
+  | Div -> "idivf"
+  | Mod -> "imodf"
+  | Quo -> "idiv"
+  | Rem -> "irem"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Shl -> "shl"
+  | Sar -> "sar"
+
+let falu_name = function FAdd -> "add" | FSub -> "sub" | FMul -> "mul" | FDiv -> "div"
+
+let selector_text (i : send_info) =
+  Printf.sprintf "%s/%d"
+    (Interpreter.Exit_condition.selector_name i.selector)
+    i.num_args
+
+(* One instruction, without its address. *)
+let instr (i : instr) : string =
+  match i with
+  | Label l -> l ^ ":"
+  | Call_trampoline info -> Printf.sprintf "call ccSendTrampoline<%s>" (selector_text info)
+  | Ret -> "ret"
+  | Brk n -> Printf.sprintf "brk #%d" n
+  | Load_class_index (d, s) -> Printf.sprintf "mov %s, classIndexOf(%s)" (gp d) (gp s)
+  | Load_class_object (d, s) -> Printf.sprintf "mov %s, classOf(%s)" (gp d) (gp s)
+  | Load_slot (d, b, i) -> Printf.sprintf "mov %s, [%s + 8*%s]" (gp d) (gp b) (operand i)
+  | Store_slot (b, i, s) -> Printf.sprintf "mov [%s + 8*%s], %s" (gp b) (operand i) (gp s)
+  | Load_byte (d, b, i) -> Printf.sprintf "movzx %s, byte [%s + %s]" (gp d) (gp b) (operand i)
+  | Store_byte (b, i, s) -> Printf.sprintf "mov byte [%s + %s], %s" (gp b) (operand i) (gp s)
+  | Load_num_slots (d, s) -> Printf.sprintf "mov %s, numSlotsOf(%s)" (gp d) (gp s)
+  | Load_indexable_size (d, s) -> Printf.sprintf "mov %s, indexableSizeOf(%s)" (gp d) (gp s)
+  | Load_fixed_size (d, s) -> Printf.sprintf "mov %s, fixedSizeOf(%s)" (gp d) (gp s)
+  | Load_format (d, s) -> Printf.sprintf "mov %s, formatOf(%s)" (gp d) (gp s)
+  | Load_temp (d, n) -> Printf.sprintf "mov %s, [fp - %d]" (gp d) (8 * (n + 1))
+  | Store_temp (n, s) -> Printf.sprintf "mov [fp - %d], %s" (8 * (n + 1)) (gp s)
+  | Unbox_float (d, s) -> Printf.sprintf "movsd %s, qword [%s + 8]" (fp d) (gp s)
+  | Box_float (d, s) -> Printf.sprintf "call ccBoxFloat(%s) -> %s" (fp s) (gp d)
+  | Falu (op, d, a, b) -> Printf.sprintf "%ssd %s, %s, %s" (falu_name op) (fp d) (fp a) (fp b)
+  | Fcmp (a, b) -> Printf.sprintf "ucomisd %s, %s" (fp a) (fp b)
+  | Fsqrt (d, s) -> Printf.sprintf "sqrtsd %s, %s" (fp d) (fp s)
+  | Cvt_int_float (d, s) -> Printf.sprintf "cvtsi2sd %s, %s" (fp d) (gp s)
+  | Cvt_float_int (d, s) -> Printf.sprintf "cvttsd2si %s, %s" (gp d) (fp s)
+  | Alloc (d, cid, size) ->
+      Printf.sprintf "call ccAllocate(class=%d, size=%s) -> %s" cid (operand size) (gp d)
+  | Alloc_flex (d, slots) ->
+      Printf.sprintf "call ccAllocateFlex(slots=%s) -> %s" (operand slots) (gp d)
+  | Identity_hash (d, s) -> Printf.sprintf "call ccIdentityHash(%s) -> %s" (gp s) (gp d)
+  | Shallow_copy_op (d, s) -> Printf.sprintf "call ccShallowCopy(%s) -> %s" (gp s) (gp d)
+  | Make_point_op (d, x, y) ->
+      Printf.sprintf "call ccMakePoint(%s, %s) -> %s" (gp x) (gp y) (gp d)
+  | Make_char_op (d, s) -> Printf.sprintf "call ccMakeCharacter(%s) -> %s" (gp s) (gp d)
+  | Char_value_op (d, s) -> Printf.sprintf "call ccCharValue(%s) -> %s" (gp s) (gp d)
+  | Float_from_bits32 (d, s) -> Printf.sprintf "movd %s, %s" (fp d) (gp s)
+  | Float_to_bits32 (d, s) -> Printf.sprintf "movd %s, %s" (gp d) (fp s)
+  | Float_from_bits64 (d, hi, lo) ->
+      Printf.sprintf "movq %s, (%s:%s)" (fp d) (gp hi) (gp lo)
+  | Float_to_bits64_hi (d, s) -> Printf.sprintf "pextrd %s, %s, 1" (gp d) (fp s)
+  | Float_to_bits64_lo (d, s) -> Printf.sprintf "movd %s, %s" (gp d) (fp s)
+  | Spill_store (slot, s) -> Printf.sprintf "mov [sp + %d], %s" (8 * slot) (gp s)
+  | Spill_load (d, slot) -> Printf.sprintf "mov %s, [sp + %d]" (gp d) (8 * slot)
+  (* x86 style, Intel-ish syntax *)
+  | X_mov_ri (r, i) -> Printf.sprintf "mov %s, %d" (gp r) i
+  | X_mov_rr (d, s) -> Printf.sprintf "mov %s, %s" (gp d) (gp s)
+  | X_alu (op, d, o) -> Printf.sprintf "%s %s, %s" (x86_alu_name op) (gp d) (operand o)
+  | X_neg r -> Printf.sprintf "neg %s" (gp r)
+  | X_cmp (r, o) -> Printf.sprintf "cmp %s, %s" (gp r) (operand o)
+  | X_test_tag r -> Printf.sprintf "test %s, 1" (gp r)
+  | X_jcc (c, l) -> Printf.sprintf "j%s %s" (x86_cc c) l
+  | X_jmp l -> Printf.sprintf "jmp %s" l
+  | X_push o -> Printf.sprintf "push %s" (operand o)
+  | X_pop r -> Printf.sprintf "pop %s" (gp r)
+  (* ARM style, UAL-ish syntax *)
+  | A_mov_i (r, i) -> Printf.sprintf "mov %s, #%d" (gp r) i
+  | A_mov (d, s) -> Printf.sprintf "mov %s, %s" (gp d) (gp s)
+  | A_alu (op, rd, rn, rm) ->
+      Printf.sprintf "%ss %s, %s, %s" (alu_name op) (gp rd) (gp rn) (operand rm)
+  | A_rsb (rd, rn, imm) -> Printf.sprintf "rsb %s, %s, #%d" (gp rd) (gp rn) imm
+  | A_cmp (r, o) -> Printf.sprintf "cmp %s, %s" (gp r) (operand o)
+  | A_tst_tag r -> Printf.sprintf "tst %s, #1" (gp r)
+  | A_b (None, l) -> Printf.sprintf "b %s" l
+  | A_b (Some c, l) -> Printf.sprintf "b%s %s" (cond_suffix c) l
+  | A_push o -> Printf.sprintf "push {%s}" (operand o)
+  | A_pop r -> Printf.sprintf "pop {%s}" (gp r)
+
+(* A whole program, with indices, labels flush-left. *)
+let program (p : program) : string =
+  let buf = Buffer.create 512 in
+  Array.iteri
+    (fun i ins ->
+      match ins with
+      | Label _ -> Buffer.add_string buf (Printf.sprintf "%3d: %s\n" i (instr ins))
+      | _ -> Buffer.add_string buf (Printf.sprintf "%3d:   %s\n" i (instr ins)))
+    p;
+  Buffer.contents buf

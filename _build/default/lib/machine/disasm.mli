@@ -1,0 +1,11 @@
+(** Disassembler for the simulated machine code — the stand-in for the
+    LLVM disassembler in the paper's simulation environment (Fig. 4).
+    x86-style instructions render in an Intel-like syntax, ARM32-style in
+    UAL-like syntax; shared object-representation pseudo-ops render as
+    runtime calls. *)
+
+val instr : Machine_code.instr -> string
+(** One instruction, without its address. *)
+
+val program : Machine_code.program -> string
+(** A whole listing with instruction indices. *)

@@ -1,0 +1,142 @@
+(* The simulated machine code.
+
+   The CPU simulator (our stand-in for the Unicorn-based simulation
+   environment of Fig. 4) executes two instruction styles in one emulator:
+
+   - an x86-like style: two-address ALU ops mutating their destination,
+     explicit flag-setting compares, short conditional jumps;
+   - an ARM32-like style: three-address ALU ops, compare-and-branch with
+     condition fields.
+
+   Complex operations that would lower to multi-instruction sequences on
+   real hardware (object slot loads, float unboxing, allocation) are
+   modelled as single simulator ops shared by both ISAs — the same level
+   of abstraction Cogit's object-representation layer provides.
+
+   Machine words are tagged oops (or raw untagged integers mid-sequence),
+   living in a machine-side object memory. *)
+
+type reg = int [@@deriving show, eq] (* 16 general registers *)
+type freg = int [@@deriving show, eq] (* 4 float registers *)
+
+(* Conventional register assignment (shared calling convention). *)
+let r_receiver = 0
+let r_arg0 = 1
+let r_arg1 = 2
+let r_result = 3
+let r_class = 4
+let r_scratch0 = 5
+let r_scratch1 = 6
+let r_scratch2 = 7
+let r_temp_base = 8 (* r8..r23: allocatable temporaries *)
+let num_regs = 24
+let num_fregs = 4
+
+let reg_name r =
+  match r with
+  | 0 -> "rRcvr"
+  | 1 -> "rArg0"
+  | 2 -> "rArg1"
+  | 3 -> "rResult"
+  | 4 -> "rClass"
+  | 5 -> "rScr0"
+  | 6 -> "rScr1"
+  | 7 -> "rScr2"
+  | n -> Printf.sprintf "r%d" n
+
+type cond = Eq | Ne | Lt | Le | Gt | Ge | Vs | Vc
+[@@deriving show { with_path = false }, eq]
+
+type alu = Add | Sub | Mul | Div | Mod | Quo | Rem | And | Or | Xor | Shl | Sar
+[@@deriving show { with_path = false }, eq]
+(* Div/Mod are floor division ([//] and [\\]), Quo/Rem truncate. *)
+
+type falu = FAdd | FSub | FMul | FDiv [@@deriving show { with_path = false }, eq]
+
+type operand = R of reg | I of int [@@deriving show { with_path = false }, eq]
+
+type send_info = {
+  selector : Interpreter.Exit_condition.selector;
+  num_args : int;
+}
+[@@deriving show { with_path = false }, eq]
+
+type instr =
+  (* --- shared pseudo-ops (object representation layer) --- *)
+  | Label of string
+  | Call_trampoline of send_info (* leave machine code for the send stub *)
+  | Ret (* return to caller, result in r_result *)
+  | Brk of int (* breakpoint / stop, with a marker id *)
+  | Load_class_index of reg * reg
+  | Load_class_object of reg * reg
+  | Load_slot of reg * reg * operand (* dst, base oop, 0-based index *)
+  | Store_slot of reg * operand * reg (* base oop, index, src *)
+  | Load_byte of reg * reg * operand
+  | Store_byte of reg * operand * reg
+  | Load_num_slots of reg * reg
+  | Load_indexable_size of reg * reg
+  | Load_fixed_size of reg * reg
+  | Load_format of reg * reg
+    (* header format code: 0 fixed-pointers, 1 variable-pointers,
+       2 bytes, 3 float, 4 method *)
+  | Load_temp of reg * int (* frame temporary slots (FP-relative) *)
+  | Store_temp of int * reg
+  | Unbox_float of freg * reg (* UNCHECKED: traps/garbage on non-floats *)
+  | Box_float of reg * freg
+  | Falu of falu * freg * freg * freg
+  | Fcmp of freg * freg (* sets flags *)
+  | Fsqrt of freg * freg
+  | Cvt_int_float of freg * reg (* untagged int → float *)
+  | Cvt_float_int of reg * freg (* truncate toward zero *)
+  | Alloc of reg * int * operand (* dst, class id, indexable size *)
+  | Alloc_flex of reg * operand (* dst, slot count: invented plain class *)
+  | Identity_hash of reg * reg
+  | Shallow_copy_op of reg * reg
+  | Make_point_op of reg * reg * reg
+  | Make_char_op of reg * reg (* dst, untagged code *)
+  | Char_value_op of reg * reg
+  | Float_from_bits32 of freg * reg
+  | Float_to_bits32 of reg * freg
+  | Float_from_bits64 of freg * reg * reg (* dst, hi, lo *)
+  | Float_to_bits64_hi of reg * freg
+  | Float_to_bits64_lo of reg * freg
+  | Spill_store of int * reg (* register-allocator spill slots *)
+  | Spill_load of reg * int
+  (* --- x86 style --- *)
+  | X_mov_ri of reg * int
+  | X_mov_rr of reg * reg
+  | X_alu of alu * reg * operand (* dst := dst op src; sets flags *)
+  | X_neg of reg
+  | X_cmp of reg * operand
+  | X_test_tag of reg (* flags.eq := (low bit = 1) *)
+  | X_jcc of cond * string
+  | X_jmp of string
+  | X_push of operand
+  | X_pop of reg
+  (* --- ARM32 style --- *)
+  | A_mov_i of reg * int
+  | A_mov of reg * reg
+  | A_alu of alu * reg * reg * operand (* rd := rn op rm; sets flags *)
+  | A_rsb of reg * reg * int (* rd := imm - rn (reverse subtract) *)
+  | A_cmp of reg * operand
+  | A_tst_tag of reg
+  | A_b of cond option * string
+  | A_push of operand
+  | A_pop of reg
+[@@deriving show { with_path = false }]
+
+type program = instr array
+
+let assemble (instrs : instr list) : program = Array.of_list instrs
+
+(* Label → index resolution. *)
+let label_map (p : program) =
+  let tbl = Hashtbl.create 16 in
+  Array.iteri
+    (fun i instr ->
+      match instr with Label l -> Hashtbl.replace tbl l i | _ -> ())
+    p;
+  tbl
+
+let pp_program ppf (p : program) =
+  Array.iteri (fun i instr -> Fmt.pf ppf "%3d: %s@." i (show_instr instr)) p

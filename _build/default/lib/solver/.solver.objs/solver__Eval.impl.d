@@ -1,0 +1,1 @@
+lib/solver/eval.pp.ml: Float Hashtbl Int32 Int64 List Model Sym_expr Symbolic

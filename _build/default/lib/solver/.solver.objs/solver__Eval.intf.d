@@ -1,0 +1,1 @@
+lib/solver/eval.pp.mli: Hashtbl Model Symbolic

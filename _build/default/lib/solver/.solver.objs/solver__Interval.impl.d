@@ -1,0 +1,1 @@
+lib/solver/interval.pp.ml: Fmt Ppx_deriving_runtime Random Symbolic

@@ -1,0 +1,1 @@
+lib/solver/interval.pp.mli: Fmt Random Symbolic

@@ -1,0 +1,1 @@
+lib/solver/limits.pp.ml: List Symbolic

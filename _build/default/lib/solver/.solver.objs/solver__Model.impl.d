@@ -1,0 +1,1 @@
+lib/solver/model.pp.ml: Fmt Hashtbl Option Ppx_deriving_runtime Symbolic

@@ -1,0 +1,1 @@
+lib/solver/model.pp.mli: Fmt Format Symbolic

@@ -1,0 +1,1 @@
+lib/solver/solve.pp.ml: Class_table Eval Float Hashtbl Int Interval Lazy Limits List Model Option Printf Random Sym_expr Symbolic Value Vm_objects

@@ -1,0 +1,1 @@
+lib/solver/solve.pp.mli: Model Symbolic

@@ -1,0 +1,161 @@
+(* Scalar expression evaluation under an atom environment.
+
+   Shared by the witness search in {!Solve} and by the input materialiser
+   in the concolic engine: given concrete values for the integer/float
+   *atoms* (untagged values, sizes, byte reads, ...), evaluate composite
+   integer/float expressions.  Raises {!Failed} on unassigned atoms or
+   undefined operations (division by zero). *)
+
+open Symbolic
+
+type env = {
+  ints : (Sym_expr.t, int) Hashtbl.t;
+  floats : (Sym_expr.t, float) Hashtbl.t;
+}
+
+let create_env () = { ints = Hashtbl.create 16; floats = Hashtbl.create 16 }
+
+let env_of_model (m : Model.t) =
+  let env = create_env () in
+  List.iter (fun (k, v) -> Hashtbl.replace env.ints k v) (Model.int_bindings m);
+  List.iter
+    (fun (k, v) -> Hashtbl.replace env.floats k v)
+    (Model.float_bindings m);
+  env
+
+exception Failed
+
+(* Is this expression an integer-sorted atom (a leaf for the search)? *)
+let is_int_atom (e : Sym_expr.t) =
+  match e with
+  | Var { sort = Int; _ } -> true
+  | Integer_value_of _ | Indexable_size_of _ | Num_slots_of _
+  | Fixed_size_of _ | Byte_at _ | Identity_hash_of _ | Char_value_of _
+  | Class_index_of _ ->
+      true
+  | _ -> false
+
+let is_float_atom (e : Sym_expr.t) =
+  match e with
+  | Var { sort = Float; _ } -> true
+  | Float_value_of _ -> true
+  | _ -> false
+
+(* Floor division/modulo, Smalltalk [//] and [\\]. *)
+let floor_div a b =
+  let q = a / b and r = a mod b in
+  if r <> 0 && r lxor b < 0 then q - 1 else q
+
+let floor_mod a b =
+  let r = a mod b in
+  if r <> 0 && r lxor b < 0 then r + b else r
+
+let rec eval_int env (e : Sym_expr.t) : int =
+  if is_int_atom e then
+    match Hashtbl.find_opt env.ints e with
+    | Some v -> v
+    | None -> raise Failed
+  else
+    match e with
+    | Int_const c -> c
+    | Add (a, b) -> eval_int env a + eval_int env b
+    | Sub (a, b) -> eval_int env a - eval_int env b
+    | Mul (a, b) -> eval_int env a * eval_int env b
+    | Neg a -> -eval_int env a
+    | Abs a -> abs (eval_int env a)
+    | Div (a, b) ->
+        let bv = eval_int env b in
+        if bv = 0 then raise Failed else floor_div (eval_int env a) bv
+    | Mod (a, b) ->
+        let bv = eval_int env b in
+        if bv = 0 then raise Failed else floor_mod (eval_int env a) bv
+    | Quo (a, b) ->
+        let bv = eval_int env b in
+        if bv = 0 then raise Failed else eval_int env a / bv
+    | Rem (a, b) ->
+        let bv = eval_int env b in
+        if bv = 0 then raise Failed else eval_int env a mod bv
+    | Bit_and (a, b) -> eval_int env a land eval_int env b
+    | Bit_or (a, b) -> eval_int env a lor eval_int env b
+    | Bit_xor (a, b) -> eval_int env a lxor eval_int env b
+    | Shift_left (a, b) ->
+        let s = eval_int env b in
+        if s < 0 || s > 62 then raise Failed else eval_int env a lsl s
+    | Shift_right (a, b) ->
+        let s = eval_int env b in
+        if s < 0 || s > 62 then raise Failed else eval_int env a asr s
+    | Float_truncated a -> int_of_float (Float.trunc (eval_float env a))
+    | Float_rounded a -> int_of_float (Float.round (eval_float env a))
+    | Float_ceiling a -> int_of_float (Float.ceil (eval_float env a))
+    | Float_floor a -> int_of_float (Float.floor (eval_float env a))
+    | Float_exponent a ->
+        let f = eval_float env a in
+        if f = 0.0 then 0 else snd (Float.frexp f) - 1
+    | Float_bits32 a ->
+        Int32.to_int (Int32.bits_of_float (eval_float env a)) land 0xFFFFFFFF
+    | Float_bits64_hi a ->
+        Int64.to_int
+          (Int64.shift_right_logical (Int64.bits_of_float (eval_float env a)) 32)
+        land 0xFFFFFFFF
+    | Float_bits64_lo a ->
+        Int64.to_int (Int64.bits_of_float (eval_float env a)) land 0xFFFFFFFF
+    | _ -> raise Failed
+
+and eval_float env (e : Sym_expr.t) : float =
+  if is_float_atom e then
+    match Hashtbl.find_opt env.floats e with
+    | Some v -> v
+    | None -> raise Failed
+  else
+    match e with
+    | Float_const f -> f
+    | Int_to_float a -> float_of_int (eval_int env a)
+    | F_unop (op, a) -> (
+        let f = eval_float env a in
+        match op with
+        | F_neg -> -.f
+        | F_abs -> Float.abs f
+        | F_sqrt -> sqrt f
+        | F_sin -> sin f
+        | F_cos -> cos f
+        | F_arctan -> atan f
+        | F_ln -> log f
+        | F_exp -> exp f)
+    | F_binop (op, a, b) -> (
+        let x = eval_float env a and y = eval_float env b in
+        match op with
+        | F_add -> x +. y
+        | F_sub -> x -. y
+        | F_mul -> x *. y
+        | F_div -> x /. y
+        | F_times_two_power -> x *. (2.0 ** y))
+    | Float_fraction_part a ->
+        let f = eval_float env a in
+        f -. Float.trunc f
+    | Float_of_bits32 a -> Int32.float_of_bits (Int32.of_int (eval_int env a))
+    | Float_of_bits64 (hi, lo) ->
+        Int64.float_of_bits
+          (Int64.logor
+             (Int64.shift_left
+                (Int64.of_int (eval_int env hi land 0xFFFFFFFF))
+                32)
+             (Int64.of_int (eval_int env lo land 0xFFFFFFFF)))
+    | _ -> raise Failed
+
+let cmp_holds c (a : int) b =
+  match (c : Sym_expr.cmp) with
+  | Ceq -> a = b
+  | Cne -> a <> b
+  | Clt -> a < b
+  | Cle -> a <= b
+  | Cgt -> a > b
+  | Cge -> a >= b
+
+let fcmp_holds c (a : float) b =
+  match (c : Sym_expr.cmp) with
+  | Ceq -> a = b
+  | Cne -> a <> b
+  | Clt -> a < b
+  | Cle -> a <= b
+  | Cgt -> a > b
+  | Cge -> a >= b

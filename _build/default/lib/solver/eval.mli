@@ -1,0 +1,31 @@
+(** Scalar expression evaluation under an atom environment, shared by the
+    witness search in {!Solve} and the input materialiser: given concrete
+    values for the integer/float atoms (untagged values, sizes, byte
+    reads, ...), evaluate composite integer/float expressions. *)
+
+type env = {
+  ints : (Symbolic.Sym_expr.t, int) Hashtbl.t;
+  floats : (Symbolic.Sym_expr.t, float) Hashtbl.t;
+}
+
+val create_env : unit -> env
+val env_of_model : Model.t -> env
+
+exception Failed
+(** Unassigned atom or undefined operation (division by zero). *)
+
+val is_int_atom : Symbolic.Sym_expr.t -> bool
+(** Is this expression an integer-sorted leaf for the search? *)
+
+val is_float_atom : Symbolic.Sym_expr.t -> bool
+
+val floor_div : int -> int -> int
+(** Smalltalk [//]: floor division. *)
+
+val floor_mod : int -> int -> int
+(** Smalltalk [\\]: floor modulo. *)
+
+val eval_int : env -> Symbolic.Sym_expr.t -> int
+val eval_float : env -> Symbolic.Sym_expr.t -> float
+val cmp_holds : Symbolic.Sym_expr.cmp -> int -> int -> bool
+val fcmp_holds : Symbolic.Sym_expr.cmp -> float -> float -> bool

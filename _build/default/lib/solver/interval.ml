@@ -1,0 +1,51 @@
+(* Closed integer intervals with the arithmetic needed for bound
+   propagation.  An interval is never empty; emptiness is represented by
+   [None] at the use sites. *)
+
+type t = { lo : int; hi : int } [@@deriving show { with_path = false }, eq]
+
+let make lo hi = if lo > hi then None else Some { lo; hi }
+let exactly v = { lo = v; hi = v }
+let lo t = t.lo
+let hi t = t.hi
+let contains t v = t.lo <= v && v <= t.hi
+let is_singleton t = t.lo = t.hi
+
+let inter a b = make (max a.lo b.lo) (min a.hi b.hi)
+
+let add a b = { lo = a.lo + b.lo; hi = a.hi + b.hi }
+let neg a = { lo = -a.hi; hi = -a.lo }
+let sub a b = add a (neg b)
+
+let scale k a =
+  if k >= 0 then { lo = k * a.lo; hi = k * a.hi }
+  else { lo = k * a.hi; hi = k * a.lo }
+
+let width t = t.hi - t.lo
+
+(* Tighten [a] so that [a ⋈ b] can hold for some value of [b]. *)
+let tighten_cmp (c : Symbolic.Sym_expr.cmp) a b =
+  match c with
+  | Ceq -> inter a b
+  | Cne -> if is_singleton a && is_singleton b && a.lo = b.lo then None else Some a
+  | Clt -> make a.lo (min a.hi (b.hi - 1))
+  | Cle -> make a.lo (min a.hi b.hi)
+  | Cgt -> make (max a.lo (b.lo + 1)) a.hi
+  | Cge -> make (max a.lo b.lo) a.hi
+
+let sample t ~rng =
+  if is_singleton t then t.lo
+  else
+    let w = width t in
+    if w <= 0 || w >= 1 lsl 29 then
+      (* Wide interval: bias toward small magnitudes and the endpoints. *)
+      match Random.State.int rng 6 with
+      | 0 -> t.lo
+      | 1 -> t.hi
+      | 2 -> max t.lo (min t.hi 0)
+      | 3 -> max t.lo (min t.hi 1)
+      | 4 -> max t.lo (min t.hi (Random.State.int rng 1024))
+      | _ -> max t.lo (min t.hi (-Random.State.int rng 1024))
+    else t.lo + Random.State.int rng (w + 1)
+
+let pp ppf t = Fmt.pf ppf "[%d, %d]" t.lo t.hi

@@ -1,0 +1,34 @@
+(** Closed integer intervals for bound propagation.  Never empty;
+    emptiness is represented by [None] at use sites. *)
+
+type t = { lo : int; hi : int }
+
+val make : int -> int -> t option
+(** [None] when [lo > hi]. *)
+
+val exactly : int -> t
+val lo : t -> int
+val hi : t -> int
+val contains : t -> int -> bool
+val is_singleton : t -> bool
+val inter : t -> t -> t option
+val add : t -> t -> t
+val neg : t -> t
+val sub : t -> t -> t
+
+val scale : int -> t -> t
+(** Multiply both bounds by a (possibly negative) constant. *)
+
+val width : t -> int
+
+val tighten_cmp : Symbolic.Sym_expr.cmp -> t -> t -> t option
+(** Tighten the left interval so that [a ⋈ b] can hold for some value of
+    [b]; [None] when no value remains. *)
+
+val sample : t -> rng:Random.State.t -> int
+(** A random member, biased toward small magnitudes and endpoints on
+    wide intervals. *)
+
+val pp : t Fmt.t
+val equal : t -> t -> bool
+val show : t -> string

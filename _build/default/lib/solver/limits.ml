@@ -1,0 +1,41 @@
+(* Solver limits, mirroring the constraint-solver limitations the paper
+   reports (§4.3): integers are limited to 56-bit precision and bitwise
+   operations are not supported.  Constraint sets that exceed either limit
+   are rejected with [Unknown]; the explorer and the differential tester
+   treat such paths as curated-out, exactly like the paper's
+   "curated paths" column. *)
+
+let precision_bits = 56
+let max_magnitude = 1 lsl precision_bits
+
+let exceeds_precision c = c >= max_magnitude || c <= -max_magnitude
+
+(* Scan for out-of-precision constants anywhere in an expression. *)
+let rec expr_exceeds_precision (e : Symbolic.Sym_expr.t) =
+  match e with
+  | Int_const c -> exceeds_precision c
+  | _ -> List.exists expr_exceeds_precision (subexprs e)
+
+and subexprs (e : Symbolic.Sym_expr.t) =
+  match e with
+  | Var _ | Int_const _ | Float_const _ | Bool_const _ | Oop_const _ -> []
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) | Mod (a, b)
+  | Quo (a, b) | Rem (a, b) | Bit_and (a, b) | Bit_or (a, b) | Bit_xor (a, b)
+  | Shift_left (a, b) | Shift_right (a, b) | F_binop (_, a, b)
+  | Slot_at (a, b) | Byte_at (a, b) | Point_of (a, b) | Cmp (_, a, b)
+  | F_cmp (_, a, b) | Oop_eq (a, b) | And (a, b) | Or (a, b)
+  | Float_of_bits64 (a, b) ->
+      [ a; b ]
+  | Neg a | Abs a | F_unop (_, a) | Int_to_float a | Float_truncated a
+  | Float_fraction_part a | Float_exponent a | Float_rounded a
+  | Float_ceiling a | Float_floor a | Integer_value_of a
+  | Integer_object_of a | Float_value_of a | Float_object_of a
+  | Bool_object_of a | Char_object_of a | Char_value_of a | Class_object_of a
+  | Class_index_of a | Num_slots_of a | Indexable_size_of a | Fixed_size_of a
+  | Identity_hash_of a | Shallow_copy_of a | Is_small_int a
+  | Is_float_object a | Has_class (a, _) | Describes_indexable_class a
+  | Is_in_small_int_range a | Is_pointers a | Is_bytes a | Is_indexable a
+  | F_is_nan a | F_is_infinite a | Not a | Float_bits32 a | Float_of_bits32 a
+  | Float_bits64_hi a | Float_bits64_lo a ->
+      [ a ]
+  | Fresh_object { size; _ } -> [ size ]

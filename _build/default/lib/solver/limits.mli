@@ -1,0 +1,14 @@
+(** Solver limits, mirroring the constraint-solver limitations the paper
+    reports (§4.3): 56-bit integer precision and no bitwise operations.
+    Constraint sets exceeding either limit answer [Unknown], which the
+    explorer and the differential tester treat as curated-out. *)
+
+val precision_bits : int
+(** 56, like the paper's solver. *)
+
+val max_magnitude : int
+val exceeds_precision : int -> bool
+val expr_exceeds_precision : Symbolic.Sym_expr.t -> bool
+
+val subexprs : Symbolic.Sym_expr.t -> Symbolic.Sym_expr.t list
+(** Immediate sub-expressions (generic traversal helper). *)

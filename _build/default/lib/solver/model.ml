@@ -1,0 +1,61 @@
+(* Solver models.
+
+   A model assigns concrete values to the *atoms* of a constraint set:
+   - oop-sorted atoms get an {!oop_desc}, a structural description that
+     the frame builder interprets to materialise heap objects (this is
+     the paper's "re-creating a VM input implies interpreting the results
+     of the constraint solver using the structural information in the VM
+     object constraints", §3.2);
+   - int-sorted atoms (untagged values, sizes, bytes, ...) get integers;
+   - float-sorted atoms get floats.
+
+   Atoms are keyed structurally by their defining expression. *)
+
+type oop_desc =
+  | D_small_int of int
+  | D_float of float
+  | D_object of { class_id : int option; num_slots : int }
+      (** pointers object; [class_id = None] means "any plain pointers
+          class with [num_slots] named slots" (the materialiser invents
+          one) *)
+  | D_byte_object of { class_id : int option; size : int }
+  | D_class of { described_class_id : int }
+  | D_nil
+  | D_true
+  | D_false
+[@@deriving show { with_path = false }, eq]
+
+type t = {
+  oops : (Symbolic.Sym_expr.t, oop_desc) Hashtbl.t;
+  ints : (Symbolic.Sym_expr.t, int) Hashtbl.t;
+  floats : (Symbolic.Sym_expr.t, float) Hashtbl.t;
+}
+
+let create () =
+  { oops = Hashtbl.create 16; ints = Hashtbl.create 16; floats = Hashtbl.create 16 }
+
+let set_oop t k v = Hashtbl.replace t.oops k v
+let set_int t k v = Hashtbl.replace t.ints k v
+let set_float t k v = Hashtbl.replace t.floats k v
+let oop t k = Hashtbl.find_opt t.oops k
+let int t k = Hashtbl.find_opt t.ints k
+let float t k = Hashtbl.find_opt t.floats k
+
+let int_or t k ~default = Option.value (int t k) ~default
+let float_or t k ~default = Option.value (float t k) ~default
+
+let oop_bindings t = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.oops []
+let int_bindings t = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.ints []
+let float_bindings t = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.floats []
+
+let pp ppf t =
+  let pp_binding pp_v ppf (k, v) =
+    Fmt.pf ppf "%s = %a" (Symbolic.Sym_expr.to_string k) pp_v v
+  in
+  Fmt.pf ppf "@[<v>%a@,%a@,%a@]"
+    (Fmt.list (pp_binding pp_oop_desc))
+    (oop_bindings t)
+    (Fmt.list (pp_binding Fmt.int))
+    (int_bindings t)
+    (Fmt.list (pp_binding Fmt.float))
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.floats [])

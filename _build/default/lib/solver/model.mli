@@ -1,0 +1,39 @@
+(** Solver models: concrete values for the atoms of a constraint set.
+
+    Oop-sorted atoms get an {!oop_desc} — a structural description the
+    frame builder interprets to materialise heap objects, the paper's
+    "interpreting the results of the constraint solver using the
+    structural information in the VM object constraints" (§3.2). *)
+
+type oop_desc =
+  | D_small_int of int
+  | D_float of float
+  | D_object of { class_id : int option; num_slots : int }
+      (** pointers object; [class_id = None] means any plain pointers
+          class with [num_slots] named slots (the materialiser invents
+          one) *)
+  | D_byte_object of { class_id : int option; size : int }
+  | D_class of { described_class_id : int }
+  | D_nil
+  | D_true
+  | D_false
+
+val show_oop_desc : oop_desc -> string
+val pp_oop_desc : Format.formatter -> oop_desc -> unit
+val equal_oop_desc : oop_desc -> oop_desc -> bool
+
+type t
+
+val create : unit -> t
+val set_oop : t -> Symbolic.Sym_expr.t -> oop_desc -> unit
+val set_int : t -> Symbolic.Sym_expr.t -> int -> unit
+val set_float : t -> Symbolic.Sym_expr.t -> float -> unit
+val oop : t -> Symbolic.Sym_expr.t -> oop_desc option
+val int : t -> Symbolic.Sym_expr.t -> int option
+val float : t -> Symbolic.Sym_expr.t -> float option
+val int_or : t -> Symbolic.Sym_expr.t -> default:int -> int
+val float_or : t -> Symbolic.Sym_expr.t -> default:float -> float
+val oop_bindings : t -> (Symbolic.Sym_expr.t * oop_desc) list
+val int_bindings : t -> (Symbolic.Sym_expr.t * int) list
+val float_bindings : t -> (Symbolic.Sym_expr.t * float) list
+val pp : t Fmt.t

@@ -1,0 +1,890 @@
+(* The decision procedure.
+
+   Input: a conjunction of boolean-sorted semantic constraints (a path
+   condition).  Output: [Sat model] with concrete witnesses for every oop
+   / int / float atom, [Unsat], or [Unknown reason] when the conjunction
+   falls outside the supported fragment (bitwise operations, >56-bit
+   constants, shapes our search cannot crack).
+
+   Architecture, in the DPLL(T) spirit but specialised to the constraint
+   shapes the shadow machine actually emits:
+
+   1. expansion of the few disjunctions that arise (negated small-int
+      range checks) into a bounded set of conjunctive branches;
+   2. a *type/class assignment* pass over oop-sorted terms (the theory of
+      VM object shapes): tag tests, class tests and structure predicates
+      either conflict (Unsat) or resolve to an object description;
+   3. interval propagation over the integer atoms (untagged values,
+      object sizes, byte reads) through linear forms;
+   4. a witness search over the remaining integer/float atoms: biased
+      candidates, bounded random sampling, and a linear repair loop. *)
+
+open Symbolic
+
+type verdict = Sat of Model.t | Unsat | Unknown of string
+
+(* ------------------------------------------------------------------ *)
+(* Literals                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* [F_class_obj] is reachable through class-id literals only, but kept as
+   an explicit flag for symmetry with the type-info record. *)
+type flag_lit =
+  | F_small
+  | F_float
+  | F_pointers
+  | F_bytes
+  | F_indexable
+  | F_class_obj [@warning "-37"]
+  | F_describes_indexable
+
+type lit =
+  | L_flag of flag_lit * Sym_expr.t * bool (* predicate, term, polarity *)
+  | L_class of Sym_expr.t * int * bool (* term has class id (or not) *)
+  | L_cmp of Sym_expr.cmp * Sym_expr.t * Sym_expr.t (* integer comparison *)
+  | L_fcmp of Sym_expr.cmp * Sym_expr.t * Sym_expr.t (* float comparison *)
+  | L_fnan of Sym_expr.t * bool
+  | L_finf of Sym_expr.t * bool
+
+exception Give_up of string
+
+(* Class lookups only ever concern well-known classes here; user classes
+   never appear in constraints (they are invented by the materialiser). *)
+let well_known_classes = lazy (Vm_objects.Class_table.create ())
+
+let lookup_class cid =
+  Vm_objects.Class_table.lookup (Lazy.force well_known_classes) cid
+
+let min_small = Vm_objects.Value.min_small_int
+let max_small = Vm_objects.Value.max_small_int
+
+(* Singleton oops are deterministic (installed first in every heap). *)
+let nil_oop = 8
+let true_oop = 16
+let false_oop = 24
+
+(* Expand a condition into a list of alternative literal lists
+   (a tiny DNF).  Most conditions expand to a single branch; negated
+   range checks expand to two. *)
+let rec expand (cond : Sym_expr.t) ~(pol : bool) : lit list list =
+  match cond with
+  | Bool_const b -> if b = pol then [ [] ] else []
+  | Not e -> expand e ~pol:(not pol)
+  | And (a, b) ->
+      if pol then
+        let la = expand a ~pol:true and lb = expand b ~pol:true in
+        List.concat_map (fun x -> List.map (fun y -> x @ y) lb) la
+      else expand a ~pol:false @ expand b ~pol:false
+  | Or (a, b) ->
+      if pol then expand a ~pol:true @ expand b ~pol:true
+      else
+        let la = expand a ~pol:false and lb = expand b ~pol:false in
+        List.concat_map (fun x -> List.map (fun y -> x @ y) lb) la
+  | Is_small_int t -> [ [ L_flag (F_small, t, pol) ] ]
+  | Is_float_object t -> [ [ L_flag (F_float, t, pol) ] ]
+  | Is_pointers t -> [ [ L_flag (F_pointers, t, pol) ] ]
+  | Is_bytes t -> [ [ L_flag (F_bytes, t, pol) ] ]
+  | Is_indexable t -> [ [ L_flag (F_indexable, t, pol) ] ]
+  | Describes_indexable_class t ->
+      [ [ L_flag (F_describes_indexable, t, pol) ] ]
+  | Has_class (t, c) -> [ [ L_class (t, c, pol) ] ]
+  | Is_in_small_int_range e ->
+      if pol then
+        [
+          [
+            L_cmp (Cge, e, Int_const min_small);
+            L_cmp (Cle, e, Int_const max_small);
+          ];
+        ]
+      else
+        (* ¬(min <= e <= max)  ≡  e > max  ∨  e < min *)
+        [
+          [ L_cmp (Cgt, e, Int_const max_small) ];
+          [ L_cmp (Clt, e, Int_const min_small) ];
+        ]
+  | Cmp (c, a, b) ->
+      if pol then [ [ L_cmp (c, a, b) ] ]
+      else [ [ L_cmp (negate_cmp c, a, b) ] ]
+  | F_cmp (c, a, b) ->
+      if pol then [ [ L_fcmp (c, a, b) ] ]
+      else [ [ L_fcmp (negate_cmp c, a, b) ] ]
+  | F_is_nan t -> [ [ L_fnan (t, pol) ] ]
+  | F_is_infinite t -> [ [ L_finf (t, pol) ] ]
+  | Oop_eq (a, b) -> expand_oop_eq a b ~pol
+  | other ->
+      raise
+        (Give_up
+           (Printf.sprintf "unsupported condition shape: %s"
+              (Sym_expr.to_string other)))
+
+and expand_oop_eq a b ~pol =
+  (* Identity against a well-known singleton reduces to a class test
+     (each singleton class has exactly one instance). *)
+  let singleton_class v =
+    let open Vm_objects in
+    if Value.is_pointer v then
+      match Value.pointer_address v with
+      | a when a = nil_oop -> Some Class_table.undefined_object_id
+      | a when a = true_oop -> Some Class_table.true_id
+      | a when a = false_oop -> Some Class_table.false_id
+      | _ -> None
+    else None
+  in
+  match (a, b) with
+  | Oop_const c, t | t, Oop_const c -> (
+      match singleton_class c with
+      | Some cls -> [ [ L_class (t, cls, pol) ] ]
+      | None ->
+          raise (Give_up "identity constraint against arbitrary object"))
+  | _ -> raise (Give_up "identity constraint between two unknowns")
+
+and negate_cmp : Sym_expr.cmp -> Sym_expr.cmp = function
+  | Ceq -> Cne
+  | Cne -> Ceq
+  | Clt -> Cge
+  | Cle -> Cgt
+  | Cgt -> Cle
+  | Cge -> Clt
+
+(* ------------------------------------------------------------------ *)
+(* Type / class assignment over oop terms                              *)
+(* ------------------------------------------------------------------ *)
+
+type tri = Yes | No | Dunno
+
+type type_info = {
+  mutable small : tri;
+  mutable float : tri;
+  mutable pointers : tri;
+  mutable bytes : tri;
+  mutable indexable : tri;
+  mutable class_obj : tri;
+  mutable describes_indexable : tri;
+  mutable class_eq : int option;
+  mutable class_ne : int list;
+}
+
+let fresh_info () =
+  {
+    small = Dunno;
+    float = Dunno;
+    pointers = Dunno;
+    bytes = Dunno;
+    indexable = Dunno;
+    class_obj = Dunno;
+    describes_indexable = Dunno;
+    class_eq = None;
+    class_ne = [];
+  }
+
+exception Conflict
+
+let set_tri info get set b =
+  match (get info, b) with
+  | Dunno, true -> set info Yes
+  | Dunno, false -> set info No
+  | Yes, false | No, true -> raise Conflict
+  | Yes, true | No, false -> ()
+
+(* Choose a concrete class consistent with the accumulated flags. *)
+let resolve_info info : Model.oop_desc =
+  let open Vm_objects.Class_table in
+  let excluded c = List.mem c info.class_ne in
+  let class_known c =
+    (* Validate every accumulated flag against the chosen class's actual
+       format, then build its description. *)
+    let is v b = match v with Yes -> b | No -> not b | Dunno -> true in
+    if excluded c then raise Conflict;
+    let validate ~small ~flt ~ptr ~byt ~idx ~cls =
+      if
+        not
+          (is info.small small && is info.float flt && is info.pointers ptr
+         && is info.bytes byt && is info.indexable idx
+         && is info.class_obj cls)
+      then raise Conflict
+    in
+    if c = small_integer_id then begin
+      validate ~small:true ~flt:false ~ptr:false ~byt:false ~idx:false
+        ~cls:false;
+      Model.D_small_int 0
+    end
+    else if c = boxed_float_id then begin
+      validate ~small:false ~flt:true ~ptr:false ~byt:false ~idx:false
+        ~cls:false;
+      Model.D_float 1.5
+    end
+    else
+      match lookup_class c with
+      | None -> raise Conflict
+      | Some desc ->
+          let fmt = Vm_objects.Class_desc.format desc in
+          validate ~small:false ~flt:false
+            ~ptr:(Vm_objects.Objformat.is_pointers fmt)
+            ~byt:(Vm_objects.Objformat.is_bytes fmt)
+            ~idx:(Vm_objects.Objformat.is_variable fmt)
+            ~cls:(c = class_class_id);
+          if c = undefined_object_id then Model.D_nil
+          else if c = true_id then Model.D_true
+          else if c = false_id then Model.D_false
+          else if c = class_class_id then
+            Model.D_class
+              {
+                described_class_id =
+                  (if info.describes_indexable = Yes then array_id
+                   else object_id);
+              }
+          else if Vm_objects.Objformat.is_bytes fmt then
+            Model.D_byte_object { class_id = Some c; size = 0 }
+          else
+            Model.D_object
+              {
+                class_id = Some c;
+                num_slots = Vm_objects.Objformat.fixed_size fmt;
+              }
+  in
+  match info.class_eq with
+  | Some c -> class_known c
+  | None ->
+      if info.small = Yes then begin
+        if info.float = Yes || info.pointers = Yes || info.bytes = Yes
+           || info.indexable = Yes || info.class_obj = Yes
+           || excluded small_integer_id
+        then raise Conflict;
+        Model.D_small_int 0
+      end
+      else if info.float = Yes then begin
+        if info.pointers = Yes || info.bytes = Yes || info.indexable = Yes
+           || info.class_obj = Yes || excluded boxed_float_id
+        then raise Conflict;
+        Model.D_float 1.5
+      end
+      else if info.class_obj = Yes then begin
+        if info.bytes = Yes || info.indexable = Yes || excluded class_class_id
+        then raise Conflict;
+        Model.D_class
+          {
+            described_class_id =
+              (if info.describes_indexable = Yes then array_id else object_id);
+          }
+      end
+      else if info.bytes = Yes then begin
+        (* byte objects are variable-format: always indexable, never
+           pointers *)
+        if info.pointers = Yes || info.indexable = No then raise Conflict;
+        let candidates = [ byte_array_id; byte_string_id; external_address_id ] in
+        match List.find_opt (fun c -> not (excluded c)) candidates with
+        | Some c -> Model.D_byte_object { class_id = Some c; size = 0 }
+        | None -> raise Conflict
+      end
+      else if info.indexable = Yes then begin
+        (* an indexable object is pointer-indexable (Array) or
+           byte-indexable; respect the pointers/bytes flags *)
+        if info.pointers = No || info.bytes = Yes then begin
+          (* an indexable non-pointers object must be a byte object *)
+          if info.pointers = Yes || info.bytes = No then raise Conflict;
+          let candidates =
+            [ byte_array_id; byte_string_id; external_address_id ]
+          in
+          match List.find_opt (fun c -> not (excluded c)) candidates with
+          | Some c -> Model.D_byte_object { class_id = Some c; size = 0 }
+          | None -> raise Conflict
+        end
+        else if excluded array_id then raise Conflict
+        else Model.D_object { class_id = Some array_id; num_slots = 0 }
+      end
+      else if info.pointers = Yes then
+        (* A plain pointers object; the materialiser invents a class with
+           the right number of named slots. *)
+        Model.D_object { class_id = None; num_slots = 0 }
+      else if info.small <> No && not (excluded small_integer_id) then
+        (* Unconstrained (or only negatively constrained): prefer an
+           immediate, which satisfies every remaining negative flag. *)
+        Model.D_small_int 0
+      else if info.float <> No && not (excluded boxed_float_id) then
+        Model.D_float 1.5
+      else if info.pointers <> No then
+        (* the invented class never collides with excluded ids *)
+        Model.D_object { class_id = None; num_slots = 0 }
+      else if info.bytes <> No && info.indexable <> No then begin
+        match
+          List.find_opt
+            (fun c -> not (excluded c))
+            [ byte_array_id; byte_string_id; external_address_id ]
+        with
+        | Some c -> Model.D_byte_object { class_id = Some c; size = 0 }
+        | None -> raise Conflict
+      end
+      else
+        (* Not small, not float, not pointers, not bytes: only
+           compiled-method-shaped objects remain, which the materialiser
+           does not invent — treat as unsatisfiable (sound but
+           incomplete; such shapes never arise from the interpreter). *)
+        raise Conflict
+
+(* ------------------------------------------------------------------ *)
+(* Integer / float atoms and expression evaluation                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Default interval per atom shape. *)
+let base_interval (e : Sym_expr.t) : Interval.t =
+  let iv lo hi = { Interval.lo; hi } in
+  match e with
+  | Integer_value_of _ | Var _ -> iv min_small max_small
+  | Indexable_size_of _ -> iv 0 4096
+  | Num_slots_of _ -> iv 0 64
+  | Fixed_size_of _ -> iv 0 64
+  | Byte_at _ -> iv 0 255
+  | Identity_hash_of _ -> iv 0 0x3FFFFF
+  | Char_value_of _ -> iv 0 0x10FFFF
+  | Class_index_of _ -> iv 0 1024
+  | _ -> iv min_small max_small
+
+let eval_int = Eval.eval_int
+let eval_float = Eval.eval_float
+let is_int_atom = Eval.is_int_atom
+let is_float_atom = Eval.is_float_atom
+
+let lit_holds env = function
+  | L_cmp (c, a, b) -> Eval.cmp_holds c (eval_int env a) (eval_int env b)
+  | L_fcmp (c, a, b) -> Eval.fcmp_holds c (eval_float env a) (eval_float env b)
+  | L_fnan (t, pol) -> Float.is_nan (eval_float env t) = pol
+  | L_finf (t, pol) -> (Float.abs (eval_float env t) = Float.infinity) = pol
+  | L_flag _ | L_class _ -> true (* handled by the type pass *)
+
+(* ------------------------------------------------------------------ *)
+(* Linear forms (for propagation and repair)                           *)
+(* ------------------------------------------------------------------ *)
+
+(* e as [Σ coeff·atom + const], if it is linear. *)
+let rec linear_form (e : Sym_expr.t) : ((Sym_expr.t * int) list * int) option =
+  if is_int_atom e then Some ([ (e, 1) ], 0)
+  else
+    match e with
+    | Int_const c -> Some ([], c)
+    | Add (a, b) -> combine a b 1
+    | Sub (a, b) -> combine a b (-1)
+    | Neg a ->
+        Option.map
+          (fun (ts, c) -> (List.map (fun (t, k) -> (t, -k)) ts, -c))
+          (linear_form a)
+    | Mul (a, Int_const k) | Mul (Int_const k, a) ->
+        Option.map
+          (fun (ts, c) -> (List.map (fun (t, q) -> (t, q * k)) ts, c * k))
+          (linear_form a)
+    | _ -> None
+
+and combine a b sign =
+  match (linear_form a, linear_form b) with
+  | Some (ta, ca), Some (tb, cb) ->
+      let merged =
+        List.fold_left
+          (fun acc (t, k) ->
+            let k = sign * k in
+            match List.assoc_opt t acc with
+            | Some k0 -> (t, k0 + k) :: List.remove_assoc t acc
+            | None -> (t, k) :: acc)
+          ta tb
+      in
+      Some (List.filter (fun (_, k) -> k <> 0) merged, ca + (sign * cb))
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* The conjunction solver                                              *)
+(* ------------------------------------------------------------------ *)
+
+type conj_result = C_sat of Model.t | C_unsat | C_unknown of string
+
+let collect_oop_terms lits =
+  let terms = Hashtbl.create 16 in
+  let note t = if not (Hashtbl.mem terms t) then Hashtbl.add terms t (fresh_info ()) in
+  let rec note_subterms (e : Sym_expr.t) =
+    (* Int atoms carry an oop argument that must also get a description. *)
+    (match e with
+    | Integer_value_of t | Indexable_size_of t | Num_slots_of t
+    | Fixed_size_of t | Identity_hash_of t | Char_value_of t
+    | Class_index_of t | Float_value_of t ->
+        note t
+    | Byte_at (t, idx) ->
+        note t;
+        note_subterms idx
+    | Slot_at (t, idx) ->
+        note e;
+        note t;
+        note_subterms idx
+    | _ -> ());
+    List.iter note_subterms (Limits.subexprs e)
+  in
+  List.iter
+    (fun l ->
+      match l with
+      | L_flag (_, t, _) | L_class (t, _, _) ->
+          note t;
+          note_subterms t
+      | L_cmp (_, a, b) | L_fcmp (_, a, b) ->
+          note_subterms a;
+          note_subterms b
+      | L_fnan (t, _) | L_finf (t, _) -> note_subterms t)
+    lits;
+  terms
+
+let apply_type_lits terms lits =
+  let info t =
+    match Hashtbl.find_opt terms t with
+    | Some i -> i
+    | None ->
+        let i = fresh_info () in
+        Hashtbl.add terms t i;
+        i
+  in
+  List.iter
+    (fun l ->
+      match l with
+      | L_flag (f, t, pol) -> (
+          let i = info t in
+          match f with
+          | F_small -> set_tri i (fun i -> i.small) (fun i v -> i.small <- v) pol
+          | F_float -> set_tri i (fun i -> i.float) (fun i v -> i.float <- v) pol
+          | F_pointers ->
+              set_tri i (fun i -> i.pointers) (fun i v -> i.pointers <- v) pol
+          | F_bytes -> set_tri i (fun i -> i.bytes) (fun i v -> i.bytes <- v) pol
+          | F_indexable ->
+              set_tri i (fun i -> i.indexable) (fun i v -> i.indexable <- v) pol
+          | F_class_obj ->
+              set_tri i (fun i -> i.class_obj) (fun i v -> i.class_obj <- v) pol
+          | F_describes_indexable ->
+              set_tri i
+                (fun i -> i.describes_indexable)
+                (fun i v -> i.describes_indexable <- v)
+                pol)
+      | L_class (t, c, true) -> (
+          let i = info t in
+          match i.class_eq with
+          | None ->
+              if List.mem c i.class_ne then raise Conflict else i.class_eq <- Some c
+          | Some c0 -> if c0 <> c then raise Conflict)
+      | L_class (t, c, false) -> (
+          let i = info t in
+          match i.class_eq with
+          | Some c0 when c0 = c -> raise Conflict
+          | _ -> i.class_ne <- c :: i.class_ne)
+      | L_cmp _ | L_fcmp _ | L_fnan _ | L_finf _ -> ())
+    lits;
+  (* Class-object predicates double as class constraints. *)
+  Hashtbl.iter
+    (fun _ i ->
+      if i.class_obj = Yes then begin
+        match i.class_eq with
+        | None -> i.class_eq <- Some Vm_objects.Class_table.class_class_id
+        | Some c when c = Vm_objects.Class_table.class_class_id -> ()
+        | Some _ -> raise Conflict
+      end)
+    terms
+
+(* Atom constraints implied by the type assignment. *)
+let typed_interval descs (atom : Sym_expr.t) : Interval.t =
+  let base = base_interval atom in
+  let desc_of t = Hashtbl.find_opt descs t in
+  match atom with
+  | Indexable_size_of t -> (
+      match desc_of t with
+      | Some (Model.D_object { class_id = Some cid; num_slots }) -> (
+          match lookup_class cid with
+          | Some d when Vm_objects.Class_desc.is_variable d -> base
+          | Some _ -> Interval.exactly 0
+          | None -> ignore num_slots; base)
+      | Some (Model.D_object { class_id = None; _ }) -> Interval.exactly 0
+      | Some (Model.D_byte_object _) -> base
+      | Some (Model.D_small_int _ | Model.D_float _) -> Interval.exactly 0
+      | Some (Model.D_nil | Model.D_true | Model.D_false) -> Interval.exactly 0
+      | Some (Model.D_class _) ->
+          (* class objects are fixed-format: nothing indexable *)
+          Interval.exactly 0
+      | None -> base)
+  | Num_slots_of t -> (
+      match desc_of t with
+      | Some (Model.D_object { class_id = Some cid; _ }) -> (
+          match lookup_class cid with
+          | Some d when Vm_objects.Class_desc.is_variable d -> base
+          | Some d -> Interval.exactly (Vm_objects.Class_desc.fixed_size d)
+          | None -> base)
+      | Some (Model.D_object { class_id = None; _ }) -> base
+      | Some (Model.D_nil | Model.D_true | Model.D_false) -> Interval.exactly 0
+      | Some (Model.D_class _) -> Interval.exactly 2
+      | Some (Model.D_small_int _ | Model.D_float _) -> Interval.exactly 0
+      (* note: for byte objects [num_slots] is the byte count; kept at the
+         base interval (the interpreter only queries it on pointers) *)
+      | _ -> base)
+  | Fixed_size_of t -> (
+      match desc_of t with
+      | Some (Model.D_object { class_id = Some cid; _ }) -> (
+          match lookup_class cid with
+          | Some d -> Interval.exactly (Vm_objects.Class_desc.fixed_size d)
+          | None -> base)
+      | Some (Model.D_byte_object _) -> Interval.exactly 0
+      | Some (Model.D_nil | Model.D_true | Model.D_false) -> Interval.exactly 0
+      | Some (Model.D_class _) -> Interval.exactly 2
+      | Some (Model.D_small_int _ | Model.D_float _) -> Interval.exactly 0
+      | _ -> base)
+  | Class_index_of t -> (
+      match desc_of t with
+      | Some (Model.D_object { class_id = Some cid; _ })
+      | Some (Model.D_byte_object { class_id = Some cid; _ }) ->
+          Interval.exactly cid
+      | Some (Model.D_small_int _) ->
+          Interval.exactly Vm_objects.Class_table.small_integer_id
+      | Some (Model.D_float _) ->
+          Interval.exactly Vm_objects.Class_table.boxed_float_id
+      | _ -> base)
+  | _ -> base
+
+let solve_conjunction ?(seed = 0x5EED) (lits : lit list) : conj_result =
+  (* 1. Types. *)
+  let terms = collect_oop_terms lits in
+  match apply_type_lits terms lits with
+  | exception Conflict -> C_unsat
+  | () -> (
+      let descs = Hashtbl.create 16 in
+      match
+        Hashtbl.iter
+          (fun t info -> Hashtbl.replace descs t (resolve_info info))
+          terms
+      with
+      | exception Conflict -> C_unsat
+      | () -> (
+          (* 2. Atoms and intervals. *)
+          let atoms = Hashtbl.create 16 in
+          let note_atom e =
+            if (is_int_atom e || is_float_atom e) && not (Hashtbl.mem atoms e)
+            then Hashtbl.add atoms e ()
+          in
+          let rec scan e =
+            note_atom e;
+            List.iter scan (Limits.subexprs e)
+          in
+          List.iter
+            (function
+              | L_cmp (_, a, b) | L_fcmp (_, a, b) ->
+                  scan a;
+                  scan b
+              | L_fnan (t, _) | L_finf (t, _) -> scan t
+              | L_flag _ | L_class _ -> ())
+            lits;
+          let int_atoms =
+            Hashtbl.fold (fun a () acc -> if is_int_atom a then a :: acc else acc) atoms []
+          in
+          let float_atoms =
+            Hashtbl.fold
+              (fun a () acc -> if is_float_atom a then a :: acc else acc)
+              atoms []
+          in
+          let intervals = Hashtbl.create 16 in
+          List.iter
+            (fun a -> Hashtbl.replace intervals a (typed_interval descs a))
+            int_atoms;
+          (* 3. Interval propagation through linear comparisons. *)
+          let changed = ref true in
+          let rounds = ref 0 in
+          let unsat = ref false in
+          let get_interval a = Hashtbl.find intervals a in
+          let lin_interval ts c =
+            List.fold_left
+              (fun acc (t, k) -> Interval.add acc (Interval.scale k (get_interval t)))
+              (Interval.exactly c) ts
+          in
+          while !changed && !rounds < 20 && not !unsat do
+            changed := false;
+            incr rounds;
+            List.iter
+              (fun l ->
+                match l with
+                | L_cmp (c, a, b) -> (
+                    match linear_form (Sub (a, b)) with
+                    | Some (ts, k) ->
+                        (* For each atom: atom ⋈ -(rest)/coeff *)
+                        List.iter
+                          (fun (t, coeff) ->
+                            (* only unit coefficients are propagated
+                               exactly; others are left to the witness
+                               search (dividing intervals by a signed
+                               constant needs careful rounding to stay
+                               sound) *)
+                            if abs coeff = 1 then begin
+                              let rest =
+                                lin_interval
+                                  (List.filter (fun (t', _) -> t' <> t) ts)
+                                  k
+                              in
+                              (* coeff·t + rest ⋈ 0 → t ⋈' -rest/coeff *)
+                              let bound =
+                                if coeff > 0 then Interval.scale (-1) rest
+                                else rest
+                              in
+                              let cur = get_interval t in
+                              let c' =
+                                if coeff > 0 then c
+                                else
+                                  match c with
+                                  | Sym_expr.Clt -> Sym_expr.Cgt
+                                  | Cle -> Cge
+                                  | Cgt -> Clt
+                                  | Cge -> Cle
+                                  | (Ceq | Cne) as x -> x
+                              in
+                              match Interval.tighten_cmp c' cur bound with
+                              | Some tightened ->
+                                  if not (Interval.equal tightened cur) then begin
+                                    Hashtbl.replace intervals t tightened;
+                                    changed := true
+                                  end
+                              | None -> unsat := true
+                            end)
+                          ts
+                    | None -> ())
+                | _ -> ())
+              lits
+          done;
+          if !unsat then C_unsat
+          else begin
+            (* 4. Witness search. *)
+            let rng = Random.State.make [| seed |] in
+            let env = Eval.create_env () in
+            let value_lits =
+              List.filter
+                (function L_flag _ | L_class _ -> false | _ -> true)
+                lits
+            in
+            let all_hold () =
+              List.for_all
+                (fun l -> try lit_holds env l with Eval.Failed -> false)
+                value_lits
+            in
+            let float_candidates =
+              [ 1.5; 0.0; 1.0; -1.0; 0.5; 2.0; -2.5; 100.25; 1e10; -1e10 ]
+            in
+            let int_candidates a =
+              let iv = get_interval a in
+              (* prefer small magnitudes: witnesses near zero exercise the
+                 interesting fast paths of both engines *)
+              List.sort_uniq Int.compare
+                (List.filter (Interval.contains iv)
+                   [
+                     iv.Interval.lo;
+                     iv.Interval.hi;
+                     0;
+                     1;
+                     -1;
+                     2;
+                     -2;
+                     iv.Interval.lo + 1;
+                     iv.Interval.hi - 1;
+                   ])
+              |> List.stable_sort (fun a b ->
+                     compare (abs a, a) (abs b, b))
+            in
+            let try_assignment assign =
+              assign ();
+              all_hold ()
+            in
+            let found = ref false in
+            (* 4a. biased candidates (bounded Cartesian walk) *)
+            let rec walk ints floats budget =
+              if !found || budget <= 0 then budget
+              else
+                match (ints, floats) with
+                | [], [] ->
+                    if try_assignment (fun () -> ()) then found := true;
+                    budget - 1
+                | a :: rest, _ ->
+                    List.fold_left
+                      (fun budget v ->
+                        if !found || budget <= 0 then budget
+                        else begin
+                          Hashtbl.replace env.ints a v;
+                          walk rest floats budget
+                        end)
+                      budget (int_candidates a)
+                | [], f :: rest ->
+                    List.fold_left
+                      (fun budget v ->
+                        if !found || budget <= 0 then budget
+                        else begin
+                          Hashtbl.replace env.floats f v;
+                          walk [] rest budget
+                        end)
+                      budget float_candidates
+            in
+            ignore (walk int_atoms float_atoms 4096);
+            (* 4b. random sampling *)
+            let tries = ref 0 in
+            while (not !found) && !tries < 4000 do
+              incr tries;
+              List.iter
+                (fun a ->
+                  Hashtbl.replace env.ints a
+                    (Interval.sample (get_interval a) ~rng))
+                int_atoms;
+              List.iter
+                (fun f ->
+                  let v =
+                    match Random.State.int rng 12 with
+                    | 0 -> 0.0
+                    | 1 -> 1.0
+                    | 2 -> -1.0
+                    | 3 -> Float.of_int (Random.State.int rng 1000)
+                    | 4 -> -.Float.of_int (Random.State.int rng 1000)
+                    | _ -> (Random.State.float rng 2e6) -. 1e6
+                  in
+                  Hashtbl.replace env.floats f v)
+                float_atoms;
+              (* 4c. linear repair: fix failing equalities by solving for
+                 one atom. *)
+              let repair () =
+                List.iter
+                  (fun l ->
+                    match l with
+                    | L_cmp (c, a, b) when not (try lit_holds env l with Eval.Failed -> false)
+                      -> (
+                        match linear_form (Sub (a, b)) with
+                        | Some (ts, k) -> (
+                            match ts with
+                            | (t, coeff) :: _ when abs coeff = 1 -> (
+                                try
+                                  let rest =
+                                    List.fold_left
+                                      (fun acc (t', k') ->
+                                        if t' == t || t' = t then acc
+                                        else acc + (k' * Hashtbl.find env.ints t'))
+                                      k
+                                      (List.tl ts)
+                                  in
+                                  (* coeff·t + rest ⋈ 0 *)
+                                  let target =
+                                    match (c, coeff > 0) with
+                                    | Sym_expr.Ceq, true -> -rest
+                                    | Ceq, false -> rest
+                                    | Cne, _ -> (-rest) + 1
+                                    | (Clt | Cle), true -> -rest - 1
+                                    | (Clt | Cle), false -> rest + 1
+                                    | (Cgt | Cge), true -> -rest + 1
+                                    | (Cgt | Cge), false -> rest - 1
+                                  in
+                                  let iv = get_interval t in
+                                  let clamped =
+                                    max iv.Interval.lo (min iv.Interval.hi target)
+                                  in
+                                  Hashtbl.replace env.ints t clamped
+                                with Not_found | Eval.Failed -> ())
+                            | _ -> ())
+                        | None -> ())
+                    | L_fcmp (Ceq, a, b)
+                      when not (try lit_holds env l with Eval.Failed -> false) -> (
+                        (* direct float repair: atom = other side *)
+                        match (a, b) with
+                        | atom, other when is_float_atom atom -> (
+                            try Hashtbl.replace env.floats atom (eval_float env other)
+                            with Eval.Failed -> ())
+                        | other, atom when is_float_atom atom -> (
+                            try Hashtbl.replace env.floats atom (eval_float env other)
+                            with Eval.Failed -> ())
+                        | _ -> ())
+                    | _ -> ())
+                  value_lits
+              in
+              repair ();
+              repair ();
+              if all_hold () then found := true
+            done;
+            if not !found then
+              if value_lits = [] then found := true else ();
+            if not !found then C_unknown "no witness found"
+            else begin
+              (* 5. Assemble the model. *)
+              let model = Model.create () in
+              List.iter
+                (fun a -> Model.set_int model a (Hashtbl.find env.ints a))
+                int_atoms;
+              List.iter
+                (fun f -> Model.set_float model f (Hashtbl.find env.floats f))
+                float_atoms;
+              Hashtbl.iter
+                (fun term desc ->
+                  let desc =
+                    match (desc : Model.oop_desc) with
+                    | D_small_int _ ->
+                        Model.D_small_int
+                          (Model.int_or model (Integer_value_of term) ~default:0)
+                    | D_float _ ->
+                        Model.D_float
+                          (Model.float_or model (Float_value_of term)
+                             ~default:1.5)
+                    | D_object { class_id; num_slots = _ } ->
+                        let num_slots =
+                          match Model.int model (Num_slots_of term) with
+                          | Some n -> n
+                          | None -> (
+                              match class_id with
+                              | Some cid -> (
+                                  match lookup_class cid with
+                                  | Some d when not (Vm_objects.Class_desc.is_variable d)
+                                    ->
+                                      Vm_objects.Class_desc.fixed_size d
+                                  | Some d ->
+                                      Vm_objects.Class_desc.fixed_size d
+                                      + Model.int_or model
+                                          (Indexable_size_of term) ~default:0
+                                  | None -> 0)
+                              | None -> 0)
+                        in
+                        Model.D_object { class_id; num_slots }
+                    | D_byte_object { class_id; size = _ } ->
+                        Model.D_byte_object
+                          {
+                            class_id;
+                            size =
+                              Model.int_or model (Indexable_size_of term)
+                                ~default:0;
+                          }
+                    | (D_class _ | D_nil | D_true | D_false) as d -> d
+                  in
+                  Model.set_oop model term desc)
+                descs;
+              C_sat model
+            end
+          end))
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let solve ?(seed = 0x5EED) (conds : Sym_expr.t list) : verdict =
+  (* Mirror the paper's solver limits (§4.3). *)
+  if List.exists Sym_expr.has_bitwise conds then
+    Unknown "bitwise operations unsupported by the constraint solver"
+  else if List.exists Limits.expr_exceeds_precision conds then
+    Unknown "constant exceeds 56-bit solver precision"
+  else
+    match
+      List.fold_left
+        (fun branches cond ->
+          let alts = expand cond ~pol:true in
+          if List.length branches * List.length alts > 64 then
+            raise (Give_up "too many disjunctive branches")
+          else
+            List.concat_map
+              (fun br -> List.map (fun alt -> br @ alt) alts)
+              branches)
+        [ [] ] conds
+    with
+    | exception Give_up reason -> Unknown reason
+    | [] -> Unsat
+    | branches -> (
+        let rec try_branches saw_unknown = function
+          | [] -> if saw_unknown then Unknown "all branches unknown" else Unsat
+          | br :: rest -> (
+              match solve_conjunction ~seed br with
+              | C_sat m -> Sat m
+              | C_unsat -> try_branches saw_unknown rest
+              | C_unknown _ -> try_branches true rest)
+        in
+        try try_branches false branches
+        with Give_up reason -> Unknown reason)

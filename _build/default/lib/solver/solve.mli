@@ -1,0 +1,21 @@
+(** The decision procedure over the semantic constraint language (§3.3).
+
+    Specialised to the constraint shapes the shadow machine emits, in the
+    DPLL(T) spirit: bounded expansion of the few disjunctions that arise
+    (negated small-int range checks), a type/class assignment pass over
+    oop-sorted terms, interval propagation over the integer atoms, and a
+    witness search (biased candidates, bounded random sampling, linear
+    repair).
+
+    Mirrors the paper's solver limits (§4.3): conjunctions containing
+    bitwise operations or constants beyond 56-bit precision answer
+    [Unknown], which the explorer and the differential tester treat as
+    curated-out. *)
+
+type verdict =
+  | Sat of Model.t  (** concrete witnesses for every atom *)
+  | Unsat
+  | Unknown of string  (** outside the supported fragment *)
+
+val solve : ?seed:int -> Symbolic.Sym_expr.t list -> verdict
+(** Conjunction satisfiability.  Deterministic for a given [seed]. *)

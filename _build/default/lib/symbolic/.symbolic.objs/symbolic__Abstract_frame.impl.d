@@ -1,0 +1,1 @@
+lib/symbolic/abstract_frame.pp.ml: Array Fmt List Printf String Sym_expr Vm_objects

@@ -1,0 +1,1 @@
+lib/symbolic/abstract_frame.pp.mli: Fmt Sym_expr Vm_objects

@@ -1,0 +1,1 @@
+lib/symbolic/path_condition.pp.ml: Fmt List Ppx_deriving_runtime Printf String Sym_expr

@@ -1,0 +1,1 @@
+lib/symbolic/path_condition.pp.mli: Fmt Sym_expr

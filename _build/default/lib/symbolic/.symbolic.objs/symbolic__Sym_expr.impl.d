@@ -1,0 +1,1 @@
+lib/symbolic/sym_expr.pp.ml: Fmt Hashtbl List Ppx_deriving_runtime Printf String Vm_objects

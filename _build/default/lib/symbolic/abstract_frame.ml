@@ -1,0 +1,49 @@
+(* Abstract VM frames (paper Fig. 3, [AbstractVMFrame]).
+
+   An abstract frame describes a VM stack frame symbolically: receiver,
+   method, temporaries (arguments first) and operand stack.  The concolic
+   engine stores *copies* of both the input and output abstract frames for
+   each explored path, because instructions have side effects (§3.2): the
+   input copy rebuilds concrete frames for the compiled run, the output
+   copy is the differential oracle. *)
+
+type t = {
+  receiver : Sym_expr.t;
+  method_oop : Vm_objects.Value.t; (* the concrete method under test *)
+  temps : Sym_expr.t array; (* arguments first, then temporaries *)
+  operand_stack : Sym_expr.t list; (* bottom → top *)
+  pc : int;
+}
+
+let make ~receiver ~method_oop ~temps ~operand_stack ~pc =
+  { receiver; method_oop; temps; operand_stack; pc }
+
+let receiver t = t.receiver
+let method_oop t = t.method_oop
+let temps t = t.temps
+let operand_stack t = t.operand_stack
+let stack_depth t = List.length t.operand_stack
+let pc t = t.pc
+
+(* Entries from the top: [stack_value t 0] is the top of stack. *)
+let stack_value t n =
+  let depth = stack_depth t in
+  if n < 0 || n >= depth then None
+  else Some (List.nth t.operand_stack (depth - 1 - n))
+
+let with_stack t operand_stack = { t with operand_stack }
+let with_pc t pc = { t with pc }
+let with_temps t temps = { t with temps }
+
+let to_string t =
+  let stack =
+    match t.operand_stack with
+    | [] -> "(empty)"
+    | es -> String.concat " | " (List.map Sym_expr.to_string es)
+  in
+  Printf.sprintf "frame{recv=%s; temps=[%s]; stack=[%s]; pc=%d}"
+    (Sym_expr.to_string t.receiver)
+    (String.concat "; " (Array.to_list (Array.map Sym_expr.to_string t.temps)))
+    stack t.pc
+
+let pp ppf t = Fmt.string ppf (to_string t)

@@ -1,0 +1,31 @@
+(** Abstract VM frames (paper Fig. 3): receiver, method, temporaries and
+    operand stack, all described symbolically.  Input and output copies
+    are stored per explored path (§3.2). *)
+
+type t
+
+val make :
+  receiver:Sym_expr.t ->
+  method_oop:Vm_objects.Value.t ->
+  temps:Sym_expr.t array ->
+  operand_stack:Sym_expr.t list ->
+  pc:int ->
+  t
+
+val receiver : t -> Sym_expr.t
+val method_oop : t -> Vm_objects.Value.t
+val temps : t -> Sym_expr.t array
+val operand_stack : t -> Sym_expr.t list
+(** Bottom → top. *)
+
+val stack_depth : t -> int
+val pc : t -> int
+
+val stack_value : t -> int -> Sym_expr.t option
+(** [stack_value t 0] is the top of the operand stack. *)
+
+val with_stack : t -> Sym_expr.t list -> t
+val with_pc : t -> int -> t
+val with_temps : t -> Sym_expr.t array -> t
+val to_string : t -> string
+val pp : t Fmt.t

@@ -1,0 +1,47 @@
+(* Path conditions.
+
+   A path condition is the ordered list of branch conditions observed
+   during one concolic execution, each as it *held* on that execution.
+   Clauses carry an [already_negated] flag: the exploration negates the
+   last not-already-negated clause to derive the next path (§2.3), so a
+   clause introduced by negation must never be negated again. *)
+
+type clause = { cond : Sym_expr.t; already_negated : bool }
+[@@deriving show { with_path = false }, eq]
+
+type t = clause list (* in execution order *) [@@deriving show { with_path = false }, eq]
+
+let empty : t = []
+let length = List.length
+let conditions (t : t) = List.map (fun c -> c.cond) t
+
+let record (t : t) cond = t @ [ { cond; already_negated = false } ]
+
+let record_negated (t : t) cond = t @ [ { cond; already_negated = true } ]
+
+(* The next path prefix: drop clauses after the last not-already-negated
+   clause, negate it and mark it.  [None] when every clause has been
+   negated, i.e. the exploration of this subtree is complete. *)
+let next_negation (t : t) : t option =
+  let rec last_open idx best = function
+    | [] -> best
+    | c :: rest ->
+        last_open (idx + 1) (if c.already_negated then best else Some idx) rest
+  in
+  match last_open 0 None t with
+  | None -> None
+  | Some k ->
+      let prefix = List.filteri (fun i _ -> i < k) t in
+      let clause = List.nth t k in
+      Some
+        (prefix @ [ { cond = Sym_expr.negate clause.cond; already_negated = true } ])
+
+let to_string (t : t) =
+  String.concat " AND "
+    (List.map
+       (fun c ->
+         let s = Sym_expr.to_string c.cond in
+         if c.already_negated then Printf.sprintf "[%s]" s else s)
+       t)
+
+let pp ppf t = Fmt.string ppf (to_string t)

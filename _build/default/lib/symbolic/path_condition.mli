@@ -1,0 +1,29 @@
+(** Path conditions: ordered branch conditions of one concolic execution.
+
+    Clauses introduced by negation are flagged so the search never negates
+    them again (§2.3 of the paper). *)
+
+type clause = { cond : Sym_expr.t; already_negated : bool }
+type t = clause list
+
+val empty : t
+val length : t -> int
+val conditions : t -> Sym_expr.t list
+
+val record : t -> Sym_expr.t -> t
+(** Append a freshly observed condition. *)
+
+val record_negated : t -> Sym_expr.t -> t
+(** Append a condition that must not be negated again. *)
+
+val next_negation : t -> t option
+(** The path-condition prefix driving the next exploration: negates the
+    last not-already-negated clause.  [None] when the subtree is
+    exhausted. *)
+
+val to_string : t -> string
+(** Already-negated clauses are rendered in brackets (the paper's Fig. 2
+    renders them in italics). *)
+
+val pp : t Fmt.t
+val equal : t -> t -> bool

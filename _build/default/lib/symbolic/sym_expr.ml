@@ -1,0 +1,295 @@
+(* The symbolic expression language.
+
+   Following §3.3 of the paper, constraints are recorded at the level of
+   *VM semantics*, not raw memory: [Is_small_int v] rather than
+   [(v land 1) = 1].  This keeps condition negation meaningful (the
+   negation of "is a tagged integer" is "is not a tagged integer", not
+   "has a different low bit") and keeps the solver free of bit-twiddling
+   over pointers.
+
+   Three sorts coexist: oop-sorted expressions (tagged values), int-sorted
+   expressions (untagged integers) and float-sorted expressions.  Bridges
+   ([Integer_value_of], [Float_object_of], ...) move between them, exactly
+   like the "semantic conditions" (integer-to-float conversions, class
+   index of, ...) the paper lists. *)
+
+type sort = Oop | Int | Float | Bool [@@deriving show { with_path = false }, eq, ord]
+
+type var = { id : int; name : string; sort : sort }
+[@@deriving show { with_path = false }, eq, ord]
+
+type cmp = Ceq | Cne | Clt | Cle | Cgt | Cge
+[@@deriving show { with_path = false }, eq, ord]
+
+type funop = F_neg | F_abs | F_sqrt | F_sin | F_cos | F_arctan | F_ln | F_exp
+[@@deriving show { with_path = false }, eq, ord]
+
+type fbinop = F_add | F_sub | F_mul | F_div | F_times_two_power
+[@@deriving show { with_path = false }, eq, ord]
+
+type t =
+  | Var of var
+  | Int_const of int
+  | Float_const of float
+  | Bool_const of bool
+  | Oop_const of Vm_objects.Value.t (* a known concrete oop (nil, literal, ...) *)
+  (* Integer arithmetic over untagged values *)
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t (* floor division *)
+  | Mod of t * t (* floor modulo *)
+  | Quo of t * t (* truncated division *)
+  | Rem of t * t (* truncated remainder *)
+  | Neg of t
+  | Abs of t
+  | Bit_and of t * t
+  | Bit_or of t * t
+  | Bit_xor of t * t
+  | Shift_left of t * t
+  | Shift_right of t * t
+  (* Float arithmetic *)
+  | F_unop of funop * t
+  | F_binop of fbinop * t * t
+  | Int_to_float of t
+  | Float_bits32 of t (* IEEE-754 single bits of a float, as an int *)
+  | Float_of_bits32 of t
+  | Float_bits64_hi of t (* high 32 bits of the double representation *)
+  | Float_bits64_lo of t
+  | Float_of_bits64 of t * t (* hi, lo *)
+  | Float_truncated of t (* float → int, truncation toward zero *)
+  | Float_fraction_part of t
+  | Float_exponent of t
+  | Float_rounded of t
+  | Float_ceiling of t
+  | Float_floor of t
+  (* Oop ↔ scalar bridges *)
+  | Integer_value_of of t (* untag an oop *)
+  | Integer_object_of of t (* tag an int *)
+  | Float_value_of of t (* unbox *)
+  | Float_object_of of t (* box (fresh allocation) *)
+  | Bool_object_of of t (* bool expr → true/false oop *)
+  | Char_object_of of t (* int code → character object *)
+  | Char_value_of of t
+  (* Structural queries on oops *)
+  | Class_object_of of t
+  | Class_index_of of t
+  | Num_slots_of of t
+  | Indexable_size_of of t
+  | Fixed_size_of of t
+  | Identity_hash_of of t
+  | Slot_at of t * t (* pointer slot read: object, 0-based index *)
+  | Byte_at of t * t (* byte read: object, 0-based index *)
+  | Point_of of t * t (* fresh 2-slot point: x, y *)
+  | Fresh_object of { class_id : int; size : t } (* allocation result *)
+  | Shallow_copy_of of t
+  (* Predicates (bool sort) *)
+  | Is_small_int of t
+  | Is_float_object of t
+  | Has_class of t * int
+  | Describes_indexable_class of t (* class object with variable format *)
+  | Is_in_small_int_range of t (* int-sorted operand within 31-bit range *)
+  | Cmp of cmp * t * t (* integer comparison *)
+  | F_cmp of cmp * t * t (* float comparison *)
+  | Oop_eq of t * t (* identity *)
+  | Is_pointers of t
+  | Is_bytes of t
+  | Is_indexable of t
+  | F_is_nan of t
+  | F_is_infinite of t
+  | Not of t
+  | And of t * t
+  | Or of t * t
+[@@deriving show { with_path = false }, eq, ord]
+
+let var v = Var v
+let int_const i = Int_const i
+let bool_const b = Bool_const b
+
+(* Free variables of an expression, deduplicated, in first-occurrence
+   order.  The solver uses this to know which atoms it must assign. *)
+let free_vars expr =
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  let rec go = function
+    | Var v ->
+        if not (Hashtbl.mem seen v.id) then begin
+          Hashtbl.add seen v.id ();
+          acc := v :: !acc
+        end
+    | Int_const _ | Float_const _ | Bool_const _ | Oop_const _ -> ()
+    | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) | Mod (a, b)
+    | Quo (a, b) | Rem (a, b) | Bit_and (a, b) | Bit_or (a, b)
+    | Bit_xor (a, b) | Shift_left (a, b) | Shift_right (a, b)
+    | F_binop (_, a, b) | Slot_at (a, b) | Byte_at (a, b) | Point_of (a, b)
+    | Cmp (_, a, b) | F_cmp (_, a, b) | Oop_eq (a, b) | And (a, b) | Or (a, b)
+      ->
+        go a;
+        go b
+    | Neg a | Abs a | F_unop (_, a) | Int_to_float a | Float_truncated a
+    | Float_fraction_part a | Float_exponent a | Float_rounded a
+    | Float_ceiling a | Float_floor a | Integer_value_of a
+    | Integer_object_of a | Float_value_of a | Float_object_of a
+    | Bool_object_of a | Char_object_of a | Char_value_of a
+    | Class_object_of a | Class_index_of a | Num_slots_of a
+    | Indexable_size_of a | Fixed_size_of a | Identity_hash_of a
+    | Shallow_copy_of a | Is_small_int a | Is_float_object a
+    | Has_class (a, _) | Describes_indexable_class a
+    | Is_in_small_int_range a | Is_pointers a | Is_bytes a | Is_indexable a
+    | F_is_nan a | F_is_infinite a | Not a | Float_bits32 a
+    | Float_of_bits32 a | Float_bits64_hi a | Float_bits64_lo a ->
+        go a
+    | Float_of_bits64 (a, b) ->
+        go a;
+        go b
+    | Fresh_object { size; _ } -> go size
+  in
+  go expr;
+  List.rev !acc
+
+(* Does the expression contain a bitwise operator?  The paper's solver
+   does not support bitwise operations (§4.3); ours mirrors the limit, and
+   the explorer uses this to curate paths whose conditions would need
+   them. *)
+let rec has_bitwise = function
+  | Bit_and _ | Bit_or _ | Bit_xor _ | Shift_left _ | Shift_right _ -> true
+  | Var _ | Int_const _ | Float_const _ | Bool_const _ | Oop_const _ -> false
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) | Mod (a, b)
+  | Quo (a, b) | Rem (a, b) | F_binop (_, a, b) | Slot_at (a, b)
+  | Byte_at (a, b) | Point_of (a, b) | Cmp (_, a, b) | F_cmp (_, a, b)
+  | Oop_eq (a, b) | And (a, b) | Or (a, b) ->
+      has_bitwise a || has_bitwise b
+  | Neg a | Abs a | F_unop (_, a) | Int_to_float a | Float_truncated a
+  | Float_fraction_part a | Float_exponent a | Float_rounded a
+  | Float_ceiling a | Float_floor a | Integer_value_of a
+  | Integer_object_of a | Float_value_of a | Float_object_of a
+  | Bool_object_of a | Char_object_of a | Char_value_of a | Class_object_of a
+  | Class_index_of a | Num_slots_of a | Indexable_size_of a | Fixed_size_of a
+  | Identity_hash_of a | Shallow_copy_of a | Is_small_int a
+  | Is_float_object a | Has_class (a, _) | Describes_indexable_class a
+  | Is_in_small_int_range a | Is_pointers a | Is_bytes a | Is_indexable a
+  | F_is_nan a | F_is_infinite a | Not a ->
+      has_bitwise a
+  (* Bit-level float views count as bitwise manipulations for the solver. *)
+  | Float_bits32 _ | Float_of_bits32 _ | Float_bits64_hi _ | Float_bits64_lo _
+  | Float_of_bits64 _ ->
+      true
+  | Fresh_object { size; _ } -> has_bitwise size
+
+let negate = function Not e -> e | e -> Not e
+
+(* Compact human-readable rendering used in reports and the quickstart
+   example (Table 1 style). *)
+let rec to_string = function
+  | Var v -> v.name
+  | Int_const i -> string_of_int i
+  | Float_const f -> Printf.sprintf "%g" f
+  | Bool_const b -> string_of_bool b
+  | Oop_const v -> Vm_objects.Value.to_string v
+  | Add (a, b) -> bin "+" a b
+  | Sub (a, b) -> bin "-" a b
+  | Mul (a, b) -> bin "*" a b
+  | Div (a, b) -> bin "//" a b
+  | Mod (a, b) -> bin "\\\\" a b
+  | Quo (a, b) -> bin "quo" a b
+  | Rem (a, b) -> bin "rem" a b
+  | Neg a -> Printf.sprintf "(- %s)" (to_string a)
+  | Abs a -> fn "abs" [ a ]
+  | Bit_and (a, b) -> bin "bitAnd" a b
+  | Bit_or (a, b) -> bin "bitOr" a b
+  | Bit_xor (a, b) -> bin "bitXor" a b
+  | Shift_left (a, b) -> bin "<<" a b
+  | Shift_right (a, b) -> bin ">>" a b
+  | F_unop (op, a) -> fn (funop_name op) [ a ]
+  | F_binop (op, a, b) -> bin (fbinop_name op) a b
+  | Int_to_float a -> fn "asFloat" [ a ]
+  | Float_bits32 a -> fn "floatBits32" [ a ]
+  | Float_of_bits32 a -> fn "floatOfBits32" [ a ]
+  | Float_bits64_hi a -> fn "floatBits64Hi" [ a ]
+  | Float_bits64_lo a -> fn "floatBits64Lo" [ a ]
+  | Float_of_bits64 (a, b) -> fn "floatOfBits64" [ a; b ]
+  | Float_truncated a -> fn "truncated" [ a ]
+  | Float_fraction_part a -> fn "fractionPart" [ a ]
+  | Float_exponent a -> fn "exponent" [ a ]
+  | Float_rounded a -> fn "rounded" [ a ]
+  | Float_ceiling a -> fn "ceiling" [ a ]
+  | Float_floor a -> fn "floor" [ a ]
+  | Integer_value_of a -> fn "intValueOf" [ a ]
+  | Integer_object_of a -> fn "intObjectOf" [ a ]
+  | Float_value_of a -> fn "floatValueOf" [ a ]
+  | Float_object_of a -> fn "floatObjectOf" [ a ]
+  | Bool_object_of a -> fn "boolObjectOf" [ a ]
+  | Char_object_of a -> fn "charObjectOf" [ a ]
+  | Char_value_of a -> fn "charValueOf" [ a ]
+  | Class_object_of a -> fn "classOf" [ a ]
+  | Class_index_of a -> fn "classIndexOf" [ a ]
+  | Num_slots_of a -> fn "numSlotsOf" [ a ]
+  | Indexable_size_of a -> fn "indexableSizeOf" [ a ]
+  | Fixed_size_of a -> fn "fixedSizeOf" [ a ]
+  | Identity_hash_of a -> fn "identityHashOf" [ a ]
+  | Slot_at (a, b) -> fn "slotAt" [ a; b ]
+  | Byte_at (a, b) -> fn "byteAt" [ a; b ]
+  | Point_of (a, b) -> fn "point" [ a; b ]
+  | Fresh_object { class_id; size } ->
+      Printf.sprintf "freshObject(class=%d, size=%s)" class_id (to_string size)
+  | Shallow_copy_of a -> fn "shallowCopyOf" [ a ]
+  | Is_small_int a -> fn "isSmallInteger" [ a ]
+  | Is_float_object a -> fn "isFloat" [ a ]
+  | Has_class (a, c) -> Printf.sprintf "classIndexOf(%s) = %d" (to_string a) c
+  | Describes_indexable_class a -> fn "describesIndexableClass" [ a ]
+  | Is_in_small_int_range a -> fn "isInSmallIntRange" [ a ]
+  | Cmp (c, a, b) -> bin (cmp_name c) a b
+  | F_cmp (c, a, b) -> bin ("f" ^ cmp_name c) a b
+  | Oop_eq (a, b) -> bin "==" a b
+  | Is_pointers a -> fn "isPointers" [ a ]
+  | Is_bytes a -> fn "isBytes" [ a ]
+  | Is_indexable a -> fn "isIndexable" [ a ]
+  | F_is_nan a -> fn "isNaN" [ a ]
+  | F_is_infinite a -> fn "isInfinite" [ a ]
+  | Not a -> Printf.sprintf "!(%s)" (to_string a)
+  | And (a, b) -> bin "&&" a b
+  | Or (a, b) -> bin "||" a b
+
+and bin op a b = Printf.sprintf "(%s %s %s)" (to_string a) op (to_string b)
+
+and fn name args =
+  Printf.sprintf "%s(%s)" name (String.concat ", " (List.map to_string args))
+
+and cmp_name = function
+  | Ceq -> "="
+  | Cne -> "~="
+  | Clt -> "<"
+  | Cle -> "<="
+  | Cgt -> ">"
+  | Cge -> ">="
+
+and funop_name = function
+  | F_neg -> "fneg"
+  | F_abs -> "fabs"
+  | F_sqrt -> "sqrt"
+  | F_sin -> "sin"
+  | F_cos -> "cos"
+  | F_arctan -> "arctan"
+  | F_ln -> "ln"
+  | F_exp -> "exp"
+
+and fbinop_name = function
+  | F_add -> "f+"
+  | F_sub -> "f-"
+  | F_mul -> "f*"
+  | F_div -> "f/"
+  | F_times_two_power -> "timesTwoPower"
+
+let pp ppf e = Fmt.string ppf (to_string e)
+
+(* Fresh-variable supply. *)
+module Gen = struct
+  type nonrec t = { mutable next : int }
+
+  let create () = { next = 0 }
+
+  let fresh t ~name ~sort =
+    let id = t.next in
+    t.next <- id + 1;
+    { id; name = Printf.sprintf "%s_%d" name id; sort }
+end

@@ -1,0 +1,1 @@
+lib/vm_objects/class_desc.pp.ml: Objformat Ppx_deriving_runtime

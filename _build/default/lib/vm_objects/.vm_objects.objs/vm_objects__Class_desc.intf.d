@@ -1,0 +1,1 @@
+lib/vm_objects/class_desc.pp.mli: Format Objformat

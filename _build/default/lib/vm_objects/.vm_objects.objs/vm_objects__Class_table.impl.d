@@ -1,0 +1,1 @@
+lib/vm_objects/class_table.pp.ml: Array Class_desc List Objformat Printf

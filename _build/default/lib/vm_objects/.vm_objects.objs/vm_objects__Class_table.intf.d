@@ -1,0 +1,1 @@
+lib/vm_objects/class_table.pp.mli: Class_desc Objformat

@@ -1,0 +1,1 @@
+lib/vm_objects/heap.pp.ml: Array Bytes Char Class_desc Class_table Int64 List Objformat Option Value

@@ -1,0 +1,1 @@
+lib/vm_objects/heap.pp.mli: Bytes Class_desc Class_table Objformat Value

@@ -1,0 +1,1 @@
+lib/vm_objects/object_memory.pp.ml: Array Char Class_desc Class_table Hashtbl Heap Int List Objformat Printf Special_objects String Value

@@ -1,0 +1,1 @@
+lib/vm_objects/object_memory.pp.mli: Class_desc Class_table Heap Objformat Special_objects Value

@@ -1,0 +1,1 @@
+lib/vm_objects/objformat.pp.ml: Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/vm_objects/scavenger.pp.ml: Array Heap List Value

@@ -1,0 +1,1 @@
+lib/vm_objects/special_objects.pp.ml: Class_table Heap Value

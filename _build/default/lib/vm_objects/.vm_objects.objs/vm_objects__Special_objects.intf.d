@@ -1,0 +1,1 @@
+lib/vm_objects/special_objects.pp.mli: Heap Value

@@ -1,0 +1,1 @@
+lib/vm_objects/value.pp.mli: Fmt

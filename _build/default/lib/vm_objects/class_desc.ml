@@ -1,0 +1,26 @@
+(* Class descriptions.
+
+   A class in the object memory is identified by its class-table index
+   ([class_id], the paper's "class table id" in Fig. 3) and fixes the format
+   of its instances. *)
+
+type t = {
+  class_id : int;
+  name : string;
+  format : Objformat.t;
+  superclass : int option; (* class-table id of the superclass, if any *)
+}
+[@@deriving show { with_path = false }, eq]
+
+let make ?superclass ~class_id ~name ~format () =
+  if class_id < 0 then invalid_arg "Class_desc.make: negative class id";
+  { class_id; name; format; superclass }
+
+let class_id t = t.class_id
+let name t = t.name
+let format t = t.format
+let is_pointers t = Objformat.is_pointers t.format
+let is_variable t = Objformat.is_variable t.format
+let is_bytes t = Objformat.is_bytes t.format
+let fixed_size t = Objformat.fixed_size t.format
+let superclass t = t.superclass

@@ -1,0 +1,24 @@
+(** Class descriptions: class-table index, name and instance format. *)
+
+type t = {
+  class_id : int;
+  name : string;
+  format : Objformat.t;
+  superclass : int option;  (** class-table id of the superclass, if any *)
+}
+
+val make :
+  ?superclass:int -> class_id:int -> name:string -> format:Objformat.t -> unit -> t
+(** @raise Invalid_argument on a negative class id. *)
+
+val class_id : t -> int
+val name : t -> string
+val format : t -> Objformat.t
+val is_pointers : t -> bool
+val is_variable : t -> bool
+val is_bytes : t -> bool
+val fixed_size : t -> int
+val superclass : t -> int option
+val pp : Format.formatter -> t -> unit
+val show : t -> string
+val equal : t -> t -> bool

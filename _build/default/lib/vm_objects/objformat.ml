@@ -1,0 +1,33 @@
+(* Object memory formats, a simplified version of the Spur format field.
+
+   The format determines how an object's body is laid out and which access
+   primitives are legal on it.  The concolic tester records format
+   constraints on abstract objects (cf. paper Fig. 3, [AbstractClass.format])
+   so formats must be first-class, comparable values. *)
+
+type t =
+  | Fixed_pointers of int
+      (* exactly [n] named instance variables, all oops *)
+  | Variable_pointers of int
+      (* [n] named ivars followed by indexable oop slots (e.g. Array) *)
+  | Variable_bytes (* indexable raw bytes (e.g. ByteString, ByteArray) *)
+  | Boxed_float (* 64-bit IEEE double stored in the body *)
+  | Compiled_method (* literals + bytecode *)
+[@@deriving show { with_path = false }, eq, ord]
+
+let is_pointers = function
+  | Fixed_pointers _ | Variable_pointers _ -> true
+  | Variable_bytes | Boxed_float | Compiled_method -> false
+
+let is_variable = function
+  | Variable_pointers _ | Variable_bytes -> true
+  | Fixed_pointers _ | Boxed_float | Compiled_method -> false
+
+let is_bytes = function
+  | Variable_bytes -> true
+  | Fixed_pointers _ | Variable_pointers _ | Boxed_float | Compiled_method ->
+      false
+
+let fixed_size = function
+  | Fixed_pointers n | Variable_pointers n -> n
+  | Variable_bytes | Boxed_float | Compiled_method -> 0

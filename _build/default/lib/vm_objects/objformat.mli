@@ -1,0 +1,25 @@
+(** Object memory formats (simplified Spur formats).
+
+    The format of a class determines body layout and which accesses are
+    legal; the concolic tester records format constraints on abstract
+    objects. *)
+
+type t =
+  | Fixed_pointers of int  (** exactly [n] named oop instance variables *)
+  | Variable_pointers of int
+      (** [n] named ivars followed by indexable oop slots *)
+  | Variable_bytes  (** indexable raw bytes *)
+  | Boxed_float  (** 64-bit IEEE double body *)
+  | Compiled_method  (** literals + bytecode body *)
+
+val is_pointers : t -> bool
+val is_variable : t -> bool
+val is_bytes : t -> bool
+
+val fixed_size : t -> int
+(** Number of named instance variables ([0] for non-pointer formats). *)
+
+val pp : Format.formatter -> t -> unit
+val show : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int

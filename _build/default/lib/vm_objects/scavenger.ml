@@ -1,0 +1,120 @@
+(* The scavenger: generational accounting over {!Heap.compact}.
+
+   The Pharo VM runs "a generational scavenger garbage collector that
+   uses a copy collector for young objects and a mark-compact collector
+   for older objects" (§4.1).  Our heap is an object table, so both
+   generations collect by compaction; the generational structure shows up
+   as a *tenure boundary*: objects that survive [tenure_after]
+   collections are counted as old and only collected by full
+   collections.
+
+   Scavenges (minor collections) treat every old object as a root, so
+   they never move or reclaim the old generation — the classic
+   young-space-only cost profile.  Full collections compact everything. *)
+
+type stats = {
+  collections : int; (* minor collections run *)
+  full_collections : int;
+  total_reclaimed : int; (* objects reclaimed over the scavenger's life *)
+  live : int; (* objects alive after the last collection *)
+  tenured : int; (* objects currently in the old generation *)
+}
+
+type t = {
+  heap : Heap.t;
+  tenure_after : int;
+  (* survival counts, indexed by object table position (rebuilt on every
+     collection because compaction moves objects) *)
+  mutable ages : int array;
+  mutable old_boundary : int; (* table positions below this are tenured *)
+  mutable collections : int;
+  mutable full_collections : int;
+  mutable total_reclaimed : int;
+}
+
+let create ?(tenure_after = 2) heap =
+  {
+    heap;
+    tenure_after;
+    ages = Array.make (Heap.object_count heap) 0;
+    old_boundary = 0;
+    collections = 0;
+    full_collections = 0;
+    total_reclaimed = 0;
+  }
+
+let stats t =
+  {
+    collections = t.collections;
+    full_collections = t.full_collections;
+    total_reclaimed = t.total_reclaimed;
+    live = Heap.object_count t.heap;
+    tenured = t.old_boundary;
+  }
+
+let ensure_ages t =
+  let n = Heap.object_count t.heap in
+  if Array.length t.ages < n then begin
+    let a = Array.make n 0 in
+    Array.blit t.ages 0 a 0 (Array.length t.ages);
+    t.ages <- a
+  end
+
+(* Index of an oop in the object table (positions order survivors). *)
+let oop_index (v : Value.t) = (Value.pointer_address v / 8) - 1
+
+(* A minor collection: the old generation (positions < old_boundary) is
+   treated as roots wholesale, so only young objects are examined. *)
+let scavenge t ~(roots : Value.t list) : Value.t -> Value.t =
+  ensure_ages t;
+  let before = Heap.object_count t.heap in
+  let old_roots =
+    List.init t.old_boundary (fun i -> Value.of_pointer (8 * (i + 1)))
+  in
+  let forward, reclaimed = Heap.compact t.heap ~roots:(old_roots @ roots) in
+  t.collections <- t.collections + 1;
+  t.total_reclaimed <- t.total_reclaimed + reclaimed;
+  (* rebuild ages under the new numbering; survivors age by one *)
+  let after = Heap.object_count t.heap in
+  let new_ages = Array.make (max after 1) 0 in
+  for i = 0 to before - 1 do
+    match forward (Value.of_pointer (8 * (i + 1))) with
+    | v -> new_ages.(oop_index v) <- t.ages.(i) + 1
+    | exception Heap.Invalid_access _ -> ()
+  done;
+  t.ages <- new_ages;
+  (* tenure: compaction preserves relative order and old objects are all
+     roots, so survivors old enough form a prefix boundary *)
+  let boundary = ref 0 in
+  (try
+     for i = 0 to after - 1 do
+       if t.ages.(i) >= t.tenure_after then incr boundary else raise Exit
+     done
+   with Exit -> ());
+  t.old_boundary <- !boundary;
+  forward
+
+(* A full collection: everything unreachable goes, including the old
+   generation. *)
+let full_collect t ~(roots : Value.t list) : Value.t -> Value.t =
+  ensure_ages t;
+  let before = Heap.object_count t.heap in
+  let forward, reclaimed = Heap.compact t.heap ~roots in
+  t.full_collections <- t.full_collections + 1;
+  t.total_reclaimed <- t.total_reclaimed + reclaimed;
+  let after = Heap.object_count t.heap in
+  let new_ages = Array.make (max after 1) 0 in
+  for i = 0 to before - 1 do
+    match forward (Value.of_pointer (8 * (i + 1))) with
+    | v -> new_ages.(oop_index v) <- t.ages.(i) + 1
+    | exception Heap.Invalid_access _ -> ()
+  done;
+  t.ages <- new_ages;
+  let boundary = ref 0 in
+  (try
+     for i = 0 to after - 1 do
+       if t.ages.(i) >= t.tenure_after then incr boundary else raise Exit
+     done
+   with Exit -> ());
+  t.old_boundary <- !boundary;
+  forward

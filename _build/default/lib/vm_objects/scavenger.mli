@@ -1,0 +1,31 @@
+(** The scavenger: generational accounting over {!Heap.compact}.
+
+    The Pharo VM's execution engine includes "a generational scavenger
+    garbage collector" (§4.1); this module provides its equivalent over
+    the object-table heap.  Minor collections ({!scavenge}) treat the old
+    generation as roots wholesale and only examine young objects; objects
+    surviving [tenure_after] collections tenure into the old generation;
+    {!full_collect} compacts everything. *)
+
+type stats = {
+  collections : int;  (** minor collections run *)
+  full_collections : int;
+  total_reclaimed : int;  (** objects reclaimed over the scavenger's life *)
+  live : int;  (** objects alive after the last collection *)
+  tenured : int;  (** objects currently in the old generation *)
+}
+
+type t
+
+val create : ?tenure_after:int -> Heap.t -> t
+(** [tenure_after] (default 2) is the survival count after which an
+    object tenures. *)
+
+val stats : t -> stats
+
+val scavenge : t -> roots:Value.t list -> Value.t -> Value.t
+(** A minor collection.  Returns the forwarding function; callers must
+    remap every oop they hold (immediates pass through). *)
+
+val full_collect : t -> roots:Value.t list -> Value.t -> Value.t
+(** A full collection, reclaiming unreachable old objects too. *)

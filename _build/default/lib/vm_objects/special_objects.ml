@@ -1,0 +1,28 @@
+(* The special objects: the nil / true / false singletons every VM frame and
+   object slot may reference.  They are the first three heap objects so
+   their oops are stable across runs, which keeps concolic re-executions
+   deterministic. *)
+
+type t = { nil : Value.t; true_ : Value.t; false_ : Value.t }
+
+let install heap =
+  let alloc class_id =
+    let oop = Heap.allocate heap ~class_id ~indexable_size:0 in
+    oop
+  in
+  let nil = alloc Class_table.undefined_object_id in
+  let true_ = alloc Class_table.true_id in
+  let false_ = alloc Class_table.false_id in
+  { nil; true_; false_ }
+
+let nil t = t.nil
+let true_ t = t.true_
+let false_ t = t.false_
+let of_bool t b = if b then t.true_ else t.false_
+
+let is_boolean t v = Value.equal v t.true_ || Value.equal v t.false_
+
+let to_bool t v =
+  if Value.equal v t.true_ then Some true
+  else if Value.equal v t.false_ then Some false
+  else None

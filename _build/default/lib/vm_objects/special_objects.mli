@@ -1,0 +1,19 @@
+(** The nil / true / false singletons.
+
+    Allocated first so their oops are stable, keeping concolic
+    re-executions deterministic. *)
+
+type t
+
+val install : Heap.t -> t
+(** Allocate the three singletons in the given heap (must be called on a
+    fresh heap, before any other allocation, for stable oops). *)
+
+val nil : t -> Value.t
+val true_ : t -> Value.t
+val false_ : t -> Value.t
+val of_bool : t -> bool -> Value.t
+val is_boolean : t -> Value.t -> bool
+
+val to_bool : t -> Value.t -> bool option
+(** [Some b] when the value is the true/false singleton, [None] otherwise. *)

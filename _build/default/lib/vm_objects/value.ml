@@ -1,0 +1,55 @@
+(* Tagged object pointers (oops).
+
+   We model the classic Smalltalk-80/Pharo 32-bit tagging scheme: an oop is
+   a machine word whose low bit distinguishes immediate small integers
+   (tag bit set) from heap object pointers (tag bit clear).  Small integers
+   therefore carry 31 bits of signed payload; heap pointers are even,
+   non-zero words interpreted as heap addresses by {!Heap}.
+
+   Keeping the representation a genuine tagged word (instead of an OCaml
+   variant) is deliberate: the missing-type-check defects the paper reports
+   (e.g. [primitiveAsFloat] on a pointer receiver) corrupt data precisely by
+   untagging a pointer as if it were an integer, and we want that failure
+   mode to be faithfully reproducible. *)
+
+type t = int
+
+let tag_bits = 1
+let small_int_bits = 31
+let max_small_int = (1 lsl (small_int_bits - 1)) - 1 (* 2^30 - 1 *)
+let min_small_int = -(1 lsl (small_int_bits - 1)) (* -2^30 *)
+
+let is_small_int_value i = i >= min_small_int && i <= max_small_int
+
+let of_small_int i =
+  if not (is_small_int_value i) then
+    invalid_arg (Printf.sprintf "Value.of_small_int: %d out of 31-bit range" i);
+  (i lsl tag_bits) lor 1
+
+let is_small_int v = v land 1 = 1
+
+(* Arithmetic shift preserves the sign of negative payloads. *)
+let small_int_value v = v asr tag_bits
+
+(* Untag *without* checking the tag bit: this is what buggy VM code does
+   when a type check is missing.  A pointer oop fed through this function
+   yields a garbage integer, exactly like Listing 5 in the paper. *)
+let unchecked_small_int_value v = v asr tag_bits
+
+let of_pointer addr =
+  if addr land 1 <> 0 || addr <= 0 then
+    invalid_arg (Printf.sprintf "Value.of_pointer: misaligned address %d" addr);
+  addr
+
+let is_pointer v = v land 1 = 0 && v <> 0
+let pointer_address v = v
+
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = Int.compare a b
+let hash (v : t) = Hashtbl.hash v
+
+let pp ppf v =
+  if is_small_int v then Fmt.pf ppf "smi(%d)" (small_int_value v)
+  else Fmt.pf ppf "oop(0x%x)" v
+
+let to_string v = Fmt.str "%a" pp v

@@ -1,0 +1,44 @@
+(** Tagged object pointers (oops).
+
+    An oop is a tagged machine word: small integers are immediates with the
+    low bit set and a 31-bit signed payload; heap pointers are even,
+    non-zero words.  See {!Heap} for the pointer interpretation. *)
+
+type t = private int
+
+val small_int_bits : int
+(** Payload width of immediate integers (31, as in a 32-bit Pharo VM). *)
+
+val max_small_int : int
+(** Largest immediate integer, [2{^30} - 1]. *)
+
+val min_small_int : int
+(** Smallest immediate integer, [-2{^30}]. *)
+
+val is_small_int_value : int -> bool
+(** [is_small_int_value i] is [true] iff [i] fits the immediate range. *)
+
+val of_small_int : int -> t
+(** Tag an integer. @raise Invalid_argument if out of immediate range. *)
+
+val is_small_int : t -> bool
+(** Tag-bit test. *)
+
+val small_int_value : t -> int
+(** Untag an immediate integer (caller must have checked {!is_small_int}). *)
+
+val unchecked_small_int_value : t -> int
+(** Untag without any tag check — models buggy VM paths that coerce a
+    pointer as an integer.  Returns garbage on pointer oops, by design. *)
+
+val of_pointer : int -> t
+(** Wrap a heap address. @raise Invalid_argument if odd or non-positive. *)
+
+val is_pointer : t -> bool
+val pointer_address : t -> int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : t Fmt.t
+val to_string : t -> string

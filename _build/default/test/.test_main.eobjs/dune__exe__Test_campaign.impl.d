@@ -1,0 +1,1 @@
+test/test_campaign.ml: Alcotest Astring_contains Buffer Difftest Format Ijdt_core Interpreter Jit Lazy List

@@ -1,0 +1,1 @@
+test/test_concolic.ml: Alcotest Array Bytecodes Concolic Interpreter List String Symbolic Vm_objects

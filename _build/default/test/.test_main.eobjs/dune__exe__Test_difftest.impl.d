@@ -1,0 +1,1 @@
+test/test_difftest.ml: Alcotest Bytecodes Concolic Difftest Ijdt_core Interpreter Jit List String

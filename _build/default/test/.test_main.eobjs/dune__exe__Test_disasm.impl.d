@@ -1,0 +1,1 @@
+test/test_disasm.ml: Alcotest Array Astring_contains Bytecodes Interpreter Jit List Machine String

@@ -1,0 +1,1 @@
+test/test_encoding.ml: Alcotest Bytecodes Bytes Char Encoding List Opcode Printf QCheck QCheck_alcotest

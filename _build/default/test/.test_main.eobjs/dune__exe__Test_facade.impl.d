@@ -1,0 +1,1 @@
+test/test_facade.ml: Alcotest Bytecodes Concolic Ijdt_core Interpreter List String Vm_objects

@@ -1,0 +1,1 @@
+test/test_gc.ml: Alcotest Bytecodes Heap List Object_memory Printf QCheck QCheck_alcotest Scavenger Value Vm_objects

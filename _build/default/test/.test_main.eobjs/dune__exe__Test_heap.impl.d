@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Bytes Char Class_desc Class_table Fun Heap List Object_memory Objformat QCheck QCheck_alcotest Value Vm_objects

@@ -1,0 +1,1 @@
+test/test_inline_cache.ml: Alcotest Bytecodes Class_table Interpreter Object_memory Value Vm_objects

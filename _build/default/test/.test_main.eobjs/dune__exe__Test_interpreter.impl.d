@@ -1,0 +1,1 @@
+test/test_interpreter.ml: Alcotest Array Bytecodes Char Class_table Interpreter List Method_builder Object_memory Opcode QCheck QCheck_alcotest Value Vm_objects

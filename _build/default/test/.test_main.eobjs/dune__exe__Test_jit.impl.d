@@ -1,0 +1,1 @@
+test/test_jit.ml: Alcotest Array Bytecodes Class_table Interpreter Jit List Machine Obj Object_memory QCheck QCheck_alcotest Value Vm_objects

@@ -1,0 +1,1 @@
+test/test_lookahead.ml: Alcotest Array Bytecodes Concolic Difftest Interpreter Jit List Machine Printf Symbolic Vm_objects

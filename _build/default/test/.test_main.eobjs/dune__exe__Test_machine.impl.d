@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Class_table Interpreter Machine Object_memory QCheck QCheck_alcotest Value Vm_objects

@@ -1,0 +1,1 @@
+test/test_primitives.ml: Alcotest Array Bytecodes Class_table Interpreter List Object_memory QCheck QCheck_alcotest Value Vm_objects

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Bytecodes Class_desc Class_table Interpreter List Object_memory Objformat QCheck QCheck_alcotest Value Vm_objects

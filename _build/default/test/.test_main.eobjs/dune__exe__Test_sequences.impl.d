@@ -1,0 +1,1 @@
+test/test_sequences.ml: Alcotest Array Bytecodes Concolic Difftest Ijdt_core Interpreter Jit List Machine Symbolic

@@ -1,0 +1,1 @@
+test/test_solver.ml: Alcotest Eval Interval List Model QCheck QCheck_alcotest Solve Solver Symbolic Vm_objects

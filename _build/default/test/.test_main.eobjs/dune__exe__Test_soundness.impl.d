@@ -1,0 +1,1 @@
+test/test_soundness.ml: Alcotest Array Bytecodes Class_table Concolic Heap Interpreter List Object_memory Printf QCheck QCheck_alcotest Solver Symbolic Value Vm_objects

@@ -1,0 +1,1 @@
+test/test_symbolic.ml: Alcotest List String Symbolic Vm_objects

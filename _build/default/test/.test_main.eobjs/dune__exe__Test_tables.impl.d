@@ -1,0 +1,1 @@
+test/test_tables.ml: Alcotest Astring_contains Buffer Format Ijdt_core Interpreter Jit Lazy List

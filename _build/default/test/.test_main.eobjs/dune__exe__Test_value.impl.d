@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest List Printf QCheck QCheck_alcotest Value Vm_objects

@@ -1,0 +1,1 @@
+test/test_vm_programs.ml: Alcotest Bytecodes Class_table Interpreter List Object_memory Printf QCheck QCheck_alcotest Value Vm_objects

@@ -1,0 +1,92 @@
+(* Disassembler tests: every instruction renders, syntax is ISA-correct,
+   listings are stable. *)
+
+module MC = Machine.Machine_code
+
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let contains = Astring_contains.contains
+
+let test_x86_syntax () =
+  check_str "mov imm" "mov r8, 42" (Machine.Disasm.instr (MC.X_mov_ri (8, 42)));
+  check_str "add" "add r8, r9" (Machine.Disasm.instr (MC.X_alu (MC.Add, 8, MC.R 9)));
+  check_str "cmp imm" "cmp r8, #5" (Machine.Disasm.instr (MC.X_cmp (8, MC.I 5)));
+  check_str "jcc" "je somewhere" (Machine.Disasm.instr (MC.X_jcc (MC.Eq, "somewhere")));
+  check_str "overflow jcc" "jo lbl" (Machine.Disasm.instr (MC.X_jcc (MC.Vs, "lbl")));
+  check_str "push" "push #7" (Machine.Disasm.instr (MC.X_push (MC.I 7)))
+
+let test_arm_syntax () =
+  check_str "mov imm" "mov r8, #42" (Machine.Disasm.instr (MC.A_mov_i (8, 42)));
+  check_str "three-address add" "adds r8, r9, r10"
+    (Machine.Disasm.instr (MC.A_alu (MC.Add, 8, 9, MC.R 10)));
+  check_str "conditional branch" "bne out"
+    (Machine.Disasm.instr (MC.A_b (Some MC.Ne, "out")));
+  check_str "rsb" "rsb r8, r9, #0" (Machine.Disasm.instr (MC.A_rsb (8, 9, 0)));
+  check_str "tst" "tst r8, #1" (Machine.Disasm.instr (MC.A_tst_tag 8))
+
+let test_named_registers () =
+  check_str "receiver register" "mov rRcvr, 1"
+    (Machine.Disasm.instr (MC.X_mov_ri (MC.r_receiver, 1)));
+  check_str "scratch register" "mov rScr0, 1"
+    (Machine.Disasm.instr (MC.X_mov_ri (MC.r_scratch0, 1)))
+
+let test_pseudo_ops () =
+  check_bool "trampoline shows selector" true
+    (contains
+       (Machine.Disasm.instr
+          (MC.Call_trampoline
+             { selector = Interpreter.Exit_condition.Literal 3; num_args = 2 }))
+       "ccSendTrampoline");
+  check_bool "alloc shows class" true
+    (contains (Machine.Disasm.instr (MC.Alloc (8, 5, MC.I 3))) "class=5")
+
+let test_every_compiled_instruction_renders () =
+  (* a listing of every generated program renders without exception *)
+  let literals = Array.init 16 (fun i -> Jit.Ir.tagged_int (101 + i)) in
+  List.iter
+    (fun arch ->
+      List.iter
+        (fun op ->
+          match
+            Jit.Cogits.compile_bytecode_to_machine
+              Jit.Cogits.Stack_to_register_cogit
+              ~defects:Interpreter.Defects.paper ~literals
+              ~stack_setup:[ Jit.Ir.tagged_int 1; Jit.Ir.tagged_int 2; Jit.Ir.tagged_int 3 ]
+              ~arch op
+          with
+          | p -> check_bool (Bytecodes.Opcode.mnemonic op) true
+                   (String.length (Machine.Disasm.program p) > 0)
+          | exception Jit.Cogits.Not_compiled _ -> ())
+        (List.filter
+           (fun op -> op <> Bytecodes.Opcode.Push_this_context)
+           (Bytecodes.Encoding.all_defined_opcodes ())))
+    Jit.Codegen.all_arches
+
+let test_isa_styles_disjoint () =
+  (* an x86 listing contains no ARM-style mnemonics and vice versa *)
+  let literals = Array.init 16 (fun i -> Jit.Ir.tagged_int (101 + i)) in
+  let listing arch =
+    Machine.Disasm.program
+      (Jit.Cogits.compile_bytecode_to_machine Jit.Cogits.Stack_to_register_cogit
+         ~defects:Interpreter.Defects.paper ~literals
+         ~stack_setup:[ Jit.Ir.tagged_int 3; Jit.Ir.tagged_int 4 ]
+         ~arch
+         (Bytecodes.Opcode.Arith_special Bytecodes.Opcode.Sel_add))
+  in
+  let x86 = listing Jit.Codegen.X86 and arm = listing Jit.Codegen.Arm32 in
+  check_bool "x86 uses jcc" true (contains x86 "jne ");
+  check_bool "x86 avoids ARM branches" false (contains x86 "bne ");
+  check_bool "arm uses bcc" true (contains arm "bne ");
+  check_bool "arm avoids x86 jumps" false (contains arm "jne ")
+
+let suite =
+  [
+    Alcotest.test_case "x86 syntax" `Quick test_x86_syntax;
+    Alcotest.test_case "ARM syntax" `Quick test_arm_syntax;
+    Alcotest.test_case "named registers" `Quick test_named_registers;
+    Alcotest.test_case "pseudo ops" `Quick test_pseudo_ops;
+    Alcotest.test_case "every compiled instruction renders" `Quick
+      test_every_compiled_instruction_renders;
+    Alcotest.test_case "ISA styles disjoint" `Quick test_isa_styles_disjoint;
+  ]

@@ -1,0 +1,149 @@
+(* Bytecode encoding/decoding tests. *)
+
+open Bytecodes
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_all_opcodes_roundtrip () =
+  (* every defined opcode must decode back to itself *)
+  List.iter
+    (fun op ->
+      let bytes = Encoding.encode_all [ op ] in
+      let decoded, next = Encoding.decode bytes 0 in
+      check_bool (Opcode.mnemonic op) true (Opcode.equal decoded op);
+      check_int "consumed whole encoding" (Bytes.length bytes) next)
+    (Encoding.all_defined_opcodes ())
+
+let test_opcode_count () =
+  (* the instruction-set size the campaign reports (cf. DESIGN.md) *)
+  check_int "defined opcodes" 192
+    (List.length (Encoding.all_defined_opcodes ()))
+
+let test_single_byte_density () =
+  let singles =
+    List.filter
+      (fun op -> List.length (Encoding.encode op) = 1)
+      (Encoding.all_defined_opcodes ())
+  in
+  check_int "single-byte opcodes" 182 (List.length singles)
+
+let test_unassigned_bytes_rejected () =
+  List.iter
+    (fun b ->
+      check_bool
+        (Printf.sprintf "byte 0x%02x rejected" b)
+        true
+        (match Encoding.decode (Bytes.make 1 (Char.chr b)) 0 with
+        | _ -> false
+        | exception Encoding.Invalid_bytecode _ -> true))
+    [ 0x3E; 0x3F; 0xB8; 0xBF; 0xCA; 0xFF ]
+
+let test_truncated_extended () =
+  check_bool "truncated two-byte opcode rejected" true
+    (match Encoding.decode (Bytes.make 1 '\xC0') 0 with
+    | _ -> false
+    | exception Encoding.Invalid_bytecode _ -> true)
+
+let test_extended_operands () =
+  let check op =
+    let bytes = Encoding.encode_all [ op ] in
+    check_int "two bytes" 2 (Bytes.length bytes);
+    let decoded, _ = Encoding.decode bytes 0 in
+    check_bool "roundtrip" true (Opcode.equal decoded op)
+  in
+  check (Opcode.Push_temp_ext 200);
+  check (Opcode.Jump_ext (-100));
+  check (Opcode.Jump_false_ext 127);
+  check (Opcode.Send_ext { selector = 31; num_args = 7 });
+  check (Opcode.Push_integer_byte (-128))
+
+let test_out_of_range_operands_rejected () =
+  List.iter
+    (fun op ->
+      check_bool (Opcode.mnemonic op) true
+        (match Encoding.encode op with
+        | _ -> false
+        | exception Invalid_argument _ -> true))
+    [
+      Opcode.Push_receiver_variable 16;
+      Opcode.Push_temp 12;
+      Opcode.Jump 9;
+      Opcode.Jump 0;
+      Opcode.Jump_ext 128;
+      Opcode.Send { selector = 16; num_args = 0 };
+      Opcode.Send { selector = 0; num_args = 3 };
+    ]
+
+let test_decode_all_sequence () =
+  let instrs =
+    [
+      Opcode.Push_one;
+      Opcode.Push_two;
+      Opcode.Arith_special Opcode.Sel_add;
+      Opcode.Return_top;
+    ]
+  in
+  let decoded = List.map snd (Encoding.decode_all (Encoding.encode_all instrs)) in
+  check_bool "sequence roundtrip" true (List.for_all2 Opcode.equal instrs decoded)
+
+let test_family_classification () =
+  let open Opcode in
+  Alcotest.(check bool) "push temp family" true
+    (family (Push_temp 3) = family (Push_temp_ext 200));
+  Alcotest.(check bool) "jump families differ" true
+    (family (Jump 1) <> family (Jump_false 1));
+  Alcotest.(check bool) "add is addsub family" true
+    (family (Arith_special Sel_add) = family (Arith_special Sel_sub));
+  Alcotest.(check bool) "compare family" true
+    (family (Arith_special Sel_lt) = family (Arith_special Sel_ne));
+  Alcotest.(check bool) "bitxor is bitwise" true
+    (family (Common_special Sel_bit_xor) = F_arith_bitwise)
+
+let test_min_operands () =
+  let open Opcode in
+  check_int "push needs none" 0 (min_operands Push_one);
+  check_int "dup needs one" 1 (min_operands Dup);
+  check_int "add needs two" 2 (min_operands (Arith_special Sel_add));
+  check_int "at:put: needs three" 3 (min_operands (Common_special Sel_at_put));
+  check_int "2-arg send needs three" 3
+    (min_operands (Send { selector = 0; num_args = 2 }))
+
+let test_predicates () =
+  let open Opcode in
+  check_bool "jump is branch" true (is_branch (Jump 2));
+  check_bool "add not branch" false (is_branch (Arith_special Sel_add));
+  check_bool "returnTop is return" true (is_return Return_top);
+  check_bool "send is send" true (is_send (Send { selector = 0; num_args = 0 }))
+
+let arbitrary_opcode =
+  QCheck.make
+    ~print:Opcode.mnemonic
+    (QCheck.Gen.oneofl (Encoding.all_defined_opcodes ()))
+
+let qcheck_roundtrip_sequences =
+  QCheck.Test.make ~name:"qcheck: instruction sequences roundtrip" ~count:300
+    (QCheck.list_of_size (QCheck.Gen.int_range 0 30) arbitrary_opcode)
+    (fun instrs ->
+      let decoded =
+        List.map snd (Encoding.decode_all (Encoding.encode_all instrs))
+      in
+      List.length decoded = List.length instrs
+      && List.for_all2 Opcode.equal instrs decoded)
+
+let suite =
+  [
+    Alcotest.test_case "all opcodes roundtrip" `Quick test_all_opcodes_roundtrip;
+    Alcotest.test_case "opcode count" `Quick test_opcode_count;
+    Alcotest.test_case "single-byte density" `Quick test_single_byte_density;
+    Alcotest.test_case "unassigned bytes rejected" `Quick test_unassigned_bytes_rejected;
+    Alcotest.test_case "truncated extended rejected" `Quick test_truncated_extended;
+    Alcotest.test_case "extended operands" `Quick test_extended_operands;
+    Alcotest.test_case "out-of-range operands rejected" `Quick
+      test_out_of_range_operands_rejected;
+    Alcotest.test_case "decode_all sequence" `Quick test_decode_all_sequence;
+    Alcotest.test_case "family classification" `Quick test_family_classification;
+    Alcotest.test_case "min operands" `Quick test_min_operands;
+    Alcotest.test_case "instruction predicates" `Quick test_predicates;
+    QCheck_alcotest.to_alcotest qcheck_roundtrip_sequences;
+  ]

@@ -1,0 +1,107 @@
+(* Facade and edge-case coverage: Vm_testing's public API, exploration
+   budgets, runtime guards, and sequence-corpus validity. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let add : Ijdt_core.Vm_testing.subject =
+  `Bytecode (Bytecodes.Opcode.Arith_special Bytecodes.Opcode.Sel_add)
+
+let test_facade_explore () =
+  let r = Ijdt_core.Vm_testing.explore add in
+  check_int "nine add paths" 9 (List.length r.paths)
+
+let test_facade_difftest () =
+  let r = Ijdt_core.Vm_testing.test_instruction ~compiler:`Simple add in
+  check_bool "simple finds optimisation diffs" true (r.differences > 0);
+  let r = Ijdt_core.Vm_testing.test_instruction ~compiler:`Native_methods (`Native 1) in
+  check_int "primAdd agrees" 0 r.differences
+
+let test_facade_subject_lists () =
+  check_int "112 natives" 112
+    (List.length (Ijdt_core.Vm_testing.all_native_subjects ()));
+  check_int "192 byte-codes" 192
+    (List.length (Ijdt_core.Vm_testing.all_bytecode_subjects ()));
+  check_bool "names render" true
+    (String.length (Ijdt_core.Vm_testing.subject_name add) > 0)
+
+let test_exploration_budget () =
+  (* a budget of 1 yields exactly the first concolic execution *)
+  let r = Ijdt_core.Vm_testing.explore ~max_iterations:1 add in
+  check_int "one iteration" 1 r.iterations;
+  check_int "one path" 1 (List.length r.paths)
+
+let test_runtime_depth_guard () =
+  let open Bytecodes.Opcode in
+  let rt =
+    Interpreter.Runtime.install_kernel
+      (Interpreter.Runtime.create (Vm_objects.Object_memory.create ()))
+  in
+  let om = Interpreter.Runtime.object_memory rt in
+  let sym = Vm_objects.Object_memory.allocate_string om "loop" in
+  (* infinite recursion must be caught by the depth guard *)
+  ignore
+    (Interpreter.Runtime.define rt
+       ~class_id:Vm_objects.Class_table.small_integer_id ~selector:"loop"
+       ~literals:[ sym ]
+       [ Push_receiver; Send { selector = 0; num_args = 0 }; Return_top ]);
+  check_bool "stack depth guarded" true
+    (match
+       Interpreter.Runtime.send_message rt (Vm_objects.Value.of_small_int 1)
+         "loop" []
+     with
+    | _ -> false
+    | exception Interpreter.Runtime.Vm_error _ -> true)
+
+let test_sequence_corpus_valid () =
+  (* every curated sequence explores without being unsupported *)
+  List.iter
+    (fun subject ->
+      let r = Concolic.Explorer.explore subject in
+      check_bool (Concolic.Path.subject_name subject ^ " supported") false
+        r.unsupported;
+      check_bool (Concolic.Path.subject_name subject ^ " has paths") true
+        (List.length r.paths >= 1))
+    Concolic.Sequences.corpus
+
+let test_random_corpus_deterministic () =
+  let c1 = Concolic.Sequences.random_corpus ~count:10 ~max_length:4 () in
+  let c2 = Concolic.Sequences.random_corpus ~count:10 ~max_length:4 () in
+  check_bool "same sequences for same seed" true
+    (List.for_all2
+       (fun a b ->
+         Concolic.Path.subject_name a = Concolic.Path.subject_name b)
+       c1 c2)
+
+let test_expected_failure_semantics () =
+  let open Interpreter.Exit_condition in
+  check_bool "invalid frame always expected" true
+    (is_expected_failure ~native:true Invalid_frame
+    && is_expected_failure ~native:false Invalid_frame);
+  check_bool "invalid memory expected for byte-codes" true
+    (is_expected_failure ~native:false Invalid_memory_access);
+  check_bool "invalid memory is an error for natives" false
+    (is_expected_failure ~native:true Invalid_memory_access);
+  check_bool "success is no failure" false
+    (is_expected_failure ~native:false Success)
+
+let test_defect_configs_differ () =
+  check_bool "paper and pristine differ" true
+    (Interpreter.Defects.paper <> Interpreter.Defects.pristine);
+  check_bool "default is paper" true
+    (Interpreter.Defects.default = Interpreter.Defects.paper)
+
+let suite =
+  [
+    Alcotest.test_case "facade explore" `Quick test_facade_explore;
+    Alcotest.test_case "facade difftest" `Quick test_facade_difftest;
+    Alcotest.test_case "facade subject lists" `Quick test_facade_subject_lists;
+    Alcotest.test_case "exploration budget" `Quick test_exploration_budget;
+    Alcotest.test_case "runtime depth guard" `Quick test_runtime_depth_guard;
+    Alcotest.test_case "sequence corpus valid" `Quick test_sequence_corpus_valid;
+    Alcotest.test_case "random corpus deterministic" `Quick
+      test_random_corpus_deterministic;
+    Alcotest.test_case "expected-failure semantics" `Quick
+      test_expected_failure_semantics;
+    Alcotest.test_case "defect configs differ" `Quick test_defect_configs_differ;
+  ]

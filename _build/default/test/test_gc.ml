@@ -1,0 +1,220 @@
+(* Garbage collection substrate tests: mark-compact correctness,
+   forwarding, root stability, and the scavenger's generational
+   accounting. *)
+
+open Vm_objects
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let fresh () =
+  let om = Object_memory.create () in
+  (om, Object_memory.heap om)
+
+let test_unreachable_reclaimed () =
+  let om, heap = fresh () in
+  let baseline = Heap.object_count heap in
+  let keep = Object_memory.allocate_array om [| Value.of_small_int 1 |] in
+  for _ = 1 to 10 do
+    ignore (Object_memory.allocate_array om [| Value.of_small_int 0 |])
+  done;
+  let forward, reclaimed =
+    Heap.compact heap ~roots:(keep :: Object_memory.permanent_roots om)
+  in
+  check_int "ten garbage arrays reclaimed" 10 reclaimed;
+  check_int "live = baseline + 1" (baseline + 1) (Heap.object_count heap);
+  (* the survivor is reachable through its forwarded oop *)
+  let keep' = forward keep in
+  check_int "survivor content" 1
+    (Value.small_int_value (Object_memory.fetch_pointer om keep' 0))
+
+let test_references_keep_objects_alive () =
+  let om, heap = fresh () in
+  let inner = Object_memory.allocate_array om [| Value.of_small_int 7 |] in
+  let outer = Object_memory.allocate_array om [| inner |] in
+  let forward, _ =
+    Heap.compact heap ~roots:(outer :: Object_memory.permanent_roots om)
+  in
+  let outer' = forward outer in
+  (* the inner array survived through the outer reference, and the slot
+     was rewritten to the forwarded oop *)
+  let inner' = Object_memory.fetch_pointer om outer' 0 in
+  check_int "transitively reachable" 7
+    (Value.small_int_value (Object_memory.fetch_pointer om inner' 0))
+
+let test_cycles_survive () =
+  let om, heap = fresh () in
+  let a = Object_memory.allocate_array om [| Object_memory.nil om |] in
+  let b = Object_memory.allocate_array om [| a |] in
+  Object_memory.store_pointer om a 0 b;
+  let forward, _ =
+    Heap.compact heap ~roots:(a :: Object_memory.permanent_roots om)
+  in
+  let a' = forward a in
+  let b' = Object_memory.fetch_pointer om a' 0 in
+  check_bool "cycle closed" true
+    (Value.equal (Object_memory.fetch_pointer om b' 0) a')
+
+let test_permanent_roots_stable () =
+  let om, heap = fresh () in
+  let nil_before = Object_memory.nil om in
+  let true_before = Object_memory.true_obj om in
+  for _ = 1 to 20 do
+    ignore (Object_memory.allocate_array om [||])
+  done;
+  let forward, _ = Heap.compact heap ~roots:(Object_memory.permanent_roots om) in
+  (* the singletons are the oldest allocations: compaction preserves
+     their positions, so their oops do not change *)
+  check_bool "nil oop stable" true (Value.equal (forward nil_before) nil_before);
+  check_bool "true oop stable" true (Value.equal (forward true_before) true_before);
+  check_bool "nil still valid" true (Heap.is_valid_object heap nil_before)
+
+let test_method_literals_traced () =
+  let om, heap = fresh () in
+  let lit = Object_memory.allocate_array om [| Value.of_small_int 3 |] in
+  let meth =
+    Bytecodes.Method_builder.build heap ~literals:[ lit ]
+      [ Bytecodes.Opcode.Push_literal_constant 0; Bytecodes.Opcode.Return_top ]
+  in
+  let moop = Bytecodes.Compiled_method.oop meth in
+  let forward, _ =
+    Heap.compact heap ~roots:(moop :: Object_memory.permanent_roots om)
+  in
+  let moop' = forward moop in
+  let meth' = Bytecodes.Compiled_method.of_oop heap moop' in
+  (* the literal survived and was rewritten in the literal frame *)
+  let lit' = Bytecodes.Compiled_method.literal_at meth' 0 in
+  check_int "literal content" 3
+    (Value.small_int_value (Object_memory.fetch_pointer om lit' 0))
+
+let test_dangling_access_after_collect () =
+  let om, heap = fresh () in
+  let garbage = Object_memory.allocate_array om [| Value.of_small_int 1 |] in
+  let _, reclaimed = Heap.compact heap ~roots:(Object_memory.permanent_roots om) in
+  check_bool "collected something" true (reclaimed >= 1);
+  (* accessing the collected oop traps (it is either out of range or
+     points at a different object now; the table shrank so it is out of
+     range here) *)
+  check_bool "dangling access invalid" true
+    (not (Heap.is_valid_object heap garbage)
+    ||
+    match Object_memory.fetch_pointer om garbage 0 with
+    | _ -> true
+    | exception Heap.Invalid_access _ -> true)
+
+(* --- scavenger --- *)
+
+let test_scavenger_minor_collections () =
+  let om, heap = fresh () in
+  let sc = Scavenger.create heap in
+  let keep = ref (Object_memory.allocate_array om [| Value.of_small_int 9 |]) in
+  for round = 1 to 5 do
+    for _ = 1 to 50 do
+      ignore (Object_memory.allocate_array om [| Value.of_small_int 0 |])
+    done;
+    let forward =
+      Scavenger.scavenge sc ~roots:(!keep :: Object_memory.permanent_roots om)
+    in
+    keep := forward !keep;
+    check_int
+      (Printf.sprintf "round %d reclaims the 50 garbage arrays" round)
+      (50 * round)
+      (Scavenger.stats sc).Scavenger.total_reclaimed
+  done;
+  check_int "five collections" 5 (Scavenger.stats sc).Scavenger.collections;
+  check_int "survivor intact" 9
+    (Value.small_int_value (Object_memory.fetch_pointer om !keep 0))
+
+let test_scavenger_tenuring () =
+  let om, heap = fresh () in
+  let sc = Scavenger.create ~tenure_after:2 heap in
+  let keep = ref (Object_memory.allocate_array om [||]) in
+  (* before any collection nothing is tenured *)
+  check_int "no old generation yet" 0 (Scavenger.stats sc).Scavenger.tenured;
+  for _ = 1 to 3 do
+    let forward =
+      Scavenger.scavenge sc ~roots:(!keep :: Object_memory.permanent_roots om)
+    in
+    keep := forward !keep
+  done;
+  (* the permanent objects and the survivor have survived 3 collections:
+     all of them are old now *)
+  let s = Scavenger.stats sc in
+  check_int "everything tenured" s.Scavenger.live s.Scavenger.tenured
+
+let test_full_collection_reclaims_old () =
+  let om, heap = fresh () in
+  let sc = Scavenger.create ~tenure_after:1 heap in
+  let doomed = ref (Object_memory.allocate_array om [||]) in
+  (* tenure the doomed object *)
+  for _ = 1 to 2 do
+    let forward =
+      Scavenger.scavenge sc
+        ~roots:(!doomed :: Object_memory.permanent_roots om)
+    in
+    doomed := forward !doomed
+  done;
+  let live_before = (Scavenger.stats sc).Scavenger.live in
+  (* minor collections do NOT reclaim it even without the root *)
+  ignore
+    (Scavenger.scavenge sc ~roots:(Object_memory.permanent_roots om)
+      : Value.t -> Value.t);
+  check_int "old object survives scavenges" live_before
+    (Scavenger.stats sc).Scavenger.live;
+  (* a full collection does *)
+  ignore
+    (Scavenger.full_collect sc ~roots:(Object_memory.permanent_roots om)
+      : Value.t -> Value.t);
+  check_int "full collection reclaims it" (live_before - 1)
+    (Scavenger.stats sc).Scavenger.live
+
+let qcheck_gc_preserves_reachable_graph =
+  QCheck.Test.make ~name:"qcheck: collection preserves the reachable graph"
+    ~count:100
+    QCheck.(small_list (int_range 0 100))
+    (fun contents ->
+      let om, heap = fresh () in
+      (* build a linked list of arrays [v, next] *)
+      let root =
+        List.fold_left
+          (fun next v ->
+            Object_memory.allocate_array om [| Value.of_small_int v; next |])
+          (Object_memory.nil om) contents
+      in
+      (* interleave garbage *)
+      List.iter
+        (fun _ -> ignore (Object_memory.allocate_array om [||]))
+        contents;
+      let forward, _ =
+        Heap.compact heap
+          ~roots:(root :: Object_memory.permanent_roots om)
+      in
+      (* walk the forwarded list and compare contents (reversed build) *)
+      let rec walk v acc =
+        if Value.equal v (Object_memory.nil om) then acc
+        else
+          walk
+            (Object_memory.fetch_pointer om v 1)
+            (Value.small_int_value (Object_memory.fetch_pointer om v 0) :: acc)
+      in
+      (match root with
+      | r when Value.equal r (Object_memory.nil om) -> contents = []
+      | r -> walk (forward r) [] = contents))
+
+let suite =
+  [
+    Alcotest.test_case "unreachable reclaimed" `Quick test_unreachable_reclaimed;
+    Alcotest.test_case "references keep objects alive" `Quick
+      test_references_keep_objects_alive;
+    Alcotest.test_case "cycles survive" `Quick test_cycles_survive;
+    Alcotest.test_case "permanent roots stable" `Quick test_permanent_roots_stable;
+    Alcotest.test_case "method literals traced" `Quick test_method_literals_traced;
+    Alcotest.test_case "dangling access after collect" `Quick
+      test_dangling_access_after_collect;
+    Alcotest.test_case "scavenger minor collections" `Quick
+      test_scavenger_minor_collections;
+    Alcotest.test_case "scavenger tenuring" `Quick test_scavenger_tenuring;
+    Alcotest.test_case "full collection reclaims old" `Quick
+      test_full_collection_reclaims_old;
+    QCheck_alcotest.to_alcotest qcheck_gc_preserves_reachable_graph;
+  ]

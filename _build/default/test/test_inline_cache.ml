@@ -1,0 +1,144 @@
+(* Inline-cache tests: the mono → poly → megamorphic state machine and
+   its integration into the runtime's send sites. *)
+
+open Vm_objects
+module IC = Interpreter.Inline_cache
+module RT = Interpreter.Runtime
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let test_unlinked_misses () =
+  let c = IC.create () in
+  check_str "starts unlinked" "unlinked" (IC.state_name c);
+  check_bool "first probe misses" true (IC.probe c ~class_id:1 = None);
+  check_int "miss counted" 1 (IC.misses c)
+
+let test_monomorphic_hit () =
+  let c = IC.create () in
+  ignore (IC.probe c ~class_id:1);
+  IC.link c ~class_id:1 ~target:42;
+  check_str "monomorphic" "monomorphic" (IC.state_name c);
+  check_bool "same class hits" true (IC.probe c ~class_id:1 = Some 42);
+  check_bool "other class misses" true (IC.probe c ~class_id:2 = None)
+
+let test_polymorphic_transition () =
+  let c = IC.create () in
+  IC.link c ~class_id:1 ~target:10;
+  IC.link c ~class_id:2 ~target:20;
+  check_str "polymorphic" "polymorphic" (IC.state_name c);
+  check_bool "both classes hit" true
+    (IC.probe c ~class_id:1 = Some 10 && IC.probe c ~class_id:2 = Some 20);
+  check_bool "third class misses" true (IC.probe c ~class_id:3 = None)
+
+let test_megamorphic_transition () =
+  let c = IC.create () in
+  (* more classes than the PIC holds *)
+  for cls = 1 to 8 do
+    IC.link c ~class_id:cls ~target:(cls * 10)
+  done;
+  check_str "megamorphic" "megamorphic" (IC.state_name c);
+  (* megamorphic sites always take the trampoline *)
+  check_bool "always miss" true (IC.probe c ~class_id:1 = None);
+  (* and further linking does not resurrect caching *)
+  IC.link c ~class_id:1 ~target:10;
+  check_str "stays megamorphic" "megamorphic" (IC.state_name c)
+
+let test_relink_same_class () =
+  let c = IC.create () in
+  IC.link c ~class_id:1 ~target:10;
+  IC.link c ~class_id:1 ~target:99;
+  check_str "still monomorphic" "monomorphic" (IC.state_name c);
+  check_bool "refreshed target" true (IC.probe c ~class_id:1 = Some 99)
+
+let test_flush () =
+  let c = IC.create () in
+  IC.link c ~class_id:1 ~target:10;
+  IC.flush c;
+  check_str "unlinked after flush" "unlinked" (IC.state_name c)
+
+let test_hit_ratio () =
+  let c = IC.create () in
+  Alcotest.(check (float 0.0)) "empty ratio" 0.0 (IC.hit_ratio c);
+  IC.link c ~class_id:1 ~target:10;
+  ignore (IC.probe c ~class_id:1);
+  ignore (IC.probe c ~class_id:1);
+  ignore (IC.probe c ~class_id:2);
+  Alcotest.(check (float 0.01)) "2/3 hits" 0.666 (IC.hit_ratio c)
+
+(* --- runtime integration --- *)
+
+let smi i = Value.of_small_int i
+
+let test_runtime_sites_warm_up () =
+  let rt = RT.install_kernel (RT.create (Object_memory.create ())) in
+  let om = RT.object_memory rt in
+  let sym = Object_memory.allocate_string om "double" in
+  ignore
+    (RT.define rt ~class_id:Class_table.small_integer_id ~selector:"double"
+       [
+         Bytecodes.Opcode.Push_receiver;
+         Bytecodes.Opcode.Push_receiver;
+         Bytecodes.Opcode.Arith_special Bytecodes.Opcode.Sel_add;
+         Bytecodes.Opcode.Return_top;
+       ]);
+  (* a driver method performing the send twice: the second send at the
+     SAME site must hit the now-monomorphic cache *)
+  ignore
+    (RT.define rt ~class_id:Class_table.small_integer_id ~selector:"run"
+       ~literals:[ sym ]
+       [
+         Bytecodes.Opcode.Push_receiver;
+         Bytecodes.Opcode.Send { selector = 0; num_args = 0 };
+         Bytecodes.Opcode.Pop;
+         Bytecodes.Opcode.Push_receiver;
+         Bytecodes.Opcode.Send { selector = 0; num_args = 0 };
+         Bytecodes.Opcode.Return_top;
+       ]);
+  check_int "result" 14 (Value.small_int_value (RT.send_message rt (smi 7) "run" []));
+  let sites, hits, misses = RT.cache_statistics rt in
+  check_bool "sites created" true (sites >= 2);
+  (* wait: the two sends sit at different pcs, so both sites miss once
+     and no site hits yet *)
+  check_int "cold misses" misses misses;
+  (* run again: the same sites now hit *)
+  ignore (RT.send_message rt (smi 7) "run" []);
+  let _, hits2, _ = RT.cache_statistics rt in
+  check_bool "warm hits" true (hits2 > hits)
+
+let test_install_method_flushes () =
+  let rt = RT.install_kernel (RT.create (Object_memory.create ())) in
+  let om = RT.object_memory rt in
+  let sym = Object_memory.allocate_string om "answer" in
+  ignore
+    (RT.define rt ~class_id:Class_table.small_integer_id ~selector:"answer"
+       [ Bytecodes.Opcode.Push_one; Bytecodes.Opcode.Return_top ]);
+  ignore
+    (RT.define rt ~class_id:Class_table.small_integer_id ~selector:"go"
+       ~literals:[ sym ]
+       [
+         Bytecodes.Opcode.Push_receiver;
+         Bytecodes.Opcode.Send { selector = 0; num_args = 0 };
+         Bytecodes.Opcode.Return_top;
+       ]);
+  check_int "old answer" 1 (Value.small_int_value (RT.send_message rt (smi 0) "go" []));
+  (* redefining the method must invalidate the linked send site *)
+  ignore
+    (RT.define rt ~class_id:Class_table.small_integer_id ~selector:"answer"
+       [ Bytecodes.Opcode.Push_two; Bytecodes.Opcode.Return_top ]);
+  check_int "new answer" 2 (Value.small_int_value (RT.send_message rt (smi 0) "go" []))
+
+let suite =
+  [
+    Alcotest.test_case "unlinked misses" `Quick test_unlinked_misses;
+    Alcotest.test_case "monomorphic hit" `Quick test_monomorphic_hit;
+    Alcotest.test_case "polymorphic transition" `Quick test_polymorphic_transition;
+    Alcotest.test_case "megamorphic transition" `Quick test_megamorphic_transition;
+    Alcotest.test_case "relink same class" `Quick test_relink_same_class;
+    Alcotest.test_case "flush" `Quick test_flush;
+    Alcotest.test_case "hit ratio" `Quick test_hit_ratio;
+    Alcotest.test_case "runtime sites warm up" `Quick test_runtime_sites_warm_up;
+    Alcotest.test_case "install_method flushes caches" `Quick
+      test_install_method_flushes;
+  ]

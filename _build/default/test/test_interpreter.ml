@@ -1,0 +1,498 @@
+(* Concrete interpreter semantics, instruction by instruction. *)
+
+open Vm_objects
+open Bytecodes
+module CM = Interpreter.Concrete_machine
+module EC = Interpreter.Exit_condition
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Build a machine executing [instrs] with the given operand stack
+   (bottom-up, as small ints unless oops passed). *)
+let machine ?(receiver = `Int 0) ?(temps = [||]) ?(literals = []) ?(stack = [])
+    instrs =
+  let om = Object_memory.create () in
+  let resolve = function
+    | `Int i -> Value.of_small_int i
+    | `Nil -> Object_memory.nil om
+    | `True -> Object_memory.true_obj om
+    | `False -> Object_memory.false_obj om
+    | `Float f -> Object_memory.float_object_of om f
+    | `Array vs ->
+        Object_memory.allocate_array om
+          (Array.of_list (List.map Value.of_small_int vs))
+    | `String s -> Object_memory.allocate_string om s
+  in
+  let receiver = resolve receiver in
+  let temps = Array.map resolve temps in
+  let stack = List.map resolve stack in
+  let literals = List.map resolve literals in
+  let meth =
+    Method_builder.build (Object_memory.heap om) ~args:0
+      ~temps:(Array.length temps) ~literals instrs
+  in
+  let frame = Interpreter.Frame.create ~receiver ~meth ~temps ~stack in
+  (om, CM.create ~om ~frame)
+
+let step m =
+  match CM.Interpreter.step m with
+  | CM.Interpreter.Continue -> `Continue
+  | CM.Interpreter.Exit_send { selector; num_args } -> `Send (selector, num_args)
+  | CM.Interpreter.Exit_return v -> `Return v
+  | exception Interpreter.Machine_intf.Invalid_frame_access -> `Invalid_frame
+  | exception Interpreter.Machine_intf.Invalid_memory_trap -> `Invalid_memory
+
+let top m = Interpreter.Frame.stack_value (CM.frame m) 0
+let top_int m = Value.small_int_value (top m)
+let depth m = Interpreter.Frame.depth (CM.frame m)
+
+let expect_continue name m = Alcotest.(check bool) name true (step m = `Continue)
+
+(* --- pushes --- *)
+
+let test_push_constants () =
+  let _, m = machine [ Opcode.Push_one ] in
+  expect_continue "push" m;
+  check_int "one" 1 (top_int m);
+  let _, m = machine [ Opcode.Push_minus_one ] in
+  expect_continue "push" m;
+  check_int "minus one" (-1) (top_int m);
+  let _, m = machine [ Opcode.Push_integer_byte (-77) ] in
+  expect_continue "push" m;
+  check_int "byte" (-77) (top_int m)
+
+let test_push_booleans_nil () =
+  let om, m = machine [ Opcode.Push_true ] in
+  expect_continue "push" m;
+  check_bool "true" true (Value.equal (top m) (Object_memory.true_obj om));
+  let om, m = machine [ Opcode.Push_nil ] in
+  expect_continue "push" m;
+  check_bool "nil" true (Value.equal (top m) (Object_memory.nil om))
+
+let test_push_receiver_and_temps () =
+  let _, m = machine ~receiver:(`Int 42) [ Opcode.Push_receiver ] in
+  expect_continue "push rcvr" m;
+  check_int "receiver" 42 (top_int m);
+  let _, m = machine ~temps:[| `Int 7; `Int 8 |] [ Opcode.Push_temp 1 ] in
+  expect_continue "push temp" m;
+  check_int "temp" 8 (top_int m)
+
+let test_push_literal () =
+  let _, m = machine ~literals:[ `Int 11; `Int 22 ] [ Opcode.Push_literal_constant 1 ] in
+  expect_continue "push lit" m;
+  check_int "literal" 22 (top_int m)
+
+let test_push_literal_out_of_range () =
+  let _, m = machine ~literals:[ `Int 11 ] [ Opcode.Push_literal_constant 5 ] in
+  check_bool "invalid memory" true (step m = `Invalid_memory)
+
+let test_push_receiver_variable () =
+  let _, m =
+    machine ~receiver:(`Array [ 5; 6 ]) [ Opcode.Push_receiver_variable 1 ]
+  in
+  expect_continue "push rcvr var" m;
+  check_int "slot" 6 (top_int m)
+
+let test_push_receiver_variable_out_of_bounds () =
+  let _, m = machine ~receiver:(`Int 3) [ Opcode.Push_receiver_variable 0 ] in
+  check_bool "invalid memory on immediate receiver" true
+    (step m = `Invalid_memory);
+  let _, m =
+    machine ~receiver:(`Array [ 1 ]) [ Opcode.Push_receiver_variable 4 ]
+  in
+  check_bool "invalid memory out of bounds" true (step m = `Invalid_memory)
+
+(* --- stack manipulation --- *)
+
+let test_dup_pop_swap () =
+  let _, m = machine ~stack:[ `Int 1 ] [ Opcode.Dup ] in
+  expect_continue "dup" m;
+  check_int "depth" 2 (depth m);
+  check_int "top" 1 (top_int m);
+  let _, m = machine ~stack:[ `Int 1; `Int 2 ] [ Opcode.Pop ] in
+  expect_continue "pop" m;
+  check_int "depth after pop" 1 (depth m);
+  check_int "top after pop" 1 (top_int m);
+  let _, m = machine ~stack:[ `Int 1; `Int 2 ] [ Opcode.Swap ] in
+  expect_continue "swap" m;
+  check_int "swapped top" 1 (top_int m)
+
+let test_underflow_is_invalid_frame () =
+  let _, m = machine [ Opcode.Dup ] in
+  check_bool "dup underflow" true (step m = `Invalid_frame);
+  let _, m = machine [ Opcode.Pop ] in
+  check_bool "pop underflow" true (step m = `Invalid_frame)
+
+(* --- stores --- *)
+
+let test_store_and_pop_temp () =
+  let _, m =
+    machine ~temps:[| `Int 0 |] ~stack:[ `Int 9 ] [ Opcode.Store_and_pop_temp 0 ]
+  in
+  expect_continue "store" m;
+  check_int "emptied stack" 0 (depth m);
+  check_int "temp updated" 9
+    (Value.small_int_value (Interpreter.Frame.temp_at (CM.frame m) 0))
+
+let test_store_and_pop_receiver_variable () =
+  let om, m =
+    machine ~receiver:(`Array [ 0; 0 ]) ~stack:[ `Int 5 ]
+      [ Opcode.Store_and_pop_receiver_variable 1 ]
+  in
+  expect_continue "store" m;
+  let rcvr = Interpreter.Frame.receiver (CM.frame m) in
+  check_int "slot written" 5
+    (Value.small_int_value (Object_memory.fetch_pointer om rcvr 1))
+
+(* --- returns --- *)
+
+let test_returns () =
+  let _, m = machine ~stack:[ `Int 3 ] [ Opcode.Return_top ] in
+  (match step m with
+  | `Return v -> check_int "return top" 3 (Value.small_int_value v)
+  | _ -> Alcotest.fail "expected return");
+  let _, m = machine ~receiver:(`Int 12) [ Opcode.Return_receiver ] in
+  (match step m with
+  | `Return v -> check_int "return receiver" 12 (Value.small_int_value v)
+  | _ -> Alcotest.fail "expected return")
+
+(* --- jumps --- *)
+
+let test_unconditional_jump () =
+  let _, m = machine [ Opcode.Jump 3 ] in
+  expect_continue "jump" m;
+  check_int "pc" 4 (Interpreter.Frame.pc (CM.frame m))
+
+let test_conditional_jumps () =
+  let _, m = machine ~stack:[ `False ] [ Opcode.Jump_false 2 ] in
+  expect_continue "taken" m;
+  check_int "pc taken" 3 (Interpreter.Frame.pc (CM.frame m));
+  check_int "popped" 0 (depth m);
+  let _, m = machine ~stack:[ `True ] [ Opcode.Jump_false 2 ] in
+  expect_continue "not taken" m;
+  check_int "pc not taken" 1 (Interpreter.Frame.pc (CM.frame m));
+  let _, m = machine ~stack:[ `True ] [ Opcode.Jump_true 5 ] in
+  expect_continue "jump true taken" m;
+  check_int "pc" 6 (Interpreter.Frame.pc (CM.frame m))
+
+let test_must_be_boolean () =
+  let _, m = machine ~stack:[ `Int 3 ] [ Opcode.Jump_false 2 ] in
+  (match step m with
+  | `Send (EC.Must_be_boolean, 0) -> ()
+  | _ -> Alcotest.fail "expected mustBeBoolean send");
+  (* the non-boolean stays on the stack as the send receiver *)
+  check_int "value kept" 3 (top_int m)
+
+(* --- arithmetic specials (Listing 1 semantics) --- *)
+
+let add = Opcode.Arith_special Opcode.Sel_add
+
+let test_add_int_fast_path () =
+  let _, m = machine ~stack:[ `Int 3; `Int 4 ] [ add ] in
+  expect_continue "add" m;
+  check_int "3+4" 7 (top_int m);
+  check_int "consumed operands" 1 (depth m)
+
+let test_add_overflow_sends () =
+  let _, m = machine ~stack:[ `Int Value.max_small_int; `Int 1 ] [ add ] in
+  (match step m with
+  | `Send (EC.Special Opcode.Sel_add, 1) -> ()
+  | _ -> Alcotest.fail "expected + send");
+  check_int "operands kept" 2 (depth m)
+
+let test_add_type_mismatch_sends () =
+  let _, m = machine ~stack:[ `Nil; `Int 1 ] [ add ] in
+  match step m with
+  | `Send (EC.Special Opcode.Sel_add, 1) -> ()
+  | _ -> Alcotest.fail "expected + send"
+
+let test_add_float_fast_path () =
+  let om, m = machine ~stack:[ `Float 1.5; `Float 2.25 ] [ add ] in
+  expect_continue "float add" m;
+  Alcotest.(check (float 0.0)) "sum" 3.75 (Object_memory.float_value_of om (top m))
+
+let test_float_divide_by_zero_sends () =
+  let _, m =
+    machine ~stack:[ `Float 1.0; `Float 0.0 ]
+      [ Opcode.Arith_special Opcode.Sel_divide ]
+  in
+  match step m with
+  | `Send (EC.Special Opcode.Sel_divide, 1) -> ()
+  | _ -> Alcotest.fail "expected / send"
+
+let test_int_divide_never_fast () =
+  (* [/] has no integer fast path: even exact divisions send *)
+  let _, m =
+    machine ~stack:[ `Int 8; `Int 2 ] [ Opcode.Arith_special Opcode.Sel_divide ]
+  in
+  match step m with
+  | `Send (EC.Special Opcode.Sel_divide, 1) -> ()
+  | _ -> Alcotest.fail "expected / send"
+
+let test_floor_division_semantics () =
+  let _, m =
+    machine ~stack:[ `Int (-7); `Int 2 ] [ Opcode.Arith_special Opcode.Sel_int_div ]
+  in
+  expect_continue "floor div" m;
+  check_int "-7 // 2" (-4) (top_int m);
+  let _, m =
+    machine ~stack:[ `Int (-7); `Int 2 ] [ Opcode.Arith_special Opcode.Sel_mod ]
+  in
+  expect_continue "floor mod" m;
+  check_int "-7 \\\\ 2" 1 (top_int m)
+
+let test_division_by_zero_sends () =
+  let _, m =
+    machine ~stack:[ `Int 7; `Int 0 ] [ Opcode.Arith_special Opcode.Sel_int_div ]
+  in
+  match step m with
+  | `Send (EC.Special Opcode.Sel_int_div, 1) -> ()
+  | _ -> Alcotest.fail "expected // send"
+
+let test_comparisons_push_booleans () =
+  let om, m = machine ~stack:[ `Int 3; `Int 4 ] [ Opcode.Arith_special Opcode.Sel_lt ] in
+  expect_continue "lt" m;
+  check_bool "3 < 4" true (Value.equal (top m) (Object_memory.true_obj om));
+  let om, m = machine ~stack:[ `Int 4; `Int 4 ] [ Opcode.Arith_special Opcode.Sel_ne ] in
+  expect_continue "ne" m;
+  check_bool "4 ~= 4 is false" true
+    (Value.equal (top m) (Object_memory.false_obj om))
+
+let test_bitwise_negative_falls_back () =
+  (* the interpreter's bitwise fast path needs non-negative operands *)
+  let _, m =
+    machine ~stack:[ `Int (-2); `Int 5 ] [ Opcode.Arith_special Opcode.Sel_bit_and ]
+  in
+  (match step m with
+  | `Send (EC.Special Opcode.Sel_bit_and, 1) -> ()
+  | _ -> Alcotest.fail "expected bitAnd: send");
+  let _, m =
+    machine ~stack:[ `Int 6; `Int 5 ] [ Opcode.Arith_special Opcode.Sel_bit_and ]
+  in
+  expect_continue "positive bitAnd" m;
+  check_int "6 & 5" 4 (top_int m)
+
+let test_bit_shift () =
+  let _, m =
+    machine ~stack:[ `Int 3; `Int 4 ] [ Opcode.Arith_special Opcode.Sel_bit_shift ]
+  in
+  expect_continue "shift" m;
+  check_int "3 << 4" 48 (top_int m);
+  (* negative distances fall back to the library send *)
+  let _, m =
+    machine ~stack:[ `Int 8; `Int (-1) ] [ Opcode.Arith_special Opcode.Sel_bit_shift ]
+  in
+  (match step m with
+  | `Send (EC.Special Opcode.Sel_bit_shift, 1) -> ()
+  | _ -> Alcotest.fail "expected bitShift: send");
+  (* so do overflowing shifts *)
+  let _, m =
+    machine ~stack:[ `Int Value.max_small_int; `Int 1 ]
+      [ Opcode.Arith_special Opcode.Sel_bit_shift ]
+  in
+  match step m with
+  | `Send (EC.Special Opcode.Sel_bit_shift, 1) -> ()
+  | _ -> Alcotest.fail "expected bitShift: send"
+
+let test_bitxor_always_sends () =
+  let _, m =
+    machine ~stack:[ `Int 3; `Int 4 ] [ Opcode.Common_special Opcode.Sel_bit_xor ]
+  in
+  match step m with
+  | `Send (EC.Common Opcode.Sel_bit_xor, 1) -> ()
+  | _ -> Alcotest.fail "expected bitXor: send"
+
+(* --- common specials --- *)
+
+let test_at_on_array () =
+  let _, m = machine ~stack:[ `Array [ 10; 20; 30 ]; `Int 2 ] [ Opcode.Common_special Opcode.Sel_at ] in
+  expect_continue "at:" m;
+  check_int "1-based index" 20 (top_int m)
+
+let test_at_on_string () =
+  let _, m = machine ~stack:[ `String "abc"; `Int 3 ] [ Opcode.Common_special Opcode.Sel_at ] in
+  expect_continue "at: on bytes" m;
+  check_int "byte value" (Char.code 'c') (top_int m)
+
+let test_at_out_of_range_sends () =
+  let _, m = machine ~stack:[ `Array [ 1 ]; `Int 2 ] [ Opcode.Common_special Opcode.Sel_at ] in
+  (match step m with
+  | `Send (EC.Common Opcode.Sel_at, 1) -> ()
+  | _ -> Alcotest.fail "expected at: send");
+  let _, m = machine ~stack:[ `Array [ 1 ]; `Int 0 ] [ Opcode.Common_special Opcode.Sel_at ] in
+  match step m with
+  | `Send (EC.Common Opcode.Sel_at, 1) -> ()
+  | _ -> Alcotest.fail "expected at: send (index 0)"
+
+let test_at_put () =
+  let om, m =
+    machine
+      ~stack:[ `Array [ 1; 2 ]; `Int 1; `Int 99 ]
+      [ Opcode.Common_special Opcode.Sel_at_put ]
+  in
+  expect_continue "at:put:" m;
+  check_int "returns stored" 99 (top_int m);
+  (* the write is visible in the heap *)
+  let frame = CM.frame m in
+  ignore frame;
+  ignore om
+
+let test_size () =
+  let _, m = machine ~stack:[ `Array [ 1; 2; 3 ] ] [ Opcode.Common_special Opcode.Sel_size ] in
+  expect_continue "size" m;
+  check_int "array size" 3 (top_int m);
+  let _, m = machine ~stack:[ `Int 4 ] [ Opcode.Common_special Opcode.Sel_size ] in
+  match step m with
+  | `Send (EC.Common Opcode.Sel_size, 0) -> ()
+  | _ -> Alcotest.fail "expected size send"
+
+let test_identity () =
+  let om, m = machine ~stack:[ `Int 5; `Int 5 ] [ Opcode.Common_special Opcode.Sel_identical ] in
+  expect_continue "==" m;
+  check_bool "5 == 5" true (Value.equal (top m) (Object_memory.true_obj om));
+  let om, m = machine ~stack:[ `Nil; `False ] [ Opcode.Common_special Opcode.Sel_not_identical ] in
+  expect_continue "~~" m;
+  check_bool "nil ~~ false" true (Value.equal (top m) (Object_memory.true_obj om))
+
+let test_class_special () =
+  let om, m = machine ~stack:[ `Int 5 ] [ Opcode.Common_special Opcode.Sel_class ] in
+  expect_continue "class" m;
+  check_int "SmallInteger class object" Class_table.small_integer_id
+    (Object_memory.class_id_described_by om (top m))
+
+let test_is_nil () =
+  let om, m = machine ~stack:[ `Nil ] [ Opcode.Common_special Opcode.Sel_is_nil ] in
+  expect_continue "isNil" m;
+  check_bool "nil isNil" true (Value.equal (top m) (Object_memory.true_obj om));
+  let om, m = machine ~stack:[ `Int 0 ] [ Opcode.Common_special Opcode.Sel_not_nil ] in
+  expect_continue "notNil" m;
+  check_bool "0 notNil" true (Value.equal (top m) (Object_memory.true_obj om))
+
+let test_as_character_char_value () =
+  let _, m = machine ~stack:[ `Int 65 ] [ Opcode.Common_special Opcode.Sel_as_character; Opcode.Common_special Opcode.Sel_char_value ] in
+  expect_continue "asCharacter" m;
+  expect_continue "charValue" m;
+  check_int "roundtrip" 65 (top_int m)
+
+let test_sends () =
+  let _, m =
+    machine ~literals:[ `Int 1; `Int 2 ] ~stack:[ `Int 0; `Int 1 ]
+      [ Opcode.Send { selector = 1; num_args = 1 } ]
+  in
+  match step m with
+  | `Send (EC.Literal 1, 1) -> ()
+  | _ -> Alcotest.fail "expected literal send"
+
+let test_push_this_context_unsupported () =
+  let _, m = machine ~stack:[] [ Opcode.Push_this_context ] in
+  check_bool "unsupported" true
+    (match step m with
+    | _ -> false
+    | exception Interpreter.Machine_intf.Unsupported_feature _ -> true)
+
+let test_run_sequence () =
+  (* a little program: 1 + 2 * 3, then return *)
+  let _, m =
+    machine
+      [
+        Opcode.Push_one;
+        Opcode.Push_two;
+        add;
+        Opcode.Push_integer_byte 3;
+        Opcode.Arith_special Opcode.Sel_mul;
+        Opcode.Return_top;
+      ]
+  in
+  match CM.Interpreter.run m with
+  | Ok (CM.Interpreter.Exit_return v) ->
+      check_int "(1+2)*3" 9 (Value.small_int_value v)
+  | _ -> Alcotest.fail "expected return"
+
+let test_run_to_exit_native () =
+  (* run_to_exit drives native methods through the primitive table *)
+  let om = Object_memory.create () in
+  let meth =
+    Method_builder.build (Object_memory.heap om) ~args:1 ~native:1
+      [ Opcode.Push_nil; Opcode.Return_top ]
+  in
+  let frame =
+    Interpreter.Frame.create
+      ~receiver:(Object_memory.nil om)
+      ~meth
+      ~temps:[| Value.of_small_int 0 |]
+      ~stack:[ Value.of_small_int 2; Value.of_small_int 3 ]
+  in
+  let m = CM.create ~om ~frame in
+  check_bool "primAdd succeeds" true (CM.run_to_exit m = EC.Success);
+  check_int "result" 5 (top_int m)
+
+let qcheck_add_matches_ocaml =
+  QCheck.Test.make ~name:"qcheck: inlined + agrees with OCaml addition"
+    ~count:300
+    QCheck.(pair (int_range (-100000) 100000) (int_range (-100000) 100000))
+    (fun (a, b) ->
+      let _, m = machine ~stack:[ `Int a; `Int b ] [ add ] in
+      step m = `Continue && top_int m = a + b)
+
+let qcheck_compare_matches_ocaml =
+  QCheck.Test.make ~name:"qcheck: inlined < agrees with OCaml compare"
+    ~count:300
+    QCheck.(pair (int_range (-1000) 1000) (int_range (-1000) 1000))
+    (fun (a, b) ->
+      let om, m =
+        machine ~stack:[ `Int a; `Int b ] [ Opcode.Arith_special Opcode.Sel_lt ]
+      in
+      step m = `Continue
+      && Value.equal (top m) (Object_memory.bool_object om (a < b)))
+
+let suite =
+  [
+    Alcotest.test_case "push constants" `Quick test_push_constants;
+    Alcotest.test_case "push booleans and nil" `Quick test_push_booleans_nil;
+    Alcotest.test_case "push receiver and temps" `Quick test_push_receiver_and_temps;
+    Alcotest.test_case "push literal" `Quick test_push_literal;
+    Alcotest.test_case "push literal out of range" `Quick test_push_literal_out_of_range;
+    Alcotest.test_case "push receiver variable" `Quick test_push_receiver_variable;
+    Alcotest.test_case "receiver variable out of bounds" `Quick
+      test_push_receiver_variable_out_of_bounds;
+    Alcotest.test_case "dup/pop/swap" `Quick test_dup_pop_swap;
+    Alcotest.test_case "underflow is invalid frame" `Quick test_underflow_is_invalid_frame;
+    Alcotest.test_case "store and pop temp" `Quick test_store_and_pop_temp;
+    Alcotest.test_case "store receiver variable" `Quick
+      test_store_and_pop_receiver_variable;
+    Alcotest.test_case "returns" `Quick test_returns;
+    Alcotest.test_case "unconditional jump" `Quick test_unconditional_jump;
+    Alcotest.test_case "conditional jumps" `Quick test_conditional_jumps;
+    Alcotest.test_case "mustBeBoolean" `Quick test_must_be_boolean;
+    Alcotest.test_case "add integer fast path" `Quick test_add_int_fast_path;
+    Alcotest.test_case "add overflow sends" `Quick test_add_overflow_sends;
+    Alcotest.test_case "add type mismatch sends" `Quick test_add_type_mismatch_sends;
+    Alcotest.test_case "add float fast path" `Quick test_add_float_fast_path;
+    Alcotest.test_case "float divide by zero sends" `Quick
+      test_float_divide_by_zero_sends;
+    Alcotest.test_case "int / never fast" `Quick test_int_divide_never_fast;
+    Alcotest.test_case "floor division" `Quick test_floor_division_semantics;
+    Alcotest.test_case "division by zero sends" `Quick test_division_by_zero_sends;
+    Alcotest.test_case "comparisons push booleans" `Quick test_comparisons_push_booleans;
+    Alcotest.test_case "bitwise negative falls back" `Quick
+      test_bitwise_negative_falls_back;
+    Alcotest.test_case "bitShift semantics" `Quick test_bit_shift;
+    Alcotest.test_case "bitXor always sends" `Quick test_bitxor_always_sends;
+    Alcotest.test_case "at: on arrays" `Quick test_at_on_array;
+    Alcotest.test_case "at: on strings" `Quick test_at_on_string;
+    Alcotest.test_case "at: out of range sends" `Quick test_at_out_of_range_sends;
+    Alcotest.test_case "at:put:" `Quick test_at_put;
+    Alcotest.test_case "size" `Quick test_size;
+    Alcotest.test_case "identity specials" `Quick test_identity;
+    Alcotest.test_case "class special" `Quick test_class_special;
+    Alcotest.test_case "isNil/notNil" `Quick test_is_nil;
+    Alcotest.test_case "asCharacter/charValue" `Quick test_as_character_char_value;
+    Alcotest.test_case "literal sends" `Quick test_sends;
+    Alcotest.test_case "pushThisContext unsupported" `Quick
+      test_push_this_context_unsupported;
+    Alcotest.test_case "run sequence" `Quick test_run_sequence;
+    Alcotest.test_case "run_to_exit native" `Quick test_run_to_exit_native;
+    QCheck_alcotest.to_alcotest qcheck_add_matches_ocaml;
+    QCheck_alcotest.to_alcotest qcheck_compare_matches_ocaml;
+  ]

@@ -1,0 +1,342 @@
+(* JIT compiler tests: front-end behaviour, code generation for both
+   ISAs, the linear-scan allocator, and compiled-vs-interpreted agreement
+   on concrete inputs (a miniature differential check in the pristine
+   configuration). *)
+
+open Vm_objects
+module MC = Machine.Machine_code
+module Op = Bytecodes.Opcode
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let defects = Interpreter.Defects.paper
+let pristine = Interpreter.Defects.pristine
+let literals = Array.init 16 (fun i -> Jit.Ir.tagged_int (101 + i))
+
+let compile ?(defects = defects) ?(compiler = Jit.Cogits.Stack_to_register_cogit)
+    ?(stack = []) ?(arch = Jit.Codegen.X86) op =
+  Jit.Cogits.compile_bytecode_to_machine compiler ~defects ~literals
+    ~stack_setup:(List.map Jit.Ir.tagged_int stack)
+    ~arch op
+
+let exec ?(receiver = 0) ?(temps = []) program =
+  let om = Object_memory.create () in
+  let cpu = Machine.Cpu.create ~accessor_gaps:false om in
+  Machine.Cpu.set_reg cpu MC.r_receiver (Value.of_small_int receiver :> int);
+  List.iteri (fun i v -> Machine.Cpu.set_temp cpu i (Value.of_small_int v :> int)) temps;
+  (om, cpu, Machine.Cpu.run cpu program)
+
+let stack_ints cpu =
+  List.map
+    (fun w -> Value.small_int_value (Obj.magic (w : int) : Value.t))
+    (Machine.Cpu.stack_words cpu)
+
+(* --- inlined arithmetic --- *)
+
+let test_s2r_add_inlined () =
+  let p = compile ~stack:[ 3; 4 ] (Op.Arith_special Op.Sel_add) in
+  let _, cpu, st = exec p in
+  check_bool "stopped at success marker" true (st = Machine.Cpu.Stopped 0);
+  check_int "result on machine stack" 1 (List.length (Machine.Cpu.stack_words cpu));
+  check_int "3+4" 7 (List.hd (stack_ints cpu))
+
+let test_s2r_add_overflow_sends () =
+  let p =
+    compile
+      ~stack:[ Value.max_small_int; 1 ]
+      (Op.Arith_special Op.Sel_add)
+  in
+  let _, cpu, st = exec p in
+  (match st with
+  | Machine.Cpu.Called_trampoline i ->
+      check_bool "+ selector" true
+        (i.MC.selector = Interpreter.Exit_condition.Special Op.Sel_add)
+  | _ -> Alcotest.fail "expected trampoline");
+  (* the operands were flushed back for the send *)
+  check_int "operands on stack" 2 (List.length (Machine.Cpu.stack_words cpu))
+
+let test_simple_add_always_sends () =
+  let p =
+    compile ~compiler:Jit.Cogits.Simple_stack_cogit ~stack:[ 3; 4 ]
+      (Op.Arith_special Op.Sel_add)
+  in
+  let _, _, st = exec p in
+  match st with
+  | Machine.Cpu.Called_trampoline _ -> ()
+  | _ -> Alcotest.fail "Simple must send arithmetic"
+
+let test_regalloc_same_behaviour_as_s2r () =
+  (* the allocator is semantics-preserving *)
+  List.iter
+    (fun (op, stack) ->
+      let p1 = compile ~compiler:Jit.Cogits.Stack_to_register_cogit ~stack op in
+      let p2 = compile ~compiler:Jit.Cogits.Register_allocating_cogit ~stack op in
+      let _, cpu1, st1 = exec p1 in
+      let _, cpu2, st2 = exec p2 in
+      check_bool (Op.mnemonic op ^ " same status") true
+        (match (st1, st2) with
+        | Machine.Cpu.Stopped a, Machine.Cpu.Stopped b -> a = b
+        | Machine.Cpu.Called_trampoline a, Machine.Cpu.Called_trampoline b ->
+            MC.equal_send_info a b
+        | a, b -> a = b);
+      check_bool (Op.mnemonic op ^ " same stack") true
+        (Machine.Cpu.stack_words cpu1 = Machine.Cpu.stack_words cpu2))
+    [
+      (Op.Arith_special Op.Sel_add, [ 3; 4 ]);
+      (Op.Arith_special Op.Sel_mul, [ 5; 6 ]);
+      (Op.Arith_special Op.Sel_lt, [ 1; 2 ]);
+      (Op.Arith_special Op.Sel_bit_and, [ 12; 10 ]);
+      (Op.Dup, [ 9 ]);
+      (Op.Swap, [ 1; 2 ]);
+      (Op.Common_special Op.Sel_identical, [ 4; 4 ]);
+      (Op.Push_one, []);
+    ]
+
+let test_both_arches_same_behaviour () =
+  List.iter
+    (fun (op, stack) ->
+      let px = compile ~arch:Jit.Codegen.X86 ~stack op in
+      let pa = compile ~arch:Jit.Codegen.Arm32 ~stack op in
+      let _, cpu1, st1 = exec px in
+      let _, cpu2, st2 = exec pa in
+      check_bool (Op.mnemonic op ^ " cross-ISA status") true
+        (match (st1, st2) with
+        | Machine.Cpu.Stopped a, Machine.Cpu.Stopped b -> a = b
+        | Machine.Cpu.Called_trampoline a, Machine.Cpu.Called_trampoline b ->
+            MC.equal_send_info a b
+        | a, b -> a = b);
+      check_bool (Op.mnemonic op ^ " cross-ISA stack") true
+        (Machine.Cpu.stack_words cpu1 = Machine.Cpu.stack_words cpu2))
+    [
+      (Op.Arith_special Op.Sel_add, [ 3; 4 ]);
+      (Op.Arith_special Op.Sel_sub, [ 10; 4 ]);
+      (Op.Arith_special Op.Sel_int_div, [ -7; 2 ]);
+      (Op.Arith_special Op.Sel_ge, [ 4; 4 ]);
+      (Op.Arith_special Op.Sel_bit_shift, [ 3; 4 ]);
+      (Op.Swap, [ 1; 2 ]);
+    ]
+
+(* --- seeded behavioural differences --- *)
+
+let test_bitand_seed () =
+  (* paper config: inlined bitAnd accepts negatives *)
+  let p = compile ~stack:[ -2; 5 ] (Op.Arith_special Op.Sel_bit_and) in
+  let _, _, st = exec p in
+  check_bool "seeded: succeeds on negative" true (st = Machine.Cpu.Stopped 0);
+  (* pristine config: falls back to the send like the interpreter *)
+  let p = compile ~defects:pristine ~stack:[ -2; 5 ] (Op.Arith_special Op.Sel_bit_and) in
+  let _, _, st = exec p in
+  check_bool "pristine: sends on negative" true
+    (match st with Machine.Cpu.Called_trampoline _ -> true | _ -> false)
+
+let test_bitshift_negative_seed () =
+  let p = compile ~stack:[ 16; -2 ] (Op.Arith_special Op.Sel_bit_shift) in
+  let _, cpu, st = exec p in
+  check_bool "seeded: right shift succeeds" true (st = Machine.Cpu.Stopped 0);
+  check_int "16 >> 2" 4 (List.hd (stack_ints cpu))
+
+let test_bitxor_inlining_seed () =
+  let p = compile ~stack:[ 6; 5 ] (Op.Common_special Op.Sel_bit_xor) in
+  let _, cpu, st = exec p in
+  check_bool "seeded: bitXor inlined in s2r" true (st = Machine.Cpu.Stopped 0);
+  check_int "6 xor 5" 3 (List.hd (stack_ints cpu));
+  let p =
+    compile ~compiler:Jit.Cogits.Simple_stack_cogit ~stack:[ 6; 5 ]
+      (Op.Common_special Op.Sel_bit_xor)
+  in
+  let _, _, st = exec p in
+  check_bool "simple never inlines bitXor" true
+    (match st with Machine.Cpu.Called_trampoline _ -> true | _ -> false)
+
+(* --- stack handling styles --- *)
+
+let test_simple_uses_machine_stack () =
+  let p =
+    compile ~compiler:Jit.Cogits.Simple_stack_cogit ~stack:[ 7 ] Op.Dup
+  in
+  (* Simple must emit real pushes: look for push instructions *)
+  let pushes =
+    Array.to_list p
+    |> List.filter (function MC.X_push _ | MC.A_push _ -> true | _ -> false)
+  in
+  check_bool "simple pushes eagerly" true (List.length pushes >= 2)
+
+let test_s2r_avoids_stack_traffic () =
+  (* a push/pop pair should compile to no machine-stack operations until
+     the final flush *)
+  let p = compile ~stack:[ 7 ] Op.Dup in
+  let pushes =
+    Array.to_list p
+    |> List.filter (function MC.X_push _ | MC.A_push _ -> true | _ -> false)
+  in
+  (* only the final flush writes the two results *)
+  check_int "flush-only pushes" 2 (List.length pushes)
+
+(* --- conditional jumps --- *)
+
+let test_compiled_conditional_jump () =
+  let run_with word =
+    let om = Object_memory.create () in
+    let p =
+      Jit.Cogits.compile_bytecode_to_machine Jit.Cogits.Stack_to_register_cogit
+        ~defects ~literals
+        ~stack_setup:[ word om ]
+        ~arch:Jit.Codegen.X86 (Op.Jump_false 3)
+    in
+    let cpu = Machine.Cpu.create ~accessor_gaps:false om in
+    Machine.Cpu.run cpu p
+  in
+  check_bool "false takes the jump" true
+    (run_with (fun om -> (Object_memory.false_obj om :> int)) = Machine.Cpu.Stopped 1);
+  check_bool "true falls through" true
+    (run_with (fun om -> (Object_memory.true_obj om :> int)) = Machine.Cpu.Stopped 0);
+  check_bool "non-boolean sends mustBeBoolean" true
+    (match run_with (fun _ -> Jit.Ir.tagged_int 3) with
+    | Machine.Cpu.Called_trampoline i ->
+        i.MC.selector = Interpreter.Exit_condition.Must_be_boolean
+    | _ -> false)
+
+(* --- native templates --- *)
+
+let run_native ?(defects = defects) ?(arch = Jit.Codegen.X86) id ~receiver ~args =
+  let om = Object_memory.create () in
+  let p = Jit.Cogits.compile_native_to_machine ~defects ~arch id in
+  let cpu = Machine.Cpu.create ~accessor_gaps:false om in
+  Machine.Cpu.set_reg cpu MC.r_receiver (receiver om);
+  List.iteri (fun i a -> Machine.Cpu.set_reg cpu (MC.r_arg0 + i) (a om)) args;
+  (om, Machine.Cpu.run cpu p)
+
+let smi i _om = (Value.of_small_int i :> int)
+let flt f om = (Object_memory.float_object_of om f :> int)
+
+let test_native_add_template () =
+  let _, st = run_native 1 ~receiver:(smi 3) ~args:[ smi 4 ] in
+  check_bool "returns 7" true (st = Machine.Cpu.Returned (Value.of_small_int 7 :> int));
+  let _, st = run_native 1 ~receiver:(smi 3) ~args:[ flt 1.0 ] in
+  check_bool "falls through to breakpoint on bad arg" true
+    (st = Machine.Cpu.Stopped 0);
+  let _, st =
+    run_native 1 ~receiver:(smi Value.max_small_int) ~args:[ smi 1 ]
+  in
+  check_bool "overflow fails" true (st = Machine.Cpu.Stopped 0)
+
+let test_native_float_template_seed () =
+  (* paper config: receiver unchecked → segfault on a small int receiver *)
+  let _, st = run_native 41 ~receiver:(smi 1) ~args:[ flt 1.0 ] in
+  check_bool "seeded: segfault" true (st = Machine.Cpu.Segfault);
+  (* pristine: clean failure *)
+  let _, st = run_native ~defects:pristine 41 ~receiver:(smi 1) ~args:[ flt 1.0 ] in
+  check_bool "pristine: clean failure" true (st = Machine.Cpu.Stopped 0);
+  (* correct case works in both *)
+  let om, st = run_native 41 ~receiver:(flt 1.5) ~args:[ flt 2.0 ] in
+  match st with
+  | Machine.Cpu.Returned w ->
+      Alcotest.(check (float 0.0)) "sum" 3.5
+        (Object_memory.float_value_of om (Value.of_pointer w))
+  | _ -> Alcotest.fail "expected return"
+
+let test_native_as_float_template_is_correct () =
+  (* the compiled asFloat checks its receiver (the interpreter is the
+     buggy side) *)
+  let _, st = run_native 40 ~receiver:(fun om -> (Object_memory.nil om :> int)) ~args:[] in
+  check_bool "fails on non-integer" true (st = Machine.Cpu.Stopped 0)
+
+let test_missing_templates () =
+  check_bool "FFI template missing in paper config" true
+    (match Jit.Cogits.compile_native ~defects 100 with
+    | _ -> false
+    | exception Jit.Cogits.Not_compiled _ -> true);
+  check_bool "FFI template present in pristine config" true
+    (match Jit.Cogits.compile_native ~defects:pristine 100 with
+    | _ -> true
+    | exception Jit.Cogits.Not_compiled _ -> false);
+  check_int "52 templates in paper config"
+    (List.length Jit.Native_templates.implemented_in_paper_config)
+    (List.length
+       (List.filter
+          (fun id -> Jit.Native_templates.is_implemented ~defects id)
+          Interpreter.Primitive_table.ids))
+
+let test_ffi_template_pristine () =
+  let om = Object_memory.create () in
+  let buf =
+    Object_memory.instantiate_class om
+      ~class_id:Class_table.external_address_id ~indexable_size:2
+  in
+  Object_memory.store_byte om buf 0 0x34;
+  Object_memory.store_byte om buf 1 0x12;
+  let p = Jit.Cogits.compile_native_to_machine ~defects:pristine ~arch:Jit.Codegen.X86 103 in
+  let cpu = Machine.Cpu.create ~accessor_gaps:false om in
+  Machine.Cpu.set_reg cpu MC.r_receiver (buf :> int);
+  Machine.Cpu.set_reg cpu MC.r_arg0 (Value.of_small_int 0 :> int);
+  check_bool "loadUint16 template" true
+    (Machine.Cpu.run cpu p = Machine.Cpu.Returned (Value.of_small_int 0x1234 :> int))
+
+(* --- linear scan --- *)
+
+let test_linear_scan_reduces_registers () =
+  let ir = Jit.Native_templates.compile ~defects:pristine 106 (* loadInt64 *) in
+  let allocated = Jit.Linear_scan.rewrite ir in
+  let max_vreg irs =
+    List.fold_left
+      (fun acc i ->
+        let d, u = Jit.Ir.def_use i in
+        List.fold_left max acc (List.filter (fun v -> v < 100) (d @ u)))
+      (-1) irs
+  in
+  check_bool "original uses many vregs" true (max_vreg ir > 3);
+  check_bool "allocated uses few + staging" true (max_vreg allocated <= 15);
+  (* all non-staging registers are within the 4 allocatable ones *)
+  let ok =
+    List.for_all
+      (fun i ->
+        let d, u = Jit.Ir.def_use i in
+        List.for_all
+          (fun v -> v >= 100 || v <= 3 || v >= 13)
+          (d @ u))
+      allocated
+  in
+  check_bool "register discipline" true ok
+
+let qcheck_s2r_add_matches_interpreter =
+  QCheck.Test.make ~name:"qcheck: compiled + agrees with interpreter" ~count:200
+    QCheck.(pair (int_range (-100000) 100000) (int_range (-100000) 100000))
+    (fun (a, b) ->
+      let p = compile ~stack:[ a; b ] (Op.Arith_special Op.Sel_add) in
+      let _, cpu, st = exec p in
+      st = Machine.Cpu.Stopped 0 && List.hd (stack_ints cpu) = a + b)
+
+let qcheck_native_mul_template =
+  QCheck.Test.make ~name:"qcheck: primMultiply template" ~count:200
+    QCheck.(pair (int_range (-30000) 30000) (int_range (-30000) 30000))
+    (fun (a, b) ->
+      let _, st = run_native 9 ~receiver:(smi a) ~args:[ smi b ] in
+      st = Machine.Cpu.Returned (Value.of_small_int (a * b) :> int))
+
+let suite =
+  [
+    Alcotest.test_case "s2r inlines add" `Quick test_s2r_add_inlined;
+    Alcotest.test_case "s2r add overflow sends" `Quick test_s2r_add_overflow_sends;
+    Alcotest.test_case "simple always sends arith" `Quick test_simple_add_always_sends;
+    Alcotest.test_case "regalloc preserves semantics" `Quick
+      test_regalloc_same_behaviour_as_s2r;
+    Alcotest.test_case "cross-ISA agreement" `Quick test_both_arches_same_behaviour;
+    Alcotest.test_case "bitAnd seed" `Quick test_bitand_seed;
+    Alcotest.test_case "bitShift negative seed" `Quick test_bitshift_negative_seed;
+    Alcotest.test_case "bitXor inlining seed" `Quick test_bitxor_inlining_seed;
+    Alcotest.test_case "simple uses machine stack" `Quick test_simple_uses_machine_stack;
+    Alcotest.test_case "s2r avoids stack traffic" `Quick test_s2r_avoids_stack_traffic;
+    Alcotest.test_case "compiled conditional jump" `Quick test_compiled_conditional_jump;
+    Alcotest.test_case "native add template" `Quick test_native_add_template;
+    Alcotest.test_case "native float template seed" `Quick
+      test_native_float_template_seed;
+    Alcotest.test_case "compiled asFloat is correct" `Quick
+      test_native_as_float_template_is_correct;
+    Alcotest.test_case "missing templates" `Quick test_missing_templates;
+    Alcotest.test_case "FFI template (pristine)" `Quick test_ffi_template_pristine;
+    Alcotest.test_case "linear scan register discipline" `Quick
+      test_linear_scan_reduces_registers;
+    QCheck_alcotest.to_alcotest qcheck_s2r_add_matches_interpreter;
+    QCheck_alcotest.to_alcotest qcheck_native_mul_template;
+  ]

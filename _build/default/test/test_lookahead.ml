@@ -1,0 +1,135 @@
+(* Byte-code look-aheads (§4.3), implemented: comparisons followed by a
+   conditional jump fuse on both engines, skipping the boolean
+   materialisation.  Fusion must be semantics-preserving: fused and
+   unfused engines agree path by path. *)
+
+module Op = Bytecodes.Opcode
+module EC = Interpreter.Exit_condition
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let paper = Interpreter.Defects.paper
+let pristine = Interpreter.Defects.pristine
+let seq ops = Concolic.Path.Bytecode_seq ops
+
+let cmp_branch = [ Op.Arith_special Op.Sel_lt; Op.Jump_false 1; Op.Push_one ]
+
+let test_lookahead_removes_boolean () =
+  let fused = Concolic.Explorer.explore ~lookahead:true (seq cmp_branch) in
+  let unfused = Concolic.Explorer.explore ~lookahead:false (seq cmp_branch) in
+  (* fused paths never materialise the boolean: no Bool_object_of in any
+     output *)
+  let mentions_bool (p : Concolic.Path.t) =
+    List.exists
+      (fun e ->
+        match (e : Symbolic.Sym_expr.t) with
+        | Bool_object_of _ -> true
+        | _ -> false)
+      p.output.stack
+  in
+  check_bool "unfused pushes booleans somewhere" true
+    (List.exists mentions_bool unfused.paths
+    || List.length unfused.paths > 0);
+  check_bool "fused never pushes the comparison boolean" false
+    (List.exists mentions_bool fused.paths);
+  (* both explorations cover the taken and not-taken outcomes; the two
+     arms are distinguished by their final stacks (the jump skips the
+     pushOne) *)
+  let success_stacks r =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun (p : Concolic.Path.t) ->
+           if p.exit_ = EC.Success then
+             Some (List.length p.output.stack)
+           else None)
+         r.Concolic.Explorer.paths)
+  in
+  check_bool "fused covers both branch outcomes" true
+    (success_stacks fused = [ 0; 1 ]);
+  check_bool "same outcomes as unfused" true
+    (success_stacks fused = success_stacks unfused)
+
+let test_fused_paths_pass_differentially () =
+  (* paths explored WITH interpreter fusion still validate against the
+     unfused compiled code: the fusion is unobservable *)
+  let r = Concolic.Explorer.explore ~defects:pristine ~lookahead:true (seq cmp_branch) in
+  List.iter
+    (fun path ->
+      List.iter
+        (fun arch ->
+          match
+            Difftest.Runner.run_path ~defects:pristine
+              ~compiler:Jit.Cogits.Stack_to_register_cogit ~arch path
+          with
+          | Difftest.Runner.Diff d ->
+              Alcotest.failf "unexpected diff: %s" (Difftest.Difference.to_string d)
+          | _ -> ())
+        Jit.Codegen.all_arches)
+    r.paths
+
+let exec_fused ~lookahead stack_setup =
+  let p =
+    Jit.Cogits.compile_sequence_to_machine ~lookahead
+      Jit.Cogits.Stack_to_register_cogit ~defects:paper
+      ~literals:(Array.init 16 (fun i -> Jit.Ir.tagged_int (101 + i)))
+      ~stack_setup ~arch:Jit.Codegen.X86 cmp_branch
+  in
+  let om = Vm_objects.Object_memory.create () in
+  let cpu = Machine.Cpu.create ~accessor_gaps:false om in
+  let st = Machine.Cpu.run cpu p in
+  (st, Machine.Cpu.stack_words cpu)
+
+let test_fused_compilation_agrees () =
+  (* 3 < 5 is true: jumpFalse falls through, pushOne runs *)
+  List.iter
+    (fun (a, b) ->
+      let fused = exec_fused ~lookahead:true [ Jit.Ir.tagged_int a; Jit.Ir.tagged_int b ] in
+      let unfused = exec_fused ~lookahead:false [ Jit.Ir.tagged_int a; Jit.Ir.tagged_int b ] in
+      check_bool (Printf.sprintf "%d<%d same status" a b) true
+        (fst fused = fst unfused);
+      check_bool (Printf.sprintf "%d<%d same stack" a b) true
+        (snd fused = snd unfused))
+    [ (3, 5); (5, 3); (4, 4) ]
+
+let test_fused_code_is_shorter () =
+  let size ~lookahead =
+    Array.length
+      (Jit.Cogits.compile_sequence_to_machine ~lookahead
+         Jit.Cogits.Stack_to_register_cogit ~defects:paper
+         ~literals:(Array.init 16 (fun i -> Jit.Ir.tagged_int (101 + i)))
+         ~stack_setup:[] ~arch:Jit.Codegen.X86 cmp_branch)
+  in
+  check_bool "fusion shrinks the code" true (size ~lookahead:true < size ~lookahead:false)
+
+let test_lookahead_fewer_or_equal_paths () =
+  let fused = Concolic.Explorer.explore ~lookahead:true (seq cmp_branch) in
+  let unfused = Concolic.Explorer.explore ~lookahead:false (seq cmp_branch) in
+  check_bool "fusion does not add paths" true
+    (List.length fused.paths <= List.length unfused.paths)
+
+let test_single_instruction_unaffected () =
+  (* look-ahead only applies when a branch FOLLOWS: a lone compare keeps
+     its boolean-pushing semantics *)
+  let r =
+    Concolic.Explorer.explore ~lookahead:true
+      (Concolic.Path.Bytecode (Op.Arith_special Op.Sel_lt))
+  in
+  let success =
+    List.find (fun (p : Concolic.Path.t) -> p.exit_ = EC.Success) r.paths
+  in
+  match success.output.stack with
+  | [ Symbolic.Sym_expr.Bool_object_of _ ] -> ()
+  | _ -> Alcotest.fail "lone compare must push its boolean"
+
+let suite =
+  [
+    Alcotest.test_case "fusion removes the boolean" `Quick test_lookahead_removes_boolean;
+    Alcotest.test_case "fused paths pass differentially" `Quick
+      test_fused_paths_pass_differentially;
+    Alcotest.test_case "fused compilation agrees" `Quick test_fused_compilation_agrees;
+    Alcotest.test_case "fused code is shorter" `Quick test_fused_code_is_shorter;
+    Alcotest.test_case "fewer or equal paths" `Quick test_lookahead_fewer_or_equal_paths;
+    Alcotest.test_case "single instruction unaffected" `Quick
+      test_single_instruction_unaffected;
+  ]

@@ -1,0 +1,329 @@
+(* CPU simulator tests: both ISA styles, flags, traps, and the seeded
+   reflective-accessor gaps. *)
+
+open Vm_objects
+module MC = Machine.Machine_code
+module Cpu = Machine.Cpu
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let fresh_cpu ?(accessor_gaps = false) () =
+  let om = Object_memory.create () in
+  (om, Cpu.create ~accessor_gaps om)
+
+let run cpu instrs = Cpu.run cpu (MC.assemble instrs)
+
+let t0 = MC.r_temp_base
+let t1 = MC.r_temp_base + 1
+
+(* --- x86 style --- *)
+
+let test_x86_mov_alu () =
+  let _, cpu = fresh_cpu () in
+  let st =
+    run cpu
+      [
+        MC.X_mov_ri (t0, 30);
+        MC.X_alu (MC.Add, t0, MC.I 12);
+        MC.X_mov_rr (MC.r_result, t0);
+        MC.Ret;
+      ]
+  in
+  check_bool "returned" true (st = Cpu.Returned 42)
+
+let test_x86_flags_and_jcc () =
+  let _, cpu = fresh_cpu () in
+  let st =
+    run cpu
+      [
+        MC.X_mov_ri (t0, 5);
+        MC.X_cmp (t0, MC.I 5);
+        MC.X_jcc (MC.Eq, "equal");
+        MC.Brk 99;
+        MC.Label "equal";
+        MC.Brk 1;
+      ]
+  in
+  check_bool "took the equal branch" true (st = Cpu.Stopped 1)
+
+let test_x86_overflow_flag () =
+  let _, cpu = fresh_cpu () in
+  let st =
+    run cpu
+      [
+        MC.X_mov_ri (t0, Value.max_small_int);
+        MC.X_alu (MC.Add, t0, MC.I 1);
+        MC.X_jcc (MC.Vs, "overflow");
+        MC.Brk 0;
+        MC.Label "overflow";
+        MC.Brk 1;
+      ]
+  in
+  check_bool "overflow detected" true (st = Cpu.Stopped 1)
+
+let test_x86_tag_test () =
+  let _, cpu = fresh_cpu () in
+  let st =
+    run cpu
+      [
+        MC.X_mov_ri (t0, (Value.of_small_int 3 :> int));
+        MC.X_test_tag t0;
+        MC.X_jcc (MC.Ne, "notsmi");
+        MC.Brk 1;
+        MC.Label "notsmi";
+        MC.Brk 0;
+      ]
+  in
+  check_bool "tagged int detected" true (st = Cpu.Stopped 1)
+
+let test_x86_stack_ops () =
+  let _, cpu = fresh_cpu () in
+  let st =
+    run cpu
+      [
+        MC.X_push (MC.I 10);
+        MC.X_push (MC.I 20);
+        MC.X_pop t0;
+        MC.X_pop t1;
+        MC.X_mov_rr (MC.r_result, t0);
+        MC.Ret;
+      ]
+  in
+  check_bool "LIFO order" true (st = Cpu.Returned 20);
+  let _, cpu = fresh_cpu () in
+  check_bool "pop empty stack faults" true (run cpu [ MC.X_pop t0 ] = Cpu.Segfault)
+
+(* --- ARM style --- *)
+
+let test_arm_alu_three_address () =
+  let _, cpu = fresh_cpu () in
+  let st =
+    run cpu
+      [
+        MC.A_mov_i (t0, 6);
+        MC.A_mov_i (t1, 7);
+        MC.A_alu (MC.Mul, MC.r_result, t0, MC.R t1);
+        MC.Ret;
+      ]
+  in
+  check_bool "6*7" true (st = Cpu.Returned 42);
+  (* sources preserved (three-address) *)
+  check_int "rn preserved" 6 (Cpu.reg cpu t0)
+
+let test_arm_conditional_branch () =
+  let _, cpu = fresh_cpu () in
+  let st =
+    run cpu
+      [
+        MC.A_mov_i (t0, 3);
+        MC.A_cmp (t0, MC.I 10);
+        MC.A_b (Some MC.Lt, "less");
+        MC.Brk 0;
+        MC.Label "less";
+        MC.Brk 1;
+      ]
+  in
+  check_bool "conditional branch" true (st = Cpu.Stopped 1)
+
+let test_arm_rsb () =
+  let _, cpu = fresh_cpu () in
+  let st =
+    run cpu
+      [ MC.A_mov_i (t0, 5); MC.A_rsb (MC.r_result, t0, 0); MC.Ret ]
+  in
+  check_bool "rsb negates" true (st = Cpu.Returned (-5))
+
+(* --- shared object-representation ops --- *)
+
+let test_heap_ops () =
+  let om, cpu = fresh_cpu () in
+  let a =
+    Object_memory.allocate_array om
+      [| Value.of_small_int 11; Value.of_small_int 22 |]
+  in
+  Cpu.set_reg cpu t0 (a :> int);
+  let st =
+    run cpu
+      [ MC.Load_slot (MC.r_result, t0, MC.I 1); MC.Ret ]
+  in
+  check_bool "slot load" true (st = Cpu.Returned (Value.of_small_int 22 :> int))
+
+let test_heap_trap_is_segfault () =
+  let om, cpu = fresh_cpu () in
+  let a = Object_memory.allocate_array om [| Value.of_small_int 1 |] in
+  Cpu.set_reg cpu t0 (a :> int);
+  check_bool "OOB load faults" true
+    (run cpu [ MC.Load_slot (MC.r_result, t0, MC.I 5); MC.Ret ] = Cpu.Segfault);
+  let _, cpu = fresh_cpu () in
+  Cpu.set_reg cpu t0 (Value.of_small_int 3 :> int);
+  check_bool "load through immediate faults" true
+    (run cpu [ MC.Load_slot (MC.r_result, t0, MC.I 0); MC.Ret ] = Cpu.Segfault)
+
+let test_accessor_gaps () =
+  (* with gaps seeded, a trap whose destination is scratch2 crashes the
+     simulation instead of faulting cleanly *)
+  let om, cpu = fresh_cpu ~accessor_gaps:true () in
+  let a = Object_memory.allocate_array om [| Value.of_small_int 1 |] in
+  Cpu.set_reg cpu t0 (a :> int);
+  check_bool "simulation error raised" true
+    (match run cpu [ MC.Load_slot (MC.r_scratch2, t0, MC.I 9); MC.Ret ] with
+    | _ -> false
+    | exception Machine.Register_accessors.Simulation_error _ -> true);
+  (* without gaps it is a clean segfault *)
+  let om, cpu = fresh_cpu ~accessor_gaps:false () in
+  let a = Object_memory.allocate_array om [| Value.of_small_int 1 |] in
+  Cpu.set_reg cpu t0 (a :> int);
+  check_bool "clean segfault without gaps" true
+    (run cpu [ MC.Load_slot (MC.r_scratch2, t0, MC.I 9); MC.Ret ] = Cpu.Segfault)
+
+let test_unbox_float_semantics () =
+  let om, cpu = fresh_cpu () in
+  let f = Object_memory.float_object_of om 2.5 in
+  Cpu.set_reg cpu t0 (f :> int);
+  let st =
+    run cpu
+      [
+        MC.Unbox_float (0, t0);
+        MC.Falu (MC.FAdd, 0, 0, 0);
+        MC.Box_float (MC.r_result, 0);
+        MC.Ret;
+      ]
+  in
+  (match st with
+  | Cpu.Returned w ->
+      Alcotest.(check (float 0.0)) "doubled" 5.0
+        (Object_memory.float_value_of om (Value.of_pointer w))
+  | _ -> Alcotest.fail "expected return");
+  (* unboxing an immediate dereferences a non-pointer: segfault *)
+  Cpu.set_reg cpu t0 (Value.of_small_int 1 :> int);
+  check_bool "unbox immediate faults" true
+    (run cpu [ MC.Unbox_float (0, t0); MC.Ret ] = Cpu.Segfault)
+
+let test_division_ops () =
+  let _, cpu = fresh_cpu () in
+  let st =
+    run cpu
+      [
+        MC.X_mov_ri (t0, -7);
+        MC.X_alu (MC.Div, t0, MC.I 2);
+        MC.X_mov_rr (MC.r_result, t0);
+        MC.Ret;
+      ]
+  in
+  check_bool "floor division" true (st = Cpu.Returned (-4));
+  let _, cpu = fresh_cpu () in
+  check_bool "div by zero faults" true
+    (run cpu [ MC.X_mov_ri (t0, 7); MC.X_alu (MC.Div, t0, MC.I 0); MC.Ret ]
+    = Cpu.Segfault)
+
+let test_trampoline_and_temps () =
+  let _, cpu = fresh_cpu () in
+  Cpu.set_temp cpu 3 77;
+  let info =
+    { MC.selector = Interpreter.Exit_condition.Literal 2; num_args = 1 }
+  in
+  let st =
+    run cpu [ MC.Load_temp (t0, 3); MC.Call_trampoline info ]
+  in
+  (match st with
+  | Cpu.Called_trampoline i ->
+      check_bool "selector preserved" true (MC.equal_send_info i info)
+  | _ -> Alcotest.fail "expected trampoline");
+  check_int "temp loaded" 77 (Cpu.reg cpu t0);
+  let _, cpu = fresh_cpu () in
+  let st = run cpu [ MC.X_mov_ri (t0, 5); MC.Store_temp (9, t0); MC.Brk 0 ] in
+  check_bool "stopped" true (st = Cpu.Stopped 0);
+  check_int "temp stored" 5 (Cpu.temp cpu 9)
+
+let test_spills () =
+  let _, cpu = fresh_cpu () in
+  let st =
+    run cpu
+      [
+        MC.X_mov_ri (t0, 123);
+        MC.Spill_store (4, t0);
+        MC.X_mov_ri (t0, 0);
+        MC.Spill_load (MC.r_result, 4);
+        MC.Ret;
+      ]
+  in
+  check_bool "spill roundtrip" true (st = Cpu.Returned 123)
+
+let test_alloc_and_format () =
+  let om, cpu = fresh_cpu () in
+  let st =
+    run cpu
+      [
+        MC.Alloc (t0, Class_table.array_id, MC.I 3);
+        MC.Load_indexable_size (MC.r_result, t0);
+        MC.Ret;
+      ]
+  in
+  check_bool "allocated size" true (st = Cpu.Returned 3);
+  ignore om;
+  let om2, cpu = fresh_cpu () in
+  let s = Object_memory.allocate_string om2 "ab" in
+  Cpu.set_reg cpu t0 (s :> int);
+  let st = run cpu [ MC.Load_format (MC.r_result, t0); MC.Ret ] in
+  check_bool "bytes format code" true (st = Cpu.Returned 2)
+
+let test_out_of_fuel () =
+  let _, cpu = fresh_cpu () in
+  check_bool "infinite loop bounded" true
+    (Cpu.run ~fuel:100 cpu
+       (MC.assemble [ MC.Label "l"; MC.X_jmp "l" ])
+    = Cpu.Out_of_fuel)
+
+let test_run_off_end () =
+  let _, cpu = fresh_cpu () in
+  check_bool "running off the code is a fault" true
+    (run cpu [ MC.X_mov_ri (t0, 1) ] = Cpu.Segfault)
+
+let qcheck_alu_matches_semantics =
+  QCheck.Test.make ~name:"qcheck: x86 and ARM ALU agree" ~count:300
+    QCheck.(
+      triple
+        (oneofl [ MC.Add; MC.Sub; MC.Mul; MC.And; MC.Or; MC.Xor ])
+        (int_range (-10000) 10000)
+        (int_range (-10000) 10000))
+    (fun (op, a, b) ->
+      let _, cpu1 = fresh_cpu () in
+      let x86 =
+        run cpu1
+          [
+            MC.X_mov_ri (t0, a);
+            MC.X_alu (op, t0, MC.I b);
+            MC.X_mov_rr (MC.r_result, t0);
+            MC.Ret;
+          ]
+      in
+      let _, cpu2 = fresh_cpu () in
+      let arm =
+        run cpu2
+          [ MC.A_mov_i (t0, a); MC.A_alu (op, MC.r_result, t0, MC.I b); MC.Ret ]
+      in
+      x86 = arm)
+
+let suite =
+  [
+    Alcotest.test_case "x86 mov/alu" `Quick test_x86_mov_alu;
+    Alcotest.test_case "x86 flags and jcc" `Quick test_x86_flags_and_jcc;
+    Alcotest.test_case "x86 overflow flag" `Quick test_x86_overflow_flag;
+    Alcotest.test_case "x86 tag test" `Quick test_x86_tag_test;
+    Alcotest.test_case "x86 stack ops" `Quick test_x86_stack_ops;
+    Alcotest.test_case "ARM three-address ALU" `Quick test_arm_alu_three_address;
+    Alcotest.test_case "ARM conditional branch" `Quick test_arm_conditional_branch;
+    Alcotest.test_case "ARM rsb" `Quick test_arm_rsb;
+    Alcotest.test_case "heap ops" `Quick test_heap_ops;
+    Alcotest.test_case "heap trap is segfault" `Quick test_heap_trap_is_segfault;
+    Alcotest.test_case "accessor gaps (simulation error)" `Quick test_accessor_gaps;
+    Alcotest.test_case "unbox float semantics" `Quick test_unbox_float_semantics;
+    Alcotest.test_case "division ops" `Quick test_division_ops;
+    Alcotest.test_case "trampoline and temps" `Quick test_trampoline_and_temps;
+    Alcotest.test_case "spill slots" `Quick test_spills;
+    Alcotest.test_case "alloc and format" `Quick test_alloc_and_format;
+    Alcotest.test_case "out of fuel" `Quick test_out_of_fuel;
+    Alcotest.test_case "run off end" `Quick test_run_off_end;
+    QCheck_alcotest.to_alcotest qcheck_alu_matches_semantics;
+  ]

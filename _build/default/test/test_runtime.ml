@@ -1,0 +1,210 @@
+(* Send-machinery tests: method lookup along the superclass chain, frame
+   activation, native methods with byte-code fallback, recursion. *)
+
+open Vm_objects
+open Bytecodes.Opcode
+module RT = Interpreter.Runtime
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let fresh () = RT.install_kernel (RT.create (Object_memory.create ()))
+
+let int_of v = Value.small_int_value v
+let smi i = Value.of_small_int i
+
+let test_kernel_arithmetic () =
+  let rt = fresh () in
+  check_int "3 + 4" 7 (int_of (RT.send_message rt (smi 3) "+" [ smi 4 ]));
+  check_int "10 // 3" 3 (int_of (RT.send_message rt (smi 10) "//" [ smi 3 ]));
+  check_int "3 min: 9" 3 (int_of (RT.send_message rt (smi 3) "min:" [ smi 9 ]))
+
+let test_user_method () =
+  let rt = fresh () in
+  (* SmallInteger >> double  ^self + self *)
+  ignore
+    (RT.define rt ~class_id:Class_table.small_integer_id ~selector:"double"
+       [ Push_receiver; Push_receiver; Arith_special Sel_add; Return_top ]);
+  check_int "21 double" 42 (int_of (RT.send_message rt (smi 21) "double" []))
+
+let test_arguments_and_temps () =
+  let rt = fresh () in
+  (* SmallInteger >> plus:andStore: — uses an argument and a temp *)
+  ignore
+    (RT.define rt ~class_id:Class_table.small_integer_id ~selector:"plus:"
+       ~args:1 ~temps:1
+       [
+         Push_receiver;
+         Push_temp 0 (* the argument *);
+         Arith_special Sel_add;
+         Store_and_pop_temp 1;
+         Push_temp 1;
+         Return_top;
+       ]);
+  check_int "5 plus: 8" 13 (int_of (RT.send_message rt (smi 5) "plus:" [ smi 8 ]))
+
+let test_inheritance_lookup () =
+  let rt = fresh () in
+  let om = RT.object_memory rt in
+  let animal =
+    Object_memory.register_class om ~name:"Animal"
+      ~format:(Objformat.Fixed_pointers 0)
+  in
+  let dog =
+    Object_memory.register_class om
+      ~superclass:(Class_desc.class_id animal)
+      ~name:"Dog"
+      ~format:(Objformat.Fixed_pointers 0)
+  in
+  ignore
+    (RT.define rt ~class_id:(Class_desc.class_id animal) ~selector:"legs"
+       [ Push_integer_byte 4; Return_top ]);
+  let a_dog =
+    Object_memory.instantiate_class om
+      ~class_id:(Class_desc.class_id dog) ~indexable_size:0
+  in
+  check_int "inherited method" 4 (int_of (RT.send_message rt a_dog "legs" []));
+  (* overriding in the subclass takes precedence *)
+  ignore
+    (RT.define rt ~class_id:(Class_desc.class_id dog) ~selector:"legs"
+       [ Push_integer_byte 3; Return_top ]);
+  check_int "override wins" 3 (int_of (RT.send_message rt a_dog "legs" []))
+
+let test_does_not_understand () =
+  let rt = fresh () in
+  check_bool "DNU raised" true
+    (match RT.send_message rt (smi 1) "frobnicate" [] with
+    | _ -> false
+    | exception RT.Does_not_understand { selector = "frobnicate"; _ } -> true)
+
+let test_native_with_fallback () =
+  let rt = fresh () in
+  (* a native method whose primitive fails on non-integer receivers,
+     falling through to a byte-code body answering -1 *)
+  ignore
+    (RT.define rt ~class_id:Class_table.object_id ~selector:"negated"
+       ~native:19
+       [ Push_minus_one; Return_top ]);
+  check_int "primitive path" (-5) (int_of (RT.send_message rt (smi 5) "negated" []));
+  let om = RT.object_memory rt in
+  let arr = Object_memory.allocate_array om [||] in
+  check_int "fallback path" (-1) (int_of (RT.send_message rt arr "negated" []))
+
+let test_recursion_factorial () =
+  let rt = fresh () in
+  let om = RT.object_memory rt in
+  let fact_sym = Object_memory.allocate_string om "factorial" in
+  (* SmallInteger >> factorial
+       self <= 1 ifTrue: [^1].
+       ^self * (self - 1) factorial *)
+  ignore
+    (RT.define rt ~class_id:Class_table.small_integer_id ~selector:"factorial"
+       ~literals:[ fact_sym ]
+       [
+         Push_receiver;
+         Push_one;
+         Arith_special Sel_le;
+         Jump_false 2;
+         Push_one;
+         Return_top;
+         Push_receiver;
+         Push_receiver;
+         Push_one;
+         Arith_special Sel_sub;
+         Send { selector = 0; num_args = 0 };
+         Arith_special Sel_mul;
+         Return_top;
+       ]);
+  check_int "1!" 1 (int_of (RT.send_message rt (smi 1) "factorial" []));
+  check_int "5!" 120 (int_of (RT.send_message rt (smi 5) "factorial" []));
+  check_int "10!" 3628800 (int_of (RT.send_message rt (smi 10) "factorial" []))
+
+let test_iterative_loop () =
+  let rt = fresh () in
+  (* SmallInteger >> sumTo — sums 1..self with a backward jump *)
+  ignore
+    (RT.define rt ~class_id:Class_table.small_integer_id ~selector:"sumTo"
+       ~temps:2
+       [
+         (* temp0 := 0 (accumulator); temp1 := 1 (counter) *)
+         Push_zero;
+         Store_and_pop_temp 0;
+         Push_one;
+         Store_and_pop_temp 1;
+         (* loop (pc 4): if counter > self, exit to pc 19 *)
+         Push_temp 1;
+         Push_receiver;
+         Arith_special Sel_gt;
+         Jump_true_ext 10;
+         (* acc += counter; counter += 1 *)
+         Push_temp 0;
+         Push_temp 1;
+         Arith_special Sel_add;
+         Store_and_pop_temp 0;
+         Push_temp 1;
+         Push_one;
+         Arith_special Sel_add;
+         Store_and_pop_temp 1;
+         Jump_ext (-15);
+         Push_temp 0;
+         Return_top;
+       ]);
+  check_int "sum 1..10" 55 (int_of (RT.send_message rt (smi 10) "sumTo" []));
+  check_int "sum 1..100" 5050 (int_of (RT.send_message rt (smi 100) "sumTo" []))
+
+let test_must_be_boolean_signalled () =
+  let rt = fresh () in
+  ignore
+    (RT.define rt ~class_id:Class_table.small_integer_id ~selector:"bogus"
+       [ Push_receiver; Jump_false 1; Return_nil; Return_nil ]);
+  check_bool "mustBeBoolean" true
+    (match RT.send_message rt (smi 1) "bogus" [] with
+    | _ -> false
+    | exception RT.Must_be_boolean -> true)
+
+let test_isnil_polymorphism () =
+  let rt = fresh () in
+  let om = RT.object_memory rt in
+  check_bool "nil isNil" true
+    (Value.equal
+       (RT.send_message rt (Object_memory.nil om) "isNil" [])
+       (Object_memory.true_obj om));
+  check_bool "3 isNil" true
+    (Value.equal
+       (RT.send_message rt (smi 3) "isNil" [])
+       (Object_memory.false_obj om))
+
+let qcheck_factorial_fixpoint =
+  QCheck.Test.make ~name:"qcheck: runtime factorial matches reference" ~count:20
+    (QCheck.int_range 1 12)
+    (fun n ->
+      let rt = fresh () in
+      let om = RT.object_memory rt in
+      let fact_sym = Object_memory.allocate_string om "f" in
+      ignore
+        (RT.define rt ~class_id:Class_table.small_integer_id ~selector:"f"
+           ~literals:[ fact_sym ]
+           [
+             Push_receiver; Push_one; Arith_special Sel_le; Jump_false 2;
+             Push_one; Return_top; Push_receiver; Push_receiver; Push_one;
+             Arith_special Sel_sub; Send { selector = 0; num_args = 0 };
+             Arith_special Sel_mul; Return_top;
+           ]);
+      let reference = List.fold_left ( * ) 1 (List.init n (fun i -> i + 1)) in
+      int_of (RT.send_message rt (smi n) "f" []) = reference)
+
+let suite =
+  [
+    Alcotest.test_case "kernel arithmetic" `Quick test_kernel_arithmetic;
+    Alcotest.test_case "user-defined method" `Quick test_user_method;
+    Alcotest.test_case "arguments and temps" `Quick test_arguments_and_temps;
+    Alcotest.test_case "inheritance lookup" `Quick test_inheritance_lookup;
+    Alcotest.test_case "doesNotUnderstand" `Quick test_does_not_understand;
+    Alcotest.test_case "native with byte-code fallback" `Quick
+      test_native_with_fallback;
+    Alcotest.test_case "recursive factorial" `Quick test_recursion_factorial;
+    Alcotest.test_case "iterative loop (backward jump)" `Quick test_iterative_loop;
+    Alcotest.test_case "mustBeBoolean signalled" `Quick test_must_be_boolean_signalled;
+    Alcotest.test_case "isNil polymorphism" `Quick test_isnil_polymorphism;
+    QCheck_alcotest.to_alcotest qcheck_factorial_fixpoint;
+  ]

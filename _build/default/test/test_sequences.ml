@@ -1,0 +1,179 @@
+(* Byte-code sequence testing (the paper's future-work extension):
+   cross-instruction simulation-stack behaviour, merge points, and
+   differential agreement. *)
+
+module Op = Bytecodes.Opcode
+module EC = Interpreter.Exit_condition
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let paper = Interpreter.Defects.paper
+let pristine = Interpreter.Defects.pristine
+let arches = Jit.Codegen.all_arches
+
+let seq ops = Concolic.Path.Bytecode_seq ops
+
+let test ?(defects = paper) compiler subject =
+  Ijdt_core.Campaign.test_instruction ~defects ~arches ~compiler subject
+
+(* --- exploration of sequences --- *)
+
+let test_constant_add_sequence () =
+  let r = Concolic.Explorer.explore (seq [ Op.Push_one; Op.Push_two; Op.Arith_special Op.Sel_add ]) in
+  (* constants are pushed by the sequence itself: one success path and no
+     invalid-frame path *)
+  check_bool "unsupported" false r.unsupported;
+  check_int "single path" 1 (List.length r.paths);
+  let p = List.hd r.paths in
+  check_bool "succeeds" true (p.exit_ = EC.Success);
+  (* the output is the constant-folded intObjectOf(1 + 2) *)
+  match p.output.stack with
+  | [ Symbolic.Sym_expr.Integer_object_of _ ] -> ()
+  | _ -> Alcotest.fail "expected a single pushed result"
+
+let test_sequence_with_unknown_operand () =
+  let r = Concolic.Explorer.explore (seq [ Op.Push_one; Op.Arith_special Op.Sel_add ]) in
+  (* the receiver comes from the frame: the usual add path structure
+     applies minus the argument branching (the argument is constant 1) *)
+  check_bool "several paths" true (List.length r.paths >= 3);
+  check_bool "has success" true
+    (List.exists (fun (p : Concolic.Path.t) -> p.exit_ = EC.Success) r.paths)
+
+let test_early_return_cuts_sequence () =
+  let r =
+    Concolic.Explorer.explore (seq [ Op.Push_one; Op.Return_top; Op.Push_two ])
+  in
+  check_bool "returns" true
+    (List.exists (fun (p : Concolic.Path.t) -> p.exit_ = EC.Method_return) r.paths)
+
+let test_diamond_merges () =
+  let r =
+    Concolic.Explorer.explore
+      (seq [ Op.Jump_false 2; Op.Push_one; Op.Jump 1; Op.Push_two ])
+  in
+  let successes =
+    List.filter (fun (p : Concolic.Path.t) -> p.exit_ = EC.Success) r.paths
+  in
+  (* both arms run to the end *)
+  check_int "two success paths" 2 (List.length successes)
+
+(* --- differential testing of sequences --- *)
+
+let test_pristine_corpus_no_diffs () =
+  List.iter
+    (fun subject ->
+      List.iter
+        (fun compiler ->
+          let r = test ~defects:pristine compiler subject in
+          if r.differences <> 0 then
+            Alcotest.failf "pristine %s on %s: %d differences"
+              (Jit.Cogits.short_name compiler)
+              (Concolic.Path.subject_name subject)
+              r.differences)
+        [ Jit.Cogits.Stack_to_register_cogit; Jit.Cogits.Register_allocating_cogit ])
+    Concolic.Sequences.corpus
+
+let test_pristine_random_no_diffs () =
+  List.iter
+    (fun subject ->
+      let r = test ~defects:pristine Jit.Cogits.Stack_to_register_cogit subject in
+      if r.differences <> 0 then
+        Alcotest.failf "pristine random %s: %d differences"
+          (Concolic.Path.subject_name subject)
+          r.differences)
+    (Concolic.Sequences.random_corpus ~count:40 ~max_length:5 ())
+
+let test_seeded_defect_found_in_sequence () =
+  (* the bitAnd behavioural seed must also surface when the instruction
+     sits inside a sequence *)
+  let r =
+    test Jit.Cogits.Stack_to_register_cogit
+      (seq [ Op.Arith_special Op.Sel_bit_and; Op.Pop; Op.Push_one ])
+  in
+  check_bool "found behavioural diff in sequence" true
+    (List.exists
+       (fun (d : Difftest.Difference.t) ->
+         d.family = Difftest.Difference.Behavioural_difference)
+       r.diffs)
+
+let test_sequence_simple_vs_s2r () =
+  (* the Simple compiler misses type prediction inside sequences too *)
+  let subject = seq [ Op.Push_one; Op.Push_two; Op.Arith_special Op.Sel_add ] in
+  let simple = test Jit.Cogits.Simple_stack_cogit subject in
+  let s2r = test Jit.Cogits.Stack_to_register_cogit subject in
+  check_bool "simple differs (sends)" true (simple.differences > 0);
+  check_int "s2r agrees" 0 s2r.differences
+
+let test_s2r_sequences_avoid_stack_traffic () =
+  (* compile the constant-add sequence: the stack-to-register unit needs
+     no pushes before the final flush, the simple unit needs several *)
+  let literals = Array.init 16 (fun i -> Jit.Ir.tagged_int (101 + i)) in
+  let count_traffic compiler =
+    let p =
+      Jit.Cogits.compile_sequence_to_machine compiler ~defects:paper ~literals
+        ~stack_setup:[] ~arch:Jit.Codegen.X86
+        [ Op.Push_one; Op.Dup; Op.Pop; Op.Pop ]
+    in
+    Array.to_list p
+    |> List.filter (function
+         | Machine.Machine_code.X_push _ | Machine.Machine_code.A_push _
+         | Machine.Machine_code.X_pop _ | Machine.Machine_code.A_pop _ ->
+             true
+         | _ -> false)
+    |> List.length
+  in
+  let s2r = count_traffic Jit.Cogits.Stack_to_register_cogit in
+  let simple = count_traffic Jit.Cogits.Simple_stack_cogit in
+  check_bool "s2r writes less stack" true (s2r < simple);
+  check_int "s2r needs no stack traffic at all" 0 s2r
+
+let test_escaping_branch_rejected () =
+  (* a branch target outside the sequence is not compilable *)
+  check_bool "not compiled" true
+    (match
+       Jit.Cogits.compile_sequence Jit.Cogits.Stack_to_register_cogit
+         ~defects:paper
+         ~literals:(Array.make 16 0)
+         ~stack_setup:[]
+         [ Op.Jump 8 ]
+     with
+    | _ -> false
+    | exception Jit.Cogits.Not_compiled _ -> true)
+
+let test_corpus_runs_clean_under_paper_config () =
+  (* sequences without seeded-defect carriers agree even in the paper
+     configuration *)
+  List.iter
+    (fun ops ->
+      let r = test Jit.Cogits.Stack_to_register_cogit (seq ops) in
+      check_int
+        (Concolic.Path.subject_name (seq ops) ^ " agrees")
+        0 r.differences)
+    [
+      (* note: [dup; +] is excluded — its float path carries the seeded
+         missing-float-prediction difference by design *)
+      [ Op.Push_one; Op.Push_two; Op.Arith_special Op.Sel_add ];
+      [ Op.Push_one; Op.Dup; Op.Arith_special Op.Sel_add ];
+      [ Op.Jump_false 2; Op.Push_one; Op.Jump 1; Op.Push_two ];
+      [ Op.Store_and_pop_temp 0; Op.Push_temp 0 ];
+      [ Op.Push_one; Op.Return_top; Op.Push_two ];
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "constant add folds" `Quick test_constant_add_sequence;
+    Alcotest.test_case "unknown operand" `Quick test_sequence_with_unknown_operand;
+    Alcotest.test_case "early return" `Quick test_early_return_cuts_sequence;
+    Alcotest.test_case "diamond merges" `Quick test_diamond_merges;
+    Alcotest.test_case "pristine corpus: no diffs" `Slow test_pristine_corpus_no_diffs;
+    Alcotest.test_case "pristine random: no diffs" `Slow test_pristine_random_no_diffs;
+    Alcotest.test_case "seeded defect found in sequence" `Quick
+      test_seeded_defect_found_in_sequence;
+    Alcotest.test_case "simple vs s2r in sequences" `Quick test_sequence_simple_vs_s2r;
+    Alcotest.test_case "s2r avoids stack traffic" `Quick
+      test_s2r_sequences_avoid_stack_traffic;
+    Alcotest.test_case "escaping branch rejected" `Quick test_escaping_branch_rejected;
+    Alcotest.test_case "clean corpus under paper config" `Quick
+      test_corpus_runs_clean_under_paper_config;
+  ]

@@ -1,0 +1,327 @@
+(* Constraint solver tests: type/class assignment, interval propagation,
+   witness search, and the paper's solver limits (§4.3). *)
+
+module Sym = Symbolic.Sym_expr
+open Solver
+
+let check_bool = Alcotest.(check bool)
+
+let gen = Sym.Gen.create ()
+let oop_var name = Sym.Var (Sym.Gen.fresh gen ~name ~sort:Sym.Oop)
+let int_var name = Sym.Var (Sym.Gen.fresh gen ~name ~sort:Sym.Int)
+
+let is_sat = function Solve.Sat _ -> true | _ -> false
+let is_unsat = function Solve.Unsat -> true | _ -> false
+let is_unknown = function Solve.Unknown _ -> true | _ -> false
+
+let sat_model conds =
+  match Solve.solve conds with
+  | Solve.Sat m -> m
+  | Solve.Unsat -> Alcotest.fail "unexpected unsat"
+  | Solve.Unknown r -> Alcotest.fail ("unexpected unknown: " ^ r)
+
+(* Check a model's integer assignments satisfy the conditions via the
+   shared evaluator. *)
+let model_satisfies model conds =
+  let env = Eval.env_of_model model in
+  List.for_all
+    (fun c ->
+      match (c : Sym.t) with
+      | Cmp (op, a, b) -> (
+          try Eval.cmp_holds op (Eval.eval_int env a) (Eval.eval_int env b)
+          with Eval.Failed -> true)
+      | Not (Cmp (op, a, b)) -> (
+          try
+            not (Eval.cmp_holds op (Eval.eval_int env a) (Eval.eval_int env b))
+          with Eval.Failed -> true)
+      | _ -> true)
+    conds
+
+let test_empty_is_sat () = check_bool "[] sat" true (is_sat (Solve.solve []))
+
+let test_type_assignment () =
+  let x = oop_var "x" in
+  let m = sat_model [ Sym.Is_small_int x ] in
+  (match Model.oop m x with
+  | Some (Model.D_small_int _) -> ()
+  | _ -> Alcotest.fail "expected small int desc");
+  let m = sat_model [ Sym.Is_float_object x ] in
+  (match Model.oop m x with
+  | Some (Model.D_float _) -> ()
+  | _ -> Alcotest.fail "expected float desc");
+  let m = sat_model [ Sym.Not (Sym.Is_small_int x) ] in
+  match Model.oop m x with
+  | Some (Model.D_small_int _) -> Alcotest.fail "must not be a small int"
+  | _ -> ()
+
+let test_type_conflicts_unsat () =
+  let x = oop_var "x" in
+  check_bool "int and float conflict" true
+    (is_unsat (Solve.solve [ Sym.Is_small_int x; Sym.Is_float_object x ]));
+  check_bool "int and not-int conflict" true
+    (is_unsat (Solve.solve [ Sym.Is_small_int x; Sym.Not (Sym.Is_small_int x) ]));
+  check_bool "float and pointers conflict" true
+    (is_unsat (Solve.solve [ Sym.Is_float_object x; Sym.Is_pointers x ]))
+
+let test_class_constraints () =
+  let x = oop_var "x" in
+  let cid = Vm_objects.Class_table.point_id in
+  let m = sat_model [ Sym.Has_class (x, cid) ] in
+  (match Model.oop m x with
+  | Some (Model.D_object { class_id = Some c; _ }) ->
+      Alcotest.(check int) "point class" cid c
+  | _ -> Alcotest.fail "expected point instance");
+  check_bool "class eq/ne conflict" true
+    (is_unsat
+       (Solve.solve [ Sym.Has_class (x, cid); Sym.Not (Sym.Has_class (x, cid)) ]));
+  check_bool "two different classes conflict" true
+    (is_unsat
+       (Solve.solve
+          [
+            Sym.Has_class (x, cid);
+            Sym.Has_class (x, Vm_objects.Class_table.array_id);
+          ]))
+
+let test_int_bounds () =
+  let x = oop_var "x" in
+  let v = Sym.Integer_value_of x in
+  let conds =
+    [
+      Sym.Is_small_int x;
+      Sym.Cmp (Sym.Cgt, v, Sym.Int_const 10);
+      Sym.Cmp (Sym.Clt, v, Sym.Int_const 13);
+    ]
+  in
+  let m = sat_model conds in
+  check_bool "model satisfies bounds" true (model_satisfies m conds);
+  let w = Model.int_or m v ~default:min_int in
+  check_bool "witness in (10,13)" true (w > 10 && w < 13)
+
+let test_equality_repair () =
+  let x = oop_var "x" and y = oop_var "y" in
+  let vx = Sym.Integer_value_of x and vy = Sym.Integer_value_of y in
+  let conds =
+    [
+      Sym.Is_small_int x;
+      Sym.Is_small_int y;
+      Sym.Cmp (Sym.Ceq, Sym.Add (vx, vy), Sym.Int_const 12345);
+      Sym.Cmp (Sym.Cgt, vx, Sym.Int_const 12000);
+    ]
+  in
+  let m = sat_model conds in
+  check_bool "sum repair" true (model_satisfies m conds)
+
+let test_overflow_witness () =
+  (* the crux of the paper's Table 1: two immediates whose sum overflows *)
+  let a = oop_var "a" and b = oop_var "b" in
+  let sum = Sym.Add (Sym.Integer_value_of a, Sym.Integer_value_of b) in
+  let conds =
+    [
+      Sym.Is_small_int a;
+      Sym.Is_small_int b;
+      Sym.Not (Sym.Is_in_small_int_range sum);
+    ]
+  in
+  let m = sat_model conds in
+  let env = Eval.env_of_model m in
+  let s = Eval.eval_int env sum in
+  check_bool "sum overflows" true
+    (s > Vm_objects.Value.max_small_int || s < Vm_objects.Value.min_small_int)
+
+let test_in_range_positive () =
+  let a = oop_var "a" in
+  let v = Sym.Integer_value_of a in
+  let conds = [ Sym.Is_small_int a; Sym.Is_in_small_int_range (Sym.Mul (v, Sym.Int_const 2)) ] in
+  check_bool "in-range conjunction sat" true (is_sat (Solve.solve conds))
+
+let test_contradictory_bounds_unsat () =
+  let x = int_var "x" in
+  check_bool "x>5 and x<3 unsat" true
+    (is_unsat
+       (Solve.solve
+          [
+            Sym.Cmp (Sym.Cgt, x, Sym.Int_const 5);
+            Sym.Cmp (Sym.Clt, x, Sym.Int_const 3);
+          ]))
+
+let test_bitwise_rejected () =
+  (* the paper's solver does not support bitwise operations (§4.3) *)
+  let x = int_var "x" in
+  check_bool "bitand constraint unknown" true
+    (is_unknown
+       (Solve.solve
+          [ Sym.Cmp (Sym.Ceq, Sym.Bit_and (x, Sym.Int_const 1), Sym.Int_const 1) ]))
+
+let test_precision_limit () =
+  let x = int_var "x" in
+  check_bool "57-bit constant rejected" true
+    (is_unknown
+       (Solve.solve [ Sym.Cmp (Sym.Cgt, x, Sym.Int_const (1 lsl 57)) ]));
+  check_bool "within 56 bits accepted" true
+    (not
+       (is_unknown
+          (Solve.solve [ Sym.Cmp (Sym.Cgt, x, Sym.Int_const 1000) ])))
+
+let test_structure_sizes () =
+  let x = oop_var "x" in
+  let conds =
+    [
+      Sym.Is_pointers x;
+      Sym.Cmp (Sym.Cgt, Sym.Num_slots_of x, Sym.Int_const 4);
+    ]
+  in
+  let m = sat_model conds in
+  match Model.oop m x with
+  | Some (Model.D_object { num_slots; _ }) ->
+      check_bool "at least 5 slots" true (num_slots > 4)
+  | _ -> Alcotest.fail "expected pointers object"
+
+let test_indexable_resolution () =
+  let x = oop_var "x" in
+  let conds =
+    [
+      Sym.Is_indexable x;
+      Sym.Not (Sym.Is_bytes x);
+      Sym.Cmp (Sym.Cge, Sym.Indexable_size_of x, Sym.Int_const 3);
+    ]
+  in
+  let m = sat_model conds in
+  match Model.oop m x with
+  | Some (Model.D_object { class_id = Some cid; num_slots }) ->
+      Alcotest.(check int) "array" Vm_objects.Class_table.array_id cid;
+      check_bool "size >= 3" true (num_slots >= 3)
+  | d ->
+      Alcotest.failf "expected array desc, got %s"
+        (match d with Some d -> Model.show_oop_desc d | None -> "none")
+
+let test_bytes_resolution () =
+  let x = oop_var "x" in
+  let m = sat_model [ Sym.Is_bytes x ] in
+  match Model.oop m x with
+  | Some (Model.D_byte_object _) -> ()
+  | _ -> Alcotest.fail "expected byte object"
+
+let test_byte_at_range () =
+  let x = oop_var "x" in
+  let b = Sym.Byte_at (x, Sym.Int_const 0) in
+  let conds =
+    [
+      Sym.Is_bytes x;
+      Sym.Cmp (Sym.Cgt, Sym.Indexable_size_of x, Sym.Int_const 0);
+      Sym.Cmp (Sym.Cgt, b, Sym.Int_const 200);
+    ]
+  in
+  let m = sat_model conds in
+  let v = Model.int_or m b ~default:(-1) in
+  check_bool "byte in (200, 255]" true (v > 200 && v <= 255)
+
+let test_class_object_constraints () =
+  let x = oop_var "x" in
+  let conds =
+    [
+      Sym.Has_class (x, Vm_objects.Class_table.class_class_id);
+      Sym.Describes_indexable_class x;
+    ]
+  in
+  let m = sat_model conds in
+  match Model.oop m x with
+  | Some (Model.D_class { described_class_id }) ->
+      Alcotest.(check int) "describes array" Vm_objects.Class_table.array_id
+        described_class_id
+  | _ -> Alcotest.fail "expected class object"
+
+let test_boolean_singletons () =
+  let x = oop_var "x" in
+  let m = sat_model [ Sym.Has_class (x, Vm_objects.Class_table.true_id) ] in
+  check_bool "true desc" true (Model.oop m x = Some Model.D_true);
+  let m = sat_model [ Sym.Has_class (x, Vm_objects.Class_table.undefined_object_id) ] in
+  check_bool "nil desc" true (Model.oop m x = Some Model.D_nil)
+
+let test_float_constraints () =
+  let x = oop_var "x" in
+  let f = Sym.Float_value_of x in
+  let conds =
+    [ Sym.Is_float_object x; Sym.F_cmp (Sym.Cgt, f, Sym.Float_const 100.0) ]
+  in
+  let m = sat_model conds in
+  check_bool "float witness > 100" true
+    (Model.float_or m f ~default:0.0 > 100.0)
+
+let test_float_equality_repair () =
+  let x = oop_var "x" in
+  let f = Sym.Float_value_of x in
+  let conds =
+    [ Sym.Is_float_object x; Sym.F_cmp (Sym.Ceq, f, Sym.Float_const 0.125) ]
+  in
+  let m = sat_model conds in
+  Alcotest.(check (float 0.0)) "pinned float" 0.125
+    (Model.float_or m f ~default:0.0)
+
+let test_interval_ops () =
+  let open Interval in
+  let a = exactly 5 in
+  check_bool "singleton" true (is_singleton a);
+  check_bool "contains" true (contains a 5);
+  let b = { lo = 1; hi = 10 } in
+  check_bool "inter" true (inter a b = Some a);
+  check_bool "empty inter" true (inter (exactly 0) (exactly 1) = None);
+  check_bool "scale neg swaps" true (scale (-1) b = { lo = -10; hi = -1 });
+  check_bool "tighten lt" true
+    (tighten_cmp Sym.Clt b (exactly 5) = Some { lo = 1; hi = 4 })
+
+let qcheck_bound_witnesses =
+  QCheck.Test.make ~name:"qcheck: solver witnesses satisfy random bounds"
+    ~count:200
+    QCheck.(pair (int_range (-10000) 10000) (int_range 0 2000))
+    (fun (lo, width) ->
+      let x = int_var "q" in
+      let conds =
+        [
+          Sym.Cmp (Sym.Cge, x, Sym.Int_const lo);
+          Sym.Cmp (Sym.Cle, x, Sym.Int_const (lo + width));
+        ]
+      in
+      match Solve.solve conds with
+      | Solve.Sat m ->
+          let v = Model.int_or m x ~default:min_int in
+          v >= lo && v <= lo + width
+      | _ -> false)
+
+let qcheck_unsat_detected =
+  QCheck.Test.make ~name:"qcheck: empty ranges are unsat" ~count:100
+    (QCheck.int_range (-1000) 1000)
+    (fun lo ->
+      let x = int_var "q" in
+      is_unsat
+        (Solve.solve
+           [
+             Sym.Cmp (Sym.Cgt, x, Sym.Int_const lo);
+             Sym.Cmp (Sym.Clt, x, Sym.Int_const lo);
+           ]))
+
+let suite =
+  [
+    Alcotest.test_case "empty conjunction sat" `Quick test_empty_is_sat;
+    Alcotest.test_case "type assignment" `Quick test_type_assignment;
+    Alcotest.test_case "type conflicts unsat" `Quick test_type_conflicts_unsat;
+    Alcotest.test_case "class constraints" `Quick test_class_constraints;
+    Alcotest.test_case "integer bounds" `Quick test_int_bounds;
+    Alcotest.test_case "equality repair" `Quick test_equality_repair;
+    Alcotest.test_case "overflow witness (Table 1)" `Quick test_overflow_witness;
+    Alcotest.test_case "in-range positive" `Quick test_in_range_positive;
+    Alcotest.test_case "contradictory bounds unsat" `Quick
+      test_contradictory_bounds_unsat;
+    Alcotest.test_case "bitwise rejected (§4.3)" `Quick test_bitwise_rejected;
+    Alcotest.test_case "56-bit precision limit (§4.3)" `Quick test_precision_limit;
+    Alcotest.test_case "structure sizes" `Quick test_structure_sizes;
+    Alcotest.test_case "indexable resolution" `Quick test_indexable_resolution;
+    Alcotest.test_case "bytes resolution" `Quick test_bytes_resolution;
+    Alcotest.test_case "byte-at range" `Quick test_byte_at_range;
+    Alcotest.test_case "class object constraints" `Quick test_class_object_constraints;
+    Alcotest.test_case "boolean singletons" `Quick test_boolean_singletons;
+    Alcotest.test_case "float constraints" `Quick test_float_constraints;
+    Alcotest.test_case "float equality repair" `Quick test_float_equality_repair;
+    Alcotest.test_case "interval operations" `Quick test_interval_ops;
+    QCheck_alcotest.to_alcotest qcheck_bound_witnesses;
+    QCheck_alcotest.to_alcotest qcheck_unsat_detected;
+  ]

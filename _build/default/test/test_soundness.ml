@@ -1,0 +1,205 @@
+(* End-to-end soundness properties across the solver → materialiser
+   boundary: whenever the solver answers Sat, materialising the model
+   must produce concrete objects that satisfy every predicate of the
+   conjunction under the *real* object memory.
+
+   This is the invariant the whole pipeline rests on: the explorer
+   re-executes with materialised inputs and assumes they follow the seed
+   path; the differential tester assumes re-materialisation reproduces
+   the exploration's inputs. *)
+
+module Sym = Symbolic.Sym_expr
+open Vm_objects
+
+let check_bool = Alcotest.(check bool)
+
+(* Build a tiny universe of oop variables, generate random conjunctions
+   of supported predicates over them, and check Sat models concretely. *)
+
+type pred =
+  | P_small of int
+  | P_float of int
+  | P_pointers of int
+  | P_bytes of int
+  | P_indexable of int
+  | P_class of int * int
+  | P_value_gt of int * int (* var, bound *)
+  | P_value_le of int * int
+  | P_size_ge of int * int
+  | P_neg of pred
+
+let rec pred_to_expr vars (p : pred) : Sym.t =
+  match p with
+  | P_small i -> Sym.Is_small_int (vars i)
+  | P_float i -> Sym.Is_float_object (vars i)
+  | P_pointers i -> Sym.Is_pointers (vars i)
+  | P_bytes i -> Sym.Is_bytes (vars i)
+  | P_indexable i -> Sym.Is_indexable (vars i)
+  | P_class (i, c) -> Sym.Has_class (vars i, c)
+  | P_value_gt (i, b) ->
+      Sym.Cmp (Sym.Cgt, Sym.Integer_value_of (vars i), Sym.Int_const b)
+  | P_value_le (i, b) ->
+      Sym.Cmp (Sym.Cle, Sym.Integer_value_of (vars i), Sym.Int_const b)
+  | P_size_ge (i, n) ->
+      Sym.Cmp (Sym.Cge, Sym.Indexable_size_of (vars i), Sym.Int_const n)
+  | P_neg p -> Sym.negate (pred_to_expr vars p)
+
+(* Concrete truth of a predicate over a materialised valuation. *)
+let rec holds om value_of (p : pred) : bool =
+  match p with
+  | P_small i -> Value.is_small_int (value_of i)
+  | P_float i -> Object_memory.is_float_object om (value_of i)
+  | P_pointers i -> Object_memory.is_pointers_object om (value_of i)
+  | P_bytes i -> Object_memory.is_bytes_object om (value_of i)
+  | P_indexable i -> Object_memory.is_indexable om (value_of i)
+  | P_class (i, c) -> Object_memory.class_index_of om (value_of i) = c
+  | P_value_gt (i, b) ->
+      Value.is_small_int (value_of i) && Value.small_int_value (value_of i) > b
+  | P_value_le (i, b) ->
+      Value.is_small_int (value_of i) && Value.small_int_value (value_of i) <= b
+  | P_size_ge (i, n) ->
+      (* immediates have indexable size 0, matching the solver's
+         convention for [Indexable_size_of] *)
+      let v = value_of i in
+      let size =
+        if Value.is_small_int v then 0
+        else
+          (try Object_memory.indexable_size om v
+           with Heap.Invalid_access _ -> 0)
+      in
+      size >= n
+  | P_neg p -> not (holds om value_of p)
+
+let num_vars = 3
+
+let pred_gen : pred QCheck.Gen.t =
+  let open QCheck.Gen in
+  let var = int_range 0 (num_vars - 1) in
+  let base =
+    oneof
+      [
+        map (fun i -> P_small i) var;
+        map (fun i -> P_float i) var;
+        map (fun i -> P_pointers i) var;
+        map (fun i -> P_bytes i) var;
+        map (fun i -> P_indexable i) var;
+        map2
+          (fun i c -> P_class (i, c))
+          var
+          (oneofl
+             [
+               Class_table.small_integer_id;
+               Class_table.boxed_float_id;
+               Class_table.array_id;
+               Class_table.byte_array_id;
+               Class_table.point_id;
+               Class_table.true_id;
+             ]);
+        map2 (fun i b -> P_value_gt (i, b)) var (int_range (-1000) 1000);
+        map2 (fun i b -> P_value_le (i, b)) var (int_range (-1000) 1000);
+        map2 (fun i n -> P_size_ge (i, n)) var (int_range 0 20);
+      ]
+  in
+  oneof [ base; map (fun p -> P_neg p) base ]
+
+let arbitrary_conjunction =
+  QCheck.make
+    ~print:(fun preds -> string_of_int (List.length preds) ^ " predicates")
+    QCheck.Gen.(list_size (int_range 1 6) pred_gen)
+
+(* Note: [P_value_gt]/[P_value_le] only hold on small integers
+   concretely; the symbolic encoding adds the implicit Is_small_int so
+   the comparison is well-sorted. *)
+let with_sort_guards vars preds =
+  List.concat_map
+    (fun p ->
+      match p with
+      | P_value_gt (i, _) | P_value_le (i, _) ->
+          [ Sym.Is_small_int (vars i); pred_to_expr vars p ]
+      | _ -> [ pred_to_expr vars p ])
+    preds
+
+let qcheck_sat_models_are_sound =
+  QCheck.Test.make ~name:"qcheck: Sat models materialise soundly" ~count:500
+    arbitrary_conjunction
+    (fun preds ->
+      let gen = Sym.Gen.create () in
+      let var_list =
+        Array.init num_vars (fun i ->
+            Sym.Gen.fresh gen ~name:(Printf.sprintf "v%d" i) ~sort:Sym.Oop)
+      in
+      let vars i = Sym.Var var_list.(i) in
+      let conds = with_sort_guards vars preds in
+      match Solver.Solve.solve conds with
+      | Solver.Solve.Unsat | Solver.Solve.Unknown _ -> true
+      | Solver.Solve.Sat model ->
+          (* materialise through the pipeline's materialiser *)
+          let size_var = Sym.Gen.fresh gen ~name:"sz" ~sort:Sym.Int in
+          let input =
+            Concolic.Materialize.build ~model
+              ~method_in:(fun om ->
+                Bytecodes.Method_builder.build
+                  (Object_memory.heap om)
+                  ~temps:2 [ Bytecodes.Opcode.Nop ])
+              ~recv_var:var_list.(0)
+              ~temp_vars:[| var_list.(1); var_list.(2) |]
+              ~entry_var:(fun _ -> size_var (* unused: stack is empty *))
+              ~stack_size_term:(Sym.Var size_var)
+          in
+          let value_of i =
+            match
+              List.assoc_opt (Sym.Var var_list.(i))
+                (List.map (fun (k, v) -> (k, v)) input.bindings)
+            with
+            | Some v -> v
+            | None -> Value.of_small_int 0
+          in
+          List.for_all (holds input.om value_of) preds)
+
+(* Determinism of the solver itself. *)
+let qcheck_solver_deterministic =
+  QCheck.Test.make ~name:"qcheck: solver verdicts are deterministic" ~count:200
+    arbitrary_conjunction
+    (fun preds ->
+      let run () =
+        let gen = Sym.Gen.create () in
+        let var_list =
+          Array.init num_vars (fun i ->
+              Sym.Gen.fresh gen ~name:(Printf.sprintf "v%d" i) ~sort:Sym.Oop)
+        in
+        let vars i = Sym.Var var_list.(i) in
+        match Solver.Solve.solve (with_sort_guards vars preds) with
+        | Solver.Solve.Sat _ -> `Sat
+        | Solver.Solve.Unsat -> `Unsat
+        | Solver.Solve.Unknown _ -> `Unknown
+      in
+      run () = run ())
+
+(* Exploration as a whole never crashes on any single instruction and
+   always yields at least one path for supported ones. *)
+let test_every_bytecode_explores () =
+  List.iter
+    (fun op ->
+      let r = Concolic.Explorer.explore (Concolic.Path.Bytecode op) in
+      if not r.unsupported then
+        check_bool (Bytecodes.Opcode.mnemonic op ^ " has paths") true
+          (List.length r.paths >= 1))
+    (Bytecodes.Encoding.all_defined_opcodes ())
+
+let test_every_native_explores () =
+  List.iter
+    (fun id ->
+      let r = Concolic.Explorer.explore (Concolic.Path.Native id) in
+      check_bool
+        (Interpreter.Primitive_table.name id ^ " has paths")
+        true
+        (List.length r.paths >= 1))
+    Interpreter.Primitive_table.ids
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest qcheck_sat_models_are_sound;
+    QCheck_alcotest.to_alcotest qcheck_solver_deterministic;
+    Alcotest.test_case "every byte-code explores" `Slow test_every_bytecode_explores;
+    Alcotest.test_case "every native method explores" `Slow test_every_native_explores;
+  ]

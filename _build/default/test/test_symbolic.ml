@@ -1,0 +1,136 @@
+(* Symbolic expression and path-condition tests. *)
+
+module Sym = Symbolic.Sym_expr
+module PC = Symbolic.Path_condition
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let gen = Sym.Gen.create ()
+let v name sort = Sym.Var (Sym.Gen.fresh gen ~name ~sort)
+
+let test_to_string () =
+  let x = v "x" Sym.Oop in
+  check_bool "renders predicate" true
+    (String.length (Sym.to_string (Sym.Is_small_int x)) > 0);
+  check_str "int const" "42" (Sym.to_string (Sym.Int_const 42));
+  check_str "negation" "!(true)" (Sym.to_string (Sym.Not (Sym.Bool_const true)))
+
+let test_negate () =
+  let c = Sym.Is_small_int (v "y" Sym.Oop) in
+  check_bool "negate wraps" true (Sym.negate c = Sym.Not c);
+  check_bool "double negation collapses" true (Sym.negate (Sym.Not c) = c)
+
+let test_free_vars () =
+  let a = Sym.Gen.fresh gen ~name:"a" ~sort:Sym.Oop in
+  let b = Sym.Gen.fresh gen ~name:"b" ~sort:Sym.Oop in
+  let e =
+    Sym.Add (Sym.Integer_value_of (Sym.Var a), Sym.Integer_value_of (Sym.Var b))
+  in
+  check_int "two free vars" 2 (List.length (Sym.free_vars e));
+  let dup =
+    Sym.Add (Sym.Integer_value_of (Sym.Var a), Sym.Integer_value_of (Sym.Var a))
+  in
+  check_int "dedup" 1 (List.length (Sym.free_vars dup))
+
+let test_has_bitwise () =
+  let x = v "x" Sym.Int in
+  check_bool "bitand detected" true (Sym.has_bitwise (Sym.Bit_and (x, Sym.Int_const 1)));
+  check_bool "nested detected" true
+    (Sym.has_bitwise (Sym.Cmp (Sym.Ceq, Sym.Shift_left (x, x), Sym.Int_const 0)));
+  check_bool "plain arithmetic clean" false
+    (Sym.has_bitwise (Sym.Add (x, Sym.Mul (x, Sym.Int_const 3))));
+  check_bool "float bit views count as bitwise" true
+    (Sym.has_bitwise (Sym.Float_bits32 (Sym.Float_const 1.0)))
+
+let test_fresh_vars_unique () =
+  let g = Sym.Gen.create () in
+  let a = Sym.Gen.fresh g ~name:"v" ~sort:Sym.Oop in
+  let b = Sym.Gen.fresh g ~name:"v" ~sort:Sym.Oop in
+  check_bool "distinct ids" true (a.id <> b.id);
+  check_bool "distinct names" true (a.name <> b.name)
+
+(* --- path conditions --- *)
+
+let c1 = Sym.Is_small_int (v "p" Sym.Oop)
+let c2 = Sym.Is_float_object (v "q" Sym.Oop)
+let c3 = Sym.Cmp (Sym.Cgt, v "r" Sym.Int, Sym.Int_const 0)
+
+let test_record_order () =
+  let pc = PC.record (PC.record PC.empty c1) c2 in
+  check_int "two clauses" 2 (PC.length pc);
+  check_bool "order preserved" true (PC.conditions pc = [ c1; c2 ])
+
+let test_next_negation_negates_last_open () =
+  let pc = PC.record (PC.record PC.empty c1) c2 in
+  match PC.next_negation pc with
+  | Some pc' ->
+      check_bool "negated last" true (PC.conditions pc' = [ c1; Sym.negate c2 ]);
+      check_bool "flagged" true
+        ((List.nth pc' 1).PC.already_negated = true)
+  | None -> Alcotest.fail "expected negation"
+
+let test_next_negation_skips_negated () =
+  let pc = PC.record_negated (PC.record PC.empty c1) c2 in
+  (* c2 is already negated: the next negation must target c1 and drop c2 *)
+  match PC.next_negation pc with
+  | Some pc' -> check_bool "negated first" true (PC.conditions pc' = [ Sym.negate c1 ])
+  | None -> Alcotest.fail "expected negation"
+
+let test_next_negation_exhausted () =
+  let pc = PC.record_negated (PC.record_negated PC.empty c1) c2 in
+  check_bool "exhausted" true (PC.next_negation pc = None)
+
+let test_negation_chain_enumerates_tree () =
+  (* repeatedly negating a 3-clause path explores each prefix once *)
+  let pc = PC.record (PC.record (PC.record PC.empty c1) c2) c3 in
+  let rec chase pc acc =
+    match PC.next_negation pc with
+    | Some pc' -> chase pc' (pc' :: acc)
+    | None -> acc
+  in
+  check_int "three prefixes from one path" 3 (List.length (chase pc []))
+
+let test_to_string_brackets_negated () =
+  let pc = PC.record (PC.record_negated PC.empty c1) c2 in
+  let s = PC.to_string pc in
+  check_bool "negated clause bracketed" true
+    (String.length s > 0 && s.[0] = '[')
+
+(* --- abstract frames --- *)
+
+let test_abstract_frame () =
+  let open Symbolic.Abstract_frame in
+  let recv = v "recv" Sym.Oop in
+  let s0 = v "s0" Sym.Oop and s1 = v "s1" Sym.Oop in
+  let f =
+    make ~receiver:recv
+      ~method_oop:(Vm_objects.Value.of_small_int 0)
+      ~temps:[||]
+      ~operand_stack:[ s1; s0 ] (* bottom-up *)
+      ~pc:0
+  in
+  check_int "depth" 2 (stack_depth f);
+  check_bool "top is s0" true (stack_value f 0 = Some s0);
+  check_bool "below is s1" true (stack_value f 1 = Some s1);
+  check_bool "past end" true (stack_value f 2 = None)
+
+let suite =
+  [
+    Alcotest.test_case "to_string" `Quick test_to_string;
+    Alcotest.test_case "negate" `Quick test_negate;
+    Alcotest.test_case "free vars" `Quick test_free_vars;
+    Alcotest.test_case "has_bitwise" `Quick test_has_bitwise;
+    Alcotest.test_case "fresh vars unique" `Quick test_fresh_vars_unique;
+    Alcotest.test_case "record order" `Quick test_record_order;
+    Alcotest.test_case "next_negation negates last open" `Quick
+      test_next_negation_negates_last_open;
+    Alcotest.test_case "next_negation skips negated" `Quick
+      test_next_negation_skips_negated;
+    Alcotest.test_case "next_negation exhausted" `Quick test_next_negation_exhausted;
+    Alcotest.test_case "negation chain enumerates tree" `Quick
+      test_negation_chain_enumerates_tree;
+    Alcotest.test_case "negated clauses bracketed" `Quick test_to_string_brackets_negated;
+    Alcotest.test_case "abstract frames" `Quick test_abstract_frame;
+  ]

@@ -1,0 +1,92 @@
+(* Tagged-value (oop) representation tests. *)
+
+open Vm_objects
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_tag_roundtrip () =
+  List.iter
+    (fun i ->
+      check_int (Printf.sprintf "roundtrip %d" i) i
+        (Value.small_int_value (Value.of_small_int i)))
+    [ 0; 1; -1; 42; -42; Value.max_small_int; Value.min_small_int ]
+
+let test_tag_bit () =
+  check_bool "small int has tag" true (Value.is_small_int (Value.of_small_int 7));
+  check_bool "small int is not pointer" false
+    (Value.is_pointer (Value.of_small_int 7));
+  check_bool "pointer is not small int" false
+    (Value.is_small_int (Value.of_pointer 8));
+  check_bool "pointer is pointer" true (Value.is_pointer (Value.of_pointer 8))
+
+let test_range_limits () =
+  check_int "max is 2^30-1" ((1 lsl 30) - 1) Value.max_small_int;
+  check_int "min is -2^30" (-(1 lsl 30)) Value.min_small_int;
+  check_bool "max in range" true (Value.is_small_int_value Value.max_small_int);
+  check_bool "min in range" true (Value.is_small_int_value Value.min_small_int);
+  check_bool "max+1 out of range" false
+    (Value.is_small_int_value (Value.max_small_int + 1));
+  check_bool "min-1 out of range" false
+    (Value.is_small_int_value (Value.min_small_int - 1))
+
+let test_out_of_range_rejected () =
+  Alcotest.check_raises "of_small_int overflow"
+    (Invalid_argument
+       (Printf.sprintf "Value.of_small_int: %d out of 31-bit range"
+          (Value.max_small_int + 1)))
+    (fun () -> ignore (Value.of_small_int (Value.max_small_int + 1)))
+
+let test_pointer_validation () =
+  Alcotest.check_raises "odd address rejected"
+    (Invalid_argument "Value.of_pointer: misaligned address 9") (fun () ->
+      ignore (Value.of_pointer 9));
+  Alcotest.check_raises "zero address rejected"
+    (Invalid_argument "Value.of_pointer: misaligned address 0") (fun () ->
+      ignore (Value.of_pointer 0))
+
+let test_unchecked_untag_garbage () =
+  (* untagging a pointer as an integer yields its address shifted: the
+     deterministic "garbage" of the missing-type-check defect *)
+  let p = Value.of_pointer 64 in
+  check_int "unchecked untag of pointer" 32 (Value.unchecked_small_int_value p)
+
+let test_equal_and_compare () =
+  let a = Value.of_small_int 5 and b = Value.of_small_int 5 in
+  check_bool "equal values" true (Value.equal a b);
+  check_bool "compare eq" true (Value.compare a b = 0);
+  check_bool "tagged 5 <> pointer" false
+    (Value.equal (Value.of_small_int 4) (Value.of_pointer 8))
+
+let test_negative_payload_sign () =
+  (* arithmetic shift must preserve the sign of negative payloads *)
+  let v = Value.of_small_int (-1000) in
+  check_int "negative untag" (-1000) (Value.small_int_value v)
+
+let qcheck_roundtrip =
+  QCheck.Test.make ~name:"qcheck: tag/untag roundtrip on full range"
+    ~count:1000
+    (QCheck.int_range Value.min_small_int Value.max_small_int)
+    (fun i -> Value.small_int_value (Value.of_small_int i) = i)
+
+let qcheck_tag_disjoint =
+  QCheck.Test.make ~name:"qcheck: small ints and pointers are disjoint"
+    ~count:500
+    (QCheck.int_range Value.min_small_int Value.max_small_int)
+    (fun i ->
+      let v = Value.of_small_int i in
+      Value.is_small_int v && not (Value.is_pointer v))
+
+let suite =
+  [
+    Alcotest.test_case "tag roundtrip" `Quick test_tag_roundtrip;
+    Alcotest.test_case "tag bit semantics" `Quick test_tag_bit;
+    Alcotest.test_case "31-bit range limits" `Quick test_range_limits;
+    Alcotest.test_case "out of range rejected" `Quick test_out_of_range_rejected;
+    Alcotest.test_case "pointer validation" `Quick test_pointer_validation;
+    Alcotest.test_case "unchecked untag garbage" `Quick test_unchecked_untag_garbage;
+    Alcotest.test_case "equality and compare" `Quick test_equal_and_compare;
+    Alcotest.test_case "negative payload sign" `Quick test_negative_payload_sign;
+    QCheck_alcotest.to_alcotest qcheck_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_tag_disjoint;
+  ]
