@@ -1,0 +1,9 @@
+#!/bin/sh -e
+# CI gate: full build, the test suite, then the static-verification
+# pristine gate (any wrongness finding on the defect-free configuration
+# is a verifier false positive and fails the build).
+cd "$(dirname "$0")/.."
+dune build @all
+dune runtest
+dune exec bin/vmtest.exe -- verify --pristine
+echo "ci: OK"

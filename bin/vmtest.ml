@@ -4,6 +4,7 @@
      explore  <instr>        concolically explore one instruction
      difftest <instr>        differential-test one instruction
      campaign                run the full evaluation (Tables 2-3, Figs 5-7)
+     verify   [<instr>]      static verifier suite, zero execution
      list                    list testable instructions and native methods *)
 
 open Cmdliner
@@ -138,7 +139,16 @@ let difftest_cmd =
       (Jit.Cogits.name compiler) r.paths r.curated r.differences;
     List.iter
       (fun d -> Printf.printf "  %s\n" (Difftest.Difference.to_string d))
-      r.diffs
+      r.diffs;
+    let a = r.agreements in
+    Printf.printf
+      "static verdict: %d finding(s); agreement both-clean=%d \
+       both-flagged=%d static-only=%d dynamic-only=%d\n"
+      (List.length r.static_findings)
+      a.both_clean a.both_flagged a.static_only a.dynamic_only;
+    List.iter
+      (fun f -> Printf.printf "  %s\n" (Verify.Finding.to_string f))
+      r.static_findings
   in
   Cmd.v
     (Cmd.info "difftest"
@@ -156,12 +166,119 @@ let campaign_cmd =
   in
   let run defects max_iterations =
     let c = Ijdt_core.Campaign.run ~max_iterations ~defects () in
-    Ijdt_core.Tables.all Format.std_formatter c
+    Ijdt_core.Tables.all Format.std_formatter c;
+    let a = Ijdt_core.Campaign.agreement_totals c in
+    Printf.printf
+      "\nStatic-vs-dynamic agreement (per path × arch verdict):\n\
+      \  both clean    %6d\n\
+      \  both flagged  %6d\n\
+      \  static only   %6d\n\
+      \  dynamic only  %6d\n"
+      a.both_clean a.both_flagged a.static_only a.dynamic_only;
+    let sc = Ijdt_core.Campaign.static_causes c in
+    Printf.printf "Static root causes: %d\n" (List.length sc);
+    List.iter
+      (fun (family, cause, n) ->
+        Printf.printf "  %-28s %s (%d)\n"
+          (Verify.Finding.family_name family)
+          cause n)
+      sc
   in
   Cmd.v
     (Cmd.info "campaign"
        ~doc:"Run the full evaluation: 4 compilers × 2 ISAs (Tables 2-3)")
     Term.(const run $ defects_arg $ iters_arg)
+
+(* --- verify --- *)
+
+let verify_cmd =
+  let pristine_arg =
+    Arg.(
+      value & flag
+      & info [ "pristine" ]
+          ~doc:
+            "Verify the pristine (defect-free) configuration and exit \
+             non-zero on any finding.  Shorthand for $(b,--defects \
+             pristine) plus a clean-bill check; this is the CI gate.")
+  in
+  let include_missing_arg =
+    Arg.(
+      value
+      & opt bool true
+      & info [ "include-missing" ] ~docv:"BOOL"
+          ~doc:
+            "Include missing-functionality findings (absent templates / \
+             byte-code support), which are expected on the seeded \
+             configuration.")
+  in
+  let subject_opt_arg =
+    Arg.(
+      value
+      & pos 0 (some subject_conv) None
+      & info [] ~docv:"INSTR"
+          ~doc:
+            "Verify a single instruction instead of sweeping the whole \
+             test universe.")
+  in
+  let run defects pristine include_missing subject =
+    let defects = if pristine then Interpreter.Defects.pristine else defects in
+    (* absent functionality (unimplemented templates) exists in both
+       configurations and is reported by the dynamic tester on pristine
+       too; the pristine gate checks for *false* positives, i.e. any
+       finding in a wrongness family *)
+    let include_missing = include_missing && not pristine in
+    match subject with
+    | Some subject ->
+        let findings =
+          List.concat_map
+            (fun arch ->
+              match subject with
+              | Concolic.Path.Native _ ->
+                  Difftest.Runner.static_findings ~defects
+                    ~compiler:Jit.Cogits.Native_method_compiler ~arch subject
+              | Concolic.Path.Bytecode _ | Concolic.Path.Bytecode_seq _ ->
+                  List.concat_map
+                    (fun compiler ->
+                      Difftest.Runner.static_findings ~defects ~compiler ~arch
+                        subject)
+                    Jit.Cogits.bytecode_compilers)
+            Jit.Codegen.all_arches
+          |> List.sort_uniq compare
+        in
+        let findings =
+          if include_missing then findings
+          else
+            List.filter
+              (fun (f : Verify.Finding.t) ->
+                f.family <> Verify.Finding.Missing_functionality)
+              findings
+        in
+        Printf.printf "%s: %d static finding(s)\n"
+          (Concolic.Path.subject_name subject)
+          (List.length findings);
+        List.iter
+          (fun f -> Printf.printf "  %s\n" (Verify.Finding.to_string f))
+          findings;
+        if pristine && findings <> [] then exit 1
+    | None ->
+        let r = Verify.verify_all ~defects ~include_missing () in
+        Format.printf "%a" Verify.pp_report r;
+        if pristine && r.findings <> [] then begin
+          List.iter
+            (fun f ->
+              Printf.printf "  %s\n" (Verify.Finding.to_string f))
+            r.findings;
+          exit 1
+        end
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Run the static verifier suite (byte-code, IR, machine-code, \
+          cross-compiler differencing) without executing any test")
+    Term.(
+      const run $ defects_arg $ pristine_arg $ include_missing_arg
+      $ subject_opt_arg)
 
 (* --- list --- *)
 
@@ -186,4 +303,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "vmtest" ~version:"1.0.0" ~doc)
-          [ explore_cmd; difftest_cmd; campaign_cmd; list_cmd ]))
+          [ explore_cmd; difftest_cmd; campaign_cmd; verify_cmd; list_cmd ]))

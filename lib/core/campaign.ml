@@ -6,6 +6,35 @@
    per-compiler statistics — the data behind Table 2, Table 3 and
    Figures 5-7. *)
 
+(* Static-vs-dynamic agreement tallies, one count per path x arch
+   verdict (see Difftest.Runner.agreement). *)
+type agreement_counts = {
+  both_clean : int;
+  both_flagged : int;
+  static_only : int;
+  dynamic_only : int;
+}
+
+let no_agreements =
+  { both_clean = 0; both_flagged = 0; static_only = 0; dynamic_only = 0 }
+
+let add_agreement counts = function
+  | Difftest.Runner.Both_clean -> { counts with both_clean = counts.both_clean + 1 }
+  | Difftest.Runner.Both_flagged ->
+      { counts with both_flagged = counts.both_flagged + 1 }
+  | Difftest.Runner.Static_only ->
+      { counts with static_only = counts.static_only + 1 }
+  | Difftest.Runner.Dynamic_only ->
+      { counts with dynamic_only = counts.dynamic_only + 1 }
+
+let sum_agreements a b =
+  {
+    both_clean = a.both_clean + b.both_clean;
+    both_flagged = a.both_flagged + b.both_flagged;
+    static_only = a.static_only + b.static_only;
+    dynamic_only = a.dynamic_only + b.dynamic_only;
+  }
+
 type instruction_result = {
   subject : Concolic.Path.subject;
   paths : int; (* interpreter paths discovered *)
@@ -15,6 +44,9 @@ type instruction_result = {
   explore_time : float; (* seconds of concolic exploration *)
   test_time : float; (* seconds running the generated tests *)
   diffs : Difftest.Difference.t list;
+  static_findings : Verify.Finding.t list;
+      (* the unit's static verdict, deduplicated across paths *)
+  agreements : agreement_counts;
 }
 
 type compiler_result = {
@@ -66,36 +98,60 @@ let test_instruction ?(max_iterations = 96) ~defects ~arches ~compiler subject
       explore_time;
       test_time = 0.0;
       diffs = [];
+      static_findings = [];
+      agreements = no_agreements;
     }
   else begin
     let results, test_time =
       time (fun () ->
           List.map
             (fun path ->
-              let outcomes =
+              let verdicts =
                 List.map
-                  (fun arch -> Difftest.Runner.run_path ~defects ~compiler ~arch path)
+                  (fun arch ->
+                    Difftest.Runner.run_path_verified ~defects ~compiler ~arch
+                      path)
                   arches
               in
-              (path, outcomes))
+              (path, verdicts))
             exploration.paths)
+    in
+    let outcomes_of verdicts =
+      List.map (fun (v : Difftest.Runner.verified) -> v.outcome) verdicts
     in
     let curated =
       List.length
         (List.filter
-           (fun (_, outcomes) ->
+           (fun (_, verdicts) ->
              List.for_all
                (function Difftest.Runner.Curated_out _ -> false | _ -> true)
-               outcomes)
+               (outcomes_of verdicts))
            results)
     in
     let diffs =
       List.filter_map
-        (fun (_, outcomes) ->
+        (fun (_, verdicts) ->
           List.find_map
             (function Difftest.Runner.Diff d -> Some d | _ -> None)
-            outcomes)
+            (outcomes_of verdicts))
         results
+    in
+    let agreements =
+      List.fold_left
+        (fun acc (_, verdicts) ->
+          List.fold_left
+            (fun acc (v : Difftest.Runner.verified) ->
+              add_agreement acc v.agreement)
+            acc verdicts)
+        no_agreements results
+    in
+    (* the verdict is per (subject, compiler, arch); dedupe across paths *)
+    let static_findings =
+      List.concat_map
+        (fun arch ->
+          Difftest.Runner.static_findings ~defects ~compiler ~arch subject)
+        arches
+      |> List.sort_uniq compare
     in
     {
       subject;
@@ -106,6 +162,8 @@ let test_instruction ?(max_iterations = 96) ~defects ~arches ~compiler subject
       explore_time;
       test_time;
       diffs;
+      static_findings;
+      agreements;
     }
   end
 
@@ -163,3 +221,31 @@ let causes_by_family t =
       in
       (family, n))
     Difftest.Difference.all_families
+
+(* --- static-verifier aggregations --- *)
+
+let agreement_totals t =
+  List.fold_left
+    (fun acc cr ->
+      List.fold_left
+        (fun acc r -> sum_agreements acc r.agreements)
+        acc cr.instructions)
+    no_agreements t.results
+
+let all_static_findings t =
+  List.concat_map
+    (fun cr -> List.concat_map (fun r -> r.static_findings) cr.instructions)
+    t.results
+
+(* Static root causes, counted once per cause — the static analogue of
+   [causes]. *)
+let static_causes t =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (f : Verify.Finding.t) ->
+      let key = (f.family, f.cause) in
+      Hashtbl.replace tbl key
+        (1 + Option.value (Hashtbl.find_opt tbl key) ~default:0))
+    (all_static_findings t);
+  Hashtbl.fold (fun (family, cause) n acc -> (family, cause, n) :: acc) tbl []
+  |> List.sort compare

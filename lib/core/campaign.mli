@@ -6,6 +6,15 @@
     per-instruction and per-compiler statistics behind Table 2, Table 3
     and Figures 5-7. *)
 
+type agreement_counts = {
+  both_clean : int;
+  both_flagged : int;
+  static_only : int;
+  dynamic_only : int;
+}
+(** Static-vs-dynamic agreement tallies; one count per path x arch
+    verdict (see {!Difftest.Runner.agreement}). *)
+
 type instruction_result = {
   subject : Concolic.Path.subject;
   paths : int;  (** interpreter paths discovered *)
@@ -15,6 +24,9 @@ type instruction_result = {
   explore_time : float;  (** seconds of concolic exploration (Fig. 6) *)
   test_time : float;  (** seconds running the generated tests (Fig. 7) *)
   diffs : Difftest.Difference.t list;
+  static_findings : Verify.Finding.t list;
+      (** the unit's static verdict, deduplicated across paths *)
+  agreements : agreement_counts;
 }
 
 type compiler_result = {
@@ -78,3 +90,14 @@ val causes : t -> (Difftest.Difference.family * string * int) list
 
 val causes_by_family : t -> (Difftest.Difference.family * int) list
 (** Table 3: cause counts per defect family. *)
+
+(** {1 Static-verifier aggregations} *)
+
+val agreement_totals : t -> agreement_counts
+(** Campaign-wide static-vs-dynamic agreement counts. *)
+
+val all_static_findings : t -> Verify.Finding.t list
+
+val static_causes : t -> (Verify.Finding.family * string * int) list
+(** Static root causes with finding counts, counted once per cause,
+    sorted — the zero-execution analogue of {!causes}. *)

@@ -131,3 +131,19 @@ let refine_simple_arith ~(path : Concolic.Path.t) (family, cause) =
   | "simple-no-int-muldiv-prediction" when is_float_path ->
       (family, "simple-no-float-muldiv-prediction")
   | _ -> (family, cause)
+
+(* Map a static-verifier finding family onto the dynamic defect-family
+   taxonomy.  [None] for structural findings (malformed artifacts),
+   which have no dynamic counterpart in Table 3. *)
+let family_of_static : Verify.Finding.family -> Difference.family option =
+  function
+  | Verify.Finding.Missing_compiled_type_check ->
+      Some Difference.Missing_compiled_type_check
+  | Verify.Finding.Optimisation_difference ->
+      Some Difference.Optimisation_difference
+  | Verify.Finding.Behavioural_difference ->
+      Some Difference.Behavioural_difference
+  | Verify.Finding.Missing_functionality ->
+      Some Difference.Missing_functionality
+  | Verify.Finding.Simulation_error -> Some Difference.Simulation_error
+  | Verify.Finding.Structural -> None

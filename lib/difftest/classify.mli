@@ -24,3 +24,8 @@ val refine_simple_arith :
 (** Disambiguate the Simple compiler's integer- vs float-prediction
     causes using the path condition (a float path mentions
     [Is_float_object]). *)
+
+val family_of_static : Verify.Finding.family -> Difference.family option
+(** Map a static-verifier finding family onto the dynamic defect-family
+    taxonomy; [None] for structural findings, which have no dynamic
+    counterpart. *)

@@ -405,3 +405,90 @@ let run_path ~defects ~compiler ~arch (path : Concolic.Path.t) : outcome =
   | Concolic.Path.Native id, Jit.Cogits.Native_method_compiler ->
       run_native_path ~defects ~compiler ~arch path id
   | _ -> invalid_arg "Runner.run_path: compiler/subject mismatch"
+
+(* --- static pre-execution verification (the runner's pass 0) --- *)
+
+type agreement =
+  | Both_clean
+  | Both_flagged
+  | Static_only
+  | Dynamic_only
+
+type verified = {
+  outcome : outcome;
+  static_findings : Verify.Finding.t list;
+  agreement : agreement;
+}
+
+(* A static verdict depends only on (subject, compiler, arch, defects);
+   memoize it across the many paths of one instruction. *)
+let static_cache : (string, Verify.Finding.t list) Hashtbl.t =
+  Hashtbl.create 64
+
+let static_findings ~defects ~compiler ~arch
+    (subject : Concolic.Path.subject) : Verify.Finding.t list =
+  let mine = Jit.Cogits.short_name compiler in
+  let key =
+    Printf.sprintf "%s|%s|%s|%d"
+      (Concolic.Path.subject_name subject)
+      mine
+      (Jit.Codegen.arch_name arch)
+      (Hashtbl.hash defects)
+  in
+  match Hashtbl.find_opt static_cache key with
+  | Some fs -> fs
+  | None ->
+      let all =
+        match subject with
+        | Concolic.Path.Native id ->
+            Verify.verify_native_unit ~defects ~arches:[ arch ] id
+            @ Verify.differ_native ~defects id
+        | Concolic.Path.Bytecode op ->
+            Verify.verify_bytecode_unit ~defects ~compiler ~arches:[ arch ] op
+            @ Verify.differ_bytecode ~defects op
+        | Concolic.Path.Bytecode_seq ops ->
+            Verify.verify_sequence_unit ~defects ~compiler ~arches:[ arch ]
+              ops
+      in
+      (* the cross-compiler differ attributes findings per front-end;
+         keep only the ones about this test's compiler *)
+      let fs =
+        List.filter
+          (fun (f : Verify.Finding.t) ->
+            f.compiler = mine || f.compiler = "-")
+          all
+      in
+      Hashtbl.replace static_cache key fs;
+      fs
+
+(* Cross-check a static verdict against the dynamic outcome.  A match is
+   by exact root cause, or failing that by defect family (the static
+   pass sometimes names the cause more precisely than a given dynamic
+   path exposes, and vice versa). *)
+let agreement_of outcome findings =
+  match outcome with
+  | Diff (d : Difference.t) ->
+      let matches (f : Verify.Finding.t) =
+        String.equal f.cause d.cause
+        ||
+        match Classify.family_of_static f.family with
+        | Some fam -> Difference.equal_family fam d.family
+        | None -> false
+      in
+      if List.exists matches findings then Both_flagged else Dynamic_only
+  | Pass | Expected_failure | Curated_out _ ->
+      let significant =
+        List.filter
+          (fun (f : Verify.Finding.t) ->
+            Classify.family_of_static f.family <> None)
+          findings
+      in
+      if significant = [] then Both_clean else Static_only
+
+let run_path_verified ~defects ~compiler ~arch (path : Concolic.Path.t) :
+    verified =
+  let outcome = run_path ~defects ~compiler ~arch path in
+  let static_findings =
+    static_findings ~defects ~compiler ~arch path.Concolic.Path.subject
+  in
+  { outcome; static_findings; agreement = agreement_of outcome static_findings }

@@ -23,3 +23,44 @@ val run_path :
   outcome
 (** Differential-test one explored path against one compiler on one ISA.
     @raise Invalid_argument on a compiler/subject kind mismatch. *)
+
+(** {1 Static pre-execution verification}
+
+    Every test also gets a zero-execution verdict from the static
+    verifier suite ({!Verify}), cross-checked against the dynamic
+    outcome. *)
+
+type agreement =
+  | Both_clean  (** no static finding, no dynamic difference *)
+  | Both_flagged
+      (** a static finding matches the dynamic difference (by root cause
+          or by defect family) *)
+  | Static_only
+      (** the verifier flags the unit but this path passed dynamically *)
+  | Dynamic_only  (** a dynamic difference the verifier did not predict *)
+
+type verified = {
+  outcome : outcome;
+  static_findings : Verify.Finding.t list;
+      (** the unit's static verdict (memoized per subject/compiler/arch) *)
+  agreement : agreement;
+}
+
+val static_findings :
+  defects:Interpreter.Defects.t ->
+  compiler:Jit.Cogits.compiler ->
+  arch:Jit.Codegen.arch ->
+  Concolic.Path.subject ->
+  Verify.Finding.t list
+(** The static verdict for one compilation unit, restricted to findings
+    about [compiler] (cross-compiler differ findings are attributed per
+    front-end). *)
+
+val run_path_verified :
+  defects:Interpreter.Defects.t ->
+  compiler:Jit.Cogits.compiler ->
+  arch:Jit.Codegen.arch ->
+  Concolic.Path.t ->
+  verified
+(** [run_path] plus the static verdict and the static-vs-dynamic
+    agreement for this path. *)

@@ -51,22 +51,37 @@ let fit_registers (ir : Ir.ir list) : Ir.ir list =
     with Ir.Unsupported_instruction msg -> raise (Not_compiled msg)
   else ir
 
+let bytecode_policy = function
+  | Simple_stack_cogit -> Bytecode_compiler.simple_policy
+  | Stack_to_register_cogit | Register_allocating_cogit ->
+      Bytecode_compiler.stack_to_register_policy
+  | Native_method_compiler ->
+      invalid_arg "Cogits: native method compiler has no byte-code policy"
+
+(* The front-end's IR before any register allocation — what the static
+   verifier's single-assignment and cross-compiler differencing passes
+   inspect (allocation legitimately reuses registers). *)
+let frontend_ir compiler ~defects ~literals ~stack_setup instr : Ir.ir list =
+  try
+    Bytecode_compiler.compile ~defects ~policy:(bytecode_policy compiler)
+      ~literals ~stack_setup instr
+  with Ir.Unsupported_instruction msg -> raise (Not_compiled msg)
+
+let frontend_native_ir ~defects prim_id : Ir.ir list =
+  match Native_templates.compile ~defects prim_id with
+  | ir -> ir
+  | exception Native_templates.Missing_template id ->
+      raise
+        (Not_compiled
+           (Printf.sprintf "no template for native method %d (%s)" id
+              (Interpreter.Primitive_table.name id)))
+  | exception Ir.Unsupported_instruction msg -> raise (Not_compiled msg)
+
 (* Compile a byte-code instruction to IR under a compilation-unit schema
    (setup pushes + instruction + markers, Listing 3). *)
 let compile_bytecode compiler ~defects ~literals ~stack_setup instr :
     Ir.ir list =
-  let policy =
-    match compiler with
-    | Simple_stack_cogit -> Bytecode_compiler.simple_policy
-    | Stack_to_register_cogit | Register_allocating_cogit ->
-        Bytecode_compiler.stack_to_register_policy
-    | Native_method_compiler ->
-        invalid_arg "compile_bytecode: native method compiler"
-  in
-  let ir =
-    try Bytecode_compiler.compile ~defects ~policy ~literals ~stack_setup instr
-    with Ir.Unsupported_instruction msg -> raise (Not_compiled msg)
-  in
+  let ir = frontend_ir compiler ~defects ~literals ~stack_setup instr in
   match compiler with
   | Register_allocating_cogit -> (
       try Linear_scan.rewrite ir
@@ -107,16 +122,9 @@ let compile_sequence_to_machine ?lookahead compiler ~defects ~literals
    on the fail path).  Templates always go through the allocator: the
    hand-written templates use virtual registers freely. *)
 let compile_native ~defects prim_id : Ir.ir list =
-  match Native_templates.compile ~defects prim_id with
-  | ir -> (
-      try Linear_scan.rewrite ir
-      with Ir.Unsupported_instruction msg -> raise (Not_compiled msg))
-  | exception Native_templates.Missing_template id ->
-      raise
-        (Not_compiled
-           (Printf.sprintf "no template for native method %d (%s)" id
-              (Interpreter.Primitive_table.name id)))
-  | exception Ir.Unsupported_instruction msg -> raise (Not_compiled msg)
+  let ir = frontend_native_ir ~defects prim_id in
+  try Linear_scan.rewrite ir
+  with Ir.Unsupported_instruction msg -> raise (Not_compiled msg)
 
 (* Full pipeline: instruction → machine code for an architecture. *)
 let compile_bytecode_to_machine compiler ~defects ~literals ~stack_setup

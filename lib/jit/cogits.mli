@@ -26,6 +26,22 @@ val fit_registers : Ir.ir list -> Ir.ir list
 (** Spill-on-demand: units using more virtual registers than the machine
     has temps are routed through the linear-scan allocator. *)
 
+val frontend_ir :
+  compiler ->
+  defects:Interpreter.Defects.t ->
+  literals:int array ->
+  stack_setup:int list ->
+  Bytecodes.Opcode.t ->
+  Ir.ir list
+(** The front-end's IR for one byte-code unit, before any register
+    allocation — the form the static verifier's single-assignment check
+    and the cross-compiler differ inspect.
+    @raise Not_compiled when unsupported. *)
+
+val frontend_native_ir : defects:Interpreter.Defects.t -> int -> Ir.ir list
+(** A native-method template's IR before register allocation.
+    @raise Not_compiled for the seeded missing templates. *)
+
 val compile_bytecode :
   compiler ->
   defects:Interpreter.Defects.t ->

@@ -245,3 +245,29 @@ let map_vregs (f : vreg -> vreg) (i : ir) : ir =
   | I_return a -> I_return (o a)
   | I_spill_store (s, v) -> I_spill_store (s, g v)
   | I_spill_load (d, s) -> I_spill_load (g d, s)
+
+(* --- control-flow shape, for the static verifier --- *)
+
+(* Control never falls through these: a send leaves the unit through the
+   trampoline, returns and stop markers end it. *)
+let is_terminator = function
+  | I_send _ | I_return _ | I_stop _ -> true
+  | _ -> false
+
+(* The label a (conditional or unconditional) control transfer may reach. *)
+let branch_target = function
+  | I_check_small_int (_, l)
+  | I_check_not_small_int (_, l)
+  | I_check_class (_, _, l)
+  | I_check_pointers (_, l)
+  | I_check_bytes (_, l)
+  | I_check_indexable (_, l)
+  | I_check_range (_, l)
+  | I_jump_overflow l
+  | I_cmp_jump (_, _, _, l)
+  | I_fcmp_jump (_, _, _, l)
+  | I_jump l ->
+      Some l
+  | _ -> None
+
+let is_unconditional_jump = function I_jump _ -> true | _ -> false

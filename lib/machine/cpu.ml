@@ -41,8 +41,8 @@ let create ?(accessor_gaps = true) om =
     regs = Array.make Machine_code.num_regs 0;
     fregs = Array.make Machine_code.num_fregs 0.0;
     stack = [];
-    temps = Array.make 32 0;
-    spills = Array.make 64 0;
+    temps = Array.make Machine_code.num_frame_temps 0;
+    spills = Array.make Machine_code.num_spill_slots 0;
     accessors = Register_accessors.table ~gaps:accessor_gaps;
     flag_eq = false;
     flag_lt = false;

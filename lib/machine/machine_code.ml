@@ -140,3 +140,41 @@ let label_map (p : program) =
 
 let pp_program ppf (p : program) =
   Array.iteri (fun i instr -> Fmt.pf ppf "%3d: %s@." i (show_instr instr)) p
+
+(* --- reflective-trap classification --- *)
+
+(* Frame temporaries and spill slots are fixed-size arrays in the
+   simulated frame; accesses only trap when the index is statically out
+   of range. *)
+let num_frame_temps = 32
+let num_spill_slots = 64
+
+(* Which instructions may enter the simulator's reflective trap handlers
+   (cf. [Cpu]): a trapping *load* delivers its result through the
+   register-accessor table's SETTER for the destination register; a
+   trapping *store* reads its operand through the GETTER for the source
+   register.  The machine-code lint uses this to check accessor-table
+   coverage statically. *)
+type trap_class =
+  | Trap_none
+  | Trap_load of reg (* the trap handler needs a setter for this register *)
+  | Trap_store of reg (* the trap handler needs a getter for this register *)
+
+let trap_class = function
+  | Load_class_index (d, _)
+  | Load_class_object (d, _)
+  | Load_slot (d, _, _)
+  | Load_byte (d, _, _)
+  | Load_num_slots (d, _)
+  | Load_indexable_size (d, _)
+  | Load_fixed_size (d, _)
+  | Load_format (d, _)
+  | Shallow_copy_op (d, _)
+  | Char_value_op (d, _) ->
+      Trap_load d
+  | Load_temp (d, i) when i < 0 || i >= num_frame_temps -> Trap_load d
+  | Spill_load (d, s) when s < 0 || s >= num_spill_slots -> Trap_load d
+  | Store_slot (_, _, s) | Store_byte (_, _, s) -> Trap_store s
+  | Store_temp (i, s) when i < 0 || i >= num_frame_temps -> Trap_store s
+  | Spill_store (sl, s) when sl < 0 || sl >= num_spill_slots -> Trap_store s
+  | _ -> Trap_none

@@ -1,0 +1,217 @@
+(* Pass 1: the byte-code verifier.
+
+   Abstractly interprets a compiled method (or a single-instruction
+   compilation unit) over the one abstraction that matters to the JIT
+   schema: operand-stack depth.  Along every path it checks depth
+   balance (no underflow, agreeing depths at join points), branch
+   targets landing on instruction boundaries, literal/temp index
+   bounds, and flags unreachable instructions.
+
+   Two modes:
+   - [Method]: a self-contained compiled method, as the interpreter
+     executes it.  Control leaving the decoded byte-code range is a
+     finding (the interpreter would fault fetching the next opcode).
+   - [Unit]: the JIT's compilation-unit schema (Listing 3), where the
+     instruction starts on a stack pre-populated by setup pushes and a
+     branch past the end lands on an appended stop marker. *)
+
+module Op = Bytecodes.Opcode
+module Enc = Bytecodes.Encoding
+
+type mode = Method | Unit
+
+let finding ~subject cause detail =
+  Finding.v ~pass:Finding.Bytecode_check ~subject ~family:Finding.Structural
+    ~cause detail
+
+(* Stack effect of the success path; operand consumption is
+   [Op.min_operands].  Returns [None] for returns (no successor). *)
+let success_delta (op : Op.t) : int option =
+  match op with
+  | Op.Push_receiver_variable _ | Op.Push_literal_constant _ | Op.Push_temp _
+  | Op.Push_receiver | Op.Push_true | Op.Push_false | Op.Push_nil
+  | Op.Push_zero | Op.Push_one | Op.Push_minus_one | Op.Push_two
+  | Op.Push_this_context | Op.Push_temp_ext _ | Op.Push_literal_ext _
+  | Op.Push_receiver_variable_ext _ | Op.Push_integer_byte _ | Op.Dup ->
+      Some 1
+  | Op.Pop | Op.Store_and_pop_receiver_variable _ | Op.Store_and_pop_temp _
+  | Op.Store_temp_ext _ | Op.Store_receiver_variable_ext _ ->
+      Some (-1)
+  | Op.Swap | Op.Nop | Op.Jump _ | Op.Jump_ext _ -> Some 0
+  | Op.Jump_false _ | Op.Jump_true _ | Op.Jump_false_ext _
+  | Op.Jump_true_ext _ ->
+      Some (-1)
+  | Op.Arith_special _ -> Some (-1)
+  | Op.Common_special _ -> Some (1 - Op.min_operands op)
+  | Op.Send { num_args; _ } | Op.Send_ext { num_args; _ } -> Some (-num_args)
+  | Op.Return_top | Op.Return_receiver | Op.Return_true | Op.Return_false
+  | Op.Return_nil ->
+      None
+
+let verify_decoded ~subject ~mode ~num_literals ~num_temps ~initial_depth
+    (instrs : (int * Op.t) list) : Finding.t list =
+  let findings = ref [] in
+  let once = Hashtbl.create 16 in
+  let add key cause detail =
+    if not (Hashtbl.mem once key) then begin
+      Hashtbl.replace once key ();
+      findings := finding ~subject cause detail :: !findings
+    end
+  in
+  let at = Hashtbl.create 16 in
+  List.iter (fun (pc, op) -> Hashtbl.replace at pc op) instrs;
+  (* static index bounds, independent of reachability *)
+  List.iter
+    (fun (pc, op) ->
+      let oob what n limit =
+        add
+          (Printf.sprintf "oob-%s-%d" what pc)
+          (Printf.sprintf "%s-index-out-of-bounds" what)
+          (Printf.sprintf "pc %d: %s index %d outside [0, %d)" pc what n limit)
+      in
+      match op with
+      | Op.Push_literal_constant n | Op.Push_literal_ext n ->
+          if n < 0 || n >= num_literals then oob "literal" n num_literals
+      | Op.Send { selector = n; _ } | Op.Send_ext { selector = n; _ } ->
+          if n < 0 || n >= num_literals then oob "selector" n num_literals
+      | Op.Push_temp n | Op.Push_temp_ext n | Op.Store_and_pop_temp n
+      | Op.Store_temp_ext n ->
+          if n < 0 || n >= num_temps then oob "temp" n num_temps
+      | _ -> ())
+    instrs;
+  (* worklist abstract interpretation over stack depth *)
+  let depth_at = Hashtbl.create 16 in
+  let work = Queue.create () in
+  let join pc depth =
+    match Hashtbl.find_opt depth_at pc with
+    | Some d ->
+        if d <> depth then
+          add
+            (Printf.sprintf "depth-%d" pc)
+            "stack-depth-mismatch"
+            (Printf.sprintf "pc %d joined with stack depths %d and %d" pc d
+               depth)
+    | None ->
+        Hashtbl.replace depth_at pc depth;
+        Queue.add pc work
+  in
+  (* a branch target is walkable if it is an instruction boundary; in
+     unit mode a forward target past the end lands on an appended stop
+     marker (Listing 3) and is fine *)
+  let goto ~from target depth =
+    if Hashtbl.mem at target then join target depth
+    else
+      match mode with
+      | Unit ->
+          (* every out-of-unit target — forward or backward — lands on a
+             distinct appended stop marker (Listing 3) *)
+          ()
+      | Method ->
+          if target < 0 then
+            add
+              (Printf.sprintf "target-%d" from)
+              "branch-target-out-of-range"
+              (Printf.sprintf "pc %d branches to negative pc %d" from target)
+          else if List.exists (fun (pc, _) -> pc > target) instrs then
+            add
+              (Printf.sprintf "target-%d" from)
+              "branch-target-mid-instruction"
+              (Printf.sprintf "pc %d branches into the middle of an \
+                               instruction at pc %d" from target)
+          else
+            add
+              (Printf.sprintf "target-%d" from)
+              "branch-target-out-of-range"
+              (Printf.sprintf "pc %d branches past the method end to pc %d"
+                 from target)
+  in
+  let fall ~from next depth =
+    if Hashtbl.mem at next then join next depth
+    else
+      match mode with
+      | Unit -> () (* the appended stop marker catches fall-through *)
+      | Method ->
+          add
+            (Printf.sprintf "falloff-%d" from)
+            "control-falls-off-method-end"
+            (Printf.sprintf "pc %d falls through past the last instruction \
+                             (the interpreter would fault fetching pc %d)"
+               from next)
+  in
+  (match (instrs, mode) with
+  | [], Method ->
+      (* the interpreter faults immediately fetching pc 0 *)
+      add "empty" "control-falls-off-method-end"
+        "the method has no instructions; the interpreter would fault \
+         fetching pc 0"
+  | [], Unit -> ()
+  | _ :: _, _ -> join 0 initial_depth);
+  while not (Queue.is_empty work) do
+    let pc = Queue.pop work in
+    let depth = Hashtbl.find depth_at pc in
+    let op = Hashtbl.find at pc in
+    let need = Op.min_operands op in
+    if depth < need then
+      add
+        (Printf.sprintf "underflow-%d" pc)
+        "operand-stack-underflow"
+        (Printf.sprintf "pc %d: %s needs %d operand(s), stack depth is %d" pc
+           (Op.mnemonic op) need depth);
+    let next = pc + List.length (Enc.encode op) in
+    match success_delta op with
+    | None -> () (* return: no successor *)
+    | Some delta -> (
+        match op with
+        | Op.Jump d | Op.Jump_ext d -> goto ~from:pc (next + d) depth
+        | Op.Jump_false d | Op.Jump_true d | Op.Jump_false_ext d
+        | Op.Jump_true_ext d ->
+            goto ~from:pc (next + d) (depth + delta);
+            fall ~from:pc next (depth + delta)
+        | _ -> fall ~from:pc next (depth + delta))
+  done;
+  (* anything the walk never reached is dead code *)
+  List.iter
+    (fun (pc, op) ->
+      if not (Hashtbl.mem depth_at pc) then
+        add
+          (Printf.sprintf "unreach-%d" pc)
+          "unreachable-code"
+          (Printf.sprintf "pc %d: %s is unreachable" pc (Op.mnemonic op)))
+    instrs;
+  List.rev !findings
+
+let verify_method ?(subject = "method") ?(initial_depth = 0)
+    (m : Bytecodes.Compiled_method.t) : Finding.t list =
+  match Bytecodes.Compiled_method.instructions m with
+  | exception Enc.Invalid_bytecode { byte; pc } ->
+      [
+        finding ~subject "invalid-bytecode"
+          (Printf.sprintf "undecodable byte 0x%02x at pc %d" byte pc);
+      ]
+  | instrs ->
+      verify_decoded ~subject ~mode:Method
+        ~num_literals:(Bytecodes.Compiled_method.num_literals m)
+        ~num_temps:
+          (Bytecodes.Compiled_method.num_args m
+          + Bytecodes.Compiled_method.num_temps m)
+        ~initial_depth instrs
+
+let verify_unit ~num_literals ~initial_depth (op : Op.t) : Finding.t list =
+  verify_decoded ~subject:(Op.mnemonic op) ~mode:Unit ~num_literals
+    ~num_temps:Machine.Machine_code.num_frame_temps ~initial_depth
+    [ (0, op) ]
+
+let verify_seq ~num_literals ~initial_depth (ops : Op.t list) : Finding.t list
+    =
+  let _, rev =
+    List.fold_left
+      (fun (pc, acc) op ->
+        (pc + List.length (Enc.encode op), (pc, op) :: acc))
+      (0, []) ops
+  in
+  let subject =
+    String.concat ";" (List.map Op.mnemonic ops)
+  in
+  verify_decoded ~subject ~mode:Unit ~num_literals
+    ~num_temps:Machine.Machine_code.num_frame_temps ~initial_depth
+    (List.rev rev)

@@ -1,0 +1,60 @@
+(* A finding reported by one of the static verifier passes.
+
+   Findings carry a stable [cause] string aligned, wherever a dynamic
+   counterpart exists, with the root-cause strings produced by
+   [Difftest.Classify] — that is what lets the runner cross-check static
+   verdicts against dynamic classification. *)
+
+type pass =
+  | Bytecode_check (* abstract interpretation of the byte-code *)
+  | Ir_check (* dataflow checks over the cogit IR *)
+  | Machine_lint (* reachability + accessor coverage on machine code *)
+  | Frame_differ (* static cross-compiler frame-effect differencing *)
+[@@deriving show { with_path = false }, eq, ord]
+
+let pass_name = function
+  | Bytecode_check -> "bytecode"
+  | Ir_check -> "ir"
+  | Machine_lint -> "machine"
+  | Frame_differ -> "differ"
+
+(* The defect family a finding predicts.  Mirrors
+   [Difftest.Difference.family] minus the interpreter-side family (an
+   interpreter defect leaves no trace in the compiled artifacts), plus
+   [Structural] for malformed-artifact findings with no dynamic
+   counterpart. *)
+type family =
+  | Missing_compiled_type_check
+  | Optimisation_difference
+  | Behavioural_difference
+  | Missing_functionality
+  | Simulation_error
+  | Structural
+[@@deriving show { with_path = false }, eq, ord]
+
+let family_name = function
+  | Missing_compiled_type_check -> "Missing compiled type check"
+  | Optimisation_difference -> "Optimisation difference"
+  | Behavioural_difference -> "Behavioural difference"
+  | Missing_functionality -> "Missing functionality"
+  | Simulation_error -> "Simulation error"
+  | Structural -> "Structural"
+
+type t = {
+  pass : pass;
+  subject : string; (* instruction mnemonic or native-method name *)
+  compiler : string; (* cogit short name; "-" when cross-compiler *)
+  arch : string; (* "x86" / "arm32"; "-" when ISA-independent *)
+  family : family;
+  cause : string; (* stable root-cause id, cf. Difftest.Classify *)
+  detail : string;
+}
+[@@deriving show { with_path = false }, eq, ord]
+
+let v ~pass ~subject ?(compiler = "-") ?(arch = "-") ~family ~cause detail =
+  { pass; subject; compiler; arch; family; cause; detail }
+
+let to_string f =
+  Printf.sprintf "[%s] %s (%s/%s) %s: %s%s" (pass_name f.pass) f.subject
+    f.compiler f.arch (family_name f.family) f.cause
+    (if f.detail = "" then "" else " — " ^ f.detail)

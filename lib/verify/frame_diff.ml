@@ -1,0 +1,470 @@
+(* Pass 4: the static cross-compiler differ.
+
+   Works on the *front-end* IR (before register allocation) of every
+   compiler for the same unit, with zero execution:
+
+   1. A path-sensitive guard analysis tracks, per instruction, which
+      type/sign guards dominate it ([I_check_small_int],
+      [I_check_class], sign compares against zero), propagated through
+      moves, tag/untag conversions and spills, and intersected at join
+      points.  Guard-sensitive operations without the guard the
+      interpreter's semantics require are flagged with the same root
+      causes the dynamic classifier ([Difftest.Classify]) assigns —
+      this statically catches the seeded missing-compiled-type-check
+      and behavioural defect families.
+   2. A per-compiler frame-effect summary (machine-stack delta at the
+      success marker, the set of trampoline failure edges) is compared
+      across front-ends; disagreements mean at least one compiler got
+      the instruction's frame protocol wrong.  Policy freedom is
+      respected: a compiler with no reachable success marker (no fast
+      path at all) is compatible with everything.
+   3. Units a compiler cannot build at all become missing-functionality
+      findings. *)
+
+module Ir = Jit.Ir
+module Op = Bytecodes.Opcode
+module EC = Interpreter.Exit_condition
+
+(* --- guard facts --- *)
+
+type key =
+  | K_recv
+  | K_arg of int
+  | K_vreg of int
+  | K_slot of int
+  | K_const of int (* guards on constants (unit setup values) *)
+
+type fact =
+  | Small_int of key
+  | Has_class of key * int
+  | Nonneg of key (* untagged value known >= 0 *)
+
+module FS = Set.Make (struct
+  type t = fact
+
+  let compare = compare
+end)
+
+let key_of_operand : Ir.operand -> key option = function
+  | Ir.V v -> Some (K_vreg v)
+  | Ir.Recv -> Some K_recv
+  | Ir.Arg n -> Some (K_arg n)
+  | Ir.C c -> Some (K_const c)
+
+let fact_key = function Small_int k | Has_class (k, _) | Nonneg k -> k
+let kill_key k fs = FS.filter (fun f -> fact_key f <> k) fs
+
+(* Copy the facts known about [src] onto [dst].  Tag/untag conversions
+   preserve small-int-ness and sign but not class facts. *)
+let copy_facts ~classes ~src ~dst fs =
+  let base = kill_key dst fs in
+  FS.fold
+    (fun f acc ->
+      if fact_key f = src then
+        match f with
+        | Small_int _ -> FS.add (Small_int dst) acc
+        | Nonneg _ -> FS.add (Nonneg dst) acc
+        | Has_class (_, c) ->
+            if classes then FS.add (Has_class (dst, c)) acc else acc
+      else acc)
+    fs base
+
+(* Constants carry sign and small-int-ness intrinsically; class facts
+   about them (or anything else) come from dominating checks. *)
+let has_guard fs (o : Ir.operand) (want : key -> fact) =
+  let intrinsic =
+    match o with
+    | Ir.C c -> (
+        match want K_recv with
+        | Small_int _ -> c land 1 = 1 (* tagged small integer *)
+        | Nonneg _ -> c >= 0
+        | Has_class _ -> false)
+    | _ -> false
+  in
+  intrinsic
+  ||
+  match key_of_operand o with
+  | Some k -> FS.mem (want k) fs
+  | None -> false
+
+(* --- per-edge transfer function --- *)
+
+type edges = { fall : FS.t option; branch : FS.t option }
+
+let transfer (instr : Ir.ir) (fs : FS.t) : edges =
+  let kill_defs fs =
+    let defs, _ = Ir.def_use instr in
+    List.fold_left (fun acc v -> kill_key (K_vreg v) acc) fs defs
+  in
+  let copy ~classes dst src =
+    match key_of_operand src with
+    | Some sk -> copy_facts ~classes ~src:sk ~dst fs
+    | None -> kill_key dst fs
+  in
+  match instr with
+  | Ir.I_check_small_int (o, _) -> (
+      match key_of_operand o with
+      | Some k -> { fall = Some (FS.add (Small_int k) fs); branch = Some fs }
+      | None -> { fall = Some fs; branch = Some fs })
+  | Ir.I_check_class (o, cid, _) -> (
+      match key_of_operand o with
+      | Some k ->
+          { fall = Some (FS.add (Has_class (k, cid)) fs); branch = Some fs }
+      | None -> { fall = Some fs; branch = Some fs })
+  | Ir.I_cmp_jump (Ir.Lt, o, Ir.C 0, _) -> (
+      (* branch taken when negative: the fall-through knows o >= 0 *)
+      match key_of_operand o with
+      | Some k -> { fall = Some (FS.add (Nonneg k) fs); branch = Some fs }
+      | None -> { fall = Some fs; branch = Some fs })
+  | Ir.I_cmp_jump (Ir.Ge, o, Ir.C 0, _) -> (
+      match key_of_operand o with
+      | Some k -> { fall = Some fs; branch = Some (FS.add (Nonneg k) fs) }
+      | None -> { fall = Some fs; branch = Some fs })
+  | Ir.I_move (d, o) ->
+      { fall = Some (copy ~classes:true (K_vreg d) o); branch = None }
+  | Ir.I_untag (d, o) | Ir.I_tag (d, o) ->
+      { fall = Some (copy ~classes:false (K_vreg d) o); branch = None }
+  | Ir.I_spill_store (slot, v) ->
+      {
+        fall = Some (copy ~classes:true (K_slot slot) (Ir.V v));
+        branch = None;
+      }
+  | Ir.I_spill_load (d, slot) ->
+      {
+        fall =
+          Some (copy_facts ~classes:true ~src:(K_slot slot) ~dst:(K_vreg d) fs);
+        branch = None;
+      }
+  | _ ->
+      let fs' = kill_defs fs in
+      {
+        fall =
+          (if Ir.is_terminator instr || Ir.is_unconditional_jump instr then
+             None
+           else Some fs');
+        branch =
+          (match Ir.branch_target instr with
+          | Some _ -> Some fs'
+          | None -> None);
+      }
+
+let label_map code =
+  let tbl = Hashtbl.create 8 in
+  Array.iteri
+    (fun i instr ->
+      match instr with Ir.I_label l -> Hashtbl.replace tbl l i | _ -> ())
+    code;
+  tbl
+
+(* Per-instruction guard states (None = unreachable). *)
+let analyze (code : Ir.ir array) labels : FS.t option array =
+  let n = Array.length code in
+  let states = Array.make (max n 1) None in
+  let work = Queue.create () in
+  let join i fs =
+    if i < n then
+      match states.(i) with
+      | None ->
+          states.(i) <- Some fs;
+          Queue.add i work
+      | Some old ->
+          let merged = FS.inter old fs in
+          if not (FS.equal merged old) then begin
+            states.(i) <- Some merged;
+            Queue.add i work
+          end
+  in
+  if n > 0 then join 0 FS.empty;
+  while not (Queue.is_empty work) do
+    let i = Queue.pop work in
+    let fs = match states.(i) with Some fs -> fs | None -> assert false in
+    let { fall; branch } = transfer code.(i) fs in
+    (match fall with Some fs' -> join (i + 1) fs' | None -> ());
+    match (branch, Ir.branch_target code.(i)) with
+    | Some fs', Some l -> (
+        match Hashtbl.find_opt labels l with
+        | Some t -> join t fs'
+        | None -> ())
+    | _ -> ()
+  done;
+  states
+
+(* --- guard-sensitive event rules --- *)
+
+type context =
+  | Bytecode_ctx of string (* the cogit's short name *)
+  | Native_ctx of int (* the native method id *)
+
+let unbox_receiver_cause id =
+  (* aligned with Difftest.Classify's float-primitive causes *)
+  if id = 40 then "primAsFloat-receiver-check-compiled-away"
+  else
+    Printf.sprintf "%s-missing-compiled-receiver-check"
+      (Interpreter.Primitive_table.name id)
+
+let scan_events ~subject ~compiler ~ctx (code : Ir.ir array)
+    (states : FS.t option array) : Finding.t list =
+  let findings = ref [] in
+  let once = Hashtbl.create 8 in
+  let add key family cause detail =
+    if not (Hashtbl.mem once key) then begin
+      Hashtbl.replace once key ();
+      findings :=
+        Finding.v ~pass:Finding.Frame_differ ~subject ~compiler ~family ~cause
+          detail
+        :: !findings
+    end
+  in
+  let float_id = Vm_objects.Class_table.boxed_float_id in
+  Array.iteri
+    (fun i instr ->
+      match states.(i) with
+      | None -> () (* unreachable: never executed, nothing to flag *)
+      | Some fs -> (
+          match (instr, ctx) with
+          | Ir.I_unbox_float (_, o), Native_ctx id ->
+              if not (has_guard fs o (fun k -> Has_class (k, float_id))) then
+                let cause =
+                  match o with
+                  | Ir.Recv -> unbox_receiver_cause id
+                  | _ ->
+                      Printf.sprintf "%s-missing-compiled-operand-check"
+                        (Interpreter.Primitive_table.name id)
+                in
+                add ("unbox-" ^ cause) Finding.Missing_compiled_type_check
+                  cause
+                  (Printf.sprintf
+                     "instr %d unboxes a float with no dominating \
+                      boxed-float class check (the interpreter checks)"
+                     i)
+          | Ir.I_unbox_float (_, o), Bytecode_ctx _ ->
+              if not (has_guard fs o (fun k -> Has_class (k, float_id))) then
+                add
+                  (Printf.sprintf "unbox-%d" i)
+                  Finding.Missing_compiled_type_check "unchecked-float-unbox"
+                  (Printf.sprintf
+                     "instr %d unboxes a float with no dominating \
+                      boxed-float class check" i)
+          | Ir.I_alu (((Ir.And | Ir.Or | Ir.Xor) as op), _, a, b), Native_ctx _
+            ->
+              if
+                not
+                  (has_guard fs a (fun k -> Nonneg k)
+                  && has_guard fs b (fun k -> Nonneg k))
+              then
+                add "template-bitwise" Finding.Behavioural_difference
+                  "template-bitwise-unsigned-operands"
+                  (Printf.sprintf
+                     "instr %d computes %s without sign guards on both \
+                      operands; the interpreter fails negative operands"
+                     i
+                     (match op with
+                     | Ir.And -> "bitAnd:"
+                     | Ir.Or -> "bitOr:"
+                     | _ -> "bitXor:"))
+          | Ir.I_alu (Ir.Sar, _, _, Ir.V _), Native_ctx _ ->
+              add "template-sar" Finding.Behavioural_difference
+                "template-bitshift-negative-distance"
+                (Printf.sprintf
+                   "instr %d shifts right by a variable distance; the \
+                    interpreter fails negative shift distances" i)
+          | Ir.I_alu (Ir.And, _, a, b), Bytecode_ctx _ ->
+              if
+                not
+                  (has_guard fs a (fun k -> Nonneg k)
+                  && has_guard fs b (fun k -> Nonneg k))
+              then
+                add "bc-bitand" Finding.Behavioural_difference
+                  "bc-bitand-unsigned-operands"
+                  (Printf.sprintf
+                     "instr %d computes bitAnd: without sign guards on both \
+                      operands" i)
+          | Ir.I_alu (Ir.Or, _, a, b), Bytecode_ctx _ ->
+              if
+                not
+                  (has_guard fs a (fun k -> Nonneg k)
+                  && has_guard fs b (fun k -> Nonneg k))
+              then
+                add "bc-bitor" Finding.Behavioural_difference
+                  "bc-bitor-unsigned-operands"
+                  (Printf.sprintf
+                     "instr %d computes bitOr: without sign guards on both \
+                      operands" i)
+          | Ir.I_alu (Ir.Sar, _, _, Ir.V _), Bytecode_ctx _ ->
+              add "bc-sar" Finding.Behavioural_difference
+                "bc-bitshift-negative-distance"
+                (Printf.sprintf
+                   "instr %d shifts right by a variable distance; the \
+                    interpreter fails negative shift distances" i)
+          | Ir.I_alu (Ir.Xor, _, _, _), Bytecode_ctx short ->
+              add "bc-xor" Finding.Optimisation_difference
+                (short ^ "-bitxor-inlined-not-in-interpreter")
+                (Printf.sprintf
+                   "instr %d inlines bitXor:, which the interpreter always \
+                    sends" i)
+          | _ -> ()))
+    code;
+  List.rev !findings
+
+(* --- frame-effect summaries --- *)
+
+type summary = {
+  short : string;
+  success_depth : int option;
+      (* machine-stack depth at the reachable success marker *)
+  sends : (string * int) list; (* failure edges: sorted selector set *)
+}
+
+let success_marker_depth (code : Ir.ir array) labels : int option =
+  let n = Array.length code in
+  let depth = Array.make (max n 1) None in
+  let work = Queue.create () in
+  let join i d =
+    if i < n && depth.(i) = None then begin
+      depth.(i) <- Some d;
+      Queue.add i work
+    end
+  in
+  if n > 0 then join 0 0;
+  while not (Queue.is_empty work) do
+    let i = Queue.pop work in
+    let d = match depth.(i) with Some d -> d | None -> assert false in
+    let d' =
+      match code.(i) with
+      | Ir.I_push _ -> d + 1
+      | Ir.I_pop _ -> d - 1
+      | _ -> d
+    in
+    if not (Ir.is_terminator code.(i)) then begin
+      (match Ir.branch_target code.(i) with
+      | Some l -> (
+          match Hashtbl.find_opt labels l with
+          | Some t -> join t d'
+          | None -> ())
+      | None -> ());
+      if not (Ir.is_unconditional_jump code.(i)) then join (i + 1) d'
+    end
+  done;
+  let result = ref None in
+  Array.iteri
+    (fun i instr ->
+      match instr with
+      | Ir.I_stop 0 when !result = None -> result := depth.(i)
+      | _ -> ())
+    code;
+  !result
+
+let send_set (code : Ir.ir array) : (string * int) list =
+  Array.to_list code
+  |> List.filter_map (function
+       | Ir.I_send { selector; num_args } ->
+           Some (EC.selector_name selector, num_args)
+       | _ -> None)
+  |> List.sort_uniq compare
+
+let summarize ~short (code : Ir.ir array) labels : summary =
+  { short; success_depth = success_marker_depth code labels; sends = send_set code }
+
+let show_sends sends =
+  "{"
+  ^ String.concat ", "
+      (List.map (fun (s, n) -> Printf.sprintf "%s/%d" s n) sends)
+  ^ "}"
+
+(* --- entry points --- *)
+
+let differ_bytecode ~defects ~literals ~stack_setup (op : Op.t) :
+    Finding.t list =
+  let subject = Op.mnemonic op in
+  let findings = ref [] in
+  let summaries =
+    List.filter_map
+      (fun compiler ->
+        let short = Jit.Cogits.short_name compiler in
+        match
+          Jit.Cogits.frontend_ir compiler ~defects ~literals ~stack_setup op
+        with
+        | exception Jit.Cogits.Not_compiled msg ->
+            findings :=
+              Finding.v ~pass:Finding.Frame_differ ~subject ~compiler:short
+                ~family:Finding.Missing_functionality
+                ~cause:
+                  (Printf.sprintf "missing-bytecode-support-%s(%s)" subject
+                     msg)
+                (Printf.sprintf "%s cannot compile this instruction: %s"
+                   short msg)
+              :: !findings;
+            None
+        | ir ->
+            let code = Array.of_list ir in
+            let labels = label_map code in
+            let states = analyze code labels in
+            findings :=
+              !findings
+              @ scan_events ~subject ~compiler:short
+                  ~ctx:(Bytecode_ctx short) code states;
+            Some (summarize ~short code labels))
+      Jit.Cogits.bytecode_compilers
+  in
+  (* interpreter-model stack effect on the success path *)
+  (match Bytecode_verifier.success_delta op with
+  | Some delta ->
+      let expected = List.length stack_setup + delta in
+      List.iter
+        (fun s ->
+          match s.success_depth with
+          | Some d when d <> expected ->
+              findings :=
+                Finding.v ~pass:Finding.Frame_differ ~subject ~compiler:s.short
+                  ~family:Finding.Behavioural_difference
+                  ~cause:"frontend-stack-effect-disagreement"
+                  (Printf.sprintf
+                     "success-path stack depth %d, the interpreter leaves %d"
+                     d expected)
+                :: !findings
+          | _ -> ())
+        summaries
+  | None -> ());
+  (* cross-compiler comparison *)
+  (match summaries with
+  | [] | [ _ ] -> ()
+  | s0 :: rest ->
+      List.iter
+        (fun s ->
+          if s.sends <> s0.sends then
+            findings :=
+              Finding.v ~pass:Finding.Frame_differ ~subject ~compiler:s.short
+                ~family:Finding.Optimisation_difference
+                ~cause:"frontend-failure-edge-disagreement"
+                (Printf.sprintf "%s calls %s where %s calls %s" s.short
+                   (show_sends s.sends) s0.short (show_sends s0.sends))
+              :: !findings;
+          match (s0.success_depth, s.success_depth) with
+          | Some a, Some b when a <> b ->
+              findings :=
+                Finding.v ~pass:Finding.Frame_differ ~subject
+                  ~compiler:s.short ~family:Finding.Behavioural_difference
+                  ~cause:"frontend-stack-effect-disagreement"
+                  (Printf.sprintf
+                     "success-path stack depth %d, but %s leaves %d" b
+                     s0.short a)
+                :: !findings
+          | _ -> ())
+        rest);
+  !findings
+
+let differ_native ~defects (id : int) : Finding.t list =
+  let subject = Interpreter.Primitive_table.name id in
+  match Jit.Cogits.frontend_native_ir ~defects id with
+  | exception Jit.Cogits.Not_compiled _ ->
+      [
+        Finding.v ~pass:Finding.Frame_differ ~subject ~compiler:"native"
+          ~family:Finding.Missing_functionality
+          ~cause:(Printf.sprintf "missing-template-%s" subject)
+          (Printf.sprintf "no template for native method %d" id);
+      ]
+  | ir ->
+      let code = Array.of_list ir in
+      let labels = label_map code in
+      let states = analyze code labels in
+      scan_events ~subject ~compiler:"native" ~ctx:(Native_ctx id) code states

@@ -1,0 +1,232 @@
+(* Pass 2: the IR verifier.
+
+   Dataflow checks over a cogit's [Jit.Ir] output:
+   - definition-before-use of virtual registers along every path
+     (merged as set intersection at join points);
+   - machine-stack balance (no pop from an empty stack, agreeing depths
+     at joins) and trampoline calling convention: a send must have
+     receiver + arguments on the machine stack, with the argument count
+     the selector's protocol demands;
+   - spill-slot read-before-write (after [Linear_scan]);
+   - virtual-register range discipline ([reg_limit] is
+     [Ir.max_direct_vreg] for allocated units, [Ir.max_plain_vreg] for
+     front-end output);
+   - label hygiene (duplicates, undefined branch targets).
+
+   Single-assignment discipline is a separate linear scan
+   ([single_assignment]) because it only applies to pre-allocation
+   front-end IR: the allocator legitimately reuses registers. *)
+
+module Ir = Jit.Ir
+module EC = Interpreter.Exit_condition
+module Op = Bytecodes.Opcode
+module IS = Set.Make (Int)
+
+type state = { defined : IS.t; depth : int; spilled : IS.t }
+
+(* Arguments the trampoline protocol expects for a selector; [None] for
+   literal-frame selectors, whose arity only the method knows. *)
+let expected_send_arity : EC.selector -> int option = function
+  | EC.Special _ -> Some 1
+  | EC.Must_be_boolean -> Some 0
+  | EC.Common sel -> Some (Op.min_operands (Op.Common_special sel) - 1)
+  | EC.Literal _ -> None
+
+let verify ~subject ~compiler ~reg_limit (irs : Ir.ir list) : Finding.t list =
+  let code = Array.of_list irs in
+  let n = Array.length code in
+  let findings = ref [] in
+  let once = Hashtbl.create 16 in
+  let add key family cause detail =
+    if not (Hashtbl.mem once key) then begin
+      Hashtbl.replace once key ();
+      findings :=
+        Finding.v ~pass:Finding.Ir_check ~subject ~compiler ~family ~cause
+          detail
+        :: !findings
+    end
+  in
+  let str = add in
+  let labels = Hashtbl.create 8 in
+  Array.iteri
+    (fun i instr ->
+      match instr with
+      | Ir.I_label l ->
+          if Hashtbl.mem labels l then
+            str ("dup-" ^ l) Finding.Structural "duplicate-label"
+              (Printf.sprintf "label %S defined more than once" l)
+          else Hashtbl.replace labels l i
+      | _ -> ())
+    code;
+  Array.iteri
+    (fun i instr ->
+      match Ir.branch_target instr with
+      | Some l when not (Hashtbl.mem labels l) ->
+          str ("undef-" ^ l) Finding.Structural "undefined-branch-target"
+            (Printf.sprintf "instr %d branches to undefined label %S" i l)
+      | _ -> ())
+    code;
+  (* forward dataflow *)
+  let states : state option array = Array.make (max n 1) None in
+  let work = Queue.create () in
+  let join i (s : state) =
+    match states.(i) with
+    | None ->
+        states.(i) <- Some s;
+        Queue.add i work
+    | Some old ->
+        if old.depth <> s.depth then
+          str
+            (Printf.sprintf "depth-%d" i)
+            Finding.Structural "machine-stack-depth-mismatch"
+            (Printf.sprintf "instr %d joined with machine-stack depths %d \
+                             and %d" i old.depth s.depth);
+        let merged =
+          {
+            defined = IS.inter old.defined s.defined;
+            depth = old.depth;
+            spilled = IS.inter old.spilled s.spilled;
+          }
+        in
+        if
+          not
+            (IS.equal merged.defined old.defined
+            && IS.equal merged.spilled old.spilled)
+        then begin
+          states.(i) <- Some merged;
+          Queue.add i work
+        end
+  in
+  let flow ~from i s =
+    if i >= n then
+      str "falloff" Finding.Structural "control-falls-off-ir-end"
+        (Printf.sprintf "instr %d falls through past the end of the unit"
+           from)
+    else join i s
+  in
+  if n > 0 then
+    join 0 { defined = IS.empty; depth = 0; spilled = IS.empty };
+  while not (Queue.is_empty work) do
+    let i = Queue.pop work in
+    let s = match states.(i) with Some s -> s | None -> assert false in
+    let instr = code.(i) in
+    let defs, uses = Ir.def_use instr in
+    List.iter
+      (fun v ->
+        if v < 100 && not (IS.mem v s.defined) then
+          str
+            (Printf.sprintf "use-%d-%d" i v)
+            Finding.Structural "vreg-used-before-definition"
+            (Printf.sprintf "instr %d reads v%d before any definition \
+                             reaches it" i v))
+      uses;
+    List.iter
+      (fun v ->
+        if v < 100 && (v < 0 || v >= reg_limit) then
+          str
+            (Printf.sprintf "range-%d-%d" i v)
+            Finding.Structural "vreg-out-of-range"
+            (Printf.sprintf "instr %d touches v%d, outside [0, %d)" i v
+               reg_limit))
+      (defs @ uses);
+    let s' =
+      ref
+        {
+          s with
+          defined =
+            List.fold_left
+              (fun acc v -> if v < 100 then IS.add v acc else acc)
+              s.defined defs;
+        }
+    in
+    (match instr with
+    | Ir.I_push _ -> s' := { !s' with depth = s.depth + 1 }
+    | Ir.I_pop _ ->
+        if s.depth <= 0 then
+          str
+            (Printf.sprintf "pop-%d" i)
+            Finding.Structural "machine-stack-underflow"
+            (Printf.sprintf "instr %d pops an empty machine stack" i)
+        else s' := { !s' with depth = s.depth - 1 }
+    | Ir.I_send { selector; num_args } ->
+        if s.depth < num_args + 1 then
+          str
+            (Printf.sprintf "send-depth-%d" i)
+            Finding.Structural "trampoline-missing-stack-arguments"
+            (Printf.sprintf
+               "instr %d sends %s with %d argument(s) but only %d value(s) \
+                on the machine stack (receiver + args expected)"
+               i (EC.selector_name selector) num_args s.depth);
+        (match expected_send_arity selector with
+        | Some a when a <> num_args ->
+            str
+              (Printf.sprintf "send-arity-%d" i)
+              Finding.Structural "trampoline-arity-mismatch"
+              (Printf.sprintf
+                 "instr %d: selector %s expects %d argument(s), the send \
+                  passes %d"
+                 i (EC.selector_name selector) a num_args)
+        | _ -> ())
+    | Ir.I_spill_store (slot, _) ->
+        if slot < 0 || slot >= Machine.Machine_code.num_spill_slots then
+          str
+            (Printf.sprintf "spill-range-%d" i)
+            Finding.Structural "spill-slot-out-of-range"
+            (Printf.sprintf "instr %d stores spill slot %d, outside [0, %d)"
+               i slot Machine.Machine_code.num_spill_slots)
+        else s' := { !s' with spilled = IS.add slot !s'.spilled }
+    | Ir.I_spill_load (_, slot) ->
+        if slot < 0 || slot >= Machine.Machine_code.num_spill_slots then
+          str
+            (Printf.sprintf "spill-range-%d" i)
+            Finding.Structural "spill-slot-out-of-range"
+            (Printf.sprintf "instr %d loads spill slot %d, outside [0, %d)" i
+               slot Machine.Machine_code.num_spill_slots)
+        else if not (IS.mem slot s.spilled) then
+          str
+            (Printf.sprintf "spill-rbw-%d" i)
+            Finding.Structural "spill-read-before-write"
+            (Printf.sprintf
+               "instr %d reads spill slot %d before any store to it" i slot)
+    | _ -> ());
+    if not (Ir.is_terminator instr) then begin
+      (match Ir.branch_target instr with
+      | Some l -> (
+          match Hashtbl.find_opt labels l with
+          | Some ti -> join ti !s'
+          | None -> () (* already reported as undefined-branch-target *))
+      | None -> ());
+      if not (Ir.is_unconditional_jump instr) then flow ~from:i (i + 1) !s'
+    end
+  done;
+  List.rev !findings
+
+(* Single-assignment discipline per basic block, for pre-allocation
+   front-end IR: each virtual register is written at most once between
+   block boundaries (labels, branches, terminators). *)
+let single_assignment ~subject ~compiler (irs : Ir.ir list) : Finding.t list =
+  let findings = ref [] in
+  let block_defs = ref IS.empty in
+  List.iteri
+    (fun i instr ->
+      (match instr with Ir.I_label _ -> block_defs := IS.empty | _ -> ());
+      let defs, _ = Ir.def_use instr in
+      List.iter
+        (fun v ->
+          if v < 100 then begin
+            if IS.mem v !block_defs then
+              findings :=
+                Finding.v ~pass:Finding.Ir_check ~subject ~compiler
+                  ~family:Finding.Structural
+                  ~cause:"multiple-assignment-in-block"
+                  (Printf.sprintf
+                     "instr %d assigns v%d a second time in one basic block"
+                     i v)
+                :: !findings;
+            block_defs := IS.add v !block_defs
+          end)
+        defs;
+      if Ir.is_terminator instr || Ir.branch_target instr <> None then
+        block_defs := IS.empty)
+    irs;
+  List.rev !findings

@@ -1,0 +1,239 @@
+(* The static verifier suite.
+
+   Four zero-execution passes over the testing pipeline's artifacts:
+
+   1. {!Bytecode_verifier} — abstract interpretation of byte-code
+      (stack balance, branch targets, index bounds, dead code);
+   2. {!Ir_verifier} — dataflow checks over cogit IR (def-before-use,
+      single assignment before allocation, spill read-before-write,
+      trampoline calling convention);
+   3. {!Machine_lint} — reachability and register-accessor coverage on
+      lowered machine code, both ISA styles;
+   4. {!Frame_diff} — static cross-compiler differencing of guard and
+      frame-effect summaries.
+
+   [verify_bytecode_unit] / [verify_native_unit] bundle passes 1-3 for
+   one compilation unit; [Frame_diff.differ_*] is pass 4;
+   [verify_all] sweeps the whole test universe and aggregates a
+   {!type:report}. *)
+
+module Finding = Finding
+module Bytecode_verifier = Bytecode_verifier
+module Ir_verifier = Ir_verifier
+module Machine_lint = Machine_lint
+module Frame_diff = Frame_diff
+module Op = Bytecodes.Opcode
+module Ir = Jit.Ir
+
+let arch_name = Jit.Codegen.arch_name
+
+(* Canonical unit parameters, mirroring the differential runner's
+   Listing-3 schema: a literal frame of distinct tagged integers and one
+   setup push per operand the instruction consumes. *)
+let default_literals = Array.init 16 (fun i -> Ir.tagged_int (101 + i))
+
+let default_stack_setup (op : Op.t) : int list =
+  List.init (Op.min_operands op) (fun i -> Ir.tagged_int (i + 1))
+
+let has_spills ir =
+  List.exists
+    (function Ir.I_spill_store _ | Ir.I_spill_load _ -> true | _ -> false)
+    ir
+
+let reg_limit_for compiler final_ir =
+  match compiler with
+  | Jit.Cogits.Register_allocating_cogit -> Ir.max_direct_vreg
+  | _ -> if has_spills final_ir then Ir.max_direct_vreg else Ir.max_plain_vreg
+
+let not_compiled_finding ~subject ~compiler cause msg =
+  [
+    Finding.v ~pass:Finding.Ir_check ~subject
+      ~compiler:(Jit.Cogits.short_name compiler)
+      ~family:Finding.Missing_functionality ~cause
+      (Printf.sprintf "%s: %s" (Jit.Cogits.short_name compiler) msg);
+  ]
+
+(* Passes 1-3 for one byte-code compilation unit. *)
+let verify_bytecode_unit ~defects ~compiler
+    ?(arches = Jit.Codegen.all_arches) ?(literals = default_literals)
+    ?stack_setup (op : Op.t) : Finding.t list =
+  let subject = Op.mnemonic op in
+  let stack_setup =
+    match stack_setup with Some s -> s | None -> default_stack_setup op
+  in
+  let bytecode_findings =
+    Bytecode_verifier.verify_unit ~num_literals:(Array.length literals)
+      ~initial_depth:(List.length stack_setup) op
+  in
+  match
+    ( Jit.Cogits.frontend_ir compiler ~defects ~literals ~stack_setup op,
+      Jit.Cogits.compile_bytecode compiler ~defects ~literals ~stack_setup op
+    )
+  with
+  | exception Jit.Cogits.Not_compiled msg ->
+      bytecode_findings
+      @ not_compiled_finding ~subject ~compiler
+          (Printf.sprintf "missing-bytecode-support-%s(%s)" subject msg)
+          msg
+  | frontend, final ->
+      let short = Jit.Cogits.short_name compiler in
+      let ir_findings =
+        Ir_verifier.single_assignment ~subject ~compiler:short frontend
+        @ Ir_verifier.verify ~subject ~compiler:short
+            ~reg_limit:(reg_limit_for compiler final)
+            final
+      in
+      let machine_findings =
+        List.concat_map
+          (fun arch ->
+            Machine_lint.lint
+              ~accessor_gaps:defects.Interpreter.Defects.simulation_accessor_gaps
+              ~subject ~compiler:short ~arch:(arch_name arch)
+              (Jit.Codegen.lower ~arch final))
+          arches
+      in
+      bytecode_findings @ ir_findings @ machine_findings
+
+(* Passes 1-3 for a byte-code sequence unit. *)
+let verify_sequence_unit ~defects ~compiler
+    ?(arches = Jit.Codegen.all_arches) ?(literals = default_literals)
+    ?(stack_setup = []) (ops : Op.t list) : Finding.t list =
+  let subject = String.concat ";" (List.map Op.mnemonic ops) in
+  let bytecode_findings =
+    Bytecode_verifier.verify_seq ~num_literals:(Array.length literals)
+      ~initial_depth:(List.length stack_setup) ops
+  in
+  match
+    Jit.Cogits.compile_sequence compiler ~defects ~literals ~stack_setup ops
+  with
+  | exception Jit.Cogits.Not_compiled msg ->
+      bytecode_findings
+      @ not_compiled_finding ~subject ~compiler
+          (Printf.sprintf "missing-bytecode-support-%s(%s)" subject msg)
+          msg
+  | final ->
+      let short = Jit.Cogits.short_name compiler in
+      let ir_findings =
+        Ir_verifier.verify ~subject ~compiler:short
+          ~reg_limit:(reg_limit_for compiler final)
+          final
+      in
+      let machine_findings =
+        List.concat_map
+          (fun arch ->
+            Machine_lint.lint
+              ~accessor_gaps:defects.Interpreter.Defects.simulation_accessor_gaps
+              ~subject ~compiler:short ~arch:(arch_name arch)
+              (Jit.Codegen.lower ~arch final))
+          arches
+      in
+      bytecode_findings @ ir_findings @ machine_findings
+
+(* Passes 2-3 for one native-method unit. *)
+let verify_native_unit ~defects ?(arches = Jit.Codegen.all_arches) (id : int)
+    : Finding.t list =
+  let subject = Interpreter.Primitive_table.name id in
+  match Jit.Cogits.compile_native ~defects id with
+  | exception Jit.Cogits.Not_compiled msg ->
+      [
+        Finding.v ~pass:Finding.Ir_check ~subject ~compiler:"native"
+          ~family:Finding.Missing_functionality
+          ~cause:(Printf.sprintf "missing-template-%s" subject)
+          msg;
+      ]
+  | final ->
+      let ir_findings =
+        Ir_verifier.verify ~subject ~compiler:"native"
+          ~reg_limit:Ir.max_direct_vreg final
+      in
+      let machine_findings =
+        List.concat_map
+          (fun arch ->
+            Machine_lint.lint
+              ~accessor_gaps:defects.Interpreter.Defects.simulation_accessor_gaps
+              ~subject ~compiler:"native" ~arch:(arch_name arch)
+              (Jit.Codegen.lower ~arch final))
+          arches
+      in
+      ir_findings @ machine_findings
+
+(* Pass 4, with canonical unit parameters. *)
+let differ_bytecode ~defects ?(literals = default_literals) ?stack_setup
+    (op : Op.t) : Finding.t list =
+  let stack_setup =
+    match stack_setup with Some s -> s | None -> default_stack_setup op
+  in
+  Frame_diff.differ_bytecode ~defects ~literals ~stack_setup op
+
+let differ_native = Frame_diff.differ_native
+
+(* --- whole-universe sweep --- *)
+
+type report = {
+  defects : Interpreter.Defects.t;
+  units : int; (* compilation units verified *)
+  findings : Finding.t list;
+}
+
+let bytecode_universe () =
+  Bytecodes.Encoding.all_defined_opcodes ()
+  |> List.filter (fun op -> op <> Op.Push_this_context)
+
+(* Missing-functionality findings are expected on the seeded
+   configuration; [include_missing] lets callers focus on the defect
+   families that indicate wrong (rather than absent) code. *)
+let verify_all ?(defects = Interpreter.Defects.paper)
+    ?(arches = Jit.Codegen.all_arches) ?(include_missing = true) () : report =
+  let units = ref 0 in
+  let findings = ref [] in
+  let keep fs =
+    let fs =
+      if include_missing then fs
+      else
+        List.filter
+          (fun (f : Finding.t) -> f.family <> Finding.Missing_functionality)
+          fs
+    in
+    findings := !findings @ fs
+  in
+  List.iter
+    (fun op ->
+      List.iter
+        (fun compiler ->
+          incr units;
+          keep (verify_bytecode_unit ~defects ~compiler ~arches op))
+        Jit.Cogits.bytecode_compilers;
+      keep (differ_bytecode ~defects op))
+    (bytecode_universe ());
+  List.iter
+    (fun id ->
+      incr units;
+      keep (verify_native_unit ~defects ~arches id);
+      keep (differ_native ~defects id))
+    Interpreter.Primitive_table.ids;
+  { defects; units = !units; findings = !findings }
+
+(* Root causes, counted once per cause. *)
+let causes (r : report) : (Finding.family * string * int) list =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (f : Finding.t) ->
+      let key = (f.family, f.cause) in
+      Hashtbl.replace tbl key
+        (1 + Option.value (Hashtbl.find_opt tbl key) ~default:0))
+    r.findings;
+  Hashtbl.fold (fun (family, cause) n acc -> (family, cause, n) :: acc) tbl []
+  |> List.sort compare
+
+let pp_report ppf (r : report) =
+  Fmt.pf ppf "static verification: %d units, %d findings, %d causes@."
+    r.units
+    (List.length r.findings)
+    (List.length (causes r));
+  List.iter
+    (fun (family, cause, n) ->
+      Fmt.pf ppf "  %-28s %s (%d finding%s)@."
+        (Finding.family_name family)
+        cause n
+        (if n = 1 then "" else "s"))
+    (causes r)

@@ -63,6 +63,68 @@ let test_every_compiled_instruction_renders () =
            (Bytecodes.Encoding.all_defined_opcodes ())))
     Jit.Codegen.all_arches
 
+let test_lint_family_roundtrip () =
+  (* every machine-code family the static lint ([Verify.Machine_lint])
+     reasons about disassembles to the mnemonic its findings quote *)
+  let check_has name instr fragment =
+    check_bool name true (contains (Machine.Disasm.instr instr) fragment)
+  in
+  check_str "ret" "ret" (Machine.Disasm.instr MC.Ret);
+  check_str "brk" "brk #2" (Machine.Disasm.instr (MC.Brk 2));
+  check_has "trampoline"
+    (MC.Call_trampoline
+       { selector = Interpreter.Exit_condition.Must_be_boolean; num_args = 0 })
+    "ccSendTrampoline";
+  check_str "x86 jump" "jmp out" (Machine.Disasm.instr (MC.X_jmp "out"));
+  check_str "x86 cond jump" "jne out"
+    (Machine.Disasm.instr (MC.X_jcc (MC.Ne, "out")));
+  check_str "arm jump" "b out" (Machine.Disasm.instr (MC.A_b (None, "out")));
+  check_str "arm cond jump" "beq out"
+    (Machine.Disasm.instr (MC.A_b (Some MC.Eq, "out")));
+  check_str "label" "out:" (Machine.Disasm.instr (MC.Label "out"));
+  (* the reflective-trap families, with register names as the lint's
+     simulation-error causes print them *)
+  check_str "slot load" "mov rScr1, [rRcvr + 8*#2]"
+    (Machine.Disasm.instr (MC.Load_slot (MC.r_scratch1, MC.r_receiver, MC.I 2)));
+  check_str "slot store" "mov [rRcvr + 8*#2], rScr2"
+    (Machine.Disasm.instr (MC.Store_slot (MC.r_receiver, MC.I 2, MC.r_scratch2)));
+  check_has "byte load"
+    (MC.Load_byte (MC.r_scratch1, MC.r_receiver, MC.I 0))
+    "movzx rScr1, byte [rRcvr";
+  check_has "byte store"
+    (MC.Store_byte (MC.r_receiver, MC.I 0, MC.r_scratch1))
+    "mov byte [rRcvr";
+  check_str "class index" "mov rScr0, classIndexOf(rRcvr)"
+    (Machine.Disasm.instr (MC.Load_class_index (MC.r_scratch0, MC.r_receiver)));
+  check_has "num slots"
+    (MC.Load_num_slots (MC.r_scratch0, MC.r_receiver))
+    "numSlotsOf(rRcvr)";
+  check_has "indexable size"
+    (MC.Load_indexable_size (MC.r_scratch0, MC.r_receiver))
+    "indexableSizeOf(rRcvr)";
+  check_has "fixed size"
+    (MC.Load_fixed_size (MC.r_scratch0, MC.r_receiver))
+    "fixedSizeOf(rRcvr)";
+  check_has "format"
+    (MC.Load_format (MC.r_scratch0, MC.r_receiver))
+    "formatOf(rRcvr)";
+  check_has "shallow copy"
+    (MC.Shallow_copy_op (MC.r_scratch0, MC.r_receiver))
+    "ccShallowCopy";
+  check_has "char value"
+    (MC.Char_value_op (MC.r_scratch0, MC.r_receiver))
+    "ccCharValue";
+  (* frame-temp and spill families, whose static index bounds the lint
+     also checks *)
+  check_str "temp load" "mov rScr0, [fp - 8]"
+    (Machine.Disasm.instr (MC.Load_temp (MC.r_scratch0, 0)));
+  check_str "temp store" "mov [fp - 8], rScr0"
+    (Machine.Disasm.instr (MC.Store_temp (0, MC.r_scratch0)));
+  check_str "spill store" "mov [sp + 8], rScr0"
+    (Machine.Disasm.instr (MC.Spill_store (1, MC.r_scratch0)));
+  check_str "spill load" "mov rScr0, [sp + 8]"
+    (Machine.Disasm.instr (MC.Spill_load (MC.r_scratch0, 1)))
+
 let test_isa_styles_disjoint () =
   (* an x86 listing contains no ARM-style mnemonics and vice versa *)
   let literals = Array.init 16 (fun i -> Jit.Ir.tagged_int (101 + i)) in
@@ -89,4 +151,6 @@ let suite =
     Alcotest.test_case "every compiled instruction renders" `Quick
       test_every_compiled_instruction_renders;
     Alcotest.test_case "ISA styles disjoint" `Quick test_isa_styles_disjoint;
+    Alcotest.test_case "lint opcode families roundtrip" `Quick
+      test_lint_family_roundtrip;
   ]

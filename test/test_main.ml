@@ -14,6 +14,7 @@ let () =
       ("symbolic", Test_symbolic.suite);
       ("machine", Test_machine.suite);
       ("disasm", Test_disasm.suite);
+      ("verify", Test_verify.suite);
       ("jit", Test_jit.suite);
       ("concolic", Test_concolic.suite);
       ("difftest", Test_difftest.suite);

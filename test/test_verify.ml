@@ -1,0 +1,153 @@
+(* The static verifier suite: pristine configurations get a clean bill,
+   seeded configurations are flagged statically, and the byte-code
+   verifier is sound with respect to the concrete interpreter. *)
+
+open Vm_objects
+open Bytecodes
+module CM = Interpreter.Concrete_machine
+module Op = Bytecodes.Opcode
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- pristine: zero findings, 4 cogits x 2 ISAs --- *)
+
+let test_pristine_clean () =
+  let r =
+    Verify.verify_all ~defects:Interpreter.Defects.pristine
+      ~include_missing:false ()
+  in
+  check_bool "whole universe swept" true (r.units > 600);
+  check_int "no false positives on pristine" 0 (List.length r.findings)
+
+(* --- seeded: the simulation-error and type-check defects are caught
+   statically, with zero execution --- *)
+
+let seeded_report = lazy (Verify.verify_all ~defects:Interpreter.Defects.paper ())
+
+let seeded_causes () =
+  List.map (fun (_, c, _) -> c) (Verify.causes (Lazy.force seeded_report))
+
+let test_seeded_simulation_errors () =
+  let causes = seeded_causes () in
+  check_bool "accessor setter gap flagged" true
+    (List.mem "missing reflective setter for rScr2" causes);
+  check_bool "accessor getter gap flagged" true
+    (List.mem "missing reflective getter for rScr1" causes)
+
+let test_seeded_type_check_defects () =
+  let r = Lazy.force seeded_report in
+  check_bool "a missing-compiled-type-check cause is flagged" true
+    (List.exists
+       (fun (f : Verify.Finding.t) ->
+         f.family = Verify.Finding.Missing_compiled_type_check)
+       r.findings);
+  check_bool "float receiver checks flagged" true
+    (List.mem "primFloatAdd-missing-compiled-receiver-check" (seeded_causes ()))
+
+let test_seeded_differ_families () =
+  let causes = seeded_causes () in
+  check_bool "inlined bitxor flagged" true
+    (List.mem "s2r-bitxor-inlined-not-in-interpreter" causes);
+  check_bool "unsigned bitand flagged" true
+    (List.mem "bc-bitand-unsigned-operands" causes)
+
+(* --- the runner records a verdict for every executed test --- *)
+
+let test_runner_verdicts () =
+  let defects = Interpreter.Defects.paper in
+  let arches = Jit.Codegen.all_arches in
+  let r =
+    Ijdt_core.Campaign.test_instruction ~defects ~arches
+      ~compiler:Jit.Cogits.Stack_to_register_cogit
+      (Concolic.Path.Bytecode (Op.Arith_special Op.Sel_bit_and))
+  in
+  let a = r.agreements in
+  check_int "one verdict per path x arch"
+    (r.paths * List.length arches)
+    (a.both_clean + a.both_flagged + a.static_only + a.dynamic_only);
+  check_bool "static verdict recorded" true (r.static_findings <> []);
+  check_bool "static agrees with some dynamic diff" true (a.both_flagged > 0)
+
+(* --- qcheck: programs the byte-code verifier accepts never take the
+   interpreter out of band --- *)
+
+let arbitrary_program =
+  let open QCheck.Gen in
+  let op =
+    frequency
+      [
+        ( 6,
+          oneofl
+            [
+              Op.Push_one;
+              Op.Push_two;
+              Op.Push_zero;
+              Op.Push_minus_one;
+              Op.Push_true;
+              Op.Push_false;
+              Op.Push_nil;
+              Op.Push_receiver;
+              Op.Dup;
+            ] );
+        (2, map (fun n -> Op.Push_temp n) (int_range 0 7));
+        (2, map (fun n -> Op.Push_literal_constant n) (int_range 0 7));
+        (2, oneofl [ Op.Pop; Op.Swap ]);
+        (1, map (fun n -> Op.Store_and_pop_temp n) (int_range 0 7));
+        (2, map (fun d -> Op.Jump d) (int_range 1 8));
+        (1, map (fun d -> Op.Jump_false d) (int_range 1 8));
+        (1, map (fun d -> Op.Jump_true d) (int_range 1 8));
+        ( 2,
+          oneofl
+            [
+              Op.Arith_special Op.Sel_add;
+              Op.Arith_special Op.Sel_lt;
+              Op.Arith_special Op.Sel_bit_and;
+            ] );
+        (2, oneofl [ Op.Return_top; Op.Return_receiver ]);
+      ]
+  in
+  QCheck.make
+    ~print:(fun ops -> String.concat "; " (List.map Op.mnemonic ops))
+    (list_size (int_range 0 20) op)
+
+let qcheck_accepted_methods_run_in_band =
+  QCheck.Test.make
+    ~name:"qcheck: verifier-accepted methods stay in band under Interp"
+    ~count:500 arbitrary_program (fun instrs ->
+      let om = Object_memory.create () in
+      let temps = [| Value.of_small_int 7; Value.of_small_int 8 |] in
+      let literals = List.init 4 (fun i -> Value.of_small_int (10 + i)) in
+      let meth =
+        Method_builder.build (Object_memory.heap om) ~args:0
+          ~temps:(Array.length temps) ~literals instrs
+      in
+      match Verify.Bytecode_verifier.verify_method meth with
+      | _ :: _ -> true (* rejected: no claim about execution *)
+      | [] -> (
+          let frame =
+            Interpreter.Frame.create ~receiver:(Value.of_small_int 0) ~meth
+              ~temps ~stack:[]
+          in
+          let m = CM.create ~om ~frame in
+          (* in band: a clean exit, fuel exhaustion, or one of the
+             interpreter's own documented traps *)
+          match CM.Interpreter.run ~fuel:2_000 m with
+          | Ok _ | Error `Out_of_fuel -> true
+          | exception Interpreter.Machine_intf.Invalid_frame_access -> true
+          | exception Interpreter.Machine_intf.Invalid_memory_trap -> true
+          | exception Interpreter.Machine_intf.Unsupported_feature _ -> true))
+
+let suite =
+  [
+    Alcotest.test_case "pristine config is clean" `Quick test_pristine_clean;
+    Alcotest.test_case "seeded simulation errors caught statically" `Quick
+      test_seeded_simulation_errors;
+    Alcotest.test_case "seeded type-check defects caught statically" `Quick
+      test_seeded_type_check_defects;
+    Alcotest.test_case "seeded differ families caught statically" `Quick
+      test_seeded_differ_families;
+    Alcotest.test_case "runner records a verdict per test" `Quick
+      test_runner_verdicts;
+    QCheck_alcotest.to_alcotest qcheck_accepted_methods_run_in_band;
+  ]
