@@ -1,9 +1,20 @@
 #!/bin/sh -e
-# CI gate: full build, the test suite, then the static-verification
-# pristine gate (any wrongness finding on the defect-free configuration
-# is a verifier false positive and fails the build).
+# CI gate: full build, the test suite, the static-verification pristine
+# gate (any wrongness finding on the defect-free configuration is a
+# verifier false positive and fails the build), then the
+# translation-validation pristine gate (any confirmed refutation on the
+# defect-free configuration, absent templates excepted, is a validator
+# false positive and fails the build).  The validation run writes a
+# machine-readable report; override the artifact path with
+# CI_VALIDATE_REPORT and the solver-query budget with
+# CI_VALIDATE_BUDGET.
 cd "$(dirname "$0")/.."
+: "${CI_VALIDATE_REPORT:=_build/validate-pristine.json}"
+: "${CI_VALIDATE_BUDGET:=2000}"
 dune build @all
 dune runtest
 dune exec bin/vmtest.exe -- verify --pristine
+dune exec bin/vmtest.exe -- validate --pristine \
+  --budget "$CI_VALIDATE_BUDGET" --json "$CI_VALIDATE_REPORT" > /dev/null
+echo "ci: validation report at $CI_VALIDATE_REPORT"
 echo "ci: OK"

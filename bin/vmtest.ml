@@ -5,6 +5,7 @@
      difftest <instr>        differential-test one instruction
      campaign                run the full evaluation (Tables 2-3, Figs 5-7)
      verify   [<instr>]      static verifier suite, zero execution
+     validate [<instr>]      solver-backed translation validation (pass 5)
      list                    list testable instructions and native methods *)
 
 open Cmdliner
@@ -280,6 +281,208 @@ let verify_cmd =
       const run $ defects_arg $ pristine_arg $ include_missing_arg
       $ subject_opt_arg)
 
+(* --- validate: solver-backed translation validation (pass 5) --- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_counts (v : Ijdt_core.Campaign.validation_counts) =
+  Printf.sprintf
+    "{\"proved\":%d,\"refuted\":%d,\"missing\":%d,\"spurious\":%d,\
+     \"unknown\":%d,\"skipped\":%d,\"queries\":%d}"
+    v.proved v.refuted v.missing v.spurious v.unknown v.skipped v.queries
+
+let write_validation_json file ~pristine ~confirmed (c : Ijdt_core.Campaign.t)
+    =
+  let oc = open_out file in
+  let compiler_json (cr : Ijdt_core.Campaign.compiler_result) =
+    let rows =
+      List.map
+        (fun (arch, counts) ->
+          Printf.sprintf "{\"arch\":\"%s\",\"counts\":%s}"
+            (Jit.Codegen.arch_name arch)
+            (json_counts counts))
+        (Ijdt_core.Campaign.validation_by_arch cr)
+    in
+    Printf.sprintf
+      "{\"compiler\":\"%s\",\"per_arch\":[%s],\"totals\":%s}"
+      (json_escape (Jit.Cogits.short_name cr.compiler))
+      (String.concat "," rows)
+      (json_counts (Ijdt_core.Campaign.validation_totals_compiler cr))
+  in
+  let t = Ijdt_core.Campaign.validation_totals c in
+  let validated = t.proved + t.refuted + t.spurious + t.unknown in
+  Printf.fprintf oc
+    "{\"arches\":[%s],\"compilers\":[%s],\"totals\":%s,\
+     \"unknown_rate\":%.4f,\"gate\":{\"pristine\":%b,\
+     \"confirmed_refutations\":%d,\"passed\":%b}}\n"
+    (String.concat ","
+       (List.map
+          (fun a -> Printf.sprintf "\"%s\"" (Jit.Codegen.arch_name a))
+          c.arches))
+    (String.concat "," (List.map compiler_json c.results))
+    (json_counts t)
+    (if validated = 0 then 0.0
+     else float_of_int t.unknown /. float_of_int validated)
+    pristine confirmed
+    ((not pristine) || confirmed = 0);
+  close_out oc
+
+let validate_cmd =
+  let compilers_arg =
+    Arg.(
+      value
+      & opt_all compiler_conv []
+      & info [ "c"; "compiler" ] ~docv:"COMPILER"
+          ~doc:
+            "Compiler under validation (repeatable).  Default: all four; \
+             with $(b,--pristine) the Simple compiler is excluded, since \
+             its structural lack of type prediction makes \
+             interpreter-favour optimisation differences genuine (and \
+             expected) refutations.")
+  in
+  let arch_arg =
+    Arg.(
+      value
+      & opt_all arch_conv [ Jit.Codegen.X86; Jit.Codegen.Arm32 ]
+      & info [ "a"; "arch" ] ~docv:"ARCH" ~doc:"Target ISA (repeatable).")
+  in
+  let pristine_arg =
+    Arg.(
+      value & flag
+      & info [ "pristine" ]
+          ~doc:
+            "Validate the pristine (defect-free) configuration and exit \
+             non-zero on any confirmed refutation that is not an absent \
+             template; this is the CI gate.")
+  in
+  let budget_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget" ] ~docv:"N"
+          ~doc:
+            "Solver-query budget shared across the whole run; exhausted \
+             queries degrade to Unknown verdicts.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write a machine-readable JSON report to $(docv).")
+  in
+  let iters_arg =
+    Arg.(
+      value & opt int 96
+      & info [ "max-iterations" ] ~docv:"N"
+          ~doc:"Concolic execution budget per instruction.")
+  in
+  let subject_opt_arg =
+    Arg.(
+      value
+      & pos 0 (some subject_conv) None
+      & info [] ~docv:"INSTR"
+          ~doc:
+            "Validate a single instruction instead of sweeping the whole \
+             test universe.")
+  in
+  let run defects pristine compilers arches budget json max_iterations
+      subject =
+    let defects = if pristine then Interpreter.Defects.pristine else defects in
+    let budget = Option.map ref budget in
+    let compilers =
+      match compilers with
+      | [] ->
+          if pristine then
+            [
+              Jit.Cogits.Native_method_compiler;
+              Jit.Cogits.Stack_to_register_cogit;
+              Jit.Cogits.Register_allocating_cogit;
+            ]
+          else Jit.Cogits.all
+      | cs -> cs
+    in
+    (* a single instruction only meets the compilers of its kind *)
+    let compilers =
+      match subject with
+      | Some (Concolic.Path.Native _) ->
+          List.filter (( = ) Jit.Cogits.Native_method_compiler) compilers
+      | Some _ ->
+          List.filter (( <> ) Jit.Cogits.Native_method_compiler) compilers
+      | None -> compilers
+    in
+    if compilers = [] then begin
+      prerr_endline
+        "validate: no compiler of the instruction's kind selected";
+      exit 2
+    end;
+    let results =
+      List.map
+        (fun compiler ->
+          let subjects =
+            match subject with
+            | Some s -> [ s ]
+            | None -> Ijdt_core.Campaign.subjects_for compiler
+          in
+          let instructions =
+            List.map
+              (fun s ->
+                Ijdt_core.Campaign.test_instruction ~max_iterations
+                  ~validate:true ?budget ~defects ~arches ~compiler s)
+              subjects
+          in
+          { Ijdt_core.Campaign.compiler; instructions })
+        compilers
+    in
+    let c = { Ijdt_core.Campaign.defects; arches; results } in
+    Ijdt_core.Tables.validation_table Format.std_formatter c;
+    (* show each retained refutation witness, the replayable evidence *)
+    List.iter
+      (fun (cr : Ijdt_core.Campaign.compiler_result) ->
+        List.iter
+          (fun (r : Ijdt_core.Campaign.instruction_result) ->
+            List.iter
+              (fun d ->
+                Printf.printf "  witness: %s\n"
+                  (Difftest.Difference.to_string d))
+              r.diffs)
+          cr.instructions)
+      c.results;
+    let t = Ijdt_core.Campaign.validation_totals c in
+    let confirmed = t.refuted - t.missing in
+    (match json with
+    | Some file -> write_validation_json file ~pristine ~confirmed c
+    | None -> ());
+    if pristine && confirmed > 0 then begin
+      Printf.printf
+        "PRISTINE GATE FAILED: %d confirmed refutation(s) on the \
+         defect-free configuration\n"
+        confirmed;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:
+         "Solver-backed translation validation: symbolically execute the \
+          compiled code of each instruction, prove every machine path \
+          equivalent to the interpreter's path summaries, and replay any \
+          counterexample through the differential tester")
+    Term.(
+      const run $ defects_arg $ pristine_arg $ compilers_arg $ arch_arg
+      $ budget_arg $ json_arg $ iters_arg $ subject_opt_arg)
+
 (* --- list --- *)
 
 let list_cmd =
@@ -303,4 +506,11 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "vmtest" ~version:"1.0.0" ~doc)
-          [ explore_cmd; difftest_cmd; campaign_cmd; verify_cmd; list_cmd ]))
+          [
+            explore_cmd;
+            difftest_cmd;
+            campaign_cmd;
+            verify_cmd;
+            validate_cmd;
+            list_cmd;
+          ]))

@@ -35,6 +35,54 @@ let sum_agreements a b =
     dynamic_only = a.dynamic_only + b.dynamic_only;
   }
 
+(* Translation-validation tallies, one count per path x arch verdict
+   (see Difftest.Runner.validation), plus the solver queries spent. *)
+type validation_counts = {
+  proved : int;
+  refuted : int;
+  missing : int;
+      (* the subset of [refuted] whose witness is an absent template
+         ("not compiled"): real divergences, but expected ones *)
+  spurious : int;
+  unknown : int;
+  skipped : int;
+  queries : int;
+}
+
+let no_validations =
+  {
+    proved = 0;
+    refuted = 0;
+    missing = 0;
+    spurious = 0;
+    unknown = 0;
+    skipped = 0;
+    queries = 0;
+  }
+
+let add_validation counts = function
+  | Difftest.Runner.V_proved -> { counts with proved = counts.proved + 1 }
+  | Difftest.Runner.V_refuted { witness; _ } ->
+      let counts = { counts with refuted = counts.refuted + 1 } in
+      if witness.Verify.Translation_validator.missing then
+        { counts with missing = counts.missing + 1 }
+      else counts
+  | Difftest.Runner.V_spurious _ ->
+      { counts with spurious = counts.spurious + 1 }
+  | Difftest.Runner.V_unknown _ -> { counts with unknown = counts.unknown + 1 }
+  | Difftest.Runner.V_skipped _ -> { counts with skipped = counts.skipped + 1 }
+
+let sum_validations a b =
+  {
+    proved = a.proved + b.proved;
+    refuted = a.refuted + b.refuted;
+    missing = a.missing + b.missing;
+    spurious = a.spurious + b.spurious;
+    unknown = a.unknown + b.unknown;
+    skipped = a.skipped + b.skipped;
+    queries = a.queries + b.queries;
+  }
+
 type instruction_result = {
   subject : Concolic.Path.subject;
   paths : int; (* interpreter paths discovered *)
@@ -44,9 +92,12 @@ type instruction_result = {
   explore_time : float; (* seconds of concolic exploration *)
   test_time : float; (* seconds running the generated tests *)
   diffs : Difftest.Difference.t list;
+      (* witnesses deduplicated by root cause (Classify.dedupe_witnesses) *)
   static_findings : Verify.Finding.t list;
       (* the unit's static verdict, deduplicated across paths *)
   agreements : agreement_counts;
+  validations : (Jit.Codegen.arch * validation_counts) list;
+      (* per-ISA translation-validation tallies; [] unless ~validate *)
 }
 
 type compiler_result = {
@@ -82,9 +133,11 @@ let time f =
 
 (* Explore one instruction and run its differential tests against one
    compiler on the given architectures.  A path counts as ONE difference
-   if it differs on any architecture (the paper's per-path counting). *)
-let test_instruction ?(max_iterations = 96) ~defects ~arches ~compiler subject
-    : instruction_result =
+   if it differs on any architecture (the paper's per-path counting).
+   With [validate], pass 5 (solver-backed translation validation) runs
+   on every path x arch and its verdicts are tallied per ISA. *)
+let test_instruction ?(max_iterations = 96) ?(validate = false) ?budget
+    ~defects ~arches ~compiler subject : instruction_result =
   let exploration, explore_time =
     time (fun () -> Concolic.Explorer.explore ~max_iterations ~defects subject)
   in
@@ -100,6 +153,7 @@ let test_instruction ?(max_iterations = 96) ~defects ~arches ~compiler subject
       diffs = [];
       static_findings = [];
       agreements = no_agreements;
+      validations = [];
     }
   else begin
     let results, test_time =
@@ -109,15 +163,24 @@ let test_instruction ?(max_iterations = 96) ~defects ~arches ~compiler subject
               let verdicts =
                 List.map
                   (fun arch ->
-                    Difftest.Runner.run_path_verified ~defects ~compiler ~arch
-                      path)
+                    let q0 =
+                      !Verify.Translation_validator.queries_performed
+                    in
+                    let v =
+                      Difftest.Runner.run_path_verified ~validate ?budget
+                        ~defects ~compiler ~arch path
+                    in
+                    let spent =
+                      !Verify.Translation_validator.queries_performed - q0
+                    in
+                    (arch, v, spent))
                   arches
               in
               (path, verdicts))
             exploration.paths)
     in
     let outcomes_of verdicts =
-      List.map (fun (v : Difftest.Runner.verified) -> v.outcome) verdicts
+      List.map (fun (_, (v : Difftest.Runner.verified), _) -> v.outcome) verdicts
     in
     let curated =
       List.length
@@ -128,7 +191,8 @@ let test_instruction ?(max_iterations = 96) ~defects ~arches ~compiler subject
                (outcomes_of verdicts))
            results)
     in
-    let diffs =
+    (* per-path differences (the paper's Table 2 counting) ... *)
+    let path_diffs =
       List.filter_map
         (fun (_, verdicts) ->
           List.find_map
@@ -136,14 +200,39 @@ let test_instruction ?(max_iterations = 96) ~defects ~arches ~compiler subject
             (outcomes_of verdicts))
         results
     in
+    (* ... but the reported witness list is deduplicated by root cause
+       (§5.3: "a defect only once") *)
+    let diffs = Difftest.Classify.dedupe_witnesses path_diffs in
     let agreements =
       List.fold_left
         (fun acc (_, verdicts) ->
           List.fold_left
-            (fun acc (v : Difftest.Runner.verified) ->
+            (fun acc (_, (v : Difftest.Runner.verified), _) ->
               add_agreement acc v.agreement)
             acc verdicts)
         no_agreements results
+    in
+    let validations =
+      if not validate then []
+      else
+        List.map
+          (fun arch ->
+            let counts =
+              List.fold_left
+                (fun acc (_, verdicts) ->
+                  List.fold_left
+                    (fun acc (a, (v : Difftest.Runner.verified), spent) ->
+                      if a <> arch then acc
+                      else
+                        let acc = { acc with queries = acc.queries + spent } in
+                        match v.validation with
+                        | None -> acc
+                        | Some vv -> add_validation acc vv)
+                    acc verdicts)
+                no_validations results
+            in
+            (arch, counts))
+          arches
     in
     (* the verdict is per (subject, compiler, arch); dedupe across paths *)
     let static_findings =
@@ -157,32 +246,39 @@ let test_instruction ?(max_iterations = 96) ~defects ~arches ~compiler subject
       subject;
       paths = List.length exploration.paths;
       curated;
-      differences = List.length diffs;
+      differences = List.length path_diffs;
       unsupported = false;
       explore_time;
       test_time;
       diffs;
       static_findings;
       agreements;
+      validations;
     }
   end
 
-let run_compiler ?(max_iterations = 96) ~defects ~arches compiler :
-    compiler_result =
+let run_compiler ?(max_iterations = 96) ?(validate = false) ?budget ~defects
+    ~arches compiler : compiler_result =
   let instructions =
     List.map
-      (fun subject -> test_instruction ~max_iterations ~defects ~arches ~compiler subject)
+      (fun subject ->
+        test_instruction ~max_iterations ~validate ?budget ~defects ~arches
+          ~compiler subject)
       (subjects_for compiler)
   in
   { compiler; instructions }
 
-let run ?(max_iterations = 96) ?(defects = Interpreter.Defects.paper)
+let run ?(max_iterations = 96) ?(validate = false) ?budget
+    ?(defects = Interpreter.Defects.paper)
     ?(arches = Jit.Codegen.all_arches)
     ?(compilers = Jit.Cogits.all) () : t =
   {
     defects;
     arches;
-    results = List.map (run_compiler ~max_iterations ~defects ~arches) compilers;
+    results =
+      List.map
+        (run_compiler ~max_iterations ~validate ?budget ~defects ~arches)
+        compilers;
   }
 
 (* --- aggregations --- *)
@@ -236,6 +332,36 @@ let all_static_findings t =
   List.concat_map
     (fun cr -> List.concat_map (fun r -> r.static_findings) cr.instructions)
     t.results
+
+(* --- translation-validation aggregations --- *)
+
+(* Per-ISA validation tallies for one compiler, summed over its
+   instructions (the `vmtest validate' matrix rows). *)
+let validation_by_arch cr =
+  let tbl = Hashtbl.create 4 in
+  let order = ref [] in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun (arch, counts) ->
+          match Hashtbl.find_opt tbl arch with
+          | None ->
+              Hashtbl.replace tbl arch counts;
+              order := arch :: !order
+          | Some prev -> Hashtbl.replace tbl arch (sum_validations prev counts))
+        r.validations)
+    cr.instructions;
+  List.rev_map (fun arch -> (arch, Hashtbl.find tbl arch)) !order
+
+let validation_totals_compiler cr =
+  List.fold_left
+    (fun acc (_, counts) -> sum_validations acc counts)
+    no_validations (validation_by_arch cr)
+
+let validation_totals t =
+  List.fold_left
+    (fun acc cr -> sum_validations acc (validation_totals_compiler cr))
+    no_validations t.results
 
 (* Static root causes, counted once per cause — the static analogue of
    [causes]. *)

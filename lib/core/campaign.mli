@@ -15,6 +15,24 @@ type agreement_counts = {
 (** Static-vs-dynamic agreement tallies; one count per path x arch
     verdict (see {!Difftest.Runner.agreement}). *)
 
+type validation_counts = {
+  proved : int;
+  refuted : int;
+  missing : int;
+      (** the subset of [refuted] whose witness is an absent template
+          ("not compiled"): real divergences, but expected ones — the
+          pristine gate checks [refuted - missing] *)
+  spurious : int;
+  unknown : int;
+  skipped : int;
+  queries : int;  (** solver queries spent by the validator *)
+}
+(** Translation-validation tallies; one count per path x arch verdict
+    (see {!Difftest.Runner.validation}). *)
+
+val no_validations : validation_counts
+val sum_validations : validation_counts -> validation_counts -> validation_counts
+
 type instruction_result = {
   subject : Concolic.Path.subject;
   paths : int;  (** interpreter paths discovered *)
@@ -24,9 +42,15 @@ type instruction_result = {
   explore_time : float;  (** seconds of concolic exploration (Fig. 6) *)
   test_time : float;  (** seconds running the generated tests (Fig. 7) *)
   diffs : Difftest.Difference.t list;
+      (** witnesses deduplicated by root cause
+          ({!Difftest.Classify.dedupe_witnesses}); [differences] keeps
+          the per-path count *)
   static_findings : Verify.Finding.t list;
       (** the unit's static verdict, deduplicated across paths *)
   agreements : agreement_counts;
+  validations : (Jit.Codegen.arch * validation_counts) list;
+      (** per-ISA translation-validation tallies; [[]] unless the
+          campaign ran with [~validate:true] *)
 }
 
 type compiler_result = {
@@ -51,16 +75,23 @@ val subjects_for : Jit.Cogits.compiler -> Concolic.Path.subject list
 
 val test_instruction :
   ?max_iterations:int ->
+  ?validate:bool ->
+  ?budget:int ref ->
   defects:Interpreter.Defects.t ->
   arches:Jit.Codegen.arch list ->
   compiler:Jit.Cogits.compiler ->
   Concolic.Path.subject ->
   instruction_result
 (** Explore one instruction and differential-test all its paths.  A path
-    counts as one difference if it differs on any architecture. *)
+    counts as one difference if it differs on any architecture.
+    [validate] (default [false]) additionally runs solver-backed
+    translation validation (pass 5) on every path x arch; [budget] caps
+    its solver queries, shared across calls via the ref. *)
 
 val run_compiler :
   ?max_iterations:int ->
+  ?validate:bool ->
+  ?budget:int ref ->
   defects:Interpreter.Defects.t ->
   arches:Jit.Codegen.arch list ->
   Jit.Cogits.compiler ->
@@ -68,13 +99,15 @@ val run_compiler :
 
 val run :
   ?max_iterations:int ->
+  ?validate:bool ->
+  ?budget:int ref ->
   ?defects:Interpreter.Defects.t ->
   ?arches:Jit.Codegen.arch list ->
   ?compilers:Jit.Cogits.compiler list ->
   unit ->
   t
 (** The full evaluation (defaults: paper defects, both ISAs, all four
-    compilers). *)
+    compilers, no translation validation). *)
 
 (** {1 Aggregations} *)
 
@@ -85,8 +118,9 @@ val total_differences : compiler_result -> int
 val all_diffs : t -> Difftest.Difference.t list
 
 val causes : t -> (Difftest.Difference.family * string * int) list
-(** Root causes with the number of affected paths, counted once per
-    cause (paper §5.3), sorted. *)
+(** Root causes with the number of retained witnesses (after
+    per-compiler x ISA dedupe), counted once per cause (paper §5.3),
+    sorted. *)
 
 val causes_by_family : t -> (Difftest.Difference.family * int) list
 (** Table 3: cause counts per defect family. *)
@@ -101,3 +135,14 @@ val all_static_findings : t -> Verify.Finding.t list
 val static_causes : t -> (Verify.Finding.family * string * int) list
 (** Static root causes with finding counts, counted once per cause,
     sorted — the zero-execution analogue of {!causes}. *)
+
+(** {1 Translation-validation aggregations} *)
+
+val validation_by_arch :
+  compiler_result -> (Jit.Codegen.arch * validation_counts) list
+(** Per-ISA validation tallies for one compiler, summed over its
+    instructions — the rows of the [vmtest validate] matrix. *)
+
+val validation_totals_compiler : compiler_result -> validation_counts
+val validation_totals : t -> validation_counts
+(** Campaign-wide validation tallies. *)

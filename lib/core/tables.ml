@@ -100,6 +100,36 @@ let causes ppf (c : Campaign.t) =
         cause paths)
     (Campaign.causes c)
 
+(* --- Translation-validation matrix (pass 5): per-compiler x per-ISA
+   verdict counts, with the solver queries spent and the headline
+   unknown rate --- *)
+
+let validation_table ppf (c : Campaign.t) =
+  fprintf ppf "Translation validation: per-compiler x per-ISA verdicts@.";
+  fprintf ppf "%-36s %-8s %7s %8s %8s %9s %8s %8s %8s@." "Compiler" "ISA"
+    "Proved" "Refuted" "Missing" "Spurious" "Unknown" "Skipped" "Queries";
+  fprintf ppf "%s@." (String.make 108 '-');
+  List.iter
+    (fun cr ->
+      List.iter
+        (fun (arch, (v : Campaign.validation_counts)) ->
+          fprintf ppf "%-36s %-8s %7d %8d %8d %9d %8d %8d %8d@."
+            (Jit.Cogits.name cr.Campaign.compiler)
+            (Jit.Codegen.arch_name arch)
+            v.proved v.refuted v.missing v.spurious v.unknown v.skipped
+            v.queries)
+        (Campaign.validation_by_arch cr))
+    c.Campaign.results;
+  let t = Campaign.validation_totals c in
+  fprintf ppf "%s@." (String.make 108 '-');
+  fprintf ppf "%-36s %-8s %7d %8d %8d %9d %8d %8d %8d@." "Total" "" t.proved
+    t.refuted t.missing t.spurious t.unknown t.skipped t.queries;
+  let validated = t.proved + t.refuted + t.spurious + t.unknown in
+  if validated > 0 then
+    fprintf ppf "Unknown rate: %.1f%% of %d validated path verdicts@."
+      (100.0 *. float_of_int t.unknown /. float_of_int validated)
+      validated
+
 (* --- Figures: simple statistics over per-instruction series --- *)
 
 type stats = { n : int; mean : float; median : float; min : float; max : float }

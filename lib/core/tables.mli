@@ -21,6 +21,12 @@ val table3 : Format.formatter -> Campaign.t -> unit
 val causes : Format.formatter -> Campaign.t -> unit
 (** The full root-cause listing with affected-path counts. *)
 
+val validation_table : Format.formatter -> Campaign.t -> unit
+(** The per-compiler x per-ISA translation-validation verdict matrix
+    (proved / refuted / spurious / unknown / skipped, solver queries,
+    and the headline unknown rate).  Meaningful only for campaigns run
+    with [~validate:true]. *)
+
 type stats = {
   n : int;
   mean : float;

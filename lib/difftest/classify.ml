@@ -147,3 +147,34 @@ let family_of_static : Verify.Finding.family -> Difference.family option =
       Some Difference.Missing_functionality
   | Verify.Finding.Simulation_error -> Some Difference.Simulation_error
   | Verify.Finding.Structural -> None
+
+(* Counterexample deduplication (§5.3's "a defect only once"): collapse
+   witnesses sharing one root cause — same compiler, same family, same
+   cause id — before they reach the campaign tables, keeping the witness
+   with the shortest path key (the most minimal reproducer) per cause,
+   breaking ties lexicographically for determinism. *)
+let dedupe_witnesses (ds : Difference.t list) : Difference.t list =
+  let best : (string, Difference.t) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (d : Difference.t) ->
+      let key =
+        Printf.sprintf "%s|%s|%s|%s"
+          (Jit.Cogits.short_name d.compiler)
+          (Jit.Codegen.arch_name d.arch)
+          (Difference.family_name d.family)
+          d.cause
+      in
+      match Hashtbl.find_opt best key with
+      | None ->
+          Hashtbl.replace best key d;
+          order := key :: !order
+      | Some prev ->
+          let better =
+            let lp = String.length prev.path_key
+            and ld = String.length d.path_key in
+            ld < lp || (ld = lp && String.compare d.path_key prev.path_key < 0)
+          in
+          if better then Hashtbl.replace best key d)
+    ds;
+  List.rev_map (fun key -> Hashtbl.find best key) !order

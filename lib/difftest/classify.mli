@@ -29,3 +29,9 @@ val family_of_static : Verify.Finding.family -> Difference.family option
 (** Map a static-verifier finding family onto the dynamic defect-family
     taxonomy; [None] for structural findings, which have no dynamic
     counterpart. *)
+
+val dedupe_witnesses : Difference.t list -> Difference.t list
+(** Collapse witnesses sharing one root cause (compiler, arch, family,
+    cause), keeping the shortest-path-key reproducer per cause; order of
+    first appearance is preserved.  Applied before campaign
+    aggregation. *)

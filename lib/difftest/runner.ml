@@ -414,10 +414,34 @@ type agreement =
   | Static_only
   | Dynamic_only
 
+(* One path's translation-validation result (see the pass-5 section
+   below): candidates from {!Verify.Translation_validator} are confirmed
+   by concrete replay before they count as refutations. *)
+type validation =
+  | V_proved
+  | V_refuted of {
+      witness : Verify.Translation_validator.witness;
+      difference : Difference.t;
+    }
+  | V_spurious of Verify.Translation_validator.witness
+  | V_unknown of string
+  | V_skipped of string
+
+let validation_to_string = function
+  | V_proved -> "proved"
+  | V_refuted { difference; _ } ->
+      "refuted: " ^ Difference.to_string difference
+  | V_spurious w ->
+      "spurious witness: " ^ w.Verify.Translation_validator.reason
+  | V_unknown r -> "unknown: " ^ r
+  | V_skipped r -> "skipped: " ^ r
+
 type verified = {
   outcome : outcome;
   static_findings : Verify.Finding.t list;
   agreement : agreement;
+  validation : validation option;
+      (* present when the caller opted into pass 5 *)
 }
 
 (* A static verdict depends only on (subject, compiler, arch, defects);
@@ -485,10 +509,62 @@ let agreement_of outcome findings =
       in
       if significant = [] then Both_clean else Static_only
 
-let run_path_verified ~defects ~compiler ~arch (path : Concolic.Path.t) :
-    verified =
+(* --- solver-backed translation validation (the runner's pass 5) ---
+
+   The validator's [Refuted] verdicts are *candidates*: their witness
+   models satisfy both path conditions plus the mismatch predicate, but
+   only a concrete replay through [run_path] — materialising the witness
+   and running the compiled code on the simulator — turns a candidate
+   into a confirmed refutation.  Non-reproducing witnesses are kept as
+   spurious warnings (the false-positive channel of any static layer),
+   never as refutations. *)
+
+let validate_path ?budget ~defects ~compiler ~arch (path : Concolic.Path.t) :
+    validation =
+  match path.exit_ with
+  | EC.Invalid_frame -> V_skipped "invalid-frame path"
+  | _ -> (
+      let skip_native =
+        match path.subject with
+        | Concolic.Path.Native id ->
+            path.input_stack_depth <> Interpreter.Primitive_table.arity id + 1
+        | _ -> false
+      in
+      if skip_native then V_skipped "native calling-convention mismatch"
+      else
+        match
+          Verify.Translation_validator.validate_path ?query_budget:budget
+            ~defects ~compiler ~arch path
+        with
+        | Verify.Translation_validator.Proved -> V_proved
+        | Verify.Translation_validator.Unknown r -> V_unknown r
+        | Verify.Translation_validator.Refuted w -> (
+            (* replay the witness model concretely: substitute it for
+               the path's own model and re-run the full dynamic
+               pipeline *)
+            let replayed =
+              { path with Concolic.Path.model = w.Verify.Translation_validator.model }
+            in
+            match run_path ~defects ~compiler ~arch replayed with
+            | Diff difference -> V_refuted { witness = w; difference }
+            | Pass | Expected_failure -> V_spurious w
+            | Curated_out r ->
+                V_unknown ("witness not materialisable: " ^ r)))
+
+let run_path_verified ?(validate = false) ?budget ~defects ~compiler ~arch
+    (path : Concolic.Path.t) : verified =
   let outcome = run_path ~defects ~compiler ~arch path in
   let static_findings =
     static_findings ~defects ~compiler ~arch path.Concolic.Path.subject
   in
-  { outcome; static_findings; agreement = agreement_of outcome static_findings }
+  let validation =
+    if validate then
+      Some (validate_path ?budget ~defects ~compiler ~arch path)
+    else None
+  in
+  {
+    outcome;
+    static_findings;
+    agreement = agreement_of outcome static_findings;
+    validation;
+  }

@@ -39,11 +39,46 @@ type agreement =
       (** the verifier flags the unit but this path passed dynamically *)
   | Dynamic_only  (** a dynamic difference the verifier did not predict *)
 
+(** {1 Solver-backed translation validation (pass 5)}
+
+    Per-path equivalence verdicts from
+    {!Verify.Translation_validator}, with every [Refuted] candidate
+    confirmed by a concrete replay of its witness model through
+    {!run_path} before it counts. *)
+
+type validation =
+  | V_proved  (** every machine path aligns with the interpreter summary *)
+  | V_refuted of {
+      witness : Verify.Translation_validator.witness;
+      difference : Difference.t;
+          (** the difference the replayed witness reproduced *)
+    }
+  | V_spurious of Verify.Translation_validator.witness
+      (** the witness did not reproduce dynamically: a warning, not a
+          refutation *)
+  | V_unknown of string
+  | V_skipped of string
+      (** invalid-frame paths, native calling-convention mismatches *)
+
+val validation_to_string : validation -> string
+
+val validate_path :
+  ?budget:int ref ->
+  defects:Interpreter.Defects.t ->
+  compiler:Jit.Cogits.compiler ->
+  arch:Jit.Codegen.arch ->
+  Concolic.Path.t ->
+  validation
+(** Validate one path and replay any refutation witness.  [budget]
+    caps solver queries (shared across calls via the ref). *)
+
 type verified = {
   outcome : outcome;
   static_findings : Verify.Finding.t list;
       (** the unit's static verdict (memoized per subject/compiler/arch) *)
   agreement : agreement;
+  validation : validation option;
+      (** present when [run_path_verified ~validate:true] was asked *)
 }
 
 val static_findings :
@@ -57,10 +92,14 @@ val static_findings :
     front-end). *)
 
 val run_path_verified :
+  ?validate:bool ->
+  ?budget:int ref ->
   defects:Interpreter.Defects.t ->
   compiler:Jit.Cogits.compiler ->
   arch:Jit.Codegen.arch ->
   Concolic.Path.t ->
   verified
 (** [run_path] plus the static verdict and the static-vs-dynamic
-    agreement for this path. *)
+    agreement for this path.  [validate] (default [false]) additionally
+    runs solver-backed translation validation; [budget] caps its solver
+    queries. *)

@@ -23,6 +23,15 @@ let scale k a =
 
 let width t = t.hi - t.lo
 
+(* Bit-style helpers for the shift/mask fast path.  Shifting by a
+   constant is exact on both bounds ([asr] is floor division, which is
+   monotone); masking by [2^k - 1] is the identity when the interval
+   already lies inside [0, m] and widens to the full residue range
+   otherwise. *)
+let shift_left k a = scale (1 lsl k) a
+let shift_right k a = { lo = a.lo asr k; hi = a.hi asr k }
+let mask m a = if a.lo >= 0 && a.hi <= m then a else { lo = 0; hi = m }
+
 (* Tighten [a] so that [a ⋈ b] can hold for some value of [b]. *)
 let tighten_cmp (c : Symbolic.Sym_expr.cmp) a b =
   match c with

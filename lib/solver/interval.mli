@@ -21,6 +21,17 @@ val scale : int -> t -> t
 
 val width : t -> int
 
+val shift_left : int -> t -> t
+(** Exact bounds of [v lsl k] for a constant [0 <= k <= 30]. *)
+
+val shift_right : int -> t -> t
+(** Exact bounds of [v asr k] (floor division by [2^k]) for [k >= 0]. *)
+
+val mask : int -> t -> t
+(** Bounds of [v land m] for a low mask [m = 2^k - 1]: the identity when
+    the interval already lies within [0, m], else the full [0, m]
+    range. *)
+
 val tighten_cmp : Symbolic.Sym_expr.cmp -> t -> t -> t option
 (** Tighten the left interval so that [a ⋈ b] can hold for some value of
     [b]; [None] when no value remains. *)

@@ -63,6 +63,99 @@ let nil_oop = 8
 let true_oop = 16
 let false_oop = 24
 
+(* ------------------------------------------------------------------ *)
+(* Bit-operator normalisation                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The JIT lowering manipulates tagged words with shifts, masks and the
+   or-1 tag write.  Each has an exact arithmetic counterpart, valid for
+   every integer (two's complement, [asr]/[land] against a low mask are
+   floor division / floor modulus):
+
+     a lsl k          =  a * 2^k
+     a asr k          =  floor(a / 2^k)
+     a land (2^k - 1) =  a mod 2^k
+     (2a) lor 1       =  2a + 1
+
+   Rewriting them up front lets the arithmetic core reason about
+   machine-level tag manipulation instead of giving the whole condition
+   up as "bitwise".  Anything the rules do not reach (variable shift
+   distances, general masks, xor) still trips the bitwise gate below. *)
+let is_low_mask m = m >= 0 && m land (m + 1) = 0
+
+let rec normalize (e : Sym_expr.t) : Sym_expr.t =
+  match e with
+  | Var _ | Int_const _ | Float_const _ | Bool_const _ | Oop_const _ -> e
+  | Bit_or (a, b) -> (
+      let a = normalize a and b = normalize b in
+      match (a, b) with
+      | Mul (x, Int_const 2), Int_const 1
+      | Mul (Int_const 2, x), Int_const 1
+      | Int_const 1, Mul (x, Int_const 2)
+      | Int_const 1, Mul (Int_const 2, x) ->
+          Add (Mul (x, Int_const 2), Int_const 1)
+      | _ -> Bit_or (a, b))
+  | Shift_left (a, Int_const k) when k >= 0 && k <= 30 -> (
+      match normalize a with
+      | Int_const c -> Int_const (c lsl k)
+      | a -> Mul (a, Int_const (1 lsl k)))
+  | Shift_right (a, Int_const k) when k >= 0 && k <= 62 ->
+      Div (normalize a, Int_const (1 lsl k))
+  | Bit_and (a, Int_const m) when is_low_mask m ->
+      Mod (normalize a, Int_const (m + 1))
+  | Bit_and (Int_const m, a) when is_low_mask m ->
+      Mod (normalize a, Int_const (m + 1))
+  | Add (a, b) -> Add (normalize a, normalize b)
+  | Sub (a, b) -> Sub (normalize a, normalize b)
+  | Mul (a, b) -> Mul (normalize a, normalize b)
+  | Div (a, b) -> Div (normalize a, normalize b)
+  | Mod (a, b) -> Mod (normalize a, normalize b)
+  | Quo (a, b) -> Quo (normalize a, normalize b)
+  | Rem (a, b) -> Rem (normalize a, normalize b)
+  | Neg a -> Neg (normalize a)
+  | Abs a -> Abs (normalize a)
+  | Bit_and (a, b) -> Bit_and (normalize a, normalize b)
+  | Bit_xor (a, b) -> Bit_xor (normalize a, normalize b)
+  | Shift_left (a, b) -> Shift_left (normalize a, normalize b)
+  | Shift_right (a, b) -> Shift_right (normalize a, normalize b)
+  | Integer_value_of a -> Integer_value_of (normalize a)
+  | Integer_object_of a -> Integer_object_of (normalize a)
+  | Float_value_of a -> Float_value_of (normalize a)
+  | Float_object_of a -> Float_object_of (normalize a)
+  | Bool_object_of a -> Bool_object_of (normalize a)
+  | Char_object_of a -> Char_object_of (normalize a)
+  | Char_value_of a -> Char_value_of (normalize a)
+  | Class_object_of a -> Class_object_of (normalize a)
+  | Class_index_of a -> Class_index_of (normalize a)
+  | Num_slots_of a -> Num_slots_of (normalize a)
+  | Indexable_size_of a -> Indexable_size_of (normalize a)
+  | Fixed_size_of a -> Fixed_size_of (normalize a)
+  | Identity_hash_of a -> Identity_hash_of (normalize a)
+  | Slot_at (a, i) -> Slot_at (normalize a, normalize i)
+  | Byte_at (a, i) -> Byte_at (normalize a, normalize i)
+  | Point_of (a, b) -> Point_of (normalize a, normalize b)
+  | Shallow_copy_of a -> Shallow_copy_of (normalize a)
+  | Int_to_float a -> Int_to_float (normalize a)
+  | F_unop (op, a) -> F_unop (op, normalize a)
+  | F_binop (op, a, b) -> F_binop (op, normalize a, normalize b)
+  | Is_small_int a -> Is_small_int (normalize a)
+  | Is_float_object a -> Is_float_object (normalize a)
+  | Has_class (a, c) -> Has_class (normalize a, c)
+  | Describes_indexable_class a -> Describes_indexable_class (normalize a)
+  | Is_in_small_int_range a -> Is_in_small_int_range (normalize a)
+  | Is_pointers a -> Is_pointers (normalize a)
+  | Is_bytes a -> Is_bytes (normalize a)
+  | Is_indexable a -> Is_indexable (normalize a)
+  | Cmp (c, a, b) -> Cmp (c, normalize a, normalize b)
+  | F_cmp (c, a, b) -> F_cmp (c, normalize a, normalize b)
+  | Oop_eq (a, b) -> Oop_eq (normalize a, normalize b)
+  | F_is_nan a -> F_is_nan (normalize a)
+  | F_is_infinite a -> F_is_infinite (normalize a)
+  | Not a -> Not (normalize a)
+  | And (a, b) -> And (normalize a, normalize b)
+  | Or (a, b) -> Or (normalize a, normalize b)
+  | _ -> e (* float bit views: left to the precision/bitwise gates *)
+
 (* Expand a condition into a list of alternative literal lists
    (a tiny DNF).  Most conditions expand to a single branch; negated
    range checks expand to two. *)
@@ -643,6 +736,43 @@ let solve_conjunction ?(seed = 0x5EED) (lits : lit list) : conj_result =
                 | _ -> ())
               lits
           done;
+          (* 3b. interval fast path for the nonlinear shift/mask forms
+             the normaliser produces: evaluate both comparison sides to
+             intervals and reject comparisons that cannot hold. *)
+          let rec log2 n = if n <= 1 then 0 else 1 + log2 (n lsr 1) in
+          let is_pow2 n = n > 0 && n land (n - 1) = 0 in
+          let rec interval_of (e : Sym_expr.t) : Interval.t option =
+            if is_int_atom e then Hashtbl.find_opt intervals e
+            else
+              let map2 f a b =
+                match (interval_of a, interval_of b) with
+                | Some ia, Some ib -> Some (f ia ib)
+                | _ -> None
+              in
+              match e with
+              | Int_const c -> Some (Interval.exactly c)
+              | Add (a, b) -> map2 Interval.add a b
+              | Sub (a, b) -> map2 Interval.sub a b
+              | Neg a -> Option.map Interval.neg (interval_of a)
+              | Mul (a, Int_const k) | Mul (Int_const k, a) ->
+                  Option.map (Interval.scale k) (interval_of a)
+              | Div (a, Int_const k) when is_pow2 k ->
+                  Option.map (Interval.shift_right (log2 k)) (interval_of a)
+              | Mod (a, Int_const m) when is_pow2 m ->
+                  Option.map (Interval.mask (m - 1)) (interval_of a)
+              | _ -> None
+          in
+          if not !unsat then
+            List.iter
+              (function
+                | L_cmp (c, a, b) -> (
+                    match (interval_of a, interval_of b) with
+                    | Some ia, Some ib ->
+                        if Interval.tighten_cmp c ia ib = None then
+                          unsat := true
+                    | _ -> ())
+                | _ -> ())
+              lits;
           if !unsat then C_unsat
           else begin
             (* 4. Witness search. *)
@@ -857,7 +987,9 @@ let solve_conjunction ?(seed = 0x5EED) (lits : lit list) : conj_result =
 (* ------------------------------------------------------------------ *)
 
 let solve ?(seed = 0x5EED) (conds : Sym_expr.t list) : verdict =
-  (* Mirror the paper's solver limits (§4.3). *)
+  (* Eliminate the machine-level tag/shift/mask operators first, then
+     mirror the paper's solver limits (§4.3) on whatever remains. *)
+  let conds = List.map normalize conds in
   if List.exists Sym_expr.has_bitwise conds then
     Unknown "bitwise operations unsupported by the constraint solver"
   else if List.exists Limits.expr_exceeds_precision conds then

@@ -10,12 +10,22 @@
     Mirrors the paper's solver limits (§4.3): conjunctions containing
     bitwise operations or constants beyond 56-bit precision answer
     [Unknown], which the explorer and the differential tester treat as
-    curated-out. *)
+    curated-out.  The machine-level tag/shift/mask operators emitted by
+    the JIT lowering are first rewritten to exact arithmetic
+    counterparts (see {!normalize}), so conditions arising from
+    translation validation of compiled code stay inside the fragment. *)
 
 type verdict =
   | Sat of Model.t  (** concrete witnesses for every atom *)
   | Unsat
   | Unknown of string  (** outside the supported fragment *)
+
+val normalize : Symbolic.Sym_expr.t -> Symbolic.Sym_expr.t
+(** Rewrite the bit-level operators with exact arithmetic counterparts
+    (valid for all two's-complement integers; [asr] and [land] against a
+    low mask are floor division / floor modulus):
+    [a lsl k = a * 2^k], [a asr k = a / 2^k] (floor),
+    [a land (2^k - 1) = a mod 2^k], [(2a) lor 1 = 2a + 1]. *)
 
 val solve : ?seed:int -> Symbolic.Sym_expr.t list -> verdict
 (** Conjunction satisfiability.  Deterministic for a given [seed]. *)

@@ -12,14 +12,21 @@
       causes the dynamic classifier ([Difftest.Classify]) assigns —
       this statically catches the seeded missing-compiled-type-check
       and behavioural defect families.
-   2. A per-compiler frame-effect summary (machine-stack delta at the
-      success marker, the set of trampoline failure edges) is compared
-      across front-ends; disagreements mean at least one compiler got
-      the instruction's frame protocol wrong.  Policy freedom is
-      respected: a compiler with no reachable success marker (no fast
-      path at all) is compatible with everything.
+   2. A per-compiler, *per-path* frame-effect summary (one exit shape
+      and machine-stack depth per enumerated control-flow path) is
+      compared across front-ends; disagreements mean at least one
+      compiler got the instruction's frame protocol wrong.  The exit
+      shapes and their alignment predicate ({!align_exits}) are shared
+      with {!Translation_validator}, so the static differ and the
+      solver-backed validator agree on what "the same exit" means.
+      Policy freedom is respected: a compiler with no reachable success
+      marker (no fast path at all) is compatible with everything.
    3. Units a compiler cannot build at all become missing-functionality
-      findings. *)
+      findings.
+
+   Findings are deduplicated on (compiler, family, cause) before being
+   returned, so a cause double-derived by the per-path summaries (every
+   path reaches the same wrong marker) is reported once. *)
 
 module Ir = Jit.Ir
 module Op = Bytecodes.Opcode
@@ -306,70 +313,141 @@ let scan_events ~subject ~compiler ~ctx (code : Ir.ir array)
     code;
   List.rev !findings
 
-(* --- frame-effect summaries --- *)
+(* --- shared exit shapes ---
+
+   The canonical shape of one execution path's exit.  Both this pass
+   (over front-end IR, statically) and {!Translation_validator} (over
+   symbolically executed machine code, per interpreter path) project
+   their exits into this type and align them with {!align_exits} — the
+   one alignment function of the static layer. *)
+
+type path_exit =
+  | P_stop of int (* breakpoint, with its marker *)
+  | P_send of string * int (* trampoline call: selector name, num_args *)
+  | P_return (* returned to the caller *)
+  | P_fault (* memory fault / trap *)
+  | P_sim_error (* reflective simulation error *)
+  | P_other of string (* outside the fragment; aligns with nothing *)
+
+let path_exit_to_string = function
+  | P_stop m -> Printf.sprintf "stop(%d)" m
+  | P_send (s, n) -> Printf.sprintf "send %s/%d" s n
+  | P_return -> "return"
+  | P_fault -> "fault"
+  | P_sim_error -> "simulation-error"
+  | P_other r -> "other: " ^ r
+
+let align_exits (a : path_exit) (b : path_exit) : bool =
+  match (a, b) with
+  | P_stop m, P_stop n -> m = n
+  | P_send (s, n), P_send (s', n') -> String.equal s s' && n = n'
+  | P_return, P_return -> true
+  | P_fault, P_fault -> true
+  | P_sim_error, P_sim_error -> true
+  | P_other _, _ | _, P_other _ -> false
+  | (P_stop _ | P_send _ | P_return | P_fault | P_sim_error), _ -> false
+
+(* --- per-path frame-effect summaries --- *)
+
+type ir_path = { pexit : path_exit; depth : int }
+(* one enumerated control-flow path: its exit shape and the
+   machine-stack depth when it got there *)
 
 type summary = {
   short : string;
-  success_depth : int option;
-      (* machine-stack depth at the reachable success marker *)
-  sends : (string * int) list; (* failure edges: sorted selector set *)
+  paths : ir_path list; (* deduplicated, sorted *)
+  truncated : bool; (* enumeration budget hit: skip comparisons *)
 }
 
-let success_marker_depth (code : Ir.ir array) labels : int option =
+(* Enumerate the control-flow paths of a front-end IR unit, tracking the
+   machine-stack depth.  Conditional branches fork; a step budget bounds
+   loops (sequences can contain backward jumps). *)
+let enumerate_ir_paths ?(max_paths = 256) ?(max_steps = 2048)
+    (code : Ir.ir array) labels : ir_path list * bool =
   let n = Array.length code in
-  let depth = Array.make (max n 1) None in
-  let work = Queue.create () in
-  let join i d =
-    if i < n && depth.(i) = None then begin
-      depth.(i) <- Some d;
-      Queue.add i work
+  let acc = ref [] in
+  let count = ref 0 in
+  let truncated = ref false in
+  let finish p =
+    if !count < max_paths then begin
+      incr count;
+      acc := p :: !acc
     end
+    else truncated := true
   in
-  if n > 0 then join 0 0;
-  while not (Queue.is_empty work) do
-    let i = Queue.pop work in
-    let d = match depth.(i) with Some d -> d | None -> assert false in
-    let d' =
-      match code.(i) with
-      | Ir.I_push _ -> d + 1
-      | Ir.I_pop _ -> d - 1
-      | _ -> d
-    in
-    if not (Ir.is_terminator code.(i)) then begin
-      (match Ir.branch_target code.(i) with
-      | Some l -> (
-          match Hashtbl.find_opt labels l with
-          | Some t -> join t d'
-          | None -> ())
-      | None -> ());
-      if not (Ir.is_unconditional_jump code.(i)) then join (i + 1) d'
-    end
-  done;
-  let result = ref None in
-  Array.iteri
-    (fun i instr ->
+  let rec go i depth steps =
+    if steps > max_steps then truncated := true
+    else if i >= n then finish { pexit = P_other "fell off the end"; depth }
+    else
+      let instr = code.(i) in
+      let depth' =
+        match instr with
+        | Ir.I_push _ -> depth + 1
+        | Ir.I_pop _ -> depth - 1
+        | _ -> depth
+      in
       match instr with
-      | Ir.I_stop 0 when !result = None -> result := depth.(i)
-      | _ -> ())
-    code;
-  !result
-
-let send_set (code : Ir.ir array) : (string * int) list =
-  Array.to_list code
-  |> List.filter_map (function
-       | Ir.I_send { selector; num_args } ->
-           Some (EC.selector_name selector, num_args)
-       | _ -> None)
-  |> List.sort_uniq compare
+      | Ir.I_stop m -> finish { pexit = P_stop m; depth }
+      | Ir.I_return _ -> finish { pexit = P_return; depth }
+      | Ir.I_send { selector; num_args } ->
+          finish { pexit = P_send (EC.selector_name selector, num_args); depth }
+      | _ -> (
+          let target =
+            match Ir.branch_target instr with
+            | Some l -> Hashtbl.find_opt labels l
+            | None -> None
+          in
+          match target with
+          | Some t when Ir.is_unconditional_jump instr ->
+              go t depth' (steps + 1)
+          | Some t ->
+              go t depth' (steps + 1);
+              go (i + 1) depth' (steps + 1)
+          | None ->
+              if Ir.is_unconditional_jump instr then
+                finish { pexit = P_other "jump to unknown label"; depth }
+              else go (i + 1) depth' (steps + 1))
+  in
+  if n > 0 then go 0 0 0;
+  (List.sort_uniq compare !acc, !truncated)
 
 let summarize ~short (code : Ir.ir array) labels : summary =
-  { short; success_depth = success_marker_depth code labels; sends = send_set code }
+  let paths, truncated = enumerate_ir_paths code labels in
+  { short; paths; truncated }
+
+(* Derived views of a per-path summary. *)
+let success_depths (s : summary) : int list =
+  List.filter_map
+    (fun p -> match p.pexit with P_stop 0 -> Some p.depth | _ -> None)
+    s.paths
+  |> List.sort_uniq compare
+
+let send_set (s : summary) : (string * int) list =
+  List.filter_map
+    (fun p -> match p.pexit with P_send (sel, n) -> Some (sel, n) | _ -> None)
+    s.paths
+  |> List.sort_uniq compare
 
 let show_sends sends =
   "{"
   ^ String.concat ", "
       (List.map (fun (s, n) -> Printf.sprintf "%s/%d" s n) sends)
   ^ "}"
+
+(* Report each (compiler, family, cause) once, keeping the first
+   detail: the per-path summaries re-derive the same cause on every
+   path that reaches the same wrong exit. *)
+let dedupe_findings (fs : Finding.t list) : Finding.t list =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun (f : Finding.t) ->
+      let key = (f.compiler, f.family, f.cause) in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.replace seen key ();
+        true
+      end)
+    fs
 
 (* --- entry points --- *)
 
@@ -406,41 +484,56 @@ let differ_bytecode ~defects ~literals ~stack_setup (op : Op.t) :
             Some (summarize ~short code labels))
       Jit.Cogits.bytecode_compilers
   in
-  (* interpreter-model stack effect on the success path *)
+  let summaries = List.filter (fun s -> not s.truncated) summaries in
+  (* interpreter-model stack effect, per success path *)
   (match Bytecode_verifier.success_delta op with
   | Some delta ->
       let expected = List.length stack_setup + delta in
       List.iter
         (fun s ->
-          match s.success_depth with
-          | Some d when d <> expected ->
-              findings :=
-                Finding.v ~pass:Finding.Frame_differ ~subject ~compiler:s.short
-                  ~family:Finding.Behavioural_difference
-                  ~cause:"frontend-stack-effect-disagreement"
-                  (Printf.sprintf
-                     "success-path stack depth %d, the interpreter leaves %d"
-                     d expected)
-                :: !findings
-          | _ -> ())
+          List.iter
+            (fun d ->
+              if d <> expected then
+                findings :=
+                  Finding.v ~pass:Finding.Frame_differ ~subject
+                    ~compiler:s.short ~family:Finding.Behavioural_difference
+                    ~cause:"frontend-stack-effect-disagreement"
+                    (Printf.sprintf
+                       "success-path stack depth %d, the interpreter leaves \
+                        %d" d expected)
+                  :: !findings)
+            (success_depths s))
         summaries
   | None -> ());
-  (* cross-compiler comparison *)
+  (* cross-compiler comparison: failure edges must align pairwise, and
+     every pair of success paths must agree on the frame effect *)
   (match summaries with
   | [] | [ _ ] -> ()
   | s0 :: rest ->
+      let sends0 = send_set s0 in
       List.iter
         (fun s ->
-          if s.sends <> s0.sends then
+          let sends = send_set s in
+          let unmatched =
+            List.filter
+              (fun (sel, n) ->
+                not
+                  (List.exists
+                     (fun (sel0, n0) ->
+                       align_exits (P_send (sel, n)) (P_send (sel0, n0)))
+                     sends0))
+              sends
+          in
+          if unmatched <> [] || List.length sends <> List.length sends0 then
             findings :=
               Finding.v ~pass:Finding.Frame_differ ~subject ~compiler:s.short
                 ~family:Finding.Optimisation_difference
                 ~cause:"frontend-failure-edge-disagreement"
                 (Printf.sprintf "%s calls %s where %s calls %s" s.short
-                   (show_sends s.sends) s0.short (show_sends s0.sends))
+                   (show_sends sends) s0.short (show_sends sends0))
               :: !findings;
-          match (s0.success_depth, s.success_depth) with
-          | Some a, Some b when a <> b ->
+          match (success_depths s0, success_depths s) with
+          | a :: _, b :: _ when a <> b ->
               findings :=
                 Finding.v ~pass:Finding.Frame_differ ~subject
                   ~compiler:s.short ~family:Finding.Behavioural_difference
@@ -451,7 +544,7 @@ let differ_bytecode ~defects ~literals ~stack_setup (op : Op.t) :
                 :: !findings
           | _ -> ())
         rest);
-  !findings
+  dedupe_findings !findings
 
 let differ_native ~defects (id : int) : Finding.t list =
   let subject = Interpreter.Primitive_table.name id in
@@ -467,4 +560,6 @@ let differ_native ~defects (id : int) : Finding.t list =
       let code = Array.of_list ir in
       let labels = label_map code in
       let states = analyze code labels in
-      scan_events ~subject ~compiler:"native" ~ctx:(Native_ctx id) code states
+      dedupe_findings
+        (scan_events ~subject ~compiler:"native" ~ctx:(Native_ctx id) code
+           states)

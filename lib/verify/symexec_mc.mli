@@ -1,0 +1,83 @@
+(** Symbolic execution of emitted machine code.
+
+    Enumerates every path of a {!Machine.Machine_code.program} up to a
+    bounded guard depth, mirroring {!Machine.Cpu} over symbolic machine
+    words: registers, the machine operand stack, frame temporaries and
+    spill slots hold {!Symbolic.Sym_expr} terms; heap reads become
+    structural terms; trampoline calls are terminal uninterpreted
+    summaries.  Each path carries the (path condition, frame-effect
+    summary, exit condition) triple the translation validator aligns
+    against the interpreter's concolic summaries. *)
+
+(** A symbolic machine word: the same register holds a tagged oop or a
+    raw untagged integer at different points of a lowered sequence. *)
+type word =
+  | W_oop of Symbolic.Sym_expr.t  (** a tagged oop *)
+  | W_int of Symbolic.Sym_expr.t  (** a raw untagged integer *)
+  | W_const of int  (** a known concrete machine word *)
+  | W_format of Symbolic.Sym_expr.t
+      (** the header format code of this oop ([Load_format] result) *)
+  | W_unknown of string  (** a value the executor cannot track *)
+
+type fword = F_sym of Symbolic.Sym_expr.t | F_unknown of string
+
+type exit_ =
+  | M_ret of word  (** returned to the caller, result word *)
+  | M_stop of int  (** breakpoint, with its marker id *)
+  | M_send of Machine.Machine_code.send_info
+      (** called the send trampoline (uninterpreted summary) *)
+  | M_segfault  (** invalid access, ALU trap or stack underflow *)
+  | M_sim_error of string
+      (** the reflective trap handler hit a missing register accessor *)
+  | M_stuck of string  (** outside the executor's fragment *)
+
+type write =
+  | Wr_slot of { base : Symbolic.Sym_expr.t; index : word; stored : word }
+  | Wr_byte of { base : Symbolic.Sym_expr.t; index : word; stored : word }
+
+type path = {
+  conds : Symbolic.Sym_expr.t list;  (** path condition, in branch order *)
+  exit_ : exit_;
+  stack : word list;  (** machine operand stack at exit, bottom-up *)
+  temps : word array;
+  writes : write list;  (** heap stores performed, in program order *)
+}
+
+type budget = { max_paths : int; max_conds : int; max_steps : int }
+
+val default_budget : budget
+(** 192 paths, guard depth 48, 2048 steps per path. *)
+
+type result = {
+  paths : path list;
+  truncated : bool;  (** the path budget cut the enumeration short *)
+}
+
+val execute :
+  ?budget:budget ->
+  accessor_gaps:bool ->
+  subst:(int -> word option) ->
+  init_regs:(Machine.Machine_code.reg * word) list ->
+  init_temps:word array ->
+  Machine.Machine_code.program ->
+  result
+(** Enumerate the machine-code paths of [program].  [subst] rewrites
+    immediate operands (the validator threads symbolic stack words
+    through the compiler via sentinel immediates); [accessor_gaps]
+    selects which reflective traps report simulation errors (mirroring
+    {!Machine.Register_accessors.table}).  Unlisted registers start as
+    [W_const 0], floats as [F_unknown]. *)
+
+val negate_cond : Symbolic.Sym_expr.t -> Symbolic.Sym_expr.t
+(** Negation keeping integer compares compare-shaped; float compares
+    stay [Not]-wrapped (flag flipping is unsound under NaN). *)
+
+val implied : Symbolic.Sym_expr.t list -> Symbolic.Sym_expr.t -> bool
+(** [implied conds c]: do the recorded clauses syntactically imply [c]
+    (modulo the class-format derivation rules)?  Used to prune forks and
+    shared with the validator's value alignment. *)
+
+val word_to_string : word -> string
+val pp_word : word Fmt.t
+val exit_to_string : exit_ -> string
+val pp_exit : exit_ Fmt.t

@@ -1,0 +1,54 @@
+(** Solver-backed translation validation.
+
+    Aligns the symbolically executed machine code of a compiled unit
+    ({!Symexec_mc}) against one concolically explored interpreter path
+    and decides per-path equivalence: exit shapes via the shared
+    {!Frame_diff.path_exit} alignment, values syntactically (modulo
+    commutativity and the tag bridges) with {!Solver.Solve} equivalence
+    queries as fallback, and overlap queries for machine paths whose
+    exit disagrees.
+
+    A [Refuted] verdict is a *candidate*: its witness model satisfies
+    both path conditions plus the mismatch predicate, and the difftest
+    runner must replay it concretely before the refutation counts
+    (non-reproducing witnesses are downgraded to spurious warnings). *)
+
+type witness = {
+  model : Solver.Model.t;
+  reason : string;
+  missing : bool;  (** a missing-functionality (not-compiled) refutation *)
+}
+
+type verdict =
+  | Proved  (** every reachable machine path aligns with the summary *)
+  | Refuted of witness  (** candidate counterexample, pending replay *)
+  | Unknown of string  (** budget, fragment or alignment limits *)
+
+val verdict_to_string : verdict -> string
+
+val queries_performed : int ref
+(** Total solver queries posed by this module (monotone counter). *)
+
+val validate_path :
+  ?se_budget:Symexec_mc.budget ->
+  ?query_budget:int ref ->
+  defects:Interpreter.Defects.t ->
+  compiler:Jit.Cogits.compiler ->
+  arch:Jit.Codegen.arch ->
+  Concolic.Path.t ->
+  verdict
+(** Validate one interpreter path against one compiler on one ISA.
+    [query_budget] is decremented per solver query; exhausted budgets
+    answer [Unknown].  Machine-path enumeration is memoized per
+    (subject, compiler, arch, defects, frame shape).  Invalid-frame
+    paths and native paths whose stack does not match the calling
+    convention answer [Unknown] (callers treat these as skipped). *)
+
+val term_equal : Symbolic.Sym_expr.t -> Symbolic.Sym_expr.t -> bool
+(** Structural term equality modulo commutativity of [Add]/[Mul], the
+    bitwise operators and float add/mul. *)
+
+val cond_equal : Symbolic.Sym_expr.t -> Symbolic.Sym_expr.t -> bool
+(** {!term_equal} on conditions, additionally folding negated-compare
+    shapes ([Not (Cmp (c, a, b))] ≡ [Cmp (¬c, a, b)]); float compares
+    are not folded through negation (NaN). *)

@@ -22,6 +22,8 @@ module Bytecode_verifier = Bytecode_verifier
 module Ir_verifier = Ir_verifier
 module Machine_lint = Machine_lint
 module Frame_diff = Frame_diff
+module Symexec_mc = Symexec_mc
+module Translation_validator = Translation_validator
 module Op = Bytecodes.Opcode
 module Ir = Jit.Ir
 

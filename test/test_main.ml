@@ -15,6 +15,7 @@ let () =
       ("machine", Test_machine.suite);
       ("disasm", Test_disasm.suite);
       ("verify", Test_verify.suite);
+      ("validator", Test_validator.suite);
       ("jit", Test_jit.suite);
       ("concolic", Test_concolic.suite);
       ("difftest", Test_difftest.suite);

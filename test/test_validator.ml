@@ -1,0 +1,293 @@
+(* Translation validation (pass 5): pristine compilers are proved
+   per-path, every seeded defect family is refuted with a witness that
+   replays to a confirmed difference under the differential tester. *)
+
+module Op = Bytecodes.Opcode
+module EC = Interpreter.Exit_condition
+module TV = Verify.Translation_validator
+module Runner = Difftest.Runner
+module D = Difftest.Difference
+
+let check_bool = Alcotest.(check bool)
+
+let explore ?defects subject = Concolic.Explorer.explore ?defects subject
+
+let validated_paths (r : Concolic.Explorer.result) =
+  List.filter
+    (fun (p : Concolic.Path.t) -> p.exit_ <> EC.Invalid_frame)
+    r.paths
+
+(* Validate every non-invalid-frame path of [subject] with [compiler] on
+   [arch]; returns (proved, refuted-verdicts, unknown-reasons). *)
+let validate_all ?defects:(d = Interpreter.Defects.pristine) ~compiler ~arch
+    subject =
+  let r = explore ~defects:d subject in
+  let proved = ref 0 and refuted = ref [] and unknown = ref [] in
+  List.iter
+    (fun (p : Concolic.Path.t) ->
+      match TV.validate_path ~defects:d ~compiler ~arch p with
+      | TV.Proved -> incr proved
+      | TV.Refuted w -> refuted := (p, w) :: !refuted
+      | TV.Unknown reason -> unknown := reason :: !unknown)
+    (validated_paths r);
+  (!proved, List.rev !refuted, List.rev !unknown)
+
+(* Run the replay-confirming validator on every path; returns the
+   confirmed refutations (witness, reproduced difference). *)
+let confirmed_refutations ~defects ~compiler ~arch subject =
+  let r = explore ~defects subject in
+  List.filter_map
+    (fun (p : Concolic.Path.t) ->
+      match Runner.validate_path ~defects ~compiler ~arch p with
+      | Runner.V_refuted { witness; difference } -> Some (witness, difference)
+      | _ -> None)
+    r.Concolic.Explorer.paths
+
+(* --- pristine: representative instructions are proved on every
+   stack-to-register compiler x ISA pair with zero refutations --- *)
+
+let pristine_subjects =
+  [
+    Concolic.Path.Bytecode Op.Push_one;
+    Concolic.Path.Bytecode (Op.Arith_special Op.Sel_add);
+    Concolic.Path.Bytecode (Op.Arith_special Op.Sel_lt);
+    Concolic.Path.Bytecode Op.Dup;
+    Concolic.Path.Bytecode Op.Pop;
+  ]
+
+(* The simple cogit never inlines arithmetic: interpreter-favour
+   optimisation differences are genuine refutations there, exactly like
+   the dynamic pristine gate (test_difftest), so the pristine property
+   covers the two stack-to-register compilers. *)
+let pristine_compilers =
+  [ Jit.Cogits.Stack_to_register_cogit; Jit.Cogits.Register_allocating_cogit ]
+
+let test_pristine_proved () =
+  List.iter
+    (fun subject ->
+      List.iter
+        (fun compiler ->
+          List.iter
+            (fun arch ->
+              let proved, refuted, unknown =
+                validate_all ~compiler ~arch subject
+              in
+              Alcotest.(check int)
+                (Printf.sprintf "%s/%s/%s refutations"
+                   (Concolic.Path.subject_name subject)
+                   (Jit.Cogits.short_name compiler)
+                   (Jit.Codegen.arch_name arch))
+                0 (List.length refuted);
+              check_bool
+                (Printf.sprintf "%s/%s/%s proves something (%d proved, %s)"
+                   (Concolic.Path.subject_name subject)
+                   (Jit.Cogits.short_name compiler)
+                   (Jit.Codegen.arch_name arch)
+                   proved
+                   (String.concat "; " unknown))
+                true (proved > 0))
+            Jit.Codegen.all_arches)
+        pristine_compilers)
+    pristine_subjects
+
+(* Pristine native templates: implemented ones are proved; the only
+   refutations are absent templates ([missing] witnesses). *)
+let test_pristine_natives_proved_or_missing () =
+  List.iter
+    (fun id ->
+      let _, refuted, _ =
+        validate_all ~compiler:Jit.Cogits.Native_method_compiler
+          ~arch:Jit.Codegen.X86 (Concolic.Path.Native id)
+      in
+      List.iter
+        (fun ((_ : Concolic.Path.t), (w : TV.witness)) ->
+          check_bool
+            (Printf.sprintf "pristine %s refutation is a missing template (%s)"
+               (Interpreter.Primitive_table.name id)
+               w.reason)
+            true w.missing)
+        refuted)
+    Interpreter.Primitive_table.ids
+
+(* --- qcheck: the pristine property over a random sample of the
+   byte-code universe --- *)
+
+let qcheck_pristine_never_refuted =
+  let subjects =
+    Array.of_list
+      (List.filter
+         (fun op -> op <> Op.Push_this_context)
+         (Bytecodes.Encoding.all_defined_opcodes ()))
+  in
+  let arbitrary =
+    QCheck.make
+      ~print:(fun (i, c, a) ->
+        Printf.sprintf "%s/%s/%s"
+          (Op.mnemonic subjects.(i))
+          (Jit.Cogits.short_name (List.nth pristine_compilers c))
+          (Jit.Codegen.arch_name (List.nth Jit.Codegen.all_arches a)))
+      QCheck.Gen.(
+        triple
+          (int_range 0 (Array.length subjects - 1))
+          (int_range 0 (List.length pristine_compilers - 1))
+          (int_range 0 (List.length Jit.Codegen.all_arches - 1)))
+  in
+  QCheck.Test.make ~name:"qcheck: pristine instructions are never refuted"
+    ~count:60 arbitrary (fun (i, c, a) ->
+      let compiler = List.nth pristine_compilers c in
+      let arch = List.nth Jit.Codegen.all_arches a in
+      let _, refuted, _ =
+        validate_all ~compiler ~arch (Concolic.Path.Bytecode subjects.(i))
+      in
+      (* an absent byte-code template is an expected [missing] witness,
+         not a translation defect *)
+      List.for_all (fun (_, (w : TV.witness)) -> w.missing) refuted)
+
+(* --- every seeded defect family is refuted with a replayable witness --- *)
+
+let pristine = Interpreter.Defects.pristine
+
+(* (name, defect configuration, subject, compiler, expected family,
+   expected cause substring) — one row per family of defects.ml *)
+let family_cases =
+  [
+    ( "as_float_interpreter_check",
+      { pristine with Interpreter.Defects.as_float_interpreter_check = false },
+      Concolic.Path.Native 40,
+      Jit.Cogits.Native_method_compiler,
+      D.Missing_interpreter_type_check,
+      "primAsFloat-receiver-check-compiled-away" );
+    ( "float_template_receiver_check",
+      { pristine with Interpreter.Defects.float_template_receiver_check = false },
+      Concolic.Path.Native 41,
+      Jit.Cogits.Native_method_compiler,
+      D.Missing_compiled_type_check,
+      "primFloatAdd-missing-compiled-receiver-check" );
+    ( "template_bitwise_sign_checks",
+      { pristine with Interpreter.Defects.template_bitwise_sign_checks = false },
+      Concolic.Path.Native 14,
+      Jit.Cogits.Native_method_compiler,
+      D.Behavioural_difference,
+      "template-bitwise-unsigned-operands" );
+    ( "bytecode_bitwise_sign_checks",
+      { pristine with Interpreter.Defects.bytecode_bitwise_sign_checks = false },
+      Concolic.Path.Bytecode (Op.Arith_special Op.Sel_bit_and),
+      Jit.Cogits.Stack_to_register_cogit,
+      D.Behavioural_difference,
+      "bc-bitand-unsigned-operands" );
+    ( "inline_bitxor_in_stack_to_register",
+      {
+        pristine with
+        Interpreter.Defects.inline_bitxor_in_stack_to_register = true;
+      },
+      Concolic.Path.Bytecode (Op.Common_special Op.Sel_bit_xor),
+      Jit.Cogits.Stack_to_register_cogit,
+      D.Optimisation_difference,
+      "bitxor-inlined-not-in-interpreter" );
+    ( "ffi_templates_implemented",
+      { pristine with Interpreter.Defects.ffi_templates_implemented = false },
+      Concolic.Path.Native 111,
+      Jit.Cogits.Native_method_compiler,
+      D.Missing_functionality,
+      "missing-template-primFFILoadPointer" );
+    ( "simulation_accessor_gaps",
+      { pristine with Interpreter.Defects.simulation_accessor_gaps = true },
+      Concolic.Path.Bytecode (Op.Push_receiver_variable_ext 5),
+      Jit.Cogits.Stack_to_register_cogit,
+      D.Simulation_error,
+      "missing reflective setter" );
+    ( "compilers_inline_float_arith",
+      { pristine with Interpreter.Defects.compilers_inline_float_arith = false },
+      Concolic.Path.Bytecode (Op.Arith_special Op.Sel_add),
+      Jit.Cogits.Stack_to_register_cogit,
+      D.Optimisation_difference,
+      "s2r-no-float-arith-prediction" );
+  ]
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_defect_families () =
+  List.iter
+    (fun (name, defects, subject, compiler, family, cause_sub) ->
+      let confirmed =
+        confirmed_refutations ~defects ~compiler ~arch:Jit.Codegen.X86 subject
+      in
+      check_bool
+        (Printf.sprintf "%s: has a confirmed refutation" name)
+        true (confirmed <> []);
+      check_bool
+        (Printf.sprintf "%s: a replayed witness matches %s/%s (got: %s)" name
+           (D.family_name family) cause_sub
+           (String.concat "; "
+              (List.map (fun (_, (d : D.t)) -> D.to_string d) confirmed)))
+        true
+        (List.exists
+           (fun ((_ : TV.witness), (d : D.t)) ->
+             d.family = family && contains ~sub:cause_sub d.cause)
+           confirmed))
+    family_cases
+
+(* --- the refutation witness carries a model that reproduces the
+   difference when replayed standalone through run_path --- *)
+
+let test_witness_replays_standalone () =
+  let defects =
+    { pristine with Interpreter.Defects.float_template_receiver_check = false }
+  in
+  let compiler = Jit.Cogits.Native_method_compiler in
+  let arch = Jit.Codegen.X86 in
+  let subject = Concolic.Path.Native 41 (* primFloatAdd *) in
+  let r = explore ~defects subject in
+  let found =
+    List.exists
+      (fun (p : Concolic.Path.t) ->
+        match TV.validate_path ~defects ~compiler ~arch p with
+        | TV.Refuted w when not w.missing -> (
+            (* re-run the dynamic tester on the witness model alone *)
+            match
+              Runner.run_path ~defects ~compiler ~arch
+                { p with Concolic.Path.model = w.model }
+            with
+            | Runner.Diff _ -> true
+            | _ -> false)
+        | _ -> false)
+      r.Concolic.Explorer.paths
+  in
+  check_bool "a static refutation model reproduces dynamically" true found
+
+(* --- solver-query budget degrades to Unknown, never to a wrong
+   verdict --- *)
+
+let test_query_budget_degrades () =
+  let defects = pristine in
+  let subject = Concolic.Path.Native 1 (* primAdd: needs range bridging *) in
+  let r = explore ~defects subject in
+  let budget = ref 0 in
+  List.iter
+    (fun (p : Concolic.Path.t) ->
+      match
+        TV.validate_path ~query_budget:budget ~defects
+          ~compiler:Jit.Cogits.Native_method_compiler ~arch:Jit.Codegen.X86 p
+      with
+      | TV.Refuted w when not w.missing ->
+          Alcotest.failf "budget exhaustion must not refute: %s" w.reason
+      | _ -> ())
+    (validated_paths r)
+
+let suite =
+  [
+    Alcotest.test_case "pristine instructions proved" `Quick
+      test_pristine_proved;
+    Alcotest.test_case "pristine natives proved or missing" `Quick
+      test_pristine_natives_proved_or_missing;
+    QCheck_alcotest.to_alcotest qcheck_pristine_never_refuted;
+    Alcotest.test_case "every defect family refuted with witness" `Quick
+      test_defect_families;
+    Alcotest.test_case "witness model replays standalone" `Quick
+      test_witness_replays_standalone;
+    Alcotest.test_case "query budget degrades to unknown" `Quick
+      test_query_budget_degrades;
+  ]
