@@ -12,7 +12,9 @@
      dune exec bench/main.exe -- fig7    # test execution time
      dune exec bench/main.exe -- micro   # Bechamel micro-benchmarks
      dune exec bench/main.exe -- sequences        # future-work extension
-     dune exec bench/main.exe -- ablate-semantic  # §3.3 ablation *)
+     dune exec bench/main.exe -- ablate-semantic  # §3.3 ablation
+     dune exec bench/main.exe -- perf [--json LABEL] [-j N] [--quick]
+                                         # perf trajectory -> BENCH_<LABEL>.json *)
 
 open Bechamel
 open Toolkit
@@ -202,10 +204,11 @@ let run_ablate_curation () =
   in
   List.iter tally (Ijdt_core.Campaign.bytecode_subjects ());
   List.iter tally (Ijdt_core.Campaign.native_subjects ());
-  Hashtbl.iter
-    (fun reason n -> Printf.printf "  %-58s %4d paths
-" reason n)
-    reasons;
+  (* sort by reason: Hashtbl.iter order depends on internal hashing *)
+  Hashtbl.fold (fun reason n acc -> (reason, n) :: acc) reasons []
+  |> List.sort compare
+  |> List.iter (fun (reason, n) ->
+         Printf.printf "  %-58s %4d paths\n" reason n);
   print_endline
     "  (every curated path traces back to the solver limits of §4.3)"
 
@@ -280,6 +283,202 @@ let run_sequences () =
     "  look-ahead fusion: [<; jumpFalse; pushOne] explores %d fused paths\n"
     (List.length fused.paths)
 
+(* --- perf: machine-readable performance trajectory --- *)
+
+(* Three configurations over the same work list, each measured cold:
+
+     no_sharing_sequential   caches dropped between compilers — the
+                             pre-cache cost structure (every compiler
+                             re-explores every subject and re-runs
+                             every solver query);
+     shared_sequential       one cache across the whole run, -j 1;
+     shared_parallel         one cache across the whole run, -j N.
+
+   Every phase cross-checks the solver-cache accounting — hits + misses
+   must equal the independently counted solve() calls — and the process
+   exits non-zero when it does not.  The CI smoke runs
+   `perf --quick --json ci` and relies on that exit code. *)
+
+type phase = {
+  p_name : string;
+  p_wall : float;
+  p_paths : int;
+  p_curated : int;
+  p_solver_hits : int;
+  p_solver_misses : int;
+  p_solver_queries : int;
+  p_path_hits : int;
+  p_path_misses : int;
+  p_per_compiler : (string * float * float) list;
+      (* compiler, explore seconds, test seconds *)
+}
+
+let run_perf ~jobs ~quick ~json_label () =
+  let arches = Jit.Codegen.all_arches in
+  let compilers = Jit.Cogits.all in
+  let take k xs = List.filteri (fun i _ -> i < k) xs in
+  let group_run ~jobs cs =
+    let units =
+      List.concat_map
+        (fun c ->
+          let ss = Ijdt_core.Campaign.subjects_for c in
+          let ss = if quick then take 6 ss else ss in
+          List.map (fun s -> (c, s)) ss)
+        cs
+    in
+    let flat = Ijdt_core.Campaign.run_units ~jobs ~defects ~arches units in
+    List.map
+      (fun c ->
+        {
+          Ijdt_core.Campaign.compiler = c;
+          instructions =
+            List.filter_map
+              (fun (c', r) -> if c' = c then Some r else None)
+              flat;
+        })
+      cs
+  in
+  (* cumulative cache counters: the no-sharing baseline resets the
+     caches between compilers, so it harvests into these before each
+     reset and the phase wrapper picks up the remainder *)
+  let sh = ref 0 and sm = ref 0 and sq = ref 0 in
+  let ph = ref 0 and pm = ref 0 in
+  let reset () =
+    Solver.Solve.reset_cache ();
+    Concolic.Explorer.reset_cache ()
+  in
+  let harvest () =
+    let ss = Solver.Solve.cache_stats () in
+    let ps = Concolic.Explorer.cache_stats () in
+    sh := !sh + ss.Exec.Memo.hits;
+    sm := !sm + ss.Exec.Memo.misses;
+    sq := !sq + Solver.Solve.queries_posed ();
+    ph := !ph + ps.Exec.Memo.hits;
+    pm := !pm + ps.Exec.Memo.misses
+  in
+  let phase name f =
+    sh := 0; sm := 0; sq := 0; ph := 0; pm := 0;
+    reset ();
+    let t0 = Unix.gettimeofday () in
+    let results = f () in
+    let wall = Unix.gettimeofday () -. t0 in
+    harvest ();
+    if !sh + !sm <> !sq then begin
+      Printf.eprintf
+        "perf: solver-cache accounting inconsistent in %s: \
+         hits %d + misses %d <> queries %d\n"
+        name !sh !sm !sq;
+      exit 1
+    end;
+    let paths =
+      List.fold_left
+        (fun a cr -> a + Ijdt_core.Campaign.total_paths cr)
+        0 results
+    in
+    let curated =
+      List.fold_left
+        (fun a cr -> a + Ijdt_core.Campaign.total_curated cr)
+        0 results
+    in
+    let per_compiler =
+      List.map
+        (fun (cr : Ijdt_core.Campaign.compiler_result) ->
+          let sum f =
+            List.fold_left (fun a r -> a +. f r) 0.0 cr.instructions
+          in
+          ( Jit.Cogits.short_name cr.compiler,
+            sum (fun r -> r.Ijdt_core.Campaign.explore_time),
+            sum (fun r -> r.Ijdt_core.Campaign.test_time) ))
+        results
+    in
+    Printf.printf
+      "  %-24s %7.2fs  paths %5d  curated %5d  solver %6d queries \
+       (%5.1f%% hit)  path-cache %d/%d hit/miss\n%!"
+      name wall paths curated !sq
+      (if !sq = 0 then 0.0 else 100.0 *. float_of_int !sh /. float_of_int !sq)
+      !ph !pm;
+    {
+      p_name = name;
+      p_wall = wall;
+      p_paths = paths;
+      p_curated = curated;
+      p_solver_hits = !sh;
+      p_solver_misses = !sm;
+      p_solver_queries = !sq;
+      p_path_hits = !ph;
+      p_path_misses = !pm;
+      p_per_compiler = per_compiler;
+    }
+  in
+  Printf.printf "Perf trajectory (%s universe, -j %d):\n%!"
+    (if quick then "quick" else "full")
+    jobs;
+  let baseline =
+    phase "no_sharing_sequential" (fun () ->
+        List.map
+          (fun c ->
+            let r = List.hd (group_run ~jobs:1 [ c ]) in
+            harvest ();
+            reset ();
+            r)
+          compilers)
+  in
+  let shared =
+    phase "shared_sequential" (fun () -> group_run ~jobs:1 compilers)
+  in
+  let par = phase "shared_parallel" (fun () -> group_run ~jobs compilers) in
+  let speedup b p = if p.p_wall > 0.0 then b.p_wall /. p.p_wall else 0.0 in
+  Printf.printf "  speedup vs baseline: shared %.2fx, parallel %.2fx\n%!"
+    (speedup baseline shared) (speedup baseline par);
+  match json_label with
+  | None -> ()
+  | Some label ->
+      let file = Printf.sprintf "BENCH_%s.json" label in
+      let rate hits total =
+        if total = 0 then 0.0 else float_of_int hits /. float_of_int total
+      in
+      let phase_json p =
+        let per_compiler =
+          String.concat ","
+            (List.map
+               (fun (n, e, t) ->
+                 Printf.sprintf
+                   "{\"compiler\":\"%s\",\"explore_s\":%.3f,\"test_s\":%.3f}"
+                   n e t)
+               p.p_per_compiler)
+        in
+        Printf.sprintf
+          "{\"name\":\"%s\",\"wall_s\":%.3f,\"paths\":%d,\"curated\":%d,\
+           \"paths_per_s\":%.1f,\"curated_per_s\":%.1f,\
+           \"solver\":{\"queries\":%d,\"hits\":%d,\"misses\":%d,\
+           \"hit_rate\":%.4f,\"consistent\":%b},\
+           \"path_summaries\":{\"hits\":%d,\"misses\":%d,\"hit_rate\":%.4f},\
+           \"per_compiler\":[%s]}"
+          p.p_name p.p_wall p.p_paths p.p_curated
+          (if p.p_wall > 0.0 then float_of_int p.p_paths /. p.p_wall else 0.0)
+          (if p.p_wall > 0.0 then float_of_int p.p_curated /. p.p_wall
+           else 0.0)
+          p.p_solver_queries p.p_solver_hits p.p_solver_misses
+          (rate p.p_solver_hits p.p_solver_queries)
+          (p.p_solver_hits + p.p_solver_misses = p.p_solver_queries)
+          p.p_path_hits p.p_path_misses
+          (rate p.p_path_hits (p.p_path_hits + p.p_path_misses))
+          per_compiler
+      in
+      let oc = open_out file in
+      Printf.fprintf oc
+        "{\"label\":\"%s\",\"jobs\":%d,\"recommended_domains\":%d,\
+         \"universe\":\"%s\",\"phases\":[%s],\
+         \"speedup_vs_baseline\":{\"shared_sequential\":%.3f,\
+         \"shared_parallel\":%.3f}}\n"
+        label jobs
+        (Exec.Pool.default_jobs ())
+        (if quick then "quick" else "full")
+        (String.concat "," (List.map phase_json [ baseline; shared; par ]))
+        (speedup baseline shared) (speedup baseline par);
+      close_out oc;
+      Printf.printf "  wrote %s\n%!" file
+
 (* --- main --- *)
 
 let () =
@@ -300,6 +499,28 @@ let () =
   | "ablate-semantic" -> run_ablate_semantic ()
   | "ablate-curation" -> run_ablate_curation ()
   | "ablate-lookahead" -> run_ablate_lookahead ()
+  | "perf" ->
+      let jobs = ref (Exec.Pool.default_jobs ()) in
+      let quick = ref false in
+      let json_label = ref None in
+      let rec parse i =
+        if i < Array.length Sys.argv then
+          match Sys.argv.(i) with
+          | "-j" | "--jobs" when i + 1 < Array.length Sys.argv ->
+              jobs := int_of_string Sys.argv.(i + 1);
+              parse (i + 2)
+          | "--quick" ->
+              quick := true;
+              parse (i + 1)
+          | "--json" when i + 1 < Array.length Sys.argv ->
+              json_label := Some Sys.argv.(i + 1);
+              parse (i + 2)
+          | other ->
+              Printf.eprintf "perf: unknown argument %S\n" other;
+              exit 2
+      in
+      parse 2;
+      run_perf ~jobs:!jobs ~quick:!quick ~json_label:!json_label ()
   | "all" ->
       Ijdt_core.Tables.table1 ppf ();
       Format.fprintf ppf "@.";
@@ -317,6 +538,6 @@ let () =
   | other ->
       Printf.eprintf
         "unknown argument %S (expected \
-         table1|table2|table3|fig5|fig6|fig7|micro|sequences|ablate-semantic|ablate-curation|ablate-lookahead|all)\n"
+         table1|table2|table3|fig5|fig6|fig7|micro|sequences|ablate-semantic|ablate-curation|ablate-lookahead|perf|all)\n"
         other;
       exit 2

@@ -6,15 +6,25 @@
 # defect-free configuration, absent templates excepted, is a validator
 # false positive and fails the build).  The validation run writes a
 # machine-readable report; override the artifact path with
-# CI_VALIDATE_REPORT and the solver-query budget with
-# CI_VALIDATE_BUDGET.
+# CI_VALIDATE_REPORT, the solver-query budget with CI_VALIDATE_BUDGET,
+# and the worker-domain count with CI_JOBS.  Unbudgeted validation
+# output is byte-identical at any -j; with a budget the query cap is
+# enforced but runs that actually exhaust it may differ slightly in
+# which verdicts degrade to Unknown (see Campaign.run_units).
+#
+# The bench smoke at the end replays the perf trajectory on a reduced
+# universe and writes BENCH_ci.json; it exits non-zero when the solver
+# cache's accounting is inconsistent (hits + misses != queries posed).
 cd "$(dirname "$0")/.."
 : "${CI_VALIDATE_REPORT:=_build/validate-pristine.json}"
 : "${CI_VALIDATE_BUDGET:=2000}"
+: "${CI_JOBS:=$(nproc 2>/dev/null || echo 2)}"
 dune build @all
 dune runtest
 dune exec bin/vmtest.exe -- verify --pristine
-dune exec bin/vmtest.exe -- validate --pristine \
+dune exec bin/vmtest.exe -- validate --pristine -j "$CI_JOBS" \
   --budget "$CI_VALIDATE_BUDGET" --json "$CI_VALIDATE_REPORT" > /dev/null
 echo "ci: validation report at $CI_VALIDATE_REPORT"
+dune exec bench/main.exe -- perf --quick -j "$CI_JOBS" --json ci
+echo "ci: bench smoke report at BENCH_ci.json"
 echo "ci: OK"

@@ -156,7 +156,95 @@ let difftest_cmd =
        ~doc:"Differential-test one instruction against a JIT compiler")
     Term.(const run $ defects_arg $ compiler_arg $ arch_arg $ subject_arg)
 
+(* --- shared: worker count and JSON plumbing --- *)
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Exec.Pool.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Number of worker domains (default: the machine's recommended \
+           domain count).  Count-based output and JSON reports are \
+           byte-identical at any $(docv).")
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let defects_label d =
+  if d = Interpreter.Defects.paper then "paper"
+  else if d = Interpreter.Defects.pristine then "pristine"
+  else "custom"
+
 (* --- campaign --- *)
+
+(* The campaign JSON report is deliberately time-free: every field is a
+   count or a name, so the file is byte-identical whatever [-j] (the
+   wall-clock figures 6-7 stay on stdout only). *)
+let write_campaign_json file (c : Ijdt_core.Campaign.t) =
+  let oc = open_out file in
+  let compiler_json (cr : Ijdt_core.Campaign.compiler_result) =
+    let instr_json (r : Ijdt_core.Campaign.instruction_result) =
+      Printf.sprintf
+        "{\"subject\":\"%s\",\"paths\":%d,\"curated\":%d,\
+         \"differences\":%d,\"unsupported\":%b}"
+        (json_escape (Concolic.Path.subject_name r.subject))
+        r.paths r.curated r.differences r.unsupported
+    in
+    Printf.sprintf
+      "{\"compiler\":\"%s\",\"tested\":%d,\"paths\":%d,\"curated\":%d,\
+       \"differences\":%d,\"instructions\":[%s]}"
+      (json_escape (Jit.Cogits.short_name cr.compiler))
+      (Ijdt_core.Campaign.tested_instructions cr)
+      (Ijdt_core.Campaign.total_paths cr)
+      (Ijdt_core.Campaign.total_curated cr)
+      (Ijdt_core.Campaign.total_differences cr)
+      (String.concat "," (List.map instr_json cr.instructions))
+  in
+  let cause_json (family, cause, n) =
+    Printf.sprintf "{\"family\":\"%s\",\"cause\":\"%s\",\"witnesses\":%d}"
+      (json_escape (Difftest.Difference.family_name family))
+      (json_escape cause) n
+  in
+  let family_json (family, n) =
+    Printf.sprintf "{\"family\":\"%s\",\"causes\":%d}"
+      (json_escape (Difftest.Difference.family_name family))
+      n
+  in
+  let static_cause_json (family, cause, n) =
+    Printf.sprintf "{\"family\":\"%s\",\"cause\":\"%s\",\"findings\":%d}"
+      (json_escape (Verify.Finding.family_name family))
+      (json_escape cause) n
+  in
+  let a = Ijdt_core.Campaign.agreement_totals c in
+  Printf.fprintf oc
+    "{\"defects\":\"%s\",\"arches\":[%s],\"compilers\":[%s],\
+     \"causes\":[%s],\"causes_by_family\":[%s],\
+     \"agreement\":{\"both_clean\":%d,\"both_flagged\":%d,\
+     \"static_only\":%d,\"dynamic_only\":%d},\"static_causes\":[%s]}\n"
+    (defects_label c.defects)
+    (String.concat ","
+       (List.map
+          (fun a -> Printf.sprintf "\"%s\"" (Jit.Codegen.arch_name a))
+          c.arches))
+    (String.concat "," (List.map compiler_json c.results))
+    (String.concat "," (List.map cause_json (Ijdt_core.Campaign.causes c)))
+    (String.concat ","
+       (List.map family_json (Ijdt_core.Campaign.causes_by_family c)))
+    a.both_clean a.both_flagged a.static_only a.dynamic_only
+    (String.concat ","
+       (List.map static_cause_json (Ijdt_core.Campaign.static_causes c)));
+  close_out oc
 
 let campaign_cmd =
   let iters_arg =
@@ -165,8 +253,18 @@ let campaign_cmd =
       & info [ "max-iterations" ] ~docv:"N"
           ~doc:"Concolic execution budget per instruction.")
   in
-  let run defects max_iterations =
-    let c = Ijdt_core.Campaign.run ~max_iterations ~defects () in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write a machine-readable JSON report to $(docv).  The \
+             report contains only counts and names (no wall-clock \
+             fields), so it is byte-identical at any $(b,-j).")
+  in
+  let run defects max_iterations jobs json =
+    let c = Ijdt_core.Campaign.run ~jobs ~max_iterations ~defects () in
     Ijdt_core.Tables.all Format.std_formatter c;
     let a = Ijdt_core.Campaign.agreement_totals c in
     Printf.printf
@@ -183,12 +281,15 @@ let campaign_cmd =
         Printf.printf "  %-28s %s (%d)\n"
           (Verify.Finding.family_name family)
           cause n)
-      sc
+      sc;
+    match json with
+    | Some file -> write_campaign_json file c
+    | None -> ()
   in
   Cmd.v
     (Cmd.info "campaign"
        ~doc:"Run the full evaluation: 4 compilers × 2 ISAs (Tables 2-3)")
-    Term.(const run $ defects_arg $ iters_arg)
+    Term.(const run $ defects_arg $ iters_arg $ jobs_arg $ json_arg)
 
 (* --- verify --- *)
 
@@ -283,19 +384,6 @@ let verify_cmd =
 
 (* --- validate: solver-backed translation validation (pass 5) --- *)
 
-let json_escape s =
-  let b = Buffer.create (String.length s) in
-  String.iter
-    (function
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
 let json_counts (v : Ijdt_core.Campaign.validation_counts) =
   Printf.sprintf
     "{\"proved\":%d,\"refuted\":%d,\"missing\":%d,\"spurious\":%d,\
@@ -322,9 +410,13 @@ let write_validation_json file ~pristine ~confirmed (c : Ijdt_core.Campaign.t)
   in
   let t = Ijdt_core.Campaign.validation_totals c in
   let validated = t.proved + t.refuted + t.spurious + t.unknown in
+  let cache_json (s : Exec.Memo.stats) =
+    Printf.sprintf "{\"hits\":%d,\"misses\":%d}" s.hits s.misses
+  in
   Printf.fprintf oc
     "{\"arches\":[%s],\"compilers\":[%s],\"totals\":%s,\
-     \"unknown_rate\":%.4f,\"gate\":{\"pristine\":%b,\
+     \"unknown_rate\":%.4f,\"caches\":{\"solver\":%s,\
+     \"path_summaries\":%s},\"gate\":{\"pristine\":%b,\
      \"confirmed_refutations\":%d,\"passed\":%b}}\n"
     (String.concat ","
        (List.map
@@ -334,6 +426,8 @@ let write_validation_json file ~pristine ~confirmed (c : Ijdt_core.Campaign.t)
     (json_counts t)
     (if validated = 0 then 0.0
      else float_of_int t.unknown /. float_of_int validated)
+    (cache_json (Solver.Solve.cache_stats ()))
+    (cache_json (Concolic.Explorer.cache_stats ()))
     pristine confirmed
     ((not pristine) || confirmed = 0);
   close_out oc
@@ -397,7 +491,7 @@ let validate_cmd =
             "Validate a single instruction instead of sweeping the whole \
              test universe.")
   in
-  let run defects pristine compilers arches budget json max_iterations
+  let run defects pristine compilers arches budget json max_iterations jobs
       subject =
     let defects = if pristine then Interpreter.Defects.pristine else defects in
     let budget = Option.map ref budget in
@@ -427,22 +521,31 @@ let validate_cmd =
         "validate: no compiler of the instruction's kind selected";
       exit 2
     end;
-    let results =
-      List.map
+    let units =
+      List.concat_map
         (fun compiler ->
           let subjects =
             match subject with
             | Some s -> [ s ]
             | None -> Ijdt_core.Campaign.subjects_for compiler
           in
-          let instructions =
-            List.map
-              (fun s ->
-                Ijdt_core.Campaign.test_instruction ~max_iterations
-                  ~validate:true ?budget ~defects ~arches ~compiler s)
-              subjects
-          in
-          { Ijdt_core.Campaign.compiler; instructions })
+          List.map (fun s -> (compiler, s)) subjects)
+        compilers
+    in
+    let flat =
+      Ijdt_core.Campaign.run_units ~jobs ~max_iterations ~validate:true
+        ?budget ~defects ~arches units
+    in
+    let results =
+      List.map
+        (fun compiler ->
+          {
+            Ijdt_core.Campaign.compiler;
+            instructions =
+              List.filter_map
+                (fun (c, r) -> if c = compiler then Some r else None)
+                flat;
+          })
         compilers
     in
     let c = { Ijdt_core.Campaign.defects; arches; results } in
@@ -481,7 +584,7 @@ let validate_cmd =
           counterexample through the differential tester")
     Term.(
       const run $ defects_arg $ pristine_arg $ compilers_arg $ arch_arg
-      $ budget_arg $ json_arg $ iters_arg $ subject_opt_arg)
+      $ budget_arg $ json_arg $ iters_arg $ jobs_arg $ subject_opt_arg)
 
 (* --- list --- *)
 

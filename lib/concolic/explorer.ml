@@ -156,9 +156,14 @@ let children (pc : PC.t) : PC.t list =
 
 let prefix_key (pc : PC.t) = PC.to_string pc
 
-let explore ?(max_iterations = 128) ?(defects = Interpreter.Defects.default)
-    ?(lookahead = false) (subject : Path.subject) : result =
+let explore_uncached ?(max_iterations = 128)
+    ?(defects = Interpreter.Defects.default) ?(lookahead = false)
+    (subject : Path.subject) : result =
   let gen = Sym.Gen.create () in
+  (* One scratch memory per subject, reset to its post-method watermark
+     before each materialisation, instead of a fresh heap per path
+     iteration (the allocation hot path of this loop). *)
+  let arena = Materialize.arena ~method_in:(method_in_for subject) in
   let recv_var = Sym.Gen.fresh gen ~name:"receiver" ~sort:Sym.Oop in
   let size_var = Sym.Gen.fresh gen ~name:"operand_stack_size" ~sort:Sym.Int in
   let stack_size_term = Sym.Var size_var in
@@ -194,8 +199,9 @@ let explore ?(max_iterations = 128) ?(defects = Interpreter.Defects.default)
        | Solver.Solve.Sat model -> (
            incr iterations;
            let input =
-             Materialize.build ~model ~method_in:(method_in_for subject)
-               ~recv_var ~temp_vars ~entry_var ~stack_size_term
+             Materialize.build ~arena ~model
+               ~method_in:(method_in_for subject) ~recv_var ~temp_vars
+               ~entry_var ~stack_size_term ()
            in
            let stack_syms =
              List.init input.stack_depth (fun i ->
@@ -262,3 +268,23 @@ let explore ?(max_iterations = 128) ?(defects = Interpreter.Defects.default)
     unsat_negations = !unsat;
     unsupported = !unsupported;
   }
+
+(* The path-summary cache.  Exploration depends only on (subject,
+   defects, iteration bound, lookahead) — every fresh [Gen] numbers its
+   variables identically — so the three byte-code compilers and the
+   validator share one exploration per subject instead of re-running it
+   per consumer.  Results are immutable once built and safe to share
+   across domains; the memo's in-flight dedup means concurrent consumers
+   block on, rather than duplicate, a running exploration. *)
+let cache :
+    (Path.subject * Interpreter.Defects.t * int * bool, result) Exec.Memo.t =
+  Exec.Memo.create ()
+
+let explore ?(max_iterations = 128) ?(defects = Interpreter.Defects.default)
+    ?(lookahead = false) (subject : Path.subject) : result =
+  Exec.Memo.find_or_add cache
+    (subject, defects, max_iterations, lookahead)
+    (fun _ -> explore_uncached ~max_iterations ~defects ~lookahead subject)
+
+let cache_stats () = Exec.Memo.stats cache
+let reset_cache () = Exec.Memo.clear cache

@@ -27,7 +27,26 @@ val explore :
     bounds the concolic executions, default 128).  [lookahead] enables
     the compare-and-branch fusion for sequences (the byte-code
     look-aheads of §4.3, implemented here; off by default to match the
-    paper's prototype). *)
+    paper's prototype).
+
+    Memoized per (subject, defects, max_iterations, lookahead): the
+    first consumer pays for the exploration, later consumers — the
+    other byte-code compilers, the translation validator — share the
+    immutable result.  Safe across domains (in-flight dedup). *)
+
+val explore_uncached :
+  ?max_iterations:int ->
+  ?defects:Interpreter.Defects.t ->
+  ?lookahead:bool ->
+  Path.subject ->
+  result
+(** {!explore} bypassing the path-summary cache. *)
+
+val cache_stats : unit -> Exec.Memo.stats
+(** Hit/miss counters of the path-summary cache. *)
+
+val reset_cache : unit -> unit
+(** Drop all cached explorations and zero the counters. *)
 
 val method_in_for :
   Path.subject -> Vm_objects.Object_memory.t -> Bytecodes.Compiled_method.t

@@ -37,10 +37,35 @@ let flex_class om ~slots =
         (Object_memory.register_class om ~name
            ~format:(Objformat.Fixed_pointers slots))
 
-let build ~(model : Solver.Model.t) ~(method_in : Object_memory.t -> Bytecodes.Compiled_method.t)
-    ~(recv_var : Sym.var) ~(temp_vars : Sym.var array)
-    ~(entry_var : int -> Sym.var) ~(stack_size_term : Sym.t) : input =
+(* A reusable scratch memory: the stable prefix (singletons, class
+   objects, the method under test) is built once, and every [build] call
+   rolls the heap back to the watermark taken just after it.  Because
+   materialisation only allocates above the watermark (and failed stores
+   into the prefix bounds-reject before writing), the replayed
+   allocations produce oops identical to a freshly created memory. *)
+type arena = {
+  scratch_om : Object_memory.t;
+  scratch_meth : Bytecodes.Compiled_method.t;
+  scratch_mark : Object_memory.mark;
+}
+
+let arena ~(method_in : Object_memory.t -> Bytecodes.Compiled_method.t) :
+    arena =
   let om = Object_memory.create () in
+  let meth = method_in om in
+  { scratch_om = om; scratch_meth = meth; scratch_mark = Object_memory.mark om }
+
+let build ?arena ~(model : Solver.Model.t)
+    ~(method_in : Object_memory.t -> Bytecodes.Compiled_method.t)
+    ~(recv_var : Sym.var) ~(temp_vars : Sym.var array)
+    ~(entry_var : int -> Sym.var) ~(stack_size_term : Sym.t) () : input =
+  let om, premade_meth =
+    match arena with
+    | Some a ->
+        Object_memory.reset_to_mark a.scratch_om a.scratch_mark;
+        (a.scratch_om, Some a.scratch_meth)
+    | None -> (Object_memory.create (), None)
+  in
   let env = Solver.Eval.env_of_model model in
   let memo : (Sym.t, Value.t) Hashtbl.t = Hashtbl.create 32 in
   let bindings = ref [] in
@@ -153,8 +178,11 @@ let build ~(model : Solver.Model.t) ~(method_in : Object_memory.t -> Bytecodes.C
         (Value.of_small_int (max 0 (min 0x10FFFF cv)))
   in
 
-  (* Build the method first so its oop is stable, then the frame inputs. *)
-  let meth = method_in om in
+  (* Build the method first so its oop is stable, then the frame inputs.
+     An arena already holds the method (below its watermark). *)
+  let meth =
+    match premade_meth with Some m -> m | None -> method_in om
+  in
   let receiver = materialize (Sym.Var recv_var) in
   patch_character (Sym.Var recv_var) receiver;
   let temps =

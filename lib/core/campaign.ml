@@ -163,15 +163,13 @@ let test_instruction ?(max_iterations = 96) ?(validate = false) ?budget
               let verdicts =
                 List.map
                   (fun arch ->
-                    let q0 =
-                      !Verify.Translation_validator.queries_performed
-                    in
-                    let v =
-                      Difftest.Runner.run_path_verified ~validate ?budget
-                        ~defects ~compiler ~arch path
-                    in
-                    let spent =
-                      !Verify.Translation_validator.queries_performed - q0
+                    (* count the queries this domain's work spent, not a
+                       global delta — concurrent units would otherwise
+                       bleed into each other's tallies *)
+                    let v, spent =
+                      Verify.Translation_validator.with_query_count (fun () ->
+                          Difftest.Runner.run_path_verified ~validate ?budget
+                            ~defects ~compiler ~arch path)
                     in
                     (arch, v, spent))
                   arches
@@ -257,27 +255,69 @@ let test_instruction ?(max_iterations = 96) ?(validate = false) ?budget
     }
   end
 
-let run_compiler ?(max_iterations = 96) ?(validate = false) ?budget ~defects
-    ~arches compiler : compiler_result =
-  let instructions =
-    List.map
-      (fun subject ->
+(* The parallel fan-out primitive: every (compiler, subject) pair is an
+   independent job.  [Exec.Pool.map] deals jobs to domains but merges
+   results by the unit's position in [units], so the output — and every
+   table or JSON report derived from it — is identical at any [jobs].
+   Each unit runs entirely on one domain, which is what makes the
+   per-unit query counts ([with_query_count]) exact.
+
+   Note on [budget]: the shared ref is decremented from several domains
+   without synchronisation.  Lost decrements only let a few extra
+   queries through before exhaustion, degrading some verdicts to
+   [Unknown] — never changing a Proved/Refuted answer — so budgeted runs
+   trade exact reproducibility for the cap, exactly as a budgeted
+   sequential run already trades it across orderings.  Unbudgeted runs
+   are fully deterministic. *)
+let run_units ?jobs ?(max_iterations = 96) ?(validate = false) ?budget
+    ~defects ~arches
+    (units : (Jit.Cogits.compiler * Concolic.Path.subject) list) :
+    (Jit.Cogits.compiler * instruction_result) list =
+  Exec.Pool.map ?jobs
+    (fun (compiler, subject) ->
+      ( compiler,
         test_instruction ~max_iterations ~validate ?budget ~defects ~arches
-          ~compiler subject)
-      (subjects_for compiler)
+          ~compiler subject ))
+    units
+
+let units_for compilers =
+  List.concat_map
+    (fun compiler ->
+      List.map (fun subject -> (compiler, subject)) (subjects_for compiler))
+    compilers
+
+let run_compiler ?jobs ?(max_iterations = 96) ?(validate = false) ?budget
+    ~defects ~arches compiler : compiler_result =
+  let instructions =
+    List.map snd
+      (run_units ?jobs ~max_iterations ~validate ?budget ~defects ~arches
+         (units_for [ compiler ]))
   in
   { compiler; instructions }
 
-let run ?(max_iterations = 96) ?(validate = false) ?budget
+let run ?jobs ?(max_iterations = 96) ?(validate = false) ?budget
     ?(defects = Interpreter.Defects.paper)
     ?(arches = Jit.Codegen.all_arches)
     ?(compilers = Jit.Cogits.all) () : t =
+  (* fan all compilers' units into one pool, then regroup: the last
+     compiler's jobs overlap the first's drain instead of idling *)
+  let flat =
+    run_units ?jobs ~max_iterations ~validate ?budget ~defects ~arches
+      (units_for compilers)
+  in
   {
     defects;
     arches;
     results =
       List.map
-        (run_compiler ~max_iterations ~validate ?budget ~defects ~arches)
+        (fun compiler ->
+          {
+            compiler;
+            instructions =
+              List.filter_map
+                (fun (c, r) -> if c = compiler then Some r else None)
+                flat;
+          })
         compilers;
   }
 
@@ -298,6 +338,12 @@ let total_differences cr =
 let all_diffs t =
   List.concat_map (fun cr -> List.concat_map (fun r -> r.diffs) cr.instructions) t.results
 
+(* Stable ordering for cause tallies: the hash tables accumulate in
+   whatever order iteration finds the buckets, so every tally list is
+   sorted by its (family, cause) key before it escapes — run-to-run and
+   [-j]-independent output depends on it. *)
+let by_cause_key (f1, c1, _) (f2, c2, _) = compare (f1, c1) (f2, c2)
+
 (* Root causes, counted once per cause (paper §5.3). *)
 let causes t =
   let tbl = Hashtbl.create 64 in
@@ -307,7 +353,7 @@ let causes t =
       Hashtbl.replace tbl key (1 + Option.value (Hashtbl.find_opt tbl key) ~default:0))
     (all_diffs t);
   Hashtbl.fold (fun (family, cause) n acc -> (family, cause, n) :: acc) tbl []
-  |> List.sort compare
+  |> List.sort by_cause_key
 
 let causes_by_family t =
   List.map
@@ -339,19 +385,20 @@ let all_static_findings t =
    instructions (the `vmtest validate' matrix rows). *)
 let validation_by_arch cr =
   let tbl = Hashtbl.create 4 in
-  let order = ref [] in
   List.iter
     (fun r ->
       List.iter
         (fun (arch, counts) ->
           match Hashtbl.find_opt tbl arch with
-          | None ->
-              Hashtbl.replace tbl arch counts;
-              order := arch :: !order
+          | None -> Hashtbl.replace tbl arch counts
           | Some prev -> Hashtbl.replace tbl arch (sum_validations prev counts))
         r.validations)
     cr.instructions;
-  List.rev_map (fun arch -> (arch, Hashtbl.find tbl arch)) !order
+  (* rows in the canonical ISA order, not first-seen order *)
+  List.filter_map
+    (fun arch ->
+      Option.map (fun c -> (arch, c)) (Hashtbl.find_opt tbl arch))
+    Jit.Codegen.all_arches
 
 let validation_totals_compiler cr =
   List.fold_left
@@ -374,4 +421,4 @@ let static_causes t =
         (1 + Option.value (Hashtbl.find_opt tbl key) ~default:0))
     (all_static_findings t);
   Hashtbl.fold (fun (family, cause) n acc -> (family, cause, n) :: acc) tbl []
-  |> List.sort compare
+  |> List.sort by_cause_key

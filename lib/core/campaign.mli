@@ -88,7 +88,34 @@ val test_instruction :
     translation validation (pass 5) on every path x arch; [budget] caps
     its solver queries, shared across calls via the ref. *)
 
+val run_units :
+  ?jobs:int ->
+  ?max_iterations:int ->
+  ?validate:bool ->
+  ?budget:int ref ->
+  defects:Interpreter.Defects.t ->
+  arches:Jit.Codegen.arch list ->
+  (Jit.Cogits.compiler * Concolic.Path.subject) list ->
+  (Jit.Cogits.compiler * instruction_result) list
+(** The parallel fan-out primitive: run each (compiler, subject) unit
+    through {!test_instruction}, dealing units to up to [jobs] domains
+    (default {!Exec.Pool.default_jobs}; [1] = sequential in the caller).
+    Results come back in the input's order whatever the worker count, so
+    everything derived from them is byte-identical at any [-j].  Each
+    unit runs entirely on one domain (exact per-unit query counts).
+    With [budget], the shared ref is decremented racily across domains:
+    a few extra queries may slip through before exhaustion, degrading
+    some verdicts to Unknown — budgeted parallel runs are capped but not
+    exactly reproducible; unbudgeted runs are. *)
+
+val units_for :
+  Jit.Cogits.compiler list ->
+  (Jit.Cogits.compiler * Concolic.Path.subject) list
+(** Every compiler paired with each subject of its test universe, in
+    stable (compiler, subject) order. *)
+
 val run_compiler :
+  ?jobs:int ->
   ?max_iterations:int ->
   ?validate:bool ->
   ?budget:int ref ->
@@ -98,6 +125,7 @@ val run_compiler :
   compiler_result
 
 val run :
+  ?jobs:int ->
   ?max_iterations:int ->
   ?validate:bool ->
   ?budget:int ref ->
@@ -107,7 +135,9 @@ val run :
   unit ->
   t
 (** The full evaluation (defaults: paper defects, both ISAs, all four
-    compilers, no translation validation). *)
+    compilers, no translation validation).  All compilers' units fan
+    into one {!run_units} pool; the grouped result is independent of
+    [jobs]. *)
 
 (** {1 Aggregations} *)
 

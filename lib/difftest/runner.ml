@@ -48,7 +48,7 @@ let rebuild_input (path : Concolic.Path.t) =
     Concolic.Explorer.method_in_for path.subject om
   in
   Concolic.Materialize.build ~model:path.model ~method_in ~recv_var ~temp_vars
-    ~entry_var ~stack_size_term:path.stack_size_term
+    ~entry_var ~stack_size_term:path.stack_size_term ()
 
 (* Expected final pc → stop marker mapping for branch instructions. *)
 let expected_marker (path : Concolic.Path.t) =
@@ -445,9 +445,10 @@ type verified = {
 }
 
 (* A static verdict depends only on (subject, compiler, arch, defects);
-   memoize it across the many paths of one instruction. *)
-let static_cache : (string, Verify.Finding.t list) Hashtbl.t =
-  Hashtbl.create 64
+   memoize it across the many paths of one instruction — concurrently,
+   since units of one instruction may run on several domains. *)
+let static_cache : (string, Verify.Finding.t list) Exec.Memo.t =
+  Exec.Memo.create ()
 
 let static_findings ~defects ~compiler ~arch
     (subject : Concolic.Path.subject) : Verify.Finding.t list =
@@ -459,9 +460,7 @@ let static_findings ~defects ~compiler ~arch
       (Jit.Codegen.arch_name arch)
       (Hashtbl.hash defects)
   in
-  match Hashtbl.find_opt static_cache key with
-  | Some fs -> fs
-  | None ->
+  Exec.Memo.find_or_add static_cache key @@ fun _ ->
       let all =
         match subject with
         | Concolic.Path.Native id ->
@@ -482,7 +481,6 @@ let static_findings ~defects ~compiler ~arch
             f.compiler = mine || f.compiler = "-")
           all
       in
-      Hashtbl.replace static_cache key fs;
       fs
 
 (* Cross-check a static verdict against the dynamic outcome.  A match is

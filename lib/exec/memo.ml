@@ -1,0 +1,115 @@
+(* Each shard is a stdlib Hashtbl behind its own mutex; entries are
+   [Computing] while the owning caller runs the thunk outside the lock,
+   and a per-shard condition wakes waiters when the value (or a
+   failure) lands.  Counters are process-global atomics, not per-shard,
+   so [stats] needs no locking. *)
+
+type 'v entry = Computing | Done of 'v
+
+type ('k, 'v) shard = {
+  table : ('k, 'v entry) Hashtbl.t;
+  lock : Mutex.t;
+  landed : Condition.t;
+}
+
+type ('k, 'v) t = {
+  shards : ('k, 'v) shard array;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+}
+
+let rec pow2_at_least n k = if k >= n then k else pow2_at_least n (k * 2)
+
+let create ?(shards = 16) () =
+  let n = pow2_at_least (max 1 shards) 1 in
+  {
+    shards =
+      Array.init n (fun _ ->
+          {
+            table = Hashtbl.create 64;
+            lock = Mutex.create ();
+            landed = Condition.create ();
+          });
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+  }
+
+let shard_for t k = t.shards.(Hashtbl.hash k land (Array.length t.shards - 1))
+
+let find_or_add t k compute =
+  let s = shard_for t k in
+  Mutex.lock s.lock;
+  let rec claim () =
+    match Hashtbl.find_opt s.table k with
+    | Some (Done v) ->
+        Mutex.unlock s.lock;
+        Atomic.incr t.hits;
+        v
+    | Some Computing ->
+        Condition.wait s.landed s.lock;
+        claim ()
+    | None ->
+        Hashtbl.replace s.table k Computing;
+        Mutex.unlock s.lock;
+        Atomic.incr t.misses;
+        (match compute k with
+        | v ->
+            Mutex.lock s.lock;
+            Hashtbl.replace s.table k (Done v);
+            Condition.broadcast s.landed;
+            Mutex.unlock s.lock;
+            v
+        | exception e ->
+            let bt = Printexc.get_raw_backtrace () in
+            Mutex.lock s.lock;
+            Hashtbl.remove s.table k;
+            Condition.broadcast s.landed;
+            Mutex.unlock s.lock;
+            Printexc.raise_with_backtrace e bt)
+  in
+  claim ()
+
+let find_opt t k =
+  let s = shard_for t k in
+  Mutex.lock s.lock;
+  let r =
+    match Hashtbl.find_opt s.table k with
+    | Some (Done v) -> Some v
+    | Some Computing | None -> None
+  in
+  Mutex.unlock s.lock;
+  r
+
+type stats = { hits : int; misses : int }
+
+let stats (t : ('k, 'v) t) =
+  { hits = Atomic.get t.hits; misses = Atomic.get t.misses }
+
+let length t =
+  Array.fold_left
+    (fun acc s ->
+      Mutex.lock s.lock;
+      let n =
+        Hashtbl.fold
+          (fun _ e acc -> match e with Done _ -> acc + 1 | Computing -> acc)
+          s.table 0
+      in
+      Mutex.unlock s.lock;
+      acc + n)
+    0 t.shards
+
+let clear t =
+  Array.iter
+    (fun s ->
+      Mutex.lock s.lock;
+      (* keep in-flight markers so their owners can still land *)
+      let doomed =
+        Hashtbl.fold
+          (fun k e acc -> match e with Done _ -> k :: acc | Computing -> acc)
+          s.table []
+      in
+      List.iter (Hashtbl.remove s.table) doomed;
+      Mutex.unlock s.lock)
+    t.shards;
+  Atomic.set t.hits 0;
+  Atomic.set t.misses 0

@@ -1,0 +1,40 @@
+(** Sharded concurrent memo table with in-flight deduplication.
+
+    Safe to share across domains.  The first caller to ask for a key
+    computes it (outside the shard lock); concurrent callers for the
+    same key block until the result lands and then share it, so an
+    expensive computation — a solver query, a concolic exploration —
+    runs at most once per key even under [-j].  If the computation
+    raises, the key is released and waiters retry it themselves.
+
+    Hit/miss counters are atomic and cheap; [hits + misses] equals the
+    number of {!find_or_add} calls that completed (the accounting
+    invariant the CI bench smoke checks). *)
+
+type ('k, 'v) t
+
+val create : ?shards:int -> unit -> ('k, 'v) t
+(** [shards] (default 16, rounded up to a power of two) bounds lock
+    contention; keys are distributed by [Hashtbl.hash]. *)
+
+val find_or_add : ('k, 'v) t -> 'k -> ('k -> 'v) -> 'v
+(** [find_or_add t k compute] returns the cached value for [k], or runs
+    [compute k] (at most once per key across all domains) and caches
+    it.  Counts a miss for the caller that computes, a hit for every
+    caller served from cache — including those that waited on an
+    in-flight computation. *)
+
+val find_opt : ('k, 'v) t -> 'k -> 'v option
+(** Peek without computing or touching the counters.  Returns [None]
+    for absent and in-flight keys. *)
+
+type stats = { hits : int; misses : int }
+
+val stats : ('k, 'v) t -> stats
+val length : ('k, 'v) t -> int
+(** Number of completed entries resident in the table. *)
+
+val clear : ('k, 'v) t -> unit
+(** Drop all completed entries and zero the counters.  Entries being
+    computed concurrently land after the clear (they are not lost, but
+    the barrier is not atomic with respect to in-flight work). *)

@@ -1,0 +1,41 @@
+(* Work pool: deal jobs from an atomic front index, write results into
+   per-job slots, merge in input order.  Workers never block on each
+   other; the only synchronisation points are the fetch-and-add on the
+   deal index and the final [Domain.join] (which publishes the slot
+   writes to the caller under the OCaml 5 memory model). *)
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let mapi ?jobs f xs =
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  let n = List.length xs in
+  if jobs <= 1 || n <= 1 then List.mapi f xs
+  else begin
+    let items = Array.of_list xs in
+    let slots = Array.make n None in
+    let next = Atomic.make 0 in
+    let failure = Atomic.make None in
+    let rec work () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n && Atomic.get failure = None then begin
+        (match f i items.(i) with
+        | v -> slots.(i) <- Some v
+        | exception e ->
+            let bt = Printexc.get_raw_backtrace () in
+            ignore (Atomic.compare_and_set failure None (Some (e, bt))));
+        work ()
+      end
+    in
+    let helpers =
+      Array.init (min jobs n - 1) (fun _ -> Domain.spawn work)
+    in
+    work ();
+    Array.iter Domain.join helpers;
+    (match Atomic.get failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    Array.to_list
+      (Array.map (function Some v -> v | None -> assert false) slots)
+  end
+
+let map ?jobs f xs = mapi ?jobs (fun _ x -> f x) xs

@@ -49,11 +49,11 @@ type lit =
 exception Give_up of string
 
 (* Class lookups only ever concern well-known classes here; user classes
-   never appear in constraints (they are invented by the materialiser). *)
-let well_known_classes = lazy (Vm_objects.Class_table.create ())
-
-let lookup_class cid =
-  Vm_objects.Class_table.lookup (Lazy.force well_known_classes) cid
+   never appear in constraints (they are invented by the materialiser).
+   Built eagerly at module load: a [lazy] would be forced concurrently
+   from several domains, and OCaml 5 lazies are not domain-safe. *)
+let well_known_classes = Vm_objects.Class_table.create ()
+let lookup_class cid = Vm_objects.Class_table.lookup well_known_classes cid
 
 let min_small = Vm_objects.Value.min_small_int
 let max_small = Vm_objects.Value.max_small_int
@@ -986,10 +986,8 @@ let solve_conjunction ?(seed = 0x5EED) (lits : lit list) : conj_result =
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let solve ?(seed = 0x5EED) (conds : Sym_expr.t list) : verdict =
-  (* Eliminate the machine-level tag/shift/mask operators first, then
-     mirror the paper's solver limits (§4.3) on whatever remains. *)
-  let conds = List.map normalize conds in
+(* [conds] must already be normalized. *)
+let solve_normalized ~seed (conds : Sym_expr.t list) : verdict =
   if List.exists Sym_expr.has_bitwise conds then
     Unknown "bitwise operations unsupported by the constraint solver"
   else if List.exists Limits.expr_exceeds_precision conds then
@@ -1020,3 +1018,40 @@ let solve ?(seed = 0x5EED) (conds : Sym_expr.t list) : verdict =
         in
         try try_branches false branches
         with Give_up reason -> Unknown reason)
+
+let solve_uncached ?(seed = 0x5EED) (conds : Sym_expr.t list) : verdict =
+  (* Eliminate the machine-level tag/shift/mask operators first, then
+     mirror the paper's solver limits (§4.3) on whatever remains. *)
+  solve_normalized ~seed (List.map normalize conds)
+
+(* The memo table.  Keyed on the *normalized* conjunction (rendered to
+   its canonical string, the same convention [Path.key] and the static
+   caches use) plus the seed, so two queries that normalize identically
+   share one verdict.  Verdicts are deterministic per key and models are
+   immutable once built, so sharing the table read-mostly across domains
+   never changes a result — only how often the decision procedure runs. *)
+let memo : (string, verdict) Exec.Memo.t = Exec.Memo.create ~shards:64 ()
+
+let cache_key ~seed conds =
+  string_of_int seed ^ "|"
+  ^ String.concat " & " (List.map Sym_expr.to_string conds)
+
+(* Independent of the memo's own hit/miss counters: one increment per
+   [solve] call, before the lookup.  The invariant
+   [queries_posed = hits + misses] cross-checks the memo accounting
+   (the bench harness fails its run when it does not hold). *)
+let queries_posed_counter = Atomic.make 0
+let queries_posed () = Atomic.get queries_posed_counter
+
+let solve ?(seed = 0x5EED) (conds : Sym_expr.t list) : verdict =
+  Atomic.incr queries_posed_counter;
+  let conds = List.map normalize conds in
+  Exec.Memo.find_or_add memo
+    (cache_key ~seed conds)
+    (fun _ -> solve_normalized ~seed conds)
+
+let cache_stats () = Exec.Memo.stats memo
+
+let reset_cache () =
+  Atomic.set queries_posed_counter 0;
+  Exec.Memo.clear memo

@@ -28,4 +28,28 @@ val normalize : Symbolic.Sym_expr.t -> Symbolic.Sym_expr.t
     [a land (2^k - 1) = a mod 2^k], [(2a) lor 1 = 2a + 1]. *)
 
 val solve : ?seed:int -> Symbolic.Sym_expr.t list -> verdict
-(** Conjunction satisfiability.  Deterministic for a given [seed]. *)
+(** Conjunction satisfiability.  Deterministic for a given [seed].
+    Memoized: the verdict is cached under the normalized conjunction
+    (plus seed) in a table shared read-mostly across domains, so
+    repeated queries — the same subject explored for several compilers,
+    curation re-solves, validator equivalence checks — run the decision
+    procedure once.  Memoization never changes a verdict (see
+    {!solve_uncached} and the qcheck property in [test_exec]). *)
+
+val solve_uncached : ?seed:int -> Symbolic.Sym_expr.t list -> verdict
+(** {!solve} bypassing the memo table: always runs the decision
+    procedure.  The determinism oracle for the memo. *)
+
+val cache_stats : unit -> Exec.Memo.stats
+(** Hit/miss counters of the solver memo since the last
+    {!reset_cache}.  [hits + misses] = number of {!solve} calls. *)
+
+val queries_posed : unit -> int
+(** Number of {!solve} calls since the last {!reset_cache}, counted by
+    an atomic independent of the memo's own accounting — the oracle for
+    the [hits + misses = queries] consistency check in the bench
+    harness and CI smoke. *)
+
+val reset_cache : unit -> unit
+(** Drop all cached verdicts and zero the counters (bench phases call
+    this so each configuration is measured cold). *)

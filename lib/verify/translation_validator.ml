@@ -56,17 +56,35 @@ let verdict_to_string = function
         (if w.missing then ", missing functionality" else "")
   | Unknown r -> "unknown: " ^ r
 
-(* --- solver accounting --- *)
+(* --- solver accounting ---
 
-let queries_performed = ref 0
+   Queries are counted twice over: an atomic process-wide total (for
+   reports), and a per-domain counter (domain-local storage) that lets a
+   caller measure the queries *its own* work performed even while other
+   domains validate concurrently.  A query is counted when it is posed,
+   whether or not the solver memo answers it from cache — so the
+   [queries] columns are deterministic at any [-j]. *)
+
+let total_queries_counter = Atomic.make 0
+let domain_queries = Domain.DLS.new_key (fun () -> ref 0)
 
 let solve_counted ?query_budget conds =
   match query_budget with
   | Some b when !b <= 0 -> Solver.Solve.Unknown "solver query budget exhausted"
   | _ ->
-      incr queries_performed;
+      Atomic.incr total_queries_counter;
+      incr (Domain.DLS.get domain_queries);
       (match query_budget with Some b -> decr b | None -> ());
       Solver.Solve.solve conds
+
+let total_queries () = Atomic.get total_queries_counter
+let reset_total_queries () = Atomic.set total_queries_counter 0
+
+let with_query_count f =
+  let c = Domain.DLS.get domain_queries in
+  let before = !c in
+  let r = f () in
+  (r, !c - before)
 
 (* --- term equality, modulo commutativity and negation shapes --- *)
 
@@ -415,8 +433,10 @@ type compiled = Machine_paths of SE.result | Missing of string
 
 (* Machine-path enumeration depends only on (subject, compiler, arch,
    defects, input frame shape and variable identities); memoize across
-   the many interpreter paths sharing one frame shape. *)
-let mc_cache : (string, compiled) Hashtbl.t = Hashtbl.create 64
+   the many interpreter paths sharing one frame shape.  A concurrent
+   memo: validation units for the same subject on different domains
+   share (rather than duplicate) the symbolic execution. *)
+let mc_cache : (string, compiled) Exec.Memo.t = Exec.Memo.create ()
 
 let var_id (e : Sym.t) = match e with Sym.Var v -> v.id | _ -> -1
 
@@ -442,9 +462,7 @@ let machine_paths ?se_budget ~(defects : Interpreter.Defects.t)
       (Jit.Codegen.arch_name arch)
       (Hashtbl.hash defects) (frame_signature frame)
   in
-  match Hashtbl.find_opt mc_cache key with
-  | Some c -> c
-  | None ->
+  Exec.Memo.find_or_add mc_cache key @@ fun _ ->
       let accessor_gaps = defects.Interpreter.Defects.simulation_accessor_gaps in
       let run program ~subst ~init_regs ~init_temps =
         Machine_paths
@@ -499,7 +517,6 @@ let machine_paths ?se_budget ~(defects : Interpreter.Defects.t)
             | exception Jit.Cogits.Not_compiled msg -> Missing msg
             | program -> run program ~subst ~init_regs ~init_temps)
       in
-      Hashtbl.replace mc_cache key c;
       c
 
 (* --- per-pair classification --- *)

@@ -26,8 +26,19 @@ type verdict =
 
 val verdict_to_string : verdict -> string
 
-val queries_performed : int ref
-(** Total solver queries posed by this module (monotone counter). *)
+val total_queries : unit -> int
+(** Total solver queries posed by this module, across all domains
+    (monotone atomic counter; see {!reset_total_queries}).  Queries are
+    counted when posed, before the solver memo — so counts do not
+    depend on cache hits or worker count. *)
+
+val reset_total_queries : unit -> unit
+
+val with_query_count : (unit -> 'a) -> 'a * int
+(** [with_query_count f] runs [f] and returns its result paired with
+    the number of solver queries the *calling domain* posed during the
+    call — stable under [-j] because each campaign unit runs entirely
+    on one domain. *)
 
 val validate_path :
   ?se_budget:Symexec_mc.budget ->

@@ -89,6 +89,16 @@ let lookup_exn t id =
   | Some d -> d
   | None -> invalid_arg (Printf.sprintf "Class_table.lookup_exn: no class %d" id)
 
+let next_user_id t = t.next_id
+
+let truncate t mark =
+  if mark < first_user_id || mark > t.next_id then
+    invalid_arg "Class_table.truncate: bad mark";
+  for i = mark to t.next_id - 1 do
+    if i < Array.length t.classes then t.classes.(i) <- None
+  done;
+  t.next_id <- mark
+
 let count t =
   Array.fold_left (fun n c -> if c = None then n else n + 1) 0 t.classes
 

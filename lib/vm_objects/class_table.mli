@@ -39,6 +39,16 @@ val register :
 (** Allocate the next free user class id and register a class under it
     ([superclass] defaults to Object). *)
 
+val next_user_id : t -> int
+(** The id the next {!register} call will allocate — a watermark for
+    {!truncate}. *)
+
+val truncate : t -> int -> unit
+(** [truncate t mark] forgets every user class registered at id [>= mark]
+    (a {!next_user_id} observed earlier), so re-registering the same
+    classes reproduces the same ids.  Well-known classes cannot be
+    dropped. *)
+
 val lookup : t -> int -> Class_desc.t option
 val lookup_exn : t -> int -> Class_desc.t
 val count : t -> int

@@ -220,6 +220,16 @@ let identity_hash (_ : t) oop =
 
 let object_count t = t.next
 
+(* Roll the allocation frontier back to a previously observed
+   [object_count].  Everything at or above the mark is dropped; objects
+   below it are untouched (callers guarantee they were not mutated).
+   This is what lets a scratch memory be reset between materialisations
+   instead of rebuilt from scratch. *)
+let truncate t mark =
+  if mark < 0 || mark > t.next then invalid_arg "Heap.truncate: bad mark";
+  Array.fill t.store mark (t.next - mark) None;
+  t.next <- mark
+
 let shallow_copy t oop =
   let e = entry t oop in
   let body =

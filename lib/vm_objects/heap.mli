@@ -71,6 +71,13 @@ val method_body : t -> Value.t -> method_body
 val is_method : t -> Value.t -> bool
 val identity_hash : t -> Value.t -> int
 val object_count : t -> int
+
+val truncate : t -> int -> unit
+(** [truncate t mark] rolls the allocation frontier back to a previously
+    observed {!object_count}: objects at indices [>= mark] are dropped,
+    everything below survives with its oop unchanged.  Callers must
+    ensure below-mark objects were not mutated since the mark was taken
+    (the scratch-memory protocol of {!Object_memory.reset_to_mark}). *)
 val shallow_copy : t -> Value.t -> Value.t
 
 val compact : t -> roots:Value.t list -> (Value.t -> Value.t) * int

@@ -36,6 +36,26 @@ let create () =
     (List.sort Int.compare !ids);
   t
 
+(* --- Scratch-memory protocol: mark / reset --- *)
+
+type mark = { heap_mark : int; class_mark : int }
+
+let mark t =
+  {
+    heap_mark = Heap.object_count t.heap;
+    class_mark = Class_table.next_user_id t.class_table;
+  }
+
+let reset_to_mark t m =
+  Heap.truncate t.heap m.heap_mark;
+  let doomed =
+    Hashtbl.fold
+      (fun id _ acc -> if id >= m.class_mark then id :: acc else acc)
+      t.class_objects []
+  in
+  List.iter (Hashtbl.remove t.class_objects) doomed;
+  Class_table.truncate t.class_table m.class_mark
+
 let register_class ?superclass t ~name ~format =
   let desc = Class_table.register ?superclass t.class_table ~name ~format in
   ignore (allocate_class_object t (Class_desc.class_id desc));

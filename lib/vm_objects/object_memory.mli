@@ -31,6 +31,26 @@ val float_object_of : t -> float -> Value.t
 
 (** {1 Class protocol} *)
 
+(** {1 Scratch-memory protocol}
+
+    A memory can serve as a reusable scratch arena: take a {!mark} once
+    the stable prefix (singletons, class objects, the method under test)
+    is built, then {!reset_to_mark} before each reuse.  Allocation after
+    a reset replays deterministically — same oops, same invented class
+    ids — provided below-mark objects were never mutated, which holds
+    for the explorer's materialisation (inputs are always fresh
+    allocations; stores into the stable prefix are bounds-rejected
+    before any write). *)
+
+type mark
+
+val mark : t -> mark
+(** Capture the current heap frontier and user-class watermark. *)
+
+val reset_to_mark : t -> mark -> unit
+(** Drop every object allocated and every user class registered since
+    the mark was taken. *)
+
 val register_class :
   ?superclass:int -> t -> name:string -> format:Objformat.t -> Class_desc.t
 (** Register a user class (inheriting from Object by default) and

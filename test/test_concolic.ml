@@ -155,7 +155,7 @@ let test_materialisation_deterministic () =
           ~method_in:(Concolic.Explorer.method_in_for path.subject)
           ~recv_var:(as_var (Symbolic.Abstract_frame.receiver frame))
           ~temp_vars:(Array.map as_var (Symbolic.Abstract_frame.temps frame))
-          ~entry_var ~stack_size_term:path.stack_size_term
+          ~entry_var ~stack_size_term:path.stack_size_term ()
       in
       let i1 = build () and i2 = build () in
       check_bool "identical stacks" true

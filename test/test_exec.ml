@@ -1,0 +1,282 @@
+(* The execution engine (lib/exec) and everything that rides on it:
+
+   - Pool: deterministic order, exception propagation, worker counts;
+   - Memo: compute-once, hit/miss accounting, concurrent hammering;
+   - the solver memo: memoized and unmemoized verdicts agree (qcheck);
+   - the path-summary cache: cached and uncached explorations agree;
+   - the campaign determinism suite: -j 1 and -j 8 produce byte-identical
+     count-based tables, validation counts and deduped witnesses. *)
+
+module Sym = Symbolic.Sym_expr
+module Solve = Solver.Solve
+module Campaign = Ijdt_core.Campaign
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* --- Pool --- *)
+
+let test_pool_matches_list_map () =
+  let xs = List.init 100 (fun i -> i) in
+  let f x = (x * x) + 7 in
+  let expected = List.map f xs in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "jobs=%d" jobs)
+        expected
+        (Exec.Pool.map ~jobs f xs))
+    [ 1; 2; 4; 8 ]
+
+let test_pool_mapi_indices () =
+  let xs = [ "a"; "b"; "c"; "d"; "e" ] in
+  Alcotest.(check (list string))
+    "index-tagged" [ "0a"; "1b"; "2c"; "3d"; "4e" ]
+    (Exec.Pool.mapi ~jobs:3 (fun i s -> string_of_int i ^ s) xs)
+
+let test_pool_edge_sizes () =
+  Alcotest.(check (list int)) "empty" [] (Exec.Pool.map ~jobs:8 succ []);
+  Alcotest.(check (list int)) "singleton" [ 2 ] (Exec.Pool.map ~jobs:8 succ [ 1 ]);
+  check_int "more jobs than items" 6
+    (List.fold_left ( + ) 0 (Exec.Pool.map ~jobs:64 succ [ 0; 1; 2 ]))
+
+exception Boom of int
+
+let test_pool_exception_propagates () =
+  List.iter
+    (fun jobs ->
+      match
+        Exec.Pool.map ~jobs (fun x -> if x = 13 then raise (Boom x) else x)
+          (List.init 40 (fun i -> i))
+      with
+      | _ -> Alcotest.fail "expected Boom to propagate"
+      | exception Boom 13 -> ())
+    [ 1; 4 ]
+
+let test_pool_default_jobs () =
+  check_bool "at least one domain" true (Exec.Pool.default_jobs () >= 1)
+
+(* --- Memo --- *)
+
+let test_memo_computes_once () =
+  let m : (int, int) Exec.Memo.t = Exec.Memo.create () in
+  let computed = ref 0 in
+  let f k =
+    incr computed;
+    k * 2
+  in
+  check_int "first" 10 (Exec.Memo.find_or_add m 5 f);
+  check_int "second" 10 (Exec.Memo.find_or_add m 5 f);
+  check_int "computed once" 1 !computed;
+  check_int "length" 1 (Exec.Memo.length m);
+  let s = Exec.Memo.stats m in
+  check_int "hits" 1 s.Exec.Memo.hits;
+  check_int "misses" 1 s.Exec.Memo.misses;
+  check_bool "find_opt sees it" true (Exec.Memo.find_opt m 5 = Some 10);
+  Exec.Memo.clear m;
+  check_int "cleared" 0 (Exec.Memo.length m);
+  let s = Exec.Memo.stats m in
+  check_int "counters zeroed" 0 (s.Exec.Memo.hits + s.Exec.Memo.misses)
+
+let test_memo_accounting_under_contention () =
+  let m : (int, int) Exec.Memo.t = Exec.Memo.create ~shards:4 () in
+  let calls = 400 in
+  let distinct = 25 in
+  let results =
+    Exec.Pool.map ~jobs:8
+      (fun i -> Exec.Memo.find_or_add m (i mod distinct) (fun k -> k * 3))
+      (List.init calls (fun i -> i))
+  in
+  List.iteri
+    (fun i v -> check_int "correct value" (i mod distinct * 3) v)
+    results;
+  let s = Exec.Memo.stats m in
+  check_int "hits + misses = lookups" calls
+    (s.Exec.Memo.hits + s.Exec.Memo.misses);
+  check_int "one computation per key" distinct s.Exec.Memo.misses;
+  check_int "table holds every key" distinct (Exec.Memo.length m)
+
+let test_memo_exception_releases_key () =
+  let m : (int, int) Exec.Memo.t = Exec.Memo.create () in
+  (match Exec.Memo.find_or_add m 1 (fun _ -> failwith "first try") with
+  | _ -> Alcotest.fail "expected the compute exception"
+  | exception Failure _ -> ());
+  (* the failed computation must not wedge the key *)
+  check_int "retry succeeds" 99 (Exec.Memo.find_or_add m 1 (fun _ -> 99))
+
+(* --- solver memo: memoized == unmemoized (qcheck) --- *)
+
+let verdict_eq a b =
+  match (a, b) with
+  | Solve.Unsat, Solve.Unsat -> true
+  | Solve.Unknown r1, Solve.Unknown r2 -> r1 = r2
+  | Solve.Sat m1, Solve.Sat m2 ->
+      let sorted f m = List.sort compare (f m) in
+      sorted Solver.Model.oop_bindings m1 = sorted Solver.Model.oop_bindings m2
+      && sorted Solver.Model.int_bindings m1
+         = sorted Solver.Model.int_bindings m2
+      && sorted Solver.Model.float_bindings m1
+         = sorted Solver.Model.float_bindings m2
+  | _ -> false
+
+let gen = Sym.Gen.create ()
+let oop_a = Sym.Var (Sym.Gen.fresh gen ~name:"ma" ~sort:Sym.Oop)
+let oop_b = Sym.Var (Sym.Gen.fresh gen ~name:"mb" ~sort:Sym.Oop)
+let int_x = Sym.Var (Sym.Gen.fresh gen ~name:"mx" ~sort:Sym.Int)
+
+let qcheck_memo_verdicts_agree =
+  (* a small family of path-condition shapes the explorer actually
+     emits, with random constants so the memo sees both fresh keys and
+     repeats; the memoized verdict must match the uncached oracle *)
+  QCheck.Test.make ~name:"qcheck: solve == solve_uncached" ~count:200
+    QCheck.(triple (int_range 0 5) (int_range (-300) 300) (int_range 0 50))
+    (fun (shape, lo, width) ->
+      let conds =
+        match shape with
+        | 0 ->
+            [
+              Sym.Cmp (Sym.Cge, int_x, Sym.Int_const lo);
+              Sym.Cmp (Sym.Cle, int_x, Sym.Int_const (lo + width));
+            ]
+        | 1 ->
+            (* contradictory bounds: unsat *)
+            [
+              Sym.Cmp (Sym.Cgt, int_x, Sym.Int_const lo);
+              Sym.Cmp (Sym.Clt, int_x, Sym.Int_const lo);
+            ]
+        | 2 ->
+            [
+              Sym.Is_small_int oop_a;
+              Sym.Is_small_int oop_b;
+              Sym.Cmp
+                ( Sym.Cgt,
+                  Sym.Add
+                    (Sym.Integer_value_of oop_a, Sym.Integer_value_of oop_b),
+                  Sym.Int_const lo );
+            ]
+        | 3 ->
+            [
+              Sym.Is_small_int oop_a;
+              Sym.Not
+                (Sym.Is_in_small_int_range
+                   (Sym.Add
+                      (Sym.Integer_value_of oop_a, Sym.Int_const (lo + width))));
+            ]
+        | 4 -> [ Sym.Not (Sym.Is_small_int oop_a) ]
+        | _ ->
+            (* outside the fragment: Unknown either way *)
+            [
+              Sym.Cmp
+                ( Sym.Ceq,
+                  Sym.Bit_and (oop_a, Sym.Int_const lo),
+                  Sym.Int_const 1 );
+            ]
+      in
+      verdict_eq (Solve.solve conds) (Solve.solve_uncached conds))
+
+(* --- path-summary cache: cached == uncached --- *)
+
+let test_explorer_cache_transparent () =
+  let defects = Interpreter.Defects.paper in
+  let subject =
+    Concolic.Path.Bytecode
+      (Bytecodes.Opcode.Arith_special Bytecodes.Opcode.Sel_add)
+  in
+  let cached = Concolic.Explorer.explore ~defects subject in
+  let again = Concolic.Explorer.explore ~defects subject in
+  let fresh = Concolic.Explorer.explore_uncached ~defects subject in
+  check_bool "second lookup is the shared summary" true (cached == again);
+  check_int "same path count" (List.length fresh.paths)
+    (List.length cached.paths);
+  check_int "same iterations" fresh.iterations cached.iterations;
+  Alcotest.(check (list string))
+    "same path keys"
+    (List.map Concolic.Path.key fresh.paths)
+    (List.map Concolic.Path.key cached.paths)
+
+(* --- campaign determinism: -j 1 == -j 8 --- *)
+
+let take k xs = List.filteri (fun i _ -> i < k) xs
+
+let subset_units () =
+  List.concat_map
+    (fun c -> List.map (fun s -> (c, s)) (take 8 (Campaign.subjects_for c)))
+    Jit.Cogits.all
+
+let run_subset jobs =
+  (* reset the shared caches so both runs start cold; determinism must
+     not depend on what an earlier test happened to warm up *)
+  Solver.Solve.reset_cache ();
+  Concolic.Explorer.reset_cache ();
+  let flat =
+    Campaign.run_units ~jobs ~validate:true
+      ~defects:Interpreter.Defects.paper ~arches:Jit.Codegen.all_arches
+      (subset_units ())
+  in
+  {
+    Campaign.defects = Interpreter.Defects.paper;
+    arches = Jit.Codegen.all_arches;
+    results =
+      List.map
+        (fun c ->
+          {
+            Campaign.compiler = c;
+            instructions =
+              List.filter_map
+                (fun (c', r) -> if c' = c then Some r else None)
+                flat;
+          })
+        Jit.Cogits.all;
+  }
+
+(* count-based renderings only: figures 6-7 print wall-clock times,
+   which no scheduler can make reproducible *)
+let render_counts (c : Campaign.t) =
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  Ijdt_core.Tables.table2 ppf c;
+  Ijdt_core.Tables.table3 ppf c;
+  Ijdt_core.Tables.causes ppf c;
+  Ijdt_core.Tables.validation_table ppf c;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let witnesses (c : Campaign.t) =
+  List.concat_map
+    (fun (cr : Campaign.compiler_result) ->
+      List.concat_map
+        (fun (r : Campaign.instruction_result) ->
+          List.map Difftest.Difference.to_string r.diffs)
+        cr.instructions)
+    c.results
+
+let test_campaign_determinism () =
+  let c1 = run_subset 1 in
+  let c8 = run_subset 8 in
+  check_string "count-based tables byte-identical" (render_counts c1)
+    (render_counts c8);
+  check_bool "validation totals identical" true
+    (Campaign.validation_totals c1 = Campaign.validation_totals c8);
+  Alcotest.(check (list string))
+    "deduped witnesses identical" (witnesses c1) (witnesses c8)
+
+let suite =
+  [
+    Alcotest.test_case "pool matches List.map" `Quick test_pool_matches_list_map;
+    Alcotest.test_case "pool mapi indices" `Quick test_pool_mapi_indices;
+    Alcotest.test_case "pool edge sizes" `Quick test_pool_edge_sizes;
+    Alcotest.test_case "pool propagates exceptions" `Quick
+      test_pool_exception_propagates;
+    Alcotest.test_case "pool default jobs" `Quick test_pool_default_jobs;
+    Alcotest.test_case "memo computes once" `Quick test_memo_computes_once;
+    Alcotest.test_case "memo accounting under contention" `Quick
+      test_memo_accounting_under_contention;
+    Alcotest.test_case "memo releases key on exception" `Quick
+      test_memo_exception_releases_key;
+    QCheck_alcotest.to_alcotest qcheck_memo_verdicts_agree;
+    Alcotest.test_case "explorer cache is transparent" `Quick
+      test_explorer_cache_transparent;
+    Alcotest.test_case "campaign determinism -j1 == -j8" `Slow
+      test_campaign_determinism;
+  ]

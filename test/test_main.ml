@@ -11,6 +11,7 @@ let () =
       ("gc", Test_gc.suite);
       ("primitives", Test_primitives.suite);
       ("solver", Test_solver.suite);
+      ("exec", Test_exec.suite);
       ("symbolic", Test_symbolic.suite);
       ("machine", Test_machine.suite);
       ("disasm", Test_disasm.suite);

@@ -144,7 +144,7 @@ let qcheck_sat_models_are_sound =
               ~recv_var:var_list.(0)
               ~temp_vars:[| var_list.(1); var_list.(2) |]
               ~entry_var:(fun _ -> size_var (* unused: stack is empty *))
-              ~stack_size_term:(Sym.Var size_var)
+              ~stack_size_term:(Sym.Var size_var) ()
           in
           let value_of i =
             match
