@@ -14,7 +14,9 @@
      dune exec bench/main.exe -- sequences        # future-work extension
      dune exec bench/main.exe -- ablate-semantic  # §3.3 ablation
      dune exec bench/main.exe -- perf [--json LABEL] [-j N] [--quick]
-                                         # perf trajectory -> BENCH_<LABEL>.json *)
+                                         # perf trajectory -> BENCH_<LABEL>.json
+     dune exec bench/main.exe -- mutate [-j N] [--quick]
+                                         # timed mutation kill matrix *)
 
 open Bechamel
 open Toolkit
@@ -481,6 +483,23 @@ let run_perf ~jobs ~quick ~json_label () =
 
 (* --- main --- *)
 
+(* Timed mutation kill matrix: the oracle-strength headline (kill rate
+   per layer) plus the wall-clock cost of running every mutant through
+   the full oracle stack. *)
+let run_mutate ~jobs ~quick () =
+  let t0 = Unix.gettimeofday () in
+  let m =
+    if quick then
+      Ijdt_core.Campaign.kill_matrix ~jobs ~per_operator:1 ~gen:4 ()
+    else Ijdt_core.Campaign.kill_matrix ~jobs ()
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  Ijdt_core.Tables.kill_table Format.std_formatter m;
+  let t = Ijdt_core.Campaign.kill_totals m in
+  Printf.printf "mutate: %d mutants in %.2fs at -j %d (%.1f%% killed)\n"
+    t.kr_units wall jobs
+    (100.0 *. Ijdt_core.Campaign.kill_rate t)
+
 let () =
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   let ppf = Format.std_formatter in
@@ -521,6 +540,24 @@ let () =
       in
       parse 2;
       run_perf ~jobs:!jobs ~quick:!quick ~json_label:!json_label ()
+  | "mutate" ->
+      let jobs = ref (Exec.Pool.default_jobs ()) in
+      let quick = ref false in
+      let rec parse i =
+        if i < Array.length Sys.argv then
+          match Sys.argv.(i) with
+          | "-j" | "--jobs" when i + 1 < Array.length Sys.argv ->
+              jobs := int_of_string Sys.argv.(i + 1);
+              parse (i + 2)
+          | "--quick" ->
+              quick := true;
+              parse (i + 1)
+          | other ->
+              Printf.eprintf "mutate: unknown argument %S\n" other;
+              exit 2
+      in
+      parse 2;
+      run_mutate ~jobs:!jobs ~quick:!quick ()
   | "all" ->
       Ijdt_core.Tables.table1 ppf ();
       Format.fprintf ppf "@.";
@@ -538,6 +575,6 @@ let () =
   | other ->
       Printf.eprintf
         "unknown argument %S (expected \
-         table1|table2|table3|fig5|fig6|fig7|micro|sequences|ablate-semantic|ablate-curation|ablate-lookahead|perf|all)\n"
+         table1|table2|table3|fig5|fig6|fig7|micro|sequences|ablate-semantic|ablate-curation|ablate-lookahead|perf|mutate|all)\n"
         other;
       exit 2

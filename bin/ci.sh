@@ -12,6 +12,13 @@
 # enforced but runs that actually exhaust it may differ slightly in
 # which verdicts degrade to Unknown (see Campaign.run_units).
 #
+# The mutation gates follow: `vmtest mutate --pristine` runs every
+# scheduled unit under an inert identity mutant and fails the build on
+# any false kill, then a quick kill-matrix smoke (one subject per
+# operator x compiler) writes MUTATION_ci.json and fails the build if
+# any operator's mutants all survive or the overall kill rate drops
+# below 90%.
+#
 # The bench smoke at the end replays the perf trajectory on a reduced
 # universe and writes BENCH_ci.json; it exits non-zero when the solver
 # cache's accounting is inconsistent (hits + misses != queries posed).
@@ -25,6 +32,20 @@ dune exec bin/vmtest.exe -- verify --pristine
 dune exec bin/vmtest.exe -- validate --pristine -j "$CI_JOBS" \
   --budget "$CI_VALIDATE_BUDGET" --json "$CI_VALIDATE_REPORT" > /dev/null
 echo "ci: validation report at $CI_VALIDATE_REPORT"
+dune exec bin/vmtest.exe -- mutate --pristine -j "$CI_JOBS" > /dev/null
+echo "ci: mutation pristine gate passed (zero false kills)"
+dune exec bin/vmtest.exe -- mutate -j "$CI_JOBS" --per-operator 1 \
+  --json MUTATION_ci.json > /dev/null
+python3 - <<'EOF'
+import json
+m = json.load(open("MUTATION_ci.json"))
+bad = [r["label"] for r in m["by_operator"] if r["units"] == 0 or r["survived"] == r["units"]]
+assert not bad, f"operators never killed: {bad}"
+rate = m["totals"]["kill_rate"]
+assert rate >= 0.90, f"overall kill rate {rate:.2%} below 90%"
+print(f"ci: mutation smoke: {m['totals']['units']} mutants, kill rate {rate:.1%}")
+EOF
+echo "ci: mutation report at MUTATION_ci.json"
 dune exec bench/main.exe -- perf --quick -j "$CI_JOBS" --json ci
 echo "ci: bench smoke report at BENCH_ci.json"
 echo "ci: OK"

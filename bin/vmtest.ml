@@ -586,6 +586,179 @@ let validate_cmd =
       const run $ defects_arg $ pristine_arg $ compilers_arg $ arch_arg
       $ budget_arg $ json_arg $ iters_arg $ jobs_arg $ subject_opt_arg)
 
+(* --- mutate: the mutation kill matrix --- *)
+
+(* Like the campaign report, the kill-matrix JSON is time-free — counts
+   and names only — so the file is byte-identical at any [-j]. *)
+let write_mutation_json file (m : Ijdt_core.Campaign.kill_matrix) =
+  let oc = open_out file in
+  let row_json (r : Ijdt_core.Campaign.kill_row) =
+    Printf.sprintf
+      "{\"label\":\"%s\",\"layer\":\"%s\",\"units\":%d,\"static\":%d,\
+       \"validate\":%d,\"difftest\":%d,\"survived\":%d,\"kill_rate\":%.4f}"
+      (json_escape r.kr_label) (json_escape r.kr_layer) r.kr_units r.kr_static
+      r.kr_validate r.kr_difftest r.kr_survived
+      (Ijdt_core.Campaign.kill_rate r)
+  in
+  let outcome_json (o : Ijdt_core.Campaign.mutant_outcome) =
+    Printf.sprintf
+      "{\"operator\":\"%s\",\"compiler\":\"%s\",\"subject\":\"%s\",\
+       \"arch\":\"%s\",\"fired\":%b,\"kill\":\"%s\"}"
+      (json_escape o.mo_op.Jit.Fault.id)
+      (json_escape (Jit.Cogits.short_name o.mo_compiler))
+      (json_escape (Concolic.Path.subject_name o.mo_subject))
+      (Jit.Codegen.arch_name o.mo_arch)
+      o.mo_fired
+      (Ijdt_core.Campaign.kill_name o.mo_kill)
+  in
+  let t = Ijdt_core.Campaign.kill_totals m in
+  Printf.fprintf oc
+    "{\"defects\":\"%s\",\"pristine\":%b,\"totals\":%s,\
+     \"by_operator\":[%s],\"by_layer\":[%s],\"outcomes\":[%s],\
+     \"gate\":{\"false_kills\":%d,\"passed\":%b}}\n"
+    (defects_label m.km_defects) m.km_pristine (row_json t)
+    (String.concat ","
+       (List.map row_json (Ijdt_core.Campaign.kills_by_operator m)))
+    (String.concat ","
+       (List.map row_json (Ijdt_core.Campaign.kills_by_layer m)))
+    (String.concat "," (List.map outcome_json m.km_outcomes))
+    (List.length (Ijdt_core.Campaign.false_kills m))
+    ((not m.km_pristine)
+    || Ijdt_core.Campaign.false_kills m = []);
+  close_out oc
+
+let mutate_cmd =
+  (* unlike the other subcommands, mutation defaults to the pristine
+     interpreter configuration: on a defect-free baseline every kill is
+     attributable to the planted fault alone *)
+  let mutate_defects_arg =
+    Arg.(
+      value
+      & opt defects_conv Interpreter.Defects.pristine
+      & info [ "defects" ] ~docv:"CONFIG"
+          ~doc:
+            "Seeded-defect configuration: $(b,paper) or $(b,pristine) \
+             (default $(b,pristine), so every kill is attributable to \
+             the planted fault alone).")
+  in
+  let operators_arg =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "o"; "operators" ] ~docv:"OP"
+          ~doc:
+            "Mutation operator to schedule (repeatable; default: all \
+             twelve).  See the operator ids in the kill table.")
+  in
+  let arch_arg =
+    Arg.(
+      value
+      & opt_all arch_conv [ Jit.Codegen.X86; Jit.Codegen.Arm32 ]
+      & info [ "a"; "arch" ] ~docv:"ARCH" ~doc:"Target ISA (repeatable).")
+  in
+  let pristine_arg =
+    Arg.(
+      value & flag
+      & info [ "pristine" ]
+          ~doc:
+            "Run every scheduled unit under the inert identity mutant \
+             instead of its operator and exit non-zero on any kill: the \
+             oracle stack must report zero false kills on unmutated \
+             compilers.  This is the CI gate.")
+  in
+  let per_operator_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "per-operator" ] ~docv:"K"
+          ~doc:
+            "Subjects scheduled per (operator, compiler) pair, first-fit \
+             in stable order.")
+  in
+  let gen_arg =
+    Arg.(
+      value & opt int 6
+      & info [ "gen" ] ~docv:"N"
+          ~doc:
+            "Random well-formed methods generated (qcheck, filtered \
+             through the byte-code verifier) and appended to the \
+             candidate pool.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"S" ~doc:"Method-generator seed.")
+  in
+  let iters_arg =
+    Arg.(
+      value & opt int 96
+      & info [ "max-iterations" ] ~docv:"N"
+          ~doc:"Concolic execution budget per instruction.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write a machine-readable JSON report to $(docv).  Counts \
+             and names only, byte-identical at any $(b,-j).")
+  in
+  let run defects pristine operators arches per_operator gen seed
+      max_iterations jobs json =
+    let operators =
+      match operators with
+      | [] -> Mutate.all
+      | ids ->
+          List.map
+            (fun id ->
+              match Mutate.find id with
+              | Some op -> op
+              | None ->
+                  prerr_endline
+                    (Printf.sprintf
+                       "mutate: unknown operator %S (known: %s)" id
+                       (String.concat ", " (Mutate.ids ())));
+                  exit 2)
+            ids
+    in
+    let m =
+      Ijdt_core.Campaign.kill_matrix ~jobs ~max_iterations ~per_operator ~gen
+        ~seed ~pristine ~defects ~arches ~operators ()
+    in
+    Ijdt_core.Tables.kill_table Format.std_formatter m;
+    (match json with Some file -> write_mutation_json file m | None -> ());
+    if pristine then begin
+      let false_kills = Ijdt_core.Campaign.false_kills m in
+      if false_kills <> [] then begin
+        Printf.printf
+          "PRISTINE GATE FAILED: %d false kill(s) on unmutated compilers\n"
+          (List.length false_kills);
+        List.iter
+          (fun (o : Ijdt_core.Campaign.mutant_outcome) ->
+            Printf.printf "  %s on %s/%s/%s killed by %s\n"
+              o.mo_op.Jit.Fault.id
+              (Jit.Cogits.short_name o.mo_compiler)
+              (Concolic.Path.subject_name o.mo_subject)
+              (Jit.Codegen.arch_name o.mo_arch)
+              (Ijdt_core.Campaign.kill_name o.mo_kill))
+          false_kills;
+        exit 1
+      end
+    end
+  in
+  Cmd.v
+    (Cmd.info "mutate"
+       ~doc:
+         "Mutation-based oracle-strength evaluation: plant one compiler \
+          fault per unit (12 operators across template selection, IR and \
+          machine-code lowering), run each mutant through the static \
+          verifier, translation validation and the differential tester, \
+          and record which layer killed it first")
+    Term.(
+      const run $ mutate_defects_arg $ pristine_arg $ operators_arg
+      $ arch_arg $ per_operator_arg $ gen_arg $ seed_arg $ iters_arg
+      $ jobs_arg $ json_arg)
+
 (* --- list --- *)
 
 let list_cmd =
@@ -615,5 +788,6 @@ let () =
             campaign_cmd;
             verify_cmd;
             validate_cmd;
+            mutate_cmd;
             list_cmd;
           ]))

@@ -410,6 +410,263 @@ let validation_totals t =
     (fun acc cr -> sum_validations acc (validation_totals_compiler cr))
     no_validations t.results
 
+(* --- mutation kill matrix (oracle-strength evaluation) ---
+
+   Every scheduled unit is one (operator x compiler x subject x ISA)
+   mutant.  The unit runs twice through the full oracle stack — once
+   pristine (memoized across mutants sharing the unit), once with the
+   fault armed — and the first oracle layer whose verdict moves records
+   the kill: static verify, then translation validate, then the
+   differential run.  A mutant no layer notices survives. *)
+
+type kill = Killed_static | Killed_validate | Killed_difftest | Survived
+
+let kill_name = function
+  | Killed_static -> "static"
+  | Killed_validate -> "validate"
+  | Killed_difftest -> "difftest"
+  | Survived -> "survived"
+
+(* What each oracle layer concluded about one unit, reduced to
+   comparable form.  Query counts and times are deliberately absent:
+   they vary with cache warmth, not with the compiled code. *)
+type oracle_snapshot = {
+  o_static : string list; (* rendered findings, sorted *)
+  o_validation : (int * int * int * int * int * int) list;
+      (* per requested ISA: proved/refuted/missing/spurious/unknown/skipped *)
+  o_differences : int; (* per-path difference count *)
+  o_diff_causes : (string * string) list; (* (family, cause), sorted *)
+}
+
+let snapshot_of (r : instruction_result) : oracle_snapshot =
+  {
+    o_static =
+      List.sort_uniq compare (List.map Verify.Finding.to_string r.static_findings);
+    o_validation =
+      List.map
+        (fun (_, c) ->
+          (c.proved, c.refuted, c.missing, c.spurious, c.unknown, c.skipped))
+        r.validations;
+    o_differences = r.differences;
+    o_diff_causes =
+      List.sort_uniq compare
+        (List.map
+           (fun (d : Difftest.Difference.t) ->
+             (Difftest.Difference.family_name d.family, d.cause))
+           r.diffs);
+  }
+
+(* Kill attribution in oracle order: the cheapest layer that notices the
+   fault gets the credit, mirroring how a CI pipeline would encounter
+   them. *)
+let decide ~(baseline : oracle_snapshot) ~(mutant : oracle_snapshot) : kill =
+  if baseline.o_static <> mutant.o_static then Killed_static
+  else if baseline.o_validation <> mutant.o_validation then Killed_validate
+  else if
+    baseline.o_differences <> mutant.o_differences
+    || baseline.o_diff_causes <> mutant.o_diff_causes
+  then Killed_difftest
+  else Survived
+
+(* The pristine snapshot per (subject, compiler, ISA, defects) unit,
+   computed fault-free and shared across every mutant of that unit; the
+   memo's in-flight dedup keeps it to one computation under [-j]. *)
+let baseline_memo : (string, oracle_snapshot) Exec.Memo.t =
+  Exec.Memo.create ()
+
+let reset_kill_cache () = Exec.Memo.clear baseline_memo
+
+let baseline_snapshot ~max_iterations ~defects ~compiler ~arch subject =
+  let key =
+    Printf.sprintf "%s|%s|%s|%d|%d"
+      (Concolic.Path.subject_name subject)
+      (Jit.Cogits.short_name compiler)
+      (Jit.Codegen.arch_name arch)
+      (Hashtbl.hash defects) max_iterations
+  in
+  Exec.Memo.find_or_add baseline_memo key (fun _ ->
+      snapshot_of
+        (test_instruction ~max_iterations ~validate:true ~defects
+           ~arches:[ arch ] ~compiler subject))
+
+type mutant_outcome = {
+  mo_op : Mutate.operator;
+  mo_compiler : Jit.Cogits.compiler;
+  mo_subject : Concolic.Path.subject;
+  mo_arch : Jit.Codegen.arch;
+  mo_fired : bool; (* did the planted rewrite actually apply? *)
+  mo_kill : kill;
+}
+
+type kill_matrix = {
+  km_defects : Interpreter.Defects.t;
+  km_pristine : bool;
+  km_outcomes : mutant_outcome list;
+}
+
+(* Handcrafted register-pressure sequences: deep enough operand stacks
+   to force spills out of the allocating front-ends, which no curated
+   single-opcode unit and few short generated sequences do.  They keep
+   the spill operators ([ir-dead-spill]) schedulable. *)
+let stress_subjects () : Concolic.Path.subject list =
+  let open Bytecodes.Opcode in
+  let rec pushes n = if n = 0 then [] else Push_one :: pushes (n - 1) in
+  let rec adds n =
+    if n = 0 then [] else Arith_special Sel_add :: adds (n - 1)
+  in
+  [
+    Concolic.Path.Bytecode_seq (pushes 8 @ adds 7);
+    Concolic.Path.Bytecode_seq
+      (pushes 6 @ [ Dup; Swap ] @ adds 6 @ [ Pop; Push_two ]);
+  ]
+
+(* The candidate pool an operator draws its units from: the compiler's
+   curated universe, then the stress sequences, then the generated
+   methods — a stable order, so selection is deterministic. *)
+let candidate_subjects ~gen_subjects compiler =
+  match compiler with
+  | Jit.Cogits.Native_method_compiler -> native_subjects ()
+  | _ -> bytecode_subjects () @ stress_subjects () @ gen_subjects
+
+(* Pick the first [per_operator] subjects per (operator, compiler) whose
+   fault fires under compilation AND whose exploration the concolic
+   engine supports — a mutant on an unexplorable unit could only ever be
+   killed statically, which would understate the dynamic layers. *)
+let select_units ~defects ~max_iterations ~per_operator ~gen_subjects
+    ~operators ~arches () =
+  List.concat_map
+    (fun (op : Mutate.operator) ->
+      List.concat_map
+        (fun compiler ->
+          let supported subject =
+            let e = Concolic.Explorer.explore ~max_iterations ~defects subject in
+            (not e.Concolic.Explorer.unsupported) && e.Concolic.Explorer.paths <> []
+          in
+          let rec take acc n = function
+            | [] -> List.rev acc
+            | s :: rest ->
+                if n = 0 then List.rev acc
+                else if Mutate.applicable ~defects ~compiler op s && supported s
+                then take (s :: acc) (n - 1) rest
+                else take acc n rest
+          in
+          take [] per_operator (candidate_subjects ~gen_subjects compiler)
+          |> List.concat_map (fun s ->
+                 List.map (fun arch -> (op, compiler, s, arch)) arches))
+        Jit.Cogits.all)
+    operators
+
+(* The kill-matrix campaign.  [pristine] swaps every scheduled operator
+   for the identity mutant {!Mutate.pristine}: the same units run under
+   an armed-but-inert fault (fresh fault-tagged caches, full oracle
+   stack) and must all come back [Survived] — the zero-false-kill
+   gate. *)
+let kill_matrix ?jobs ?(max_iterations = 96) ?(per_operator = 2) ?(gen = 6)
+    ?(seed = 42) ?(pristine = false)
+    ?(defects = Interpreter.Defects.pristine)
+    ?(arches = Jit.Codegen.all_arches) ?(operators = Mutate.all) () :
+    kill_matrix =
+  let gen_subjects = Mutate.Gen_method.subjects ~seed gen in
+  let units =
+    select_units ~defects ~max_iterations ~per_operator ~gen_subjects
+      ~operators ~arches ()
+  in
+  let outcomes =
+    Exec.Pool.map ?jobs
+      (fun (op, compiler, subject, arch) ->
+        let baseline =
+          baseline_snapshot ~max_iterations ~defects ~compiler ~arch subject
+        in
+        let run_op = if pristine then Mutate.pristine else op in
+        let snap, fired =
+          Jit.Fault.with_fault
+            ~target:(Jit.Cogits.short_name compiler)
+            run_op
+            (fun () ->
+              snapshot_of
+                (test_instruction ~max_iterations ~validate:true ~defects
+                   ~arches:[ arch ] ~compiler subject))
+        in
+        {
+          mo_op = op;
+          mo_compiler = compiler;
+          mo_subject = subject;
+          mo_arch = arch;
+          mo_fired = fired;
+          mo_kill = decide ~baseline ~mutant:snap;
+        })
+      units
+  in
+  { km_defects = defects; km_pristine = pristine; km_outcomes = outcomes }
+
+(* --- kill-matrix aggregations --- *)
+
+type kill_row = {
+  kr_label : string; (* operator id, layer name, or "total" *)
+  kr_layer : string;
+  kr_units : int;
+  kr_static : int;
+  kr_validate : int;
+  kr_difftest : int;
+  kr_survived : int;
+}
+
+let kill_rate (r : kill_row) : float =
+  if r.kr_units = 0 then 0.0
+  else
+    float_of_int (r.kr_static + r.kr_validate + r.kr_difftest)
+    /. float_of_int r.kr_units
+
+let row_of ~label ~layer outcomes =
+  let count k = List.length (List.filter (fun o -> o.mo_kill = k) outcomes) in
+  {
+    kr_label = label;
+    kr_layer = layer;
+    kr_units = List.length outcomes;
+    kr_static = count Killed_static;
+    kr_validate = count Killed_validate;
+    kr_difftest = count Killed_difftest;
+    kr_survived = count Survived;
+  }
+
+(* One row per operator, in {!Mutate.all} order, operators with no
+   scheduled unit omitted. *)
+let kills_by_operator (m : kill_matrix) : kill_row list =
+  List.filter_map
+    (fun (op : Mutate.operator) ->
+      match List.filter (fun o -> o.mo_op.Jit.Fault.id = op.id) m.km_outcomes with
+      | [] -> None
+      | outcomes ->
+          Some
+            (row_of ~label:op.id
+               ~layer:(Jit.Fault.layer_name op.layer)
+               outcomes))
+    Mutate.all
+
+let kills_by_layer (m : kill_matrix) : kill_row list =
+  List.filter_map
+    (fun layer ->
+      match
+        List.filter
+          (fun o -> o.mo_op.Jit.Fault.layer = layer)
+          m.km_outcomes
+      with
+      | [] -> None
+      | outcomes ->
+          let name = Jit.Fault.layer_name layer in
+          Some (row_of ~label:name ~layer:name outcomes))
+    [ Jit.Fault.L_template; Jit.Fault.L_ir; Jit.Fault.L_machine ]
+
+let kill_totals (m : kill_matrix) : kill_row =
+  row_of ~label:"total" ~layer:"-" m.km_outcomes
+
+let surviving_mutants (m : kill_matrix) : mutant_outcome list =
+  List.filter (fun o -> o.mo_kill = Survived) m.km_outcomes
+
+let false_kills (m : kill_matrix) : mutant_outcome list =
+  if not m.km_pristine then []
+  else List.filter (fun o -> o.mo_kill <> Survived) m.km_outcomes
+
 (* Static root causes, counted once per cause — the static analogue of
    [causes]. *)
 let static_causes t =

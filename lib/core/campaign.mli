@@ -176,3 +176,102 @@ val validation_by_arch :
 val validation_totals_compiler : compiler_result -> validation_counts
 val validation_totals : t -> validation_counts
 (** Campaign-wide validation tallies. *)
+
+(** {1 Mutation kill matrix}
+
+    Oracle-strength evaluation: every scheduled unit is one
+    (operator x compiler x subject x ISA) mutant, run through the full
+    oracle stack pristine and mutated; the first layer whose verdict
+    moves records the kill. *)
+
+type kill =
+  | Killed_static  (** the static verifier suite noticed first *)
+  | Killed_validate  (** solver-backed translation validation did *)
+  | Killed_difftest  (** only the differential run did *)
+  | Survived  (** no oracle layer noticed the planted fault *)
+
+val kill_name : kill -> string
+
+type oracle_snapshot = {
+  o_static : string list;
+  o_validation : (int * int * int * int * int * int) list;
+  o_differences : int;
+  o_diff_causes : (string * string) list;
+}
+(** One unit's oracle verdicts reduced to comparable form — no query
+    counts or times, which vary with cache warmth rather than with the
+    compiled code. *)
+
+val snapshot_of : instruction_result -> oracle_snapshot
+
+val decide : baseline:oracle_snapshot -> mutant:oracle_snapshot -> kill
+(** Kill attribution in oracle order: static, then validate, then
+    difftest; equal snapshots survive. *)
+
+val reset_kill_cache : unit -> unit
+(** Drop the memoized pristine baselines (test hygiene). *)
+
+type mutant_outcome = {
+  mo_op : Mutate.operator;
+  mo_compiler : Jit.Cogits.compiler;
+  mo_subject : Concolic.Path.subject;
+  mo_arch : Jit.Codegen.arch;
+  mo_fired : bool;  (** did the planted rewrite actually apply? *)
+  mo_kill : kill;
+}
+
+type kill_matrix = {
+  km_defects : Interpreter.Defects.t;
+  km_pristine : bool;
+  km_outcomes : mutant_outcome list;
+}
+
+val kill_matrix :
+  ?jobs:int ->
+  ?max_iterations:int ->
+  ?per_operator:int ->
+  ?gen:int ->
+  ?seed:int ->
+  ?pristine:bool ->
+  ?defects:Interpreter.Defects.t ->
+  ?arches:Jit.Codegen.arch list ->
+  ?operators:Mutate.operator list ->
+  unit ->
+  kill_matrix
+(** Run the kill-matrix campaign.  Per (operator, compiler), the first
+    [per_operator] (default 2) subjects whose fault fires and whose
+    exploration is supported are scheduled, drawn from the curated
+    universe, handcrafted register-pressure sequences, and [gen]
+    (default 6) qcheck-generated methods from [seed]; each selected
+    subject runs on every ISA in [arches].  Defaults to the pristine
+    interpreter configuration so every kill is attributable to the
+    planted fault.  [pristine] replaces every operator with the inert
+    {!Mutate.pristine} mutant; all units must come back {!Survived}
+    (the zero-false-kill gate, see {!false_kills}).  Units fan out
+    through {!Exec.Pool.map}, so the outcome list is identical at any
+    [jobs]. *)
+
+type kill_row = {
+  kr_label : string;
+  kr_layer : string;
+  kr_units : int;
+  kr_static : int;
+  kr_validate : int;
+  kr_difftest : int;
+  kr_survived : int;
+}
+
+val kill_rate : kill_row -> float
+(** Killed units over scheduled units; [0.] for an empty row. *)
+
+val kills_by_operator : kill_matrix -> kill_row list
+(** One row per operator in {!Mutate.all} order (unscheduled operators
+    omitted). *)
+
+val kills_by_layer : kill_matrix -> kill_row list
+val kill_totals : kill_matrix -> kill_row
+val surviving_mutants : kill_matrix -> mutant_outcome list
+
+val false_kills : kill_matrix -> mutant_outcome list
+(** Non-survived outcomes of a [~pristine:true] run — false positives
+    of the oracle stack itself.  Always [[]] for a real mutation run. *)

@@ -130,6 +130,40 @@ let validation_table ppf (c : Campaign.t) =
       (100.0 *. float_of_int t.unknown /. float_of_int validated)
       validated
 
+(* --- mutation kill matrix --- *)
+
+let pp_kill_row ppf (r : Campaign.kill_row) =
+  fprintf ppf "%-24s %-9s %6d %7d %9d %9d %9d  %5.1f%%@." r.kr_label
+    r.kr_layer r.kr_units r.kr_static r.kr_validate r.kr_difftest
+    r.kr_survived
+    (100.0 *. Campaign.kill_rate r)
+
+let kill_table ppf (m : Campaign.kill_matrix) =
+  fprintf ppf "Mutation kill matrix: which oracle layer killed each mutant@.";
+  fprintf ppf "%-24s %-9s %6s %7s %9s %9s %9s  %6s@." "Operator" "Layer"
+    "Units" "Static" "Validate" "Difftest" "Survived" "Kill";
+  fprintf ppf "%s@." (String.make 90 '-');
+  List.iter (pp_kill_row ppf) (Campaign.kills_by_operator m);
+  fprintf ppf "%s@." (String.make 90 '-');
+  List.iter (pp_kill_row ppf) (Campaign.kills_by_layer m);
+  fprintf ppf "%s@." (String.make 90 '-');
+  let t = Campaign.kill_totals m in
+  pp_kill_row ppf t;
+  if m.Campaign.km_pristine then
+    fprintf ppf "Pristine gate: %d false kill%s across %d unit%s@."
+      (List.length (Campaign.false_kills m))
+      (if List.length (Campaign.false_kills m) = 1 then "" else "s")
+      t.kr_units
+      (if t.kr_units = 1 then "" else "s")
+  else
+    List.iter
+      (fun (o : Campaign.mutant_outcome) ->
+        fprintf ppf "survived: %s on %s/%s/%s@." o.mo_op.Jit.Fault.id
+          (Jit.Cogits.short_name o.mo_compiler)
+          (Concolic.Path.subject_name o.mo_subject)
+          (Jit.Codegen.arch_name o.mo_arch))
+      (Campaign.surviving_mutants m)
+
 (* --- Figures: simple statistics over per-instruction series --- *)
 
 type stats = { n : int; mean : float; median : float; min : float; max : float }

@@ -27,6 +27,12 @@ val validation_table : Format.formatter -> Campaign.t -> unit
     and the headline unknown rate).  Meaningful only for campaigns run
     with [~validate:true]. *)
 
+val kill_table : Format.formatter -> Campaign.kill_matrix -> unit
+(** The mutation kill matrix: per-operator and per-layer rows of which
+    oracle layer (static / validate / difftest) killed each mutant,
+    kill rates, surviving mutants (or, for a pristine run, the
+    false-kill gate line). *)
+
 type stats = {
   n : int;
   mean : float;

@@ -9,7 +9,7 @@ module Op = Bytecodes.Opcode
 let float_prims_missing_receiver_check =
   [ 41; 42; 43; 44; 45; 46; 47; 48; 49; 50; 51; 52; 55 ]
 
-let rec classify ~(compiler : Jit.Cogits.compiler)
+let rec classify_genuine ~(compiler : Jit.Cogits.compiler)
     ~(subject : Concolic.Path.subject)
     ~(exit_ : Interpreter.Exit_condition.t) ~(observed : observed) :
     family * string =
@@ -32,8 +32,8 @@ let rec classify ~(compiler : Jit.Cogits.compiler)
       in
       match Option.bind responsible_selector as_opcode with
       | Some op ->
-          classify ~compiler ~subject:(Concolic.Path.Bytecode op) ~exit_
-            ~observed
+          classify_genuine ~compiler ~subject:(Concolic.Path.Bytecode op)
+            ~exit_ ~observed
       | None ->
           ( Optimisation_difference,
             Printf.sprintf "sequence-difference-%s"
@@ -111,6 +111,20 @@ let rec classify ~(compiler : Jit.Cogits.compiler)
   | _, Concolic.Path.Bytecode op ->
       ( Optimisation_difference,
         Printf.sprintf "unclassified-bytecode-%s" (Op.mnemonic op) )
+
+(* A difference observed while a fault targets the compiler under test
+   is the planted fault's doing: give it the [Injected_fault] family and
+   a cause derived from the operator id, so mutation runs never pollute
+   the genuine cause statistics (and dedupe keeps one witness per
+   operator, not per coincidental symptom). *)
+let classify ~(compiler : Jit.Cogits.compiler)
+    ~(subject : Concolic.Path.subject)
+    ~(exit_ : Interpreter.Exit_condition.t) ~(observed : observed) :
+    family * string =
+  match Jit.Fault.current () with
+  | Some a when String.equal a.target (Jit.Cogits.short_name compiler) ->
+      (Injected_fault, "mutant-" ^ a.op.Jit.Fault.id)
+  | _ -> classify_genuine ~compiler ~subject ~exit_ ~observed
 
 (* Seed-aware disambiguation for add/sub/mul on the Simple compiler: the
    interpreter inlines both integer and float arithmetic, so a

@@ -8,6 +8,7 @@ type family =
   | Behavioural_difference
   | Missing_functionality
   | Simulation_error
+  | Injected_fault (* mutation engine: a systematically planted compiler fault *)
 [@@deriving show { with_path = false }, eq, ord]
 
 let family_name = function
@@ -17,6 +18,7 @@ let family_name = function
   | Behavioural_difference -> "Behavioral difference"
   | Missing_functionality -> "Missing Functionality"
   | Simulation_error -> "Simulation Error"
+  | Injected_fault -> "Injected fault (mutation)"
 
 let all_families =
   [
@@ -26,6 +28,7 @@ let all_families =
     Behavioural_difference;
     Missing_functionality;
     Simulation_error;
+    Injected_fault;
   ]
 
 (* What the compiled execution was observed to do. *)

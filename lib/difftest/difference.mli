@@ -8,6 +8,10 @@ type family =
   | Behavioural_difference
   | Missing_functionality
   | Simulation_error
+  | Injected_fault
+      (** mutation engine: a systematically planted compiler fault; kept
+          out of the six genuine families so mutation runs never pollute
+          cause statistics *)
 
 val family_name : family -> string
 val all_families : family list

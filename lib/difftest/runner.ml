@@ -454,11 +454,13 @@ let static_findings ~defects ~compiler ~arch
     (subject : Concolic.Path.subject) : Verify.Finding.t list =
   let mine = Jit.Cogits.short_name compiler in
   let key =
-    Printf.sprintf "%s|%s|%s|%d"
+    (* the Fault tag keeps mutant verdicts out of the pristine entries
+       (and distinct mutants out of each other's) *)
+    Printf.sprintf "%s|%s|%s|%d%s"
       (Concolic.Path.subject_name subject)
       mine
       (Jit.Codegen.arch_name arch)
-      (Hashtbl.hash defects)
+      (Hashtbl.hash defects) (Jit.Fault.cache_tag ())
   in
   Exec.Memo.find_or_add static_cache key @@ fun _ ->
       let all =

@@ -60,16 +60,24 @@ let bytecode_policy = function
 
 (* The front-end's IR before any register allocation — what the static
    verifier's single-assignment and cross-compiler differencing passes
-   inspect (allocation legitimately reuses registers). *)
+   inspect (allocation legitimately reuses registers).
+
+   Fault-injection hooks (the mutation engine, lib/mutate): when a fault
+   targets this compiler, the template selection and the front-end IR are
+   rewritten here, so every consumer — allocation, lowering, the static
+   verifier, the cross-compiler differ — sees the mutated artifact. *)
 let frontend_ir compiler ~defects ~literals ~stack_setup instr : Ir.ir list =
+  let short = short_name compiler in
+  let instr = Fault.apply_opcode ~compiler:short instr in
   try
-    Bytecode_compiler.compile ~defects ~policy:(bytecode_policy compiler)
-      ~literals ~stack_setup instr
+    Fault.apply_ir ~compiler:short Fault.Frontend
+      (Bytecode_compiler.compile ~defects ~policy:(bytecode_policy compiler)
+         ~literals ~stack_setup instr)
   with Ir.Unsupported_instruction msg -> raise (Not_compiled msg)
 
 let frontend_native_ir ~defects prim_id : Ir.ir list =
   match Native_templates.compile ~defects prim_id with
-  | ir -> ir
+  | ir -> Fault.apply_ir ~compiler:"native" Fault.Frontend ir
   | exception Native_templates.Missing_template id ->
       raise
         (Not_compiled
@@ -82,11 +90,14 @@ let frontend_native_ir ~defects prim_id : Ir.ir list =
 let compile_bytecode compiler ~defects ~literals ~stack_setup instr :
     Ir.ir list =
   let ir = frontend_ir compiler ~defects ~literals ~stack_setup instr in
-  match compiler with
-  | Register_allocating_cogit -> (
-      try Linear_scan.rewrite ir
-      with Ir.Unsupported_instruction msg -> raise (Not_compiled msg))
-  | _ -> fit_registers ir
+  let final =
+    match compiler with
+    | Register_allocating_cogit -> (
+        try Linear_scan.rewrite ir
+        with Ir.Unsupported_instruction msg -> raise (Not_compiled msg))
+    | _ -> fit_registers ir
+  in
+  Fault.apply_ir ~compiler:(short_name compiler) Fault.Final final
 
 (* Compile a byte-code sequence (future-work extension): one unit whose
    simulation stack spans instruction boundaries. *)
@@ -100,21 +111,34 @@ let compile_sequence ?lookahead compiler ~defects ~literals ~stack_setup
     | Native_method_compiler ->
         invalid_arg "compile_sequence: native method compiler"
   in
+  let short = short_name compiler in
+  let instrs = Fault.apply_opcodes ~compiler:short instrs in
   let ir =
     try
-      Bytecode_compiler.compile_sequence ?lookahead ~defects ~policy ~literals
-        ~stack_setup instrs
+      Fault.apply_ir ~compiler:short Fault.Frontend
+        (Bytecode_compiler.compile_sequence ?lookahead ~defects ~policy
+           ~literals ~stack_setup instrs)
     with Ir.Unsupported_instruction msg -> raise (Not_compiled msg)
   in
-  match compiler with
-  | Register_allocating_cogit -> (
-      try Linear_scan.rewrite ir
-      with Ir.Unsupported_instruction msg -> raise (Not_compiled msg))
-  | _ -> fit_registers ir
+  let final =
+    match compiler with
+    | Register_allocating_cogit -> (
+        try Linear_scan.rewrite ir
+        with Ir.Unsupported_instruction msg -> raise (Not_compiled msg))
+    | _ -> fit_registers ir
+  in
+  Fault.apply_ir ~compiler:short Fault.Final final
+
+(* Lowering with the machine-code mutation hook.  [Codegen.lower] has no
+   compiler parameter; the hook needs one to target a single front-end,
+   so every lowering — the pipeline's and the static verifier's — goes
+   through here. *)
+let lower_for compiler ~arch (ir : Ir.ir list) : Machine.Machine_code.program =
+  Fault.apply_machine ~compiler:(short_name compiler) (Codegen.lower ~arch ir)
 
 let compile_sequence_to_machine ?lookahead compiler ~defects ~literals
     ~stack_setup ~arch instrs =
-  Codegen.lower ~arch
+  lower_for compiler ~arch
     (compile_sequence ?lookahead compiler ~defects ~literals ~stack_setup
        instrs)
 
@@ -123,13 +147,17 @@ let compile_sequence_to_machine ?lookahead compiler ~defects ~literals
    hand-written templates use virtual registers freely. *)
 let compile_native ~defects prim_id : Ir.ir list =
   let ir = frontend_native_ir ~defects prim_id in
-  try Linear_scan.rewrite ir
-  with Ir.Unsupported_instruction msg -> raise (Not_compiled msg)
+  let final =
+    try Linear_scan.rewrite ir
+    with Ir.Unsupported_instruction msg -> raise (Not_compiled msg)
+  in
+  Fault.apply_ir ~compiler:"native" Fault.Final final
 
 (* Full pipeline: instruction → machine code for an architecture. *)
 let compile_bytecode_to_machine compiler ~defects ~literals ~stack_setup
     ~arch instr =
-  Codegen.lower ~arch (compile_bytecode compiler ~defects ~literals ~stack_setup instr)
+  lower_for compiler ~arch
+    (compile_bytecode compiler ~defects ~literals ~stack_setup instr)
 
 let compile_native_to_machine ~defects ~arch prim_id =
-  Codegen.lower ~arch (compile_native ~defects prim_id)
+  lower_for Native_method_compiler ~arch (compile_native ~defects prim_id)

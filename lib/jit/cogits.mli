@@ -69,6 +69,13 @@ val compile_native : defects:Interpreter.Defects.t -> int -> Ir.ir list
 (** Compile a native method from its template (Listing 4 schema).
     @raise Not_compiled for the 60 seeded missing templates. *)
 
+val lower_for :
+  compiler -> arch:Codegen.arch -> Ir.ir list -> Machine.Machine_code.program
+(** [Codegen.lower] plus the machine-code fault-injection hook for
+    [compiler] (see {!Fault}); all lowering — the test pipeline's and
+    the static verifier's — must go through here so machine-layer
+    mutants are visible to every oracle. *)
+
 val compile_bytecode_to_machine :
   compiler ->
   defects:Interpreter.Defects.t ->

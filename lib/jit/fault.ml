@@ -1,0 +1,126 @@
+(* Compiler fault injection (the mutation engine's hook layer).
+
+   A mutation operator is a set of optional rewrites over the artifacts
+   the compilation pipeline produces: the byte-code template selection
+   (which opcode's template the front-end expands), the cogit IR (at the
+   front-end stage, before register allocation, or at the final stage
+   after it), and the lowered machine code.  Operators themselves live in
+   [lib/mutate]; this module only carries the activation state, so the
+   pristine pipeline pays one domain-local [None] check per hook.
+
+   Activation is domain-local ([Domain.DLS]): the campaign pool runs
+   different mutants concurrently on different domains, and each unit's
+   fault must be invisible to its neighbours.  A fault targets exactly
+   one front-end (by short name) — mutating all four identically would
+   blind the cross-compiler differ, which is itself one of the oracles
+   under evaluation. *)
+
+type stage = Frontend | Final
+type layer = L_template | L_ir | L_machine
+
+let layer_name = function
+  | L_template -> "template"
+  | L_ir -> "ir"
+  | L_machine -> "machine"
+
+type op = {
+  id : string; (* stable operator identifier, e.g. "ir-drop-guard" *)
+  layer : layer;
+  rewrite_opcode : Bytecodes.Opcode.t -> Bytecodes.Opcode.t option;
+  rewrite_ir : stage -> Ir.ir list -> Ir.ir list option;
+  rewrite_machine :
+    Machine.Machine_code.program -> Machine.Machine_code.program option;
+}
+
+let none_opcode _ = None
+let none_ir _ _ = None
+let none_machine _ = None
+
+type active = {
+  op : op;
+  target : string; (* Cogits.short_name of the front-end under mutation *)
+  fired : bool ref; (* did any rewrite apply during the activation? *)
+}
+
+(* One mutable slot per domain.  [with_fault] saves and restores it, so
+   nested activations (a mutant unit whose oracle compiles a baseline)
+   compose; in practice activations do not nest. *)
+let slot : active option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let current () : active option = !(Domain.DLS.get slot)
+
+let with_fault ~(target : string) (op : op) (f : unit -> 'a) : 'a * bool =
+  let cell = Domain.DLS.get slot in
+  let saved = !cell in
+  let a = { op; target; fired = ref false } in
+  cell := Some a;
+  Fun.protect
+    ~finally:(fun () -> cell := saved)
+    (fun () ->
+      let r = f () in
+      (r, !(a.fired)))
+
+(* A cache-key component distinguishing mutated compilations from
+   pristine ones (and from each other).  Every memo whose value depends
+   on compiled code — the static-verdict cache, the machine-path cache —
+   must fold this into its key, or a mutant would poison the baseline. *)
+let cache_tag () =
+  match current () with
+  | None -> ""
+  | Some a -> Printf.sprintf "|mutant:%s:%s" a.target a.op.id
+
+(* --- the hooks, called from Cogits --- *)
+
+let apply_opcode ~(compiler : string) (opc : Bytecodes.Opcode.t) :
+    Bytecodes.Opcode.t =
+  match current () with
+  | Some a when String.equal a.target compiler -> (
+      match a.op.rewrite_opcode opc with
+      | Some opc' ->
+          a.fired := true;
+          opc'
+      | None -> opc)
+  | _ -> opc
+
+(* Sequences: rewrite only the first opcode the operator applies to, so
+   one mutant is one planted fault. *)
+let apply_opcodes ~(compiler : string) (opcs : Bytecodes.Opcode.t list) :
+    Bytecodes.Opcode.t list =
+  match current () with
+  | Some a when String.equal a.target compiler ->
+      let done_ = ref false in
+      List.map
+        (fun opc ->
+          if !done_ then opc
+          else
+            match a.op.rewrite_opcode opc with
+            | Some opc' ->
+                a.fired := true;
+                done_ := true;
+                opc'
+            | None -> opc)
+        opcs
+  | _ -> opcs
+
+let apply_ir ~(compiler : string) (stage : stage) (ir : Ir.ir list) :
+    Ir.ir list =
+  match current () with
+  | Some a when String.equal a.target compiler -> (
+      match a.op.rewrite_ir stage ir with
+      | Some ir' ->
+          a.fired := true;
+          ir'
+      | None -> ir)
+  | _ -> ir
+
+let apply_machine ~(compiler : string) (p : Machine.Machine_code.program) :
+    Machine.Machine_code.program =
+  match current () with
+  | Some a when String.equal a.target compiler -> (
+      match a.op.rewrite_machine p with
+      | Some p' ->
+          a.fired := true;
+          p'
+      | None -> p)
+  | _ -> p

@@ -1,0 +1,55 @@
+(** Compiler fault injection: the mutation engine's hook layer.
+
+    Operators (defined in [lib/mutate]) are activated domain-locally via
+    {!with_fault}; the {!Cogits} pipeline consults the active fault at
+    each stage and rewrites its artifact when the operator applies.  The
+    pristine pipeline pays one [None] check per hook. *)
+
+type stage =
+  | Frontend  (** IR as the front-end emitted it, before allocation *)
+  | Final  (** IR after register allocation (spills exist here) *)
+
+type layer = L_template | L_ir | L_machine
+
+val layer_name : layer -> string
+
+type op = {
+  id : string;  (** stable operator identifier, e.g. ["ir-drop-guard"] *)
+  layer : layer;
+  rewrite_opcode : Bytecodes.Opcode.t -> Bytecodes.Opcode.t option;
+  rewrite_ir : stage -> Ir.ir list -> Ir.ir list option;
+  rewrite_machine :
+    Machine.Machine_code.program -> Machine.Machine_code.program option;
+}
+(** A rewrite returns [None] when it does not apply; [Some] marks the
+    fault as fired for the current activation. *)
+
+val none_opcode : Bytecodes.Opcode.t -> Bytecodes.Opcode.t option
+val none_ir : stage -> Ir.ir list -> Ir.ir list option
+
+val none_machine :
+  Machine.Machine_code.program -> Machine.Machine_code.program option
+
+type active = { op : op; target : string; fired : bool ref }
+
+val current : unit -> active option
+(** The domain's active fault, if any. *)
+
+val with_fault : target:string -> op -> (unit -> 'a) -> 'a * bool
+(** [with_fault ~target op f] runs [f] with [op] active against the
+    front-end whose {!Cogits.short_name} is [target]; returns [f ()]'s
+    result and whether any rewrite fired.  The previous activation is
+    restored on exit (also on exceptions). *)
+
+val cache_tag : unit -> string
+(** A key component ([""] when no fault is active) that every memo of
+    compiled-code-derived values must fold into its key. *)
+
+val apply_opcode : compiler:string -> Bytecodes.Opcode.t -> Bytecodes.Opcode.t
+
+val apply_opcodes :
+  compiler:string -> Bytecodes.Opcode.t list -> Bytecodes.Opcode.t list
+(** Sequence variant: rewrites only the first applicable opcode. *)
+
+val apply_ir : compiler:string -> stage -> Ir.ir list -> Ir.ir list
+val apply_machine : compiler:string -> Machine.Machine_code.program -> Machine.Machine_code.program

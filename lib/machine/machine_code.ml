@@ -178,3 +178,97 @@ let trap_class = function
   | Store_temp (i, s) when i < 0 || i >= num_frame_temps -> Trap_store s
   | Spill_store (sl, s) when sl < 0 || sl >= num_spill_slots -> Trap_store s
   | _ -> Trap_none
+
+(* --- program-rewrite helpers (the mutation engine, lib/mutate) ---
+
+   Small structural edits over assembled programs.  Every helper returns
+   [None] when nothing in the program matches, so a mutation operator can
+   report inapplicability instead of silently producing pristine code. *)
+
+(* The condition a fault-injected branch takes instead. *)
+let flip_cond = function
+  | Eq -> Ne
+  | Ne -> Eq
+  | Lt -> Ge
+  | Ge -> Lt
+  | Le -> Gt
+  | Gt -> Le
+  | Vs -> Vc
+  | Vc -> Vs
+
+(* Replace the first instruction [f] fires on. *)
+let rewrite_first (f : instr -> instr option) (p : program) : program option =
+  let hit = ref None in
+  Array.iteri
+    (fun i instr ->
+      if !hit = None then
+        match f instr with Some r -> hit := Some (i, r) | None -> ())
+    p;
+  match !hit with
+  | None -> None
+  | Some (i, r) ->
+      let p' = Array.copy p in
+      p'.(i) <- r;
+      Some p'
+
+(* Delete the first instruction matching [pred]. *)
+let remove_first (pred : instr -> bool) (p : program) : program option =
+  let idx = ref (-1) in
+  Array.iteri (fun i instr -> if !idx < 0 && pred instr then idx := i) p;
+  if !idx < 0 then None
+  else
+    Some
+      (Array.of_list
+         (List.filteri (fun i _ -> i <> !idx) (Array.to_list p)))
+
+(* The general register an instruction writes, for destination-clobber
+   mutations (loads that trap deliver through accessors; [trap_class]
+   stays consistent because the clobbered form is itself an instruction
+   of the same shape). *)
+let written_reg = function
+  | X_mov_ri (d, _)
+  | X_mov_rr (d, _)
+  | X_alu (_, d, _)
+  | X_pop d
+  | A_mov_i (d, _)
+  | A_mov (d, _)
+  | A_alu (_, d, _, _)
+  | A_rsb (d, _, _)
+  | A_pop d
+  | Load_slot (d, _, _)
+  | Load_byte (d, _, _)
+  | Load_temp (d, _)
+  | Load_class_index (d, _)
+  | Load_class_object (d, _)
+  | Load_num_slots (d, _)
+  | Load_indexable_size (d, _)
+  | Load_fixed_size (d, _)
+  | Load_format (d, _)
+  | Spill_load (d, _) ->
+      Some d
+  | _ -> None
+
+(* Rebuild the instruction with destination [d]; only defined for the
+   shapes [written_reg] recognises. *)
+let with_written_reg instr d =
+  match instr with
+  | X_mov_ri (_, i) -> X_mov_ri (d, i)
+  | X_mov_rr (_, s) -> X_mov_rr (d, s)
+  | X_alu (op, _, s) -> X_alu (op, d, s)
+  | X_pop _ -> X_pop d
+  | A_mov_i (_, i) -> A_mov_i (d, i)
+  | A_mov (_, s) -> A_mov (d, s)
+  | A_alu (op, _, n, m) -> A_alu (op, d, n, m)
+  | A_rsb (_, n, i) -> A_rsb (d, n, i)
+  | A_pop _ -> A_pop d
+  | Load_slot (_, b, i) -> Load_slot (d, b, i)
+  | Load_byte (_, b, i) -> Load_byte (d, b, i)
+  | Load_temp (_, i) -> Load_temp (d, i)
+  | Load_class_index (_, b) -> Load_class_index (d, b)
+  | Load_class_object (_, b) -> Load_class_object (d, b)
+  | Load_num_slots (_, b) -> Load_num_slots (d, b)
+  | Load_indexable_size (_, b) -> Load_indexable_size (d, b)
+  | Load_fixed_size (_, b) -> Load_fixed_size (d, b)
+  | Load_format (_, b) -> Load_format (d, b)
+  | Spill_load (_, s) -> Spill_load (d, s)
+  | i -> i

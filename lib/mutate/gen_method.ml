@@ -1,0 +1,105 @@
+(* QCheck-based generation of random *well-formed* compiled methods.
+
+   The generator builds byte-code sequences that are stack-safe by
+   construction — each opcode is drawn from the pool its current stack
+   depth permits — and every emitted sequence is still filtered through
+   the PR 1 byte-code verifier ([Bytecode_verifier.verify_seq] must
+   return no findings), so mutants are exercised on generated subjects
+   the whole pipeline accepts, not just the curated universe.
+
+   Generation is seeded and uses no global randomness: the same seed
+   always yields the same subjects, which the kill matrix's determinism
+   (byte-identical output at any [-j]) depends on. *)
+
+module Op = Bytecodes.Opcode
+
+let num_literals = Array.length Verify.default_literals
+
+(* Opcodes safe for the concolic sequence tester, grouped by the operand
+   stack depth they require.  Jumps, sends and receiver-variable stores
+   are deliberately out: they end or leave the unit, which is legitimate
+   but wastes mutant-execution budget on single-path sequences. *)
+let pushes : Op.t list =
+  [
+    Op.Push_zero;
+    Op.Push_one;
+    Op.Push_two;
+    Op.Push_minus_one;
+    Op.Push_true;
+    Op.Push_false;
+    Op.Push_nil;
+    Op.Push_receiver;
+    Op.Push_literal_constant 1;
+    Op.Push_literal_constant 3;
+    Op.Push_integer_byte 5;
+    Op.Push_integer_byte (-7);
+  ]
+
+let unary : Op.t list = [ Op.Dup; Op.Pop ]
+
+let binary : Op.t list =
+  [
+    Op.Swap;
+    Op.Arith_special Op.Sel_add;
+    Op.Arith_special Op.Sel_sub;
+    Op.Arith_special Op.Sel_mul;
+    Op.Arith_special Op.Sel_lt;
+    Op.Arith_special Op.Sel_le;
+    Op.Arith_special Op.Sel_gt;
+    Op.Arith_special Op.Sel_ge;
+    Op.Arith_special Op.Sel_eq;
+    Op.Arith_special Op.Sel_ne;
+    Op.Arith_special Op.Sel_bit_and;
+    Op.Arith_special Op.Sel_bit_or;
+  ]
+
+let depth_after depth op =
+  (* all pool opcodes consume [min_operands] and leave a predictable
+     depth: pushes +1, Dup +1, Pop -1, Swap 0, arith specials -1 *)
+  match op with
+  | Op.Dup -> depth + 1
+  | Op.Pop -> depth - 1
+  | Op.Swap -> depth
+  | Op.Arith_special _ -> depth - 1
+  | _ -> depth + 1
+
+(* One sequence: 2-6 opcodes, tracking depth so the verifier's stack
+   balance pass accepts it from an empty initial stack. *)
+let gen_seq : Op.t list QCheck.Gen.t =
+  let open QCheck.Gen in
+  int_range 2 6 >>= fun len ->
+  let rec build depth acc n st =
+    if n = 0 then List.rev acc
+    else
+      let pool =
+        if depth >= 2 then pushes @ unary @ binary
+        else if depth >= 1 then pushes @ unary
+        else pushes
+      in
+      let op = generate1 ~rand:st (oneofl pool) in
+      build (depth_after depth op) (op :: acc) (n - 1) st
+  in
+  fun st -> build 0 [] len st
+
+let well_formed (ops : Op.t list) : bool =
+  Verify.Bytecode_verifier.verify_seq ~num_literals ~initial_depth:0 ops = []
+
+(* [n] distinct well-formed sequences, deterministically from [seed]. *)
+let generate ~seed n : Op.t list list =
+  let rand = Random.State.make [| seed |] in
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  let budget = ref (n * 50) in
+  while List.length !out < n && !budget > 0 do
+    decr budget;
+    let ops = QCheck.Gen.generate1 ~rand gen_seq in
+    let key = String.concat ";" (List.map Op.mnemonic ops) in
+    if (not (Hashtbl.mem seen key)) && well_formed ops then begin
+      Hashtbl.replace seen key ();
+      out := ops :: !out
+    end
+  done;
+  List.rev !out
+
+let subjects ~seed n : Concolic.Path.subject list =
+  List.map (fun ops -> Concolic.Path.Bytecode_seq ops) (generate ~seed n)

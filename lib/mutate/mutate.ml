@@ -1,0 +1,342 @@
+(* The mutation operators: systematically planted compiler faults, used
+   to measure oracle strength (which of the three oracle layers — static
+   verify, translation validate, differential run — kills each mutant).
+
+   Twelve operators spanning the three pipeline layers:
+
+   - byte-code template selection: the front-end expands the wrong
+     opcode's template, or reads the wrong literal-frame index;
+   - cogit IR: a dropped type guard, swapped non-commutative operands,
+     a wrong inlined constant, a dropped overflow check, an elided
+     spill store;
+   - machine-code lowering: a flipped condition code, a clobbered
+     destination register, a skipped frame store, an off-by-one slot
+     index, a wrong stop marker — each firing on both ISA styles.
+
+   Every operator rewrites the FIRST matching site only (one mutant, one
+   planted fault) and reports inapplicability by returning [None], which
+   {!Jit.Fault} translates into a not-fired activation; the kill matrix
+   only schedules (operator, compiler, subject) triples whose fault
+   actually fires. *)
+
+module Op = Bytecodes.Opcode
+module MC = Machine.Machine_code
+module Ir = Jit.Ir
+module Fault = Jit.Fault
+
+type operator = Fault.op = {
+  id : string;
+  layer : Fault.layer;
+  rewrite_opcode : Op.t -> Op.t option;
+  rewrite_ir : Fault.stage -> Ir.ir list -> Ir.ir list option;
+  rewrite_machine : MC.program -> MC.program option;
+}
+
+let v ?(rewrite_opcode = Fault.none_opcode) ?(rewrite_ir = Fault.none_ir)
+    ?(rewrite_machine = Fault.none_machine) ~layer id =
+  { id; layer; rewrite_opcode; rewrite_ir; rewrite_machine }
+
+(* --- IR list edits, first-match-only --- *)
+
+let ir_remove_first pred ir =
+  let rec go acc = function
+    | [] -> None
+    | i :: rest when pred i -> Some (List.rev_append acc rest)
+    | i :: rest -> go (i :: acc) rest
+  in
+  go [] ir
+
+let ir_rewrite_first f ir =
+  let rec go acc = function
+    | [] -> None
+    | i :: rest -> (
+        match f i with
+        | Some i' -> Some (List.rev_append acc (i' :: rest))
+        | None -> go (i :: acc) rest)
+  in
+  go [] ir
+
+(* Stage-gated IR rewrite. *)
+let at stage f s ir = if s = stage then f ir else None
+
+(* --- 1. byte-code template selection: wrong template ---
+
+   Arity-preserving swaps ([Op.min_operands] is unchanged), so the
+   compilation-unit schema — setup pushes + instruction + markers — stays
+   well-formed and every oracle sees a plausible, wrong unit. *)
+
+let wrong_template_of : Op.t -> Op.t option = function
+  | Op.Push_zero -> Some Op.Push_one
+  | Op.Push_one -> Some Op.Push_two
+  | Op.Push_two -> Some Op.Push_minus_one
+  | Op.Push_minus_one -> Some Op.Push_zero
+  | Op.Push_true -> Some Op.Push_false
+  | Op.Push_false -> Some Op.Push_nil
+  | Op.Push_nil -> Some Op.Push_true
+  | Op.Return_true -> Some Op.Return_false
+  | Op.Return_false -> Some Op.Return_nil
+  | Op.Return_nil -> Some Op.Return_true
+  | Op.Arith_special sel ->
+      let swap = function
+        | Op.Sel_add -> Some Op.Sel_sub
+        | Op.Sel_sub -> Some Op.Sel_add
+        | Op.Sel_lt -> Some Op.Sel_le
+        | Op.Sel_le -> Some Op.Sel_lt
+        | Op.Sel_gt -> Some Op.Sel_ge
+        | Op.Sel_ge -> Some Op.Sel_gt
+        | Op.Sel_eq -> Some Op.Sel_ne
+        | Op.Sel_ne -> Some Op.Sel_eq
+        | Op.Sel_bit_and -> Some Op.Sel_bit_or
+        | Op.Sel_bit_or -> Some Op.Sel_bit_and
+        | _ -> None
+      in
+      Option.map (fun s -> Op.Arith_special s) (swap sel)
+  | _ -> None
+
+let bc_wrong_template =
+  v ~layer:Fault.L_template ~rewrite_opcode:wrong_template_of
+    "bc-wrong-template"
+
+(* --- 2. byte-code template selection: literal index off by one ---
+
+   Downward ([n] → [n-1]) so the mutated index is always in bounds: the
+   fault is a wrong answer, never a compile-time crash. *)
+
+let bc_literal_off_by_one =
+  v ~layer:Fault.L_template
+    ~rewrite_opcode:(function
+      | Op.Push_literal_constant n when n >= 1 ->
+          Some (Op.Push_literal_constant (n - 1))
+      | Op.Push_literal_ext n when n >= 1 -> Some (Op.Push_literal_ext (n - 1))
+      | _ -> None)
+    "bc-literal-off-by-one"
+
+(* --- 3. IR: dropped type guard --- *)
+
+let is_guard = function
+  | Ir.I_check_small_int _ | Ir.I_check_not_small_int _ | Ir.I_check_class _
+  | Ir.I_check_pointers _ | Ir.I_check_bytes _ | Ir.I_check_indexable _ ->
+      true
+  | _ -> false
+
+let ir_drop_guard =
+  v ~layer:Fault.L_ir
+    ~rewrite_ir:(at Fault.Frontend (ir_remove_first is_guard))
+    "ir-drop-guard"
+
+(* --- 4. IR: swapped operands of a non-commutative ALU op --- *)
+
+let ir_swap_operands =
+  v ~layer:Fault.L_ir
+    ~rewrite_ir:
+      (at Fault.Frontend
+         (ir_rewrite_first (function
+           | Ir.I_alu
+               ( ((Ir.Sub | Ir.Div | Ir.Mod | Ir.Quo | Ir.Rem | Ir.Shl
+                  | Ir.Sar) as op),
+                 d,
+                 a,
+                 b )
+             when a <> b ->
+               Some (Ir.I_alu (op, d, b, a))
+           | _ -> None)))
+    "ir-swap-operands"
+
+(* --- 5. IR: wrong inlined constant ---
+
+   Bump the first constant operand by 8: a word-aligned offset keeps the
+   tag bit, so the wrong value still parses as the same kind of word —
+   the hardest sort of constant-fold bug to notice. *)
+
+let bump_constant = function
+  | Ir.C c -> Some (Ir.C (c + 8))
+  | Ir.V _ | Ir.Recv | Ir.Arg _ -> None
+
+let ir_wrong_constant =
+  v ~layer:Fault.L_ir
+    ~rewrite_ir:
+      (at Fault.Frontend
+         (ir_rewrite_first (fun i ->
+              match i with
+              | Ir.I_move (d, o) ->
+                  Option.map (fun o' -> Ir.I_move (d, o')) (bump_constant o)
+              | Ir.I_push o ->
+                  Option.map (fun o' -> Ir.I_push o') (bump_constant o)
+              | Ir.I_alu (op, d, a, b) -> (
+                  match bump_constant b with
+                  | Some b' -> Some (Ir.I_alu (op, d, a, b'))
+                  | None ->
+                      Option.map
+                        (fun a' -> Ir.I_alu (op, d, a', b))
+                        (bump_constant a))
+              | Ir.I_cmp_jump (c, a, b, l) -> (
+                  match bump_constant b with
+                  | Some b' -> Some (Ir.I_cmp_jump (c, a, b', l))
+                  | None ->
+                      Option.map
+                        (fun a' -> Ir.I_cmp_jump (c, a', b, l))
+                        (bump_constant a))
+              | Ir.I_store_temp (n, o) ->
+                  Option.map
+                    (fun o' -> Ir.I_store_temp (n, o'))
+                    (bump_constant o)
+              | Ir.I_return o ->
+                  Option.map (fun o' -> Ir.I_return o') (bump_constant o)
+              | _ -> None)))
+    "ir-wrong-constant"
+
+(* --- 6. IR: dead spill elision ---
+
+   Final stage only: spills exist after register allocation.  Dropping
+   the store leaves the later [I_spill_load] reading a stale (zero)
+   slot — and trips the IR verifier's spill read-before-write pass. *)
+
+let ir_dead_spill =
+  v ~layer:Fault.L_ir
+    ~rewrite_ir:
+      (at Fault.Final
+         (ir_remove_first (function
+           | Ir.I_spill_store _ -> true
+           | _ -> false)))
+    "ir-dead-spill"
+
+(* --- 7. IR: dropped overflow check --- *)
+
+let ir_drop_overflow =
+  v ~layer:Fault.L_ir
+    ~rewrite_ir:
+      (at Fault.Frontend
+         (ir_remove_first (function
+           | Ir.I_jump_overflow _ -> true
+           | _ -> false)))
+    "ir-drop-overflow"
+
+(* --- 8. machine code: wrong condition code (both ISA styles) --- *)
+
+let mc_wrong_cond =
+  v ~layer:Fault.L_machine
+    ~rewrite_machine:
+      (MC.rewrite_first (function
+        | MC.X_jcc (c, l) -> Some (MC.X_jcc (MC.flip_cond c, l))
+        | MC.A_b (Some c, l) -> Some (MC.A_b (Some (MC.flip_cond c), l))
+        | _ -> None))
+    "mc-wrong-cond"
+
+(* --- 9. machine code: clobbered destination register ---
+
+   Redirect the first write to an allocatable temp into a scratch
+   register: the intended consumer reads whatever the temp held before
+   (zero on a fresh frame). *)
+
+let mc_clobber_scratch =
+  v ~layer:Fault.L_machine
+    ~rewrite_machine:
+      (MC.rewrite_first (fun i ->
+           match MC.written_reg i with
+           | Some d when d >= MC.r_temp_base ->
+               Some (MC.with_written_reg i MC.r_scratch2)
+           | _ -> None))
+    "mc-clobber-scratch"
+
+(* --- 10. machine code: skipped frame store --- *)
+
+let mc_skip_frame_store =
+  v ~layer:Fault.L_machine
+    ~rewrite_machine:
+      (MC.remove_first (function MC.Store_temp _ -> true | _ -> false))
+    "mc-skip-frame-store"
+
+(* --- 11. machine code: object-slot index off by one --- *)
+
+let mc_slot_off_by_one =
+  v ~layer:Fault.L_machine
+    ~rewrite_machine:
+      (MC.rewrite_first (function
+        | MC.Load_slot (d, b, MC.I n) -> Some (MC.Load_slot (d, b, MC.I (n + 1)))
+        | MC.Store_slot (b, MC.I n, s) ->
+            Some (MC.Store_slot (b, MC.I (n + 1), s))
+        | _ -> None))
+    "mc-slot-off-by-one"
+
+(* --- 12. machine code: wrong stop marker ---
+
+   Stop markers encode which unit exit was reached (fall-through vs
+   taken branch, Listing 3); shifting one misreports the exit. *)
+
+let mc_wrong_stop_marker =
+  v ~layer:Fault.L_machine
+    ~rewrite_machine:
+      (MC.rewrite_first (function
+        | MC.Brk n -> Some (MC.Brk (n + 1))
+        | _ -> None))
+    "mc-wrong-stop-marker"
+
+let all : operator list =
+  [
+    bc_wrong_template;
+    bc_literal_off_by_one;
+    ir_drop_guard;
+    ir_swap_operands;
+    ir_wrong_constant;
+    ir_dead_spill;
+    ir_drop_overflow;
+    mc_wrong_cond;
+    mc_clobber_scratch;
+    mc_skip_frame_store;
+    mc_slot_off_by_one;
+    mc_wrong_stop_marker;
+  ]
+
+let find id = List.find_opt (fun o -> String.equal o.id id) all
+let ids () = List.map (fun o -> o.id) all
+
+(* The identity mutant: arms the whole fault machinery — targeted
+   activation, fault-tagged caches, fresh compilation — but rewrites
+   nothing.  [--pristine] runs every scheduled unit under this operator
+   and asserts the oracles report zero kills, i.e. no false positives
+   from the harness itself. *)
+let pristine = v ~layer:Fault.L_template "pristine"
+
+module Gen_method = Gen_method
+
+(* --- applicability ---
+
+   An (operator, compiler, subject) triple is applicable when compiling
+   the subject under the fault actually fires a rewrite.  Compilation is
+   cheap (no exploration, no solving), so the kill matrix scans the
+   whole universe and schedules only live triples.  Machine-layer
+   operators are probed on x86; every machine operator matches shared
+   pseudo-ops or shapes both ISA styles emit (conditional branches), so
+   one ISA is a faithful proxy. *)
+
+let compile_probe ~defects ~compiler (subject : Concolic.Path.subject) () =
+  match subject with
+  | Concolic.Path.Native id ->
+      ignore (Jit.Cogits.compile_native_to_machine ~defects ~arch:Jit.Codegen.X86 id)
+  | Concolic.Path.Bytecode op ->
+      ignore
+        (Jit.Cogits.compile_bytecode_to_machine compiler ~defects
+           ~literals:Verify.default_literals
+           ~stack_setup:(Verify.default_stack_setup op)
+           ~arch:Jit.Codegen.X86 op)
+  | Concolic.Path.Bytecode_seq ops ->
+      ignore
+        (Jit.Cogits.compile_sequence_to_machine compiler ~defects
+           ~literals:Verify.default_literals ~stack_setup:[]
+           ~arch:Jit.Codegen.X86 ops)
+
+let applicable ~defects ~(compiler : Jit.Cogits.compiler) (op : operator)
+    (subject : Concolic.Path.subject) : bool =
+  (match (subject, compiler) with
+  | Concolic.Path.Native _, c -> c = Jit.Cogits.Native_method_compiler
+  | (Concolic.Path.Bytecode _ | Concolic.Path.Bytecode_seq _), c ->
+      c <> Jit.Cogits.Native_method_compiler)
+  &&
+  match
+    Fault.with_fault
+      ~target:(Jit.Cogits.short_name compiler)
+      op
+      (compile_probe ~defects ~compiler subject)
+  with
+  | (), fired -> fired
+  | exception Jit.Cogits.Not_compiled _ -> false

@@ -1,0 +1,58 @@
+(** The mutation operators: systematically planted compiler faults for
+    oracle-strength evaluation.  Each operator rewrites the first
+    matching site of one pipeline artifact (byte-code template
+    selection, cogit IR, or lowered machine code) for one targeted
+    front-end; activation is via {!Jit.Fault.with_fault}. *)
+
+type operator = Jit.Fault.op = {
+  id : string;
+  layer : Jit.Fault.layer;
+  rewrite_opcode : Bytecodes.Opcode.t -> Bytecodes.Opcode.t option;
+  rewrite_ir : Jit.Fault.stage -> Jit.Ir.ir list -> Jit.Ir.ir list option;
+  rewrite_machine :
+    Machine.Machine_code.program -> Machine.Machine_code.program option;
+}
+
+val all : operator list
+(** The twelve operators: [bc-wrong-template], [bc-literal-off-by-one]
+    (template layer); [ir-drop-guard], [ir-swap-operands],
+    [ir-wrong-constant], [ir-dead-spill], [ir-drop-overflow] (IR layer);
+    [mc-wrong-cond], [mc-clobber-scratch], [mc-skip-frame-store],
+    [mc-slot-off-by-one], [mc-wrong-stop-marker] (machine layer). *)
+
+val find : string -> operator option
+val ids : unit -> string list
+
+val pristine : operator
+(** The identity mutant: activation without any rewrite.  Used by the
+    [--pristine] gate to assert the oracle stack reports zero kills on
+    unmutated compilers. *)
+
+val applicable :
+  defects:Interpreter.Defects.t ->
+  compiler:Jit.Cogits.compiler ->
+  operator ->
+  Concolic.Path.subject ->
+  bool
+(** Does compiling [subject] with [compiler] under the fault actually
+    fire a rewrite?  (Compilation only — no exploration or solving.)
+    Native subjects are only applicable to the native-method compiler,
+    byte-code subjects to the three byte-code front-ends. *)
+
+(** QCheck-based generation of random well-formed byte-code sequences,
+    each filtered through {!Verify.Bytecode_verifier.verify_seq}.
+    Deterministic: the same [seed] always yields the same subjects. *)
+module Gen_method : sig
+  val gen_seq : Bytecodes.Opcode.t list QCheck.Gen.t
+  (** One stack-safe sequence of 2-6 opcodes. *)
+
+  val well_formed : Bytecodes.Opcode.t list -> bool
+  (** No byte-code verifier findings from an empty initial stack. *)
+
+  val generate : seed:int -> int -> Bytecodes.Opcode.t list list
+  (** [n] distinct well-formed sequences, deterministically from
+      [seed]. *)
+
+  val subjects : seed:int -> int -> Concolic.Path.subject list
+  (** {!generate}, wrapped as concolic sequence subjects. *)
+end

@@ -456,11 +456,14 @@ let machine_paths ?se_budget ~(defects : Interpreter.Defects.t)
     (path : Concolic.Path.t) : compiled =
   let frame = path.input_frame in
   let key =
-    Printf.sprintf "%s|%s|%s|%d|%s"
+    (* the Fault tag keeps mutant machine paths out of the pristine
+       entries (and distinct mutants out of each other's) *)
+    Printf.sprintf "%s|%s|%s|%d|%s%s"
       (Concolic.Path.subject_name path.subject)
       (Jit.Cogits.short_name compiler)
       (Jit.Codegen.arch_name arch)
       (Hashtbl.hash defects) (frame_signature frame)
+      (Jit.Fault.cache_tag ())
   in
   Exec.Memo.find_or_add mc_cache key @@ fun _ ->
       let accessor_gaps = defects.Interpreter.Defects.simulation_accessor_gaps in

@@ -91,7 +91,7 @@ let verify_bytecode_unit ~defects ~compiler
             Machine_lint.lint
               ~accessor_gaps:defects.Interpreter.Defects.simulation_accessor_gaps
               ~subject ~compiler:short ~arch:(arch_name arch)
-              (Jit.Codegen.lower ~arch final))
+              (Jit.Cogits.lower_for compiler ~arch final))
           arches
       in
       bytecode_findings @ ir_findings @ machine_findings
@@ -126,7 +126,7 @@ let verify_sequence_unit ~defects ~compiler
             Machine_lint.lint
               ~accessor_gaps:defects.Interpreter.Defects.simulation_accessor_gaps
               ~subject ~compiler:short ~arch:(arch_name arch)
-              (Jit.Codegen.lower ~arch final))
+              (Jit.Cogits.lower_for compiler ~arch final))
           arches
       in
       bytecode_findings @ ir_findings @ machine_findings
@@ -154,7 +154,8 @@ let verify_native_unit ~defects ?(arches = Jit.Codegen.all_arches) (id : int)
             Machine_lint.lint
               ~accessor_gaps:defects.Interpreter.Defects.simulation_accessor_gaps
               ~subject ~compiler:"native" ~arch:(arch_name arch)
-              (Jit.Codegen.lower ~arch final))
+              (Jit.Cogits.lower_for Jit.Cogits.Native_method_compiler ~arch
+                 final))
           arches
       in
       ir_findings @ machine_findings

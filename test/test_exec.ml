@@ -261,6 +261,46 @@ let test_campaign_determinism () =
   Alcotest.(check (list string))
     "deduped witnesses identical" (witnesses c1) (witnesses c8)
 
+(* --- kill-matrix determinism: -j 1 == -j 8, mutation enabled ---
+
+   Mutants share domains under [-j 8] (different faults active on
+   different domains at once), so this exercises the domain-local fault
+   slot and the fault-tagged caches; outcomes must not depend on which
+   domain ran which mutant. *)
+
+let run_kill_matrix jobs =
+  Solver.Solve.reset_cache ();
+  Concolic.Explorer.reset_cache ();
+  Campaign.reset_kill_cache ();
+  Campaign.kill_matrix ~jobs ~per_operator:1 ~gen:4 ~seed:42 ()
+
+let render_kill_table (m : Campaign.kill_matrix) =
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  Ijdt_core.Tables.kill_table ppf m;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+(* operators hold closures, so outcomes are compared rendered *)
+let outcome_strings (m : Campaign.kill_matrix) =
+  List.map
+    (fun (o : Campaign.mutant_outcome) ->
+      Printf.sprintf "%s|%s|%s|%s|%b|%s" o.mo_op.Jit.Fault.id
+        (Jit.Cogits.short_name o.mo_compiler)
+        (Concolic.Path.subject_name o.mo_subject)
+        (Jit.Codegen.arch_name o.mo_arch)
+        o.mo_fired
+        (Campaign.kill_name o.mo_kill))
+    m.km_outcomes
+
+let test_kill_matrix_determinism () =
+  let m1 = run_kill_matrix 1 in
+  let m8 = run_kill_matrix 8 in
+  check_string "kill table byte-identical" (render_kill_table m1)
+    (render_kill_table m8);
+  Alcotest.(check (list string))
+    "mutant outcomes identical" (outcome_strings m1) (outcome_strings m8)
+
 let suite =
   [
     Alcotest.test_case "pool matches List.map" `Quick test_pool_matches_list_map;
@@ -279,4 +319,6 @@ let suite =
       test_explorer_cache_transparent;
     Alcotest.test_case "campaign determinism -j1 == -j8" `Slow
       test_campaign_determinism;
+    Alcotest.test_case "kill-matrix determinism -j1 == -j8" `Slow
+      test_kill_matrix_determinism;
   ]

@@ -26,4 +26,5 @@ let () =
       ("soundness", Test_soundness.suite);
       ("tables", Test_tables.suite);
       ("facade", Test_facade.suite);
+      ("mutate", Test_mutate.suite);
     ]

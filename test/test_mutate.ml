@@ -1,0 +1,224 @@
+(* The mutation engine (lib/mutate) and the kill-matrix campaign:
+
+   - every operator schedules at least one unit and every scheduled
+     mutant is killed by some oracle layer (one test case per operator);
+   - the pristine run (inert identity mutant) survives every layer —
+     the zero-false-kill gate;
+   - qcheck: the random-method generator only emits sequences the
+     byte-code verifier accepts, deterministically per seed;
+   - mutant-originated differences are classified into the dedicated
+     [Injected_fault] family, so mutation runs never pollute the
+     genuine cause statistics, and dedupe keeps the families apart. *)
+
+module Op = Bytecodes.Opcode
+module Campaign = Ijdt_core.Campaign
+module Fault = Jit.Fault
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* --- operator inventory --- *)
+
+let test_operator_inventory () =
+  check_int "twelve operators" 12 (List.length Mutate.all);
+  let ids = Mutate.ids () in
+  check_int "distinct ids" (List.length ids)
+    (List.length (List.sort_uniq compare ids));
+  List.iter
+    (fun id ->
+      check_bool ("find " ^ id) true
+        (match Mutate.find id with
+        | Some op -> op.Mutate.id = id
+        | None -> false))
+    ids;
+  check_bool "unknown id" true (Mutate.find "no-such-op" = None);
+  check_bool "every layer represented" true
+    (List.sort_uniq compare
+       (List.map (fun (o : Mutate.operator) -> o.layer) Mutate.all)
+    = [ Fault.L_template; Fault.L_ir; Fault.L_machine ])
+
+(* --- the kill matrix, one shared run for the per-operator cases ---
+
+   [per_operator:1] keeps it quick; both ISAs, so the per-operator
+   check covers each operator on at least one (compiler x ISA) unit per
+   ISA style. *)
+
+let matrix =
+  lazy (Campaign.kill_matrix ~jobs:2 ~per_operator:1 ~gen:6 ~seed:42 ())
+
+let test_operator_killed (op : Mutate.operator) () =
+  let m = Lazy.force matrix in
+  let mine =
+    List.filter
+      (fun (o : Campaign.mutant_outcome) -> o.mo_op.Fault.id = op.id)
+      m.km_outcomes
+  in
+  check_bool (op.id ^ " schedules at least one unit") true (mine <> []);
+  List.iter
+    (fun (o : Campaign.mutant_outcome) ->
+      check_bool (op.id ^ " fault fired") true o.mo_fired;
+      check_bool
+        (Printf.sprintf "%s killed on %s/%s/%s" op.id
+           (Jit.Cogits.short_name o.mo_compiler)
+           (Concolic.Path.subject_name o.mo_subject)
+           (Jit.Codegen.arch_name o.mo_arch))
+        true
+        (o.mo_kill <> Campaign.Survived))
+    mine
+
+let test_kill_rows_consistent () =
+  let m = Lazy.force matrix in
+  let t = Campaign.kill_totals m in
+  check_int "rows partition the outcomes" t.kr_units
+    (List.fold_left
+       (fun acc (r : Campaign.kill_row) -> acc + r.kr_units)
+       0 (Campaign.kills_by_operator m));
+  check_int "layers partition the outcomes" t.kr_units
+    (List.fold_left
+       (fun acc (r : Campaign.kill_row) -> acc + r.kr_units)
+       0 (Campaign.kills_by_layer m));
+  check_int "kill counts add up" t.kr_units
+    (t.kr_static + t.kr_validate + t.kr_difftest + t.kr_survived)
+
+(* --- the pristine gate --- *)
+
+let test_pristine_survives_all_layers () =
+  let m =
+    Campaign.kill_matrix ~jobs:2 ~per_operator:1 ~gen:6 ~seed:42
+      ~pristine:true ()
+  in
+  check_bool "units scheduled" true (m.km_outcomes <> []);
+  check_int "zero false kills" 0 (List.length (Campaign.false_kills m));
+  List.iter
+    (fun (o : Campaign.mutant_outcome) ->
+      check_bool "inert mutant never fires" false o.mo_fired;
+      check_bool "survives every oracle layer" true
+        (o.mo_kill = Campaign.Survived))
+    m.km_outcomes
+
+(* --- the generator --- *)
+
+let qcheck_generated_methods_verify =
+  QCheck.Test.make ~name:"qcheck: generated methods pass the verifier"
+    ~count:200
+    (QCheck.make Mutate.Gen_method.gen_seq
+       ~print:(fun ops -> String.concat ";" (List.map Op.mnemonic ops)))
+    Mutate.Gen_method.well_formed
+
+let test_generator_deterministic () =
+  let a = Mutate.Gen_method.generate ~seed:7 5 in
+  let b = Mutate.Gen_method.generate ~seed:7 5 in
+  check_bool "same seed, same methods" true (a = b);
+  check_int "asked-for count" 5 (List.length a);
+  let keys =
+    List.map (fun ops -> String.concat ";" (List.map Op.mnemonic ops)) a
+  in
+  check_int "distinct methods" 5 (List.length (List.sort_uniq compare keys))
+
+(* --- classification: mutants form their own family --- *)
+
+let test_classify_mutant_family () =
+  let subject = Concolic.Path.Bytecode Op.Push_one in
+  let exit_ = Interpreter.Exit_condition.Success in
+  let observed = Difftest.Difference.O_success { marker = 1 } in
+  let op = Option.get (Mutate.find "bc-wrong-template") in
+  (* active fault targeting the classifying compiler: Injected_fault *)
+  let (family, cause), _ =
+    Fault.with_fault ~target:"simple" op (fun () ->
+        Difftest.Classify.classify ~compiler:Jit.Cogits.Simple_stack_cogit
+          ~subject ~exit_ ~observed)
+  in
+  check_bool "family is Injected_fault" true
+    (family = Difftest.Difference.Injected_fault);
+  check_string "cause names the operator" "mutant-bc-wrong-template" cause;
+  (* active fault targeting a DIFFERENT compiler: genuine classification *)
+  let (family, _), _ =
+    Fault.with_fault ~target:"s2r" op (fun () ->
+        Difftest.Classify.classify ~compiler:Jit.Cogits.Simple_stack_cogit
+          ~subject ~exit_ ~observed)
+  in
+  check_bool "other-target fault classifies genuinely" true
+    (family <> Difftest.Difference.Injected_fault);
+  (* no fault at all: genuine classification *)
+  let family, _ =
+    Difftest.Classify.classify ~compiler:Jit.Cogits.Simple_stack_cogit
+      ~subject ~exit_ ~observed
+  in
+  check_bool "fault-free classification is genuine" true
+    (family <> Difftest.Difference.Injected_fault)
+
+(* End-to-end: a mutant's dynamic differences carry the Injected_fault
+   family, keeping mutation runs out of the genuine cause tables. *)
+let test_mutant_diffs_never_pollute_causes () =
+  let defects = Interpreter.Defects.pristine in
+  let op = Option.get (Mutate.find "bc-wrong-template") in
+  let compiler = Jit.Cogits.Simple_stack_cogit in
+  let subject = Concolic.Path.Bytecode Op.Push_one in
+  let r, fired =
+    Fault.with_fault ~target:(Jit.Cogits.short_name compiler) op (fun () ->
+        Campaign.test_instruction ~defects ~arches:[ Jit.Codegen.X86 ]
+          ~compiler subject)
+  in
+  check_bool "fault fired" true fired;
+  check_bool "mutant produces differences" true (r.differences > 0);
+  check_bool "diffs retained after dedupe" true (r.diffs <> []);
+  List.iter
+    (fun (d : Difftest.Difference.t) ->
+      check_bool "every witness is Injected_fault" true
+        (d.family = Difftest.Difference.Injected_fault);
+      check_string "cause names the operator" "mutant-bc-wrong-template"
+        d.cause)
+    r.diffs
+
+let test_dedupe_keeps_families_apart () =
+  let mk family cause path_key : Difftest.Difference.t =
+    {
+      compiler = Jit.Cogits.Simple_stack_cogit;
+      arch = Jit.Codegen.X86;
+      subject = Concolic.Path.Bytecode Op.Push_one;
+      path_key;
+      kind = Difftest.Difference.Value_mismatch { what = "test" };
+      family;
+      cause;
+    }
+  in
+  let injected =
+    mk Difftest.Difference.Injected_fault "same-cause" "path-a"
+  in
+  let genuine =
+    mk Difftest.Difference.Optimisation_difference "same-cause" "path-b"
+  in
+  let kept = Difftest.Classify.dedupe_witnesses [ injected; genuine ] in
+  check_int "same cause, different family: both kept" 2 (List.length kept);
+  let kept =
+    Difftest.Classify.dedupe_witnesses
+      [ injected; mk Difftest.Difference.Injected_fault "same-cause" "p" ]
+  in
+  check_int "same family and cause: deduped to one" 1 (List.length kept)
+
+let suite =
+  [
+    Alcotest.test_case "operator inventory" `Quick test_operator_inventory;
+  ]
+  @ List.map
+      (fun (op : Mutate.operator) ->
+        Alcotest.test_case
+          (Printf.sprintf "mutant killed: %s" op.id)
+          `Slow (test_operator_killed op))
+      Mutate.all
+  @ [
+      Alcotest.test_case "kill rows consistent" `Slow
+        test_kill_rows_consistent;
+      Alcotest.test_case "pristine survives all layers" `Slow
+        test_pristine_survives_all_layers;
+      QCheck_alcotest.to_alcotest qcheck_generated_methods_verify;
+      Alcotest.test_case "generator deterministic" `Quick
+        test_generator_deterministic;
+      Alcotest.test_case "classify: mutant family" `Quick
+        test_classify_mutant_family;
+      Alcotest.test_case "mutant diffs never pollute causes" `Quick
+        test_mutant_diffs_never_pollute_causes;
+      Alcotest.test_case "dedupe keeps families apart" `Quick
+        test_dedupe_keeps_families_apart;
+    ]
