@@ -361,9 +361,9 @@ let run_perf ~jobs ~quick ~json_label () =
   let phase name f =
     sh := 0; sm := 0; sq := 0; ph := 0; pm := 0;
     reset ();
-    let t0 = Unix.gettimeofday () in
+    let t0 = Exec.Clock.now () in
     let results = f () in
-    let wall = Unix.gettimeofday () -. t0 in
+    let wall = Exec.Clock.elapsed t0 in
     harvest ();
     if !sh + !sm <> !sq then begin
       Printf.eprintf
@@ -487,13 +487,13 @@ let run_perf ~jobs ~quick ~json_label () =
    per layer) plus the wall-clock cost of running every mutant through
    the full oracle stack. *)
 let run_mutate ~jobs ~quick () =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Exec.Clock.now () in
   let m =
     if quick then
       Ijdt_core.Campaign.kill_matrix ~jobs ~per_operator:1 ~gen:4 ()
     else Ijdt_core.Campaign.kill_matrix ~jobs ()
   in
-  let wall = Unix.gettimeofday () -. t0 in
+  let wall = Exec.Clock.elapsed t0 in
   Ijdt_core.Tables.kill_table Format.std_formatter m;
   let t = Ijdt_core.Campaign.kill_totals m in
   Printf.printf "mutate: %d mutants in %.2fs at -j %d (%.1f%% killed)\n"

@@ -19,6 +19,14 @@
 # any operator's mutants all survive or the overall kill rate drops
 # below 90%.
 #
+# The robustness gates follow: a chaos campaign (three injected harness
+# faults — a raising solver, a hung exploration, an allocation bomb —
+# at seed-derived unit indices) must finish with exit 0, every fault
+# contained as exactly its target unit's verdict, zero collateral
+# damage and zero quarantines; it writes ROBUST_ci.json.  Then a resume
+# smoke: a journalled campaign is truncated mid-way and resumed, and
+# the merged JSON report must be byte-identical to a single-shot run's.
+#
 # The bench smoke at the end replays the perf trajectory on a reduced
 # universe and writes BENCH_ci.json; it exits non-zero when the solver
 # cache's accounting is inconsistent (hits + misses != queries posed).
@@ -46,6 +54,42 @@ assert rate >= 0.90, f"overall kill rate {rate:.2%} below 90%"
 print(f"ci: mutation smoke: {m['totals']['units']} mutants, kill rate {rate:.1%}")
 EOF
 echo "ci: mutation report at MUTATION_ci.json"
+dune exec bin/vmtest.exe -- campaign --chaos --seed 7 -j "$CI_JOBS" \
+  --max-iterations 24 --json ROBUST_ci.json > /dev/null
+python3 - <<'EOF'
+import json
+r = json.load(open("ROBUST_ci.json"))
+sup, chaos = r["supervision"], r["chaos"]
+assert chaos["enabled"] and len(chaos["targets"]) >= 3, "chaos plan too small"
+incidents = {i["unit"]: i for i in sup["incidents"]}
+targets = {t["unit"]: t["kind"] for t in chaos["targets"]}
+# every fault contained as exactly its target unit's verdict
+expected = {"solver-raise": "crashed", "explorer-hang": "timed_out",
+            "alloc-bomb": "timed_out"}
+for unit, kind in targets.items():
+    got = incidents.get(unit)
+    assert got, f"chaos fault at {unit} left no incident"
+    assert got["verdict"] == expected[kind], \
+        f"{unit}: {kind} yielded {got['verdict']}, expected {expected[kind]}"
+# zero collateral damage: no incident outside the chaos schedule
+stray = [u for u in incidents if u not in targets]
+assert not stray, f"units lost outside the chaos schedule: {stray}"
+t = sup["totals"]
+assert t["quarantined"] == 0, f"{t['quarantined']} units quarantined"
+assert t["timed_out"] + t["crashed"] == len(targets), "totals inconsistent"
+print(f"ci: chaos gate: {len(targets)} faults injected, "
+      f"{len(incidents)} contained, 0 lost, 0 quarantined")
+EOF
+echo "ci: robustness report at ROBUST_ci.json"
+rm -f _build/ci-journal.jsonl _build/ci-journal-trunc.jsonl
+dune exec bin/vmtest.exe -- campaign -j "$CI_JOBS" --max-iterations 24 \
+  --journal _build/ci-journal.jsonl --json _build/ci-single.json > /dev/null
+head -n 200 _build/ci-journal.jsonl > _build/ci-journal-trunc.jsonl
+dune exec bin/vmtest.exe -- campaign -j "$CI_JOBS" --max-iterations 24 \
+  --resume _build/ci-journal-trunc.jsonl --json _build/ci-resumed.json \
+  > /dev/null
+cmp _build/ci-single.json _build/ci-resumed.json
+echo "ci: resume smoke: truncated-journal resume is byte-identical"
 dune exec bench/main.exe -- perf --quick -j "$CI_JOBS" --json ci
 echo "ci: bench smoke report at BENCH_ci.json"
 echo "ci: OK"

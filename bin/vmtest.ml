@@ -186,12 +186,129 @@ let defects_label d =
   else if d = Interpreter.Defects.pristine then "pristine"
   else "custom"
 
+(* --- shared: supervision policy flags and JSON fragments ---
+
+   campaign, validate and mutate all run their units under
+   [Exec.Supervise]; these flags shape the policy and the
+   checkpoint/resume journal. *)
+
+let fuel_arg =
+  Arg.(
+    value
+    & opt int
+        (Option.value Exec.Supervise.default_policy.fuel ~default:0)
+    & info [ "fuel" ] ~docv:"N"
+        ~doc:
+          "Watchdog step budget per unit attempt (0 = unlimited).  Fuel \
+           counts deterministic work steps, so fuel timeouts are \
+           byte-identical at any $(b,-j).  The default is far above any \
+           real unit; only hung or chaos-injected units exhaust it.")
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline" ] ~docv:"SECONDS"
+        ~doc:
+          "Wall-clock (monotonic) safety-net deadline per unit attempt.  \
+           Unlike $(b,--fuel) this is nondeterministic; leave it unset \
+           unless the run must survive pathological environments.")
+
+let retries_arg =
+  Arg.(
+    value
+    & opt int Exec.Supervise.default_policy.retries
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Extra attempts for a crashed or timed-out unit, with \
+           seed-derived (deterministic) backoff.")
+
+let breaker_arg =
+  Arg.(
+    value
+    & opt int Exec.Supervise.default_policy.breaker_k
+    & info [ "breaker" ] ~docv:"K"
+        ~doc:
+          "Per-compiler circuit breaker: after $(docv) consecutive unit \
+           crashes, the compiler's remaining units are quarantined \
+           (0 disables).")
+
+let journal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"FILE"
+        ~doc:
+          "Append each completed unit verdict to $(docv) (JSONL, \
+           crash-safe: flushed per line).  Resume later with \
+           $(b,--resume); the same file may be given to both to \
+           continue a killed run in place.")
+
+let resume_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "resume" ] ~docv:"FILE"
+        ~doc:
+          "Skip units already recorded in journal $(docv) (written by a \
+           previous $(b,--journal) run under the same configuration).  \
+           Aggregate results are byte-identical to a fresh run's (the \
+           validate report's $(b,caches) object is process telemetry \
+           and reflects only the work actually re-executed).")
+
+let policy_of ~fuel ~deadline ~retries ~breaker ~seed =
+  {
+    Exec.Supervise.retries = max 0 retries;
+    fuel = (if fuel <= 0 then None else Some fuel);
+    deadline_s = deadline;
+    breaker_k = max 0 breaker;
+    seed;
+  }
+
+let json_robustness (c : Exec.Supervise.counts) =
+  Printf.sprintf
+    "{\"ok\":%d,\"timed_out\":%d,\"crashed\":%d,\"quarantined\":%d,\
+     \"retries\":%d}"
+    c.c_ok c.c_timed_out c.c_crashed c.c_quarantined c.c_retries
+
+let json_unit_report (u : Ijdt_core.Campaign.unit_report) =
+  Printf.sprintf
+    "{\"unit\":\"%s\",\"verdict\":\"%s\",\"detail\":\"%s\",\"attempts\":%d}"
+    (json_escape u.ur_key) (json_escape u.ur_verdict) (json_escape u.ur_detail)
+    u.ur_attempts
+
+(* The "supervision" and "chaos" objects shared by the campaign and
+   validation reports: counts and stable names only, so the JSON stays
+   byte-identical at any [-j]. *)
+let json_supervision (s : Ijdt_core.Campaign.supervised) =
+  Printf.sprintf
+    "\"supervision\":{\"totals\":%s,\"per_compiler\":[%s],\
+     \"incidents\":[%s]},\"chaos\":{\"enabled\":%b,\"targets\":[%s]}"
+    (json_robustness s.sup_totals)
+    (String.concat ","
+       (List.map
+          (fun (compiler, counts) ->
+            Printf.sprintf "{\"compiler\":\"%s\",\"counts\":%s}"
+              (json_escape (Jit.Cogits.short_name compiler))
+              (json_robustness counts))
+          s.sup_by_compiler))
+    (String.concat ","
+       (List.map json_unit_report (Ijdt_core.Campaign.sup_incidents s)))
+    (s.sup_chaos <> [])
+    (String.concat ","
+       (List.map
+          (fun (i, key, kind) ->
+            Printf.sprintf "{\"index\":%d,\"unit\":\"%s\",\"kind\":\"%s\"}" i
+              (json_escape key) kind)
+          s.sup_chaos))
+
 (* --- campaign --- *)
 
 (* The campaign JSON report is deliberately time-free: every field is a
    count or a name, so the file is byte-identical whatever [-j] (the
    wall-clock figures 6-7 stay on stdout only). *)
-let write_campaign_json file (c : Ijdt_core.Campaign.t) =
+let write_campaign_json file (s : Ijdt_core.Campaign.supervised) =
+  let c = s.Ijdt_core.Campaign.sup_campaign in
   let oc = open_out file in
   let compiler_json (cr : Ijdt_core.Campaign.compiler_result) =
     let instr_json (r : Ijdt_core.Campaign.instruction_result) =
@@ -231,7 +348,7 @@ let write_campaign_json file (c : Ijdt_core.Campaign.t) =
     "{\"defects\":\"%s\",\"arches\":[%s],\"compilers\":[%s],\
      \"causes\":[%s],\"causes_by_family\":[%s],\
      \"agreement\":{\"both_clean\":%d,\"both_flagged\":%d,\
-     \"static_only\":%d,\"dynamic_only\":%d},\"static_causes\":[%s]}\n"
+     \"static_only\":%d,\"dynamic_only\":%d},\"static_causes\":[%s],%s}\n"
     (defects_label c.defects)
     (String.concat ","
        (List.map
@@ -243,7 +360,8 @@ let write_campaign_json file (c : Ijdt_core.Campaign.t) =
        (List.map family_json (Ijdt_core.Campaign.causes_by_family c)))
     a.both_clean a.both_flagged a.static_only a.dynamic_only
     (String.concat ","
-       (List.map static_cause_json (Ijdt_core.Campaign.static_causes c)));
+       (List.map static_cause_json (Ijdt_core.Campaign.static_causes c)))
+    (json_supervision s);
   close_out oc
 
 let campaign_cmd =
@@ -263,8 +381,39 @@ let campaign_cmd =
              report contains only counts and names (no wall-clock \
              fields), so it is byte-identical at any $(b,-j).")
   in
-  let run defects max_iterations jobs json =
-    let c = Ijdt_core.Campaign.run ~jobs ~max_iterations ~defects () in
+  let chaos_arg =
+    Arg.(
+      value & flag
+      & info [ "chaos" ]
+          ~doc:
+            "Inject seeded harness faults (a raising solver, a \
+             never-terminating exploration, an allocation bomb) at \
+             $(b,--chaos-faults) seed-derived unit indices.  The run \
+             must finish with every fault contained as that unit's \
+             verdict and zero collateral damage — the supervisor's own \
+             test.")
+  in
+  let chaos_faults_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "chaos-faults" ] ~docv:"N"
+          ~doc:"Faults injected by $(b,--chaos) (kinds round-robin).")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"S"
+          ~doc:"Seed for the chaos schedule and the retry backoff.")
+  in
+  let run defects max_iterations jobs json chaos chaos_faults seed fuel
+      deadline retries breaker journal resume =
+    let policy = policy_of ~fuel ~deadline ~retries ~breaker ~seed in
+    let s =
+      Ijdt_core.Campaign.run_supervised ~jobs ~max_iterations ~defects ~policy
+        ?chaos:(if chaos then Some (seed, chaos_faults) else None)
+        ?journal ?resume ()
+    in
+    let c = s.Ijdt_core.Campaign.sup_campaign in
     Ijdt_core.Tables.all Format.std_formatter c;
     let a = Ijdt_core.Campaign.agreement_totals c in
     Printf.printf
@@ -282,14 +431,22 @@ let campaign_cmd =
           (Verify.Finding.family_name family)
           cause n)
       sc;
-    match json with
-    | Some file -> write_campaign_json file c
-    | None -> ()
+    print_newline ();
+    Ijdt_core.Tables.supervision_table Format.std_formatter s;
+    (match json with Some file -> write_campaign_json file s | None -> ());
+    (* a supervised campaign exits non-zero only when units were lost
+       for reasons other than an injected chaos fault *)
+    let t = s.sup_totals in
+    let lost = t.c_timed_out + t.c_crashed + t.c_quarantined in
+    if lost > List.length s.sup_chaos then exit 1
   in
   Cmd.v
     (Cmd.info "campaign"
        ~doc:"Run the full evaluation: 4 compilers × 2 ISAs (Tables 2-3)")
-    Term.(const run $ defects_arg $ iters_arg $ jobs_arg $ json_arg)
+    Term.(
+      const run $ defects_arg $ iters_arg $ jobs_arg $ json_arg $ chaos_arg
+      $ chaos_faults_arg $ seed_arg $ fuel_arg $ deadline_arg $ retries_arg
+      $ breaker_arg $ journal_arg $ resume_arg)
 
 (* --- verify --- *)
 
@@ -390,8 +547,9 @@ let json_counts (v : Ijdt_core.Campaign.validation_counts) =
      \"unknown\":%d,\"skipped\":%d,\"queries\":%d}"
     v.proved v.refuted v.missing v.spurious v.unknown v.skipped v.queries
 
-let write_validation_json file ~pristine ~confirmed (c : Ijdt_core.Campaign.t)
-    =
+let write_validation_json file ~pristine ~confirmed
+    (s : Ijdt_core.Campaign.supervised) =
+  let c = s.Ijdt_core.Campaign.sup_campaign in
   let oc = open_out file in
   let compiler_json (cr : Ijdt_core.Campaign.compiler_result) =
     let rows =
@@ -417,7 +575,7 @@ let write_validation_json file ~pristine ~confirmed (c : Ijdt_core.Campaign.t)
     "{\"arches\":[%s],\"compilers\":[%s],\"totals\":%s,\
      \"unknown_rate\":%.4f,\"caches\":{\"solver\":%s,\
      \"path_summaries\":%s},\"gate\":{\"pristine\":%b,\
-     \"confirmed_refutations\":%d,\"passed\":%b}}\n"
+     \"confirmed_refutations\":%d,\"passed\":%b},%s}\n"
     (String.concat ","
        (List.map
           (fun a -> Printf.sprintf "\"%s\"" (Jit.Codegen.arch_name a))
@@ -429,7 +587,8 @@ let write_validation_json file ~pristine ~confirmed (c : Ijdt_core.Campaign.t)
     (cache_json (Solver.Solve.cache_stats ()))
     (cache_json (Concolic.Explorer.cache_stats ()))
     pristine confirmed
-    ((not pristine) || confirmed = 0);
+    ((not pristine) || confirmed = 0)
+    (json_supervision s);
   close_out oc
 
 let validate_cmd =
@@ -492,7 +651,8 @@ let validate_cmd =
              test universe.")
   in
   let run defects pristine compilers arches budget json max_iterations jobs
-      subject =
+      subject fuel deadline retries breaker journal resume =
+    let policy = policy_of ~fuel ~deadline ~retries ~breaker ~seed:0 in
     let defects = if pristine then Interpreter.Defects.pristine else defects in
     let budget = Option.map ref budget in
     let compilers =
@@ -532,23 +692,11 @@ let validate_cmd =
           List.map (fun s -> (compiler, s)) subjects)
         compilers
     in
-    let flat =
-      Ijdt_core.Campaign.run_units ~jobs ~max_iterations ~validate:true
-        ?budget ~defects ~arches units
+    let s =
+      Ijdt_core.Campaign.run_supervised ~jobs ~max_iterations ~validate:true
+        ?budget ~policy ?journal ?resume ~defects ~arches ~compilers ~units ()
     in
-    let results =
-      List.map
-        (fun compiler ->
-          {
-            Ijdt_core.Campaign.compiler;
-            instructions =
-              List.filter_map
-                (fun (c, r) -> if c = compiler then Some r else None)
-                flat;
-          })
-        compilers
-    in
-    let c = { Ijdt_core.Campaign.defects; arches; results } in
+    let c = s.Ijdt_core.Campaign.sup_campaign in
     Ijdt_core.Tables.validation_table Format.std_formatter c;
     (* show each retained refutation witness, the replayable evidence *)
     List.iter
@@ -564,8 +712,14 @@ let validate_cmd =
       c.results;
     let t = Ijdt_core.Campaign.validation_totals c in
     let confirmed = t.refuted - t.missing in
+    let tot = s.sup_totals in
+    if tot.c_timed_out + tot.c_crashed + tot.c_quarantined + tot.c_retries > 0
+    then begin
+      print_newline ();
+      Ijdt_core.Tables.supervision_table Format.std_formatter s
+    end;
     (match json with
-    | Some file -> write_validation_json file ~pristine ~confirmed c
+    | Some file -> write_validation_json file ~pristine ~confirmed s
     | None -> ());
     if pristine && confirmed > 0 then begin
       Printf.printf
@@ -573,7 +727,8 @@ let validate_cmd =
          defect-free configuration\n"
         confirmed;
       exit 1
-    end
+    end;
+    if tot.c_timed_out + tot.c_crashed + tot.c_quarantined > 0 then exit 1
   in
   Cmd.v
     (Cmd.info "validate"
@@ -584,7 +739,9 @@ let validate_cmd =
           counterexample through the differential tester")
     Term.(
       const run $ defects_arg $ pristine_arg $ compilers_arg $ arch_arg
-      $ budget_arg $ json_arg $ iters_arg $ jobs_arg $ subject_opt_arg)
+      $ budget_arg $ json_arg $ iters_arg $ jobs_arg $ subject_opt_arg
+      $ fuel_arg $ deadline_arg $ retries_arg $ breaker_arg $ journal_arg
+      $ resume_arg)
 
 (* --- mutate: the mutation kill matrix --- *)
 
@@ -615,7 +772,8 @@ let write_mutation_json file (m : Ijdt_core.Campaign.kill_matrix) =
   Printf.fprintf oc
     "{\"defects\":\"%s\",\"pristine\":%b,\"totals\":%s,\
      \"by_operator\":[%s],\"by_layer\":[%s],\"outcomes\":[%s],\
-     \"gate\":{\"false_kills\":%d,\"passed\":%b}}\n"
+     \"gate\":{\"false_kills\":%d,\"passed\":%b},\
+     \"supervision\":{\"totals\":%s,\"incidents\":[%s]}}\n"
     (defects_label m.km_defects) m.km_pristine (row_json t)
     (String.concat ","
        (List.map row_json (Ijdt_core.Campaign.kills_by_operator m)))
@@ -624,7 +782,9 @@ let write_mutation_json file (m : Ijdt_core.Campaign.kill_matrix) =
     (String.concat "," (List.map outcome_json m.km_outcomes))
     (List.length (Ijdt_core.Campaign.false_kills m))
     ((not m.km_pristine)
-    || Ijdt_core.Campaign.false_kills m = []);
+    || Ijdt_core.Campaign.false_kills m = [])
+    (json_robustness m.km_robustness)
+    (String.concat "," (List.map json_unit_report m.km_incidents));
   close_out oc
 
 let mutate_cmd =
@@ -704,7 +864,8 @@ let mutate_cmd =
              and names only, byte-identical at any $(b,-j).")
   in
   let run defects pristine operators arches per_operator gen seed
-      max_iterations jobs json =
+      max_iterations jobs json fuel deadline retries breaker journal resume =
+    let policy = policy_of ~fuel ~deadline ~retries ~breaker ~seed in
     let operators =
       match operators with
       | [] -> Mutate.all
@@ -723,7 +884,7 @@ let mutate_cmd =
     in
     let m =
       Ijdt_core.Campaign.kill_matrix ~jobs ~max_iterations ~per_operator ~gen
-        ~seed ~pristine ~defects ~arches ~operators ()
+        ~seed ~pristine ~defects ~arches ~operators ~policy ?journal ?resume ()
     in
     Ijdt_core.Tables.kill_table Format.std_formatter m;
     (match json with Some file -> write_mutation_json file m | None -> ());
@@ -744,7 +905,9 @@ let mutate_cmd =
           false_kills;
         exit 1
       end
-    end
+    end;
+    let r = m.Ijdt_core.Campaign.km_robustness in
+    if r.c_timed_out + r.c_crashed + r.c_quarantined > 0 then exit 1
   in
   Cmd.v
     (Cmd.info "mutate"
@@ -757,7 +920,8 @@ let mutate_cmd =
     Term.(
       const run $ mutate_defects_arg $ pristine_arg $ operators_arg
       $ arch_arg $ per_operator_arg $ gen_arg $ seed_arg $ iters_arg
-      $ jobs_arg $ json_arg)
+      $ jobs_arg $ json_arg $ fuel_arg $ deadline_arg $ retries_arg
+      $ breaker_arg $ journal_arg $ resume_arg)
 
 (* --- list --- *)
 

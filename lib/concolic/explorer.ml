@@ -192,6 +192,7 @@ let explore_uncached ?(max_iterations = 128)
   let unsupported = ref false in
   (try
      while (not (Queue.is_empty worklist)) && !iterations < max_iterations do
+       Exec.Budget.tick ~cost:64 ();
        let seed = Queue.pop worklist in
        match Solver.Solve.solve (PC.conditions seed) with
        | Solver.Solve.Unsat -> incr unsat
@@ -282,6 +283,9 @@ let cache :
 
 let explore ?(max_iterations = 128) ?(defects = Interpreter.Defects.default)
     ?(lookahead = false) (subject : Path.subject) : result =
+  (* Chaos fires before the memo so a warm cache can never mask an
+     injected hang, and a faulted attempt never poisons the cache. *)
+  Exec.Chaos.hook_explorer ();
   Exec.Memo.find_or_add cache
     (subject, defects, max_iterations, lookahead)
     (fun _ -> explore_uncached ~max_iterations ~defects ~lookahead subject)

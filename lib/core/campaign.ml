@@ -126,10 +126,12 @@ let subjects_for = function
   | Jit.Cogits.Native_method_compiler -> native_subjects ()
   | _ -> bytecode_subjects ()
 
+(* Monotonic, not [Unix.gettimeofday]: phase walls and watchdog
+   deadlines must survive NTP steps. *)
 let time f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Exec.Clock.now () in
   let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+  (r, Exec.Clock.elapsed t0)
 
 (* Explore one instruction and run its differential tests against one
    compiler on the given architectures.  A path counts as ONE difference
@@ -321,6 +323,185 @@ let run ?jobs ?(max_iterations = 96) ?(validate = false) ?budget
         compilers;
   }
 
+(* --- supervised runs (fault-tolerant campaign engine) ---
+
+   Same universe, same per-unit work as [run], but every unit goes
+   through [Exec.Supervise]: a crash or an exhausted watchdog budget
+   costs exactly that unit (a recorded verdict) instead of the run, and
+   a journal makes the run resumable.  The campaign [t] is assembled
+   from the [Ok] units only; the verdict bookkeeping rides alongside. *)
+
+type unit_report = {
+  ur_key : string; (* "compiler|subject" (mutate: "op|compiler|subject|arch") *)
+  ur_verdict : string; (* Exec.Supervise.verdict_name *)
+  ur_detail : string;
+  ur_attempts : int;
+}
+
+type supervised = {
+  sup_campaign : t;
+  sup_units : unit_report list; (* every unit, stable input order *)
+  sup_by_compiler : (Jit.Cogits.compiler * Exec.Supervise.counts) list;
+  sup_totals : Exec.Supervise.counts;
+  sup_chaos : (int * string * string) list;
+      (* injected faults: unit index, unit key, kind name *)
+}
+
+let sup_incidents s =
+  List.filter (fun u -> u.ur_verdict <> "ok") s.sup_units
+
+let unit_key (compiler, subject) =
+  Jit.Cogits.short_name compiler ^ "|" ^ Concolic.Path.subject_name subject
+
+(* Configuration fingerprint for journals: resuming under different
+   defects/arches/iterations would merge incomparable results, so the
+   loader rejects a journal whose fingerprint differs. *)
+let journal_config ~mode ~defects ~arches ~max_iterations ~validate =
+  Printf.sprintf "%s|defects:%d|arches:%s|iters:%d|validate:%b" mode
+    (Hashtbl.hash defects)
+    (String.concat "," (List.map Jit.Codegen.arch_name arches))
+    max_iterations validate
+
+(* Open a journal sink, writing the header only when the file is new or
+   empty — appending to a half-written journal keeps its header, which
+   is what lets [--journal F --resume F] continue a killed run. *)
+let open_journal ~config file =
+  let oc = open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 file in
+  if out_channel_length oc = 0 then Exec.Journal.write_header oc ~config;
+  oc
+
+let report_of_outcome key (o : _ Exec.Supervise.outcome) =
+  {
+    ur_key = key;
+    ur_verdict = Exec.Supervise.verdict_name o.verdict;
+    ur_detail = Exec.Supervise.verdict_detail o.verdict;
+    ur_attempts = o.attempts;
+  }
+
+let run_supervised ?jobs ?(max_iterations = 96) ?(validate = false) ?budget
+    ?(policy = Exec.Supervise.default_policy) ?chaos ?journal ?resume
+    ?(defects = Interpreter.Defects.paper) ?(arches = Jit.Codegen.all_arches)
+    ?(compilers = Jit.Cogits.all) ?units:units_override () : supervised =
+  let units =
+    Array.of_list
+      (match units_override with Some u -> u | None -> units_for compilers)
+  in
+  let n = Array.length units in
+  let config = journal_config ~mode:"campaign" ~defects ~arches ~max_iterations ~validate in
+  let plan =
+    Option.map (fun (seed, faults) -> Exec.Chaos.plan ~seed ~faults ~units:n) chaos
+  in
+  let chaos_fn =
+    match plan with None -> fun _ -> None | Some p -> Exec.Chaos.kind_of p
+  in
+  let precomputed =
+    Option.map
+      (fun file ->
+        let tbl = Exec.Journal.load ~config file in
+        fun i ->
+          match Hashtbl.find_opt tbl (unit_key units.(i)) with
+          | None -> None
+          | Some (e : Exec.Journal.entry) ->
+              let verdict =
+                match e.status with
+                | Exec.Journal.Ok ->
+                    Exec.Supervise.Ok
+                      (Marshal.from_string e.payload 0 : instruction_result)
+                | Exec.Journal.Timed_out -> Exec.Supervise.Timed_out e.detail
+                | Exec.Journal.Crashed ->
+                    Exec.Supervise.Unit_crashed { exn = e.detail; backtrace = "" }
+              in
+              Some { Exec.Supervise.verdict; attempts = e.attempts })
+      resume
+  in
+  let sink = Option.map (open_journal ~config) journal in
+  let record =
+    Option.map
+      (fun oc i (o : instruction_result Exec.Supervise.outcome) ->
+        let entry =
+          match o.Exec.Supervise.verdict with
+          | Exec.Supervise.Ok r ->
+              {
+                Exec.Journal.key = unit_key units.(i);
+                status = Exec.Journal.Ok;
+                attempts = o.attempts;
+                detail = "";
+                payload = Marshal.to_string r [];
+              }
+          | Exec.Supervise.Timed_out reason ->
+              {
+                Exec.Journal.key = unit_key units.(i);
+                status = Exec.Journal.Timed_out;
+                attempts = o.attempts;
+                detail = reason;
+                payload = "";
+              }
+          | Exec.Supervise.Unit_crashed f ->
+              {
+                Exec.Journal.key = unit_key units.(i);
+                status = Exec.Journal.Crashed;
+                attempts = o.attempts;
+                detail = f.exn;
+                payload = "";
+              }
+          | Exec.Supervise.Quarantined _ -> assert false (* never recorded *)
+        in
+        Exec.Journal.append oc entry)
+      sink
+  in
+  let outcomes =
+    Fun.protect
+      ~finally:(fun () -> Option.iter close_out_noerr sink)
+      (fun () ->
+        Exec.Supervise.run ?jobs ~policy ~chaos:chaos_fn ?precomputed ?record
+          ~group:(fun (c, _) -> Jit.Cogits.short_name c)
+          (fun (compiler, subject) ->
+            test_instruction ~max_iterations ~validate ?budget ~defects ~arches
+              ~compiler subject)
+          units)
+  in
+  let indices_of compiler =
+    List.filter
+      (fun i -> fst units.(i) = compiler)
+      (List.init n Fun.id)
+  in
+  let results =
+    List.map
+      (fun compiler ->
+        {
+          compiler;
+          instructions =
+            List.filter_map
+              (fun i ->
+                match outcomes.(i).Exec.Supervise.verdict with
+                | Exec.Supervise.Ok r -> Some r
+                | _ -> None)
+              (indices_of compiler);
+        })
+      compilers
+  in
+  {
+    sup_campaign = { defects; arches; results };
+    sup_units =
+      List.init n (fun i -> report_of_outcome (unit_key units.(i)) outcomes.(i));
+    sup_by_compiler =
+      List.map
+        (fun compiler ->
+          ( compiler,
+            Exec.Supervise.tally
+              (Array.of_list (List.map (fun i -> outcomes.(i)) (indices_of compiler)))
+          ))
+        compilers;
+    sup_totals = Exec.Supervise.tally outcomes;
+    sup_chaos =
+      (match plan with
+      | None -> []
+      | Some p ->
+          List.map
+            (fun (i, k) -> (i, unit_key units.(i), Exec.Chaos.kind_name k))
+            p.Exec.Chaos.targets);
+  }
+
 (* --- aggregations --- *)
 
 let tested_instructions cr =
@@ -501,8 +682,17 @@ type mutant_outcome = {
 type kill_matrix = {
   km_defects : Interpreter.Defects.t;
   km_pristine : bool;
-  km_outcomes : mutant_outcome list;
+  km_outcomes : mutant_outcome list; (* units that completed [Ok] *)
+  km_robustness : Exec.Supervise.counts;
+  km_incidents : unit_report list; (* non-ok units, stable order *)
 }
+
+let kill_of_name = function
+  | "static" -> Killed_static
+  | "validate" -> Killed_validate
+  | "difftest" -> Killed_difftest
+  | "survived" -> Survived
+  | s -> failwith ("unknown kill name " ^ s)
 
 (* Handcrafted register-pressure sequences: deep enough operand stacks
    to force spills out of the allocating front-ends, which no curated
@@ -564,40 +754,152 @@ let select_units ~defects ~max_iterations ~per_operator ~gen_subjects
 let kill_matrix ?jobs ?(max_iterations = 96) ?(per_operator = 2) ?(gen = 6)
     ?(seed = 42) ?(pristine = false)
     ?(defects = Interpreter.Defects.pristine)
-    ?(arches = Jit.Codegen.all_arches) ?(operators = Mutate.all) () :
+    ?(arches = Jit.Codegen.all_arches) ?(operators = Mutate.all)
+    ?(policy = Exec.Supervise.default_policy) ?journal ?resume () :
     kill_matrix =
   let gen_subjects = Mutate.Gen_method.subjects ~seed gen in
   let units =
-    select_units ~defects ~max_iterations ~per_operator ~gen_subjects
-      ~operators ~arches ()
+    Array.of_list
+      (select_units ~defects ~max_iterations ~per_operator ~gen_subjects
+         ~operators ~arches ())
+  in
+  let n = Array.length units in
+  let mutant_key (op, compiler, subject, arch) =
+    Printf.sprintf "%s|%s|%s" op.Jit.Fault.id
+      (unit_key (compiler, subject))
+      (Jit.Codegen.arch_name arch)
+  in
+  let config =
+    journal_config
+      ~mode:
+        (Printf.sprintf "mutate|pristine:%b|per:%d|gen:%d|seed:%d" pristine
+           per_operator gen seed)
+      ~defects ~arches ~max_iterations ~validate:true
+  in
+  (* [Mutate.operator] holds closures, so journalled payloads carry the
+     decided (fired, kill) pair rather than a marshalled outcome; the
+     rest of the record is rebuilt from the unit tuple on resume. *)
+  let precomputed =
+    Option.map
+      (fun file ->
+        let tbl = Exec.Journal.load ~config file in
+        fun i ->
+          match Hashtbl.find_opt tbl (mutant_key units.(i)) with
+          | None -> None
+          | Some (e : Exec.Journal.entry) ->
+              let verdict =
+                match e.status with
+                | Exec.Journal.Ok ->
+                    let op, compiler, subject, arch = units.(i) in
+                    let fired, kill =
+                      match String.index_opt e.payload '|' with
+                      | Some cut ->
+                          ( bool_of_string (String.sub e.payload 0 cut),
+                            kill_of_name
+                              (String.sub e.payload (cut + 1)
+                                 (String.length e.payload - cut - 1)) )
+                      | None -> failwith "malformed mutate payload"
+                    in
+                    Exec.Supervise.Ok
+                      {
+                        mo_op = op;
+                        mo_compiler = compiler;
+                        mo_subject = subject;
+                        mo_arch = arch;
+                        mo_fired = fired;
+                        mo_kill = kill;
+                      }
+                | Exec.Journal.Timed_out -> Exec.Supervise.Timed_out e.detail
+                | Exec.Journal.Crashed ->
+                    Exec.Supervise.Unit_crashed { exn = e.detail; backtrace = "" }
+              in
+              Some { Exec.Supervise.verdict; attempts = e.attempts })
+      resume
+  in
+  let sink = Option.map (open_journal ~config) journal in
+  let record =
+    Option.map
+      (fun oc i (o : mutant_outcome Exec.Supervise.outcome) ->
+        let entry =
+          match o.Exec.Supervise.verdict with
+          | Exec.Supervise.Ok mo ->
+              {
+                Exec.Journal.key = mutant_key units.(i);
+                status = Exec.Journal.Ok;
+                attempts = o.attempts;
+                detail = "";
+                payload =
+                  Printf.sprintf "%b|%s" mo.mo_fired (kill_name mo.mo_kill);
+              }
+          | Exec.Supervise.Timed_out reason ->
+              {
+                Exec.Journal.key = mutant_key units.(i);
+                status = Exec.Journal.Timed_out;
+                attempts = o.attempts;
+                detail = reason;
+                payload = "";
+              }
+          | Exec.Supervise.Unit_crashed f ->
+              {
+                Exec.Journal.key = mutant_key units.(i);
+                status = Exec.Journal.Crashed;
+                attempts = o.attempts;
+                detail = f.exn;
+                payload = "";
+              }
+          | Exec.Supervise.Quarantined _ -> assert false (* never recorded *)
+        in
+        Exec.Journal.append oc entry)
+      sink
   in
   let outcomes =
-    Exec.Pool.map ?jobs
-      (fun (op, compiler, subject, arch) ->
-        let baseline =
-          baseline_snapshot ~max_iterations ~defects ~compiler ~arch subject
-        in
-        let run_op = if pristine then Mutate.pristine else op in
-        let snap, fired =
-          Jit.Fault.with_fault
-            ~target:(Jit.Cogits.short_name compiler)
-            run_op
-            (fun () ->
-              snapshot_of
-                (test_instruction ~max_iterations ~validate:true ~defects
-                   ~arches:[ arch ] ~compiler subject))
-        in
-        {
-          mo_op = op;
-          mo_compiler = compiler;
-          mo_subject = subject;
-          mo_arch = arch;
-          mo_fired = fired;
-          mo_kill = decide ~baseline ~mutant:snap;
-        })
-      units
+    Fun.protect
+      ~finally:(fun () -> Option.iter close_out_noerr sink)
+      (fun () ->
+        Exec.Supervise.run ?jobs ~policy ?precomputed ?record
+          ~group:(fun (_, compiler, _, _) -> Jit.Cogits.short_name compiler)
+          (fun (op, compiler, subject, arch) ->
+            let baseline =
+              baseline_snapshot ~max_iterations ~defects ~compiler ~arch subject
+            in
+            let run_op = if pristine then Mutate.pristine else op in
+            let snap, fired =
+              Jit.Fault.with_fault
+                ~target:(Jit.Cogits.short_name compiler)
+                run_op
+                (fun () ->
+                  snapshot_of
+                    (test_instruction ~max_iterations ~validate:true ~defects
+                       ~arches:[ arch ] ~compiler subject))
+            in
+            {
+              mo_op = op;
+              mo_compiler = compiler;
+              mo_subject = subject;
+              mo_arch = arch;
+              mo_fired = fired;
+              mo_kill = decide ~baseline ~mutant:snap;
+            })
+          units)
   in
-  { km_defects = defects; km_pristine = pristine; km_outcomes = outcomes }
+  let ok_outcomes =
+    List.filter_map
+      (fun (o : mutant_outcome Exec.Supervise.outcome) ->
+        match o.verdict with Exec.Supervise.Ok mo -> Some mo | _ -> None)
+      (Array.to_list outcomes)
+  in
+  let incidents =
+    List.filter
+      (fun u -> u.ur_verdict <> "ok")
+      (List.init n (fun i -> report_of_outcome (mutant_key units.(i)) outcomes.(i)))
+  in
+  {
+    km_defects = defects;
+    km_pristine = pristine;
+    km_outcomes = ok_outcomes;
+    km_robustness = Exec.Supervise.tally outcomes;
+    km_incidents = incidents;
+  }
 
 (* --- kill-matrix aggregations --- *)
 

@@ -139,6 +139,70 @@ val run :
     into one {!run_units} pool; the grouped result is independent of
     [jobs]. *)
 
+(** {1 Supervised runs}
+
+    The fault-tolerant engine: same universe and per-unit work as
+    {!run}, but every (compiler × subject) unit goes through
+    {!Exec.Supervise} — isolated (a crash is a recorded verdict, not a
+    dead run), budgeted (the {!Exec.Budget} fuel watchdog turns hangs
+    into [Timed_out]), retried with deterministic backoff, quarantined
+    behind a per-compiler circuit breaker, optionally journalled for
+    checkpoint/resume, and optionally chaos-injected. *)
+
+type unit_report = {
+  ur_key : string;
+      (** stable unit key: ["compiler|subject"], or
+          ["op|compiler|subject|arch"] for mutation units *)
+  ur_verdict : string;  (** {!Exec.Supervise.verdict_name} *)
+  ur_detail : string;
+  ur_attempts : int;
+}
+
+type supervised = {
+  sup_campaign : t;  (** assembled from the [Ok] units only *)
+  sup_units : unit_report list;  (** every unit, stable input order *)
+  sup_by_compiler : (Jit.Cogits.compiler * Exec.Supervise.counts) list;
+  sup_totals : Exec.Supervise.counts;
+  sup_chaos : (int * string * string) list;
+      (** injected faults: unit index, unit key, kind name *)
+}
+
+val sup_incidents : supervised -> unit_report list
+(** The non-[ok] unit reports, stable order. *)
+
+val unit_key : Jit.Cogits.compiler * Concolic.Path.subject -> string
+(** ["compiler|subject"] — the journal and report key of one unit. *)
+
+val run_supervised :
+  ?jobs:int ->
+  ?max_iterations:int ->
+  ?validate:bool ->
+  ?budget:int ref ->
+  ?policy:Exec.Supervise.policy ->
+  ?chaos:int * int ->
+  ?journal:string ->
+  ?resume:string ->
+  ?defects:Interpreter.Defects.t ->
+  ?arches:Jit.Codegen.arch list ->
+  ?compilers:Jit.Cogits.compiler list ->
+  ?units:(Jit.Cogits.compiler * Concolic.Path.subject) list ->
+  unit ->
+  supervised
+(** Supervised {!run}.  [units] overrides the default universe
+    ([units_for compilers]) — the [vmtest validate] subcommand uses it
+    for single-instruction runs; compilers absent from [units] simply
+    produce empty rows.  [chaos:(seed, faults)] injects that many
+    seeded harness faults via {!Exec.Chaos.plan}.  [journal] appends
+    completed unit verdicts to an append-only JSONL file ([Ok]
+    payloads are marshalled {!instruction_result}s); [resume] preloads
+    such a journal and skips its finished units — the aggregate result
+    is byte-identical to a fresh run's, though the journal file itself
+    is written in completion order.  [journal] and [resume] may name
+    the same file to continue a killed run in place.  Verdict counts
+    and unit reports are byte-identical at any [jobs]; wall-clock
+    deadlines ([policy.deadline_s]) are the one knob that can break
+    that, which is why the default policy only sets fuel. *)
+
 (** {1 Aggregations} *)
 
 val tested_instructions : compiler_result -> int
@@ -224,7 +288,15 @@ type kill_matrix = {
   km_defects : Interpreter.Defects.t;
   km_pristine : bool;
   km_outcomes : mutant_outcome list;
+      (** units that completed [Ok]; crashed/timed-out/quarantined
+          units are counted in [km_robustness] and listed in
+          [km_incidents] instead *)
+  km_robustness : Exec.Supervise.counts;
+  km_incidents : unit_report list;
 }
+
+val kill_of_name : string -> kill
+(** Inverse of {!kill_name}; raises [Failure] on unknown names. *)
 
 val kill_matrix :
   ?jobs:int ->
@@ -236,6 +308,9 @@ val kill_matrix :
   ?defects:Interpreter.Defects.t ->
   ?arches:Jit.Codegen.arch list ->
   ?operators:Mutate.operator list ->
+  ?policy:Exec.Supervise.policy ->
+  ?journal:string ->
+  ?resume:string ->
   unit ->
   kill_matrix
 (** Run the kill-matrix campaign.  Per (operator, compiler), the first
@@ -247,8 +322,11 @@ val kill_matrix :
     interpreter configuration so every kill is attributable to the
     planted fault.  [pristine] replaces every operator with the inert
     {!Mutate.pristine} mutant; all units must come back {!Survived}
-    (the zero-false-kill gate, see {!false_kills}).  Units fan out
-    through {!Exec.Pool.map}, so the outcome list is identical at any
+    (the zero-false-kill gate, see {!false_kills}).  Units run under
+    {!Exec.Supervise} with [policy] (grouped per compiler for the
+    circuit breaker); [journal]/[resume] checkpoint and skip units by
+    their ["op|compiler|subject|arch"] key, storing the decided
+    (fired, kill) pair.  The outcome list is identical at any
     [jobs]. *)
 
 type kill_row = {

@@ -130,6 +130,33 @@ let validation_table ppf (c : Campaign.t) =
       (100.0 *. float_of_int t.unknown /. float_of_int validated)
       validated
 
+(* --- supervision: per-unit verdict counts under the fault-tolerant
+   engine, plus the individual incidents and the chaos schedule --- *)
+
+let pp_robustness_row ppf ~label (c : Exec.Supervise.counts) =
+  fprintf ppf "%-36s %6d %9d %8d %12d %8d@." label c.Exec.Supervise.c_ok
+    c.c_timed_out c.c_crashed c.c_quarantined c.c_retries
+
+let pp_incident ppf (u : Campaign.unit_report) =
+  fprintf ppf "%s: %s (attempts %d)%s@." u.ur_verdict u.ur_key u.ur_attempts
+    (if u.ur_detail = "" then "" else ": " ^ u.ur_detail)
+
+let supervision_table ppf (s : Campaign.supervised) =
+  fprintf ppf "Supervision: unit verdicts under the fault-tolerant engine@.";
+  fprintf ppf "%-36s %6s %9s %8s %12s %8s@." "Compiler" "Ok" "TimedOut"
+    "Crashed" "Quarantined" "Retries";
+  fprintf ppf "%s@." (String.make 84 '-');
+  List.iter
+    (fun (compiler, counts) ->
+      pp_robustness_row ppf ~label:(Jit.Cogits.name compiler) counts)
+    s.Campaign.sup_by_compiler;
+  fprintf ppf "%s@." (String.make 84 '-');
+  pp_robustness_row ppf ~label:"Total" s.Campaign.sup_totals;
+  List.iter (pp_incident ppf) (Campaign.sup_incidents s);
+  List.iter
+    (fun (i, key, kind) -> fprintf ppf "chaos: unit %d (%s) <- %s@." i key kind)
+    s.Campaign.sup_chaos
+
 (* --- mutation kill matrix --- *)
 
 let pp_kill_row ppf (r : Campaign.kill_row) =
@@ -162,7 +189,16 @@ let kill_table ppf (m : Campaign.kill_matrix) =
           (Jit.Cogits.short_name o.mo_compiler)
           (Concolic.Path.subject_name o.mo_subject)
           (Jit.Codegen.arch_name o.mo_arch))
-      (Campaign.surviving_mutants m)
+      (Campaign.surviving_mutants m);
+  let r = m.Campaign.km_robustness in
+  if r.Exec.Supervise.c_timed_out + r.c_crashed + r.c_quarantined + r.c_retries > 0
+  then begin
+    fprintf ppf
+      "supervision: %d ok, %d timed out, %d crashed, %d quarantined, %d \
+       retries@."
+      r.c_ok r.c_timed_out r.c_crashed r.c_quarantined r.c_retries;
+    List.iter (pp_incident ppf) m.Campaign.km_incidents
+  end
 
 (* --- Figures: simple statistics over per-instruction series --- *)
 

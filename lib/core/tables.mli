@@ -27,11 +27,17 @@ val validation_table : Format.formatter -> Campaign.t -> unit
     and the headline unknown rate).  Meaningful only for campaigns run
     with [~validate:true]. *)
 
+val supervision_table : Format.formatter -> Campaign.supervised -> unit
+(** Per-compiler verdict counts under the fault-tolerant engine
+    (ok / timed out / crashed / quarantined / retries), the individual
+    non-ok incidents, and the chaos schedule when one was injected. *)
+
 val kill_table : Format.formatter -> Campaign.kill_matrix -> unit
 (** The mutation kill matrix: per-operator and per-layer rows of which
     oracle layer (static / validate / difftest) killed each mutant,
     kill rates, surviving mutants (or, for a pristine run, the
-    false-kill gate line). *)
+    false-kill gate line).  A supervision summary and incident lines
+    follow whenever the run had any non-ok unit or retry. *)
 
 type stats = {
   n : int;

@@ -1,0 +1,52 @@
+exception Exhausted of string
+
+type t = {
+  mutable fuel : int;  (* remaining; min_int = unlimited *)
+  deadline : float;  (* absolute monotonic seconds; infinity = none *)
+  mutable until_clock : int;  (* charged units until next clock poll *)
+}
+
+(* One cell per domain; [with_budget] swaps the contents in and out so
+   nested scopes restore their parent (same shape as [Jit.Fault]). *)
+let slot : t option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let clock_poll_every = 16384
+
+let with_budget ?fuel ?deadline_s f =
+  let cell = Domain.DLS.get slot in
+  let saved = !cell in
+  let deadline =
+    match deadline_s with
+    | None -> infinity
+    | Some s -> Clock.now () +. s
+  in
+  cell :=
+    Some
+      {
+        fuel = (match fuel with None -> min_int | Some n -> max 0 n);
+        deadline;
+        until_clock = clock_poll_every;
+      };
+  Fun.protect ~finally:(fun () -> cell := saved) f
+
+let tick ?(cost = 1) () =
+  match !(Domain.DLS.get slot) with
+  | None -> ()
+  | Some b ->
+      if b.fuel <> min_int then begin
+        b.fuel <- b.fuel - cost;
+        if b.fuel < 0 then raise (Exhausted "fuel")
+      end;
+      if b.deadline < infinity then begin
+        b.until_clock <- b.until_clock - cost;
+        if b.until_clock <= 0 then begin
+          b.until_clock <- clock_poll_every;
+          if Clock.now () > b.deadline then raise (Exhausted "deadline")
+        end
+      end
+
+let active () =
+  match !(Domain.DLS.get slot) with
+  | None -> false
+  | Some b -> b.fuel <> min_int || b.deadline < infinity

@@ -1,0 +1,41 @@
+(** Cooperative per-unit watchdog: a fuel (step) budget plus an
+    optional monotonic-clock deadline, carried in domain-local storage
+    and polled at loop heads.
+
+    There are no signals and no preemption: instrumented loops — the
+    concolic explorer's worklist loop, the solver's witness search, the
+    CPU simulator's step loop — call {!tick} with a small cost, and the
+    call raises {!Exhausted} once the budget installed by the
+    supervisor is spent.  Because fuel counts deterministic work steps
+    (not wall time), fuel-based [Timed_out] verdicts are reproducible
+    and independent of [-j]; the deadline is a coarse safety net for
+    operators and is off by default.
+
+    A computation that exhausts its budget inside a shared
+    {!Memo}-cached computation simply raises out of [find_or_add],
+    which releases the in-flight key — partial work is never cached, so
+    a timed-out unit cannot poison caches shared with pristine units. *)
+
+exception Exhausted of string
+(** Raised by {!tick} when the active budget is spent.  The payload is
+    ["fuel"] or ["deadline"]. *)
+
+val with_budget :
+  ?fuel:int -> ?deadline_s:float -> (unit -> 'a) -> 'a
+(** [with_budget ?fuel ?deadline_s f] runs [f ()] with a fresh budget
+    installed in this domain's slot: at most [fuel] tick-cost units of
+    instrumented work and at most [deadline_s] seconds on the
+    monotonic clock.  Omitting both makes every {!tick} a no-op.  The
+    previous budget (if any) is saved and restored, exceptions
+    included; nesting replaces rather than stacks. *)
+
+val tick : ?cost:int -> unit -> unit
+(** Instrumented-loop poll.  Outside {!with_budget} this is a cheap
+    no-op.  Inside, it charges [cost] (default 1) against the fuel and
+    every ~16k charged units compares the monotonic clock against the
+    deadline; raises {!Exhausted} on either limit. *)
+
+val active : unit -> bool
+(** Whether a budget (with at least one limit) is installed in the
+    calling domain — used by the chaos harness to refuse to inject an
+    uncontainable hang. *)

@@ -1,0 +1,92 @@
+type kind = Solver_raise | Explorer_hang | Alloc_bomb
+
+exception Injected of string
+
+(* Stable rendering for verdict details and journals (the default
+   printer would expose the internal module path). *)
+let () =
+  Printexc.register_printer (function
+    | Injected msg -> Some ("chaos-injected: " ^ msg)
+    | _ -> None)
+
+type plan = { seed : int; targets : (int * kind) list }
+
+let kind_name = function
+  | Solver_raise -> "solver-raise"
+  | Explorer_hang -> "explorer-hang"
+  | Alloc_bomb -> "alloc-bomb"
+
+let kinds = [| Solver_raise; Explorer_hang; Alloc_bomb |]
+
+(* Small splitmix-style mixer: deterministic across runs and OCaml
+   versions (unlike [Hashtbl.hash] we control every bit). *)
+let mix seed i =
+  let z = ref (seed * 0x9E3779B9 + i * 0x85EBCA6B + 0x165667B1) in
+  z := (!z lxor (!z lsr 15)) * 0x2C1B3C6D;
+  z := (!z lxor (!z lsr 12)) * 0x297A2D39;
+  (!z lxor (!z lsr 15)) land max_int
+
+let plan ~seed ~faults ~units =
+  let faults = max 0 (min faults units) in
+  let targets =
+    if faults = 0 then []
+    else begin
+      (* Scatter: one target per equal-width stripe of the unit range,
+         offset seed-derived within the stripe.  Distinct by
+         construction, and non-adjacent whenever units >= 2*faults, so
+         injected crashes never form a breaker-tripping streak. *)
+      let stripe = units / faults in
+      List.init faults (fun k ->
+          let lo = k * stripe in
+          let width = if k = faults - 1 then units - lo else stripe in
+          let idx = lo + (mix seed k mod max 1 width) in
+          (idx, kinds.(k mod Array.length kinds)))
+    end
+  in
+  { seed; targets = List.sort compare targets }
+
+let kind_of plan i =
+  List.assoc_opt i plan.targets
+
+(* Domain-local activation, saved/restored like [Jit.Fault]. *)
+let slot : kind option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let with_fault k f =
+  match k with
+  | None -> f ()
+  | Some _ ->
+      let cell = Domain.DLS.get slot in
+      let saved = !cell in
+      cell := k;
+      Fun.protect ~finally:(fun () -> cell := saved) f
+
+let armed () = !(Domain.DLS.get slot)
+
+(* The non-terminating kinds only make sense under a watchdog; without
+   one they would hang the harness they are meant to exercise.  Raising
+   keeps an unsupervised misuse loud and deterministic. *)
+let require_budget what =
+  if not (Budget.active ()) then
+    raise (Injected (what ^ " injected without an active watchdog budget"))
+
+let hook_solver () =
+  match armed () with
+  | Some Solver_raise -> raise (Injected "chaos: solver query raised")
+  | _ -> ()
+
+let hook_explorer () =
+  match armed () with
+  | Some Explorer_hang ->
+      require_budget "explorer hang";
+      while true do
+        Budget.tick ~cost:4096 ()
+      done
+  | Some Alloc_bomb ->
+      require_budget "alloc bomb";
+      let hold = ref [] in
+      while true do
+        hold := Bytes.create 65536 :: !hold;
+        Budget.tick ~cost:65536 ()
+      done
+  | _ -> ()

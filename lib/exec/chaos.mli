@@ -1,0 +1,63 @@
+(** Chaos-injection harness for the campaign supervisor.
+
+    Mirrors the [Jit.Fault] pattern from the mutation engine: an
+    activation lives in a domain-local slot, [with_fault] arms it for
+    the dynamic extent of one supervised attempt, and hook points
+    inside the harness (solver entry, explorer entry) consult the slot.
+    Where [Jit.Fault] injects {e compiler} defects to grade the
+    oracles, this module injects {e harness} faults — a solver that
+    raises, an exploration that never terminates, an allocation bomb —
+    to grade the supervisor itself: every injected fault must be
+    contained as a per-unit verdict with zero collateral damage.
+
+    Hooks fire {e before} the shared memo caches ([Solver.Solve],
+    [Concolic.Explorer]), so a warm cache can never mask an injected
+    fault and a faulted attempt can never poison a cache. *)
+
+type kind =
+  | Solver_raise  (** the next solver query raises {!Injected} *)
+  | Explorer_hang
+      (** exploration spins forever (contained by the fuel watchdog) *)
+  | Alloc_bomb
+      (** exploration allocates unboundedly (contained by the fuel
+          watchdog, which charges per chunk) *)
+
+exception Injected of string
+(** The fault raised by {!Solver_raise} — and by the non-terminating
+    kinds when no watchdog budget is active, so an unsupervised run
+    crashes loudly instead of hanging. *)
+
+type plan = { seed : int; targets : (int * kind) list }
+(** Seeded fault schedule: [targets] maps stable unit indices to fault
+    kinds, sorted by index. *)
+
+val plan : seed:int -> faults:int -> units:int -> plan
+(** Deterministically pick [min faults units] distinct unit indices
+    (seed-derived, evenly scattered so no two targets are adjacent when
+    the unit count allows — keeping injected crashes from tripping the
+    circuit breaker) and assign kinds round-robin in declaration
+    order. *)
+
+val kind_of : plan -> int -> kind option
+(** The fault (if any) scheduled for unit index [i]. *)
+
+val kind_name : kind -> string
+(** ["solver-raise" | "explorer-hang" | "alloc-bomb"] — stable names
+    for JSON and journals. *)
+
+val with_fault : kind option -> (unit -> 'a) -> 'a
+(** [with_fault k f] runs [f ()] with [k] armed in this domain's slot
+    (saved and restored on exit, exceptions included).  [None] is the
+    identity — the pristine path stays zero-cost. *)
+
+val armed : unit -> kind option
+(** The fault armed in the calling domain, if any. *)
+
+val hook_solver : unit -> unit
+(** Hook point at solver-query entry: raises {!Injected} when
+    {!Solver_raise} is armed. *)
+
+val hook_explorer : unit -> unit
+(** Hook point at exploration entry: spins (respectively allocates)
+    until the watchdog raises [Budget.Exhausted] when {!Explorer_hang}
+    (respectively {!Alloc_bomb}) is armed. *)

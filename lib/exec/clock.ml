@@ -1,0 +1,3 @@
+let now_ns () = Monotonic_clock.now ()
+let now () = Int64.to_float (now_ns ()) *. 1e-9
+let elapsed t0 = now () -. t0

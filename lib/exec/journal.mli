@@ -1,0 +1,44 @@
+(** Append-only JSONL checkpoint journal for supervised runs.
+
+    One line per {e completed} unit (raw outcome, before the circuit
+    breaker's post-pass — so a resumed run re-derives quarantines
+    deterministically from the same inputs).  The first line is a
+    header carrying a configuration fingerprint; {!load} ignores a
+    journal whose fingerprint does not match the resuming run, and
+    skips unparseable lines, so resuming from a truncated journal (a
+    killed run's torn last write) degrades to recomputing the missing
+    units rather than failing.
+
+    Lines are written under the supervisor's journal mutex in
+    completion order, which varies with [-j]; only the {e aggregate}
+    output of a resumed run is byte-identical, never the journal
+    itself. *)
+
+type status = Ok | Timed_out | Crashed
+
+type entry = {
+  key : string;  (** stable unit key, e.g. ["s2r|dup"] *)
+  status : status;
+  attempts : int;
+  detail : string;  (** exhaustion reason or exception text; [""] for Ok *)
+  payload : string;
+      (** unit result bytes (typically [Marshal] output), hex-armoured
+          on disk; [""] for non-Ok *)
+}
+
+val write_header : out_channel -> config:string -> unit
+(** Emit the header line.  Call once when creating a fresh journal;
+    appending to an existing journal keeps its header. *)
+
+val append : out_channel -> entry -> unit
+(** Emit one entry line and flush, so a killed run loses at most the
+    line being written. *)
+
+val load : config:string -> string -> (string, entry) Hashtbl.t
+(** Parse a journal back into a key-indexed table (last entry wins).
+    Returns an empty table — after a warning on stderr — when the file
+    is missing, has no parseable header, or was written under a
+    different configuration fingerprint. *)
+
+val json_escape : string -> string
+(** Escape a string for embedding in a JSON double-quoted literal. *)

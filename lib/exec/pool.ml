@@ -6,36 +6,45 @@
 
 let default_jobs () = Domain.recommended_domain_count ()
 
-let mapi ?jobs f xs =
+type failure = { exn : exn; backtrace : Printexc.raw_backtrace }
+
+let run_one f x =
+  match f x with
+  | v -> Ok v
+  | exception exn -> Error { exn; backtrace = Printexc.get_raw_backtrace () }
+
+let run_results ?jobs f xs =
   let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
-  let n = List.length xs in
-  if jobs <= 1 || n <= 1 then List.mapi f xs
+  let n = Array.length xs in
+  if jobs <= 1 || n <= 1 then Array.map (run_one f) xs
   else begin
-    let items = Array.of_list xs in
     let slots = Array.make n None in
     let next = Atomic.make 0 in
-    let failure = Atomic.make None in
     let rec work () =
       let i = Atomic.fetch_and_add next 1 in
-      if i < n && Atomic.get failure = None then begin
-        (match f i items.(i) with
-        | v -> slots.(i) <- Some v
-        | exception e ->
-            let bt = Printexc.get_raw_backtrace () in
-            ignore (Atomic.compare_and_set failure None (Some (e, bt))));
+      if i < n then begin
+        slots.(i) <- Some (run_one f xs.(i));
         work ()
       end
     in
-    let helpers =
-      Array.init (min jobs n - 1) (fun _ -> Domain.spawn work)
-    in
+    let helpers = Array.init (min jobs n - 1) (fun _ -> Domain.spawn work) in
     work ();
     Array.iter Domain.join helpers;
-    (match Atomic.get failure with
-    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
-    | None -> ());
-    Array.to_list
-      (Array.map (function Some v -> v | None -> assert false) slots)
+    Array.map (function Some r -> r | None -> assert false) slots
   end
+
+let mapi ?jobs f xs =
+  let items = Array.of_list xs in
+  let results =
+    run_results ?jobs (fun i -> f i items.(i)) (Array.init (Array.length items) Fun.id)
+  in
+  (* Merge in input order; the first Error met is therefore the
+     lowest-index failure, whatever the scheduling was. *)
+  Array.to_list
+    (Array.map
+       (function
+         | Ok v -> v
+         | Error { exn; backtrace } -> Printexc.raise_with_backtrace exn backtrace)
+       results)
 
 let map ?jobs f xs = mapi ?jobs (fun _ x -> f x) xs

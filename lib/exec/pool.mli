@@ -2,8 +2,8 @@
 
     Jobs are dealt from a shared atomic index (a one-ended deque: every
     worker pops from the front), results land in a slot array keyed by
-    the job's position in the input list, and the merge replays that
-    stable order — so the output of {!map} is [List.map f xs] exactly,
+    the job's position in the input, and the merge replays that stable
+    order — so the output of {!map} is [List.map f xs] exactly,
     independent of worker count, scheduling, or which domain ran which
     job.  That order-independence is what lets campaign tables and JSON
     reports be byte-identical at any [-j]. *)
@@ -11,14 +11,29 @@
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — the [-j] default. *)
 
+type failure = {
+  exn : exn;  (** the exception the job raised *)
+  backtrace : Printexc.raw_backtrace;
+}
+
+val run_results :
+  ?jobs:int -> ('a -> 'b) -> 'a array -> ('b, failure) result array
+(** [run_results ~jobs f xs] runs every [f xs.(i)] to completion on up
+    to [jobs] domains (the calling domain works too) and returns each
+    job's own outcome in input order: [Ok v], or [Error] capturing the
+    exception that job raised.  One crashing job costs exactly its own
+    slot — every other result is preserved.  [jobs <= 1], or fewer than
+    two jobs, runs sequentially in the caller with no domain spawned.
+    [f] must be safe to call from multiple domains concurrently on
+    distinct elements. *)
+
 val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
-(** [map ~jobs f xs] is [List.map f xs], computed by up to [jobs]
-    domains (the calling domain works too).  [jobs <= 1], or a list
-    with fewer than two elements, runs sequentially in the caller with
-    no domain spawned.  [f] must be safe to call from multiple domains
-    concurrently on distinct elements.  If any [f x] raises, the first
-    exception observed is re-raised in the caller after all workers
-    drain (remaining undealt jobs are abandoned). *)
+(** [map ~jobs f xs] is [List.map f xs] computed via {!run_results}.
+    If any job raises, the failure at the {e lowest} input index is
+    re-raised in the caller (with its backtrace) after all jobs drain —
+    deterministic at any [-j], unlike the pre-supervisor pool which
+    re-raised whichever failure won a race and discarded every
+    completed result. *)
 
 val mapi : ?jobs:int -> (int -> 'a -> 'b) -> 'a list -> 'b list
 (** {!map} with the element's stable index. *)

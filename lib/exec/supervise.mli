@@ -1,0 +1,94 @@
+(** Fault-tolerant unit supervisor for campaign/validate/mutate runs.
+
+    Wraps each unit of a run — one (compiler × subject) cell, one
+    mutant, one validation target — in an isolated, budgeted,
+    retryable execution and returns a per-unit verdict from the
+    lattice [Ok | Timed_out | Unit_crashed | Quarantined] instead of
+    letting one misbehaving unit kill or hang the whole matrix.
+
+    Everything is deterministic by construction so aggregate output
+    stays byte-identical at any [-j]:
+    {ul
+    {- timeouts come from the {!Budget} fuel watchdog, which counts
+       work steps, not wall time (the optional deadline is a coarse
+       safety net and should stay far above any real unit);}
+    {- retry backoff is a seed-derived spin, not a wall-clock sleep;}
+    {- the per-group circuit breaker (trips after [breaker_k]
+       consecutive crashes within one group, quarantining the rest of
+       that group) is decided by a post-pass over units in stable input
+       order, never by completion order.  Workers may additionally skip
+       a unit early when they can already {e prove} the breaker has
+       tripped before it — [breaker_k] adjacent, completed crashes at
+       the immediately preceding group positions — which can only agree
+       with the post-pass, so the advisory skip saves work without
+       costing determinism.}} *)
+
+type failure = { exn : string; backtrace : string }
+
+type 'a verdict =
+  | Ok of 'a
+  | Timed_out of string  (** budget exhausted; payload is ["fuel"] or ["deadline"] *)
+  | Unit_crashed of failure
+  | Quarantined of string
+      (** skipped because the group's circuit breaker tripped; payload
+          is the group key *)
+
+type 'a outcome = { verdict : 'a verdict; attempts : int }
+(** [attempts] is how many executions the unit consumed (0 for
+    quarantined-without-running). *)
+
+type counts = {
+  c_ok : int;
+  c_timed_out : int;
+  c_crashed : int;
+  c_quarantined : int;
+  c_retries : int;  (** extra attempts beyond the first, summed *)
+}
+
+type policy = {
+  retries : int;  (** extra attempts after a failed first one *)
+  fuel : int option;  (** per-attempt step budget (see {!Budget}) *)
+  deadline_s : float option;  (** per-attempt monotonic deadline *)
+  breaker_k : int;  (** consecutive crashes tripping the breaker; 0 disables *)
+  seed : int;  (** backoff derivation seed *)
+}
+
+val default_policy : policy
+(** 1 retry, 50M fuel, no deadline, breaker at 4, seed 0.  The fuel
+    default is orders of magnitude above any real unit (a full
+    campaign unit charges a few hundred thousand steps at most), so
+    pristine runs never time out, while an injected hang is contained
+    in well under a second. *)
+
+val run :
+  ?jobs:int ->
+  ?policy:policy ->
+  ?chaos:(int -> Chaos.kind option) ->
+  ?precomputed:(int -> 'b outcome option) ->
+  ?record:(int -> 'b outcome -> unit) ->
+  group:('u -> string) ->
+  ('u -> 'b) ->
+  'u array ->
+  'b outcome array
+(** [run ~group f units] supervises [f] over every unit and returns
+    outcomes in stable input order.
+
+    [chaos i] arms a {!Chaos} fault for every attempt of unit [i].
+    [precomputed i] (resume path) supplies a journaled outcome; such
+    units are not executed and not re-recorded.  [record i outcome] is
+    the journal sink, called under an internal mutex as units complete
+    (completion order — only aggregate results are [-j]-stable);
+    quarantined units are not recorded so a resumed run re-derives
+    quarantine from the same crash evidence.  [group u] keys the
+    circuit breaker (typically the compiler short name). *)
+
+val tally : 'a outcome array -> counts
+(** Aggregate verdict counts over a slice of outcomes. *)
+
+val verdict_name : 'a verdict -> string
+(** ["ok" | "timed_out" | "crashed" | "quarantined"] — stable names
+    for tables, JSON, and journals. *)
+
+val verdict_detail : 'a verdict -> string
+(** Human-readable detail: exhaustion reason, exception text, or the
+    quarantining group; [""] for [Ok]. *)

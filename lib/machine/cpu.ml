@@ -159,6 +159,9 @@ let run ?(fuel = 100_000) (t : t) (program : Machine_code.program) : status =
     if fuel <= 0 then Out_of_fuel
     else if i >= Array.length program then Segfault (* ran off the code *)
     else
+      (* Watchdog poll every 4096 steps: one land+branch per step on
+         the hot path, a DLS read only at the poll. *)
+      let () = if fuel land 0xFFF = 0 then Exec.Budget.tick ~cost:4096 () in
       let next () = exec (i + 1) (fuel - 1) in
       let jump l = exec (goto l) (fuel - 1) in
       match program.(i) with

@@ -847,6 +847,7 @@ let solve_conjunction ?(seed = 0x5EED) (lits : lit list) : conj_result =
             (* 4b. random sampling *)
             let tries = ref 0 in
             while (not !found) && !tries < 4000 do
+              Exec.Budget.tick ~cost:4 ();
               incr tries;
               List.iter
                 (fun a ->
@@ -1044,6 +1045,12 @@ let queries_posed_counter = Atomic.make 0
 let queries_posed () = Atomic.get queries_posed_counter
 
 let solve ?(seed = 0x5EED) (conds : Sym_expr.t list) : verdict =
+  (* Chaos and watchdog poll come before the posed-counter increment
+     and the memo lookup: an injected raise or an exhausted budget
+     leaves [queries_posed = hits + misses] intact and never poisons
+     the shared cache. *)
+  Exec.Chaos.hook_solver ();
+  Exec.Budget.tick ~cost:16 ();
   Atomic.incr queries_posed_counter;
   let conds = List.map normalize conds in
   Exec.Memo.find_or_add memo

@@ -301,6 +301,47 @@ let test_kill_matrix_determinism () =
   Alcotest.(check (list string))
     "mutant outcomes identical" (outcome_strings m1) (outcome_strings m8)
 
+(* --- supervised chaos determinism: -j 1 == -j 8, faults injected ---
+
+   The real campaign path under the supervisor with a seeded chaos
+   plan: the injected crashes, hangs and allocation bombs must be
+   contained as the same per-unit verdicts whatever the worker count,
+   and the supervision table must render byte-identically. *)
+
+let run_chaos_subset jobs =
+  Solver.Solve.reset_cache ();
+  Concolic.Explorer.reset_cache ();
+  Campaign.run_supervised ~jobs ~max_iterations:8 ~chaos:(3, 4)
+    ~units:(subset_units ()) ()
+
+let render_supervision (s : Campaign.supervised) =
+  let buf = Buffer.create 1024 in
+  let ppf = Format.formatter_of_buffer buf in
+  Ijdt_core.Tables.supervision_table ppf s;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let unit_report_strings (s : Campaign.supervised) =
+  List.map
+    (fun (u : Campaign.unit_report) ->
+      Printf.sprintf "%s|%s|%s|%d" u.ur_key u.ur_verdict u.ur_detail
+        u.ur_attempts)
+    s.sup_units
+
+let test_supervised_chaos_determinism () =
+  let s1 = run_chaos_subset 1 in
+  let s8 = run_chaos_subset 8 in
+  Alcotest.(check (list string))
+    "per-unit verdicts identical"
+    (unit_report_strings s1) (unit_report_strings s8);
+  check_string "supervision table byte-identical" (render_supervision s1)
+    (render_supervision s8);
+  let t = s1.sup_totals in
+  check_int "every fault contained, nothing else lost"
+    (List.length s1.sup_chaos)
+    (t.Exec.Supervise.c_timed_out + t.Exec.Supervise.c_crashed);
+  check_int "no quarantine collateral" 0 t.Exec.Supervise.c_quarantined
+
 let suite =
   [
     Alcotest.test_case "pool matches List.map" `Quick test_pool_matches_list_map;
@@ -321,4 +362,6 @@ let suite =
       test_campaign_determinism;
     Alcotest.test_case "kill-matrix determinism -j1 == -j8" `Slow
       test_kill_matrix_determinism;
+    Alcotest.test_case "supervised chaos determinism -j1 == -j8" `Slow
+      test_supervised_chaos_determinism;
   ]
