@@ -16,7 +16,9 @@
      dune exec bench/main.exe -- perf [--json LABEL] [-j N] [--quick]
                                          # perf trajectory -> BENCH_<LABEL>.json
      dune exec bench/main.exe -- mutate [-j N] [--quick]
-                                         # timed mutation kill matrix *)
+                                         # timed mutation kill matrix
+     dune exec bench/main.exe -- verify [--json LABEL] [--quick]
+                                         # abstract pass per-unit timing *)
 
 open Bechamel
 open Toolkit
@@ -500,6 +502,70 @@ let run_mutate ~jobs ~quick () =
     t.kr_units wall jobs
     (100.0 *. Ijdt_core.Campaign.kill_rate t)
 
+(* Timed abstract-interpretation sweep: wall clock and per-unit cost of
+   the machine-layer static pass (fixpoint + lint + path summaries), with
+   and without the symbolic cross-check, pristine and seeded. *)
+let run_verify ~quick ~json_label () =
+  let phase name ~defects ~crosscheck =
+    let t0 = Exec.Clock.now () in
+    let r = Verify.abstract_all ~defects ~crosscheck () in
+    let wall = Exec.Clock.elapsed t0 in
+    let per_unit_us =
+      if r.Verify.ab_units = 0 then 0.0
+      else 1e6 *. wall /. float_of_int r.Verify.ab_units
+    in
+    Printf.printf
+      "  %-24s %4d units  %4d programs  %4d paths  %6.3fs  %7.1fus/unit\n%!"
+      name r.Verify.ab_units r.Verify.ab_programs r.Verify.ab_paths wall
+      per_unit_us;
+    (name, r, wall, per_unit_us)
+  in
+  Printf.printf "Abstract-interpretation bench (%s):\n%!"
+    (if quick then "quick" else "full");
+  let phases =
+    if quick then
+      [
+        phase "pristine_crosscheck" ~defects:Interpreter.Defects.pristine
+          ~crosscheck:true;
+      ]
+    else begin
+      let summaries =
+        phase "pristine_summaries" ~defects:Interpreter.Defects.pristine
+          ~crosscheck:false
+      in
+      let crosscheck =
+        phase "pristine_crosscheck" ~defects:Interpreter.Defects.pristine
+          ~crosscheck:true
+      in
+      let seeded =
+        phase "seeded_crosscheck" ~defects:Interpreter.Defects.paper
+          ~crosscheck:true
+      in
+      [ summaries; crosscheck; seeded ]
+    end
+  in
+  match json_label with
+  | None -> ()
+  | Some label ->
+      let file = Printf.sprintf "BENCH_%s.json" label in
+      let phase_json (name, (r : Verify.abstract_report), wall, per_unit_us)
+          =
+        Printf.sprintf
+          "{\"name\":\"%s\",\"units\":%d,\"programs\":%d,\"paths\":%d,\
+           \"truncated\":%d,\"crosschecked\":%d,\"findings\":%d,\
+           \"wall_s\":%.3f,\"per_unit_us\":%.1f}"
+          name r.Verify.ab_units r.Verify.ab_programs r.Verify.ab_paths
+          r.Verify.ab_truncated r.Verify.ab_crosschecked
+          (List.length r.Verify.ab_findings)
+          wall per_unit_us
+      in
+      let oc = open_out file in
+      Printf.fprintf oc "{\"label\":\"%s\",\"bench\":\"verify\",\"phases\":[%s]}\n"
+        label
+        (String.concat "," (List.map phase_json phases));
+      close_out oc;
+      Printf.printf "  wrote %s\n%!" file
+
 let () =
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   let ppf = Format.std_formatter in
@@ -558,6 +624,24 @@ let () =
       in
       parse 2;
       run_mutate ~jobs:!jobs ~quick:!quick ()
+  | "verify" ->
+      let quick = ref false in
+      let json_label = ref None in
+      let rec parse i =
+        if i < Array.length Sys.argv then
+          match Sys.argv.(i) with
+          | "--quick" ->
+              quick := true;
+              parse (i + 1)
+          | "--json" when i + 1 < Array.length Sys.argv ->
+              json_label := Some Sys.argv.(i + 1);
+              parse (i + 2)
+          | other ->
+              Printf.eprintf "verify: unknown argument %S\n" other;
+              exit 2
+      in
+      parse 2;
+      run_verify ~quick:!quick ~json_label:!json_label ()
   | "all" ->
       Ijdt_core.Tables.table1 ppf ();
       Format.fprintf ppf "@.";
@@ -575,6 +659,6 @@ let () =
   | other ->
       Printf.eprintf
         "unknown argument %S (expected \
-         table1|table2|table3|fig5|fig6|fig7|micro|sequences|ablate-semantic|ablate-curation|ablate-lookahead|perf|mutate|all)\n"
+         table1|table2|table3|fig5|fig6|fig7|micro|sequences|ablate-semantic|ablate-curation|ablate-lookahead|perf|mutate|verify|all)\n"
         other;
       exit 2

@@ -1,7 +1,10 @@
 #!/bin/sh -e
 # CI gate: full build, the test suite, the static-verification pristine
 # gate (any wrongness finding on the defect-free configuration is a
-# verifier false positive and fails the build), then the
+# verifier false positive and fails the build), the machine-layer
+# abstract-interpretation gate (pristine must be clean; the seeded sweep
+# must flag both seeded accessor-gap families; counters land in
+# VERIFY_ci.json), then the
 # translation-validation pristine gate (any confirmed refutation on the
 # defect-free configuration, absent templates excepted, is a validator
 # false positive and fails the build).  The validation run writes a
@@ -37,6 +40,23 @@ cd "$(dirname "$0")/.."
 dune build @all
 dune runtest
 dune exec bin/vmtest.exe -- verify --pristine
+dune exec bin/vmtest.exe -- verify --abstract --pristine > /dev/null
+echo "ci: abstract pristine gate passed (zero false positives)"
+dune exec bin/vmtest.exe -- verify --abstract --json VERIFY_ci.json > /dev/null
+python3 - <<'EOF'
+import json
+v = json.load(open("VERIFY_ci.json"))
+assert v["units"] > 600, f"abstract sweep covered only {v['units']} units"
+assert v["truncated"] == 0, f"{v['truncated']} programs hit the path budget"
+assert v["crosschecked"] == v["programs"], "symexec cross-check incomplete"
+causes = {c["cause"] for c in v["causes"]}
+seeded = {"missing reflective getter for rScr1",
+          "missing reflective setter for rScr2"}
+assert seeded <= causes, f"seeded families not flagged: {seeded - causes}"
+print(f"ci: abstract sweep: {v['units']} units, {v['programs']} programs, "
+      f"{v['findings']} findings over {len(causes)} causes")
+EOF
+echo "ci: abstract verification report at VERIFY_ci.json"
 dune exec bin/vmtest.exe -- validate --pristine -j "$CI_JOBS" \
   --budget "$CI_VALIDATE_BUDGET" --json "$CI_VALIDATE_REPORT" > /dev/null
 echo "ci: validation report at $CI_VALIDATE_REPORT"

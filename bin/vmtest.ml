@@ -5,6 +5,7 @@
      difftest <instr>        differential-test one instruction
      campaign                run the full evaluation (Tables 2-3, Figs 5-7)
      verify   [<instr>]      static verifier suite, zero execution
+     verify --abstract       machine-layer abstract-interpretation sweep
      validate [<instr>]      solver-backed translation validation (pass 5)
      list                    list testable instructions and native methods *)
 
@@ -479,13 +480,64 @@ let verify_cmd =
             "Verify a single instruction instead of sweeping the whole \
              test universe.")
   in
-  let run defects pristine include_missing subject =
+  let abstract_arg =
+    Arg.(
+      value & flag
+      & info [ "abstract" ]
+          ~doc:
+            "Run only the machine-layer abstract-interpretation sweep \
+             (backend-generic fixpoint, lint, symbolic cross-check, \
+             cross-ISA differ) instead of the full verifier suite.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "With $(b,--abstract), write the counter summary and \
+             per-cause finding counts to $(docv) as JSON.  The report \
+             contains only counts and names, so it is deterministic \
+             across runs.")
+  in
+  let abstract_json file (r : Verify.abstract_report) =
+    let oc = open_out file in
+    let causes = Verify.abstract_causes r in
+    Printf.fprintf oc
+      "{\"defects\":%S,\"units\":%d,\"programs\":%d,\"paths\":%d,\
+       \"truncated\":%d,\"crosschecked\":%d,\"findings\":%d,\"causes\":[%s]}\n"
+      (if r.ab_defects = Interpreter.Defects.pristine then "pristine"
+       else "seeded")
+      r.ab_units r.ab_programs r.ab_paths r.ab_truncated r.ab_crosschecked
+      (List.length r.ab_findings)
+      (String.concat ","
+         (List.map
+            (fun (family, cause, n) ->
+              Printf.sprintf "{\"family\":%S,\"cause\":%S,\"count\":%d}"
+                (Verify.Finding.family_name family)
+                cause n)
+            causes));
+    close_out oc
+  in
+  let run defects pristine include_missing abstract json subject =
     let defects = if pristine then Interpreter.Defects.pristine else defects in
     (* absent functionality (unimplemented templates) exists in both
        configurations and is reported by the dynamic tester on pristine
        too; the pristine gate checks for *false* positives, i.e. any
        finding in a wrongness family *)
     let include_missing = include_missing && not pristine in
+    if abstract then begin
+      let r = Verify.abstract_all ~defects () in
+      Format.printf "%a" Ijdt_core.Tables.abstract_table r;
+      Option.iter (fun file -> abstract_json file r) json;
+      if pristine && r.ab_findings <> [] then begin
+        List.iter
+          (fun f -> Printf.printf "  %s\n" (Verify.Finding.to_string f))
+          r.ab_findings;
+        exit 1
+      end
+    end
+    else
     match subject with
     | Some subject ->
         let findings =
@@ -537,7 +589,7 @@ let verify_cmd =
           cross-compiler differencing) without executing any test")
     Term.(
       const run $ defects_arg $ pristine_arg $ include_missing_arg
-      $ subject_opt_arg)
+      $ abstract_arg $ json_arg $ subject_opt_arg)
 
 (* --- validate: solver-backed translation validation (pass 5) --- *)
 

@@ -981,3 +981,15 @@ let static_causes t =
     (all_static_findings t);
   Hashtbl.fold (fun (family, cause) n acc -> (family, cause, n) :: acc) tbl []
   |> List.sort by_cause_key
+
+(* Findings per static pass — how much of the static oracle surface each
+   pass (bytecode / ir / machine / abstract / differ) contributes. *)
+let static_pass_counts t : (string * int) list =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (f : Verify.Finding.t) ->
+      let key = Verify.Finding.pass_name f.pass in
+      Hashtbl.replace tbl key
+        (1 + Option.value (Hashtbl.find_opt tbl key) ~default:0))
+    (all_static_findings t);
+  Hashtbl.fold (fun k n acc -> (k, n) :: acc) tbl [] |> List.sort compare

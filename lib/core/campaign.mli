@@ -230,6 +230,11 @@ val static_causes : t -> (Verify.Finding.family * string * int) list
 (** Static root causes with finding counts, counted once per cause,
     sorted — the zero-execution analogue of {!causes}. *)
 
+val static_pass_counts : t -> (string * int) list
+(** Finding counts per static pass ({!Verify.Finding.pass_name}), sorted
+    by pass name — how much of the static oracle surface each pass
+    (bytecode / ir / machine / abstract / differ) contributes. *)
+
 (** {1 Translation-validation aggregations} *)
 
 val validation_by_arch :

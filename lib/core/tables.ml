@@ -157,6 +157,30 @@ let supervision_table ppf (s : Campaign.supervised) =
     (fun (i, key, kind) -> fprintf ppf "chaos: unit %d (%s) <- %s@." i key kind)
     s.Campaign.sup_chaos
 
+(* --- abstract-interpretation sweep (pass 4): machine-layer counters
+   and per-cause finding counts --- *)
+
+let abstract_table ppf (r : Verify.abstract_report) =
+  fprintf ppf "Abstract interpretation: machine-layer sweep@.";
+  fprintf ppf "%-12s %10s %8s %11s %14s %10s@." "Units" "Programs" "Paths"
+    "Truncated" "Cross-checked" "Findings";
+  fprintf ppf "%s@." (String.make 70 '-');
+  fprintf ppf "%-12d %10d %8d %11d %14d %10d@." r.Verify.ab_units
+    r.Verify.ab_programs r.Verify.ab_paths r.Verify.ab_truncated
+    r.Verify.ab_crosschecked
+    (List.length r.Verify.ab_findings);
+  let causes = Verify.abstract_causes r in
+  if causes <> [] then begin
+    fprintf ppf "Causes:@.";
+    List.iter
+      (fun (family, cause, n) ->
+        fprintf ppf "  [%-28s] %-48s %3d finding%s@."
+          (Verify.Finding.family_name family)
+          cause n
+          (if n = 1 then "" else "s"))
+      causes
+  end
+
 (* --- mutation kill matrix --- *)
 
 let pp_kill_row ppf (r : Campaign.kill_row) =

@@ -32,6 +32,11 @@ val supervision_table : Format.formatter -> Campaign.supervised -> unit
     (ok / timed out / crashed / quarantined / retries), the individual
     non-ok incidents, and the chaos schedule when one was injected. *)
 
+val abstract_table : Format.formatter -> Verify.abstract_report -> unit
+(** The abstract-interpretation sweep summary: unit / program / path
+    counters, the symexec cross-check coverage, and the per-cause
+    finding counts of the machine-layer abstract pass. *)
+
 val kill_table : Format.formatter -> Campaign.kill_matrix -> unit
 (** The mutation kill matrix: per-operator and per-layer rows of which
     oracle layer (static / validate / difftest) killed each mutant,

@@ -1,9 +1,13 @@
-(* IR → machine-code lowering, shared between the two back-ends.
+(* IR → machine-code lowering, parameterised by the first-class back-end
+   signature {!Machine.Backend_sig.S}.
 
    The back-ends differ where real ISAs differ: data movement, ALU shape
    (x86 two-address with destructive destinations vs ARM32 three-address),
    compares, tag tests and branches.  Complex object-representation ops
    lower to the shared simulator pseudo-ops (cf. {!Machine.Machine_code}).
+   The encoders and the register-file convention both come from the
+   back-end instance, so adding a third ISA is one new
+   {!Machine.Backend.t} plus one [Make] application.
 
    Scratch-register discipline: [scratch0] and the class register are the
    only general materialisation scratches; [scratch1]/[scratch2] are
@@ -12,72 +16,32 @@
 
 module MC = Machine.Machine_code
 
-module type ISA = sig
-  val name : string
-  val mov_ri : MC.reg -> int -> MC.instr list
-  val mov_rr : MC.reg -> MC.reg -> MC.instr list
-
-  val alu : MC.alu -> dst:MC.reg -> a:MC.reg -> b:MC.operand -> MC.instr list
-  (** [dst := a op b]; must set flags like the simulator's ALU. *)
-
-  val cmp : MC.reg -> MC.operand -> MC.instr list
-  val test_tag : MC.reg -> MC.instr list
-  val jcc : MC.cond -> string -> MC.instr list
-  val jmp : string -> MC.instr list
-  val push : MC.operand -> MC.instr list
-  val pop : MC.reg -> MC.instr list
-end
-
-module X86 : ISA = struct
-  let name = "x86"
-  let mov_ri r i = [ MC.X_mov_ri (r, i) ]
-  let mov_rr d s = if d = s then [] else [ MC.X_mov_rr (d, s) ]
-
-  (* Two-address: dst := dst op b, so first move a into dst — taking care
-     not to clobber b when it aliases dst. *)
-  let alu op ~dst ~a ~b =
-    match b with
-    | MC.R br when br = dst && a <> dst ->
-        (* save b into the class scratch before overwriting dst *)
-        [
-          MC.X_mov_rr (MC.r_class, br);
-          MC.X_mov_rr (dst, a);
-          MC.X_alu (op, dst, MC.R MC.r_class);
-        ]
-    | _ -> mov_rr dst a @ [ MC.X_alu (op, dst, b) ]
-
-  let cmp r o = [ MC.X_cmp (r, o) ]
-  let test_tag r = [ MC.X_test_tag r ]
-  let jcc c l = [ MC.X_jcc (c, l) ]
-  let jmp l = [ MC.X_jmp l ]
-  let push o = [ MC.X_push o ]
-  let pop r = [ MC.X_pop r ]
-end
-
-module Arm32 : ISA = struct
-  let name = "arm32"
-  let mov_ri r i = [ MC.A_mov_i (r, i) ]
-  let mov_rr d s = if d = s then [] else [ MC.A_mov (d, s) ]
-  let alu op ~dst ~a ~b = [ MC.A_alu (op, dst, a, b) ]
-  let cmp r o = [ MC.A_cmp (r, o) ]
-  let test_tag r = [ MC.A_tst_tag r ]
-  let jcc c l = [ MC.A_b (Some c, l) ]
-  let jmp l = [ MC.A_b (None, l) ]
-  let push o = [ MC.A_push o ]
-  let pop r = [ MC.A_pop r ]
-end
-
 type arch = X86 | Arm32
 
 let arch_name = function X86 -> "x86" | Arm32 -> "arm32"
 let all_arches = [ X86; Arm32 ]
 
+let backend_of : arch -> Machine.Backend.t = function
+  | X86 -> Machine.Backend.x86
+  | Arm32 -> Machine.Backend.arm32
+
 exception Codegen_error of string
 
-module Make (I : ISA) = struct
+module Make (B : Machine.Backend_sig.S) = struct
+  let scratch0 = List.nth B.scratch_regs 0
+
+  let arg_reg n =
+    match List.nth_opt B.arg_regs n with
+    | Some r -> r
+    | None ->
+        raise
+          (Codegen_error
+             (Printf.sprintf "argument %d exceeds the %s argument registers" n
+                B.name))
+
   let phys_of_vreg (v : Ir.vreg) : MC.reg =
-    if v >= 100 && v <= 102 then MC.r_scratch0 + (v - 100)
-    else if v >= 0 && v < Ir.max_direct_vreg then MC.r_temp_base + v
+    if v >= 100 && v <= 102 then List.nth B.scratch_regs (v - 100)
+    else if v >= 0 && v < Ir.max_direct_vreg then B.temp_base + v
     else
       raise
         (Codegen_error
@@ -98,158 +62,158 @@ module Make (I : ISA) = struct
     match o with
     | Ir.V v -> phys_of_vreg v
     | Ir.C c ->
-        emit st (I.mov_ri scratch c);
+        emit st (B.mov_ri scratch c);
         scratch
-    | Ir.Recv -> MC.r_receiver
-    | Ir.Arg n -> MC.r_arg0 + n
+    | Ir.Recv -> B.receiver_reg
+    | Ir.Arg n -> arg_reg n
 
   (* Operand position that accepts immediates directly. *)
   let mop (o : Ir.operand) : MC.operand =
     match o with
     | Ir.V v -> MC.R (phys_of_vreg v)
     | Ir.C c -> MC.I c
-    | Ir.Recv -> MC.R MC.r_receiver
-    | Ir.Arg n -> MC.R (MC.r_arg0 + n)
+    | Ir.Recv -> MC.R B.receiver_reg
+    | Ir.Arg n -> MC.R (arg_reg n)
 
   let lower_instr st (i : Ir.ir) =
     match i with
     | Ir.I_label l -> emit st [ MC.Label l ]
     | Ir.I_move (d, o) -> (
         match o with
-        | Ir.C c -> emit st (I.mov_ri (phys_of_vreg d) c)
-        | _ -> emit st (I.mov_rr (phys_of_vreg d) (reg_of st o ~scratch:MC.r_scratch0)))
-    | Ir.I_push o -> emit st (I.push (mop o))
-    | Ir.I_pop d -> emit st (I.pop (phys_of_vreg d))
+        | Ir.C c -> emit st (B.mov_ri (phys_of_vreg d) c)
+        | _ -> emit st (B.mov_rr (phys_of_vreg d) (reg_of st o ~scratch:scratch0)))
+    | Ir.I_push o -> emit st (B.push (mop o))
+    | Ir.I_pop d -> emit st (B.pop (phys_of_vreg d))
     | Ir.I_load_temp (d, n) -> emit st [ MC.Load_temp (phys_of_vreg d, n) ]
     | Ir.I_store_temp (n, o) ->
-        emit st [ MC.Store_temp (n, reg_of st o ~scratch:MC.r_scratch0) ]
+        emit st [ MC.Store_temp (n, reg_of st o ~scratch:scratch0) ]
     | Ir.I_check_small_int (o, l) ->
-        let r = reg_of st o ~scratch:MC.r_scratch0 in
-        emit st (I.test_tag r);
-        emit st (I.jcc MC.Ne l)
+        let r = reg_of st o ~scratch:scratch0 in
+        emit st (B.test_tag r);
+        emit st (B.jcc MC.Ne l)
     | Ir.I_check_not_small_int (o, l) ->
-        let r = reg_of st o ~scratch:MC.r_scratch0 in
-        emit st (I.test_tag r);
-        emit st (I.jcc MC.Eq l)
+        let r = reg_of st o ~scratch:scratch0 in
+        emit st (B.test_tag r);
+        emit st (B.jcc MC.Eq l)
     | Ir.I_check_class (o, cid, l) ->
-        let r = reg_of st o ~scratch:MC.r_scratch0 in
-        emit st [ MC.Load_class_index (MC.r_class, r) ];
-        emit st (I.cmp MC.r_class (MC.I cid));
-        emit st (I.jcc MC.Ne l)
+        let r = reg_of st o ~scratch:scratch0 in
+        emit st [ MC.Load_class_index (B.class_reg, r) ];
+        emit st (B.cmp B.class_reg (MC.I cid));
+        emit st (B.jcc MC.Ne l)
     | Ir.I_check_pointers (o, l) ->
-        let r = reg_of st o ~scratch:MC.r_scratch0 in
-        emit st (I.test_tag r);
-        emit st (I.jcc MC.Eq l);
-        emit st [ MC.Load_format (MC.r_class, r) ];
-        emit st (I.cmp MC.r_class (MC.I 1));
-        emit st (I.jcc MC.Gt l)
+        let r = reg_of st o ~scratch:scratch0 in
+        emit st (B.test_tag r);
+        emit st (B.jcc MC.Eq l);
+        emit st [ MC.Load_format (B.class_reg, r) ];
+        emit st (B.cmp B.class_reg (MC.I 1));
+        emit st (B.jcc MC.Gt l)
     | Ir.I_check_bytes (o, l) ->
-        let r = reg_of st o ~scratch:MC.r_scratch0 in
-        emit st (I.test_tag r);
-        emit st (I.jcc MC.Eq l);
-        emit st [ MC.Load_format (MC.r_class, r) ];
-        emit st (I.cmp MC.r_class (MC.I 2));
-        emit st (I.jcc MC.Ne l)
+        let r = reg_of st o ~scratch:scratch0 in
+        emit st (B.test_tag r);
+        emit st (B.jcc MC.Eq l);
+        emit st [ MC.Load_format (B.class_reg, r) ];
+        emit st (B.cmp B.class_reg (MC.I 2));
+        emit st (B.jcc MC.Ne l)
     | Ir.I_check_indexable (o, l) ->
-        let r = reg_of st o ~scratch:MC.r_scratch0 in
-        emit st (I.test_tag r);
-        emit st (I.jcc MC.Eq l);
-        emit st [ MC.Load_format (MC.r_class, r) ];
-        emit st (I.cmp MC.r_class (MC.I 1));
-        emit st (I.jcc MC.Lt l);
-        emit st (I.cmp MC.r_class (MC.I 2));
-        emit st (I.jcc MC.Gt l)
+        let r = reg_of st o ~scratch:scratch0 in
+        emit st (B.test_tag r);
+        emit st (B.jcc MC.Eq l);
+        emit st [ MC.Load_format (B.class_reg, r) ];
+        emit st (B.cmp B.class_reg (MC.I 1));
+        emit st (B.jcc MC.Lt l);
+        emit st (B.cmp B.class_reg (MC.I 2));
+        emit st (B.jcc MC.Gt l)
     | Ir.I_untag (d, o) ->
-        let r = reg_of st o ~scratch:MC.r_scratch0 in
-        emit st (I.alu MC.Sar ~dst:(phys_of_vreg d) ~a:r ~b:(MC.I 1))
+        let r = reg_of st o ~scratch:scratch0 in
+        emit st (B.alu MC.Sar ~dst:(phys_of_vreg d) ~a:r ~b:(MC.I 1))
     | Ir.I_tag (d, o) ->
-        let r = reg_of st o ~scratch:MC.r_scratch0 in
+        let r = reg_of st o ~scratch:scratch0 in
         let d = phys_of_vreg d in
-        emit st (I.alu MC.Shl ~dst:d ~a:r ~b:(MC.I 1));
-        emit st (I.alu MC.Or ~dst:d ~a:d ~b:(MC.I 1))
+        emit st (B.alu MC.Shl ~dst:d ~a:r ~b:(MC.I 1));
+        emit st (B.alu MC.Or ~dst:d ~a:d ~b:(MC.I 1))
     | Ir.I_alu (op, d, a, b) ->
-        let ra = reg_of st a ~scratch:MC.r_scratch0 in
-        emit st (I.alu op ~dst:(phys_of_vreg d) ~a:ra ~b:(mop b))
-    | Ir.I_jump_overflow l -> emit st (I.jcc MC.Vs l)
+        let ra = reg_of st a ~scratch:scratch0 in
+        emit st (B.alu op ~dst:(phys_of_vreg d) ~a:ra ~b:(mop b))
+    | Ir.I_jump_overflow l -> emit st (B.jcc MC.Vs l)
     | Ir.I_check_range (o, l) ->
-        let r = reg_of st o ~scratch:MC.r_scratch0 in
-        emit st (I.cmp r (MC.I Vm_objects.Value.max_small_int));
-        emit st (I.jcc MC.Gt l);
-        emit st (I.cmp r (MC.I Vm_objects.Value.min_small_int));
-        emit st (I.jcc MC.Lt l)
+        let r = reg_of st o ~scratch:scratch0 in
+        emit st (B.cmp r (MC.I Vm_objects.Value.max_small_int));
+        emit st (B.jcc MC.Gt l);
+        emit st (B.cmp r (MC.I Vm_objects.Value.min_small_int));
+        emit st (B.jcc MC.Lt l)
     | Ir.I_cmp_jump (c, a, b, l) ->
-        let ra = reg_of st a ~scratch:MC.r_scratch0 in
-        emit st (I.cmp ra (mop b));
-        emit st (I.jcc c l)
-    | Ir.I_jump l -> emit st (I.jmp l)
+        let ra = reg_of st a ~scratch:scratch0 in
+        emit st (B.cmp ra (mop b));
+        emit st (B.jcc c l)
+    | Ir.I_jump l -> emit st (B.jmp l)
     | Ir.I_bool_result (c, d, a, b) ->
-        let ra = reg_of st a ~scratch:MC.r_scratch0 in
-        emit st (I.cmp ra (mop b));
+        let ra = reg_of st a ~scratch:scratch0 in
+        emit st (B.cmp ra (mop b));
         let d = phys_of_vreg d in
         let l = fresh_label st in
-        emit st (I.mov_ri d Ir.true_word);
-        emit st (I.jcc c l);
-        emit st (I.mov_ri d Ir.false_word);
+        emit st (B.mov_ri d Ir.true_word);
+        emit st (B.jcc c l);
+        emit st (B.mov_ri d Ir.false_word);
         emit st [ MC.Label l ]
     | Ir.I_load_slot (d, base, idx) ->
-        let b = reg_of st base ~scratch:MC.r_scratch0 in
+        let b = reg_of st base ~scratch:scratch0 in
         emit st [ MC.Load_slot (phys_of_vreg d, b, mop idx) ]
     | Ir.I_store_slot (base, idx, v) ->
-        let b = reg_of st base ~scratch:MC.r_scratch0 in
-        let r = reg_of st v ~scratch:MC.r_class in
+        let b = reg_of st base ~scratch:scratch0 in
+        let r = reg_of st v ~scratch:B.class_reg in
         emit st [ MC.Store_slot (b, mop idx, r) ]
     | Ir.I_load_byte (d, base, idx) ->
-        let b = reg_of st base ~scratch:MC.r_scratch0 in
+        let b = reg_of st base ~scratch:scratch0 in
         emit st [ MC.Load_byte (phys_of_vreg d, b, mop idx) ]
     | Ir.I_store_byte (base, idx, v) ->
-        let b = reg_of st base ~scratch:MC.r_scratch0 in
-        let r = reg_of st v ~scratch:MC.r_class in
+        let b = reg_of st base ~scratch:scratch0 in
+        let r = reg_of st v ~scratch:B.class_reg in
         emit st [ MC.Store_byte (b, mop idx, r) ]
     | Ir.I_load_num_slots (d, o) ->
         emit st
-          [ MC.Load_num_slots (phys_of_vreg d, reg_of st o ~scratch:MC.r_scratch0) ]
+          [ MC.Load_num_slots (phys_of_vreg d, reg_of st o ~scratch:scratch0) ]
     | Ir.I_load_indexable_size (d, o) ->
         emit st
           [
             MC.Load_indexable_size
-              (phys_of_vreg d, reg_of st o ~scratch:MC.r_scratch0);
+              (phys_of_vreg d, reg_of st o ~scratch:scratch0);
           ]
     | Ir.I_load_fixed_size (d, o) ->
         emit st
-          [ MC.Load_fixed_size (phys_of_vreg d, reg_of st o ~scratch:MC.r_scratch0) ]
+          [ MC.Load_fixed_size (phys_of_vreg d, reg_of st o ~scratch:scratch0) ]
     | Ir.I_load_class_object (d, o) ->
         emit st
           [
             MC.Load_class_object
-              (phys_of_vreg d, reg_of st o ~scratch:MC.r_scratch0);
+              (phys_of_vreg d, reg_of st o ~scratch:scratch0);
           ]
     | Ir.I_unbox_float (f, o) ->
-        emit st [ MC.Unbox_float (f, reg_of st o ~scratch:MC.r_scratch0) ]
+        emit st [ MC.Unbox_float (f, reg_of st o ~scratch:scratch0) ]
     | Ir.I_box_float (d, f) -> emit st [ MC.Box_float (phys_of_vreg d, f) ]
     | Ir.I_falu (op, d, a, b) -> emit st [ MC.Falu (op, d, a, b) ]
     | Ir.I_fsqrt (d, s) -> emit st [ MC.Fsqrt (d, s) ]
     | Ir.I_fcmp_jump (c, a, b, l) ->
         emit st [ MC.Fcmp (a, b) ];
-        emit st (I.jcc c l)
+        emit st (B.jcc c l)
     | Ir.I_fbool_result (c, d, a, b) ->
         emit st [ MC.Fcmp (a, b) ];
         let d = phys_of_vreg d in
         let l = fresh_label st in
-        emit st (I.mov_ri d Ir.true_word);
-        emit st (I.jcc c l);
-        emit st (I.mov_ri d Ir.false_word);
+        emit st (B.mov_ri d Ir.true_word);
+        emit st (B.jcc c l);
+        emit st (B.mov_ri d Ir.false_word);
         emit st [ MC.Label l ]
     | Ir.I_cvt_int_float (f, o) ->
-        emit st [ MC.Cvt_int_float (f, reg_of st o ~scratch:MC.r_scratch0) ]
+        emit st [ MC.Cvt_int_float (f, reg_of st o ~scratch:scratch0) ]
     | Ir.I_trunc_float_int (d, f) ->
         emit st [ MC.Cvt_float_int (phys_of_vreg d, f) ]
     | Ir.I_float_from_bits32 (f, o) ->
-        emit st [ MC.Float_from_bits32 (f, reg_of st o ~scratch:MC.r_scratch0) ]
+        emit st [ MC.Float_from_bits32 (f, reg_of st o ~scratch:scratch0) ]
     | Ir.I_float_to_bits32 (d, f) ->
         emit st [ MC.Float_to_bits32 (phys_of_vreg d, f) ]
     | Ir.I_float_from_bits64 (f, hi, lo) ->
-        let rhi = reg_of st hi ~scratch:MC.r_scratch0 in
-        let rlo = reg_of st lo ~scratch:MC.r_class in
+        let rhi = reg_of st hi ~scratch:scratch0 in
+        let rlo = reg_of st lo ~scratch:B.class_reg in
         emit st [ MC.Float_from_bits64 (f, rhi, rlo) ]
     | Ir.I_float_to_bits64_hi (d, f) ->
         emit st [ MC.Float_to_bits64_hi (phys_of_vreg d, f) ]
@@ -257,31 +221,31 @@ module Make (I : ISA) = struct
         emit st [ MC.Float_to_bits64_lo (phys_of_vreg d, f) ]
     | Ir.I_identity_hash (d, o) ->
         emit st
-          [ MC.Identity_hash (phys_of_vreg d, reg_of st o ~scratch:MC.r_scratch0) ]
+          [ MC.Identity_hash (phys_of_vreg d, reg_of st o ~scratch:scratch0) ]
     | Ir.I_shallow_copy (d, o) ->
         emit st
           [
-            MC.Shallow_copy_op (phys_of_vreg d, reg_of st o ~scratch:MC.r_scratch0);
+            MC.Shallow_copy_op (phys_of_vreg d, reg_of st o ~scratch:scratch0);
           ]
     | Ir.I_make_point (d, a, b) ->
-        let ra = reg_of st a ~scratch:MC.r_scratch0 in
-        let rb = reg_of st b ~scratch:MC.r_class in
+        let ra = reg_of st a ~scratch:scratch0 in
+        let rb = reg_of st b ~scratch:B.class_reg in
         emit st [ MC.Make_point_op (phys_of_vreg d, ra, rb) ]
     | Ir.I_make_char (d, o) ->
         emit st
-          [ MC.Make_char_op (phys_of_vreg d, reg_of st o ~scratch:MC.r_scratch0) ]
+          [ MC.Make_char_op (phys_of_vreg d, reg_of st o ~scratch:scratch0) ]
     | Ir.I_char_value (d, o) ->
         emit st
-          [ MC.Char_value_op (phys_of_vreg d, reg_of st o ~scratch:MC.r_scratch0) ]
+          [ MC.Char_value_op (phys_of_vreg d, reg_of st o ~scratch:scratch0) ]
     | Ir.I_alloc (d, cid, size) ->
         emit st [ MC.Alloc (phys_of_vreg d, cid, mop size) ]
     | Ir.I_send info -> emit st [ MC.Call_trampoline info ]
     | Ir.I_return o ->
         (match o with
-        | Ir.C c -> emit st (I.mov_ri MC.r_result c)
+        | Ir.C c -> emit st (B.mov_ri B.result_reg c)
         | _ ->
             emit st
-              (I.mov_rr MC.r_result (reg_of st o ~scratch:MC.r_scratch0)));
+              (B.mov_rr B.result_reg (reg_of st o ~scratch:scratch0)));
         emit st [ MC.Ret ]
     | Ir.I_stop n -> emit st [ MC.Brk n ]
     | Ir.I_spill_store (slot, v) ->
@@ -295,8 +259,8 @@ module Make (I : ISA) = struct
     MC.assemble (List.rev st.out)
 end
 
-module X86_gen = Make (X86)
-module Arm32_gen = Make (Arm32)
+module X86_gen = Make (Machine.Backend.X86)
+module Arm32_gen = Make (Machine.Backend.Arm32)
 
 let lower ~(arch : arch) irs =
   match arch with X86 -> X86_gen.lower irs | Arm32 -> Arm32_gen.lower irs

@@ -1,0 +1,230 @@
+(* The two back-end instances — the former special cases of
+   [lib/jit/codegen.ml] and the verify passes, now first-class values of
+   {!Backend_sig.S} — plus the backend-generic instruction queries
+   ([view_of], [control_of], [flag_effect], [reads], [writes]) that the
+   abstract interpreter and the lint consume instead of matching on
+   [X_*]/[A_*] constructors. *)
+
+module MC = Machine_code
+module Sig = Backend_sig
+
+(* Both styles target the simulator's single register file, so the
+   calling convention is shared; what differs is the instruction
+   encoding (ALU shape, addressing modes, branch mnemonics). *)
+module Convention = struct
+  let num_regs = MC.num_regs
+  let receiver_reg = MC.r_receiver
+  let arg_regs = [ MC.r_arg0; MC.r_arg1 ]
+  let result_reg = MC.r_result
+  let class_reg = MC.r_class
+  let scratch_regs = [ MC.r_scratch0; MC.r_scratch1; MC.r_scratch2 ]
+  let temp_base = MC.r_temp_base
+  let reg_name = MC.reg_name
+end
+
+module X86 : Sig.S = struct
+  include Convention
+
+  let name = "x86"
+  let mov_ri r i = [ MC.X_mov_ri (r, i) ]
+  let mov_rr d s = if d = s then [] else [ MC.X_mov_rr (d, s) ]
+
+  (* Two-address: dst := dst op b, so first move a into dst — taking care
+     not to clobber b when it aliases dst. *)
+  let alu op ~dst ~a ~b =
+    match b with
+    | MC.R br when br = dst && a <> dst ->
+        (* save b into the class scratch before overwriting dst *)
+        [
+          MC.X_mov_rr (class_reg, br);
+          MC.X_mov_rr (dst, a);
+          MC.X_alu (op, dst, MC.R class_reg);
+        ]
+    | _ -> mov_rr dst a @ [ MC.X_alu (op, dst, b) ]
+
+  let cmp r o = [ MC.X_cmp (r, o) ]
+  let test_tag r = [ MC.X_test_tag r ]
+  let jcc c l = [ MC.X_jcc (c, l) ]
+  let jmp l = [ MC.X_jmp l ]
+  let push o = [ MC.X_push o ]
+  let pop r = [ MC.X_pop r ]
+
+  let decode = function
+    | MC.X_mov_ri (r, i) -> Some (Sig.V_mov_ri (r, i))
+    | MC.X_mov_rr (d, s) -> Some (Sig.V_mov_rr (d, s))
+    | MC.X_alu (op, d, s) -> Some (Sig.V_alu (op, d, d, s))
+    | MC.X_neg r -> Some (Sig.V_neg r)
+    | MC.X_cmp (r, o) -> Some (Sig.V_cmp (r, o))
+    | MC.X_test_tag r -> Some (Sig.V_test_tag r)
+    | MC.X_jcc (c, l) -> Some (Sig.V_jcc (c, l))
+    | MC.X_jmp l -> Some (Sig.V_jmp l)
+    | MC.X_push o -> Some (Sig.V_push o)
+    | MC.X_pop r -> Some (Sig.V_pop r)
+    | _ -> None
+end
+
+module Arm32 : Sig.S = struct
+  include Convention
+
+  let name = "arm32"
+  let mov_ri r i = [ MC.A_mov_i (r, i) ]
+  let mov_rr d s = if d = s then [] else [ MC.A_mov (d, s) ]
+  let alu op ~dst ~a ~b = [ MC.A_alu (op, dst, a, b) ]
+  let cmp r o = [ MC.A_cmp (r, o) ]
+  let test_tag r = [ MC.A_tst_tag r ]
+  let jcc c l = [ MC.A_b (Some c, l) ]
+  let jmp l = [ MC.A_b (None, l) ]
+  let push o = [ MC.A_push o ]
+  let pop r = [ MC.A_pop r ]
+
+  let decode = function
+    | MC.A_mov_i (r, i) -> Some (Sig.V_mov_ri (r, i))
+    | MC.A_mov (d, s) -> Some (Sig.V_mov_rr (d, s))
+    | MC.A_alu (op, rd, rn, rm) -> Some (Sig.V_alu (op, rd, rn, rm))
+    | MC.A_rsb (rd, rn, i) -> Some (Sig.V_rsb (rd, rn, i))
+    | MC.A_cmp (r, o) -> Some (Sig.V_cmp (r, o))
+    | MC.A_tst_tag r -> Some (Sig.V_test_tag r)
+    | MC.A_b (None, l) -> Some (Sig.V_jmp l)
+    | MC.A_b (Some c, l) -> Some (Sig.V_jcc (c, l))
+    | MC.A_push o -> Some (Sig.V_push o)
+    | MC.A_pop r -> Some (Sig.V_pop r)
+    | _ -> None
+end
+
+(* --- first-class back-ends --- *)
+
+type t = (module Sig.S)
+
+let x86 : t = (module X86)
+let arm32 : t = (module Arm32)
+let all : t list = [ x86; arm32 ]
+
+let name (b : t) =
+  let module B = (val b) in
+  B.name
+
+let of_name n = List.find_opt (fun b -> name b = n) all
+
+let decode (b : t) i =
+  let module B = (val b) in
+  B.decode i
+
+(* Decode under whichever back-end recognises the instruction.  The two
+   styles use disjoint constructors, so at most one matches. *)
+let view_of (i : MC.instr) : Sig.view option =
+  List.find_map (fun b -> decode b i) all
+
+(* --- backend-generic instruction queries --- *)
+
+type exit_kind = E_return | E_stop of int | E_send of MC.send_info
+
+type control =
+  | C_fall
+  | C_jump of string
+  | C_branch of MC.cond * string
+  | C_exit of exit_kind
+
+let control_of (i : MC.instr) : control =
+  match i with
+  | MC.Ret -> C_exit E_return
+  | MC.Brk n -> C_exit (E_stop n)
+  | MC.Call_trampoline info -> C_exit (E_send info)
+  | _ -> (
+      match view_of i with
+      | Some (Sig.V_jmp l) -> C_jump l
+      | Some (Sig.V_jcc (c, l)) -> C_branch (c, l)
+      | _ -> C_fall)
+
+(* How an instruction touches the condition codes, mirroring the
+   simulator's flag discipline ([Machine.Cpu]): ALU-style results set
+   the result flags, compares the compare flags, tag tests only the
+   equality flag, float compares the float-order flags; everything else
+   preserves whatever was there. *)
+type flag_effect = Sets_result | Sets_cmp | Sets_tag | Sets_fcmp | Preserves
+
+let flag_effect (i : MC.instr) : flag_effect =
+  match i with
+  | MC.Fcmp _ -> Sets_fcmp
+  | _ -> (
+      match view_of i with
+      | Some (Sig.V_alu _ | Sig.V_neg _ | Sig.V_rsb _) -> Sets_result
+      | Some (Sig.V_cmp _) -> Sets_cmp
+      | Some (Sig.V_test_tag _) -> Sets_tag
+      | _ -> Preserves)
+
+let operand_reads = function MC.R r -> [ r ] | MC.I _ -> []
+
+(* General registers an instruction may write.  Float registers and
+   frame/spill/heap cells are tracked by other domains. *)
+let writes (i : MC.instr) : MC.reg list =
+  match i with
+  | MC.Load_class_index (d, _)
+  | MC.Load_class_object (d, _)
+  | MC.Load_slot (d, _, _)
+  | MC.Load_byte (d, _, _)
+  | MC.Load_num_slots (d, _)
+  | MC.Load_indexable_size (d, _)
+  | MC.Load_fixed_size (d, _)
+  | MC.Load_format (d, _)
+  | MC.Load_temp (d, _)
+  | MC.Box_float (d, _)
+  | MC.Cvt_float_int (d, _)
+  | MC.Float_to_bits32 (d, _)
+  | MC.Float_to_bits64_hi (d, _)
+  | MC.Float_to_bits64_lo (d, _)
+  | MC.Alloc (d, _, _)
+  | MC.Alloc_flex (d, _)
+  | MC.Identity_hash (d, _)
+  | MC.Shallow_copy_op (d, _)
+  | MC.Make_point_op (d, _, _)
+  | MC.Make_char_op (d, _)
+  | MC.Char_value_op (d, _)
+  | MC.Spill_load (d, _) ->
+      [ d ]
+  | _ -> (
+      match view_of i with
+      | Some (Sig.V_mov_ri (d, _))
+      | Some (Sig.V_mov_rr (d, _))
+      | Some (Sig.V_alu (_, d, _, _))
+      | Some (Sig.V_neg d)
+      | Some (Sig.V_rsb (d, _, _))
+      | Some (Sig.V_pop d) ->
+          [ d ]
+      | _ -> [])
+
+(* General registers an instruction may read. *)
+let reads (i : MC.instr) : MC.reg list =
+  match i with
+  | MC.Load_class_index (_, s)
+  | MC.Load_class_object (_, s)
+  | MC.Load_num_slots (_, s)
+  | MC.Load_indexable_size (_, s)
+  | MC.Load_fixed_size (_, s)
+  | MC.Load_format (_, s)
+  | MC.Unbox_float (_, s)
+  | MC.Cvt_int_float (_, s)
+  | MC.Identity_hash (_, s)
+  | MC.Shallow_copy_op (_, s)
+  | MC.Make_char_op (_, s)
+  | MC.Char_value_op (_, s)
+  | MC.Float_from_bits32 (_, s)
+  | MC.Store_temp (_, s)
+  | MC.Spill_store (_, s) ->
+      [ s ]
+  | MC.Load_slot (_, b, ix) | MC.Load_byte (_, b, ix) ->
+      b :: operand_reads ix
+  | MC.Store_slot (b, ix, s) | MC.Store_byte (b, ix, s) ->
+      (b :: operand_reads ix) @ [ s ]
+  | MC.Alloc (_, _, size) | MC.Alloc_flex (_, size) -> operand_reads size
+  | MC.Make_point_op (_, x, y) -> [ x; y ]
+  | MC.Float_from_bits64 (_, hi, lo) -> [ hi; lo ]
+  | _ -> (
+      match view_of i with
+      | Some (Sig.V_mov_rr (_, s)) -> [ s ]
+      | Some (Sig.V_alu (_, _, a, b)) -> a :: operand_reads b
+      | Some (Sig.V_neg r) -> [ r ]
+      | Some (Sig.V_rsb (_, rn, _)) -> [ rn ]
+      | Some (Sig.V_cmp (r, o)) -> r :: operand_reads o
+      | Some (Sig.V_test_tag r) -> [ r ]
+      | Some (Sig.V_push o) -> operand_reads o
+      | _ -> [])

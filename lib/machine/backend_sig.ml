@@ -1,0 +1,88 @@
+(* The first-class back-end signature.
+
+   A back-end bundles everything that is ISA-specific about one machine
+   style: the register file and calling convention, the addressing
+   modes its encoders accept, the shape of its ALU (two-address
+   destructive vs three-address), its condition-code discipline and the
+   scratch/trampoline convention.  The IR lowering
+   ({!Jit.Codegen.Make}) is a functor over this signature, and the
+   static machine-code passes ({!Verify.Abstract_mc},
+   {!Verify.Machine_lint}, {!Verify.Symexec_mc}) consume instructions
+   exclusively through {!type:view}, the decoded ISA-neutral form — so
+   adding a third ISA means writing one new instance of {!module-type:S}
+   and nothing else.
+
+   Decoding is the inverse of encoding: [decode] recognises exactly the
+   instructions this back-end's encoders emit (plus the simulator's
+   extra style-specific ops such as negate) and maps them onto the
+   shared view; it returns [None] for the other style's instructions
+   and for the ISA-neutral pseudo-ops, which every pass handles
+   directly. *)
+
+module MC = Machine_code
+
+(* The ISA-neutral view of one back-end-specific instruction.  ALU
+   operations are normalised to three-address form ([V_alu (op, dst, a,
+   b)] meaning [dst := a op b], setting result flags); a two-address
+   ISA decodes [dst := dst op b] with [a = dst]. *)
+type view =
+  | V_mov_ri of MC.reg * int
+  | V_mov_rr of MC.reg * MC.reg
+  | V_alu of MC.alu * MC.reg * MC.reg * MC.operand
+      (** [dst := a op b]; sets result flags *)
+  | V_neg of MC.reg  (** [r := -r]; sets result flags *)
+  | V_rsb of MC.reg * MC.reg * int
+      (** [rd := imm - rn] (reverse subtract); sets result flags *)
+  | V_cmp of MC.reg * MC.operand  (** sets compare flags *)
+  | V_test_tag of MC.reg  (** flags.eq := (low bit = 1) *)
+  | V_jcc of MC.cond * string
+  | V_jmp of string
+  | V_push of MC.operand
+  | V_pop of MC.reg
+
+module type S = sig
+  val name : string
+
+  (* --- register file and calling convention --- *)
+
+  val num_regs : int
+  val receiver_reg : MC.reg
+  val arg_regs : MC.reg list
+  val result_reg : MC.reg
+
+  val class_reg : MC.reg
+  (** materialisation scratch for class indices / format codes; also
+      the two-address ALU's aliasing save slot *)
+
+  val scratch_regs : MC.reg list
+  (** scratch 0 is the general materialisation scratch; scratches 1-2
+      are reserved for the extended receiver-variable byte-codes (the
+      seeded simulation-error accessors fire only on those) *)
+
+  val temp_base : MC.reg
+  (** first allocatable temporary; virtual register [v] lives in
+      [temp_base + v] *)
+
+  val reg_name : MC.reg -> string
+
+  (* --- encoders (addressing modes and ALU shape) --- *)
+
+  val mov_ri : MC.reg -> int -> MC.instr list
+  val mov_rr : MC.reg -> MC.reg -> MC.instr list
+
+  val alu : MC.alu -> dst:MC.reg -> a:MC.reg -> b:MC.operand -> MC.instr list
+  (** [dst := a op b]; must set flags like the simulator's ALU. *)
+
+  val cmp : MC.reg -> MC.operand -> MC.instr list
+  val test_tag : MC.reg -> MC.instr list
+  val jcc : MC.cond -> string -> MC.instr list
+  val jmp : string -> MC.instr list
+  val push : MC.operand -> MC.instr list
+  val pop : MC.reg -> MC.instr list
+
+  (* --- decoder --- *)
+
+  val decode : MC.instr -> view option
+  (** this back-end's style, back into the shared view; [None] for the
+      other style's instructions and the ISA-neutral pseudo-ops *)
+end

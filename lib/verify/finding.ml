@@ -10,6 +10,7 @@ type pass =
   | Ir_check (* dataflow checks over the cogit IR *)
   | Machine_lint (* reachability + accessor coverage on machine code *)
   | Frame_differ (* static cross-compiler frame-effect differencing *)
+  | Abstract_interp (* backend-generic abstract interpretation, machine code *)
 [@@deriving show { with_path = false }, eq, ord]
 
 let pass_name = function
@@ -17,6 +18,7 @@ let pass_name = function
   | Ir_check -> "ir"
   | Machine_lint -> "machine"
   | Frame_differ -> "differ"
+  | Abstract_interp -> "abstract"
 
 (* The defect family a finding predicts.  Mirrors
    [Difftest.Difference.family] minus the interpreter-side family (an

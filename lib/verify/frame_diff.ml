@@ -563,3 +563,76 @@ let differ_native ~defects (id : int) : Finding.t list =
       dedupe_findings
         (scan_events ~subject ~compiler:"native" ~ctx:(Native_ctx id) code
            states)
+
+(* --- static cross-ISA differencing ---
+
+   The same front-end IR lowered to two back-ends must exhibit the same
+   per-path frame effect: the abstract machine-code summaries
+   ({!Abstract_mc.summarize}) of every ISA pair are aligned through the
+   shared {!path_exit} shapes, with no per-ISA knowledge — the
+   summaries already speak the backend-neutral exit language. *)
+
+let path_exit_of_aexit : Abstract_mc.aexit -> path_exit = function
+  | Abstract_mc.A_return -> P_return
+  | Abstract_mc.A_stop m -> P_stop m
+  | Abstract_mc.A_send (sel, n) -> P_send (sel, n)
+  | Abstract_mc.A_segfault -> P_fault
+  | Abstract_mc.A_falloff -> P_fault
+  | Abstract_mc.A_undefined l -> P_other ("undefined label " ^ l)
+
+let differ_arches ~subject ~compiler
+    (summaries : (string * Abstract_mc.summary) list) : Finding.t list =
+  let summaries =
+    List.filter (fun (_, s) -> not s.Abstract_mc.atruncated) summaries
+  in
+  match summaries with
+  | [] | [ _ ] -> []
+  | (arch0, s0) :: rest ->
+      let exits (s : Abstract_mc.summary) =
+        List.sort_uniq compare
+          (List.map
+             (fun (p : Abstract_mc.apath) ->
+               path_exit_to_string (path_exit_of_aexit p.Abstract_mc.aexit))
+             s.Abstract_mc.apaths)
+      in
+      let stop0_depths (s : Abstract_mc.summary) =
+        List.sort_uniq compare
+          (List.filter_map
+             (fun (p : Abstract_mc.apath) ->
+               match path_exit_of_aexit p.Abstract_mc.aexit with
+               | P_stop 0 -> Some p.Abstract_mc.depth
+               | _ -> None)
+             s.Abstract_mc.apaths)
+      in
+      let e0 = exits s0 and d0 = stop0_depths s0 in
+      let findings = ref [] in
+      List.iter
+        (fun (arch, s) ->
+          let e = exits s in
+          if e <> e0 then
+            findings :=
+              Finding.v ~pass:Finding.Abstract_interp ~subject ~compiler ~arch
+                ~family:Finding.Behavioural_difference
+                ~cause:"cross-isa-exit-disagreement"
+                (Printf.sprintf "%s exits via {%s} where %s exits via {%s}"
+                   arch
+                   (String.concat ", " e)
+                   arch0
+                   (String.concat ", " e0))
+              :: !findings;
+          let d = stop0_depths s in
+          if d <> d0 then
+            findings :=
+              Finding.v ~pass:Finding.Abstract_interp ~subject ~compiler ~arch
+                ~family:Finding.Behavioural_difference
+                ~cause:"cross-isa-stack-effect-disagreement"
+                (Printf.sprintf
+                   "%s success paths leave stack depths [%s] where %s leaves \
+                    [%s]"
+                   arch
+                   (String.concat "; " (List.map string_of_int d))
+                   arch0
+                   (String.concat "; " (List.map string_of_int d0)))
+              :: !findings)
+        rest;
+      dedupe_findings (List.rev !findings)

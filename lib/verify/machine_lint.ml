@@ -1,7 +1,8 @@
-(* Pass 3: the machine-code lint.
+(* Pass 3: the machine-code lint — a client of the backend-generic
+   abstract interpreter ({!Abstract_mc}).
 
-   Static checks over lowered [Machine.Machine_code] programs, for both
-   ISA styles:
+   Static checks over lowered [Machine.Machine_code] programs, for any
+   back-end behind {!Machine.Backend_sig}:
    - label hygiene and branch-target resolution;
    - sentinel reachability: some exit instruction (return, breakpoint,
      trampoline call) must be reachable, and control must not run off
@@ -15,7 +16,11 @@
      [Register_accessors] table must provide the accessor the handler
      needs.  This statically catches the seeded simulation-error
      defects without executing a single instruction;
-   - statically out-of-range frame-temp and spill-slot indices. *)
+   - statically out-of-range frame-temp and spill-slot indices.
+
+   Reachability, branch-target resolution and end-falloff all come from
+   {!Abstract_mc.reach}; ISA specifics are confined to the back-end
+   instances, so no [X_*]/[A_*] constructor appears here. *)
 
 module MC = Machine.Machine_code
 
@@ -46,50 +51,26 @@ let lint ~accessor_gaps ~subject ~compiler ~arch (p : MC.program) :
           else Hashtbl.replace seen l ()
       | _ -> ())
     p;
-  let labels = MC.label_map p in
-  let target i l =
-    match Hashtbl.find_opt labels l with
-    | Some t -> Some t
-    | None ->
-        add ("undef-" ^ l) Finding.Structural "undefined-branch-target"
-          (Printf.sprintf "%s branches to undefined label %S" (quote i) l);
-        None
-  in
-  (* reachability from entry *)
-  let reachable = Array.make (max n 1) false in
-  let work = Queue.create () in
-  let push ~from i =
-    if i >= n then
-      add "falloff" Finding.Structural "control-runs-off-the-end"
-        (Printf.sprintf "control falls through past the last instruction \
-                         (%s); the simulator would fault" (quote from))
-    else if not reachable.(i) then begin
-      reachable.(i) <- true;
-      Queue.add i work
-    end
-  in
-  if n > 0 then begin
-    reachable.(0) <- true;
-    Queue.add 0 work
-  end;
-  while not (Queue.is_empty work) do
-    let i = Queue.pop work in
-    match p.(i) with
-    | MC.Ret | MC.Brk _ | MC.Call_trampoline _ -> ()
-    | MC.X_jmp l | MC.A_b (None, l) -> (
-        match target i l with Some t -> push ~from:i t | None -> ())
-    | MC.X_jcc (_, l) | MC.A_b (Some _, l) ->
-        (match target i l with Some t -> push ~from:i t | None -> ());
-        push ~from:i (i + 1)
-    | _ -> push ~from:i (i + 1)
-  done;
+  (* reachability from entry, with the branch-resolution events in the
+     interpreter's discovery order *)
+  let r = Abstract_mc.reach p in
+  let reachable = r.Abstract_mc.reachable in
+  List.iter
+    (function
+      | Abstract_mc.Ev_undefined_label (i, l) ->
+          add ("undef-" ^ l) Finding.Structural "undefined-branch-target"
+            (Printf.sprintf "%s branches to undefined label %S" (quote i) l)
+      | Abstract_mc.Ev_falloff from ->
+          add "falloff" Finding.Structural "control-runs-off-the-end"
+            (Printf.sprintf "control falls through past the last instruction \
+                             (%s); the simulator would fault" (quote from)))
+    r.Abstract_mc.events;
   (* some sentinel exit must be reachable *)
   let sentinel = ref false in
   Array.iteri
     (fun i instr ->
-      match instr with
-      | (MC.Ret | MC.Brk _ | MC.Call_trampoline _) when reachable.(i) ->
-          sentinel := true
+      match Machine.Backend.control_of instr with
+      | Machine.Backend.C_exit _ when reachable.(i) -> sentinel := true
       | _ -> ())
     p;
   if n > 0 && not !sentinel then

@@ -21,6 +21,7 @@
 
 module Sym = Symbolic.Sym_expr
 module MC = Machine.Machine_code
+module BV = Machine.Backend_sig
 
 (* A symbolic machine word.  The same register holds a tagged oop or a
    raw untagged integer at different program points (mid-sequence
@@ -862,49 +863,41 @@ let execute ?(budget = default_budget) ~accessor_gaps
     | MC.Spill_load (dst, slot) ->
         if slot < 0 || slot >= MC.num_spill_slots then trap_load st dst
         else next (set_reg st dst st.spills.(slot))
-    (* --- x86 style --- *)
-    | MC.X_mov_ri (r, v) -> next (set_reg st r (imm v))
-    | MC.X_mov_rr (d, s) -> next (set_reg st d st.regs.(s))
-    | MC.X_alu (op, d, s) -> alu_flags st op d st.regs.(d) (operand st s)
-    | MC.X_neg r -> (
-        match int_term st.regs.(r) with
-        | Some t ->
-            let w = W_int (Sym.Neg t) in
-            next { (set_reg st r w) with flags = FL_result w }
-        | None -> finish st (M_stuck "negation outside the tracked fragment"))
-    | MC.X_cmp (r, o) ->
-        next { st with flags = FL_cmp (st.regs.(r), operand st o) }
-    | MC.X_test_tag r -> next { st with flags = FL_tag st.regs.(r) }
-    | MC.X_jcc (c, l) -> branch st c l
-    | MC.X_jmp l -> jump st l
-    | MC.X_push o -> next { st with stack = operand st o :: st.stack }
-    | MC.X_pop r -> (
-        match st.stack with
-        | w :: rest -> next { (set_reg st r w) with stack = rest }
-        | [] -> finish st M_segfault)
-    (* --- ARM32 style --- *)
-    | MC.A_mov_i (r, v) -> next (set_reg st r (imm v))
-    | MC.A_mov (d, s) -> next (set_reg st d st.regs.(s))
-    | MC.A_alu (op, rd, rn, rm) ->
-        alu_flags st op rd st.regs.(rn) (operand st rm)
-    | MC.A_rsb (rd, rn, i) -> (
-        match int_term st.regs.(rn) with
-        | Some t ->
-            let w = W_int (Sym.Sub (Sym.Int_const i, t)) in
-            next { (set_reg st rd w) with flags = FL_result w }
-        | None ->
-            finish st (M_stuck "reverse subtract outside the tracked fragment")
-        )
-    | MC.A_cmp (r, o) ->
-        next { st with flags = FL_cmp (st.regs.(r), operand st o) }
-    | MC.A_tst_tag r -> next { st with flags = FL_tag st.regs.(r) }
-    | MC.A_b (None, l) -> jump st l
-    | MC.A_b (Some c, l) -> branch st c l
-    | MC.A_push o -> next { st with stack = operand st o :: st.stack }
-    | MC.A_pop r -> (
-        match st.stack with
-        | w :: rest -> next { (set_reg st r w) with stack = rest }
-        | [] -> finish st M_segfault)
+    (* --- back-end styles, through the decoded ISA-neutral view: both
+       styles execute identically once normalised, so one set of arms
+       covers every {!Machine.Backend.t} --- *)
+    | instr -> (
+        match Machine.Backend.view_of instr with
+        | Some (BV.V_mov_ri (r, v)) -> next (set_reg st r (imm v))
+        | Some (BV.V_mov_rr (d, s)) -> next (set_reg st d st.regs.(s))
+        | Some (BV.V_alu (op, d, a, b)) ->
+            alu_flags st op d st.regs.(a) (operand st b)
+        | Some (BV.V_neg r) -> (
+            match int_term st.regs.(r) with
+            | Some t ->
+                let w = W_int (Sym.Neg t) in
+                next { (set_reg st r w) with flags = FL_result w }
+            | None ->
+                finish st (M_stuck "negation outside the tracked fragment"))
+        | Some (BV.V_rsb (rd, rn, i)) -> (
+            match int_term st.regs.(rn) with
+            | Some t ->
+                let w = W_int (Sym.Sub (Sym.Int_const i, t)) in
+                next { (set_reg st rd w) with flags = FL_result w }
+            | None ->
+                finish st
+                  (M_stuck "reverse subtract outside the tracked fragment"))
+        | Some (BV.V_cmp (r, o)) ->
+            next { st with flags = FL_cmp (st.regs.(r), operand st o) }
+        | Some (BV.V_test_tag r) -> next { st with flags = FL_tag st.regs.(r) }
+        | Some (BV.V_jcc (c, l)) -> branch st c l
+        | Some (BV.V_jmp l) -> jump st l
+        | Some (BV.V_push o) -> next { st with stack = operand st o :: st.stack }
+        | Some (BV.V_pop r) -> (
+            match st.stack with
+            | w :: rest -> next { (set_reg st r w) with stack = rest }
+            | [] -> finish st M_segfault)
+        | None -> finish st (M_stuck "undecoded back-end instruction"))
   in
   let regs = Array.make MC.num_regs (W_const 0) in
   List.iter (fun (r, w) -> regs.(r) <- w) init_regs;

@@ -1,6 +1,6 @@
 (* The static verifier suite.
 
-   Four zero-execution passes over the testing pipeline's artifacts:
+   Five zero-execution passes over the testing pipeline's artifacts:
 
    1. {!Bytecode_verifier} — abstract interpretation of byte-code
       (stack balance, branch targets, index bounds, dead code);
@@ -8,19 +8,25 @@
       single assignment before allocation, spill read-before-write,
       trampoline calling convention);
    3. {!Machine_lint} — reachability and register-accessor coverage on
-      lowered machine code, both ISA styles;
-   4. {!Frame_diff} — static cross-compiler differencing of guard and
+      lowered machine code, any back-end behind {!Machine.Backend_sig};
+   4. {!Abstract_mc} — the backend-generic abstract interpreter:
+      IR-vs-machine consistency, scratch/liveness/flags domains,
+      frame-effect summaries cross-checked against {!Symexec_mc} and
+      differenced per ISA pair ({!Frame_diff.differ_arches});
+   5. {!Frame_diff} — static cross-compiler differencing of guard and
       frame-effect summaries.
 
-   [verify_bytecode_unit] / [verify_native_unit] bundle passes 1-3 for
-   one compilation unit; [Frame_diff.differ_*] is pass 4;
+   [verify_bytecode_unit] / [verify_native_unit] bundle passes 1-4 for
+   one compilation unit; [Frame_diff.differ_*] is pass 5;
    [verify_all] sweeps the whole test universe and aggregates a
-   {!type:report}. *)
+   {!type:report}; [abstract_all] sweeps the machine layer alone and
+   aggregates an {!type:abstract_report}. *)
 
 module Finding = Finding
 module Bytecode_verifier = Bytecode_verifier
 module Ir_verifier = Ir_verifier
 module Machine_lint = Machine_lint
+module Abstract_mc = Abstract_mc
 module Frame_diff = Frame_diff
 module Symexec_mc = Symexec_mc
 module Translation_validator = Translation_validator
@@ -55,6 +61,34 @@ let not_compiled_finding ~subject ~compiler cause msg =
       (Printf.sprintf "%s: %s" (Jit.Cogits.short_name compiler) msg);
   ]
 
+(* Passes 3-4 on the lowered machine code of one unit: the lint and the
+   abstract interpreter's IR-vs-machine consistency checks per arch,
+   plus the static cross-ISA frame differ when several arches are
+   lowered. *)
+let machine_passes ~defects ~subject ~short ~arches ~lower final =
+  let accessor_gaps = defects.Interpreter.Defects.simulation_accessor_gaps in
+  let progs = List.map (fun arch -> (arch, lower arch)) arches in
+  let per_arch =
+    List.concat_map
+      (fun (arch, prog) ->
+        Machine_lint.lint ~accessor_gaps ~subject ~compiler:short
+          ~arch:(arch_name arch) prog
+        @ Abstract_mc.check_unit ~subject ~compiler:short
+            ~arch:(arch_name arch)
+            ~backend:(Jit.Codegen.backend_of arch)
+            ~ir:final prog)
+      progs
+  in
+  let cross =
+    if List.length progs < 2 then []
+    else
+      Frame_diff.differ_arches ~subject ~compiler:short
+        (List.map
+           (fun (arch, prog) -> (arch_name arch, Abstract_mc.summarize prog))
+           progs)
+  in
+  per_arch @ cross
+
 (* Passes 1-3 for one byte-code compilation unit. *)
 let verify_bytecode_unit ~defects ~compiler
     ?(arches = Jit.Codegen.all_arches) ?(literals = default_literals)
@@ -86,17 +120,13 @@ let verify_bytecode_unit ~defects ~compiler
             final
       in
       let machine_findings =
-        List.concat_map
-          (fun arch ->
-            Machine_lint.lint
-              ~accessor_gaps:defects.Interpreter.Defects.simulation_accessor_gaps
-              ~subject ~compiler:short ~arch:(arch_name arch)
-              (Jit.Cogits.lower_for compiler ~arch final))
-          arches
+        machine_passes ~defects ~subject ~short ~arches
+          ~lower:(fun arch -> Jit.Cogits.lower_for compiler ~arch final)
+          final
       in
       bytecode_findings @ ir_findings @ machine_findings
 
-(* Passes 1-3 for a byte-code sequence unit. *)
+(* Passes 1-4 for a byte-code sequence unit. *)
 let verify_sequence_unit ~defects ~compiler
     ?(arches = Jit.Codegen.all_arches) ?(literals = default_literals)
     ?(stack_setup = []) (ops : Op.t list) : Finding.t list =
@@ -121,17 +151,13 @@ let verify_sequence_unit ~defects ~compiler
           final
       in
       let machine_findings =
-        List.concat_map
-          (fun arch ->
-            Machine_lint.lint
-              ~accessor_gaps:defects.Interpreter.Defects.simulation_accessor_gaps
-              ~subject ~compiler:short ~arch:(arch_name arch)
-              (Jit.Cogits.lower_for compiler ~arch final))
-          arches
+        machine_passes ~defects ~subject ~short ~arches
+          ~lower:(fun arch -> Jit.Cogits.lower_for compiler ~arch final)
+          final
       in
       bytecode_findings @ ir_findings @ machine_findings
 
-(* Passes 2-3 for one native-method unit. *)
+(* Passes 2-4 for one native-method unit. *)
 let verify_native_unit ~defects ?(arches = Jit.Codegen.all_arches) (id : int)
     : Finding.t list =
   let subject = Interpreter.Primitive_table.name id in
@@ -149,18 +175,14 @@ let verify_native_unit ~defects ?(arches = Jit.Codegen.all_arches) (id : int)
           ~reg_limit:Ir.max_direct_vreg final
       in
       let machine_findings =
-        List.concat_map
-          (fun arch ->
-            Machine_lint.lint
-              ~accessor_gaps:defects.Interpreter.Defects.simulation_accessor_gaps
-              ~subject ~compiler:"native" ~arch:(arch_name arch)
-              (Jit.Cogits.lower_for Jit.Cogits.Native_method_compiler ~arch
-                 final))
-          arches
+        machine_passes ~defects ~subject ~short:"native" ~arches
+          ~lower:(fun arch ->
+            Jit.Cogits.lower_for Jit.Cogits.Native_method_compiler ~arch final)
+          final
       in
       ir_findings @ machine_findings
 
-(* Pass 4, with canonical unit parameters. *)
+(* Pass 5, with canonical unit parameters. *)
 let differ_bytecode ~defects ?(literals = default_literals) ?stack_setup
     (op : Op.t) : Finding.t list =
   let stack_setup =
@@ -225,6 +247,126 @@ let causes (r : report) : (Finding.family * string * int) list =
       Hashtbl.replace tbl key
         (1 + Option.value (Hashtbl.find_opt tbl key) ~default:0))
     r.findings;
+  Hashtbl.fold (fun (family, cause) n acc -> (family, cause, n) :: acc) tbl []
+  |> List.sort compare
+
+(* --- machine-layer sweep of the abstract interpreter alone ---
+
+   What [vmtest verify --abstract] and [bench verify] run: per unit and
+   per arch, the lint (itself a client of the fixpoint's reachability),
+   the fixpoint-based consistency checks, the abstract frame-effect
+   summary, the symbolic cross-check, and the cross-ISA differ — no
+   byte-code/IR passes, so the counters isolate the machine layer. *)
+
+type abstract_report = {
+  ab_defects : Interpreter.Defects.t;
+  ab_units : int; (* compilation units swept *)
+  ab_programs : int; (* lowered programs interpreted (units x arches) *)
+  ab_paths : int; (* abstract paths enumerated *)
+  ab_truncated : int; (* programs whose enumeration hit the budget *)
+  ab_crosschecked : int; (* programs cross-checked against Symexec_mc *)
+  ab_findings : Finding.t list;
+}
+
+let abstract_all ?(defects = Interpreter.Defects.paper)
+    ?(arches = Jit.Codegen.all_arches) ?(crosscheck = true) () :
+    abstract_report =
+  let accessor_gaps = defects.Interpreter.Defects.simulation_accessor_gaps in
+  let units = ref 0
+  and programs = ref 0
+  and paths = ref 0
+  and truncated = ref 0
+  and crosschecked = ref 0 in
+  let findings = ref [] in
+  let run ~subject ~short ~lower final =
+    incr units;
+    let triples =
+      List.map
+        (fun arch ->
+          let prog = lower arch in
+          incr programs;
+          let s = Abstract_mc.summarize prog in
+          paths := !paths + List.length s.Abstract_mc.apaths;
+          if s.Abstract_mc.atruncated then incr truncated;
+          (arch, prog, s))
+        arches
+    in
+    let per_arch =
+      List.concat_map
+        (fun (arch, prog, s) ->
+          let an = arch_name arch in
+          let checks =
+            Machine_lint.lint ~accessor_gaps ~subject ~compiler:short ~arch:an
+              prog
+            @ Abstract_mc.check_unit ~subject ~compiler:short ~arch:an
+                ~backend:(Jit.Codegen.backend_of arch) ~ir:final prog
+          in
+          let cross =
+            if crosscheck then begin
+              incr crosschecked;
+              Abstract_mc.crosscheck ~subject ~compiler:short ~arch:an
+                ~accessor_gaps prog s
+            end
+            else []
+          in
+          checks @ cross)
+        triples
+    in
+    let differ =
+      Frame_diff.differ_arches ~subject ~compiler:short
+        (List.map (fun (arch, _, s) -> (arch_name arch, s)) triples)
+    in
+    findings := !findings @ per_arch @ differ
+  in
+  List.iter
+    (fun op ->
+      let subject = Op.mnemonic op in
+      let stack_setup = default_stack_setup op in
+      List.iter
+        (fun compiler ->
+          match
+            Jit.Cogits.compile_bytecode compiler ~defects
+              ~literals:default_literals ~stack_setup op
+          with
+          | exception Jit.Cogits.Not_compiled _ -> ()
+          | final ->
+              run ~subject ~short:(Jit.Cogits.short_name compiler)
+                ~lower:(fun arch -> Jit.Cogits.lower_for compiler ~arch final)
+                final)
+        Jit.Cogits.bytecode_compilers)
+    (bytecode_universe ());
+  List.iter
+    (fun id ->
+      match Jit.Cogits.compile_native ~defects id with
+      | exception Jit.Cogits.Not_compiled _ -> ()
+      | final ->
+          run
+            ~subject:(Interpreter.Primitive_table.name id)
+            ~short:"native"
+            ~lower:(fun arch ->
+              Jit.Cogits.lower_for Jit.Cogits.Native_method_compiler ~arch
+                final)
+            final)
+    Interpreter.Primitive_table.ids;
+  {
+    ab_defects = defects;
+    ab_units = !units;
+    ab_programs = !programs;
+    ab_paths = !paths;
+    ab_truncated = !truncated;
+    ab_crosschecked = !crosschecked;
+    ab_findings = !findings;
+  }
+
+let abstract_causes (r : abstract_report) :
+    (Finding.family * string * int) list =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Finding.t) ->
+      let key = (f.family, f.cause) in
+      Hashtbl.replace tbl key
+        (1 + Option.value (Hashtbl.find_opt tbl key) ~default:0))
+    r.ab_findings;
   Hashtbl.fold (fun (family, cause) n acc -> (family, cause, n) :: acc) tbl []
   |> List.sort compare
 

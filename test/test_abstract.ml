@@ -1,0 +1,229 @@
+(* The backend-generic abstract interpreter (lib/verify/abstract_mc)
+   and its clients:
+
+   - the pristine machine-layer sweep is clean (zero false positives)
+     and fully cross-checked against the symbolic executor;
+   - the seeded sweep flags both accessor-gap families statically;
+   - every mc- machine-layer mutation operator is killed by the
+     static oracle alone, before validation or differential testing;
+   - qcheck soundness: the abstract frame-effect summary of a lowered
+     program over-approximates every concrete CPU-simulator run — the
+     concrete exit kind and operand-stack depth always appear among the
+     abstract paths, on both ISAs;
+   - qcheck agreement: on pristine units the abstract summary covers
+     every symbolic path summary ([Abstract_mc.crosscheck] is silent);
+   - the static cross-ISA frame differ accepts agreeing lowerings and
+     flags a planted exit-marker divergence. *)
+
+module MC = Machine.Machine_code
+module Campaign = Ijdt_core.Campaign
+module EC = Interpreter.Exit_condition
+module Fault = Jit.Fault
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let pristine = Interpreter.Defects.pristine
+
+(* --- sweeps --- *)
+
+let test_pristine_sweep_clean () =
+  let r = Verify.abstract_all ~defects:pristine () in
+  check_bool "swept the whole universe" true (r.ab_units > 600);
+  check_int "both ISAs per unit" (2 * r.ab_units) r.ab_programs;
+  check_int "no truncated enumerations" 0 r.ab_truncated;
+  check_int "every program cross-checked" r.ab_programs r.ab_crosschecked;
+  check_int "zero pristine findings" 0 (List.length r.ab_findings)
+
+let test_seeded_sweep_flags_accessor_gaps () =
+  let r = Verify.abstract_all ~defects:Interpreter.Defects.paper () in
+  let causes =
+    List.map (fun (_, cause, _) -> cause) (Verify.abstract_causes r)
+  in
+  check_bool "missing getter flagged" true
+    (List.mem "missing reflective getter for rScr1" causes);
+  check_bool "missing setter flagged" true
+    (List.mem "missing reflective setter for rScr2" causes);
+  List.iter
+    (fun (f : Verify.Finding.t) ->
+      check_bool "only the seeded simulation-error family" true
+        (f.family = Verify.Finding.Simulation_error))
+    r.ab_findings
+
+(* --- static attribution of the machine-layer mutants ---
+
+   Reuses the shared kill matrix from the mutation tests; the abstract
+   pass runs inside the static oracle snapshot, so an mc-* mutant that
+   fires must already be dead before validation or execution. *)
+
+let test_mc_mutants_killed_statically () =
+  let m = Lazy.force Test_mutate.matrix in
+  let mc =
+    List.filter
+      (fun (o : Campaign.mutant_outcome) ->
+        String.length o.mo_op.Fault.id >= 3
+        && String.sub o.mo_op.Fault.id 0 3 = "mc-")
+      m.km_outcomes
+  in
+  check_bool "machine-layer mutants scheduled" true (List.length mc >= 5);
+  List.iter
+    (fun (o : Campaign.mutant_outcome) ->
+      if o.mo_fired then
+        check_bool
+          (Printf.sprintf "%s killed statically on %s/%s"
+             o.mo_op.Fault.id
+             (Concolic.Path.subject_name o.mo_subject)
+             (Jit.Codegen.arch_name o.mo_arch))
+          true
+          (o.mo_kill = Campaign.Killed_static))
+    mc
+
+(* --- campaign aggregation --- *)
+
+let test_static_pass_counts_partition () =
+  let c = Lazy.force Test_campaign.campaign in
+  let counts = Campaign.static_pass_counts c in
+  let known = [ "abstract"; "bytecode"; "differ"; "ir"; "machine" ] in
+  List.iter
+    (fun (pass, n) ->
+      check_bool ("known pass " ^ pass) true (List.mem pass known);
+      check_bool (pass ^ " counts something") true (n > 0))
+    counts;
+  check_int "counts partition the findings"
+    (List.length (Campaign.all_static_findings c))
+    (List.fold_left (fun acc (_, n) -> acc + n) 0 counts)
+
+(* --- qcheck: abstract summaries over-approximate the CPU --- *)
+
+let compile_seq ops =
+  Jit.Cogits.compile_sequence Jit.Cogits.Stack_to_register_cogit
+    ~defects:pristine ~literals:Verify.default_literals ~stack_setup:[] ops
+
+let lower_seq ~arch final =
+  Jit.Cogits.lower_for Jit.Cogits.Stack_to_register_cogit ~arch final
+
+(* Run one lowered program on the concrete CPU simulator and check its
+   exit against the abstract summary.  Segfault and fuel exhaustion stay
+   unclaimed: the summary tracks structural exits, not data-dependent
+   traps. *)
+let cpu_covered (s : Verify.Abstract_mc.summary) (p : MC.program) : bool =
+  let om = Vm_objects.Object_memory.create () in
+  let cpu = Machine.Cpu.create ~accessor_gaps:false om in
+  Machine.Cpu.set_reg cpu MC.r_receiver
+    (Vm_objects.Value.of_small_int 7 :> int);
+  let status = Machine.Cpu.run cpu p in
+  let depth = List.length (Machine.Cpu.stack_words cpu) in
+  let claim aexit =
+    List.exists
+      (fun (a : Verify.Abstract_mc.apath) ->
+        a.aexit = aexit && a.depth = depth)
+      s.apaths
+  in
+  match status with
+  | Machine.Cpu.Returned _ -> claim Verify.Abstract_mc.A_return
+  | Machine.Cpu.Stopped m -> claim (Verify.Abstract_mc.A_stop m)
+  | Machine.Cpu.Called_trampoline info ->
+      claim
+        (Verify.Abstract_mc.A_send
+           (EC.selector_name info.selector, info.num_args))
+  | Machine.Cpu.Segfault | Machine.Cpu.Out_of_fuel -> true
+
+let qcheck_summary_covers_cpu =
+  QCheck.Test.make
+    ~name:"qcheck: abstract summary over-approximates the CPU" ~count:150
+    (QCheck.make Mutate.Gen_method.gen_seq)
+    (fun ops ->
+      match compile_seq ops with
+      | exception Jit.Cogits.Not_compiled _ -> true
+      | final ->
+          List.for_all
+            (fun arch ->
+              let p = lower_seq ~arch final in
+              let s = Verify.Abstract_mc.summarize p in
+              s.atruncated || cpu_covered s p)
+            Jit.Codegen.all_arches)
+
+let qcheck_summary_agrees_with_symexec =
+  QCheck.Test.make
+    ~name:"qcheck: abstract summary covers every symbolic path" ~count:150
+    (QCheck.make Mutate.Gen_method.gen_seq)
+    (fun ops ->
+      match compile_seq ops with
+      | exception Jit.Cogits.Not_compiled _ -> true
+      | final ->
+          List.for_all
+            (fun arch ->
+              let p = lower_seq ~arch final in
+              let s = Verify.Abstract_mc.summarize p in
+              Verify.Abstract_mc.crosscheck ~subject:"gen" ~compiler:"s2r"
+                ~arch:(Jit.Codegen.arch_name arch)
+                ~accessor_gaps:false p s
+              = [])
+            Jit.Codegen.all_arches)
+
+(* --- the static cross-ISA differ --- *)
+
+let seq_summaries () =
+  let final =
+    compile_seq
+      [
+        Bytecodes.Opcode.Push_one;
+        Bytecodes.Opcode.Push_two;
+        Bytecodes.Opcode.Arith_special Bytecodes.Opcode.Sel_add;
+      ]
+  in
+  List.map
+    (fun arch ->
+      ( Jit.Codegen.arch_name arch,
+        lower_seq ~arch final,
+        Verify.Abstract_mc.summarize (lower_seq ~arch final) ))
+    Jit.Codegen.all_arches
+
+let test_cross_isa_differ_accepts_agreeing_lowerings () =
+  let summaries =
+    List.map (fun (an, _, s) -> (an, s)) (seq_summaries ())
+  in
+  check_int "no cross-ISA findings" 0
+    (List.length
+       (Verify.Frame_diff.differ_arches ~subject:"add-seq" ~compiler:"s2r"
+          summaries))
+
+let test_cross_isa_differ_flags_exit_divergence () =
+  match seq_summaries () with
+  | [] | [ _ ] -> Alcotest.fail "need two ISAs"
+  | (an0, _, s0) :: (an1, p1, _) :: _ ->
+      let p1' =
+        match
+          MC.rewrite_first
+            (function MC.Brk m -> Some (MC.Brk (m + 1)) | _ -> None)
+            p1
+        with
+        | Some p -> p
+        | None -> Alcotest.fail "no stop marker to perturb"
+      in
+      let findings =
+        Verify.Frame_diff.differ_arches ~subject:"add-seq" ~compiler:"s2r"
+          [ (an0, s0); (an1, Verify.Abstract_mc.summarize p1') ]
+      in
+      check_bool "exit divergence flagged" true
+        (List.exists
+           (fun (f : Verify.Finding.t) ->
+             f.cause = "cross-isa-exit-disagreement" && f.arch = an1)
+           findings)
+
+let suite =
+  [
+    Alcotest.test_case "pristine abstract sweep is clean" `Slow
+      test_pristine_sweep_clean;
+    Alcotest.test_case "seeded sweep flags accessor gaps" `Slow
+      test_seeded_sweep_flags_accessor_gaps;
+    Alcotest.test_case "mc-* mutants die statically" `Slow
+      test_mc_mutants_killed_statically;
+    Alcotest.test_case "pass counts partition static findings" `Slow
+      test_static_pass_counts_partition;
+    QCheck_alcotest.to_alcotest qcheck_summary_covers_cpu;
+    QCheck_alcotest.to_alcotest qcheck_summary_agrees_with_symexec;
+    Alcotest.test_case "cross-ISA differ accepts agreement" `Quick
+      test_cross_isa_differ_accepts_agreeing_lowerings;
+    Alcotest.test_case "cross-ISA differ flags exit divergence" `Quick
+      test_cross_isa_differ_flags_exit_divergence;
+  ]

@@ -125,6 +125,59 @@ let test_lint_family_roundtrip () =
   check_str "spill load" "mov rScr0, [sp + 8]"
     (Machine.Disasm.instr (MC.Spill_load (MC.r_scratch0, 1)))
 
+let test_backend_encoders_roundtrip () =
+  (* every instruction a backend-signature encoder ([Machine.Backend])
+     can emit disassembles non-emptily, decodes back to a view through
+     its own backend, and decodes through no other backend — the
+     encode/decode round-trip PR 1's lint-family test gives the shared
+     pseudo-ops, extended to the ISA-specific instances *)
+  let module B = Machine.Backend in
+  let emissions (module BE : Machine.Backend_sig.S) =
+    List.concat
+      [
+        BE.mov_ri 8 42;
+        BE.mov_rr 8 9;
+        BE.alu MC.Add ~dst:8 ~a:9 ~b:(MC.R 10);
+        BE.alu MC.Sub ~dst:8 ~a:8 ~b:(MC.I 1);
+        (* the aliasing corner a two-address ISA must spill around *)
+        BE.alu MC.Add ~dst:8 ~a:9 ~b:(MC.R 8);
+        BE.cmp 8 (MC.I 5);
+        BE.test_tag 8;
+        BE.jcc MC.Ne "out";
+        BE.jmp "out";
+        BE.push (MC.I 7);
+        BE.pop 8;
+      ]
+  in
+  List.iter
+    (fun backend ->
+      let name = B.name backend in
+      let foreign =
+        List.filter (fun b -> B.name b <> name) B.all
+      in
+      List.iter
+        (fun instr ->
+          let text = Machine.Disasm.instr instr in
+          check_bool
+            (Printf.sprintf "%s: %s renders" name text)
+            true
+            (String.length text > 0);
+          check_bool
+            (Printf.sprintf "%s: %s decodes through its own backend" name
+               text)
+            true
+            (B.decode backend instr <> None);
+          List.iter
+            (fun other ->
+              check_bool
+                (Printf.sprintf "%s: %s opaque to %s" name text
+                   (B.name other))
+                true
+                (B.decode other instr = None))
+            foreign)
+        (emissions backend))
+    B.all
+
 let test_isa_styles_disjoint () =
   (* an x86 listing contains no ARM-style mnemonics and vice versa *)
   let literals = Array.init 16 (fun i -> Jit.Ir.tagged_int (101 + i)) in
@@ -153,4 +206,6 @@ let suite =
     Alcotest.test_case "ISA styles disjoint" `Quick test_isa_styles_disjoint;
     Alcotest.test_case "lint opcode families roundtrip" `Quick
       test_lint_family_roundtrip;
+    Alcotest.test_case "backend encoders roundtrip" `Quick
+      test_backend_encoders_roundtrip;
   ]

@@ -28,4 +28,5 @@ let () =
       ("tables", Test_tables.suite);
       ("facade", Test_facade.suite);
       ("mutate", Test_mutate.suite);
+      ("abstract", Test_abstract.suite);
     ]
