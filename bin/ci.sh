@@ -2,9 +2,10 @@
 # CI gate: full build, the test suite, the static-verification pristine
 # gate (any wrongness finding on the defect-free configuration is a
 # verifier false positive and fails the build), the machine-layer
-# abstract-interpretation gate (pristine must be clean; the seeded sweep
-# must flag both seeded accessor-gap families; counters land in
-# VERIFY_ci.json), then the
+# abstract-interpretation gate (pristine must be clean on all three
+# ISAs — x86, arm32 and the flagless rv32; the seeded sweep must flag
+# both seeded accessor-gap families; counters land in VERIFY_ci.json
+# with a per-ISA section each), then the
 # translation-validation pristine gate (any confirmed refutation on the
 # defect-free configuration, absent templates excepted, is a validator
 # false positive and fails the build).  The validation run writes a
@@ -41,7 +42,7 @@ dune build @all
 dune runtest
 dune exec bin/vmtest.exe -- verify --pristine
 dune exec bin/vmtest.exe -- verify --abstract --pristine > /dev/null
-echo "ci: abstract pristine gate passed (zero false positives)"
+echo "ci: abstract pristine gate passed (zero false positives, 3 ISAs)"
 dune exec bin/vmtest.exe -- verify --abstract --json VERIFY_ci.json > /dev/null
 python3 - <<'EOF'
 import json
@@ -49,16 +50,37 @@ v = json.load(open("VERIFY_ci.json"))
 assert v["units"] > 600, f"abstract sweep covered only {v['units']} units"
 assert v["truncated"] == 0, f"{v['truncated']} programs hit the path budget"
 assert v["crosschecked"] == v["programs"], "symexec cross-check incomplete"
+# per-ISA sections: each of the three ISAs must have lowered every unit
+isas = {s["arch"]: s for s in v["per_isa"]}
+assert set(isas) == {"x86", "arm32", "rv32"}, f"ISA sections: {set(isas)}"
+for name, s in isas.items():
+    assert s["programs"] == v["units"], \
+        f"{name}: lowered {s['programs']} of {v['units']} units"
+    assert s["truncated"] == 0, f"{name}: {s['truncated']} truncations"
+assert v["programs"] == 3 * v["units"], "unit matrix is not 3x"
 causes = {c["cause"] for c in v["causes"]}
 seeded = {"missing reflective getter for rScr1",
           "missing reflective setter for rScr2"}
 assert seeded <= causes, f"seeded families not flagged: {seeded - causes}"
-print(f"ci: abstract sweep: {v['units']} units, {v['programs']} programs, "
+print(f"ci: abstract sweep: {v['units']} units x {len(isas)} ISAs, "
+      f"{v['programs']} programs, "
       f"{v['findings']} findings over {len(causes)} causes")
 EOF
 echo "ci: abstract verification report at VERIFY_ci.json"
 dune exec bin/vmtest.exe -- validate --pristine -j "$CI_JOBS" \
   --budget "$CI_VALIDATE_BUDGET" --json "$CI_VALIDATE_REPORT" > /dev/null
+CI_VALIDATE_REPORT="$CI_VALIDATE_REPORT" python3 - <<'EOF'
+import json, os
+v = json.load(open(os.environ["CI_VALIDATE_REPORT"]))
+assert set(v["arches"]) == {"x86", "arm32", "rv32"}, \
+    f"validate gate ran on {v['arches']}, expected all three ISAs"
+for c in v["compilers"]:
+    covered = {p["arch"] for p in c["per_arch"]}
+    assert covered == set(v["arches"]), \
+        f"{c['compiler']}: validated only {covered}"
+print(f"ci: validation gate covered {len(v['arches'])} ISAs x "
+      f"{len(v['compilers'])} compilers")
+EOF
 echo "ci: validation report at $CI_VALIDATE_REPORT"
 dune exec bin/vmtest.exe -- mutate --pristine -j "$CI_JOBS" > /dev/null
 echo "ci: mutation pristine gate passed (zero false kills)"
@@ -71,7 +93,17 @@ bad = [r["label"] for r in m["by_operator"] if r["units"] == 0 or r["survived"] 
 assert not bad, f"operators never killed: {bad}"
 rate = m["totals"]["kill_rate"]
 assert rate >= 0.90, f"overall kill rate {rate:.2%} below 90%"
-print(f"ci: mutation smoke: {m['totals']['units']} mutants, kill rate {rate:.1%}")
+# the mc-* operators must exercise the flagless rv32 lowering, and
+# every fired rv32 machine-layer mutant must die statically
+mc_rv32 = [o for o in m["outcomes"]
+           if o["operator"].startswith("mc-") and o["arch"] == "rv32"]
+assert mc_rv32, "no mc-* mutants scheduled on rv32"
+alive = [o for o in mc_rv32 if o["fired"] and o["kill"] != "static"]
+assert not alive, f"fired rv32 mc-* mutants not killed statically: " \
+    f"{[(o['operator'], o['subject'], o['kill']) for o in alive]}"
+print(f"ci: mutation smoke: {m['totals']['units']} mutants, kill rate "
+      f"{rate:.1%}; {len(mc_rv32)} mc-* mutants on rv32, all fired ones "
+      f"killed statically")
 EOF
 echo "ci: mutation report at MUTATION_ci.json"
 dune exec bin/vmtest.exe -- campaign --chaos --seed 7 -j "$CI_JOBS" \
@@ -112,4 +144,17 @@ cmp _build/ci-single.json _build/ci-resumed.json
 echo "ci: resume smoke: truncated-journal resume is byte-identical"
 dune exec bench/main.exe -- perf --quick -j "$CI_JOBS" --json ci
 echo "ci: bench smoke report at BENCH_ci.json"
+dune exec bench/main.exe -- verify --quick --json ci_verify
+python3 - <<'EOF'
+import json
+b = json.load(open("BENCH_ci_verify.json"))
+for p in b["phases"]:
+    isas = {s["arch"] for s in p["per_isa"]}
+    assert isas == {"x86", "arm32", "rv32"}, \
+        f"{p['name']}: per-ISA timing covers only {isas}"
+print(f"ci: verify bench: {len(b['phases'])} phase(s), per-ISA timing "
+      f"for all three ISAs")
+EOF
+echo "ci: abstract-interp timing report at BENCH_ci_verify.json (full \
+reference trajectory committed as BENCH_pr7.json)"
 echo "ci: OK"

@@ -65,7 +65,12 @@ let compiler_conv =
     ]
 
 let arch_conv =
-  Arg.enum [ ("x86", Jit.Codegen.X86); ("arm32", Jit.Codegen.Arm32) ]
+  Arg.enum
+    [
+      ("x86", Jit.Codegen.X86);
+      ("arm32", Jit.Codegen.Arm32);
+      ("rv32", Jit.Codegen.Rv32);
+    ]
 
 let defects_conv =
   Arg.enum
@@ -122,7 +127,7 @@ let difftest_cmd =
   let arch_arg =
     Arg.(
       value
-      & opt_all arch_conv [ Jit.Codegen.X86; Jit.Codegen.Arm32 ]
+      & opt_all arch_conv Jit.Codegen.all_arches
       & info [ "a"; "arch" ] ~docv:"ARCH" ~doc:"Target ISA (repeatable).")
   in
   let run defects compiler arches subject =
@@ -443,7 +448,7 @@ let campaign_cmd =
   in
   Cmd.v
     (Cmd.info "campaign"
-       ~doc:"Run the full evaluation: 4 compilers × 2 ISAs (Tables 2-3)")
+       ~doc:"Run the full evaluation: 4 compilers × 3 ISAs (Tables 2-3)")
     Term.(
       const run $ defects_arg $ iters_arg $ jobs_arg $ json_arg $ chaos_arg
       $ chaos_faults_arg $ seed_arg $ fuel_arg $ deadline_arg $ retries_arg
@@ -505,11 +510,20 @@ let verify_cmd =
     let causes = Verify.abstract_causes r in
     Printf.fprintf oc
       "{\"defects\":%S,\"units\":%d,\"programs\":%d,\"paths\":%d,\
-       \"truncated\":%d,\"crosschecked\":%d,\"findings\":%d,\"causes\":[%s]}\n"
+       \"truncated\":%d,\"crosschecked\":%d,\"findings\":%d,\
+       \"per_isa\":[%s],\"causes\":[%s]}\n"
       (if r.ab_defects = Interpreter.Defects.pristine then "pristine"
        else "seeded")
       r.ab_units r.ab_programs r.ab_paths r.ab_truncated r.ab_crosschecked
       (List.length r.ab_findings)
+      (String.concat ","
+         (List.map
+            (fun (name, (t : Verify.arch_tally)) ->
+              Printf.sprintf
+                "{\"arch\":%S,\"programs\":%d,\"paths\":%d,\
+                 \"truncated\":%d,\"findings\":%d}"
+                name t.at_programs t.at_paths t.at_truncated t.at_findings)
+            r.ab_by_arch))
       (String.concat ","
          (List.map
             (fun (family, cause, n) ->
@@ -659,7 +673,7 @@ let validate_cmd =
   let arch_arg =
     Arg.(
       value
-      & opt_all arch_conv [ Jit.Codegen.X86; Jit.Codegen.Arm32 ]
+      & opt_all arch_conv Jit.Codegen.all_arches
       & info [ "a"; "arch" ] ~docv:"ARCH" ~doc:"Target ISA (repeatable).")
   in
   let pristine_arg =
@@ -865,7 +879,7 @@ let mutate_cmd =
   let arch_arg =
     Arg.(
       value
-      & opt_all arch_conv [ Jit.Codegen.X86; Jit.Codegen.Arm32 ]
+      & opt_all arch_conv Jit.Codegen.all_arches
       & info [ "a"; "arch" ] ~docv:"ARCH" ~doc:"Target ISA (repeatable).")
   in
   let pristine_arg =

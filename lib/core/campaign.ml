@@ -234,12 +234,15 @@ let test_instruction ?(max_iterations = 96) ?(validate = false) ?budget
             (arch, counts))
           arches
     in
-    (* the verdict is per (subject, compiler, arch); dedupe across paths *)
+    (* the verdict is per (subject, compiler, arch); dedupe across
+       paths.  The static cross-ISA differ contributes its pair-labelled
+       findings on top, one run over the whole arch set. *)
     let static_findings =
       List.concat_map
         (fun arch ->
           Difftest.Runner.static_findings ~defects ~compiler ~arch subject)
         arches
+      @ Difftest.Runner.cross_isa_findings ~defects ~compiler ~arches subject
       |> List.sort_uniq compare
     in
     {
@@ -558,6 +561,42 @@ let agreement_totals t =
 let all_static_findings t =
   List.concat_map
     (fun cr -> List.concat_map (fun r -> r.static_findings) cr.instructions)
+    t.results
+
+(* --- cross-ISA divergence aggregation ---
+
+   The static cross-ISA differ labels each finding with its ISA pair
+   ("x86+rv32") in the arch field; tally them per (front-end x pair),
+   with an explicit zero row for every pair of the campaign's arch set
+   so the table shape is stable. *)
+
+let arch_pair_labels (arches : Jit.Codegen.arch list) : string list =
+  let names = List.map Jit.Codegen.arch_name arches in
+  let rec go = function
+    | [] -> []
+    | a :: rest -> List.map (fun b -> a ^ "+" ^ b) rest @ go rest
+  in
+  go names
+
+let cross_isa_divergences t : (string * (string * int) list) list =
+  let pairs = arch_pair_labels t.arches in
+  List.map
+    (fun cr ->
+      let short = Jit.Cogits.short_name cr.compiler in
+      let count pair =
+        List.fold_left
+          (fun acc r ->
+            acc
+            + List.length
+                (List.filter
+                   (fun (f : Verify.Finding.t) ->
+                     f.arch = pair
+                     && String.length f.cause >= 9
+                     && String.sub f.cause 0 9 = "cross-isa")
+                   r.static_findings))
+          0 cr.instructions
+      in
+      (short, List.map (fun p -> (p, count p)) pairs))
     t.results
 
 (* --- translation-validation aggregations --- *)

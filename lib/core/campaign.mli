@@ -235,6 +235,18 @@ val static_pass_counts : t -> (string * int) list
     by pass name — how much of the static oracle surface each pass
     (bytecode / ir / machine / abstract / differ) contributes. *)
 
+val arch_pair_labels : Jit.Codegen.arch list -> string list
+(** Unordered ISA pair labels ("a+b") in the stable order induced by the
+    input list: for [x86; arm32; rv32] that is
+    [["x86+arm32"; "x86+rv32"; "arm32+rv32"]]. *)
+
+val cross_isa_divergences : t -> (string * (string * int) list) list
+(** Per-(front-end x ISA-pair) static cross-ISA divergence counts: one
+    row per compiler, one column per pair label from
+    {!arch_pair_labels}, counting findings whose cause starts with
+    ["cross-isa"].  Rows include explicit zero cells so the table shape
+    is stable across campaigns. *)
+
 (** {1 Translation-validation aggregations} *)
 
 val validation_by_arch :

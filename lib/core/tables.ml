@@ -130,6 +130,28 @@ let validation_table ppf (c : Campaign.t) =
       (100.0 *. float_of_int t.unknown /. float_of_int validated)
       validated
 
+(* --- Cross-ISA divergence matrix: per-(front-end x ISA-pair) counts
+   from the static cross-ISA differ (pair labels in canonical arch
+   order; zero everywhere on a pristine configuration) --- *)
+
+let cross_isa_table ppf (c : Campaign.t) =
+  match Campaign.cross_isa_divergences c with
+  | [] | (_, []) :: _ ->
+      fprintf ppf "Cross-ISA divergences: fewer than two ISAs in play@."
+  | rows ->
+      let pairs = List.map fst (snd (List.hd rows)) in
+      fprintf ppf "Cross-ISA static divergences: per-compiler x ISA-pair@.";
+      fprintf ppf "%-36s" "Compiler";
+      List.iter (fun p -> fprintf ppf " %10s" p) pairs;
+      fprintf ppf "@.";
+      fprintf ppf "%s@." (String.make (37 + (11 * List.length pairs)) '-');
+      List.iter
+        (fun (short, counts) ->
+          fprintf ppf "%-36s" short;
+          List.iter (fun (_, n) -> fprintf ppf " %10d" n) counts;
+          fprintf ppf "@.")
+        rows
+
 (* --- supervision: per-unit verdict counts under the fault-tolerant
    engine, plus the individual incidents and the chaos schedule --- *)
 
@@ -333,6 +355,8 @@ let all ppf (c : Campaign.t) =
   table3 ppf c;
   fprintf ppf "@.";
   causes ppf c;
+  fprintf ppf "@.";
+  cross_isa_table ppf c;
   fprintf ppf "@.";
   figure5 ppf c;
   fprintf ppf "@.";

@@ -37,6 +37,14 @@ val abstract_table : Format.formatter -> Verify.abstract_report -> unit
     counters, the symexec cross-check coverage, and the per-cause
     finding counts of the machine-layer abstract pass. *)
 
+val cross_isa_table : Format.formatter -> Campaign.t -> unit
+(** The per-(front-end x ISA-pair) static cross-ISA divergence matrix:
+    one row per compiler, one column per unordered ISA pair
+    ("x86+arm32", "x86+rv32", "arm32+rv32"), counting the campaign's
+    cross-ISA differ findings.  All-zero on both the pristine and the
+    paper-seeded configurations — the seeded defects do not perturb the
+    lowerings. *)
+
 val kill_table : Format.formatter -> Campaign.kill_matrix -> unit
 (** The mutation kill matrix: per-operator and per-layer rows of which
     oracle layer (static / validate / difftest) killed each mutant,

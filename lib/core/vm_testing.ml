@@ -23,7 +23,7 @@ type subject =
 type compiler =
   [ `Native_methods | `Simple | `Stack_to_register | `Register_allocating ]
 
-type arch = [ `X86 | `Arm32 ]
+type arch = [ `X86 | `Arm32 | `Rv32 ]
 
 let to_path_subject : subject -> Concolic.Path.subject = function
   | `Bytecode op -> Concolic.Path.Bytecode op
@@ -38,6 +38,7 @@ let to_cogit : compiler -> Jit.Cogits.compiler = function
 let to_arch : arch -> Jit.Codegen.arch = function
   | `X86 -> Jit.Codegen.X86
   | `Arm32 -> Jit.Codegen.Arm32
+  | `Rv32 -> Jit.Codegen.Rv32
 
 (* --- exploration --- *)
 
@@ -47,7 +48,7 @@ let explore ?max_iterations ?defects (s : subject) =
 (* --- differential testing --- *)
 
 let test_instruction ?max_iterations ?(defects = Interpreter.Defects.paper)
-    ?(arches = [ `X86; `Arm32 ]) ~(compiler : compiler) (s : subject) =
+    ?(arches = [ `X86; `Arm32; `Rv32 ]) ~(compiler : compiler) (s : subject) =
   Campaign.test_instruction ?max_iterations ~defects
     ~arches:(List.map to_arch arches)
     ~compiler:(to_cogit compiler) (to_path_subject s)
@@ -59,8 +60,8 @@ let run_path ?(defects = Interpreter.Defects.paper) ~(compiler : compiler)
 
 (* --- campaigns --- *)
 
-let campaign ?max_iterations ?defects ?(arches = [ `X86; `Arm32 ]) ?compilers
-    () =
+let campaign ?max_iterations ?defects ?(arches = [ `X86; `Arm32; `Rv32 ])
+    ?compilers () =
   Campaign.run ?max_iterations ?defects
     ~arches:(List.map to_arch arches)
     ?compilers:(Option.map (List.map to_cogit) compilers)

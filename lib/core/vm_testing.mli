@@ -22,7 +22,7 @@ type subject =
 type compiler =
   [ `Native_methods | `Simple | `Stack_to_register | `Register_allocating ]
 
-type arch = [ `X86 | `Arm32 ]
+type arch = [ `X86 | `Arm32 | `Rv32 ]
 
 val to_path_subject : subject -> Concolic.Path.subject
 val to_cogit : compiler -> Jit.Cogits.compiler
@@ -43,7 +43,7 @@ val test_instruction :
   subject ->
   Campaign.instruction_result
 (** Explore and differential-test one instruction against one compiler
-    (default: paper defects, both ISAs). *)
+    (default: paper defects, all three ISAs). *)
 
 val run_path :
   ?defects:Interpreter.Defects.t ->
@@ -60,7 +60,7 @@ val campaign :
   ?compilers:compiler list ->
   unit ->
   Campaign.t
-(** The full evaluation of §5 (4 compilers × 2 ISAs by default). *)
+(** The full evaluation of §5 (4 compilers × 3 ISAs by default). *)
 
 val print_tables : ?ppf:Format.formatter -> Campaign.t -> unit
 (** Render Tables 2-3 and Figures 5-7 plus the cause listing. *)

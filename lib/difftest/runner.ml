@@ -485,6 +485,53 @@ let static_findings ~defects ~compiler ~arch
       in
       fs
 
+(* The static cross-ISA differ over a whole arch set: lower the unit
+   once per ISA, summarise abstractly, and difference every ISA pair.
+   Per (subject, compiler, arch-set, defects, fault), like the per-arch
+   verdicts above — the campaign calls this once per unit and tallies
+   the findings per (front-end x ISA-pair). *)
+let cross_isa_cache : (string, Verify.Finding.t list) Exec.Memo.t =
+  Exec.Memo.create ()
+
+let cross_isa_findings ~defects ~compiler ~arches
+    (subject : Concolic.Path.subject) : Verify.Finding.t list =
+  if List.length arches < 2 then []
+  else
+    let mine = Jit.Cogits.short_name compiler in
+    let key =
+      Printf.sprintf "%s|%s|%s|%d%s"
+        (Concolic.Path.subject_name subject)
+        mine
+        (String.concat "+" (List.map Jit.Codegen.arch_name arches))
+        (Hashtbl.hash defects) (Jit.Fault.cache_tag ())
+    in
+    Exec.Memo.find_or_add cross_isa_cache key @@ fun _ ->
+        let lower arch =
+          match subject with
+          | Concolic.Path.Native id ->
+              Jit.Cogits.compile_native_to_machine ~defects ~arch id
+          | Concolic.Path.Bytecode op ->
+              Jit.Cogits.compile_bytecode_to_machine compiler ~defects
+                ~literals:Verify.default_literals
+                ~stack_setup:(Verify.default_stack_setup op)
+                ~arch op
+          | Concolic.Path.Bytecode_seq ops ->
+              Jit.Cogits.compile_sequence_to_machine compiler ~defects
+                ~literals:Verify.default_literals ~stack_setup:[] ~arch ops
+        in
+        match
+          List.map
+            (fun arch ->
+              ( Jit.Codegen.arch_name arch,
+                Verify.Abstract_mc.summarize (lower arch) ))
+            arches
+        with
+        | exception Jit.Cogits.Not_compiled _ -> []
+        | summaries ->
+            Verify.Frame_diff.differ_arches
+              ~subject:(Concolic.Path.subject_name subject)
+              ~compiler:mine summaries
+
 (* Cross-check a static verdict against the dynamic outcome.  A match is
    by exact root cause, or failing that by defect family (the static
    pass sometimes names the cause more precisely than a given dynamic

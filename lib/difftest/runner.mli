@@ -91,6 +91,19 @@ val static_findings :
     about [compiler] (cross-compiler differ findings are attributed per
     front-end). *)
 
+val cross_isa_findings :
+  defects:Interpreter.Defects.t ->
+  compiler:Jit.Cogits.compiler ->
+  arches:Jit.Codegen.arch list ->
+  Concolic.Path.subject ->
+  Verify.Finding.t list
+(** Static cross-ISA frame differencing for one compilation unit: the
+    subject is lowered once per ISA in [arches] and the abstract frame
+    summaries are compared pairwise ([Verify.Frame_diff.differ_arches]).
+    Findings carry a pair label such as ["x86+rv32"] in their [arch]
+    field.  Empty when fewer than two ISAs are given.  Memoized per
+    (subject, compiler, arch set, defect configuration). *)
+
 val run_path_verified :
   ?validate:bool ->
   ?budget:int ref ->

@@ -2,12 +2,18 @@
    signature {!Machine.Backend_sig.S}.
 
    The back-ends differ where real ISAs differ: data movement, ALU shape
-   (x86 two-address with destructive destinations vs ARM32 three-address),
-   compares, tag tests and branches.  Complex object-representation ops
-   lower to the shared simulator pseudo-ops (cf. {!Machine.Machine_code}).
-   The encoders and the register-file convention both come from the
-   back-end instance, so adding a third ISA is one new
-   {!Machine.Backend.t} plus one [Make] application.
+   (x86 two-address with destructive destinations vs ARM32/RISC-V
+   three-address), and above all the guard discipline — flags back-ends
+   split every guard into a flag-setting compare plus [jcc], while the
+   flagless RISC-V-style back-end fuses compares into branches or
+   materialises boolean outcomes first.  The lowering therefore talks to
+   the back-end through combined guard sites ([cmp_branch],
+   [tag_branch], [ovf_branch], [bool_result], [fcmp_branch],
+   [fbool_result]); complex object-representation ops lower to the
+   shared simulator pseudo-ops (cf. {!Machine.Machine_code}).  The
+   encoders and the register-file convention both come from the back-end
+   instance, so adding an ISA is one new {!Machine.Backend.t} plus one
+   [Make] application.
 
    Scratch-register discipline: [scratch0] and the class register are the
    only general materialisation scratches; [scratch1]/[scratch2] are
@@ -16,14 +22,15 @@
 
 module MC = Machine.Machine_code
 
-type arch = X86 | Arm32
+type arch = X86 | Arm32 | Rv32
 
-let arch_name = function X86 -> "x86" | Arm32 -> "arm32"
-let all_arches = [ X86; Arm32 ]
+let arch_name = function X86 -> "x86" | Arm32 -> "arm32" | Rv32 -> "rv32"
+let all_arches = [ X86; Arm32; Rv32 ]
 
 let backend_of : arch -> Machine.Backend.t = function
   | X86 -> Machine.Backend.x86
   | Arm32 -> Machine.Backend.arm32
+  | Rv32 -> Machine.Backend.rv32
 
 exception Codegen_error of string
 
@@ -47,9 +54,20 @@ module Make (B : Machine.Backend_sig.S) = struct
         (Codegen_error
            (Printf.sprintf "vreg %d exceeds the register file (allocator pass missing)" v))
 
-  type st = { mutable out : MC.instr list (* reversed *); mutable labels : int }
+  type st = {
+    mutable out : MC.instr list; (* reversed *)
+    mutable labels : int;
+    mutable last_alu : MC.reg option;
+        (* register holding the most recent ALU result, for the flagless
+           back-end's overflow re-test (flags back-ends keep the sticky
+           overflow flag instead and ignore it) *)
+  }
 
   let emit st is = List.iter (fun i -> st.out <- i :: st.out) is
+
+  let emit_alu st op ~dst ~a ~b =
+    emit st (B.alu op ~dst ~a ~b);
+    st.last_alu <- Some dst
 
   let fresh_label st =
     let n = st.labels in
@@ -89,71 +107,57 @@ module Make (B : Machine.Backend_sig.S) = struct
         emit st [ MC.Store_temp (n, reg_of st o ~scratch:scratch0) ]
     | Ir.I_check_small_int (o, l) ->
         let r = reg_of st o ~scratch:scratch0 in
-        emit st (B.test_tag r);
-        emit st (B.jcc MC.Ne l)
+        emit st (B.tag_branch MC.Ne r l)
     | Ir.I_check_not_small_int (o, l) ->
         let r = reg_of st o ~scratch:scratch0 in
-        emit st (B.test_tag r);
-        emit st (B.jcc MC.Eq l)
+        emit st (B.tag_branch MC.Eq r l)
     | Ir.I_check_class (o, cid, l) ->
         let r = reg_of st o ~scratch:scratch0 in
         emit st [ MC.Load_class_index (B.class_reg, r) ];
-        emit st (B.cmp B.class_reg (MC.I cid));
-        emit st (B.jcc MC.Ne l)
+        emit st (B.cmp_branch MC.Ne B.class_reg (MC.I cid) l)
     | Ir.I_check_pointers (o, l) ->
         let r = reg_of st o ~scratch:scratch0 in
-        emit st (B.test_tag r);
-        emit st (B.jcc MC.Eq l);
+        emit st (B.tag_branch MC.Eq r l);
         emit st [ MC.Load_format (B.class_reg, r) ];
-        emit st (B.cmp B.class_reg (MC.I 1));
-        emit st (B.jcc MC.Gt l)
+        emit st (B.cmp_branch MC.Gt B.class_reg (MC.I 1) l)
     | Ir.I_check_bytes (o, l) ->
         let r = reg_of st o ~scratch:scratch0 in
-        emit st (B.test_tag r);
-        emit st (B.jcc MC.Eq l);
+        emit st (B.tag_branch MC.Eq r l);
         emit st [ MC.Load_format (B.class_reg, r) ];
-        emit st (B.cmp B.class_reg (MC.I 2));
-        emit st (B.jcc MC.Ne l)
+        emit st (B.cmp_branch MC.Ne B.class_reg (MC.I 2) l)
     | Ir.I_check_indexable (o, l) ->
         let r = reg_of st o ~scratch:scratch0 in
-        emit st (B.test_tag r);
-        emit st (B.jcc MC.Eq l);
+        emit st (B.tag_branch MC.Eq r l);
         emit st [ MC.Load_format (B.class_reg, r) ];
-        emit st (B.cmp B.class_reg (MC.I 1));
-        emit st (B.jcc MC.Lt l);
-        emit st (B.cmp B.class_reg (MC.I 2));
-        emit st (B.jcc MC.Gt l)
+        emit st (B.cmp_branch MC.Lt B.class_reg (MC.I 1) l);
+        emit st (B.cmp_branch MC.Gt B.class_reg (MC.I 2) l)
     | Ir.I_untag (d, o) ->
         let r = reg_of st o ~scratch:scratch0 in
-        emit st (B.alu MC.Sar ~dst:(phys_of_vreg d) ~a:r ~b:(MC.I 1))
+        emit_alu st MC.Sar ~dst:(phys_of_vreg d) ~a:r ~b:(MC.I 1)
     | Ir.I_tag (d, o) ->
         let r = reg_of st o ~scratch:scratch0 in
         let d = phys_of_vreg d in
-        emit st (B.alu MC.Shl ~dst:d ~a:r ~b:(MC.I 1));
-        emit st (B.alu MC.Or ~dst:d ~a:d ~b:(MC.I 1))
+        emit_alu st MC.Shl ~dst:d ~a:r ~b:(MC.I 1);
+        emit_alu st MC.Or ~dst:d ~a:d ~b:(MC.I 1)
     | Ir.I_alu (op, d, a, b) ->
         let ra = reg_of st a ~scratch:scratch0 in
-        emit st (B.alu op ~dst:(phys_of_vreg d) ~a:ra ~b:(mop b))
-    | Ir.I_jump_overflow l -> emit st (B.jcc MC.Vs l)
+        emit_alu st op ~dst:(phys_of_vreg d) ~a:ra ~b:(mop b)
+    | Ir.I_jump_overflow l -> emit st (B.ovf_branch ~last:st.last_alu l)
     | Ir.I_check_range (o, l) ->
         let r = reg_of st o ~scratch:scratch0 in
-        emit st (B.cmp r (MC.I Vm_objects.Value.max_small_int));
-        emit st (B.jcc MC.Gt l);
-        emit st (B.cmp r (MC.I Vm_objects.Value.min_small_int));
-        emit st (B.jcc MC.Lt l)
+        emit st (B.cmp_branch MC.Gt r (MC.I Vm_objects.Value.max_small_int) l);
+        emit st (B.cmp_branch MC.Lt r (MC.I Vm_objects.Value.min_small_int) l)
     | Ir.I_cmp_jump (c, a, b, l) ->
         let ra = reg_of st a ~scratch:scratch0 in
-        emit st (B.cmp ra (mop b));
-        emit st (B.jcc c l)
+        emit st (B.cmp_branch c ra (mop b) l)
     | Ir.I_jump l -> emit st (B.jmp l)
     | Ir.I_bool_result (c, d, a, b) ->
         let ra = reg_of st a ~scratch:scratch0 in
-        emit st (B.cmp ra (mop b));
         let d = phys_of_vreg d in
         let l = fresh_label st in
-        emit st (B.mov_ri d Ir.true_word);
-        emit st (B.jcc c l);
-        emit st (B.mov_ri d Ir.false_word);
+        emit st
+          (B.bool_result c ~dst:d ~a:ra ~b:(mop b) ~t:Ir.true_word
+             ~f:Ir.false_word ~label:l);
         emit st [ MC.Label l ]
     | Ir.I_load_slot (d, base, idx) ->
         let b = reg_of st base ~scratch:scratch0 in
@@ -192,16 +196,13 @@ module Make (B : Machine.Backend_sig.S) = struct
     | Ir.I_box_float (d, f) -> emit st [ MC.Box_float (phys_of_vreg d, f) ]
     | Ir.I_falu (op, d, a, b) -> emit st [ MC.Falu (op, d, a, b) ]
     | Ir.I_fsqrt (d, s) -> emit st [ MC.Fsqrt (d, s) ]
-    | Ir.I_fcmp_jump (c, a, b, l) ->
-        emit st [ MC.Fcmp (a, b) ];
-        emit st (B.jcc c l)
+    | Ir.I_fcmp_jump (c, a, b, l) -> emit st (B.fcmp_branch c a b l)
     | Ir.I_fbool_result (c, d, a, b) ->
-        emit st [ MC.Fcmp (a, b) ];
         let d = phys_of_vreg d in
         let l = fresh_label st in
-        emit st (B.mov_ri d Ir.true_word);
-        emit st (B.jcc c l);
-        emit st (B.mov_ri d Ir.false_word);
+        emit st
+          (B.fbool_result c ~dst:d ~a ~b ~t:Ir.true_word ~f:Ir.false_word
+             ~label:l);
         emit st [ MC.Label l ]
     | Ir.I_cvt_int_float (f, o) ->
         emit st [ MC.Cvt_int_float (f, reg_of st o ~scratch:scratch0) ]
@@ -254,13 +255,17 @@ module Make (B : Machine.Backend_sig.S) = struct
         emit st [ MC.Spill_load (phys_of_vreg d, slot) ]
 
   let lower (irs : Ir.ir list) : MC.program =
-    let st = { out = []; labels = 0 } in
+    let st = { out = []; labels = 0; last_alu = None } in
     List.iter (lower_instr st) irs;
     MC.assemble (List.rev st.out)
 end
 
 module X86_gen = Make (Machine.Backend.X86)
 module Arm32_gen = Make (Machine.Backend.Arm32)
+module Rv32_gen = Make (Machine.Backend.Rv32)
 
 let lower ~(arch : arch) irs =
-  match arch with X86 -> X86_gen.lower irs | Arm32 -> Arm32_gen.lower irs
+  match arch with
+  | X86 -> X86_gen.lower irs
+  | Arm32 -> Arm32_gen.lower irs
+  | Rv32 -> Rv32_gen.lower irs

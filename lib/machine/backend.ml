@@ -1,16 +1,18 @@
-(* The two back-end instances — the former special cases of
-   [lib/jit/codegen.ml] and the verify passes, now first-class values of
-   {!Backend_sig.S} — plus the backend-generic instruction queries
-   ([view_of], [control_of], [flag_effect], [reads], [writes]) that the
-   abstract interpreter and the lint consume instead of matching on
-   [X_*]/[A_*] constructors. *)
+(* The three back-end instances — two flags-style (the former special
+   cases of [lib/jit/codegen.ml] and the verify passes) and one flagless
+   RISC-V-style — as first-class values of {!Backend_sig.S}, plus the
+   backend-generic instruction queries ([view_of], [control_of],
+   [flag_effect], [reads], [writes]) that the abstract interpreter and
+   the lint consume instead of matching on [X_*]/[A_*]/[R_*]
+   constructors. *)
 
 module MC = Machine_code
 module Sig = Backend_sig
 
-(* Both styles target the simulator's single register file, so the
+(* All styles target the simulator's single register file, so the
    calling convention is shared; what differs is the instruction
-   encoding (ALU shape, addressing modes, branch mnemonics). *)
+   encoding (ALU shape, addressing modes, branch mnemonics, condition
+   discipline). *)
 module Convention = struct
   let num_regs = MC.num_regs
   let receiver_reg = MC.r_receiver
@@ -20,6 +22,29 @@ module Convention = struct
   let scratch_regs = [ MC.r_scratch0; MC.r_scratch1; MC.r_scratch2 ]
   let temp_base = MC.r_temp_base
   let reg_name = MC.reg_name
+end
+
+(* The combined guard sites of a flags back-end all factor through its
+   flag-setting compares and [jcc]; share that factoring. *)
+module Flags_guards (E : sig
+  val mov_ri : MC.reg -> int -> MC.instr list
+  val cmp : MC.reg -> MC.operand -> MC.instr list
+  val test_tag : MC.reg -> MC.instr list
+  val jcc : MC.cond -> string -> MC.instr list
+end) =
+struct
+  let style = `Flags
+  let cmp_branch c r o l = E.cmp r o @ E.jcc c l
+  let tag_branch c r l = E.test_tag r @ E.jcc c l
+  let ovf_branch ~last:_ l = E.jcc MC.Vs l
+
+  let bool_result c ~dst ~a ~b ~t ~f ~label =
+    E.cmp a b @ E.mov_ri dst t @ E.jcc c label @ E.mov_ri dst f
+
+  let fcmp_branch c a b l = (MC.Fcmp (a, b) :: E.jcc c l : MC.instr list)
+
+  let fbool_result c ~dst ~a ~b ~t ~f ~label =
+    MC.Fcmp (a, b) :: (E.mov_ri dst t @ E.jcc c label @ E.mov_ri dst f)
 end
 
 module X86 : Sig.S = struct
@@ -42,12 +67,16 @@ module X86 : Sig.S = struct
         ]
     | _ -> mov_rr dst a @ [ MC.X_alu (op, dst, b) ]
 
-  let cmp r o = [ MC.X_cmp (r, o) ]
-  let test_tag r = [ MC.X_test_tag r ]
-  let jcc c l = [ MC.X_jcc (c, l) ]
   let jmp l = [ MC.X_jmp l ]
   let push o = [ MC.X_push o ]
   let pop r = [ MC.X_pop r ]
+
+  include Flags_guards (struct
+    let mov_ri = mov_ri
+    let cmp r o = [ MC.X_cmp (r, o) ]
+    let test_tag r = [ MC.X_test_tag r ]
+    let jcc c l = [ MC.X_jcc (c, l) ]
+  end)
 
   let decode = function
     | MC.X_mov_ri (r, i) -> Some (Sig.V_mov_ri (r, i))
@@ -70,12 +99,16 @@ module Arm32 : Sig.S = struct
   let mov_ri r i = [ MC.A_mov_i (r, i) ]
   let mov_rr d s = if d = s then [] else [ MC.A_mov (d, s) ]
   let alu op ~dst ~a ~b = [ MC.A_alu (op, dst, a, b) ]
-  let cmp r o = [ MC.A_cmp (r, o) ]
-  let test_tag r = [ MC.A_tst_tag r ]
-  let jcc c l = [ MC.A_b (Some c, l) ]
   let jmp l = [ MC.A_b (None, l) ]
   let push o = [ MC.A_push o ]
   let pop r = [ MC.A_pop r ]
+
+  include Flags_guards (struct
+    let mov_ri = mov_ri
+    let cmp r o = [ MC.A_cmp (r, o) ]
+    let test_tag r = [ MC.A_tst_tag r ]
+    let jcc c l = [ MC.A_b (Some c, l) ]
+  end)
 
   let decode = function
     | MC.A_mov_i (r, i) -> Some (Sig.V_mov_ri (r, i))
@@ -91,13 +124,86 @@ module Arm32 : Sig.S = struct
     | _ -> None
 end
 
+(* The flagless RISC-V-style back-end.  No condition-code register:
+   guards either fuse the compare into the branch ([R_bcc]) or
+   materialise the comparison outcome into the dedicated condition
+   register [MC.r_cond] first, then branch on that register against an
+   immediate.  The materialising ops record which *kind* of comparison
+   produced the boolean, which is exactly the provenance the
+   condition-value abstract domain tracks. *)
+module Rv32 : Sig.S = struct
+  include Convention
+
+  let name = "rv32"
+  let style = `Cond_value
+  let cond_reg = MC.r_cond
+  let mov_ri r i = [ MC.R_li (r, i) ]
+  let mov_rr d s = if d = s then [] else [ MC.R_mv (d, s) ]
+  let alu op ~dst ~a ~b = [ MC.R_alu (op, dst, a, b) ]
+  let jmp l = [ MC.R_j l ]
+  let push o = [ MC.R_push o ]
+  let pop r = [ MC.R_pop r ]
+  let cmp_branch c r o l = [ MC.R_bcc (c, r, o, l) ]
+
+  (* [tag_branch Eq] branches when the tag bit is set, so after
+     materialising the bit the fused branch compares it against 1 with
+     the same condition ([Ne] then correctly branches on bit = 0). *)
+  let tag_branch c r l =
+    [ MC.R_stag (cond_reg, r); MC.R_bcc (c, cond_reg, MC.I 1, l) ]
+
+  (* Flagless overflow check: re-test the register holding the latest
+     ALU result.  With no such register on record, fall through to a
+     branch on the (never materialised) condition register — the exact
+     flagless analogue of branching on stale flags, and what the
+     read-before-write domain flags statically. *)
+  let ovf_branch ~last l =
+    match last with
+    | Some r ->
+        [ MC.R_sovf (cond_reg, r); MC.R_bcc (MC.Ne, cond_reg, MC.I 0, l) ]
+    | None -> [ MC.R_bcc (MC.Ne, cond_reg, MC.I 0, l) ]
+
+  let bool_result c ~dst ~a ~b ~t ~f ~label =
+    [
+      MC.R_scmp (c, cond_reg, a, b);
+      MC.R_li (dst, t);
+      MC.R_bcc (MC.Eq, cond_reg, MC.I 1, label);
+      MC.R_li (dst, f);
+    ]
+
+  let fcmp_branch c a b l =
+    [ MC.R_fset (c, cond_reg, a, b); MC.R_bcc (MC.Eq, cond_reg, MC.I 1, l) ]
+
+  let fbool_result c ~dst ~a ~b ~t ~f ~label =
+    [
+      MC.R_fset (c, cond_reg, a, b);
+      MC.R_li (dst, t);
+      MC.R_bcc (MC.Eq, cond_reg, MC.I 1, label);
+      MC.R_li (dst, f);
+    ]
+
+  let decode = function
+    | MC.R_li (r, i) -> Some (Sig.V_mov_ri (r, i))
+    | MC.R_mv (d, s) -> Some (Sig.V_mov_rr (d, s))
+    | MC.R_alu (op, rd, rs, rm) -> Some (Sig.V_alu (op, rd, rs, rm))
+    | MC.R_scmp (c, rd, rs, rm) -> Some (Sig.V_set_cmp (c, rd, rs, rm))
+    | MC.R_stag (rd, rs) -> Some (Sig.V_set_tag (rd, rs))
+    | MC.R_sovf (rd, rs) -> Some (Sig.V_set_ovf (rd, rs))
+    | MC.R_fset (c, rd, a, b) -> Some (Sig.V_set_fcmp (c, rd, a, b))
+    | MC.R_bcc (c, rs, o, l) -> Some (Sig.V_cmp_branch (c, rs, o, l))
+    | MC.R_j l -> Some (Sig.V_jmp l)
+    | MC.R_push o -> Some (Sig.V_push o)
+    | MC.R_pop r -> Some (Sig.V_pop r)
+    | _ -> None
+end
+
 (* --- first-class back-ends --- *)
 
 type t = (module Sig.S)
 
 let x86 : t = (module X86)
 let arm32 : t = (module Arm32)
-let all : t list = [ x86; arm32 ]
+let rv32 : t = (module Rv32)
+let all : t list = [ x86; arm32; rv32 ]
 
 let name (b : t) =
   let module B = (val b) in
@@ -133,6 +239,7 @@ let control_of (i : MC.instr) : control =
       match view_of i with
       | Some (Sig.V_jmp l) -> C_jump l
       | Some (Sig.V_jcc (c, l)) -> C_branch (c, l)
+      | Some (Sig.V_cmp_branch (c, _, _, l)) -> C_branch (c, l)
       | _ -> C_fall)
 
 (* How an instruction touches the condition codes, mirroring the
@@ -145,6 +252,9 @@ type flag_effect = Sets_result | Sets_cmp | Sets_tag | Sets_fcmp | Preserves
 let flag_effect (i : MC.instr) : flag_effect =
   match i with
   | MC.Fcmp _ -> Sets_fcmp
+  | MC.R_alu _ ->
+      (* the flagless style's ALU writes only its destination *)
+      Preserves
   | _ -> (
       match view_of i with
       | Some (Sig.V_alu _ | Sig.V_neg _ | Sig.V_rsb _) -> Sets_result
@@ -188,7 +298,11 @@ let writes (i : MC.instr) : MC.reg list =
       | Some (Sig.V_alu (_, d, _, _))
       | Some (Sig.V_neg d)
       | Some (Sig.V_rsb (d, _, _))
-      | Some (Sig.V_pop d) ->
+      | Some (Sig.V_pop d)
+      | Some (Sig.V_set_cmp (_, d, _, _))
+      | Some (Sig.V_set_tag (d, _))
+      | Some (Sig.V_set_ovf (d, _))
+      | Some (Sig.V_set_fcmp (_, d, _, _)) ->
           [ d ]
       | _ -> [])
 
@@ -227,4 +341,7 @@ let reads (i : MC.instr) : MC.reg list =
       | Some (Sig.V_cmp (r, o)) -> r :: operand_reads o
       | Some (Sig.V_test_tag r) -> [ r ]
       | Some (Sig.V_push o) -> operand_reads o
+      | Some (Sig.V_set_cmp (_, _, s, o)) -> s :: operand_reads o
+      | Some (Sig.V_set_tag (_, s)) | Some (Sig.V_set_ovf (_, s)) -> [ s ]
+      | Some (Sig.V_cmp_branch (_, s, o, _)) -> s :: operand_reads o
       | _ -> [])

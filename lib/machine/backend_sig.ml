@@ -29,19 +29,36 @@ type view =
   | V_mov_ri of MC.reg * int
   | V_mov_rr of MC.reg * MC.reg
   | V_alu of MC.alu * MC.reg * MC.reg * MC.operand
-      (** [dst := a op b]; sets result flags *)
+      (** [dst := a op b]; on flags back-ends sets result flags *)
   | V_neg of MC.reg  (** [r := -r]; sets result flags *)
   | V_rsb of MC.reg * MC.reg * int
       (** [rd := imm - rn] (reverse subtract); sets result flags *)
   | V_cmp of MC.reg * MC.operand  (** sets compare flags *)
   | V_test_tag of MC.reg  (** flags.eq := (low bit = 1) *)
-  | V_jcc of MC.cond * string
+  | V_jcc of MC.cond * string  (** branch consuming the flags register *)
   | V_jmp of string
   | V_push of MC.operand
   | V_pop of MC.reg
+  (* --- flagless (condition-value) style --- *)
+  | V_set_cmp of MC.cond * MC.reg * MC.reg * MC.operand
+      (** [rd := (a cond b) ? 1 : 0] under integer-compare semantics *)
+  | V_set_tag of MC.reg * MC.reg  (** [rd := src land 1] (tag bit) *)
+  | V_set_ovf of MC.reg * MC.reg
+      (** [rd := src escapes the small-int range ? 1 : 0] *)
+  | V_set_fcmp of MC.cond * MC.reg * MC.freg * MC.freg
+      (** [rd := (a cond b) ? 1 : 0] under the simulator's [Fcmp] flag
+          discipline (NaN = overflow bit set) *)
+  | V_cmp_branch of MC.cond * MC.reg * MC.operand * string
+      (** fused compare-and-branch; consumes no flags *)
 
 module type S = sig
   val name : string
+
+  val style : [ `Flags | `Cond_value ]
+  (** how this back-end communicates guard outcomes to branches: through
+      a condition-code register ([`Flags], x86/ARM32) or through
+      materialised boolean registers and fused compare-and-branch
+      ([`Cond_value], RISC-V style) *)
 
   (* --- register file and calling convention --- *)
 
@@ -73,12 +90,57 @@ module type S = sig
   val alu : MC.alu -> dst:MC.reg -> a:MC.reg -> b:MC.operand -> MC.instr list
   (** [dst := a op b]; must set flags like the simulator's ALU. *)
 
-  val cmp : MC.reg -> MC.operand -> MC.instr list
-  val test_tag : MC.reg -> MC.instr list
-  val jcc : MC.cond -> string -> MC.instr list
   val jmp : string -> MC.instr list
   val push : MC.operand -> MC.instr list
   val pop : MC.reg -> MC.instr list
+
+  (* --- guard lowering (combined compare + consume sites) ---
+
+     A flags ISA splits each of these into a flag-setting instruction
+     and a [jcc]; a flagless ISA fuses the compare into the branch or
+     materialises the outcome into its condition register first.  The
+     IR lowering only ever needs the combined forms, which is what makes
+     both disciplines instances of one signature. *)
+
+  val cmp_branch : MC.cond -> MC.reg -> MC.operand -> string -> MC.instr list
+  (** branch to the label when [reg cond operand] holds *)
+
+  val tag_branch : MC.cond -> MC.reg -> string -> MC.instr list
+  (** test the small-int tag bit of [reg]; [Eq] branches when the value
+      is tagged (bit set), [Ne] when it is not *)
+
+  val ovf_branch : last:MC.reg option -> string -> MC.instr list
+  (** branch when the preceding ALU result overflowed the small-int
+      range.  Flags ISAs read the sticky overflow flag and ignore
+      [last]; a flagless ISA re-tests the register holding the most
+      recent ALU result. *)
+
+  val bool_result :
+    MC.cond ->
+    dst:MC.reg ->
+    a:MC.reg ->
+    b:MC.operand ->
+    t:int ->
+    f:int ->
+    label:string ->
+    MC.instr list
+  (** [dst := (a cond b) ? t : f]; [label] is a fresh join label the
+      caller owns (the caller emits [MC.Label label] afterwards) *)
+
+  val fcmp_branch : MC.cond -> MC.freg -> MC.freg -> string -> MC.instr list
+  (** branch on a float compare under the simulator's [Fcmp] flag
+      discipline (NaN sets the overflow bit) *)
+
+  val fbool_result :
+    MC.cond ->
+    dst:MC.reg ->
+    a:MC.freg ->
+    b:MC.freg ->
+    t:int ->
+    f:int ->
+    label:string ->
+    MC.instr list
+  (** float-compare analogue of [bool_result] *)
 
   (* --- decoder --- *)
 

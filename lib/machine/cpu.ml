@@ -94,6 +94,35 @@ let set_flags_cmp t a b =
   t.flag_lt <- a < b;
   t.flag_ov <- false
 
+(* The flagless style's fused compares: by definition exactly
+   [set_flags_cmp] followed by [cond_holds], with no flag traffic. *)
+let cmp_holds (c : Machine_code.cond) a b =
+  match c with
+  | Eq -> a = b
+  | Ne -> a <> b
+  | Lt -> a < b
+  | Le -> a <= b
+  | Gt -> a > b
+  | Ge -> a >= b
+  | Vs -> false
+  | Vc -> true
+
+(* Likewise [Fcmp]'s flag discipline followed by [cond_holds]: NaN sets
+   the overflow bit, so ordered negations ([Gt], [Ge], [Ne]) are true
+   only for comparable operands — identical to the flags back-ends. *)
+let fcmp_holds (c : Machine_code.cond) a b =
+  let eq = a = b and lt = a < b in
+  let ov = Float.is_nan a || Float.is_nan b in
+  match c with
+  | Eq -> eq
+  | Ne -> not eq
+  | Lt -> lt
+  | Le -> lt || eq
+  | Gt -> not (lt || eq)
+  | Ge -> not lt
+  | Vs -> ov
+  | Vc -> not ov
+
 (* ALU result flags; overflow = result escapes the 31-bit immediate range
    (the tag-arithmetic overflow check of a 32-bit VM). *)
 let set_flags_result t r =
@@ -434,6 +463,41 @@ let run ?(fuel = 100_000) (t : t) (program : Machine_code.program) : status =
           push_word t (operand o);
           next ()
       | A_pop r -> (
+          match t.stack with
+          | v :: rest ->
+              t.regs.(r) <- v;
+              t.stack <- rest;
+              next ()
+          | [] -> Segfault)
+      (* --- RISC-V style (flagless: none of these touch the flags) --- *)
+      | R_li (r, v) ->
+          t.regs.(r) <- v;
+          next ()
+      | R_mv (d, s) ->
+          t.regs.(d) <- t.regs.(s);
+          next ()
+      | R_alu (op, rd, rs, rm) ->
+          t.regs.(rd) <- alu_op op t.regs.(rs) (operand rm);
+          next ()
+      | R_scmp (c, rd, rs, rm) ->
+          t.regs.(rd) <- (if cmp_holds c t.regs.(rs) (operand rm) then 1 else 0);
+          next ()
+      | R_stag (rd, rs) ->
+          t.regs.(rd) <- t.regs.(rs) land 1;
+          next ()
+      | R_sovf (rd, rs) ->
+          t.regs.(rd) <- (if Value.is_small_int_value t.regs.(rs) then 0 else 1);
+          next ()
+      | R_fset (c, rd, fa, fb) ->
+          t.regs.(rd) <- (if fcmp_holds c t.fregs.(fa) t.fregs.(fb) then 1 else 0);
+          next ()
+      | R_bcc (c, rs, o, l) ->
+          if cmp_holds c t.regs.(rs) (operand o) then jump l else next ()
+      | R_j l -> jump l
+      | R_push o ->
+          push_word t (operand o);
+          next ()
+      | R_pop r -> (
           match t.stack with
           | v :: rest ->
               t.regs.(r) <- v;

@@ -135,6 +135,22 @@ let instr (i : instr) : string =
   | A_b (Some c, l) -> Printf.sprintf "b%s %s" (cond_suffix c) l
   | A_push o -> Printf.sprintf "push {%s}" (operand o)
   | A_pop r -> Printf.sprintf "pop {%s}" (gp r)
+  (* RISC-V style, assembler-ish syntax (flagless) *)
+  | R_li (r, i) -> Printf.sprintf "li %s, %d" (gp r) i
+  | R_mv (d, s) -> Printf.sprintf "mv %s, %s" (gp d) (gp s)
+  | R_alu (op, rd, rs, rm) ->
+      Printf.sprintf "%s %s, %s, %s" (alu_name op) (gp rd) (gp rs) (operand rm)
+  | R_scmp (c, rd, rs, rm) ->
+      Printf.sprintf "s%s %s, %s, %s" (cond_suffix c) (gp rd) (gp rs) (operand rm)
+  | R_stag (rd, rs) -> Printf.sprintf "andi %s, %s, 1" (gp rd) (gp rs)
+  | R_sovf (rd, rs) -> Printf.sprintf "sovf %s, %s" (gp rd) (gp rs)
+  | R_fset (c, rd, fa, fb) ->
+      Printf.sprintf "fs%s.d %s, %s, %s" (cond_suffix c) (gp rd) (fp fa) (fp fb)
+  | R_bcc (c, rs, o, l) ->
+      Printf.sprintf "b%s %s, %s, %s" (cond_suffix c) (gp rs) (operand o) l
+  | R_j l -> Printf.sprintf "j %s" l
+  | R_push o -> Printf.sprintf "push %s" (operand o)
+  | R_pop r -> Printf.sprintf "pop %s" (gp r)
 
 (* A whole program, with indices, labels flush-left. *)
 let program (p : program) : string =

@@ -6,7 +6,11 @@
    - an x86-like style: two-address ALU ops mutating their destination,
      explicit flag-setting compares, short conditional jumps;
    - an ARM32-like style: three-address ALU ops, compare-and-branch with
-     condition fields.
+     condition fields;
+   - a RISC-V-like style: flagless and register-rich — no condition-code
+     register at all, fused compare-and-branch ([R_bcc], beq/blt/bge
+     style), and comparison results materialised into general registers
+     ([R_scmp]/[R_stag]/[R_sovf]/[R_fset]) for guard lowering.
 
    Complex operations that would lower to multi-instruction sequences on
    real hardware (object slot loads, float unboxing, allocation) are
@@ -16,7 +20,7 @@
    Machine words are tagged oops (or raw untagged integers mid-sequence),
    living in a machine-side object memory. *)
 
-type reg = int [@@deriving show, eq] (* 16 general registers *)
+type reg = int [@@deriving show, eq] (* 32 general registers *)
 type freg = int [@@deriving show, eq] (* 4 float registers *)
 
 (* Conventional register assignment (shared calling convention). *)
@@ -29,7 +33,13 @@ let r_scratch0 = 5
 let r_scratch1 = 6
 let r_scratch2 = 7
 let r_temp_base = 8 (* r8..r23: allocatable temporaries *)
-let num_regs = 24
+
+let r_cond = 24
+(* r24: the flagless back-end's dedicated condition register — guard
+   lowering materialises comparison results here.  Deliberately above
+   [r_temp_base] so the read-before-write domain covers it. *)
+
+let num_regs = 32 (* r25..r31 reserved for register-rich back-ends *)
 let num_fregs = 4
 
 let reg_name r =
@@ -42,6 +52,7 @@ let reg_name r =
   | 5 -> "rScr0"
   | 6 -> "rScr1"
   | 7 -> "rScr2"
+  | 24 -> "rCond"
   | n -> Printf.sprintf "r%d" n
 
 type cond = Eq | Ne | Lt | Le | Gt | Ge | Vs | Vc
@@ -123,6 +134,21 @@ type instr =
   | A_b of cond option * string
   | A_push of operand
   | A_pop of reg
+  (* --- RISC-V style (flagless) --- *)
+  | R_li of reg * int
+  | R_mv of reg * reg
+  | R_alu of alu * reg * reg * operand (* rd := rs op rm; NO flags *)
+  | R_scmp of cond * reg * reg * operand (* rd := (rs cond rm) ? 1 : 0 *)
+  | R_stag of reg * reg (* rd := rs land 1 (small-int tag bit) *)
+  | R_sovf of reg * reg (* rd := rs escapes the small-int range ? 1 : 0 *)
+  | R_fset of cond * reg * freg * freg
+    (* rd := float compare under the simulator's Fcmp flag discipline
+       (NaN sets the overflow bit, so e.g. [Gt] is the negation of
+       "less-or-equal-or-unordered") ? 1 : 0 *)
+  | R_bcc of cond * reg * operand * string (* fused compare-and-branch *)
+  | R_j of string
+  | R_push of operand
+  | R_pop of reg
 [@@deriving show { with_path = false }]
 
 type program = instr array
@@ -235,6 +261,14 @@ let written_reg = function
   | A_alu (_, d, _, _)
   | A_rsb (d, _, _)
   | A_pop d
+  | R_li (d, _)
+  | R_mv (d, _)
+  | R_alu (_, d, _, _)
+  | R_scmp (_, d, _, _)
+  | R_stag (d, _)
+  | R_sovf (d, _)
+  | R_fset (_, d, _, _)
+  | R_pop d
   | Load_slot (d, _, _)
   | Load_byte (d, _, _)
   | Load_temp (d, _)
@@ -261,6 +295,14 @@ let with_written_reg instr d =
   | A_alu (op, _, n, m) -> A_alu (op, d, n, m)
   | A_rsb (_, n, i) -> A_rsb (d, n, i)
   | A_pop _ -> A_pop d
+  | R_li (_, i) -> R_li (d, i)
+  | R_mv (_, s) -> R_mv (d, s)
+  | R_alu (op, _, n, m) -> R_alu (op, d, n, m)
+  | R_scmp (c, _, n, m) -> R_scmp (c, d, n, m)
+  | R_stag (_, s) -> R_stag (d, s)
+  | R_sovf (_, s) -> R_sovf (d, s)
+  | R_fset (c, _, a, b) -> R_fset (c, d, a, b)
+  | R_pop _ -> R_pop d
   | Load_slot (_, b, i) -> Load_slot (d, b, i)
   | Load_byte (_, b, i) -> Load_byte (d, b, i)
   | Load_temp (_, i) -> Load_temp (d, i)

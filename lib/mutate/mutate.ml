@@ -211,7 +211,12 @@ let ir_drop_overflow =
            | _ -> false)))
     "ir-drop-overflow"
 
-(* --- 8. machine code: wrong condition code (both ISA styles) --- *)
+(* --- 8. machine code: wrong condition code (every ISA style) ---
+
+   On the flags back-ends the first conditional branch's condition code
+   is flipped; on the flagless back-end the same mutation flips the
+   fused compare-and-branch kind, which the condition-value domain's
+   guard-provenance decode catches against the IR's lowering table. *)
 
 let mc_wrong_cond =
   v ~layer:Fault.L_machine
@@ -219,6 +224,7 @@ let mc_wrong_cond =
       (MC.rewrite_first (function
         | MC.X_jcc (c, l) -> Some (MC.X_jcc (MC.flip_cond c, l))
         | MC.A_b (Some c, l) -> Some (MC.A_b (Some (MC.flip_cond c), l))
+        | MC.R_bcc (c, rs, o, l) -> Some (MC.R_bcc (MC.flip_cond c, rs, o, l))
         | _ -> None))
     "mc-wrong-cond"
 
@@ -306,8 +312,10 @@ module Gen_method = Gen_method
    cheap (no exploration, no solving), so the kill matrix scans the
    whole universe and schedules only live triples.  Machine-layer
    operators are probed on x86; every machine operator matches shared
-   pseudo-ops or shapes both ISA styles emit (conditional branches), so
-   one ISA is a faithful proxy. *)
+   pseudo-ops or shapes all three ISA styles emit (an x86 [jcc] implies
+   an IR conditional, hence an ARM [b<cc>] and a RISC-V fused [R_bcc];
+   first-write-to-temp and the pseudo-op shapes exist on every style),
+   so one ISA remains a faithful proxy. *)
 
 let compile_probe ~defects ~compiler (subject : Concolic.Path.subject) () =
   match subject with

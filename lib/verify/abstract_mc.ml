@@ -8,7 +8,7 @@
    per-ISA constructor appears below and a third back-end needs no
    change to this file.
 
-   Three composable abstract domains run over the fixpoint:
+   Four composable abstract domains run over the fixpoint:
 
    - {b register definedness / scratch discipline} — a may/must
      written-register bitmask; it yields the read-before-write check on
@@ -16,11 +16,26 @@
      reserved scratches must be justified by the IR's own use of the
      reserved virtual registers);
    - {b flags definedness} — whether the condition codes may still be
-     undefined at a conditional branch, feeding guard reachability;
+     undefined at a conditional branch, feeding guard reachability on
+     the flags-style back-ends;
+   - {b condition values} — the flagless analogue: a per-register
+     lattice tracking "holds the boolean outcome of comparison (kind,
+     cond)" with clobber interaction, so a fused branch reading a
+     materialised comparison can be decoded back to the guard that
+     produced it and a write landing between the materialisation and
+     its branch is caught statically;
    - {b frame/stack effect} — per-path operand-stack depth and exit
      summaries ({!summarize}), statically recomputing the frame-effect
      component that {!Symexec_mc} derives symbolically, and cross-checked
      against it ({!crosscheck}).
+
+   The flags domain and the condition-value domain are two instances of
+   one guard-provenance analysis: both answer "which comparison kind
+   and condition does this conditional branch observe", selected per
+   instruction by the back-end's view ([V_jcc] consumes the flags
+   register, [V_cmp_branch] consumes a general register whose
+   provenance the condition-value domain supplies).  [expected_branches]
+   is therefore shared unchanged across all back-end styles.
 
    On top of the fixpoint, [check_unit] statically re-derives from the
    front-end IR what the lowering must have emitted (conditional-branch
@@ -85,25 +100,120 @@ let reach (p : MC.program) : reach =
 
 (* --- the dataflow fixpoint --- *)
 
+(* The kind of comparison a guard observes — the shared vocabulary of
+   the guard-provenance analysis, for both flag setters (flags
+   back-ends) and condition-value materialisations (flagless
+   back-ends). *)
+type flag_kind = K_result | K_cmp | K_tag | K_fcmp
+
+let flag_kind_name = function
+  | K_result -> "result"
+  | K_cmp -> "compare"
+  | K_tag -> "tag-test"
+  | K_fcmp -> "float-compare"
+
+(* The condition-value lattice for one register:
+
+     (absent = never materialised, the bottom)
+                    |
+        Cv_cond (kind, base)   — holds 1 iff comparison [kind] under
+                    |            [base] held when it was materialised
+              Cv_clobbered     — overwritten, or different provenance
+                                 on different paths (the top)
+
+   [base] is the condition such that the register equals [1] exactly
+   when [(kind, base)] holds, so a fused branch [b<cc> r, #imm] decodes
+   back to the originating guard: against [#1], [Eq] observes [base]
+   and [Ne] its negation; against [#0] the other way around. *)
+type cv = Cv_cond of flag_kind * MC.cond | Cv_clobbered
+
+(* The provenance a materialising view establishes for its destination.
+   [V_set_tag] computes the tag bit, which is [1] exactly when the
+   simulator's tag-test discipline makes [Eq] hold; [V_set_ovf] is the
+   overflow bit of the latest result, [Vs]. *)
+let cv_of_set_view : BV.view -> (MC.reg * cv) option = function
+  | BV.V_set_cmp (c, rd, _, _) -> Some (rd, Cv_cond (K_cmp, c))
+  | BV.V_set_tag (rd, _) -> Some (rd, Cv_cond (K_tag, MC.Eq))
+  | BV.V_set_ovf (rd, _) -> Some (rd, Cv_cond (K_result, MC.Vs))
+  | BV.V_set_fcmp (c, rd, _, _) -> Some (rd, Cv_cond (K_fcmp, c))
+  | _ -> None
+
+(* Decode the guard a fused branch observes, given the provenance of
+   the register it reads.  Without provenance the branch is a direct
+   fused compare of a computed value, i.e. a [K_cmp] guard. *)
+let decode_fused_branch (prov : cv option) (c : MC.cond) (o : MC.operand) :
+    flag_kind option * MC.cond =
+  match (prov, o, c) with
+  | Some (Cv_cond (k, base)), MC.I 1, MC.Eq | Some (Cv_cond (k, base)), MC.I 0, MC.Ne
+    ->
+      (Some k, base)
+  | Some (Cv_cond (k, base)), MC.I 1, MC.Ne | Some (Cv_cond (k, base)), MC.I 0, MC.Eq
+    ->
+      (Some k, MC.flip_cond base)
+  | _ -> (Some K_cmp, c)
+
 (* The product domain at one program point: registers as a pair of
    bitmasks (may-written ⊇ must-written, so ⊥ would be may=∅/must=all
    and ⊤ may=all/must=∅; the register file fits one native int), flags
-   as one boolean ("may still be undefined").  [join] is pointwise. *)
-type astate = { may : int; must : int; fundef : bool }
+   as one boolean ("may still be undefined"), condition values as a
+   sorted association list over the (few) registers that ever hold a
+   materialised comparison.  [join] is pointwise. *)
+type astate = { may : int; must : int; fundef : bool; cvals : (MC.reg * cv) list }
 
-let entry_state = { may = 0; must = 0; fundef = true }
+let entry_state = { may = 0; must = 0; fundef = true; cvals = [] }
+
+(* Pointwise join of two sorted provenance maps: an untracked register
+   stays whatever the other path says (absent is the bottom), agreeing
+   provenances keep, disagreements go to the top. *)
+let rec join_cvals a b =
+  match (a, b) with
+  | [], m | m, [] -> m
+  | (ra, va) :: ta, (rb, _) :: _ when ra < rb -> (ra, va) :: join_cvals ta b
+  | (ra, _) :: _, (rb, vb) :: tb when rb < ra -> (rb, vb) :: join_cvals a tb
+  | (r, va) :: ta, (_, vb) :: tb ->
+      (r, (if va = vb then va else Cv_clobbered)) :: join_cvals ta tb
+
+let cvals_set r v m =
+  let rec go = function
+    | [] -> [ (r, v) ]
+    | (r', _) :: t when r' = r -> (r, v) :: t
+    | (r', v') :: t when r' > r -> (r, v) :: (r', v') :: t
+    | h :: t -> h :: go t
+  in
+  go m
+
+let cvals_find r m = List.assoc_opt r m
 
 let join a b =
-  { may = a.may lor b.may; must = a.must land b.must; fundef = a.fundef || b.fundef }
+  {
+    may = a.may lor b.may;
+    must = a.must land b.must;
+    fundef = a.fundef || b.fundef;
+    cvals = join_cvals a.cvals b.cvals;
+  }
 
 let transfer (i : MC.instr) (s : astate) : astate =
-  let wmask =
-    List.fold_left (fun m r -> m lor (1 lsl r)) 0 (B.writes i)
+  let writes = B.writes i in
+  let wmask = List.fold_left (fun m r -> m lor (1 lsl r)) 0 writes in
+  let cvals =
+    match Option.bind (B.view_of i) cv_of_set_view with
+    | Some (rd, v) -> cvals_set rd v s.cvals
+    | None ->
+        (* a write to a register holding a materialised comparison
+           destroys it; untracked registers stay untracked, so direct
+           fused compares of freshly computed values raise nothing *)
+        List.fold_left
+          (fun m w ->
+            match cvals_find w m with
+            | Some _ -> cvals_set w Cv_clobbered m
+            | None -> m)
+          s.cvals writes
   in
   {
     may = s.may lor wmask;
     must = s.must lor wmask;
     fundef = (match B.flag_effect i with B.Preserves -> s.fundef | _ -> false);
+    cvals;
   }
 
 type fix = { fx_reach : reach; fx_in : astate option array }
@@ -157,16 +267,11 @@ let fixpoint (p : MC.program) : fix =
    it.  Divergence means the machine artefact was altered after (or
    during) lowering. *)
 
-type flag_kind = K_result | K_cmp | K_tag | K_fcmp
-
-let flag_kind_name = function
-  | K_result -> "result"
-  | K_cmp -> "compare"
-  | K_tag -> "tag-test"
-  | K_fcmp -> "float-compare"
-
 (* Conditional branches each IR instruction lowers to, in emission
-   order, as (flag-setter kind, condition). *)
+   order, as (guard kind, condition) — back-end-independent: a flags
+   back-end realises the pair as flag-setter + [jcc], a flagless one as
+   materialisation + fused branch, and [observed_branches] decodes both
+   onto this same vocabulary. *)
 let expected_branches (ir : Ir.ir list) : (flag_kind * MC.cond) list =
   List.concat_map
     (fun (i : Ir.ir) ->
@@ -187,11 +292,14 @@ let expected_branches (ir : Ir.ir list) : (flag_kind * MC.cond) list =
       | _ -> [])
     ir
 
-(* The same walk over the emitted program: the kind of the dominating
-   flag setter at each conditional branch.  Lowering is linear, so the
-   linear last-setter is exact. *)
+(* The same walk over the emitted program: the guard each conditional
+   branch observes.  A [V_jcc] observes the dominating flag setter; a
+   [V_cmp_branch] observes the provenance of the register it reads,
+   decoded through {!decode_fused_branch}.  Lowering is linear, so the
+   linear last-setter / last-materialisation is exact. *)
 let observed_branches (p : MC.program) : (flag_kind option * MC.cond) list =
   let last = ref None in
+  let prov : (MC.reg, cv) Hashtbl.t = Hashtbl.create 4 in
   let out = ref [] in
   Array.iter
     (fun i ->
@@ -201,9 +309,15 @@ let observed_branches (p : MC.program) : (flag_kind option * MC.cond) list =
       | B.Sets_tag -> last := Some K_tag
       | B.Sets_fcmp -> last := Some K_fcmp
       | B.Preserves -> ());
-      match B.control_of i with
-      | B.C_branch (c, _) -> out := (!last, c) :: !out
-      | _ -> ())
+      (match B.view_of i with
+      | Some (BV.V_jcc (c, _)) -> out := (!last, c) :: !out
+      | Some (BV.V_cmp_branch (c, rs, o, _)) ->
+          out := decode_fused_branch (Hashtbl.find_opt prov rs) c o :: !out
+      | Some v -> (
+          match cv_of_set_view v with
+          | Some (rd, cvv) -> Hashtbl.replace prov rd cvv
+          | None -> List.iter (Hashtbl.remove prov) (B.writes i))
+      | None -> List.iter (Hashtbl.remove prov) (B.writes i)))
     p;
   List.rev !out
 
@@ -387,13 +501,15 @@ let check_unit ~subject ~compiler ~arch ~(backend : B.t) ~(ir : Ir.ir list)
                        (BE.reg_name r)))
               (B.reads instr))
     p;
-  (* 7. guard reachability: a conditional branch must not consume
-     condition codes that may still be undefined *)
+  (* 7. guard reachability, flags style: a branch consuming the flags
+     register must not observe condition codes that may still be
+     undefined.  Fused branches ([V_cmp_branch]) consume no flags — the
+     condition-value domain covers them below. *)
   Array.iteri
     (fun i instr ->
       if fx.fx_reach.reachable.(i) then
-        match B.control_of instr with
-        | B.C_branch _ -> (
+        match B.view_of instr with
+        | Some (BV.V_jcc _) -> (
             match fx.fx_in.(i) with
             | Some s when s.fundef ->
                 add
@@ -402,6 +518,28 @@ let check_unit ~subject ~compiler ~arch ~(backend : B.t) ~(ir : Ir.ir list)
                   (Printf.sprintf
                      "%s branches on condition codes no reaching path has set"
                      (quote i))
+            | _ -> ())
+        | _ -> ())
+    p;
+  (* 8. guard reachability, condition-value style: a fused branch must
+     not read a register whose materialised comparison some reaching
+     path has overwritten (or whose provenance differs across paths).
+     The never-materialised case is the read-before-write finding of
+     check 6, since the condition register sits above [temp_base]. *)
+  Array.iteri
+    (fun i instr ->
+      if fx.fx_reach.reachable.(i) then
+        match B.view_of instr with
+        | Some (BV.V_cmp_branch (_, rs, _, _)) -> (
+            match fx.fx_in.(i) with
+            | Some s when cvals_find rs s.cvals = Some Cv_clobbered ->
+                add
+                  (Printf.sprintf "cv-clobber-%d" i)
+                  Finding.Structural "cmp-result-clobbered-before-branch"
+                  (Printf.sprintf
+                     "%s branches on %s, whose materialised comparison a \
+                      reaching path overwrites before the branch"
+                     (quote i) (BE.reg_name rs))
             | _ -> ())
         | _ -> ())
     p;

@@ -46,7 +46,9 @@ type t = {
   pass : pass;
   subject : string; (* instruction mnemonic or native-method name *)
   compiler : string; (* cogit short name; "-" when cross-compiler *)
-  arch : string; (* "x86" / "arm32"; "-" when ISA-independent *)
+  arch : string;
+      (* "x86" / "arm32" / "rv32"; a pair label such as "x86+rv32" for
+         the cross-ISA differ; "-" when ISA-independent *)
   family : family;
   cause : string; (* stable root-cause id, cf. Difftest.Classify *)
   detail : string;

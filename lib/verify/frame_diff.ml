@@ -24,9 +24,11 @@
    3. Units a compiler cannot build at all become missing-functionality
       findings.
 
-   Findings are deduplicated on (compiler, family, cause) before being
-   returned, so a cause double-derived by the per-path summaries (every
-   path reaches the same wrong marker) is reported once. *)
+   Findings are deduplicated on (compiler, arch, family, cause) before
+   being returned, so a cause double-derived by the per-path summaries
+   (every path reaches the same wrong marker) is reported once, while
+   the cross-ISA differ's per-pair findings (pair label in [arch]) stay
+   distinct. *)
 
 module Ir = Jit.Ir
 module Op = Bytecodes.Opcode
@@ -434,14 +436,16 @@ let show_sends sends =
       (List.map (fun (s, n) -> Printf.sprintf "%s/%d" s n) sends)
   ^ "}"
 
-(* Report each (compiler, family, cause) once, keeping the first
+(* Report each (compiler, arch, family, cause) once, keeping the first
    detail: the per-path summaries re-derive the same cause on every
-   path that reaches the same wrong exit. *)
+   path that reaches the same wrong exit.  The arch component keeps the
+   cross-ISA differencer's per-pair findings distinct (the pair label
+   rides in [arch]). *)
 let dedupe_findings (fs : Finding.t list) : Finding.t list =
   let seen = Hashtbl.create 16 in
   List.filter
     (fun (f : Finding.t) ->
-      let key = (f.compiler, f.family, f.cause) in
+      let key = (f.compiler, f.arch, f.family, f.cause) in
       if Hashtbl.mem seen key then false
       else begin
         Hashtbl.replace seen key ();
@@ -580,59 +584,67 @@ let path_exit_of_aexit : Abstract_mc.aexit -> path_exit = function
   | Abstract_mc.A_falloff -> P_fault
   | Abstract_mc.A_undefined l -> P_other ("undefined label " ^ l)
 
+(* Every unordered pair of the given summaries, in input order — the
+   input order is the canonical arch order ({!Jit.Codegen.all_arches}),
+   so pair labels and finding order are stable however many back-ends
+   participate. *)
+let arch_pairs (l : (string * Abstract_mc.summary) list) =
+  let rec go = function
+    | [] -> []
+    | x :: rest -> List.map (fun y -> (x, y)) rest @ go rest
+  in
+  go l
+
+let pair_label a b = a ^ "+" ^ b
+
 let differ_arches ~subject ~compiler
     (summaries : (string * Abstract_mc.summary) list) : Finding.t list =
   let summaries =
     List.filter (fun (_, s) -> not s.Abstract_mc.atruncated) summaries
   in
-  match summaries with
-  | [] | [ _ ] -> []
-  | (arch0, s0) :: rest ->
-      let exits (s : Abstract_mc.summary) =
-        List.sort_uniq compare
-          (List.map
-             (fun (p : Abstract_mc.apath) ->
-               path_exit_to_string (path_exit_of_aexit p.Abstract_mc.aexit))
-             s.Abstract_mc.apaths)
-      in
-      let stop0_depths (s : Abstract_mc.summary) =
-        List.sort_uniq compare
-          (List.filter_map
-             (fun (p : Abstract_mc.apath) ->
-               match path_exit_of_aexit p.Abstract_mc.aexit with
-               | P_stop 0 -> Some p.Abstract_mc.depth
-               | _ -> None)
-             s.Abstract_mc.apaths)
-      in
-      let e0 = exits s0 and d0 = stop0_depths s0 in
-      let findings = ref [] in
-      List.iter
-        (fun (arch, s) ->
-          let e = exits s in
-          if e <> e0 then
-            findings :=
-              Finding.v ~pass:Finding.Abstract_interp ~subject ~compiler ~arch
-                ~family:Finding.Behavioural_difference
-                ~cause:"cross-isa-exit-disagreement"
-                (Printf.sprintf "%s exits via {%s} where %s exits via {%s}"
-                   arch
-                   (String.concat ", " e)
-                   arch0
-                   (String.concat ", " e0))
-              :: !findings;
-          let d = stop0_depths s in
-          if d <> d0 then
-            findings :=
-              Finding.v ~pass:Finding.Abstract_interp ~subject ~compiler ~arch
-                ~family:Finding.Behavioural_difference
-                ~cause:"cross-isa-stack-effect-disagreement"
-                (Printf.sprintf
-                   "%s success paths leave stack depths [%s] where %s leaves \
-                    [%s]"
-                   arch
-                   (String.concat "; " (List.map string_of_int d))
-                   arch0
-                   (String.concat "; " (List.map string_of_int d0)))
-              :: !findings)
-        rest;
-      dedupe_findings (List.rev !findings)
+  let exits (s : Abstract_mc.summary) =
+    List.sort_uniq compare
+      (List.map
+         (fun (p : Abstract_mc.apath) ->
+           path_exit_to_string (path_exit_of_aexit p.Abstract_mc.aexit))
+         s.Abstract_mc.apaths)
+  in
+  let stop0_depths (s : Abstract_mc.summary) =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun (p : Abstract_mc.apath) ->
+           match path_exit_of_aexit p.Abstract_mc.aexit with
+           | P_stop 0 -> Some p.Abstract_mc.depth
+           | _ -> None)
+         s.Abstract_mc.apaths)
+  in
+  let findings = ref [] in
+  List.iter
+    (fun ((arch0, s0), (arch, s)) ->
+      let pair = pair_label arch0 arch in
+      let e0 = exits s0 and e = exits s in
+      if e <> e0 then
+        findings :=
+          Finding.v ~pass:Finding.Abstract_interp ~subject ~compiler
+            ~arch:pair ~family:Finding.Behavioural_difference
+            ~cause:"cross-isa-exit-disagreement"
+            (Printf.sprintf "%s exits via {%s} where %s exits via {%s}" arch
+               (String.concat ", " e)
+               arch0
+               (String.concat ", " e0))
+          :: !findings;
+      let d0 = stop0_depths s0 and d = stop0_depths s in
+      if d <> d0 then
+        findings :=
+          Finding.v ~pass:Finding.Abstract_interp ~subject ~compiler
+            ~arch:pair ~family:Finding.Behavioural_difference
+            ~cause:"cross-isa-stack-effect-disagreement"
+            (Printf.sprintf
+               "%s success paths leave stack depths [%s] where %s leaves [%s]"
+               arch
+               (String.concat "; " (List.map string_of_int d))
+               arch0
+               (String.concat "; " (List.map string_of_int d0)))
+          :: !findings)
+    (arch_pairs summaries);
+  dedupe_findings (List.rev !findings)

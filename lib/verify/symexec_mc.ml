@@ -33,6 +33,10 @@ type word =
   | W_int of Sym.t  (** a raw untagged integer, int-sorted term *)
   | W_const of int  (** a known concrete machine word *)
   | W_format of Sym.t  (** the header format code of this oop *)
+  | W_bool of Sym.t
+      (** a materialised condition value: 1 iff the condition holds (the
+          flagless back-end's [R_scmp]/[R_stag]/[R_sovf]/[R_fset]
+          results) *)
   | W_unknown of string  (** a value the executor cannot track *)
 
 type fword = F_sym of Sym.t | F_unknown of string
@@ -70,6 +74,7 @@ let word_to_string = function
   | W_int e -> "int:" ^ Sym.to_string e
   | W_const c -> Printf.sprintf "#%d" c
   | W_format e -> "format:" ^ Sym.to_string e
+  | W_bool e -> "bool:" ^ Sym.to_string e
   | W_unknown m -> "?" ^ m
 
 let pp_word ppf w = Fmt.string ppf (word_to_string w)
@@ -214,7 +219,7 @@ let const_bool = function
 let int_term = function
   | W_int e -> Some e
   | W_const c -> Some (Sym.Int_const c)
-  | W_oop _ | W_format _ | W_unknown _ -> None
+  | W_oop _ | W_format _ | W_bool _ | W_unknown _ -> None
 
 let oop_term = function
   | W_oop e -> Some e
@@ -285,19 +290,19 @@ let fmt_cmp_pred e (sc : Sym.cmp) k : bres =
            (fun acc f -> Sym.Or (acc, fmt_value_pred e f))
            (fmt_value_pred e f) rest)
 
-(* The branch condition of [cond] given the flag origin — the symbolic
-   counterpart of {!Machine.Cpu.cond_holds}. *)
-let branch_cond (conds : Sym.t list) (flags : flags) (c : MC.cond) : bres =
-  match flags with
-  | FL_bot -> B_stuck "branch on uninitialised flags"
-  | FL_cmp (a, b) -> (
-      match c with
-      (* [set_flags_cmp] clears the overflow flag *)
-      | Vs -> B_false
-      | Vc -> B_true
-      | _ -> (
-          let sc = Option.get (cmp_of_cond c) in
-          match (a, b) with
+(* The outcome of an integer compare of two machine words under [cond] —
+   shared between the flags back-ends' compare-then-[jcc] ([FL_cmp] in
+   {!branch_cond}) and the flagless back-end's fused compare-and-branch
+   and compare-into-register forms, which have identical semantics by
+   construction ({!Machine.Cpu.cmp_holds}). *)
+let cmp_bres (conds : Sym.t list) (c : MC.cond) (a : word) (b : word) : bres =
+  match c with
+  (* [set_flags_cmp] clears the overflow flag *)
+  | Vs -> B_false
+  | Vc -> B_true
+  | _ -> (
+      let sc = Option.get (cmp_of_cond c) in
+      match (a, b) with
           | W_const x, W_const y ->
               if eval_cmp sc x y then B_true else B_false
           | W_format e, W_const k -> fmt_cmp_pred e sc k
@@ -359,7 +364,14 @@ let branch_cond (conds : Sym.t list) (flags : flags) (c : MC.cond) : bres =
           | _ -> (
               match (int_term a, int_term b) with
               | Some ta, Some tb -> B_sym (Sym.Cmp (sc, ta, tb))
-              | _ -> B_stuck "compare outside the tracked fragment")))
+              | _ -> B_stuck "compare outside the tracked fragment"))
+
+(* The branch condition of [cond] given the flag origin — the symbolic
+   counterpart of {!Machine.Cpu.cond_holds}. *)
+let branch_cond (conds : Sym.t list) (flags : flags) (c : MC.cond) : bres =
+  match flags with
+  | FL_bot -> B_stuck "branch on uninitialised flags"
+  | FL_cmp (a, b) -> cmp_bres conds c a b
   | FL_result w -> (
       match c with
       | Vs -> (
@@ -523,11 +535,21 @@ let execute ?(budget = default_budget) ~accessor_gaps
       | Some i -> go { st' with pc = i }
       | None -> finish st' (M_stuck ("undefined label " ^ l))
     in
-    let branch st c l =
-      match branch_cond st.conds st.flags c with
+    let branch_res st (r : bres) l =
+      match r with
       | B_true -> jump st l
       | B_false -> next st
       | B_sym t -> fork st t ~if_true:(fun st -> jump st l) ~if_false:next
+      | B_stuck m -> finish st (M_stuck m)
+    in
+    let branch st c l = branch_res st (branch_cond st.conds st.flags c) l in
+    (* Materialise a condition outcome into a register (the flagless
+       back-end's set-ops). *)
+    let set_bool st rd (r : bres) =
+      match r with
+      | B_true -> next (set_reg st rd (W_const 1))
+      | B_false -> next (set_reg st rd (W_const 0))
+      | B_sym t -> next (set_reg st rd (W_bool t))
       | B_stuck m -> finish st (M_stuck m)
     in
     (* Guarded heap access on an oop word: fork the structural guard,
@@ -891,6 +913,47 @@ let execute ?(budget = default_budget) ~accessor_gaps
             next { st with flags = FL_cmp (st.regs.(r), operand st o) }
         | Some (BV.V_test_tag r) -> next { st with flags = FL_tag st.regs.(r) }
         | Some (BV.V_jcc (c, l)) -> branch st c l
+        | Some (BV.V_set_cmp (c, rd, rs, o)) ->
+            set_bool st rd (cmp_bres st.conds c st.regs.(rs) (operand st o))
+        | Some (BV.V_set_tag (rd, rs)) -> (
+            match st.regs.(rs) with
+            | W_oop e -> set_bool st rd (B_sym (Sym.Is_small_int e))
+            | W_const k -> next (set_reg st rd (W_const (k land 1)))
+            | _ -> finish st (M_stuck "tag materialisation on untracked word"))
+        | Some (BV.V_set_ovf (rd, rs)) -> (
+            match st.regs.(rs) with
+            | W_const k ->
+                set_bool st rd
+                  (if Vm_objects.Value.is_small_int_value k then B_false
+                   else B_true)
+            | w -> (
+                match int_term w with
+                | Some t ->
+                    set_bool st rd
+                      (B_sym (Sym.Not (Sym.Is_in_small_int_range t)))
+                | None ->
+                    finish st (M_stuck "overflow test on untracked result")))
+        | Some (BV.V_set_fcmp (c, rd, fa, fb)) ->
+            set_bool st rd
+              (branch_cond st.conds
+                 (FL_fcmp (st.fregs.(fa), st.fregs.(fb)))
+                 c)
+        | Some (BV.V_cmp_branch (c, rs, o, l)) -> (
+            (* A branch on a materialised condition value decodes back
+               into that condition; the immediate is matched
+               syntactically (it is a lowering artifact, not a program
+               literal, so it must bypass literal substitution). *)
+            match (st.regs.(rs), o, c) with
+            | W_bool t, MC.I 1, MC.Eq | W_bool t, MC.I 0, MC.Ne ->
+                branch_res st (B_sym t) l
+            | W_bool t, MC.I 1, MC.Ne | W_bool t, MC.I 0, MC.Eq ->
+                branch_res st (B_sym (negate_cond t)) l
+            | W_bool _, _, _ ->
+                finish st (M_stuck "condition value compared outside 0/1")
+            | _ ->
+                branch_res st
+                  (cmp_bres st.conds c st.regs.(rs) (operand st o))
+                  l)
         | Some (BV.V_jmp l) -> jump st l
         | Some (BV.V_push o) -> next { st with stack = operand st o :: st.stack }
         | Some (BV.V_pop r) -> (

@@ -17,6 +17,10 @@ type word =
   | W_const of int  (** a known concrete machine word *)
   | W_format of Symbolic.Sym_expr.t
       (** the header format code of this oop ([Load_format] result) *)
+  | W_bool of Symbolic.Sym_expr.t
+      (** a materialised comparison outcome: [1] exactly when the
+          condition term holds ([0] otherwise) — the flagless
+          back-end's condition register contents *)
   | W_unknown of string  (** a value the executor cannot track *)
 
 type fword = F_sym of Symbolic.Sym_expr.t | F_unknown of string

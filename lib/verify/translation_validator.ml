@@ -309,6 +309,8 @@ let word_matches ~(mconds : Sym.t list) (interp : Sym.t) (w : SE.word)
           else V_diff (what ^ ": raw constant where an oop is expected"))
   | SE.W_int _ -> V_diff (what ^ ": untagged word where an oop is expected")
   | SE.W_format _ -> V_unknown (what ^ ": format word where an oop is expected")
+  | SE.W_bool _ ->
+      V_diff (what ^ ": materialised condition where an oop is expected")
   | SE.W_unknown r -> V_unknown (what ^ ": " ^ r)
 
 (* Fold a list of per-value comparisons: any definite difference wins,
@@ -337,6 +339,7 @@ let int_word_matches (interp : Sym.t) (w : SE.word) ~(what : string) :
       | t -> V_query (Sym.Cmp (Sym.Cne, t, Sym.Int_const c), what))
   | SE.W_oop _ -> V_diff (what ^ ": oop where a raw value is expected")
   | SE.W_format _ -> V_unknown (what ^ ": format word as stored value")
+  | SE.W_bool _ -> V_unknown (what ^ ": materialised condition as stored value")
   | SE.W_unknown r -> V_unknown (what ^ ": " ^ r)
 
 (* Heap effects: counts and kinds must match; bases and stored values

@@ -258,6 +258,15 @@ let causes (r : report) : (Finding.family * string * int) list =
    summary, the symbolic cross-check, and the cross-ISA differ — no
    byte-code/IR passes, so the counters isolate the machine layer. *)
 
+type arch_tally = {
+  at_programs : int; (* units lowered for this ISA *)
+  at_paths : int; (* abstract paths enumerated on this ISA *)
+  at_truncated : int; (* programs whose enumeration hit the budget *)
+  at_findings : int;
+      (* findings naming this ISA; a pair-labelled cross-ISA finding
+         ("x86+rv32") counts toward both members *)
+}
+
 type abstract_report = {
   ab_defects : Interpreter.Defects.t;
   ab_units : int; (* compilation units swept *)
@@ -266,6 +275,9 @@ type abstract_report = {
   ab_truncated : int; (* programs whose enumeration hit the budget *)
   ab_crosschecked : int; (* programs cross-checked against Symexec_mc *)
   ab_findings : Finding.t list;
+  ab_by_arch : (string * arch_tally) list;
+      (* per-ISA sections, in [arches] order — the CI gate asserts one
+         section per swept ISA *)
 }
 
 let abstract_all ?(defects = Interpreter.Defects.paper)
@@ -278,6 +290,10 @@ let abstract_all ?(defects = Interpreter.Defects.paper)
   and truncated = ref 0
   and crosschecked = ref 0 in
   let findings = ref [] in
+  let no_tally =
+    { at_programs = 0; at_paths = 0; at_truncated = 0; at_findings = 0 }
+  in
+  let tallies : (string, arch_tally) Hashtbl.t = Hashtbl.create 4 in
   let run ~subject ~short ~lower final =
     incr units;
     let triples =
@@ -288,6 +304,16 @@ let abstract_all ?(defects = Interpreter.Defects.paper)
           let s = Abstract_mc.summarize prog in
           paths := !paths + List.length s.Abstract_mc.apaths;
           if s.Abstract_mc.atruncated then incr truncated;
+          let an = arch_name arch in
+          let t = Option.value (Hashtbl.find_opt tallies an) ~default:no_tally in
+          Hashtbl.replace tallies an
+            {
+              t with
+              at_programs = t.at_programs + 1;
+              at_paths = t.at_paths + List.length s.Abstract_mc.apaths;
+              at_truncated =
+                (t.at_truncated + if s.Abstract_mc.atruncated then 1 else 0);
+            };
           (arch, prog, s))
         arches
     in
@@ -348,6 +374,13 @@ let abstract_all ?(defects = Interpreter.Defects.paper)
                 final)
             final)
     Interpreter.Primitive_table.ids;
+  let findings_naming name =
+    List.length
+      (List.filter
+         (fun (f : Finding.t) ->
+           List.mem name (String.split_on_char '+' f.arch))
+         !findings)
+  in
   {
     ab_defects = defects;
     ab_units = !units;
@@ -356,6 +389,15 @@ let abstract_all ?(defects = Interpreter.Defects.paper)
     ab_truncated = !truncated;
     ab_crosschecked = !crosschecked;
     ab_findings = !findings;
+    ab_by_arch =
+      List.map
+        (fun arch ->
+          let name = arch_name arch in
+          let t =
+            Option.value (Hashtbl.find_opt tallies name) ~default:no_tally
+          in
+          (name, { t with at_findings = findings_naming name }))
+        arches;
   }
 
 let abstract_causes (r : abstract_report) :

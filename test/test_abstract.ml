@@ -29,7 +29,7 @@ let pristine = Interpreter.Defects.pristine
 let test_pristine_sweep_clean () =
   let r = Verify.abstract_all ~defects:pristine () in
   check_bool "swept the whole universe" true (r.ab_units > 600);
-  check_int "both ISAs per unit" (2 * r.ab_units) r.ab_programs;
+  check_int "all three ISAs per unit" (3 * r.ab_units) r.ab_programs;
   check_int "no truncated enumerations" 0 r.ab_truncated;
   check_int "every program cross-checked" r.ab_programs r.ab_crosschecked;
   check_int "zero pristine findings" 0 (List.length r.ab_findings)
@@ -160,6 +160,89 @@ let qcheck_summary_agrees_with_symexec =
               = [])
             Jit.Codegen.all_arches)
 
+(* --- the condition-value domain (flagless guard provenance) --- *)
+
+let qcheck_guard_provenance_clean =
+  QCheck.Test.make
+    ~name:"qcheck: guard-provenance decode matches the IR on every ISA"
+    ~count:100
+    (QCheck.make Mutate.Gen_method.gen_seq)
+    (fun ops ->
+      match compile_seq ops with
+      | exception Jit.Cogits.Not_compiled _ -> true
+      | final ->
+          List.for_all
+            (fun arch ->
+              Verify.Abstract_mc.check_unit ~subject:"gen" ~compiler:"s2r"
+                ~arch:(Jit.Codegen.arch_name arch)
+                ~backend:(Jit.Codegen.backend_of arch)
+                ~ir:final
+                (lower_seq ~arch final)
+              = [])
+            Jit.Codegen.all_arches)
+
+let insert_before (p : MC.program) idx ins =
+  Array.concat
+    [ Array.sub p 0 idx; [| ins |]; Array.sub p idx (Array.length p - idx) ]
+
+let test_condition_value_clobber_flagged () =
+  let final =
+    compile_seq
+      [
+        Bytecodes.Opcode.Push_one;
+        Bytecodes.Opcode.Push_two;
+        Bytecodes.Opcode.Arith_special Bytecodes.Opcode.Sel_add;
+      ]
+  in
+  let p = lower_seq ~arch:Jit.Codegen.Rv32 final in
+  let check_unit prog =
+    Verify.Abstract_mc.check_unit ~subject:"add-seq" ~compiler:"s2r"
+      ~arch:"rv32" ~backend:Machine.Backend.rv32 ~ir:final prog
+  in
+  check_int "pristine rv32 lowering is clean" 0 (List.length (check_unit p));
+  (* plant a write to the condition register between a materialisation
+     and the fused branch that consumes it *)
+  let idx =
+    match
+      Array.find_index
+        (function
+          | MC.R_bcc (_, rs, _, _) -> rs = MC.r_cond
+          | _ -> false)
+        p
+    with
+    | Some i -> i
+    | None -> Alcotest.fail "no fused branch on the condition register"
+  in
+  let p' = insert_before p idx (MC.R_li (MC.r_cond, 0)) in
+  check_bool "clobbered condition value flagged" true
+    (List.exists
+       (fun (f : Verify.Finding.t) ->
+         f.cause = "cmp-result-clobbered-before-branch"
+         && f.family = Verify.Finding.Structural)
+       (check_unit p'))
+
+let test_stale_condition_branch_flagged () =
+  (* a fused branch on a condition register no path materialises — the
+     flagless analogue of branching on stale flags — must die in the
+     read-before-write domain *)
+  let p =
+    [|
+      MC.R_li (8, 1);
+      MC.R_bcc (MC.Ne, MC.r_cond, MC.I 0, "out");
+      MC.Ret;
+      MC.Label "out";
+      MC.Brk 0;
+    |]
+  in
+  let findings =
+    Verify.Abstract_mc.check_unit ~subject:"stale" ~compiler:"s2r"
+      ~arch:"rv32" ~backend:Machine.Backend.rv32 ~ir:[] p
+  in
+  check_bool "read-before-write on the condition register" true
+    (List.exists
+       (fun (f : Verify.Finding.t) -> f.cause = "mc-read-before-write")
+       findings)
+
 (* --- the static cross-ISA differ --- *)
 
 let seq_summaries () =
@@ -204,11 +287,44 @@ let test_cross_isa_differ_flags_exit_divergence () =
         Verify.Frame_diff.differ_arches ~subject:"add-seq" ~compiler:"s2r"
           [ (an0, s0); (an1, Verify.Abstract_mc.summarize p1') ]
       in
-      check_bool "exit divergence flagged" true
+      check_bool "exit divergence flagged under the pair label" true
         (List.exists
            (fun (f : Verify.Finding.t) ->
-             f.cause = "cross-isa-exit-disagreement" && f.arch = an1)
+             f.cause = "cross-isa-exit-disagreement"
+             && f.arch = an0 ^ "+" ^ an1)
            findings)
+
+let test_cross_isa_differ_reports_every_divergent_pair () =
+  (* perturbing ONE ISA of three must implicate exactly the two pairs
+     that include it, under stable pair labels in canonical arch order *)
+  match seq_summaries () with
+  | (an0, _, s0) :: (an1, p1, _) :: (an2, _, s2) :: _ ->
+      let p1' =
+        match
+          MC.rewrite_first
+            (function MC.Brk m -> Some (MC.Brk (m + 1)) | _ -> None)
+            p1
+        with
+        | Some p -> p
+        | None -> Alcotest.fail "no stop marker to perturb"
+      in
+      let findings =
+        Verify.Frame_diff.differ_arches ~subject:"add-seq" ~compiler:"s2r"
+          [ (an0, s0); (an1, Verify.Abstract_mc.summarize p1'); (an2, s2) ]
+      in
+      let pairs =
+        List.sort_uniq compare
+          (List.filter_map
+             (fun (f : Verify.Finding.t) ->
+               if f.cause = "cross-isa-exit-disagreement" then Some f.arch
+               else None)
+             findings)
+      in
+      Alcotest.(check (list string))
+        "exactly the two pairs touching the perturbed ISA"
+        (List.sort compare [ an0 ^ "+" ^ an1; an1 ^ "+" ^ an2 ])
+        pairs
+  | _ -> Alcotest.fail "need three ISAs"
 
 let suite =
   [
@@ -222,8 +338,15 @@ let suite =
       test_static_pass_counts_partition;
     QCheck_alcotest.to_alcotest qcheck_summary_covers_cpu;
     QCheck_alcotest.to_alcotest qcheck_summary_agrees_with_symexec;
+    QCheck_alcotest.to_alcotest qcheck_guard_provenance_clean;
+    Alcotest.test_case "condition-value clobber flagged" `Quick
+      test_condition_value_clobber_flagged;
+    Alcotest.test_case "stale condition branch flagged" `Quick
+      test_stale_condition_branch_flagged;
     Alcotest.test_case "cross-ISA differ accepts agreement" `Quick
       test_cross_isa_differ_accepts_agreeing_lowerings;
     Alcotest.test_case "cross-ISA differ flags exit divergence" `Quick
       test_cross_isa_differ_flags_exit_divergence;
+    Alcotest.test_case "cross-ISA differ reports every divergent pair" `Quick
+      test_cross_isa_differ_reports_every_divergent_pair;
   ]

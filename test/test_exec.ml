@@ -254,6 +254,7 @@ let witnesses (c : Campaign.t) =
 let test_campaign_determinism () =
   let c1 = run_subset 1 in
   let c8 = run_subset 8 in
+  check_int "tripled ISA matrix covered" 3 (List.length c1.Campaign.arches);
   check_string "count-based tables byte-identical" (render_counts c1)
     (render_counts c8);
   check_bool "validation totals identical" true
