@@ -31,9 +31,18 @@
 # smoke: a journalled campaign is truncated mid-way and resumed, and
 # the merged JSON report must be byte-identical to a single-shot run's.
 #
+# The warm-store gate follows: the same campaign twice against one
+# fresh persistent store (`--store`); the second run must be served
+# from disk (>= 95% store hit rate) and its aggregate JSON must be
+# byte-identical to the cold run's once the store counters — the only
+# honest difference — are popped.
+#
 # The bench smoke at the end replays the perf trajectory on a reduced
 # universe and writes BENCH_ci.json; it exits non-zero when the solver
-# cache's accounting is inconsistent (hits + misses != queries posed).
+# cache's accounting is inconsistent (hits + misses != queries posed),
+# when the warm-store replay diverges from the cold run, or (on the
+# full universe) when the warm run is under 5x faster or cold solver
+# queries regress above 80% of the PR 3 baseline.
 cd "$(dirname "$0")/.."
 : "${CI_VALIDATE_REPORT:=_build/validate-pristine.json}"
 : "${CI_VALIDATE_BUDGET:=2000}"
@@ -142,6 +151,27 @@ dune exec bin/vmtest.exe -- campaign -j "$CI_JOBS" --max-iterations 24 \
   > /dev/null
 cmp _build/ci-single.json _build/ci-resumed.json
 echo "ci: resume smoke: truncated-journal resume is byte-identical"
+rm -rf _build/ci-store
+dune exec bin/vmtest.exe -- campaign -j "$CI_JOBS" --max-iterations 24 \
+  --store _build/ci-store --json _build/ci-store-cold.json > /dev/null
+dune exec bin/vmtest.exe -- campaign -j "$CI_JOBS" --max-iterations 24 \
+  --store _build/ci-store --json _build/ci-store-warm.json > /dev/null
+python3 - <<'EOF'
+import json
+cold = json.load(open("_build/ci-store-cold.json"))
+warm = json.load(open("_build/ci-store-warm.json"))
+cs, ws = cold.pop("store"), warm.pop("store")
+assert cs["enabled"] and ws["enabled"], "store not active in campaign runs"
+assert cs["writes"] > 0, "cold campaign wrote nothing to the store"
+reads = ws["hits"] + ws["misses"]
+rate = ws["hits"] / reads if reads else 0.0
+assert rate >= 0.95, f"warm campaign store hit rate {rate:.1%} below 95%"
+assert cold == warm, "cold and warm campaign aggregates differ"
+print(f"ci: warm-store gate: {cs['writes']} entries written cold, "
+      f"{ws['hits']}/{reads} warm reads hit ({rate:.1%}), "
+      f"aggregates identical modulo store counters")
+EOF
+echo "ci: warm-store gate passed"
 dune exec bench/main.exe -- perf --quick -j "$CI_JOBS" --json ci
 echo "ci: bench smoke report at BENCH_ci.json"
 dune exec bench/main.exe -- verify --quick --json ci_verify

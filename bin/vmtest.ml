@@ -262,6 +262,24 @@ let resume_arg =
            validate report's $(b,caches) object is process telemetry \
            and reflects only the work actually re-executed).")
 
+let store_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store" ] ~docv:"DIR"
+        ~env:(Cmd.Env.info "VMTEST_STORE")
+        ~doc:
+          "Persist the memo layers — concolic path summaries, solver \
+           verdicts, translation-validation verdicts — in an on-disk \
+           content-addressed cache rooted at $(docv) (created on first \
+           write), shared across runs and processes.  Corrupted or torn \
+           entries are treated as misses; mutant entries are keyed apart \
+           from pristine ones.")
+
+(* Activate the process-global store for this run ([None] falls back to
+   the VMTEST_STORE environment variable, which cmdliner also reads). *)
+let with_store store = Exec.Store.activate_opt store
+
 let policy_of ~fuel ~deadline ~retries ~breaker ~seed =
   {
     Exec.Supervise.retries = max 0 retries;
@@ -276,6 +294,17 @@ let json_robustness (c : Exec.Supervise.counts) =
     "{\"ok\":%d,\"timed_out\":%d,\"crashed\":%d,\"quarantined\":%d,\
      \"retries\":%d}"
     c.c_ok c.c_timed_out c.c_crashed c.c_quarantined c.c_retries
+
+(* The "store" object every --json report carries: persistent-cache
+   telemetry.  Counters are deterministic at any [-j] for a given
+   starting store state (each memo key consults the store exactly once),
+   but differ between cold and warm runs — comparisons of aggregate
+   results across runs must ignore this object. *)
+let json_store () =
+  let s = Exec.Store.counters () in
+  Printf.sprintf
+    "{\"enabled\":%b,\"hits\":%d,\"misses\":%d,\"loads\":%d,\"writes\":%d}"
+    (Exec.Store.enabled ()) s.hits s.misses s.loads s.writes
 
 let json_unit_report (u : Ijdt_core.Campaign.unit_report) =
   Printf.sprintf
@@ -354,7 +383,8 @@ let write_campaign_json file (s : Ijdt_core.Campaign.supervised) =
     "{\"defects\":\"%s\",\"arches\":[%s],\"compilers\":[%s],\
      \"causes\":[%s],\"causes_by_family\":[%s],\
      \"agreement\":{\"both_clean\":%d,\"both_flagged\":%d,\
-     \"static_only\":%d,\"dynamic_only\":%d},\"static_causes\":[%s],%s}\n"
+     \"static_only\":%d,\"dynamic_only\":%d},\"static_causes\":[%s],%s,\
+     \"store\":%s}\n"
     (defects_label c.defects)
     (String.concat ","
        (List.map
@@ -367,7 +397,7 @@ let write_campaign_json file (s : Ijdt_core.Campaign.supervised) =
     a.both_clean a.both_flagged a.static_only a.dynamic_only
     (String.concat ","
        (List.map static_cause_json (Ijdt_core.Campaign.static_causes c)))
-    (json_supervision s);
+    (json_supervision s) (json_store ());
   close_out oc
 
 let campaign_cmd =
@@ -412,7 +442,8 @@ let campaign_cmd =
           ~doc:"Seed for the chaos schedule and the retry backoff.")
   in
   let run defects max_iterations jobs json chaos chaos_faults seed fuel
-      deadline retries breaker journal resume =
+      deadline retries breaker journal resume store =
+    with_store store;
     let policy = policy_of ~fuel ~deadline ~retries ~breaker ~seed in
     let s =
       Ijdt_core.Campaign.run_supervised ~jobs ~max_iterations ~defects ~policy
@@ -452,7 +483,7 @@ let campaign_cmd =
     Term.(
       const run $ defects_arg $ iters_arg $ jobs_arg $ json_arg $ chaos_arg
       $ chaos_faults_arg $ seed_arg $ fuel_arg $ deadline_arg $ retries_arg
-      $ breaker_arg $ journal_arg $ resume_arg)
+      $ breaker_arg $ journal_arg $ resume_arg $ store_arg)
 
 (* --- verify --- *)
 
@@ -511,7 +542,7 @@ let verify_cmd =
     Printf.fprintf oc
       "{\"defects\":%S,\"units\":%d,\"programs\":%d,\"paths\":%d,\
        \"truncated\":%d,\"crosschecked\":%d,\"findings\":%d,\
-       \"per_isa\":[%s],\"causes\":[%s]}\n"
+       \"per_isa\":[%s],\"causes\":[%s],\"store\":%s}\n"
       (if r.ab_defects = Interpreter.Defects.pristine then "pristine"
        else "seeded")
       r.ab_units r.ab_programs r.ab_paths r.ab_truncated r.ab_crosschecked
@@ -530,10 +561,12 @@ let verify_cmd =
               Printf.sprintf "{\"family\":%S,\"cause\":%S,\"count\":%d}"
                 (Verify.Finding.family_name family)
                 cause n)
-            causes));
+            causes))
+      (json_store ());
     close_out oc
   in
-  let run defects pristine include_missing abstract json subject =
+  let run defects pristine include_missing abstract json subject store =
+    with_store store;
     let defects = if pristine then Interpreter.Defects.pristine else defects in
     (* absent functionality (unimplemented templates) exists in both
        configurations and is reported by the dynamic tester on pristine
@@ -603,7 +636,7 @@ let verify_cmd =
           cross-compiler differencing) without executing any test")
     Term.(
       const run $ defects_arg $ pristine_arg $ include_missing_arg
-      $ abstract_arg $ json_arg $ subject_opt_arg)
+      $ abstract_arg $ json_arg $ subject_opt_arg $ store_arg)
 
 (* --- validate: solver-backed translation validation (pass 5) --- *)
 
@@ -640,7 +673,7 @@ let write_validation_json file ~pristine ~confirmed
   Printf.fprintf oc
     "{\"arches\":[%s],\"compilers\":[%s],\"totals\":%s,\
      \"unknown_rate\":%.4f,\"caches\":{\"solver\":%s,\
-     \"path_summaries\":%s},\"gate\":{\"pristine\":%b,\
+     \"path_summaries\":%s},\"store\":%s,\"gate\":{\"pristine\":%b,\
      \"confirmed_refutations\":%d,\"passed\":%b},%s}\n"
     (String.concat ","
        (List.map
@@ -652,7 +685,7 @@ let write_validation_json file ~pristine ~confirmed
      else float_of_int t.unknown /. float_of_int validated)
     (cache_json (Solver.Solve.cache_stats ()))
     (cache_json (Concolic.Explorer.cache_stats ()))
-    pristine confirmed
+    (json_store ()) pristine confirmed
     ((not pristine) || confirmed = 0)
     (json_supervision s);
   close_out oc
@@ -717,7 +750,8 @@ let validate_cmd =
              test universe.")
   in
   let run defects pristine compilers arches budget json max_iterations jobs
-      subject fuel deadline retries breaker journal resume =
+      subject fuel deadline retries breaker journal resume store =
+    with_store store;
     let policy = policy_of ~fuel ~deadline ~retries ~breaker ~seed:0 in
     let defects = if pristine then Interpreter.Defects.pristine else defects in
     let budget = Option.map ref budget in
@@ -807,7 +841,7 @@ let validate_cmd =
       const run $ defects_arg $ pristine_arg $ compilers_arg $ arch_arg
       $ budget_arg $ json_arg $ iters_arg $ jobs_arg $ subject_opt_arg
       $ fuel_arg $ deadline_arg $ retries_arg $ breaker_arg $ journal_arg
-      $ resume_arg)
+      $ resume_arg $ store_arg)
 
 (* --- mutate: the mutation kill matrix --- *)
 
@@ -839,7 +873,7 @@ let write_mutation_json file (m : Ijdt_core.Campaign.kill_matrix) =
     "{\"defects\":\"%s\",\"pristine\":%b,\"totals\":%s,\
      \"by_operator\":[%s],\"by_layer\":[%s],\"outcomes\":[%s],\
      \"gate\":{\"false_kills\":%d,\"passed\":%b},\
-     \"supervision\":{\"totals\":%s,\"incidents\":[%s]}}\n"
+     \"supervision\":{\"totals\":%s,\"incidents\":[%s]},\"store\":%s}\n"
     (defects_label m.km_defects) m.km_pristine (row_json t)
     (String.concat ","
        (List.map row_json (Ijdt_core.Campaign.kills_by_operator m)))
@@ -850,7 +884,8 @@ let write_mutation_json file (m : Ijdt_core.Campaign.kill_matrix) =
     ((not m.km_pristine)
     || Ijdt_core.Campaign.false_kills m = [])
     (json_robustness m.km_robustness)
-    (String.concat "," (List.map json_unit_report m.km_incidents));
+    (String.concat "," (List.map json_unit_report m.km_incidents))
+    (json_store ());
   close_out oc
 
 let mutate_cmd =
@@ -930,7 +965,9 @@ let mutate_cmd =
              and names only, byte-identical at any $(b,-j).")
   in
   let run defects pristine operators arches per_operator gen seed
-      max_iterations jobs json fuel deadline retries breaker journal resume =
+      max_iterations jobs json fuel deadline retries breaker journal resume
+      store =
+    with_store store;
     let policy = policy_of ~fuel ~deadline ~retries ~breaker ~seed in
     let operators =
       match operators with
@@ -987,7 +1024,7 @@ let mutate_cmd =
       const run $ mutate_defects_arg $ pristine_arg $ operators_arg
       $ arch_arg $ per_operator_arg $ gen_arg $ seed_arg $ iters_arg
       $ jobs_arg $ json_arg $ fuel_arg $ deadline_arg $ retries_arg
-      $ breaker_arg $ journal_arg $ resume_arg)
+      $ breaker_arg $ journal_arg $ resume_arg $ store_arg)
 
 (* --- list --- *)
 

@@ -136,10 +136,16 @@ let align ~(seed : PC.t) (raw : PC.t) : PC.t =
   go seed raw
 
 (* All child seeds of an explored path: negate each not-already-negated
-   clause, keeping the prefix before it. *)
-let children (pc : PC.t) : PC.t list =
-  let rec go prefix_rev acc = function
-    | [] -> List.rev acc
+   clause, keeping the prefix before it.  The canonical [prepared] form
+   of each child is built alongside by extending a running prefix — each
+   clause is normalized once per parent, and a child costs one extra
+   insertion instead of re-canonicalising its whole conjunction (the
+   sibling negations share the prefix work).  Also returns the full
+   path condition's prepared form, which curation reuses. *)
+let children_with_preps (pc : PC.t) :
+    Solver.Solve.prepared * (PC.t * Solver.Solve.prepared) list =
+  let rec go prefix_rev prefix_prep acc = function
+    | [] -> (prefix_prep, List.rev acc)
     | (c : PC.clause) :: rest ->
         let acc =
           if c.already_negated then acc
@@ -148,13 +154,11 @@ let children (pc : PC.t) : PC.t list =
               List.rev_append prefix_rev
                 [ { PC.cond = Sym.negate c.cond; already_negated = true } ]
             in
-            child :: acc
+            (child, Solver.Solve.extend prefix_prep (Sym.negate c.cond)) :: acc
         in
-        go (c :: prefix_rev) acc rest
+        go (c :: prefix_rev) (Solver.Solve.extend prefix_prep c.cond) acc rest
   in
-  go [] [] pc
-
-let prefix_key (pc : PC.t) = PC.to_string pc
+  go [] Solver.Solve.empty_prepared [] pc
 
 let explore_uncached ?(max_iterations = 128)
     ?(defects = Interpreter.Defects.default) ?(lookahead = false)
@@ -180,10 +184,15 @@ let explore_uncached ?(max_iterations = 128)
         Hashtbl.replace entry_vars rank v;
         v
   in
+  (* Worklist entries carry their canonical prepared form; [visited] is
+     keyed by its fingerprint, so two seeds whose conjunctions
+     canonicalise identically — same model, same materialisation, same
+     execution — are explored once. *)
   let worklist = Queue.create () in
-  Queue.add PC.empty worklist;
+  Queue.add (PC.empty, Solver.Solve.empty_prepared) worklist;
   let visited = Hashtbl.create 64 in
-  Hashtbl.replace visited (prefix_key PC.empty) ();
+  Hashtbl.replace visited (Solver.Solve.fingerprint Solver.Solve.empty_prepared)
+    ();
   let seen_paths = Hashtbl.create 64 in
   let paths = ref [] in
   let iterations = ref 0 in
@@ -193,8 +202,8 @@ let explore_uncached ?(max_iterations = 128)
   (try
      while (not (Queue.is_empty worklist)) && !iterations < max_iterations do
        Exec.Budget.tick ~cost:64 ();
-       let seed = Queue.pop worklist in
-       match Solver.Solve.solve (PC.conditions seed) with
+       let seed, seed_prep = Queue.pop worklist in
+       match Solver.Solve.solve_prepared seed_prep with
        | Solver.Solve.Unsat -> incr unsat
        | Solver.Solve.Unknown _ -> incr skipped
        | Solver.Solve.Sat model -> (
@@ -227,38 +236,51 @@ let explore_uncached ?(max_iterations = 128)
                    ~temps:(Array.map (fun v -> Sym.Var v) temp_vars)
                    ~operand_stack:stack_syms ~pc:0
                in
-               let path =
-                 {
-                   Path.subject;
-                   input_frame;
-                   input_stack_depth = input.stack_depth;
-                   output =
-                     {
-                       Path.stack = Shadow_machine.output_stack_syms shadow;
-                       temps = Shadow_machine.output_temps_syms shadow;
-                       pc = Interpreter.Frame.pc input.frame;
-                       effects = Shadow_machine.effects shadow;
-                       return_value = Shadow_machine.return_sym shadow;
-                     };
-                   path_condition = aligned;
-                   exit_;
-                   model;
-                   stack_size_term;
-                 }
+               let full_prep, kids = children_with_preps aligned in
+               let k =
+                 PC.to_string aligned ^ " => "
+                 ^ Interpreter.Exit_condition.to_string exit_
                in
-               let k = Path.key path in
                if not (Hashtbl.mem seen_paths k) then begin
                  Hashtbl.replace seen_paths k ();
+                 (* Curate here, once per distinct path: every consumer
+                    (compiler × arch) reads the verdict off the path
+                    instead of re-posing the full conjunction. *)
+                 let curation = Solver.Solve.solve_prepared full_prep in
+                 let path =
+                   {
+                     Path.subject;
+                     input_frame;
+                     input_stack_depth = input.stack_depth;
+                     output =
+                       {
+                         Path.stack = Shadow_machine.output_stack_syms shadow;
+                         temps = Shadow_machine.output_temps_syms shadow;
+                         pc = Interpreter.Frame.pc input.frame;
+                         effects = Shadow_machine.effects shadow;
+                         return_value = Shadow_machine.return_sym shadow;
+                       };
+                     path_condition = aligned;
+                     exit_;
+                     model;
+                     curation;
+                     stack_size_term;
+                   }
+                 in
                  paths := path :: !paths
                end;
                List.iter
-                 (fun child ->
-                   let ck = prefix_key child in
+                 (fun (child, cprep) ->
+                   let ck = Solver.Solve.fingerprint cprep in
                    if not (Hashtbl.mem visited ck) then begin
                      Hashtbl.replace visited ck ();
-                     Queue.add child worklist
+                     (* a syntactic refutation (complement pair, empty
+                        constant-bound meet) prunes the child without a
+                        solver call *)
+                     if Solver.Solve.prepared_unsat cprep then incr unsat
+                     else Queue.add (child, cprep) worklist
                    end)
-                 (children aligned))
+                 kids)
      done
    with Exit -> ());
   {
@@ -281,6 +303,19 @@ let cache :
     (Path.subject * Interpreter.Defects.t * int * bool, result) Exec.Memo.t =
   Exec.Memo.create ()
 
+(* The persistent layer.  Exploration runs the interpreter shadow, never
+   compiled code, so summaries depend on (subject, defect configuration,
+   bounds) only — no {!Jit.Fault.cache_tag} in the key (compiled-code
+   mutants cannot change them; the validator's machine-path entries are
+   the ones that carry the tag). *)
+let store_ns = "path-summary:1"
+
+let store_key subject defects max_iterations lookahead =
+  Printf.sprintf "%s|defects:%s|iters:%d|lookahead:%b"
+    (Path.subject_name subject)
+    (Digest.to_hex (Digest.string (Marshal.to_string defects [])))
+    max_iterations lookahead
+
 let explore ?(max_iterations = 128) ?(defects = Interpreter.Defects.default)
     ?(lookahead = false) (subject : Path.subject) : result =
   (* Chaos fires before the memo so a warm cache can never mask an
@@ -288,7 +323,14 @@ let explore ?(max_iterations = 128) ?(defects = Interpreter.Defects.default)
   Exec.Chaos.hook_explorer ();
   Exec.Memo.find_or_add cache
     (subject, defects, max_iterations, lookahead)
-    (fun _ -> explore_uncached ~max_iterations ~defects ~lookahead subject)
+    (fun _ ->
+      let key = store_key subject defects max_iterations lookahead in
+      match Exec.Store.lookup ~ns:store_ns ~key with
+      | Some r -> r
+      | None ->
+          let r = explore_uncached ~max_iterations ~defects ~lookahead subject in
+          Exec.Store.record ~ns:store_ns ~key r;
+          r)
 
 let cache_stats () = Exec.Memo.stats cache
 let reset_cache () = Exec.Memo.clear cache

@@ -37,6 +37,10 @@ type t = {
   path_condition : Symbolic.Path_condition.t;
   exit_ : Interpreter.Exit_condition.t;
   model : Solver.Model.t; (* the witness that drove this path *)
+  curation : Solver.Solve.verdict;
+      (* the full path condition's verdict, computed once at exploration
+         time; consumers (one per compiler × arch) curate on it instead
+         of re-posing the same query *)
   stack_size_term : Sym.t;
 }
 

@@ -29,6 +29,10 @@ type t = {
   path_condition : Symbolic.Path_condition.t;
   exit_ : Interpreter.Exit_condition.t;
   model : Solver.Model.t;  (** the witness that drove this path *)
+  curation : Solver.Solve.verdict;
+      (** verdict of the full path condition, computed once at
+          exploration time; consumers curate on it instead of re-posing
+          the query per (compiler × arch) *)
   stack_size_term : Sym.t;
 }
 

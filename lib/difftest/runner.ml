@@ -185,7 +185,12 @@ let run_bytecode_path ~defects ~compiler ~arch (path : Concolic.Path.t)
       (* expected failures: the frame generator simply lacked elements *)
       Expected_failure
   | _ -> (
-      match Solver.Solve.solve (Symbolic.Path_condition.conditions path.path_condition) with
+      (* curation was computed once at exploration time (same query,
+         same verdict) — no re-solve per (compiler × arch) consumer.
+         The chaos hook still fires per consult so a memoized verdict
+         can never mask an injected solver fault. *)
+      Exec.Chaos.hook_solver ();
+      match path.curation with
       | Solver.Solve.Unknown reason -> Curated_out reason
       | Solver.Solve.Unsat -> Curated_out "path condition re-solve unsat"
       | Solver.Solve.Sat _ -> (
@@ -313,9 +318,8 @@ let run_native_path ~defects ~compiler:_ ~arch (path : Concolic.Path.t)
   match path.exit_ with
   | EC.Invalid_frame -> Expected_failure
   | _ -> (
-      match
-        Solver.Solve.solve (Symbolic.Path_condition.conditions path.path_condition)
-      with
+      Exec.Chaos.hook_solver ();
+      match path.curation with
       | Solver.Solve.Unknown reason -> Curated_out reason
       | Solver.Solve.Unsat -> Curated_out "path condition re-solve unsat"
       | Solver.Solve.Sat _ -> (

@@ -1,8 +1,10 @@
 (* Each shard is a stdlib Hashtbl behind its own mutex; entries are
    [Computing] while the owning caller runs the thunk outside the lock,
    and a per-shard condition wakes waiters when the value (or a
-   failure) lands.  Counters are process-global atomics, not per-shard,
-   so [stats] needs no locking. *)
+   failure) lands.  Counters live *inside* the shards, bumped under the
+   shard lock the caller already holds — no cache line is shared across
+   shards on the hot path, so counting costs nothing extra under [-j];
+   [stats] pays the aggregation instead, once, at read time. *)
 
 type 'v entry = Computing | Done of 'v
 
@@ -10,18 +12,24 @@ type ('k, 'v) shard = {
   table : ('k, 'v entry) Hashtbl.t;
   lock : Mutex.t;
   landed : Condition.t;
+  mutable hits : int;
+  mutable misses : int;
 }
 
-type ('k, 'v) t = {
-  shards : ('k, 'v) shard array;
-  hits : int Atomic.t;
-  misses : int Atomic.t;
-}
+type ('k, 'v) t = { shards : ('k, 'v) shard array }
 
 let rec pow2_at_least n k = if k >= n then k else pow2_at_least n (k * 2)
 
-let create ?(shards = 16) () =
-  let n = pow2_at_least (max 1 shards) 1 in
+(* Enough shards that domains rarely collide even when every one of
+   them hammers the same memo: 4 slots per recommended domain, floor of
+   16 so single-core machines still spread hash buckets. *)
+let default_shards () = max 16 (4 * Domain.recommended_domain_count ())
+
+let create ?shards () =
+  let requested =
+    match shards with Some n -> n | None -> default_shards ()
+  in
+  let n = pow2_at_least (max 1 requested) 1 in
   {
     shards =
       Array.init n (fun _ ->
@@ -29,9 +37,9 @@ let create ?(shards = 16) () =
             table = Hashtbl.create 64;
             lock = Mutex.create ();
             landed = Condition.create ();
+            hits = 0;
+            misses = 0;
           });
-    hits = Atomic.make 0;
-    misses = Atomic.make 0;
   }
 
 let shard_for t k = t.shards.(Hashtbl.hash k land (Array.length t.shards - 1))
@@ -42,16 +50,16 @@ let find_or_add t k compute =
   let rec claim () =
     match Hashtbl.find_opt s.table k with
     | Some (Done v) ->
+        s.hits <- s.hits + 1;
         Mutex.unlock s.lock;
-        Atomic.incr t.hits;
         v
     | Some Computing ->
         Condition.wait s.landed s.lock;
         claim ()
     | None ->
         Hashtbl.replace s.table k Computing;
+        s.misses <- s.misses + 1;
         Mutex.unlock s.lock;
-        Atomic.incr t.misses;
         (match compute k with
         | v ->
             Mutex.lock s.lock;
@@ -83,7 +91,14 @@ let find_opt t k =
 type stats = { hits : int; misses : int }
 
 let stats (t : ('k, 'v) t) =
-  { hits = Atomic.get t.hits; misses = Atomic.get t.misses }
+  Array.fold_left
+    (fun acc s ->
+      Mutex.lock s.lock;
+      let r = { hits = acc.hits + s.hits; misses = acc.misses + s.misses } in
+      Mutex.unlock s.lock;
+      r)
+    { hits = 0; misses = 0 }
+    t.shards
 
 let length t =
   Array.fold_left
@@ -109,7 +124,7 @@ let clear t =
           s.table []
       in
       List.iter (Hashtbl.remove s.table) doomed;
+      s.hits <- 0;
+      s.misses <- 0;
       Mutex.unlock s.lock)
-    t.shards;
-  Atomic.set t.hits 0;
-  Atomic.set t.misses 0
+    t.shards

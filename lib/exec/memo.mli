@@ -7,15 +7,18 @@
     runs at most once per key even under [-j].  If the computation
     raises, the key is released and waiters retry it themselves.
 
-    Hit/miss counters are atomic and cheap; [hits + misses] equals the
+    Hit/miss counters live per shard, bumped under the shard lock the
+    caller already holds, and are summed on {!stats} — no globally
+    shared cache line on the hot path.  [hits + misses] equals the
     number of {!find_or_add} calls that completed (the accounting
     invariant the CI bench smoke checks). *)
 
 type ('k, 'v) t
 
 val create : ?shards:int -> unit -> ('k, 'v) t
-(** [shards] (default 16, rounded up to a power of two) bounds lock
-    contention; keys are distributed by [Hashtbl.hash]. *)
+(** [shards] (rounded up to a power of two) bounds lock contention;
+    keys are distributed by [Hashtbl.hash].  The default scales with
+    the machine: [max 16 (4 * Domain.recommended_domain_count ())]. *)
 
 val find_or_add : ('k, 'v) t -> 'k -> ('k -> 'v) -> 'v
 (** [find_or_add t k compute] returns the cached value for [k], or runs

@@ -1020,22 +1020,152 @@ let solve_normalized ~seed (conds : Sym_expr.t list) : verdict =
         try try_branches false branches
         with Give_up reason -> Unknown reason)
 
-let solve_uncached ?(seed = 0x5EED) (conds : Sym_expr.t list) : verdict =
-  (* Eliminate the machine-level tag/shift/mask operators first, then
-     mirror the paper's solver limits (§4.3) on whatever remains. *)
-  solve_normalized ~seed (List.map normalize conds)
+(* ------------------------------------------------------------------ *)
+(* Canonical (prepared) conjunctions                                    *)
+(* ------------------------------------------------------------------ *)
 
-(* The memo table.  Keyed on the *normalized* conjunction (rendered to
-   its canonical string, the same convention [Path.key] and the static
-   caches use) plus the seed, so two queries that normalize identically
-   share one verdict.  Verdicts are deterministic per key and models are
+(* A [prepared] value is a path condition in canonical form: every
+   conjunct bit-normalized, top-level [Not] pushed through integer
+   comparisons, trivially-true conjuncts dropped, duplicates collapsed,
+   and the remainder sorted by rendered string.  Semantically equal
+   conjunctions built in any order therefore share one [fingerprint] —
+   the collision the memo and the persistent store both key on.
+
+   Alongside the conjunct set it carries cheap syntactic refutation
+   state: per-term constant bounds (intersected as conjuncts arrive) and
+   a [contradicted] bit set by a complement pair (c ∧ ¬c), a constant
+   comparison that is false, or an empty bound meet.  Every refutation
+   rule is sound for Unsat — a true Sat conjunction can never trip it —
+   so callers may skip the decision procedure entirely on a contradicted
+   value.  [contradicted] is a pure function of the conjunct *set*
+   (complement pairs, false members and bound meets do not depend on
+   insertion order), so equal fingerprints always agree on it and the
+   verdict cache cannot be poisoned by the shortcut. *)
+
+type prepared = {
+  pn : (string * Sym_expr.t) list; (* sorted by rendered conjunct *)
+  bounds : (string * Interval.t) list; (* term render → constant bounds *)
+  contradicted : bool;
+}
+
+let empty_prepared = { pn = []; bounds = []; contradicted = false }
+let fingerprint p = String.concat " & " (List.map fst p.pn)
+let prepared_unsat p = p.contradicted
+let prepared_conds p = List.map snd p.pn
+
+(* ¬(a ⋈ b) ≡ (a ⋈' b) holds for *integer* comparisons (they are
+   total); float comparisons are left alone — ¬(a < b) is not (a >= b)
+   under NaN. *)
+let rec push_not (e : Sym_expr.t) : Sym_expr.t =
+  match e with
+  | Not (Cmp (c, a, b)) -> Cmp (negate_cmp c, a, b)
+  | Not (Bool_const b) -> Bool_const (not b)
+  | Not (Not e) -> push_not e
+  | e -> e
+
+let rec const_truth (e : Sym_expr.t) : bool option =
+  match e with
+  | Bool_const b -> Some b
+  | Not e -> Option.map not (const_truth e)
+  | Cmp (c, Int_const a, Int_const b) -> Some (Eval.cmp_holds c a b)
+  | _ -> None
+
+(* The syntactic negation of a canonical conjunct.  [Not] is genuine
+   logical negation, so the default arm is always sound; comparisons
+   get the comparison form because [push_not] canonicalised theirs
+   away. *)
+let complement (e : Sym_expr.t) : Sym_expr.t =
+  match e with
+  | Not e -> e
+  | Cmp (c, a, b) -> Cmp (negate_cmp c, a, b)
+  | e -> Not e
+
+let flip_cmp : Sym_expr.cmp -> Sym_expr.cmp = function
+  | Clt -> Cgt
+  | Cle -> Cge
+  | Cgt -> Clt
+  | Cge -> Cle
+  | (Ceq | Cne) as c -> c
+
+(* Wide sentinel bounds: comfortably past any small-int or size value,
+   comfortably inside overflow range for interval arithmetic. *)
+let wide_interval = { Interval.lo = min_int asr 2; hi = max_int asr 2 }
+
+let update_bounds bounds (c : Sym_expr.t) =
+  let tighten term cmp k =
+    let tr = Sym_expr.to_string term in
+    let cur =
+      match List.assoc_opt tr bounds with
+      | Some iv -> iv
+      | None -> wide_interval
+    in
+    match Interval.tighten_cmp cmp cur (Interval.exactly k) with
+    | Some iv -> ((tr, iv) :: List.remove_assoc tr bounds, false)
+    | None -> (bounds, true)
+  in
+  match c with
+  | Cmp (cmp, Int_const k, t) -> tighten t (flip_cmp cmp) k
+  | Cmp (cmp, t, Int_const k) -> tighten t cmp k
+  | _ -> (bounds, false)
+
+let extend (p : prepared) (cond : Sym_expr.t) : prepared =
+  let c = push_not (normalize cond) in
+  let ins r c pn =
+    let rec go = function
+      | [] -> [ (r, c) ]
+      | ((r0, _) as hd) :: tl -> if r < r0 then (r, c) :: hd :: tl else hd :: go tl
+    in
+    go pn
+  in
+  match const_truth c with
+  | Some true -> p
+  | Some false ->
+      (* kept in the conjunct set — the fingerprint must differ from
+         the satisfiable conjunction that merely omits it *)
+      let r = Sym_expr.to_string c in
+      if List.mem_assoc r p.pn then { p with contradicted = true }
+      else { p with pn = ins r c p.pn; contradicted = true }
+  | None -> (
+      let r = Sym_expr.to_string c in
+      if List.mem_assoc r p.pn then p
+      else
+        let pn = ins r c p.pn in
+        if p.contradicted then { p with pn }
+        else if List.mem_assoc (Sym_expr.to_string (complement c)) p.pn then
+          { p with pn; contradicted = true }
+        else
+          match update_bounds p.bounds c with
+          | bounds, dead -> { pn; bounds; contradicted = dead })
+
+let prepare (conds : Sym_expr.t list) : prepared =
+  List.fold_left extend empty_prepared conds
+
+let normalize_conjunction conds = prepared_conds (prepare conds)
+
+(* ------------------------------------------------------------------ *)
+(* Entry points and caches                                              *)
+(* ------------------------------------------------------------------ *)
+
+let solve_uncached ?(seed = 0x5EED) (conds : Sym_expr.t list) : verdict =
+  (* Canonicalise exactly like [solve], then mirror the paper's solver
+     limits (§4.3) on whatever remains — the determinism oracle must
+     walk the same road as the cached entry point. *)
+  let p = prepare conds in
+  if p.contradicted then Unsat
+  else solve_normalized ~seed (prepared_conds p)
+
+(* The memo table.  Keyed on the canonical conjunction's [fingerprint]
+   (the same rendering convention [Path.key] and the static caches use)
+   plus the seed, so two queries that canonicalise identically share
+   one verdict.  Verdicts are deterministic per key and models are
    immutable once built, so sharing the table read-mostly across domains
    never changes a result — only how often the decision procedure runs. *)
 let memo : (string, verdict) Exec.Memo.t = Exec.Memo.create ~shards:64 ()
 
-let cache_key ~seed conds =
-  string_of_int seed ^ "|"
-  ^ String.concat " & " (List.map Sym_expr.to_string conds)
+(* The persistent layer: verdicts survive the process when a store is
+   active.  Pure function of the key (seed + canonical conjunction), so
+   no fault tag is needed — compiled code never enters a solver key. *)
+let store_ns = "solver-verdict:1"
 
 (* Independent of the memo's own hit/miss counters: one increment per
    [solve] call, before the lookup.  The invariant
@@ -1044,18 +1174,33 @@ let cache_key ~seed conds =
 let queries_posed_counter = Atomic.make 0
 let queries_posed () = Atomic.get queries_posed_counter
 
-let solve ?(seed = 0x5EED) (conds : Sym_expr.t list) : verdict =
-  (* Chaos and watchdog poll come before the posed-counter increment
-     and the memo lookup: an injected raise or an exhausted budget
-     leaves [queries_posed = hits + misses] intact and never poisons
-     the shared cache. *)
+let solve_canon ~seed (p : prepared) : verdict =
+  let key = string_of_int seed ^ "|" ^ fingerprint p in
+  Exec.Memo.find_or_add memo key (fun _ ->
+      if p.contradicted then Unsat
+      else
+        match Exec.Store.lookup ~ns:store_ns ~key with
+        | Some v -> v
+        | None ->
+            let v = solve_normalized ~seed (prepared_conds p) in
+            Exec.Store.record ~ns:store_ns ~key v;
+            v)
+
+(* Chaos and watchdog poll come before the posed-counter increment and
+   the memo lookup: an injected raise or an exhausted budget leaves
+   [queries_posed = hits + misses] intact and never poisons the shared
+   cache. *)
+let solve_prepared ?(seed = 0x5EED) (p : prepared) : verdict =
   Exec.Chaos.hook_solver ();
   Exec.Budget.tick ~cost:16 ();
   Atomic.incr queries_posed_counter;
-  let conds = List.map normalize conds in
-  Exec.Memo.find_or_add memo
-    (cache_key ~seed conds)
-    (fun _ -> solve_normalized ~seed conds)
+  solve_canon ~seed p
+
+let solve ?(seed = 0x5EED) (conds : Sym_expr.t list) : verdict =
+  Exec.Chaos.hook_solver ();
+  Exec.Budget.tick ~cost:16 ();
+  Atomic.incr queries_posed_counter;
+  solve_canon ~seed (prepare conds)
 
 let cache_stats () = Exec.Memo.stats memo
 

@@ -27,18 +27,57 @@ val normalize : Symbolic.Sym_expr.t -> Symbolic.Sym_expr.t
     [a lsl k = a * 2^k], [a asr k = a / 2^k] (floor),
     [a land (2^k - 1) = a mod 2^k], [(2a) lor 1 = 2a + 1]. *)
 
+(** {2 Canonical conjunctions}
+
+    A [prepared] value is a path condition in canonical form: conjuncts
+    bit-normalized, [Not] pushed through integer comparisons,
+    trivially-true conjuncts dropped, duplicates collapsed, the rest
+    sorted — so semantically equal conjunctions built in any order share
+    one {!fingerprint}, which is exactly the key the memo and the
+    persistent store use.  It also tracks sound syntactic refutations
+    (complement pairs, false constant comparisons, empty constant-bound
+    meets); {!prepared_unsat} lets the explorer prune a child without
+    any solver call. *)
+
+type prepared
+
+val empty_prepared : prepared
+
+val extend : prepared -> Symbolic.Sym_expr.t -> prepared
+(** Add one conjunct.  O(size of the conjunction); building a child
+    from its prefix costs one insertion, not a re-canonicalisation. *)
+
+val prepare : Symbolic.Sym_expr.t list -> prepared
+val fingerprint : prepared -> string
+
+val prepared_unsat : prepared -> bool
+(** Syntactically refuted — sound: [true] implies the conjunction is
+    unsatisfiable, never the reverse. *)
+
+val normalize_conjunction :
+  Symbolic.Sym_expr.t list -> Symbolic.Sym_expr.t list
+(** The canonical conjunct list itself (idempotent and
+    solve-preserving; both qcheck-checked in [test_solver]). *)
+
 val solve : ?seed:int -> Symbolic.Sym_expr.t list -> verdict
 (** Conjunction satisfiability.  Deterministic for a given [seed].
-    Memoized: the verdict is cached under the normalized conjunction
-    (plus seed) in a table shared read-mostly across domains, so
-    repeated queries — the same subject explored for several compilers,
-    curation re-solves, validator equivalence checks — run the decision
-    procedure once.  Memoization never changes a verdict (see
-    {!solve_uncached} and the qcheck property in [test_exec]). *)
+    Memoized: the verdict is cached under the canonical conjunction's
+    fingerprint (plus seed) in a table shared read-mostly across
+    domains, so repeated queries — the same subject explored for
+    several compilers, curation, validator equivalence checks — run the
+    decision procedure once.  When a {!Exec.Store} is active the
+    verdict also persists across processes.  Caching never changes a
+    verdict (see {!solve_uncached} and the qcheck property in
+    [test_exec]). *)
+
+val solve_prepared : ?seed:int -> prepared -> verdict
+(** {!solve} for an already-canonical conjunction (skips
+    re-preparation; same counters, same caches, same verdicts). *)
 
 val solve_uncached : ?seed:int -> Symbolic.Sym_expr.t list -> verdict
-(** {!solve} bypassing the memo table: always runs the decision
-    procedure.  The determinism oracle for the memo. *)
+(** {!solve} bypassing the memo table and the store: always runs the
+    decision procedure (after the same canonicalisation).  The
+    determinism oracle for the caches. *)
 
 val cache_stats : unit -> Exec.Memo.stats
 (** Hit/miss counters of the solver memo since the last

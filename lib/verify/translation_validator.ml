@@ -454,6 +454,11 @@ let frame_signature (frame : Symbolic.Abstract_frame.t) =
              (Symbolic.Abstract_frame.temps frame))))
     (String.concat "," (List.map (fun e -> string_of_int (var_id e)) stack))
 
+(* Persistent layer for the machine-path enumeration.  The key carries
+   the fault tag: mutant machine code must never satisfy a pristine
+   lookup (and distinct mutants must never satisfy each other's). *)
+let mc_store_ns = "mc-paths:1"
+
 let machine_paths ?se_budget ~(defects : Interpreter.Defects.t)
     ~(compiler : Jit.Cogits.compiler) ~(arch : Jit.Codegen.arch)
     (path : Concolic.Path.t) : compiled =
@@ -461,14 +466,21 @@ let machine_paths ?se_budget ~(defects : Interpreter.Defects.t)
   let key =
     (* the Fault tag keeps mutant machine paths out of the pristine
        entries (and distinct mutants out of each other's) *)
-    Printf.sprintf "%s|%s|%s|%d|%s%s"
+    Printf.sprintf "%s|%s|%s|%d|%s%s%s"
       (Concolic.Path.subject_name path.subject)
       (Jit.Cogits.short_name compiler)
       (Jit.Codegen.arch_name arch)
       (Hashtbl.hash defects) (frame_signature frame)
+      (match se_budget with
+      | Some (b : SE.budget) ->
+          Printf.sprintf "|se:%d:%d:%d" b.max_paths b.max_conds b.max_steps
+      | None -> "")
       (Jit.Fault.cache_tag ())
   in
   Exec.Memo.find_or_add mc_cache key @@ fun _ ->
+  match Exec.Store.lookup ~ns:mc_store_ns ~key with
+  | Some c -> c
+  | None ->
       let accessor_gaps = defects.Interpreter.Defects.simulation_accessor_gaps in
       let run program ~subst ~init_regs ~init_temps =
         Machine_paths
@@ -523,6 +535,7 @@ let machine_paths ?se_budget ~(defects : Interpreter.Defects.t)
             | exception Jit.Cogits.Not_compiled msg -> Missing msg
             | program -> run program ~subst ~init_regs ~init_temps)
       in
+      Exec.Store.record ~ns:mc_store_ns ~key c;
       c
 
 (* --- per-pair classification --- *)
@@ -613,9 +626,9 @@ let classify_pair ~(path : Concolic.Path.t) ~(p_conds : Sym.t list)
 
 (* --- the per-path validation verdict --- *)
 
-let validate_path ?se_budget ?query_budget ~(defects : Interpreter.Defects.t)
-    ~(compiler : Jit.Cogits.compiler) ~(arch : Jit.Codegen.arch)
-    (path : Concolic.Path.t) : verdict =
+let validate_path_uncached ?se_budget ?query_budget
+    ~(defects : Interpreter.Defects.t) ~(compiler : Jit.Cogits.compiler)
+    ~(arch : Jit.Codegen.arch) (path : Concolic.Path.t) : verdict =
   match path.exit_ with
   | EC.Invalid_frame -> Unknown "invalid-frame path (not validated)"
   | _ -> (
@@ -679,3 +692,45 @@ let validate_path ?se_budget ?query_budget ~(defects : Interpreter.Defects.t)
                 else if !compatible = 0 then
                   Unknown "no machine path aligns with this interpreter path"
                 else Proved))
+
+(* Persistent layer for whole per-path verdicts — the third memo layer.
+   Only unbudgeted validations persist: a query budget degrades verdicts
+   to Unknown depending on how much of the budget earlier units spent,
+   which is process state, not a function of the key.  The key pins
+   everything the verdict reads: subject, compiler, arch, defect
+   configuration, frame shape, stack depth, the full path condition and
+   exit, the symbolic-execution budget, and the fault tag (a mutant's
+   refuted verdict must never satisfy a pristine lookup). *)
+let verdict_store_ns = "validate-verdict:1"
+
+let validate_path ?se_budget ?query_budget ~(defects : Interpreter.Defects.t)
+    ~(compiler : Jit.Cogits.compiler) ~(arch : Jit.Codegen.arch)
+    (path : Concolic.Path.t) : verdict =
+  match query_budget with
+  | Some _ ->
+      validate_path_uncached ?se_budget ?query_budget ~defects ~compiler ~arch
+        path
+  | None -> (
+      let key =
+        Printf.sprintf "%s|%s|%s|%d|%s|d%d%s|%s%s"
+          (Concolic.Path.subject_name path.subject)
+          (Jit.Cogits.short_name compiler)
+          (Jit.Codegen.arch_name arch)
+          (Hashtbl.hash defects)
+          (frame_signature path.input_frame)
+          path.input_stack_depth
+          (match se_budget with
+          | Some (b : SE.budget) ->
+              Printf.sprintf "|se:%d:%d:%d" b.max_paths b.max_conds b.max_steps
+          | None -> "")
+          (Concolic.Path.key path)
+          (Jit.Fault.cache_tag ())
+      in
+      match Exec.Store.lookup ~ns:verdict_store_ns ~key with
+      | Some v -> v
+      | None ->
+          let v =
+            validate_path_uncached ?se_budget ~defects ~compiler ~arch path
+          in
+          Exec.Store.record ~ns:verdict_store_ns ~key v;
+          v)

@@ -12,6 +12,7 @@ let () =
       ("primitives", Test_primitives.suite);
       ("solver", Test_solver.suite);
       ("exec", Test_exec.suite);
+      ("store", Test_store.suite);
       ("supervise", Test_supervise.suite);
       ("symbolic", Test_symbolic.suite);
       ("machine", Test_machine.suite);

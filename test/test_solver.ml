@@ -316,6 +316,90 @@ let qcheck_unsat_detected =
              Sym.Cmp (Sym.Clt, x, Sym.Int_const lo);
            ]))
 
+(* --- canonicalization: normalize_conjunction and the fingerprint --- *)
+
+(* a fixed pool of three variables so random conjunctions actually
+   contain duplicates, complements and contradictions *)
+let nvars = [| int_var "n0"; int_var "n1"; int_var "n2" |]
+
+let conjunction_gen =
+  QCheck.Gen.(
+    let cmp_op =
+      oneofl [ Sym.Ceq; Sym.Cne; Sym.Clt; Sym.Cle; Sym.Cgt; Sym.Cge ]
+    in
+    let atom =
+      map3
+        (fun op v k -> Sym.Cmp (op, nvars.(v), Sym.Int_const k))
+        cmp_op (int_range 0 2) (int_range (-20) 20)
+    in
+    let conjunct =
+      frequency
+        [
+          (4, atom);
+          (2, map (fun c -> Sym.Not c) atom);
+          (1, return (Sym.Bool_const true));
+        ]
+    in
+    list_size (int_range 0 8) conjunct)
+
+let arb_conjunction = QCheck.make conjunction_gen
+
+let verdict_class = function
+  | Solve.Sat _ -> "sat"
+  | Solve.Unsat -> "unsat"
+  | Solve.Unknown _ -> "unknown"
+
+let qcheck_normalize_idempotent =
+  QCheck.Test.make ~name:"qcheck: normalize_conjunction is idempotent"
+    ~count:300 arb_conjunction (fun conds ->
+      let once = Solve.normalize_conjunction conds in
+      Solve.normalize_conjunction once = once)
+
+let qcheck_normalize_solve_preserving =
+  QCheck.Test.make ~name:"qcheck: normalize_conjunction preserves verdicts"
+    ~count:300 arb_conjunction (fun conds ->
+      let original = Solve.solve_uncached conds in
+      let normalized = Solve.solve_uncached (Solve.normalize_conjunction conds) in
+      verdict_class original = verdict_class normalized
+      &&
+      match original with
+      | Solve.Sat m -> model_satisfies m conds
+      | _ -> true)
+
+let qcheck_permutations_share_fingerprint =
+  QCheck.Test.make
+    ~name:"qcheck: permuted conjunctions collide in the memo" ~count:300
+    arb_conjunction (fun conds ->
+      let fp l = Solve.fingerprint (Solve.prepare l) in
+      fp conds = fp (List.rev conds))
+
+let test_permuted_conjunction_hits_memo () =
+  let x = nvars.(0) and y = nvars.(1) in
+  let a = Sym.Cmp (Sym.Cgt, x, Sym.Int_const 3) in
+  let b = Sym.Cmp (Sym.Clt, y, Sym.Int_const 9) in
+  Solve.reset_cache ();
+  let v1 = Solve.solve [ a; b ] in
+  let v2 = Solve.solve [ b; a ] in
+  check_bool "same verdict" true (verdict_class v1 = verdict_class v2);
+  let s = Solve.cache_stats () in
+  Alcotest.(check int) "one memo entry" 1 s.Exec.Memo.misses;
+  Alcotest.(check int) "permutation was a hit" 1 s.Exec.Memo.hits
+
+let test_normalize_drops_noise () =
+  let x = nvars.(0) in
+  let c = Sym.Cmp (Sym.Cgt, x, Sym.Int_const 3) in
+  (* trivially-true conjuncts vanish; duplicates — including a negation
+     that pushes to an existing conjunct — collapse to one *)
+  let noisy =
+    [ Sym.Bool_const true; c; c; Sym.Not (Sym.Cmp (Sym.Cle, x, Sym.Int_const 3)) ]
+  in
+  (match Solve.normalize_conjunction noisy with
+  | [ kept ] -> check_bool "the one real conjunct survives" true (kept = c)
+  | l -> Alcotest.failf "expected one conjunct, got %d" (List.length l));
+  (* complements are refuted without any solver work *)
+  check_bool "complement pair syntactically unsat" true
+    (Solve.prepared_unsat (Solve.prepare [ c; Sym.Not c ]))
+
 let suite =
   [
     Alcotest.test_case "empty conjunction sat" `Quick test_empty_is_sat;
@@ -341,4 +425,11 @@ let suite =
     Alcotest.test_case "interval operations" `Quick test_interval_ops;
     QCheck_alcotest.to_alcotest qcheck_bound_witnesses;
     QCheck_alcotest.to_alcotest qcheck_unsat_detected;
+    QCheck_alcotest.to_alcotest qcheck_normalize_idempotent;
+    QCheck_alcotest.to_alcotest qcheck_normalize_solve_preserving;
+    QCheck_alcotest.to_alcotest qcheck_permutations_share_fingerprint;
+    Alcotest.test_case "permuted conjunction hits the memo" `Quick
+      test_permuted_conjunction_hits_memo;
+    Alcotest.test_case "normalize drops noise" `Quick
+      test_normalize_drops_noise;
   ]
