@@ -779,6 +779,139 @@ let run_verify ~quick ~json_label () =
       close_out oc;
       Printf.printf "  wrote %s\n%!" file
 
+(* Timed template-corpus build (ROADMAP item 3): a cold chunked build
+   against a fresh store, then a warm rebuild that must be pure store
+   hits with a byte-identical manifest.  The headline is subjects/s;
+   the gates are the corpus invariants (no post-filter verifier
+   rejections, warm determinism). *)
+let run_corpus ~jobs ~n ~seed ~json_label () =
+  let curated =
+    Ijdt_core.Campaign.bytecode_subjects ()
+    @ Ijdt_core.Campaign.native_subjects ()
+  in
+  let rec rm_rf path =
+    match Sys.is_directory path with
+    | true ->
+        Array.iter
+          (fun e -> rm_rf (Filename.concat path e))
+          (Sys.readdir path);
+        Sys.rmdir path
+    | false -> Sys.remove path
+    | exception Sys_error _ -> ()
+  in
+  let store_dir =
+    Filename.concat (Filename.get_temp_dir_name ()) "ijdt-bench-corpus-store"
+  in
+  rm_rf store_dir;
+  Exec.Store.activate store_dir;
+  let build () =
+    Templates.Corpus.build ~jobs ~curated ~seed ~target:n ()
+  in
+  let phase name f =
+    Exec.Store.reset_counters ();
+    let t0 = Exec.Clock.now () in
+    let c = f () in
+    let wall = Exec.Clock.elapsed t0 in
+    let store = Exec.Store.counters () in
+    let s = c.Templates.Corpus.c_stats in
+    Printf.printf
+      "  %-6s %6d subjects  %6.2fs  %7.1f subjects/s  (gen %d, rejected \
+       %d, unexplorable %d, dup %d, chunks %d; store %d hits / %d misses)\n\
+       %!"
+      name s.Templates.Corpus.s_accepted wall
+      (if wall > 0.0 then float_of_int s.Templates.Corpus.s_accepted /. wall
+       else 0.0)
+      s.Templates.Corpus.s_generated s.Templates.Corpus.s_rejected
+      s.Templates.Corpus.s_unexplorable s.Templates.Corpus.s_duplicates
+      s.Templates.Corpus.s_chunks store.Exec.Store.hits
+      store.Exec.Store.misses;
+    (c, wall, store)
+  in
+  Printf.printf "Template-corpus bench (n=%d, seed=%d, -j %d):\n%!" n seed
+    jobs;
+  let cold, cold_wall, cold_store = phase "cold" build in
+  let warm, warm_wall, warm_store = phase "warm" build in
+  Exec.Store.deactivate ();
+  let manifest_identical =
+    Templates.Corpus.manifest cold = Templates.Corpus.manifest warm
+  in
+  let stats = cold.Templates.Corpus.c_stats in
+  let warm_speedup =
+    if warm_wall > 0.0 then cold_wall /. warm_wall else infinity
+  in
+  Printf.printf
+    "  warm rebuild %.2fx faster, manifest identical: %b, dedup ratio \
+     %.4f\n%!"
+    warm_speedup manifest_identical
+    (Templates.Corpus.dedup_ratio cold);
+  let gate_failures =
+    List.filter_map Fun.id
+      [
+        (if stats.Templates.Corpus.s_accepted >= n then None
+         else
+           Some
+             (Printf.sprintf "only %d of %d subjects accepted"
+                stats.Templates.Corpus.s_accepted n));
+        (if stats.Templates.Corpus.s_post_filter_rejections = 0 then None
+         else
+           Some
+             (Printf.sprintf "%d post-filter verifier rejections"
+                stats.Templates.Corpus.s_post_filter_rejections));
+        (if manifest_identical then None
+         else Some "warm-store manifest diverged from cold build");
+        (if warm_store.Exec.Store.misses = 0 then None
+         else
+           Some
+             (Printf.sprintf "warm rebuild had %d store misses (want 0)"
+                warm_store.Exec.Store.misses));
+      ]
+  in
+  (match json_label with
+  | None -> ()
+  | Some label ->
+      let file = Printf.sprintf "BENCH_%s.json" label in
+      let phase_json name (c : Templates.Corpus.t) wall
+          (store : Exec.Store.stats) =
+        let s = c.Templates.Corpus.c_stats in
+        Printf.sprintf
+          "{\"name\":\"%s\",\"wall_s\":%.3f,\"subjects\":%d,\
+           \"subjects_per_s\":%.1f,\"generated\":%d,\"rejected\":%d,\
+           \"unexplorable\":%d,\"duplicates\":%d,\"chunks\":%d,\
+           \"post_filter_rejections\":%d,\
+           \"store\":{\"hits\":%d,\"misses\":%d,\"loads\":%d,\
+           \"writes\":%d}}"
+          name wall s.Templates.Corpus.s_accepted
+          (if wall > 0.0 then
+             float_of_int s.Templates.Corpus.s_accepted /. wall
+           else 0.0)
+          s.Templates.Corpus.s_generated s.Templates.Corpus.s_rejected
+          s.Templates.Corpus.s_unexplorable s.Templates.Corpus.s_duplicates
+          s.Templates.Corpus.s_chunks
+          s.Templates.Corpus.s_post_filter_rejections store.Exec.Store.hits
+          store.Exec.Store.misses store.Exec.Store.loads
+          store.Exec.Store.writes
+      in
+      let oc = open_out file in
+      Printf.fprintf oc
+        "{\"label\":\"%s\",\"bench\":\"corpus\",\"jobs\":%d,\"n\":%d,\
+         \"seed\":%d,\"dedup_ratio\":%.4f,\"manifest_identical\":%b,\
+         \"warm_speedup\":%.3f,\"phases\":[%s],\"status\":\"%s\"}\n"
+        label jobs n seed
+        (Templates.Corpus.dedup_ratio cold)
+        manifest_identical warm_speedup
+        (String.concat ","
+           [
+             phase_json "cold" cold cold_wall cold_store;
+             phase_json "warm" warm warm_wall warm_store;
+           ])
+        (if gate_failures = [] then "passed" else "failed");
+      close_out oc;
+      Printf.printf "  wrote %s\n%!" file);
+  if gate_failures <> [] then begin
+    List.iter (Printf.eprintf "corpus: gate failed: %s\n") gate_failures;
+    exit 1
+  end
+
 let () =
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   let ppf = Format.std_formatter in
@@ -855,6 +988,32 @@ let () =
       in
       parse 2;
       run_verify ~quick:!quick ~json_label:!json_label ()
+  | "corpus" ->
+      let jobs = ref (Exec.Pool.default_jobs ()) in
+      let n = ref 2000 in
+      let seed = ref 42 in
+      let json_label = ref None in
+      let rec parse i =
+        if i < Array.length Sys.argv then
+          match Sys.argv.(i) with
+          | "-j" | "--jobs" when i + 1 < Array.length Sys.argv ->
+              jobs := int_of_string Sys.argv.(i + 1);
+              parse (i + 2)
+          | "--n" when i + 1 < Array.length Sys.argv ->
+              n := int_of_string Sys.argv.(i + 1);
+              parse (i + 2)
+          | "--seed" when i + 1 < Array.length Sys.argv ->
+              seed := int_of_string Sys.argv.(i + 1);
+              parse (i + 2)
+          | "--json" when i + 1 < Array.length Sys.argv ->
+              json_label := Some Sys.argv.(i + 1);
+              parse (i + 2)
+          | other ->
+              Printf.eprintf "corpus: unknown argument %S\n" other;
+              exit 2
+      in
+      parse 2;
+      run_corpus ~jobs:!jobs ~n:!n ~seed:!seed ~json_label:!json_label ()
   | "all" ->
       Ijdt_core.Tables.table1 ppf ();
       Format.fprintf ppf "@.";
@@ -872,6 +1031,6 @@ let () =
   | other ->
       Printf.eprintf
         "unknown argument %S (expected \
-         table1|table2|table3|fig5|fig6|fig7|micro|sequences|ablate-semantic|ablate-curation|ablate-lookahead|perf|mutate|verify|all)\n"
+         table1|table2|table3|fig5|fig6|fig7|micro|sequences|ablate-semantic|ablate-curation|ablate-lookahead|perf|mutate|verify|corpus|all)\n"
         other;
       exit 2

@@ -37,12 +37,23 @@
 # byte-identical to the cold run's once the store counters — the only
 # honest difference — are popped.
 #
+# The corpus gate follows: a seeded 2k template-extracted mini-corpus
+# is built through the full pipeline (compose, hole-fill, verify,
+# probe, dedup) twice against one fresh store; the cold run must accept
+# every requested subject with zero post-filter verifier rejections and
+# out-cover the curated universe, the warm rebuild must be pure store
+# hits with a byte-identical report (modulo store counters), and a
+# --kills pass must kill every operator extracted-only that the curated
+# corpus kills (the final report lands in CORPUS_ci.json).
+#
 # The bench smoke at the end replays the perf trajectory on a reduced
 # universe and writes BENCH_ci.json; it exits non-zero when the solver
 # cache's accounting is inconsistent (hits + misses != queries posed),
 # when the warm-store replay diverges from the cold run, or (on the
 # full universe) when the warm run is under 5x faster or cold solver
-# queries regress above 80% of the PR 3 baseline.
+# queries regress above 80% of the PR 3 baseline.  `bench corpus`
+# replays the corpus build cold and warm and gates the same invariants
+# on throughput numbers (BENCH_ci_corpus.json).
 cd "$(dirname "$0")/.."
 : "${CI_VALIDATE_REPORT:=_build/validate-pristine.json}"
 : "${CI_VALIDATE_BUDGET:=2000}"
@@ -172,6 +183,46 @@ print(f"ci: warm-store gate: {cs['writes']} entries written cold, "
       f"aggregates identical modulo store counters")
 EOF
 echo "ci: warm-store gate passed"
+rm -rf _build/ci-corpus-store
+dune exec bin/vmtest.exe -- corpus -n 2000 --seed 42 -j "$CI_JOBS" \
+  --store _build/ci-corpus-store --json _build/ci-corpus-cold.json > /dev/null
+dune exec bin/vmtest.exe -- corpus -n 2000 --seed 42 -j "$CI_JOBS" \
+  --store _build/ci-corpus-store --json _build/ci-corpus-warm.json > /dev/null
+python3 - <<'EOF'
+import json
+cold = json.load(open("_build/ci-corpus-cold.json"))
+warm = json.load(open("_build/ci-corpus-warm.json"))
+cs, ws = cold.pop("store"), warm.pop("store")
+assert cold["gate"]["passed"], f"corpus gate failed: {cold['gate']}"
+assert cold["stats"]["accepted"] >= cold["n"], \
+    f"only {cold['stats']['accepted']} of {cold['n']} subjects accepted"
+assert cold["stats"]["post_filter_rejections"] == 0, \
+    f"{cold['stats']['post_filter_rejections']} post-filter rejections"
+ec, cc = cold["coverage"]["extracted"], cold["coverage"]["curated"]
+assert ec["fingerprints"] > cc["fingerprints"], \
+    f"extracted {ec['fingerprints']} fingerprints vs curated {cc['fingerprints']}"
+assert cs["writes"] > 0, "cold corpus build wrote nothing to the store"
+assert ws["misses"] == 0, f"warm corpus rebuild missed {ws['misses']} reads"
+assert cold == warm, "cold and warm corpus reports differ"
+print(f"ci: corpus gate: {cold['stats']['accepted']} subjects accepted, "
+      f"0 post-filter rejections, dedup ratio {cold['dedup_ratio']:.4f}, "
+      f"{ec['paths']} paths ({ec['distinct_paths']} distinct) vs curated "
+      f"{cc['paths']} ({cc['distinct_paths']}); warm rebuild "
+      f"{ws['hits']} hits / 0 misses, report identical")
+EOF
+dune exec bin/vmtest.exe -- corpus -n 2000 --seed 42 -j "$CI_JOBS" --kills \
+  --store _build/ci-corpus-store --json CORPUS_ci.json > /dev/null
+python3 - <<'EOF'
+import json
+c = json.load(open("CORPUS_ci.json"))
+assert c["gate"]["passed"], f"corpus kill gate failed: {c['gate']}"
+lost = [k["operator"] for k in c["kills"] if k["curated"] and not k["extracted"]]
+assert not lost, f"operators lost extracted-only: {lost}"
+killed = sum(1 for k in c["kills"] if k["extracted"])
+print(f"ci: corpus kill gate: {killed}/{len(c['kills'])} operators killed "
+      f"extracted-only, none lost vs curated")
+EOF
+echo "ci: corpus report at CORPUS_ci.json"
 dune exec bench/main.exe -- perf --quick -j "$CI_JOBS" --json ci
 echo "ci: bench smoke report at BENCH_ci.json"
 dune exec bench/main.exe -- verify --quick --json ci_verify
@@ -187,4 +238,7 @@ print(f"ci: verify bench: {len(b['phases'])} phase(s), per-ISA timing "
 EOF
 echo "ci: abstract-interp timing report at BENCH_ci_verify.json (full \
 reference trajectory committed as BENCH_pr7.json)"
+dune exec bench/main.exe -- corpus --n 2000 --seed 42 -j "$CI_JOBS" \
+  --json ci_corpus
+echo "ci: corpus throughput report at BENCH_ci_corpus.json"
 echo "ci: OK"

@@ -83,6 +83,57 @@ let defects_arg =
     & info [ "defects" ] ~docv:"CONFIG"
         ~doc:"Seeded-defect configuration: $(b,paper) or $(b,pristine).")
 
+(* --corpus curated | extracted[:N]: which test universe the byte-code
+   compilers draw from.  The corpus seed comes from the subcommand's
+   --seed flag, resolved in [corpus_of]. *)
+type corpus_opt = Corpus_curated_opt | Corpus_extracted_opt of int option
+
+let corpus_conv =
+  let parse s =
+    match s with
+    | "curated" -> Ok Corpus_curated_opt
+    | "extracted" -> Ok (Corpus_extracted_opt None)
+    | _ -> (
+        match String.index_opt s ':' with
+        | Some cut
+          when String.sub s 0 cut = "extracted" -> (
+            let rest = String.sub s (cut + 1) (String.length s - cut - 1) in
+            match int_of_string_opt rest with
+            | Some n when n > 0 -> Ok (Corpus_extracted_opt (Some n))
+            | _ -> Error (`Msg (Printf.sprintf "bad corpus size %S" rest)))
+        | _ ->
+            Error
+              (`Msg
+                (Printf.sprintf
+                   "unknown corpus %S (expected curated or extracted[:N])" s)))
+  in
+  let print ppf = function
+    | Corpus_curated_opt -> Fmt.string ppf "curated"
+    | Corpus_extracted_opt None -> Fmt.string ppf "extracted"
+    | Corpus_extracted_opt (Some n) -> Fmt.pf ppf "extracted:%d" n
+  in
+  Arg.conv (parse, print)
+
+let default_corpus_n = 2000
+
+let corpus_arg =
+  Arg.(
+    value
+    & opt corpus_conv Corpus_curated_opt
+    & info [ "corpus" ] ~docv:"CORPUS"
+        ~doc:
+          "Test universe for the byte-code compilers: $(b,curated) (the \
+           192-opcode universe, default) or $(b,extracted[:N]) ($(i,N) \
+           template-extracted, verifier-filtered, deduplicated subjects; \
+           default N = 2000, seeded by $(b,--seed)).  The native-method \
+           compiler always keeps its 112 native methods.")
+
+let corpus_of ~seed = function
+  | Corpus_curated_opt -> Ijdt_core.Campaign.Corpus_curated
+  | Corpus_extracted_opt n ->
+      Ijdt_core.Campaign.Corpus_extracted
+        { n = Option.value ~default:default_corpus_n n; seed }
+
 let subject_arg =
   Arg.(
     required
@@ -441,12 +492,13 @@ let campaign_cmd =
       & info [ "seed" ] ~docv:"S"
           ~doc:"Seed for the chaos schedule and the retry backoff.")
   in
-  let run defects max_iterations jobs json chaos chaos_faults seed fuel
-      deadline retries breaker journal resume store =
+  let run defects max_iterations jobs json chaos chaos_faults seed corpus
+      fuel deadline retries breaker journal resume store =
     with_store store;
     let policy = policy_of ~fuel ~deadline ~retries ~breaker ~seed in
     let s =
       Ijdt_core.Campaign.run_supervised ~jobs ~max_iterations ~defects ~policy
+        ~corpus:(corpus_of ~seed corpus)
         ?chaos:(if chaos then Some (seed, chaos_faults) else None)
         ?journal ?resume ()
     in
@@ -482,8 +534,8 @@ let campaign_cmd =
        ~doc:"Run the full evaluation: 4 compilers × 3 ISAs (Tables 2-3)")
     Term.(
       const run $ defects_arg $ iters_arg $ jobs_arg $ json_arg $ chaos_arg
-      $ chaos_faults_arg $ seed_arg $ fuel_arg $ deadline_arg $ retries_arg
-      $ breaker_arg $ journal_arg $ resume_arg $ store_arg)
+      $ chaos_faults_arg $ seed_arg $ corpus_arg $ fuel_arg $ deadline_arg
+      $ retries_arg $ breaker_arg $ journal_arg $ resume_arg $ store_arg)
 
 (* --- verify --- *)
 
@@ -749,9 +801,16 @@ let validate_cmd =
             "Validate a single instruction instead of sweeping the whole \
              test universe.")
   in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"S"
+          ~doc:"Extracted-corpus seed (with $(b,--corpus extracted)).")
+  in
   let run defects pristine compilers arches budget json max_iterations jobs
-      subject fuel deadline retries breaker journal resume store =
+      subject seed corpus fuel deadline retries breaker journal resume store =
     with_store store;
+    let corpus = corpus_of ~seed corpus in
     let policy = policy_of ~fuel ~deadline ~retries ~breaker ~seed:0 in
     let defects = if pristine then Interpreter.Defects.pristine else defects in
     let budget = Option.map ref budget in
@@ -787,14 +846,15 @@ let validate_cmd =
           let subjects =
             match subject with
             | Some s -> [ s ]
-            | None -> Ijdt_core.Campaign.subjects_for compiler
+            | None -> Ijdt_core.Campaign.corpus_subjects_for ~jobs ~corpus compiler
           in
           List.map (fun s -> (compiler, s)) subjects)
         compilers
     in
     let s =
       Ijdt_core.Campaign.run_supervised ~jobs ~max_iterations ~validate:true
-        ?budget ~policy ?journal ?resume ~defects ~arches ~compilers ~units ()
+        ?budget ~policy ?journal ?resume ~defects ~arches ~compilers ~corpus
+        ~units ()
     in
     let c = s.Ijdt_core.Campaign.sup_campaign in
     Ijdt_core.Tables.validation_table Format.std_formatter c;
@@ -840,8 +900,8 @@ let validate_cmd =
     Term.(
       const run $ defects_arg $ pristine_arg $ compilers_arg $ arch_arg
       $ budget_arg $ json_arg $ iters_arg $ jobs_arg $ subject_opt_arg
-      $ fuel_arg $ deadline_arg $ retries_arg $ breaker_arg $ journal_arg
-      $ resume_arg $ store_arg)
+      $ seed_arg $ corpus_arg $ fuel_arg $ deadline_arg $ retries_arg
+      $ breaker_arg $ journal_arg $ resume_arg $ store_arg)
 
 (* --- mutate: the mutation kill matrix --- *)
 
@@ -964,7 +1024,7 @@ let mutate_cmd =
             "Write a machine-readable JSON report to $(docv).  Counts \
              and names only, byte-identical at any $(b,-j).")
   in
-  let run defects pristine operators arches per_operator gen seed
+  let run defects pristine operators arches per_operator gen seed corpus
       max_iterations jobs json fuel deadline retries breaker journal resume
       store =
     with_store store;
@@ -987,7 +1047,8 @@ let mutate_cmd =
     in
     let m =
       Ijdt_core.Campaign.kill_matrix ~jobs ~max_iterations ~per_operator ~gen
-        ~seed ~pristine ~defects ~arches ~operators ~policy ?journal ?resume ()
+        ~seed ~pristine ~defects ~arches ~operators
+        ~corpus:(corpus_of ~seed corpus) ~policy ?journal ?resume ()
     in
     Ijdt_core.Tables.kill_table Format.std_formatter m;
     (match json with Some file -> write_mutation_json file m | None -> ());
@@ -1022,9 +1083,197 @@ let mutate_cmd =
           and record which layer killed it first")
     Term.(
       const run $ mutate_defects_arg $ pristine_arg $ operators_arg
-      $ arch_arg $ per_operator_arg $ gen_arg $ seed_arg $ iters_arg
-      $ jobs_arg $ json_arg $ fuel_arg $ deadline_arg $ retries_arg
-      $ breaker_arg $ journal_arg $ resume_arg $ store_arg)
+      $ arch_arg $ per_operator_arg $ gen_arg $ seed_arg $ corpus_arg
+      $ iters_arg $ jobs_arg $ json_arg $ fuel_arg $ deadline_arg
+      $ retries_arg $ breaker_arg $ journal_arg $ resume_arg $ store_arg)
+
+(* --- corpus: build and report the template-extracted corpus --- *)
+
+let corpus_cmd =
+  let n_arg =
+    Arg.(
+      value & opt int default_corpus_n
+      & info [ "n"; "size" ] ~docv:"N"
+          ~doc:
+            "Target corpus size: verified, fingerprint-deduplicated \
+             subjects to accept.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"S" ~doc:"Corpus generator seed.")
+  in
+  let kills_arg =
+    Arg.(
+      value & flag
+      & info [ "kills" ]
+          ~doc:
+            "Also run a per-operator kill comparison (one mini \
+             kill-matrix on the curated pool, one drawing exclusively \
+             from this corpus) and fail if any operator killed on \
+             curated survives extracted-only.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write the corpus report (build stats, dedup ratio, \
+             extracted-vs-curated coverage, gate verdicts) to $(docv).  \
+             All fields except the $(b,store) object are byte-identical \
+             at any $(b,-j).")
+  in
+  let json_coverage (cov : Templates.Corpus.coverage) =
+    Printf.sprintf
+      "{\"subjects\":%d,\"paths\":%d,\"distinct_paths\":%d,\
+       \"fingerprints\":%d,\"exits\":[%s]}"
+      cov.Templates.Corpus.cov_subjects cov.Templates.Corpus.cov_paths
+      cov.Templates.Corpus.cov_distinct_paths
+      cov.Templates.Corpus.cov_fingerprints
+      (String.concat ","
+         (List.map
+            (fun (x, n) ->
+              Printf.sprintf "{\"exit\":\"%s\",\"paths\":%d}" (json_escape x)
+                n)
+            cov.Templates.Corpus.cov_exits))
+  in
+  let run n seed kills jobs json store =
+    with_store store;
+    let c = Ijdt_core.Campaign.extracted_corpus ~jobs ~seed ~n () in
+    let stats = c.Templates.Corpus.c_stats in
+    let extracted = Templates.Corpus.coverage c in
+    let curated =
+      Templates.Corpus.coverage_of_subjects ~jobs
+        (Ijdt_core.Campaign.curated_universe ())
+    in
+    let kill_rows =
+      if not kills then []
+      else begin
+        let killed m =
+          List.filter_map
+            (fun (r : Ijdt_core.Campaign.kill_row) ->
+              if r.kr_static + r.kr_validate + r.kr_difftest > 0 then
+                Some r.kr_label
+              else None)
+            (Ijdt_core.Campaign.kills_by_operator m)
+        in
+        let on_curated =
+          killed
+            (Ijdt_core.Campaign.kill_matrix ~jobs ~per_operator:1 ~seed ())
+        in
+        (* the extracted side schedules three subjects per cell: first-fit
+           on a generated pool can land a mutant on a subject where the
+           fault is unobservable (an equivalent mutant), which a curated
+           single-opcode unit — fully symbolic operands — never is *)
+        let on_extracted =
+          killed
+            (Ijdt_core.Campaign.kill_matrix ~jobs ~per_operator:3 ~seed
+               ~corpus:(Ijdt_core.Campaign.Corpus_extracted { n; seed })
+               ())
+        in
+        List.map
+          (fun (op : Mutate.operator) ->
+            let id = op.Jit.Fault.id in
+            (id, List.mem id on_curated, List.mem id on_extracted))
+          Mutate.all
+      end
+    in
+    Ijdt_core.Tables.corpus_table Format.std_formatter ~curated ~extracted
+      ~kills:kill_rows;
+    Printf.printf
+      "build: %d accepted of %d composed (%d rejected, %d unexplorable, \
+       %d duplicates) in %d chunks; dedup ratio %.4f\n"
+      stats.Templates.Corpus.s_accepted stats.Templates.Corpus.s_generated
+      stats.Templates.Corpus.s_rejected stats.Templates.Corpus.s_unexplorable
+      stats.Templates.Corpus.s_duplicates stats.Templates.Corpus.s_chunks
+      (Templates.Corpus.dedup_ratio c);
+    let lost =
+      List.filter (fun (_, cur, ext) -> cur && not ext) kill_rows
+    in
+    let gate_failures =
+      List.filter_map Fun.id
+        [
+          (if stats.Templates.Corpus.s_accepted >= n then None
+           else
+             Some
+               (Printf.sprintf "only %d of %d subjects accepted"
+                  stats.Templates.Corpus.s_accepted n));
+          (if stats.Templates.Corpus.s_post_filter_rejections = 0 then None
+           else
+             Some
+               (Printf.sprintf "%d post-filter verifier rejections"
+                  stats.Templates.Corpus.s_post_filter_rejections));
+          (if
+             extracted.Templates.Corpus.cov_fingerprints
+             > curated.Templates.Corpus.cov_fingerprints
+           then None
+           else
+             Some
+               (Printf.sprintf
+                  "extracted fingerprints %d do not exceed curated %d"
+                  extracted.Templates.Corpus.cov_fingerprints
+                  curated.Templates.Corpus.cov_fingerprints));
+          (if lost = [] then None
+           else
+             Some
+               (Printf.sprintf "operators lost on extracted-only: %s"
+                  (String.concat ", "
+                     (List.map (fun (id, _, _) -> id) lost))));
+        ]
+    in
+    (match json with
+    | None -> ()
+    | Some file ->
+        let oc = open_out file in
+        Printf.fprintf oc
+          "{\"n\":%d,\"seed\":%d,\"stats\":{\"generated\":%d,\
+           \"rejected\":%d,\"unexplorable\":%d,\"duplicates\":%d,\
+           \"accepted\":%d,\"post_filter_rejections\":%d,\"chunks\":%d},\
+           \"dedup_ratio\":%.4f,\"coverage\":{\"curated\":%s,\
+           \"extracted\":%s},\"kills\":[%s],\"gate\":{\"accepted\":%b,\
+           \"post_filter_clean\":%b,\"fingerprints_exceed_curated\":%b,\
+           \"no_lost_operators\":%b,\"passed\":%b},\"store\":%s}\n"
+          n seed stats.Templates.Corpus.s_generated
+          stats.Templates.Corpus.s_rejected
+          stats.Templates.Corpus.s_unexplorable
+          stats.Templates.Corpus.s_duplicates
+          stats.Templates.Corpus.s_accepted
+          stats.Templates.Corpus.s_post_filter_rejections
+          stats.Templates.Corpus.s_chunks
+          (Templates.Corpus.dedup_ratio c)
+          (json_coverage curated) (json_coverage extracted)
+          (String.concat ","
+             (List.map
+                (fun (id, cur, ext) ->
+                  Printf.sprintf
+                    "{\"operator\":\"%s\",\"curated\":%b,\"extracted\":%b}"
+                    (json_escape id) cur ext)
+                kill_rows))
+          (stats.Templates.Corpus.s_accepted >= n)
+          (stats.Templates.Corpus.s_post_filter_rejections = 0)
+          (extracted.Templates.Corpus.cov_fingerprints
+          > curated.Templates.Corpus.cov_fingerprints)
+          (lost = [])
+          (gate_failures = [])
+          (json_store ());
+        close_out oc;
+        Printf.printf "wrote %s\n" file);
+    if gate_failures <> [] then begin
+      List.iter (Printf.eprintf "corpus: gate failed: %s\n") gate_failures;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "corpus"
+       ~doc:
+         "Build the template-extracted subject corpus (templates lifted \
+          from the curated universe, hole-filled, verifier-filtered, \
+          deduplicated by path-summary fingerprint) and report its \
+          coverage against the curated corpus")
+    Term.(
+      const run $ n_arg $ seed_arg $ kills_arg $ jobs_arg $ json_arg
+      $ store_arg)
 
 (* --- list --- *)
 
@@ -1056,5 +1305,6 @@ let () =
             verify_cmd;
             validate_cmd;
             mutate_cmd;
+            corpus_cmd;
             list_cmd;
           ]))

@@ -73,6 +73,31 @@ val bytecode_subjects : unit -> Concolic.Path.subject list
 
 val subjects_for : Jit.Cogits.compiler -> Concolic.Path.subject list
 
+(** {1 Test-universe selection}
+
+    [Corpus_extracted] swaps the byte-code compilers' universe for [n]
+    template-extracted, verifier-filtered, fingerprint-deduplicated
+    subjects ({!Templates.Corpus}); the native compiler always keeps
+    the 112 native methods. *)
+
+type corpus_spec = Corpus_curated | Corpus_extracted of { n : int; seed : int }
+
+val corpus_label : corpus_spec -> string
+(** ["curated"] or ["extracted:<n>:seed:<s>"] — used in journal
+    configuration fingerprints and reports. *)
+
+val curated_universe : unit -> Concolic.Path.subject list
+(** [bytecode_subjects () @ native_subjects ()] — the extraction base. *)
+
+val extracted_corpus : ?jobs:int -> seed:int -> n:int -> unit -> Templates.Corpus.t
+(** Build (or return the memoized) extracted corpus for [(seed, n)],
+    using the curated universe as the template source.  Incremental and
+    resumable against an active {!Exec.Store}. *)
+
+val corpus_subjects_for :
+  ?jobs:int -> corpus:corpus_spec -> Jit.Cogits.compiler -> Concolic.Path.subject list
+(** The compiler's test universe under the given corpus. *)
+
 val test_instruction :
   ?max_iterations:int ->
   ?validate:bool ->
@@ -185,10 +210,14 @@ val run_supervised :
   ?defects:Interpreter.Defects.t ->
   ?arches:Jit.Codegen.arch list ->
   ?compilers:Jit.Cogits.compiler list ->
+  ?corpus:corpus_spec ->
   ?units:(Jit.Cogits.compiler * Concolic.Path.subject) list ->
   unit ->
   supervised
-(** Supervised {!run}.  [units] overrides the default universe
+(** Supervised {!run}.  [corpus] (default {!Corpus_curated}) selects
+    the test universe; extracted runs tag the journal configuration, so
+    curated and extracted journals never mix.  [units] overrides the
+    default universe
     ([units_for compilers]) — the [vmtest validate] subcommand uses it
     for single-instruction runs; compilers absent from [units] simply
     produce empty rows.  [chaos:(seed, faults)] injects that many
@@ -325,6 +354,7 @@ val kill_matrix :
   ?defects:Interpreter.Defects.t ->
   ?arches:Jit.Codegen.arch list ->
   ?operators:Mutate.operator list ->
+  ?corpus:corpus_spec ->
   ?policy:Exec.Supervise.policy ->
   ?journal:string ->
   ?resume:string ->
@@ -335,7 +365,12 @@ val kill_matrix :
     exploration is supported are scheduled, drawn from the curated
     universe, handcrafted register-pressure sequences, and [gen]
     (default 6) qcheck-generated methods from [seed]; each selected
-    subject runs on every ISA in [arches].  Defaults to the pristine
+    subject runs on every ISA in [arches].  With the default curated
+    [corpus], a cell that comes up short falls back to a small
+    template-extracted corpus (built lazily from the same [seed]);
+    with [Corpus_extracted] the byte-code compilers draw exclusively
+    from the extracted corpus (natives keep their universe) and the
+    journal configuration is tagged with the corpus label.  Defaults to the pristine
     interpreter configuration so every kill is attributable to the
     planted fault.  [pristine] replaces every operator with the inert
     {!Mutate.pristine} mutant; all units must come back {!Survived}

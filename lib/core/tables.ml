@@ -246,6 +246,48 @@ let kill_table ppf (m : Campaign.kill_matrix) =
     List.iter (pp_incident ppf) m.Campaign.km_incidents
   end
 
+(* The extracted-vs-curated corpus comparison (ROADMAP item 3): path
+   counts, exit-condition mix, and — when a kill comparison was run —
+   which operators each corpus kills. *)
+let corpus_table ppf ~(curated : Templates.Corpus.coverage)
+    ~(extracted : Templates.Corpus.coverage) ~kills =
+  fprintf ppf "Corpus coverage: template-extracted vs curated@.";
+  fprintf ppf "%-28s %10s %10s@." "Measure" "Curated" "Extracted";
+  fprintf ppf "%s@." (String.make 50 '-');
+  let row name c e = fprintf ppf "%-28s %10d %10d@." name c e in
+  row "subjects" curated.Templates.Corpus.cov_subjects
+    extracted.Templates.Corpus.cov_subjects;
+  row "paths" curated.Templates.Corpus.cov_paths
+    extracted.Templates.Corpus.cov_paths;
+  row "distinct path summaries" curated.Templates.Corpus.cov_distinct_paths
+    extracted.Templates.Corpus.cov_distinct_paths;
+  row "subject fingerprints" curated.Templates.Corpus.cov_fingerprints
+    extracted.Templates.Corpus.cov_fingerprints;
+  fprintf ppf "Exit conditions (paths per exit):@.";
+  let exits =
+    List.sort_uniq compare
+      (List.map fst curated.Templates.Corpus.cov_exits
+      @ List.map fst extracted.Templates.Corpus.cov_exits)
+  in
+  List.iter
+    (fun x ->
+      let count cov =
+        Option.value ~default:0
+          (List.assoc_opt x cov.Templates.Corpus.cov_exits)
+      in
+      fprintf ppf "  %-26s %10d %10d@." x (count curated) (count extracted))
+    exits;
+  if kills <> [] then begin
+    fprintf ppf "Operator kills (any compiler x ISA):@.";
+    List.iter
+      (fun (op, on_curated, on_extracted) ->
+        fprintf ppf "  %-26s %10s %10s%s@." op
+          (if on_curated then "killed" else "-")
+          (if on_extracted then "killed" else "-")
+          (if on_curated && not on_extracted then "  LOST" else ""))
+      kills
+  end
+
 (* --- Figures: simple statistics over per-instruction series --- *)
 
 type stats = { n : int; mean : float; median : float; min : float; max : float }

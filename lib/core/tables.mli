@@ -52,6 +52,18 @@ val kill_table : Format.formatter -> Campaign.kill_matrix -> unit
     false-kill gate line).  A supervision summary and incident lines
     follow whenever the run had any non-ok unit or retry. *)
 
+val corpus_table :
+  Format.formatter ->
+  curated:Templates.Corpus.coverage ->
+  extracted:Templates.Corpus.coverage ->
+  kills:(string * bool * bool) list ->
+  unit
+(** The extracted-vs-curated comparison (ROADMAP item 3): subject,
+    path, distinct-path-summary and fingerprint counts side by side,
+    the per-exit-condition path mix, and — when [kills] is non-empty —
+    one row per operator with [(id, killed on curated, killed on
+    extracted)], flagging any operator the extracted corpus loses. *)
+
 type stats = {
   n : int;
   mean : float;

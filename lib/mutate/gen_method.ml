@@ -9,49 +9,81 @@
 
    Generation is seeded and uses no global randomness: the same seed
    always yields the same subjects, which the kill matrix's determinism
-   (byte-identical output at any [-j]) depends on. *)
+   (byte-identical output at any [-j]) depends on.
+
+   Every knob lives in a [params] record so other producers — the
+   template hole-filler of [Templates.Corpus] in particular — can reuse
+   the pools with wider ranges instead of copy-pasting them.
+   [default_params] reproduces the historical hardcoded pools exactly,
+   in the same order, so seeded output under the defaults is
+   byte-for-byte what it always was. *)
 
 module Op = Bytecodes.Opcode
 
 let num_literals = Array.length Verify.default_literals
 
+type params = {
+  min_len : int;  (** shortest sequence emitted *)
+  max_len : int;  (** longest sequence emitted *)
+  constant_pushes : Op.t list;
+      (** zero-operand pushes with no immediate (constants, receiver) *)
+  literal_indices : int list;  (** [Push_literal_constant] frame indices *)
+  int_bytes : int list;  (** [Push_integer_byte] payloads *)
+  temp_indices : int list;
+      (** [Push_temp] slots — unused by [gen_seq] itself, the pool
+          template hole-filling draws temp holes from *)
+  recv_var_indices : int list;
+      (** receiver instance-variable indices (the receiver-class pool);
+          like [temp_indices], consumed by template hole-filling *)
+  unary : Op.t list;  (** pool needing one operand *)
+  binary : Op.t list;  (** pool needing two operands *)
+}
+
 (* Opcodes safe for the concolic sequence tester, grouped by the operand
    stack depth they require.  Jumps, sends and receiver-variable stores
    are deliberately out: they end or leave the unit, which is legitimate
    but wastes mutant-execution budget on single-path sequences. *)
-let pushes : Op.t list =
-  [
-    Op.Push_zero;
-    Op.Push_one;
-    Op.Push_two;
-    Op.Push_minus_one;
-    Op.Push_true;
-    Op.Push_false;
-    Op.Push_nil;
-    Op.Push_receiver;
-    Op.Push_literal_constant 1;
-    Op.Push_literal_constant 3;
-    Op.Push_integer_byte 5;
-    Op.Push_integer_byte (-7);
-  ]
+let default_params =
+  {
+    min_len = 2;
+    max_len = 6;
+    constant_pushes =
+      [
+        Op.Push_zero;
+        Op.Push_one;
+        Op.Push_two;
+        Op.Push_minus_one;
+        Op.Push_true;
+        Op.Push_false;
+        Op.Push_nil;
+        Op.Push_receiver;
+      ];
+    literal_indices = [ 1; 3 ];
+    int_bytes = [ 5; -7 ];
+    temp_indices = [ 0; 1; 2 ];
+    recv_var_indices = [ 0; 1; 2; 3 ];
+    unary = [ Op.Dup; Op.Pop ];
+    binary =
+      [
+        Op.Swap;
+        Op.Arith_special Op.Sel_add;
+        Op.Arith_special Op.Sel_sub;
+        Op.Arith_special Op.Sel_mul;
+        Op.Arith_special Op.Sel_lt;
+        Op.Arith_special Op.Sel_le;
+        Op.Arith_special Op.Sel_gt;
+        Op.Arith_special Op.Sel_ge;
+        Op.Arith_special Op.Sel_eq;
+        Op.Arith_special Op.Sel_ne;
+        Op.Arith_special Op.Sel_bit_and;
+        Op.Arith_special Op.Sel_bit_or;
+      ];
+  }
 
-let unary : Op.t list = [ Op.Dup; Op.Pop ]
-
-let binary : Op.t list =
-  [
-    Op.Swap;
-    Op.Arith_special Op.Sel_add;
-    Op.Arith_special Op.Sel_sub;
-    Op.Arith_special Op.Sel_mul;
-    Op.Arith_special Op.Sel_lt;
-    Op.Arith_special Op.Sel_le;
-    Op.Arith_special Op.Sel_gt;
-    Op.Arith_special Op.Sel_ge;
-    Op.Arith_special Op.Sel_eq;
-    Op.Arith_special Op.Sel_ne;
-    Op.Arith_special Op.Sel_bit_and;
-    Op.Arith_special Op.Sel_bit_or;
-  ]
+let pushes p : Op.t list =
+  p.constant_pushes
+  @ List.map (fun i -> Op.Push_literal_constant i) p.literal_indices
+  @ List.map (fun n -> Op.Push_integer_byte n) p.int_bytes
 
 let depth_after depth op =
   (* all pool opcodes consume [min_operands] and leave a predictable
@@ -63,17 +95,19 @@ let depth_after depth op =
   | Op.Arith_special _ -> depth - 1
   | _ -> depth + 1
 
-(* One sequence: 2-6 opcodes, tracking depth so the verifier's stack
-   balance pass accepts it from an empty initial stack. *)
-let gen_seq : Op.t list QCheck.Gen.t =
+(* One sequence: [min_len]-[max_len] opcodes, tracking depth so the
+   verifier's stack balance pass accepts it from an empty initial
+   stack. *)
+let gen_seq_with (p : params) : Op.t list QCheck.Gen.t =
+  let pushes = pushes p in
   let open QCheck.Gen in
-  int_range 2 6 >>= fun len ->
+  int_range p.min_len p.max_len >>= fun len ->
   let rec build depth acc n st =
     if n = 0 then List.rev acc
     else
       let pool =
-        if depth >= 2 then pushes @ unary @ binary
-        else if depth >= 1 then pushes @ unary
+        if depth >= 2 then pushes @ p.unary @ p.binary
+        else if depth >= 1 then pushes @ p.unary
         else pushes
       in
       let op = generate1 ~rand:st (oneofl pool) in
@@ -81,18 +115,21 @@ let gen_seq : Op.t list QCheck.Gen.t =
   in
   fun st -> build 0 [] len st
 
+let gen_seq : Op.t list QCheck.Gen.t = gen_seq_with default_params
+
 let well_formed (ops : Op.t list) : bool =
   Verify.Bytecode_verifier.verify_seq ~num_literals ~initial_depth:0 ops = []
 
 (* [n] distinct well-formed sequences, deterministically from [seed]. *)
-let generate ~seed n : Op.t list list =
+let generate ?(params = default_params) ~seed n : Op.t list list =
   let rand = Random.State.make [| seed |] in
+  let gen = gen_seq_with params in
   let seen = Hashtbl.create 16 in
   let out = ref [] in
   let budget = ref (n * 50) in
   while List.length !out < n && !budget > 0 do
     decr budget;
-    let ops = QCheck.Gen.generate1 ~rand gen_seq in
+    let ops = QCheck.Gen.generate1 ~rand gen in
     let key = String.concat ";" (List.map Op.mnemonic ops) in
     if (not (Hashtbl.mem seen key)) && well_formed ops then begin
       Hashtbl.replace seen key ();
@@ -101,5 +138,7 @@ let generate ~seed n : Op.t list list =
   done;
   List.rev !out
 
-let subjects ~seed n : Concolic.Path.subject list =
-  List.map (fun ops -> Concolic.Path.Bytecode_seq ops) (generate ~seed n)
+let subjects ?params ~seed n : Concolic.Path.subject list =
+  List.map
+    (fun ops -> Concolic.Path.Bytecode_seq ops)
+    (generate ?params ~seed n)

@@ -317,21 +317,21 @@ module Gen_method = Gen_method
    first-write-to-temp and the pseudo-op shapes exist on every style),
    so one ISA remains a faithful proxy. *)
 
-let compile_probe ~defects ~compiler (subject : Concolic.Path.subject) () =
+let compile_probe ?(arch = Jit.Codegen.X86) ~defects ~compiler
+    (subject : Concolic.Path.subject) () =
   match subject with
   | Concolic.Path.Native id ->
-      ignore (Jit.Cogits.compile_native_to_machine ~defects ~arch:Jit.Codegen.X86 id)
+      ignore (Jit.Cogits.compile_native_to_machine ~defects ~arch id)
   | Concolic.Path.Bytecode op ->
       ignore
         (Jit.Cogits.compile_bytecode_to_machine compiler ~defects
            ~literals:Verify.default_literals
            ~stack_setup:(Verify.default_stack_setup op)
-           ~arch:Jit.Codegen.X86 op)
+           ~arch op)
   | Concolic.Path.Bytecode_seq ops ->
       ignore
         (Jit.Cogits.compile_sequence_to_machine compiler ~defects
-           ~literals:Verify.default_literals ~stack_setup:[]
-           ~arch:Jit.Codegen.X86 ops)
+           ~literals:Verify.default_literals ~stack_setup:[] ~arch ops)
 
 let applicable ~defects ~(compiler : Jit.Cogits.compiler) (op : operator)
     (subject : Concolic.Path.subject) : bool =
@@ -348,3 +348,16 @@ let applicable ~defects ~(compiler : Jit.Cogits.compiler) (op : operator)
   with
   | (), fired -> fired
   | exception Jit.Cogits.Not_compiled _ -> false
+
+(* Recompile [subject] on [arch] under the *currently armed* fault,
+   discarding the result.  Compilation itself is never memoized, so this
+   always runs: the kill matrix calls it inside each unit's fault
+   activation to make the [fired] flag a property of the
+   (operator, compiler, subject, ISA) cell rather than of cache
+   temperature — a fully warm oracle stack may serve every layer without
+   compiling at all, even though its cached verdicts came from a
+   compilation in which the rewrite did fire. *)
+let probe ~defects ~(compiler : Jit.Cogits.compiler) ~arch
+    (subject : Concolic.Path.subject) : unit =
+  try compile_probe ~arch ~defects ~compiler subject ()
+  with Jit.Cogits.Not_compiled _ -> ()

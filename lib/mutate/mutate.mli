@@ -39,20 +39,61 @@ val applicable :
     Native subjects are only applicable to the native-method compiler,
     byte-code subjects to the three byte-code front-ends. *)
 
+val probe :
+  defects:Interpreter.Defects.t ->
+  compiler:Jit.Cogits.compiler ->
+  arch:Jit.Codegen.arch ->
+  Concolic.Path.subject ->
+  unit
+(** Recompile [subject] on [arch] under the currently armed fault,
+    discarding the result ([Not_compiled] included).  Compilation is
+    never memoized, so the call always runs; the kill matrix uses it to
+    keep a unit's fired flag independent of cache temperature. *)
+
 (** QCheck-based generation of random well-formed byte-code sequences,
     each filtered through {!Verify.Bytecode_verifier.verify_seq}.
     Deterministic: the same [seed] always yields the same subjects. *)
 module Gen_method : sig
+  type params = {
+    min_len : int;
+    max_len : int;
+    constant_pushes : Bytecodes.Opcode.t list;
+    literal_indices : int list;  (** [Push_literal_constant] indices *)
+    int_bytes : int list;  (** [Push_integer_byte] payloads *)
+    temp_indices : int list;
+        (** [Push_temp] slots for template hole-filling *)
+    recv_var_indices : int list;
+        (** receiver instance-variable indices (the receiver-class
+            pool) for template hole-filling *)
+    unary : Bytecodes.Opcode.t list;
+    binary : Bytecodes.Opcode.t list;
+  }
+  (** Every generation knob as data, so template hole-filling
+      ({!Templates.Corpus}) can reuse the pools with wider ranges. *)
+
+  val default_params : params
+  (** The historical pools, in their historical order: seeded output
+      under the defaults is byte-identical to what it always was. *)
+
+  val pushes : params -> Bytecodes.Opcode.t list
+  (** The zero-operand pool a [params] induces: constants, then literal
+      pushes, then integer-byte pushes. *)
+
+  val gen_seq_with : params -> Bytecodes.Opcode.t list QCheck.Gen.t
+  (** One stack-safe sequence of [min_len]-[max_len] opcodes. *)
+
   val gen_seq : Bytecodes.Opcode.t list QCheck.Gen.t
-  (** One stack-safe sequence of 2-6 opcodes. *)
+  (** [gen_seq_with default_params]. *)
 
   val well_formed : Bytecodes.Opcode.t list -> bool
   (** No byte-code verifier findings from an empty initial stack. *)
 
-  val generate : seed:int -> int -> Bytecodes.Opcode.t list list
+  val generate :
+    ?params:params -> seed:int -> int -> Bytecodes.Opcode.t list list
   (** [n] distinct well-formed sequences, deterministically from
       [seed]. *)
 
-  val subjects : seed:int -> int -> Concolic.Path.subject list
+  val subjects :
+    ?params:params -> seed:int -> int -> Concolic.Path.subject list
   (** {!generate}, wrapped as concolic sequence subjects. *)
 end

@@ -1,0 +1,507 @@
+(* The template-extracted corpus (ROADMAP item 3).
+
+   Construction is chunked, seeded and store-resumable:
+
+   - chunk [i] deterministically derives its RNG from [(seed, i)],
+     composes [chunk_size] candidates from the curated fragment pool
+     (depth-tracked, in the byte-code verifier's own success-path
+     model), fills every hole from the [Mutate.Gen_method.params]
+     pools, filters through [Verify.Bytecode_verifier.verify_seq], and
+     probes each survivor with one uncached concolic exploration to a
+     compact behaviour summary;
+   - each finished chunk persists under the [template-corpus:1] store
+     namespace keyed by (config digest, index), so a warm rebuild is
+     100% store hits and an interrupted build resumes where it died;
+   - assembly consumes chunks strictly in index order, deduplicating by
+     path-summary fingerprint until [target] subjects are accepted —
+     the manifest is byte-identical at any worker count, because chunk
+     contents depend only on (seed, index) and never on scheduling.
+
+   The fingerprint is a digest over the subject's full path summaries:
+   per path, the canonical [Path.key] (path condition + exit) plus the
+   symbolic outputs (operand stack, temps, return value, heap effects,
+   final pc).  Two subjects collide only when the explorer cannot tell
+   their behaviour apart — which is exactly the dedup the ROADMAP asks
+   for ("dedup by path-summary fingerprint"). *)
+
+module Op = Bytecodes.Opcode
+module Gen = Mutate.Gen_method
+
+let store_ns = "template-corpus:1"
+
+(* List.map with a guaranteed evaluation order: hole filling and
+   digesting thread an RNG / buffer through [f], and the stdlib's map
+   order is unspecified. *)
+let rec map_ord f = function
+  | [] -> []
+  | x :: rest ->
+      let y = f x in
+      y :: map_ord f rest
+
+let rec range a b = if a > b then [] else a :: range (a + 1) b
+
+(* The corpus pools: the generator's [default_params] with every hole
+   range widened to its encodable (or interesting) extent. *)
+let default_params =
+  {
+    Gen.default_params with
+    Gen.min_len = 2;
+    max_len = 8;
+    literal_indices = range 0 15;
+    int_bytes =
+      [ -128; -99; -64; -17; -8; -7; -3; -2; -1; 0; 1; 2; 3; 5; 11; 16; 23; 42; 63; 77; 100; 127 ];
+    temp_indices = range 0 11;
+    recv_var_indices = range 0 7;
+  }
+
+(* --- behaviour summaries --- *)
+
+let render_effect = function
+  | Concolic.Shadow_machine.Slot_write { target; index; stored } ->
+      Printf.sprintf "slot(%s,%d)=%s"
+        (Symbolic.Sym_expr.to_string target)
+        index
+        (Symbolic.Sym_expr.to_string stored)
+  | Concolic.Shadow_machine.Byte_write { target; index; stored } ->
+      Printf.sprintf "byte(%s,%d)=%s"
+        (Symbolic.Sym_expr.to_string target)
+        index
+        (Symbolic.Sym_expr.to_string stored)
+
+(* One path's summary rendered canonically: condition + exit (the
+   [Path.key]) and the symbolic outputs. *)
+let render_path (p : Concolic.Path.t) =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Concolic.Path.key p);
+  Buffer.add_string b " || stack:";
+  List.iter
+    (fun s ->
+      Buffer.add_string b (Symbolic.Sym_expr.to_string s);
+      Buffer.add_char b ',')
+    p.Concolic.Path.output.Concolic.Path.stack;
+  Buffer.add_string b "|temps:";
+  Array.iter
+    (fun s ->
+      Buffer.add_string b (Symbolic.Sym_expr.to_string s);
+      Buffer.add_char b ',')
+    p.Concolic.Path.output.Concolic.Path.temps;
+  Buffer.add_string b
+    (Printf.sprintf "|pc:%d|ret:%s|fx:%s" p.Concolic.Path.output.Concolic.Path.pc
+       (match p.Concolic.Path.output.Concolic.Path.return_value with
+       | None -> "-"
+       | Some s -> Symbolic.Sym_expr.to_string s)
+       (String.concat ";"
+          (map_ord render_effect p.Concolic.Path.output.Concolic.Path.effects)));
+  Buffer.contents b
+
+let path_digest p = Digest.to_hex (Digest.string (render_path p))
+
+let fingerprint_of_digests digests =
+  Digest.to_hex (Digest.string (String.concat "\n" digests))
+
+(* --- corpus types --- *)
+
+type entry = {
+  e_ops : Op.t list;
+  e_fingerprint : string;
+  e_paths : int;
+  e_path_digests : string list;
+  e_exits : string list;  (* per path, in path order *)
+}
+
+type stats = {
+  s_generated : int;
+  s_rejected : int;
+  s_unexplorable : int;
+  s_duplicates : int;
+  s_accepted : int;
+  s_post_filter_rejections : int;
+  s_chunks : int;
+}
+
+type t = {
+  c_seed : int;
+  c_target : int;
+  c_chunk_size : int;
+  c_entries : entry list;
+  c_stats : stats;
+}
+
+(* --- the fragment pools --- *)
+
+type frag = { f_tpl : Template.t; f_needs : int; f_delta : int }
+
+let dedup_templates tpls =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun t ->
+      let k = Template.show t in
+      if Hashtbl.mem seen k then false
+      else begin
+        Hashtbl.replace seen k ();
+        true
+      end)
+    tpls
+
+let fragments curated =
+  curated
+  |> List.filter (fun s -> not (Concolic.Path.subject_is_native s))
+  |> List.map Template.extract
+  |> dedup_templates
+  |> List.filter_map (fun tpl ->
+         match Template.stack_effect tpl with
+         | Some (needs, delta) -> Some { f_tpl = tpl; f_needs = needs; f_delta = delta }
+         | None -> None)
+
+let terminals curated =
+  curated
+  |> List.filter (fun s -> not (Concolic.Path.subject_is_native s))
+  |> List.map Template.extract
+  |> dedup_templates
+  |> List.filter_map (fun tpl ->
+         match Template.terminal_needs tpl with
+         | Some needs -> Some (tpl, needs)
+         | None -> None)
+
+(* --- candidate composition --- *)
+
+let fill_template rng (params : Gen.params) tpl : Op.t list option =
+  let pick = function
+    | [] -> None
+    | pool -> Some (List.nth pool (Random.State.int rng (List.length pool)))
+  in
+  let value = function
+    | Template.Lit_const ->
+        Option.map (fun i -> Template.V_literal i) (pick params.Gen.literal_indices)
+    | Template.Int_byte ->
+        Option.map (fun n -> Template.V_int n) (pick params.Gen.int_bytes)
+    | Template.Temp_push ->
+        Option.map (fun i -> Template.V_temp i) (pick params.Gen.temp_indices)
+    | Template.Temp_store ->
+        Option.map
+          (fun i -> Template.V_temp i)
+          (pick (List.filter (fun i -> i <= 7) params.Gen.temp_indices))
+    | Template.Recv_var_push ->
+        Option.map
+          (fun i -> Template.V_recv_var i)
+          (pick params.Gen.recv_var_indices)
+    | Template.Recv_var_store ->
+        Option.map
+          (fun i -> Template.V_recv_var i)
+          (pick (List.filter (fun i -> i <= 7) params.Gen.recv_var_indices))
+    | Template.Native_id -> None
+  in
+  let vs = map_ord value (Template.holes tpl) in
+  if List.exists Option.is_none vs then None
+  else
+    match Template.fill tpl ~holes:(List.map Option.get vs) with
+    | Ok (Concolic.Path.Bytecode op) -> Some [ op ]
+    | Ok (Concolic.Path.Bytecode_seq ops) -> Some ops
+    | Ok (Concolic.Path.Native _) | Error _ -> None
+
+let compose rng ~(params : Gen.params) ~frags ~terminals : Op.t list option =
+  let pick pool = List.nth pool (Random.State.int rng (List.length pool)) in
+  let body =
+    if Random.State.int rng 10 = 0 then begin
+      (* register-pressure shape: grow the operand stack, then drain it
+         with binary operators — the spill-site shape no curated
+         single-opcode unit has *)
+      let k = 4 + Random.State.int rng 5 in
+      let push_frags = List.filter (fun f -> f.f_needs = 0 && f.f_delta = 1) frags in
+      let bin_frags = List.filter (fun f -> f.f_needs = 2 && f.f_delta = -1) frags in
+      if push_frags = [] || bin_frags = [] then None
+      else
+        let grow =
+          List.concat (map_ord (fun _ -> Option.value ~default:[] (fill_template rng params (pick push_frags).f_tpl)) (range 1 k))
+        in
+        let drain =
+          List.concat (map_ord (fun _ -> Option.value ~default:[] (fill_template rng params (pick bin_frags).f_tpl)) (range 1 (k - 1)))
+        in
+        Some (grow @ drain, 1)
+    end
+    else begin
+      let len =
+        params.Gen.min_len
+        + Random.State.int rng (max 1 (params.Gen.max_len - params.Gen.min_len + 1))
+      in
+      let rec go depth acc n =
+        if n = 0 then Some (List.rev acc, depth)
+        else
+          let eligible = List.filter (fun f -> f.f_needs <= depth) frags in
+          if eligible = [] then Some (List.rev acc, depth)
+          else
+            let f = pick eligible in
+            match fill_template rng params f.f_tpl with
+            | None -> go depth acc (n - 1)
+            | Some ops -> go (depth + f.f_delta) (List.rev_append ops acc) (n - 1)
+      in
+      go 0 [] len
+    end
+  in
+  match body with
+  | None -> None
+  | Some ([], _) -> None
+  | Some (ops, depth) ->
+      if terminals <> [] && Random.State.int rng 4 = 0 then begin
+        let fits = List.filter (fun (_, needs) -> needs <= depth) terminals in
+        match fits with
+        | [] -> Some ops
+        | _ -> (
+            match fill_template rng params (fst (pick fits)) with
+            | Some t_ops -> Some (ops @ t_ops)
+            | None -> Some ops)
+      end
+      else Some ops
+
+(* --- chunks --- *)
+
+type chunk = {
+  ch_entries : entry list;
+  ch_generated : int;
+  ch_rejected : int;
+  ch_unexplorable : int;
+}
+
+let probe ~max_iterations ops : entry option =
+  match
+    Concolic.Explorer.explore_uncached ~max_iterations
+      (Concolic.Path.Bytecode_seq ops)
+  with
+  | exception _ -> None
+  | r ->
+      if r.Concolic.Explorer.unsupported || r.Concolic.Explorer.paths = [] then
+        None
+      else
+        let digests = map_ord path_digest r.Concolic.Explorer.paths in
+        Some
+          {
+            e_ops = ops;
+            e_fingerprint = fingerprint_of_digests digests;
+            e_paths = List.length r.Concolic.Explorer.paths;
+            e_path_digests = digests;
+            e_exits =
+              map_ord
+                (fun (p : Concolic.Path.t) ->
+                  Interpreter.Exit_condition.to_string p.Concolic.Path.exit_)
+                r.Concolic.Explorer.paths;
+          }
+
+let compute_chunk ~params ~frags ~terminals ~chunk_size ~max_iterations ~seed
+    idx : chunk =
+  let rng = Random.State.make [| 0x7e91; seed; idx |] in
+  let generated = ref 0 and rejected = ref 0 and unexplorable = ref 0 in
+  let entries = ref [] in
+  for _ = 1 to chunk_size do
+    incr generated;
+    match compose rng ~params ~frags ~terminals with
+    | None -> incr rejected
+    | Some ops -> (
+        if not (Gen.well_formed ops) then incr rejected
+        else
+          match probe ~max_iterations ops with
+          | None -> incr unexplorable
+          | Some e -> entries := e :: !entries)
+  done;
+  {
+    ch_entries = List.rev !entries;
+    ch_generated = !generated;
+    ch_rejected = !rejected;
+    ch_unexplorable = !unexplorable;
+  }
+
+(* Schema/config fingerprint for the store keys: any knob that changes
+   chunk contents must land here, or a warm rebuild would replay stale
+   chunks. *)
+let config_digest ~params ~chunk_size ~max_iterations ~seed =
+  Digest.to_hex
+    (Digest.string
+       (Marshal.to_string (1, params, chunk_size, max_iterations, seed) []))
+
+let cached_chunk ~cfg ~params ~frags ~terminals ~chunk_size ~max_iterations
+    ~seed idx : chunk =
+  let key = Printf.sprintf "%s|chunk:%d" cfg idx in
+  match Exec.Store.lookup ~ns:store_ns ~key with
+  | Some (c : chunk) -> c
+  | None ->
+      let c =
+        compute_chunk ~params ~frags ~terminals ~chunk_size ~max_iterations
+          ~seed idx
+      in
+      Exec.Store.record ~ns:store_ns ~key c;
+      c
+
+(* --- assembly --- *)
+
+let build ?jobs ?(params = default_params) ?(chunk_size = 256)
+    ?(max_iterations = 96) ?(max_chunks = 8192) ~curated ~seed ~target () : t =
+  let frags = fragments curated in
+  let terminals = terminals curated in
+  let cfg = config_digest ~params ~chunk_size ~max_iterations ~seed in
+  let wave =
+    match jobs with
+    | Some j -> max 1 j
+    | None -> max 4 (Exec.Pool.default_jobs ())
+  in
+  let seen = Hashtbl.create (max 16 (2 * target)) in
+  let entries = ref [] in
+  let generated = ref 0
+  and rejected = ref 0
+  and unexplorable = ref 0
+  and duplicates = ref 0
+  and accepted = ref 0
+  and chunks_consumed = ref 0 in
+  let next = ref 0 in
+  while !accepted < target && !next < max_chunks do
+    let n = min wave (max_chunks - !next) in
+    let idxs = List.init n (fun i -> !next + i) in
+    next := !next + n;
+    let chunks =
+      Exec.Pool.map ?jobs
+        (cached_chunk ~cfg ~params ~frags ~terminals ~chunk_size
+           ~max_iterations ~seed)
+        idxs
+    in
+    (* consumption is strictly index-ordered and stops at [target], so
+       everything below is independent of the worker count *)
+    List.iter
+      (fun ch ->
+        if !accepted < target then begin
+          incr chunks_consumed;
+          generated := !generated + ch.ch_generated;
+          rejected := !rejected + ch.ch_rejected;
+          unexplorable := !unexplorable + ch.ch_unexplorable;
+          List.iter
+            (fun e ->
+              if !accepted < target then
+                if Hashtbl.mem seen e.e_fingerprint then incr duplicates
+                else begin
+                  Hashtbl.replace seen e.e_fingerprint ();
+                  entries := e :: !entries;
+                  incr accepted
+                end)
+            ch.ch_entries
+        end)
+      chunks
+  done;
+  let entries = List.rev !entries in
+  let post_filter_rejections =
+    List.length (List.filter (fun e -> not (Gen.well_formed e.e_ops)) entries)
+  in
+  {
+    c_seed = seed;
+    c_target = target;
+    c_chunk_size = chunk_size;
+    c_entries = entries;
+    c_stats =
+      {
+        s_generated = !generated;
+        s_rejected = !rejected;
+        s_unexplorable = !unexplorable;
+        s_duplicates = !duplicates;
+        s_accepted = !accepted;
+        s_post_filter_rejections = post_filter_rejections;
+        s_chunks = !chunks_consumed;
+      };
+  }
+
+let subjects t =
+  List.map (fun e -> Concolic.Path.Bytecode_seq e.e_ops) t.c_entries
+
+(* The same subjects, stably reordered for mutant observability.  Two
+   signals, both free in the entry: (1) a subject with an in-unit
+   completion path (success, failure, method return) exposes a wrong
+   value in its compared final state, while one whose every path
+   escapes through a send or a memory fault may hide it; (2) more
+   explored paths mean more behaviour branching on symbolic data —
+   the subjects where a dropped guard or overflow check is actually
+   reachable.  Completion-first, then path-count descending, stable
+   within ties, so first-fit unit selection lands on killable
+   subjects. *)
+let mutation_subjects t =
+  let completes e =
+    List.exists
+      (fun x -> x = "success" || x = "failure" || x = "method return")
+      e.e_exits
+  in
+  List.stable_sort
+    (fun a b ->
+      compare
+        (not (completes a), -a.e_paths)
+        (not (completes b), -b.e_paths))
+    t.c_entries
+  |> List.map (fun e -> Concolic.Path.Bytecode_seq e.e_ops)
+
+let manifest t =
+  String.concat ""
+    (List.map
+       (fun e ->
+         e.e_fingerprint ^ " "
+         ^ String.concat ";" (List.map Op.mnemonic e.e_ops)
+         ^ "\n")
+       t.c_entries)
+
+let dedup_ratio t =
+  let s = t.c_stats in
+  let probed = s.s_accepted + s.s_duplicates in
+  if probed = 0 then 0.0 else float_of_int s.s_duplicates /. float_of_int probed
+
+(* --- coverage --- *)
+
+type coverage = {
+  cov_subjects : int;
+  cov_paths : int;
+  cov_distinct_paths : int;
+  cov_fingerprints : int;
+  cov_exits : (string * int) list;
+}
+
+let aggregate per_subject =
+  let paths = ref 0 in
+  let distinct = Hashtbl.create 4096 in
+  let fps = Hashtbl.create 4096 in
+  let exits = Hashtbl.create 16 in
+  let n = ref 0 in
+  List.iter
+    (fun (fp, digests, exit_names) ->
+      incr n;
+      Hashtbl.replace fps fp ();
+      List.iter (fun d -> Hashtbl.replace distinct d ()) digests;
+      paths := !paths + List.length digests;
+      List.iter
+        (fun x ->
+          Hashtbl.replace exits x (1 + Option.value ~default:0 (Hashtbl.find_opt exits x)))
+        exit_names)
+    per_subject;
+  {
+    cov_subjects = !n;
+    cov_paths = !paths;
+    cov_distinct_paths = Hashtbl.length distinct;
+    cov_fingerprints = Hashtbl.length fps;
+    cov_exits =
+      List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) exits []);
+  }
+
+let coverage t =
+  aggregate
+    (List.map (fun e -> (e.e_fingerprint, e.e_path_digests, e.e_exits)) t.c_entries)
+
+(* Coverage of arbitrary subjects (the curated baseline): probe with the
+   shared, store-backed exploration cache — a campaign-warm store serves
+   these from disk. *)
+let coverage_of_subjects ?jobs ?(max_iterations = 96) subjects =
+  let probe subject =
+    match Concolic.Explorer.explore ~max_iterations subject with
+    | exception _ -> None
+    | r ->
+        if r.Concolic.Explorer.unsupported then None
+        else
+          let digests = map_ord path_digest r.Concolic.Explorer.paths in
+          Some
+            ( fingerprint_of_digests digests,
+              digests,
+              map_ord
+                (fun (p : Concolic.Path.t) ->
+                  Interpreter.Exit_condition.to_string p.Concolic.Path.exit_)
+                r.Concolic.Explorer.paths )
+  in
+  aggregate (List.filter_map Fun.id (Exec.Pool.map ?jobs probe subjects))

@@ -1,0 +1,105 @@
+(** The template-extracted subject corpus (ROADMAP item 3).
+
+    Chunked, seeded, store-resumable construction: fragments extracted
+    from the curated corpus are depth-composed and hole-filled from the
+    {!Mutate.Gen_method.params} pools, filtered through the byte-code
+    verifier, probed with one concolic exploration each, and
+    deduplicated by path-summary fingerprint.  The assembled manifest
+    is byte-identical at any worker count; finished chunks persist
+    under the [template-corpus:1] store namespace, so a warm rebuild is
+    pure store hits and an interrupted build resumes. *)
+
+val store_ns : string
+(** ["template-corpus:1"] — the {!Exec.Store} namespace; the suffix is
+    the chunk schema version. *)
+
+val default_params : Mutate.Gen_method.params
+(** The generator pools widened to their full encodable ranges
+    (literals 0-15, temps 0-11, receiver variables 0-7, a spread of
+    integer payloads) and sequences of 2-8 templates. *)
+
+type entry = {
+  e_ops : Bytecodes.Opcode.t list;
+  e_fingerprint : string;  (** digest over all path summaries *)
+  e_paths : int;
+  e_path_digests : string list;  (** one per path, exploration order *)
+  e_exits : string list;  (** exit-condition names, one per path *)
+}
+
+type stats = {
+  s_generated : int;  (** candidates composed *)
+  s_rejected : int;  (** byte-code verifier pre-filter rejections *)
+  s_unexplorable : int;  (** probe unsupported / no paths / raised *)
+  s_duplicates : int;  (** fingerprint collisions during assembly *)
+  s_accepted : int;
+  s_post_filter_rejections : int;
+      (** accepted entries the verifier rejects on re-check — always 0
+          unless the store fed us a corrupt chunk; gated in CI *)
+  s_chunks : int;  (** chunks consumed by assembly *)
+}
+
+type t = {
+  c_seed : int;
+  c_target : int;
+  c_chunk_size : int;
+  c_entries : entry list;
+  c_stats : stats;
+}
+
+val build :
+  ?jobs:int ->
+  ?params:Mutate.Gen_method.params ->
+  ?chunk_size:int ->
+  ?max_iterations:int ->
+  ?max_chunks:int ->
+  curated:Concolic.Path.subject list ->
+  seed:int ->
+  target:int ->
+  unit ->
+  t
+(** Build (or resume, against an active store) a corpus of [target]
+    verified, fingerprint-deduplicated subjects.  Deterministic in
+    ([params], [chunk_size], [max_iterations], [seed]) — [jobs] only
+    changes wall-clock. *)
+
+val subjects : t -> Concolic.Path.subject list
+
+val mutation_subjects : t -> Concolic.Path.subject list
+(** The same subjects stably partitioned for mutant observability:
+    entries with an in-unit completion path (success / failure / method
+    return exits) first — their compared final state can expose a wrong
+    value — then the escape-only entries. *)
+
+val manifest : t -> string
+(** One line per entry: ["<fingerprint> <mnemonic;mnemonic;...>\n"] —
+    the byte-identity witness for determinism and resume tests. *)
+
+val dedup_ratio : t -> float
+(** Duplicates over probed entries consumed during assembly. *)
+
+val path_digest : Concolic.Path.t -> string
+(** Digest of one path's behaviour summary: the canonical
+    {!Concolic.Path.key} plus the symbolic outputs (operand stack,
+    temps, return value, heap effects, final pc). *)
+
+val fingerprint_of_digests : string list -> string
+
+(** {1 Coverage} *)
+
+type coverage = {
+  cov_subjects : int;
+  cov_paths : int;
+  cov_distinct_paths : int;  (** distinct per-path behaviour digests *)
+  cov_fingerprints : int;  (** distinct subject fingerprints *)
+  cov_exits : (string * int) list;  (** exit name -> path count, sorted *)
+}
+
+val coverage : t -> coverage
+
+val coverage_of_subjects :
+  ?jobs:int ->
+  ?max_iterations:int ->
+  Concolic.Path.subject list ->
+  coverage
+(** Probe arbitrary subjects (the curated baseline) through the shared,
+    store-backed exploration cache and aggregate the same measures. *)

@@ -1,0 +1,194 @@
+(* Template extraction: lift the immediates of a curated subject into
+   typed holes, keep the opcode skeleton (and with it the operand-stack
+   shape) concrete.  See template.mli. *)
+
+module Op = Bytecodes.Opcode
+
+type kind = K_literal | K_int | K_temp | K_recv_var | K_native
+[@@deriving show { with_path = false }, eq, ord]
+
+type hole =
+  | Lit_const
+  | Int_byte
+  | Temp_push
+  | Temp_store
+  | Recv_var_push
+  | Recv_var_store
+  | Native_id
+[@@deriving show { with_path = false }, eq, ord]
+
+type value =
+  | V_literal of int
+  | V_int of int
+  | V_temp of int
+  | V_recv_var of int
+  | V_native of int
+[@@deriving show { with_path = false }, eq, ord]
+
+type elt = Concrete of Op.t | Hole of hole
+[@@deriving show { with_path = false }, eq, ord]
+
+type shape = Single | Seq | Native_method
+[@@deriving show { with_path = false }, eq, ord]
+
+type t = { shape : shape; elts : elt list }
+[@@deriving show { with_path = false }, eq, ord]
+
+let hole_kind = function
+  | Lit_const -> K_literal
+  | Int_byte -> K_int
+  | Temp_push | Temp_store -> K_temp
+  | Recv_var_push | Recv_var_store -> K_recv_var
+  | Native_id -> K_native
+
+let value_kind = function
+  | V_literal _ -> K_literal
+  | V_int _ -> K_int
+  | V_temp _ -> K_temp
+  | V_recv_var _ -> K_recv_var
+  | V_native _ -> K_native
+
+let kind_name = function
+  | K_literal -> "literal"
+  | K_int -> "int"
+  | K_temp -> "temp"
+  | K_recv_var -> "recv-var"
+  | K_native -> "native"
+
+(* Only the single-byte forms are lifted; the two-byte extended
+   encodings stay concrete skeleton — they exist in the curated universe
+   as one representative operand each, and that representative is part
+   of the template's identity. *)
+let lift : Op.t -> elt = function
+  | Op.Push_literal_constant _ -> Hole Lit_const
+  | Op.Push_integer_byte _ -> Hole Int_byte
+  | Op.Push_temp _ -> Hole Temp_push
+  | Op.Store_and_pop_temp _ -> Hole Temp_store
+  | Op.Push_receiver_variable _ -> Hole Recv_var_push
+  | Op.Store_and_pop_receiver_variable _ -> Hole Recv_var_store
+  | op -> Concrete op
+
+let value_of_op : Op.t -> value option = function
+  | Op.Push_literal_constant n -> Some (V_literal n)
+  | Op.Push_integer_byte n -> Some (V_int n)
+  | Op.Push_temp n | Op.Store_and_pop_temp n -> Some (V_temp n)
+  | Op.Push_receiver_variable n | Op.Store_and_pop_receiver_variable n ->
+      Some (V_recv_var n)
+  | _ -> None
+
+let extract : Concolic.Path.subject -> t = function
+  | Concolic.Path.Bytecode op -> { shape = Single; elts = [ lift op ] }
+  | Concolic.Path.Bytecode_seq ops -> { shape = Seq; elts = List.map lift ops }
+  | Concolic.Path.Native _ -> { shape = Native_method; elts = [ Hole Native_id ] }
+
+let holes t =
+  List.filter_map (function Hole h -> Some h | Concrete _ -> None) t.elts
+
+let holes_of : Concolic.Path.subject -> value list = function
+  | Concolic.Path.Bytecode op -> Option.to_list (value_of_op op)
+  | Concolic.Path.Bytecode_seq ops -> List.filter_map value_of_op ops
+  | Concolic.Path.Native id -> [ V_native id ]
+
+(* Encodable immediate ranges (lib/bytecodes/encoding.ml). *)
+let plug hole v : (Op.t, string) result =
+  let bad what n lo hi =
+    Error (Printf.sprintf "%s index %d outside [%d, %d]" what n lo hi)
+  in
+  match (hole, v) with
+  | Lit_const, V_literal n ->
+      if n >= 0 && n <= 15 then Ok (Op.Push_literal_constant n)
+      else bad "literal" n 0 15
+  | Int_byte, V_int n ->
+      if n >= -128 && n <= 127 then Ok (Op.Push_integer_byte n)
+      else bad "integer-byte" n (-128) 127
+  | Temp_push, V_temp n ->
+      if n >= 0 && n <= 11 then Ok (Op.Push_temp n) else bad "temp" n 0 11
+  | Temp_store, V_temp n ->
+      if n >= 0 && n <= 7 then Ok (Op.Store_and_pop_temp n)
+      else bad "temp-store" n 0 7
+  | Recv_var_push, V_recv_var n ->
+      if n >= 0 && n <= 15 then Ok (Op.Push_receiver_variable n)
+      else bad "receiver-variable" n 0 15
+  | Recv_var_store, V_recv_var n ->
+      if n >= 0 && n <= 7 then Ok (Op.Store_and_pop_receiver_variable n)
+      else bad "receiver-variable-store" n 0 7
+  | Native_id, V_native _ ->
+      Error "native hole has no opcode form" (* handled by shape *)
+  | h, v ->
+      Error
+        (Printf.sprintf "hole kind %s filled with %s value"
+           (kind_name (hole_kind h))
+           (kind_name (value_kind v)))
+
+let fill t ~holes : (Concolic.Path.subject, string) result =
+  match (t.shape, t.elts, holes) with
+  | Native_method, [ Hole Native_id ], [ V_native id ] ->
+      if List.mem id Interpreter.Primitive_table.ids then
+        Ok (Concolic.Path.Native id)
+      else Error (Printf.sprintf "unknown native id %d" id)
+  | Native_method, _, _ -> Error "malformed native template"
+  | (Single | Seq), elts, holes -> (
+      let rec go acc elts holes =
+        match (elts, holes) with
+        | [], [] -> Ok (List.rev acc)
+        | [], _ :: _ -> Error "too many hole values"
+        | Concrete op :: rest, holes -> go (op :: acc) rest holes
+        | Hole _ :: _, [] -> Error "too few hole values"
+        | Hole h :: rest, v :: vs -> (
+            match plug h v with
+            | Ok op -> go (op :: acc) rest vs
+            | Error e -> Error e)
+      in
+      match go [] elts holes with
+      | Error e -> Error e
+      | Ok ops -> (
+          match (t.shape, ops) with
+          | Single, [ op ] -> Ok (Concolic.Path.Bytecode op)
+          | Single, _ -> Error "single-opcode template with several opcodes"
+          | _, ops -> Ok (Concolic.Path.Bytecode_seq ops)))
+
+(* Representative opcode of an element, for stack-effect purposes: every
+   opcode a hole ranges over has the same (min_operands, success_delta),
+   so any in-range fill works. *)
+let rep_op : elt -> Op.t = function
+  | Concrete op -> op
+  | Hole Lit_const -> Op.Push_literal_constant 0
+  | Hole Int_byte -> Op.Push_integer_byte 0
+  | Hole Temp_push -> Op.Push_temp 0
+  | Hole Temp_store -> Op.Store_and_pop_temp 0
+  | Hole Recv_var_push -> Op.Push_receiver_variable 0
+  | Hole Recv_var_store -> Op.Store_and_pop_receiver_variable 0
+  | Hole Native_id -> Op.Nop (* never composed; [stack_effect] is None *)
+
+let terminal_op op =
+  Op.is_branch op || Op.is_return op || Op.is_send op
+  || op = Op.Push_this_context
+
+let terminal t =
+  List.exists
+    (function Concrete op -> terminal_op op | Hole h -> h = Native_id)
+    t.elts
+
+(* The byte-code verifier's own depth model, so composed sequences pass
+   its stack-balance worklist by construction. *)
+let stack_effect t =
+  if terminal t then None
+  else
+    let rec go depth needs = function
+      | [] -> Some (needs, depth)
+      | elt :: rest -> (
+          let op = rep_op elt in
+          match Verify.Bytecode_verifier.success_delta op with
+          | None -> None
+          | Some delta ->
+              let needs = max needs (Op.min_operands op - depth) in
+              go (depth + delta) needs rest)
+    in
+    go 0 0 t.elts
+
+let terminal_needs t =
+  match t.elts with
+  | [ elt ] ->
+      let op = rep_op elt in
+      if terminal_op op then Some (Op.min_operands op) else None
+  | _ -> None

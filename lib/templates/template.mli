@@ -1,0 +1,82 @@
+(** Templates extracted from curated subjects (ROADMAP item 3; after
+    *Java JIT Testing with Template Extraction*, PAPERS.md).
+
+    A template is a curated subject with its immediates lifted into
+    typed holes: literal-frame indices, small-integer payloads, temp
+    slots, receiver instance-variable indices (the receiver-class
+    shape) and native-method ids.  Everything else — the opcode
+    skeleton, and with it the operand-stack shape — is kept concrete.
+    [fill (extract s) ~holes:(holes_of s)] reproduces [s]
+    byte-identically; filling the same skeleton with fresh values from
+    the {!Mutate.Gen_method.params} pools is how {!Corpus} turns 304
+    curated subjects into 10⁵+ generated ones. *)
+
+(** What a hole ranges over. *)
+type kind = K_literal | K_int | K_temp | K_recv_var | K_native
+[@@deriving show { with_path = false }, eq, ord]
+
+(** A hole: the value kind plus the opcode form it was lifted from, so
+    filling rebuilds exactly the constructor that was extracted. *)
+type hole =
+  | Lit_const  (** [Push_literal_constant _] *)
+  | Int_byte  (** [Push_integer_byte _] *)
+  | Temp_push  (** [Push_temp _] *)
+  | Temp_store  (** [Store_and_pop_temp _] *)
+  | Recv_var_push  (** [Push_receiver_variable _] *)
+  | Recv_var_store  (** [Store_and_pop_receiver_variable _] *)
+  | Native_id  (** the primitive id of a native-method subject *)
+[@@deriving show { with_path = false }, eq, ord]
+
+type value =
+  | V_literal of int
+  | V_int of int
+  | V_temp of int
+  | V_recv_var of int
+  | V_native of int
+[@@deriving show { with_path = false }, eq, ord]
+
+type elt = Concrete of Bytecodes.Opcode.t | Hole of hole
+[@@deriving show { with_path = false }, eq, ord]
+
+(** Which subject constructor the template came from, so round-trips
+    rebuild the same one. *)
+type shape = Single | Seq | Native_method
+[@@deriving show { with_path = false }, eq, ord]
+
+type t = { shape : shape; elts : elt list }
+[@@deriving show { with_path = false }, eq, ord]
+
+val hole_kind : hole -> kind
+val value_kind : value -> kind
+val kind_name : kind -> string
+
+val extract : Concolic.Path.subject -> t
+(** Lift every immediate of the subject into its hole. *)
+
+val holes : t -> hole list
+(** The template's holes, in element order. *)
+
+val holes_of : Concolic.Path.subject -> value list
+(** The original immediates, in the order {!holes} expects. *)
+
+val fill : t -> holes:value list -> (Concolic.Path.subject, string) result
+(** Plug values back into the skeleton.  Fails when the value list has
+    the wrong arity, a value's kind mismatches its hole, or a value is
+    outside the hole's encodable range (e.g. a temp-store slot above
+    7). *)
+
+val stack_effect : t -> (int * int) option
+(** [(needs, delta)]: minimum operand-stack depth the template requires
+    and its net depth change, in exactly the byte-code verifier's
+    success-path model ({!Verify.Bytecode_verifier.success_delta}) so
+    depth-tracked composition matches what the filter accepts.  [None]
+    when an element has no successor or no static effect (returns,
+    sends, jumps, natives). *)
+
+val terminal : t -> bool
+(** Does the template end or leave the unit (returns, jumps, sends)?
+    Terminal templates only compose as a sequence's last element. *)
+
+val terminal_needs : t -> int option
+(** Operand-stack depth a single-element terminal template requires;
+    [None] for non-terminal or multi-element templates. *)

@@ -30,4 +30,5 @@ let () =
       ("facade", Test_facade.suite);
       ("mutate", Test_mutate.suite);
       ("abstract", Test_abstract.suite);
+      ("templates", Test_templates.suite);
     ]

@@ -1,0 +1,255 @@
+(* The template-extracted corpus (lib/templates):
+
+   - round-trip: [fill (extract s) ~holes:(holes_of s)] reproduces
+     every curated subject byte-identically;
+   - qcheck: hole values drawn from the corpus pools always fill, and
+     every verifier-passing filled candidate explores without raising;
+   - determinism: the same seed assembles a byte-identical manifest at
+     -j1 and -j8, and a warm-store rebuild is 100% hits with the same
+     manifest again;
+   - mutation ordering: [mutation_subjects] is a permutation of
+     [subjects], completion-exit entries first, path-rich first;
+   - kill regression: every operator x compiler cell killed on the
+     curated corpus stays killed when the byte-code compilers draw
+     exclusively from the extracted corpus. *)
+
+module Op = Bytecodes.Opcode
+module Campaign = Ijdt_core.Campaign
+module Fault = Jit.Fault
+module Tpl = Templates.Template
+module Corpus = Templates.Corpus
+module Gen = Mutate.Gen_method
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+let curated = lazy (Campaign.curated_universe ())
+
+let bc_templates =
+  lazy
+    (Lazy.force curated
+    |> List.filter (fun s -> not (Concolic.Path.subject_is_native s))
+    |> List.map Tpl.extract)
+
+(* --- round-trip --- *)
+
+let test_round_trip () =
+  let subjects = Lazy.force curated in
+  check_bool "curated universe non-empty" true (subjects <> []);
+  List.iter
+    (fun s ->
+      match Tpl.fill (Tpl.extract s) ~holes:(Tpl.holes_of s) with
+      | Ok s' ->
+          check_bool
+            (Concolic.Path.subject_name s ^ " round-trips byte-identically")
+            true (s' = s)
+      | Error e ->
+          Alcotest.failf "round-trip of %s failed: %s"
+            (Concolic.Path.subject_name s) e)
+    subjects
+
+(* --- qcheck: pool values fill, filled candidates explore --- *)
+
+let pick rng pool = List.nth pool (Random.State.int rng (List.length pool))
+
+let random_value rng (params : Gen.params) = function
+  | Tpl.Lit_const -> Tpl.V_literal (pick rng params.Gen.literal_indices)
+  | Tpl.Int_byte -> Tpl.V_int (pick rng params.Gen.int_bytes)
+  | Tpl.Temp_push -> Tpl.V_temp (pick rng params.Gen.temp_indices)
+  | Tpl.Temp_store ->
+      Tpl.V_temp
+        (pick rng (List.filter (fun i -> i <= 7) params.Gen.temp_indices))
+  | Tpl.Recv_var_push ->
+      Tpl.V_recv_var (pick rng params.Gen.recv_var_indices)
+  | Tpl.Recv_var_store ->
+      Tpl.V_recv_var
+        (pick rng (List.filter (fun i -> i <= 7) params.Gen.recv_var_indices))
+  | Tpl.Native_id -> Tpl.V_native 0 (* native templates are filtered out *)
+
+let gen_filled rng =
+  let tpl = pick rng (Lazy.force bc_templates) in
+  let vs =
+    List.map (random_value rng Corpus.default_params) (Tpl.holes tpl)
+  in
+  (tpl, vs)
+
+let qcheck_filled_candidates_explore =
+  QCheck.Test.make
+    ~name:"qcheck: verifier-passing filled candidates explore" ~count:150
+    (QCheck.make gen_filled ~print:(fun (tpl, _) -> Tpl.show tpl))
+    (fun (tpl, vs) ->
+      match Tpl.fill tpl ~holes:vs with
+      | Error e -> QCheck.Test.fail_reportf "pool value rejected: %s" e
+      | Ok subject -> (
+          let ops =
+            match subject with
+            | Concolic.Path.Bytecode op -> [ op ]
+            | Concolic.Path.Bytecode_seq ops -> ops
+            | Concolic.Path.Native _ -> []
+          in
+          ops = []
+          || (not (Gen.well_formed ops))
+          ||
+          match
+            Concolic.Explorer.explore_uncached ~max_iterations:48 subject
+          with
+          | exception e ->
+              QCheck.Test.fail_reportf "exploration raised: %s"
+                (Printexc.to_string e)
+          | _ -> true))
+
+(* --- determinism --- *)
+
+(* small chunks so 48 subjects still span several chunks, exercising
+   the index-ordered assembly the -j independence rests on *)
+let build ~jobs ~seed ~target () =
+  Corpus.build ~jobs ~chunk_size:8 ~curated:(Lazy.force curated) ~seed
+    ~target ()
+
+let test_manifest_jobs_independent () =
+  Exec.Store.deactivate ();
+  let a = build ~jobs:1 ~seed:7 ~target:48 () in
+  let b = build ~jobs:8 ~seed:7 ~target:48 () in
+  check_int "target reached" 48 a.Corpus.c_stats.Corpus.s_accepted;
+  check_int "no post-filter rejections" 0
+    a.Corpus.c_stats.Corpus.s_post_filter_rejections;
+  check_string "manifest byte-identical at -j1 and -j8"
+    (Corpus.manifest a) (Corpus.manifest b);
+  check_bool "stats identical at -j1 and -j8" true
+    (a.Corpus.c_stats = b.Corpus.c_stats)
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let test_warm_store_rebuild () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ()) "ijdt-test-templates-store"
+  in
+  rm_rf dir;
+  Exec.Store.activate dir;
+  Fun.protect
+    ~finally:(fun () ->
+      Exec.Store.deactivate ();
+      rm_rf dir)
+    (fun () ->
+      Exec.Store.reset_counters ();
+      let cold = build ~jobs:2 ~seed:11 ~target:48 () in
+      let c = Exec.Store.counters () in
+      check_bool "cold run persists chunks" true (c.Exec.Store.writes > 0);
+      Exec.Store.reset_counters ();
+      let warm = build ~jobs:2 ~seed:11 ~target:48 () in
+      let w = Exec.Store.counters () in
+      check_int "warm rebuild: zero store misses" 0 w.Exec.Store.misses;
+      check_bool "warm rebuild: pure store hits" true (w.Exec.Store.hits > 0);
+      check_string "warm manifest byte-identical" (Corpus.manifest cold)
+        (Corpus.manifest warm);
+      check_bool "warm stats identical" true
+        (cold.Corpus.c_stats = warm.Corpus.c_stats))
+
+(* --- mutation-subject ordering --- *)
+
+let test_mutation_subject_ordering () =
+  Exec.Store.deactivate ();
+  let c = build ~jobs:2 ~seed:7 ~target:48 () in
+  let subs = Corpus.subjects c in
+  let msubs = Corpus.mutation_subjects c in
+  check_int "permutation: same cardinality" (List.length subs)
+    (List.length msubs);
+  check_bool "permutation: same subjects" true
+    (List.sort compare subs = List.sort compare msubs);
+  let by_ops = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Corpus.entry) -> Hashtbl.replace by_ops e.Corpus.e_ops e)
+    c.Corpus.c_entries;
+  let completes (e : Corpus.entry) =
+    List.exists
+      (fun x -> x = "success" || x = "failure" || x = "method return")
+      e.Corpus.e_exits
+  in
+  let keys =
+    List.map
+      (function
+        | Concolic.Path.Bytecode_seq ops ->
+            let e = Hashtbl.find by_ops ops in
+            (not (completes e), -e.Corpus.e_paths)
+        | _ -> Alcotest.fail "extracted subjects are bytecode sequences")
+      msubs
+  in
+  let rec mono = function
+    | a :: (b :: _ as rest) ->
+        check_bool "completion-exit first, path-rich first" true
+          (compare a b <= 0);
+        mono rest
+    | _ -> ()
+  in
+  mono keys
+
+(* --- kill regression: curated-killed cells stay killed extracted-only ---
+
+   The curated side reuses [Test_mutate.matrix] (per_operator:1, the
+   default configuration).  The extracted side schedules three subjects
+   per cell: first-fit on a generated pool can land a mutant on a
+   subject where the fault is unobservable (an equivalent mutant),
+   which a curated single-opcode unit — fully symbolic operands —
+   never is. *)
+
+let extracted_matrix =
+  lazy
+    (Campaign.kill_matrix ~jobs:2 ~per_operator:3 ~seed:42
+       ~corpus:(Campaign.Corpus_extracted { n = 512; seed = 42 })
+       ())
+
+let killed_cells (m : Campaign.kill_matrix) =
+  List.filter_map
+    (fun (o : Campaign.mutant_outcome) ->
+      if o.mo_kill <> Campaign.Survived then
+        Some (o.mo_op.Fault.id, Jit.Cogits.short_name o.mo_compiler)
+      else None)
+    m.Campaign.km_outcomes
+  |> List.sort_uniq compare
+
+let test_extracted_kills_cover_curated () =
+  let curated_killed = killed_cells (Lazy.force Test_mutate.matrix) in
+  let extracted_killed = killed_cells (Lazy.force extracted_matrix) in
+  check_bool "curated matrix kills cells" true (curated_killed <> []);
+  let lost =
+    List.filter (fun c -> not (List.mem c extracted_killed)) curated_killed
+  in
+  Alcotest.(check (list (pair string string)))
+    "every operator x compiler cell killed on curated stays killed \
+     extracted-only"
+    [] lost
+
+let test_extracted_matrix_tags_corpus () =
+  let m = Lazy.force extracted_matrix in
+  check_bool "outcomes scheduled" true (m.Campaign.km_outcomes <> []);
+  List.iter
+    (fun (o : Campaign.mutant_outcome) ->
+      if o.mo_compiler <> Jit.Cogits.Native_method_compiler then
+        check_bool "bytecode units drawn from the extracted corpus" true
+          (match o.mo_subject with
+          | Concolic.Path.Bytecode_seq _ -> true
+          | _ -> false))
+    m.Campaign.km_outcomes
+
+let suite =
+  [
+    Alcotest.test_case "round-trip: fill (extract s) = s" `Quick
+      test_round_trip;
+    QCheck_alcotest.to_alcotest qcheck_filled_candidates_explore;
+    Alcotest.test_case "manifest independent of -j" `Slow
+      test_manifest_jobs_independent;
+    Alcotest.test_case "warm store rebuild: pure hits, same manifest" `Slow
+      test_warm_store_rebuild;
+    Alcotest.test_case "mutation subjects: observability ordering" `Slow
+      test_mutation_subject_ordering;
+    Alcotest.test_case "kill regression: extracted covers curated" `Slow
+      test_extracted_kills_cover_curated;
+    Alcotest.test_case "extracted matrix draws from corpus" `Slow
+      test_extracted_matrix_tags_corpus;
+  ]
