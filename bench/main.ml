@@ -553,10 +553,91 @@ let run_perf ~jobs ~quick ~json_label () =
       "  query reduction vs PR 3: %s (%d -> %d cold queries, %.1f%%; \
        need >= 20%%)\n%!"
       qr_status pr3_queries qr_measured (100.0 *. qr_reduction);
+  (* process-pool phase: the same supervised workload in-process and
+     through --workers N disposable worker processes.  Isolation has a
+     real price — process spawn, wire marshalling, per-worker cold
+     caches — so wall clock is reported honestly rather than gated; the
+     gates are verdict parity with the in-process engine and a
+     incident-free pristine run (no deaths, no redeals, no garbage). *)
+  let pool_units =
+    List.concat_map
+      (fun c ->
+        let ss = Ijdt_core.Campaign.subjects_for c in
+        let ss = if quick then take 6 ss else ss in
+        List.map (fun s -> (c, s)) ss)
+      compilers
+  in
+  let sup_report (s : Ijdt_core.Campaign.supervised) =
+    List.map
+      (fun (u : Ijdt_core.Campaign.unit_report) ->
+        Printf.sprintf "%s|%s|%s|%d" u.ur_key u.ur_verdict u.ur_detail
+          u.ur_attempts)
+      s.sup_units
+  in
+  let sup_phase name f =
+    reset ();
+    let t0 = Exec.Clock.now () in
+    let s : Ijdt_core.Campaign.supervised = f () in
+    let wall = Exec.Clock.elapsed t0 in
+    Printf.printf "  %-24s %7.2fs  ok %d / %d units%s\n%!" name wall
+      s.sup_totals.Exec.Supervise.c_ok
+      (List.length s.sup_units)
+      (match s.sup_process with
+      | Some p ->
+          Printf.sprintf "  (deaths %d, preempted %d, redeals %d, garbage %d)"
+            p.Exec.Procpool.p_deaths p.Exec.Procpool.p_preempted
+            p.Exec.Procpool.p_redeals p.Exec.Procpool.p_garbage
+      | None -> "");
+    (s, wall)
+  in
+  let pool_workers = max 2 (min jobs 8) in
+  let sup_inproc, sup_inproc_wall =
+    sup_phase "supervised_inprocess" (fun () ->
+        Ijdt_core.Campaign.run_supervised ~jobs ~defects ~units:pool_units ())
+  in
+  let sup_pool, sup_pool_wall =
+    sup_phase
+      (Printf.sprintf "workers_pool_%d" pool_workers)
+      (fun () ->
+        Ijdt_core.Campaign.run_supervised ~workers:pool_workers ~defects
+          ~units:pool_units ())
+  in
+  let pool_verdicts_identical = sup_report sup_inproc = sup_report sup_pool in
+  let pool_stats =
+    match sup_pool.Ijdt_core.Campaign.sup_process with
+    | Some p -> p
+    | None ->
+        Printf.eprintf "perf: workers run reported no pool statistics\n";
+        exit 1
+  in
+  let pool_clean =
+    pool_stats.Exec.Procpool.p_deaths = 0
+    && pool_stats.Exec.Procpool.p_redeals = 0
+    && pool_stats.Exec.Procpool.p_garbage = 0
+  in
+  let pool_overhead =
+    if sup_inproc_wall > 0.0 then sup_pool_wall /. sup_inproc_wall else 0.0
+  in
+  Printf.printf
+    "  workers pool: %.2fx the in-process wall clock at %d workers, \
+     verdicts %s\n%!"
+    pool_overhead pool_workers
+    (if pool_verdicts_identical then "identical" else "DIVERGED");
   let gate_failures =
     List.filter_map
       (fun x -> x)
       [
+        (if pool_verdicts_identical then None
+         else Some "workers-pool verdicts diverged from the in-process engine");
+        (if pool_clean then None
+         else
+           Some
+             (Printf.sprintf
+                "pristine workers run had incidents (deaths %d, redeals %d, \
+                 garbage %d)"
+                pool_stats.Exec.Procpool.p_deaths
+                pool_stats.Exec.Procpool.p_redeals
+                pool_stats.Exec.Procpool.p_garbage));
         (if aggregate_identical then None
          else
            Some
@@ -635,6 +716,10 @@ let run_perf ~jobs ~quick ~json_label () =
          \"cores\":%d,\"universe\":\"%s\",\"phases\":[%s],\
          \"speedup_vs_baseline\":{\"shared_sequential\":%.3f,\
          \"shared_parallel\":%.3f},\
+         \"workers\":{\"workers\":%d,\"inprocess_wall_s\":%.3f,\
+         \"pool_wall_s\":%.3f,\"overhead\":%.3f,\
+         \"verdicts_identical\":%b,\"deaths\":%d,\"preempted\":%d,\
+         \"redeals\":%d,\"garbage\":%d,\"status\":\"%s\"},\
          \"warm_store\":{\"speedup\":%.3f,\"speedup_gated\":%b,\
          \"hit_rate\":%.4f,\
          \"required_speedup\":5.0,\"required_hit_rate\":0.95,\
@@ -650,6 +735,11 @@ let run_perf ~jobs ~quick ~json_label () =
         (String.concat ","
            (List.map phase_json [ baseline; shared; par; cold; warm ]))
         (speedup baseline shared) (speedup baseline par)
+        pool_workers sup_inproc_wall sup_pool_wall pool_overhead
+        pool_verdicts_identical pool_stats.Exec.Procpool.p_deaths
+        pool_stats.Exec.Procpool.p_preempted
+        pool_stats.Exec.Procpool.p_redeals pool_stats.Exec.Procpool.p_garbage
+        (if pool_verdicts_identical && pool_clean then "passed" else "failed")
         warm_speedup speedup_gated warm_hit_rate aggregate_identical
         (if
            aggregate_identical
@@ -913,6 +1003,11 @@ let run_corpus ~jobs ~n ~seed ~json_label () =
   end
 
 let () =
+  (* the perf `workers` phase re-execs this binary as a campaign worker *)
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "worker" then begin
+    Ijdt_core.Campaign.worker_main ();
+    exit 0
+  end;
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   let ppf = Format.std_formatter in
   let c () = Lazy.force campaign in

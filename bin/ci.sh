@@ -31,6 +31,16 @@
 # smoke: a journalled campaign is truncated mid-way and resumed, and
 # the merged JSON report must be byte-identical to a single-shot run's.
 #
+# The process-isolation gates follow: a chaos campaign with
+# process-level faults (worker SIGKILL, SIGSTOP freeze, pipe garbage,
+# exit 2) under --workers 2 must contain every lethal fault as a
+# counted worker_died verdict with zero collateral loss (the result
+# merges into ROBUST_ci.json as its process_chaos section); the
+# campaign aggregate JSON must be byte-identical at --workers 1, 2 and
+# 4 and equal to the in-process engine's modulo worker-side cache
+# counters; and a coordinator SIGKILLed mid-campaign must resume from
+# its fsync'd --journal-sync journal to a byte-identical report.
+#
 # The warm-store gate follows: the same campaign twice against one
 # fresh persistent store (`--store`); the second run must be served
 # from disk (>= 95% store hit rate) and its aggregate JSON must be
@@ -162,6 +172,93 @@ dune exec bin/vmtest.exe -- campaign -j "$CI_JOBS" --max-iterations 24 \
   > /dev/null
 cmp _build/ci-single.json _build/ci-resumed.json
 echo "ci: resume smoke: truncated-journal resume is byte-identical"
+# process-isolation gates.  First a chaos campaign with process-level
+# faults (worker SIGKILL, SIGSTOP freeze, pipe garbage, exit 2) under
+# --workers 2: every lethal fault must be contained as a counted
+# worker_died verdict on exactly its target unit, pipe garbage must
+# cost frames but never a verdict, and nothing outside the schedule may
+# be lost.  The supervision section merges into ROBUST_ci.json as its
+# process_chaos extension.
+dune exec bin/vmtest.exe -- campaign --workers 2 --worker-deadline 2 \
+  --chaos --chaos-faults 4 --seed 7 --max-iterations 24 \
+  --json _build/ci-process-chaos.json > /dev/null
+python3 - <<'EOF'
+import json
+r = json.load(open("_build/ci-process-chaos.json"))
+sup, chaos = r["supervision"], r["chaos"]
+proc = sup["process"]
+assert proc is not None, "workers run reported no process stats"
+assert not sup["interrupted"], "pristine chaos run flagged as interrupted"
+targets = {t["unit"]: t["kind"] for t in chaos["targets"]}
+incidents = {i["unit"]: i for i in sup["incidents"]}
+lethal = {u: k for u, k in targets.items() if k != "pipe-garbage"}
+for unit, kind in lethal.items():
+    got = incidents.get(unit)
+    assert got, f"process fault at {unit} left no incident"
+    assert got["verdict"] == "worker_died", \
+        f"{unit}: {kind} yielded {got['verdict']}, expected worker_died"
+garbage_targets = [u for u, k in targets.items() if k == "pipe-garbage"]
+for u in garbage_targets:
+    assert u not in incidents, f"pipe garbage cost unit {u} its verdict"
+if garbage_targets:
+    assert proc["garbage"] >= len(garbage_targets), \
+        f"garbage frames uncounted: {proc}"
+stray = [u for u in incidents if u not in targets]
+assert not stray, f"units lost outside the chaos schedule: {stray}"
+t = sup["totals"]
+assert t["quarantined"] == 0, f"{t['quarantined']} units quarantined"
+assert t["worker_died"] == len(lethal), "worker_died total inconsistent"
+assert t["timed_out"] == 0 and t["crashed"] == 0, \
+    "process faults leaked into in-process verdicts"
+rob = json.load(open("ROBUST_ci.json"))
+rob["process_chaos"] = {"supervision": sup, "targets": chaos["targets"]}
+json.dump(rob, open("ROBUST_ci.json", "w"), separators=(",", ":"))
+print(f"ci: process-chaos gate: {len(lethal)} lethal faults -> worker_died, "
+      f"{len(garbage_targets)} garbage fault(s) recovered "
+      f"({proc['garbage']} frames counted), 0 lost, 0 quarantined")
+EOF
+echo "ci: process-isolation chaos gate merged into ROBUST_ci.json"
+# worker-count determinism: the aggregate JSON must be byte-identical
+# at any worker count, and must equal the in-process engine's
+# everywhere the coordinator can honestly observe (solver/path caches
+# live inside the workers, so their counters are popped)
+dune exec bin/vmtest.exe -- campaign --workers 1 --max-iterations 24 \
+  --json _build/ci-w1.json > /dev/null
+dune exec bin/vmtest.exe -- campaign --workers 2 --max-iterations 24 \
+  --json _build/ci-w2.json > /dev/null
+dune exec bin/vmtest.exe -- campaign --workers 4 --max-iterations 24 \
+  --json _build/ci-w4.json > /dev/null
+cmp _build/ci-w1.json _build/ci-w2.json
+cmp _build/ci-w2.json _build/ci-w4.json
+python3 - <<'EOF'
+import json
+pool = json.load(open("_build/ci-w2.json"))
+inproc = json.load(open("_build/ci-single.json"))
+proc = pool["supervision"].pop("process")
+inproc["supervision"].pop("process")
+assert proc["deaths"] == proc["redeals"] == proc["garbage"] == 0, \
+    f"pristine workers run had incidents: {proc}"
+pool.pop("caches", None); inproc.pop("caches", None)
+assert pool == inproc, "workers aggregates diverge from in-process engine"
+print("ci: worker-count determinism: workers 1 == 2 == 4, == in-process "
+      "modulo pool process stats")
+EOF
+# crash-only coordinator: SIGKILL the coordinator mid-campaign, then
+# resume from its fsync'd (--journal-sync) journal; the merged report
+# must be byte-identical to an uninterrupted --workers 2 run
+rm -f _build/ci-kill-journal.jsonl
+./_build/default/bin/vmtest.exe campaign --workers 2 --max-iterations 24 \
+  --journal _build/ci-kill-journal.jsonl --journal-sync \
+  --json _build/ci-kill-unfinished.json > /dev/null 2>&1 &
+CI_KILL_PID=$!
+sleep 1
+kill -9 "$CI_KILL_PID" 2>/dev/null || true
+wait "$CI_KILL_PID" 2>/dev/null || true
+dune exec bin/vmtest.exe -- campaign --workers 2 --max-iterations 24 \
+  --resume _build/ci-kill-journal.jsonl --json _build/ci-kill-resumed.json \
+  > /dev/null
+cmp _build/ci-w2.json _build/ci-kill-resumed.json
+echo "ci: coordinator-kill resume is byte-identical"
 rm -rf _build/ci-store
 dune exec bin/vmtest.exe -- campaign -j "$CI_JOBS" --max-iterations 24 \
   --store _build/ci-store --json _build/ci-store-cold.json > /dev/null

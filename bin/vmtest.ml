@@ -327,6 +327,42 @@ let store_arg =
            entries are treated as misses; mutant entries are keyed apart \
            from pristine ones.")
 
+let workers_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "workers" ] ~docv:"N"
+        ~doc:
+          "Run units in $(docv) disposable worker processes instead of \
+           in-process domains (may be combined with $(b,-j); each worker \
+           is single-domain).  A unit crash or hang can then at worst \
+           kill its own process: the supervisor re-deals the unit, and \
+           records a $(i,worker_died) verdict once retries are spent.  \
+           Results merge by stable unit index, so aggregate output and \
+           JSON are byte-identical at any worker count.")
+
+let worker_deadline_arg =
+  Arg.(
+    value
+    & opt float 30.0
+    & info [ "worker-deadline" ] ~docv:"SECONDS"
+        ~doc:
+          "With $(b,--workers): SIGKILL a worker that has been silent \
+           for $(docv) seconds while holding a unit (catches SIGSTOP \
+           freezes and native spins the cooperative fuel watchdog \
+           cannot see).")
+
+let journal_sync_arg =
+  Arg.(
+    value & flag
+    & info [ "journal-sync" ]
+        ~doc:
+          "fsync the journal after every appended verdict.  The default \
+           only flushes: a torn tail line after a hard kill is detected \
+           and skipped on $(b,--resume), but an OS-buffered complete \
+           line can be lost — with this flag a power-cut-style kill \
+           resumes byte-identically at the cost of one fsync per unit.")
+
 (* Activate the process-global store for this run ([None] falls back to
    the VMTEST_STORE environment variable, which cmdliner also reads). *)
 let with_store store = Exec.Store.activate_opt store
@@ -342,9 +378,22 @@ let policy_of ~fuel ~deadline ~retries ~breaker ~seed =
 
 let json_robustness (c : Exec.Supervise.counts) =
   Printf.sprintf
-    "{\"ok\":%d,\"timed_out\":%d,\"crashed\":%d,\"quarantined\":%d,\
-     \"retries\":%d}"
-    c.c_ok c.c_timed_out c.c_crashed c.c_quarantined c.c_retries
+    "{\"ok\":%d,\"timed_out\":%d,\"crashed\":%d,\"worker_died\":%d,\
+     \"quarantined\":%d,\"retries\":%d}"
+    c.c_ok c.c_timed_out c.c_crashed c.c_worker_died c.c_quarantined
+    c.c_retries
+
+(* Process-pool telemetry for --json: only the counters that are
+   functions of the unit list and the fault plan (deaths, preempted
+   kills, re-deals, garbage frames) — never pool size or respawn
+   counts, which would break byte-identity across --workers N. *)
+let json_process (p : Exec.Procpool.stats option) =
+  match p with
+  | None -> "null"
+  | Some p ->
+      Printf.sprintf
+        "{\"deaths\":%d,\"preempted\":%d,\"redeals\":%d,\"garbage\":%d}"
+        p.Exec.Procpool.p_deaths p.p_preempted p.p_redeals p.p_garbage
 
 (* The "store" object every --json report carries: persistent-cache
    telemetry.  Counters are deterministic at any [-j] for a given
@@ -369,7 +418,8 @@ let json_unit_report (u : Ijdt_core.Campaign.unit_report) =
 let json_supervision (s : Ijdt_core.Campaign.supervised) =
   Printf.sprintf
     "\"supervision\":{\"totals\":%s,\"per_compiler\":[%s],\
-     \"incidents\":[%s]},\"chaos\":{\"enabled\":%b,\"targets\":[%s]}"
+     \"incidents\":[%s],\"interrupted\":%b,\"process\":%s},\
+     \"chaos\":{\"enabled\":%b,\"targets\":[%s]}"
     (json_robustness s.sup_totals)
     (String.concat ","
        (List.map
@@ -380,6 +430,8 @@ let json_supervision (s : Ijdt_core.Campaign.supervised) =
           s.sup_by_compiler))
     (String.concat ","
        (List.map json_unit_report (Ijdt_core.Campaign.sup_incidents s)))
+    s.sup_interrupted
+    (json_process s.sup_process)
     (s.sup_chaos <> [])
     (String.concat ","
        (List.map
@@ -492,15 +544,18 @@ let campaign_cmd =
       & info [ "seed" ] ~docv:"S"
           ~doc:"Seed for the chaos schedule and the retry backoff.")
   in
-  let run defects max_iterations jobs json chaos chaos_faults seed corpus
-      fuel deadline retries breaker journal resume store =
+  let run defects max_iterations jobs workers worker_deadline json chaos
+      chaos_faults seed corpus fuel deadline retries breaker journal
+      journal_sync resume store =
     with_store store;
+    Exec.Interrupt.install ();
     let policy = policy_of ~fuel ~deadline ~retries ~breaker ~seed in
     let s =
-      Ijdt_core.Campaign.run_supervised ~jobs ~max_iterations ~defects ~policy
+      Ijdt_core.Campaign.run_supervised ~jobs ?workers
+        ~worker_deadline_s:worker_deadline ~max_iterations ~defects ~policy
         ~corpus:(corpus_of ~seed corpus)
         ?chaos:(if chaos then Some (seed, chaos_faults) else None)
-        ?journal ?resume ()
+        ?journal ~journal_sync ?resume ()
     in
     let c = s.Ijdt_core.Campaign.sup_campaign in
     Ijdt_core.Tables.all Format.std_formatter c;
@@ -523,19 +578,23 @@ let campaign_cmd =
     print_newline ();
     Ijdt_core.Tables.supervision_table Format.std_formatter s;
     (match json with Some file -> write_campaign_json file s | None -> ());
+    (* an interrupted run reported its partial aggregates; exit like a
+       SIGINT-killed process so callers see the interruption *)
+    if s.sup_interrupted then exit 130;
     (* a supervised campaign exits non-zero only when units were lost
        for reasons other than an injected chaos fault *)
     let t = s.sup_totals in
-    let lost = t.c_timed_out + t.c_crashed + t.c_quarantined in
+    let lost = t.c_timed_out + t.c_crashed + t.c_worker_died + t.c_quarantined in
     if lost > List.length s.sup_chaos then exit 1
   in
   Cmd.v
     (Cmd.info "campaign"
        ~doc:"Run the full evaluation: 4 compilers × 3 ISAs (Tables 2-3)")
     Term.(
-      const run $ defects_arg $ iters_arg $ jobs_arg $ json_arg $ chaos_arg
-      $ chaos_faults_arg $ seed_arg $ corpus_arg $ fuel_arg $ deadline_arg
-      $ retries_arg $ breaker_arg $ journal_arg $ resume_arg $ store_arg)
+      const run $ defects_arg $ iters_arg $ jobs_arg $ workers_arg
+      $ worker_deadline_arg $ json_arg $ chaos_arg $ chaos_faults_arg
+      $ seed_arg $ corpus_arg $ fuel_arg $ deadline_arg $ retries_arg
+      $ breaker_arg $ journal_arg $ journal_sync_arg $ resume_arg $ store_arg)
 
 (* --- verify --- *)
 
@@ -808,8 +867,10 @@ let validate_cmd =
           ~doc:"Extracted-corpus seed (with $(b,--corpus extracted)).")
   in
   let run defects pristine compilers arches budget json max_iterations jobs
-      subject seed corpus fuel deadline retries breaker journal resume store =
+      workers worker_deadline subject seed corpus fuel deadline retries
+      breaker journal journal_sync resume store =
     with_store store;
+    Exec.Interrupt.install ();
     let corpus = corpus_of ~seed corpus in
     let policy = policy_of ~fuel ~deadline ~retries ~breaker ~seed:0 in
     let defects = if pristine then Interpreter.Defects.pristine else defects in
@@ -852,9 +913,10 @@ let validate_cmd =
         compilers
     in
     let s =
-      Ijdt_core.Campaign.run_supervised ~jobs ~max_iterations ~validate:true
-        ?budget ~policy ?journal ?resume ~defects ~arches ~compilers ~corpus
-        ~units ()
+      Ijdt_core.Campaign.run_supervised ~jobs ?workers
+        ~worker_deadline_s:worker_deadline ~max_iterations ~validate:true
+        ?budget ~policy ?journal ~journal_sync ?resume ~defects ~arches
+        ~compilers ~corpus ~units ()
     in
     let c = s.Ijdt_core.Campaign.sup_campaign in
     Ijdt_core.Tables.validation_table Format.std_formatter c;
@@ -873,7 +935,10 @@ let validate_cmd =
     let t = Ijdt_core.Campaign.validation_totals c in
     let confirmed = t.refuted - t.missing in
     let tot = s.sup_totals in
-    if tot.c_timed_out + tot.c_crashed + tot.c_quarantined + tot.c_retries > 0
+    if
+      tot.c_timed_out + tot.c_crashed + tot.c_worker_died + tot.c_quarantined
+      + tot.c_retries
+      > 0
     then begin
       print_newline ();
       Ijdt_core.Tables.supervision_table Format.std_formatter s
@@ -881,6 +946,7 @@ let validate_cmd =
     (match json with
     | Some file -> write_validation_json file ~pristine ~confirmed s
     | None -> ());
+    if s.sup_interrupted then exit 130;
     if pristine && confirmed > 0 then begin
       Printf.printf
         "PRISTINE GATE FAILED: %d confirmed refutation(s) on the \
@@ -888,7 +954,8 @@ let validate_cmd =
         confirmed;
       exit 1
     end;
-    if tot.c_timed_out + tot.c_crashed + tot.c_quarantined > 0 then exit 1
+    if tot.c_timed_out + tot.c_crashed + tot.c_worker_died + tot.c_quarantined > 0
+    then exit 1
   in
   Cmd.v
     (Cmd.info "validate"
@@ -899,9 +966,10 @@ let validate_cmd =
           counterexample through the differential tester")
     Term.(
       const run $ defects_arg $ pristine_arg $ compilers_arg $ arch_arg
-      $ budget_arg $ json_arg $ iters_arg $ jobs_arg $ subject_opt_arg
-      $ seed_arg $ corpus_arg $ fuel_arg $ deadline_arg $ retries_arg
-      $ breaker_arg $ journal_arg $ resume_arg $ store_arg)
+      $ budget_arg $ json_arg $ iters_arg $ jobs_arg $ workers_arg
+      $ worker_deadline_arg $ subject_opt_arg $ seed_arg $ corpus_arg
+      $ fuel_arg $ deadline_arg $ retries_arg $ breaker_arg $ journal_arg
+      $ journal_sync_arg $ resume_arg $ store_arg)
 
 (* --- mutate: the mutation kill matrix --- *)
 
@@ -933,7 +1001,8 @@ let write_mutation_json file (m : Ijdt_core.Campaign.kill_matrix) =
     "{\"defects\":\"%s\",\"pristine\":%b,\"totals\":%s,\
      \"by_operator\":[%s],\"by_layer\":[%s],\"outcomes\":[%s],\
      \"gate\":{\"false_kills\":%d,\"passed\":%b},\
-     \"supervision\":{\"totals\":%s,\"incidents\":[%s]},\"store\":%s}\n"
+     \"supervision\":{\"totals\":%s,\"incidents\":[%s],\"interrupted\":%b,\
+     \"process\":%s},\"store\":%s}\n"
     (defects_label m.km_defects) m.km_pristine (row_json t)
     (String.concat ","
        (List.map row_json (Ijdt_core.Campaign.kills_by_operator m)))
@@ -945,6 +1014,8 @@ let write_mutation_json file (m : Ijdt_core.Campaign.kill_matrix) =
     || Ijdt_core.Campaign.false_kills m = [])
     (json_robustness m.km_robustness)
     (String.concat "," (List.map json_unit_report m.km_incidents))
+    m.km_interrupted
+    (json_process m.km_process)
     (json_store ());
   close_out oc
 
@@ -1025,9 +1096,10 @@ let mutate_cmd =
              and names only, byte-identical at any $(b,-j).")
   in
   let run defects pristine operators arches per_operator gen seed corpus
-      max_iterations jobs json fuel deadline retries breaker journal resume
-      store =
+      max_iterations jobs workers worker_deadline json fuel deadline retries
+      breaker journal journal_sync resume store =
     with_store store;
+    Exec.Interrupt.install ();
     let policy = policy_of ~fuel ~deadline ~retries ~breaker ~seed in
     let operators =
       match operators with
@@ -1046,12 +1118,15 @@ let mutate_cmd =
             ids
     in
     let m =
-      Ijdt_core.Campaign.kill_matrix ~jobs ~max_iterations ~per_operator ~gen
+      Ijdt_core.Campaign.kill_matrix ~jobs ?workers
+        ~worker_deadline_s:worker_deadline ~max_iterations ~per_operator ~gen
         ~seed ~pristine ~defects ~arches ~operators
-        ~corpus:(corpus_of ~seed corpus) ~policy ?journal ?resume ()
+        ~corpus:(corpus_of ~seed corpus) ~policy ?journal ~journal_sync
+        ?resume ()
     in
     Ijdt_core.Tables.kill_table Format.std_formatter m;
     (match json with Some file -> write_mutation_json file m | None -> ());
+    if m.km_interrupted then exit 130;
     if pristine then begin
       let false_kills = Ijdt_core.Campaign.false_kills m in
       if false_kills <> [] then begin
@@ -1071,7 +1146,8 @@ let mutate_cmd =
       end
     end;
     let r = m.Ijdt_core.Campaign.km_robustness in
-    if r.c_timed_out + r.c_crashed + r.c_quarantined > 0 then exit 1
+    if r.c_timed_out + r.c_crashed + r.c_worker_died + r.c_quarantined > 0 then
+      exit 1
   in
   Cmd.v
     (Cmd.info "mutate"
@@ -1084,8 +1160,9 @@ let mutate_cmd =
     Term.(
       const run $ mutate_defects_arg $ pristine_arg $ operators_arg
       $ arch_arg $ per_operator_arg $ gen_arg $ seed_arg $ corpus_arg
-      $ iters_arg $ jobs_arg $ json_arg $ fuel_arg $ deadline_arg
-      $ retries_arg $ breaker_arg $ journal_arg $ resume_arg $ store_arg)
+      $ iters_arg $ jobs_arg $ workers_arg $ worker_deadline_arg $ json_arg
+      $ fuel_arg $ deadline_arg $ retries_arg $ breaker_arg $ journal_arg
+      $ journal_sync_arg $ resume_arg $ store_arg)
 
 (* --- corpus: build and report the template-extracted corpus --- *)
 
@@ -1294,6 +1371,13 @@ let list_cmd =
     Term.(const run $ const ())
 
 let () =
+  (* hidden worker mode: Exec.Procpool re-execs this binary as
+     `vmtest worker` with the wire protocol on stdin/stdout; it must be
+     intercepted before cmdliner ever parses argv *)
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "worker" then begin
+    Ijdt_core.Campaign.worker_main ();
+    exit 0
+  end;
   let doc = "interpreter-guided differential JIT compiler unit testing" in
   exit
     (Cmd.eval

@@ -190,6 +190,11 @@ type supervised = {
   sup_totals : Exec.Supervise.counts;
   sup_chaos : (int * string * string) list;
       (** injected faults: unit index, unit key, kind name *)
+  sup_interrupted : bool;
+      (** SIGINT/SIGTERM cut the run short; the aggregates cover the
+          units that finished, the rest are [Quarantined "interrupted"] *)
+  sup_process : Exec.Procpool.stats option;
+      (** pool statistics, [Some] iff the run used [~workers] *)
 }
 
 val sup_incidents : supervised -> unit_report list
@@ -200,12 +205,15 @@ val unit_key : Jit.Cogits.compiler * Concolic.Path.subject -> string
 
 val run_supervised :
   ?jobs:int ->
+  ?workers:int ->
+  ?worker_deadline_s:float ->
   ?max_iterations:int ->
   ?validate:bool ->
   ?budget:int ref ->
   ?policy:Exec.Supervise.policy ->
   ?chaos:int * int ->
   ?journal:string ->
+  ?journal_sync:bool ->
   ?resume:string ->
   ?defects:Interpreter.Defects.t ->
   ?arches:Jit.Codegen.arch list ->
@@ -216,7 +224,25 @@ val run_supervised :
   supervised
 (** Supervised {!run}.  [corpus] (default {!Corpus_curated}) selects
     the test universe; extracted runs tag the journal configuration, so
-    curated and extracted journals never mix.  [units] overrides the
+    curated and extracted journals never mix.
+
+    [workers] runs the units in that many disposable worker processes
+    ({!Exec.Procpool}) instead of in-process domains: a unit crash or
+    hang can then at worst kill its own process ([Worker_died] verdicts
+    after the shared retry budget), a silent worker is preemptively
+    SIGKILLed after [worker_deadline_s] (default 30s) of no frames, and
+    results merge by stable unit index so the aggregates stay
+    byte-identical at any worker count — and equal to the in-process
+    run's.  In workers mode [chaos] draws from
+    {!Exec.Chaos.process_kinds} (worker kills, SIGSTOP hangs, pipe
+    garbage, spurious exits) and [budget] becomes a per-worker cap
+    (each worker gets its own ref of the initial value).
+    [journal_sync] fsyncs each journal append so a power-cut-style kill
+    resumes byte-identically; the default only [flush]es — an
+    OS-buffered tail can be lost to a hard kill, torn lines are still
+    detected and skipped on load.
+
+    [units] overrides the
     default universe
     ([units_for compilers]) — the [vmtest validate] subcommand uses it
     for single-instruction runs; compilers absent from [units] simply
@@ -339,6 +365,9 @@ type kill_matrix = {
           [km_incidents] instead *)
   km_robustness : Exec.Supervise.counts;
   km_incidents : unit_report list;
+  km_interrupted : bool;  (** SIGINT/SIGTERM cut the run short *)
+  km_process : Exec.Procpool.stats option;
+      (** pool statistics, [Some] iff the run used [~workers] *)
 }
 
 val kill_of_name : string -> kill
@@ -346,6 +375,8 @@ val kill_of_name : string -> kill
 
 val kill_matrix :
   ?jobs:int ->
+  ?workers:int ->
+  ?worker_deadline_s:float ->
   ?max_iterations:int ->
   ?per_operator:int ->
   ?gen:int ->
@@ -357,6 +388,7 @@ val kill_matrix :
   ?corpus:corpus_spec ->
   ?policy:Exec.Supervise.policy ->
   ?journal:string ->
+  ?journal_sync:bool ->
   ?resume:string ->
   unit ->
   kill_matrix
@@ -405,3 +437,15 @@ val surviving_mutants : kill_matrix -> mutant_outcome list
 val false_kills : kill_matrix -> mutant_outcome list
 (** Non-survived outcomes of a [~pristine:true] run — false positives
     of the oracle stack itself.  Always [[]] for a real mutation run. *)
+
+(** {1 Worker-process entry point} *)
+
+val worker_main : unit -> unit
+(** The body of the hidden [worker] argv mode every binary intercepts
+    before its real CLI.  Speaks the {!Exec.Unit_wire} protocol on
+    stdin/stdout via {!Exec.Procpool.worker_main}: receives the
+    marshalled run configuration in the Hello frame (task kind,
+    defects, arches, policy, per-worker budget, chaos recipe, shared
+    {!Exec.Store} root), then executes dealt campaign or mutation units
+    with exactly the in-process retry/backoff/attempt accounting.
+    Never returns. *)

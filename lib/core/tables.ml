@@ -156,8 +156,8 @@ let cross_isa_table ppf (c : Campaign.t) =
    engine, plus the individual incidents and the chaos schedule --- *)
 
 let pp_robustness_row ppf ~label (c : Exec.Supervise.counts) =
-  fprintf ppf "%-36s %6d %9d %8d %12d %8d@." label c.Exec.Supervise.c_ok
-    c.c_timed_out c.c_crashed c.c_quarantined c.c_retries
+  fprintf ppf "%-36s %6d %9d %8d %10d %12d %8d@." label c.Exec.Supervise.c_ok
+    c.c_timed_out c.c_crashed c.c_worker_died c.c_quarantined c.c_retries
 
 let pp_incident ppf (u : Campaign.unit_report) =
   fprintf ppf "%s: %s (attempts %d)%s@." u.ur_verdict u.ur_key u.ur_attempts
@@ -165,15 +165,26 @@ let pp_incident ppf (u : Campaign.unit_report) =
 
 let supervision_table ppf (s : Campaign.supervised) =
   fprintf ppf "Supervision: unit verdicts under the fault-tolerant engine@.";
-  fprintf ppf "%-36s %6s %9s %8s %12s %8s@." "Compiler" "Ok" "TimedOut"
-    "Crashed" "Quarantined" "Retries";
-  fprintf ppf "%s@." (String.make 84 '-');
+  fprintf ppf "%-36s %6s %9s %8s %10s %12s %8s@." "Compiler" "Ok" "TimedOut"
+    "Crashed" "WorkerDied" "Quarantined" "Retries";
+  fprintf ppf "%s@." (String.make 95 '-');
   List.iter
     (fun (compiler, counts) ->
       pp_robustness_row ppf ~label:(Jit.Cogits.name compiler) counts)
     s.Campaign.sup_by_compiler;
-  fprintf ppf "%s@." (String.make 84 '-');
+  fprintf ppf "%s@." (String.make 95 '-');
   pp_robustness_row ppf ~label:"Total" s.Campaign.sup_totals;
+  (match s.Campaign.sup_process with
+  | None -> ()
+  | Some p ->
+      fprintf ppf
+        "process pool: %d workers, %d spawned, %d deaths, %d preempted, %d \
+         re-deals, %d garbage frames, %d retired@."
+        p.Exec.Procpool.p_workers p.p_spawned p.p_deaths p.p_preempted
+        p.p_redeals p.p_garbage p.p_retired);
+  if s.Campaign.sup_interrupted then
+    fprintf ppf "INTERRUPTED: partial aggregates (unfinished units are \
+                 quarantined as \"interrupted\")@.";
   List.iter (pp_incident ppf) (Campaign.sup_incidents s);
   List.iter
     (fun (i, key, kind) -> fprintf ppf "chaos: unit %d (%s) <- %s@." i key kind)
@@ -237,14 +248,20 @@ let kill_table ppf (m : Campaign.kill_matrix) =
           (Jit.Codegen.arch_name o.mo_arch))
       (Campaign.surviving_mutants m);
   let r = m.Campaign.km_robustness in
-  if r.Exec.Supervise.c_timed_out + r.c_crashed + r.c_quarantined + r.c_retries > 0
+  if
+    r.Exec.Supervise.c_timed_out + r.c_crashed + r.c_worker_died
+    + r.c_quarantined + r.c_retries
+    > 0
   then begin
     fprintf ppf
-      "supervision: %d ok, %d timed out, %d crashed, %d quarantined, %d \
-       retries@."
-      r.c_ok r.c_timed_out r.c_crashed r.c_quarantined r.c_retries;
+      "supervision: %d ok, %d timed out, %d crashed, %d worker died, %d \
+       quarantined, %d retries@."
+      r.c_ok r.c_timed_out r.c_crashed r.c_worker_died r.c_quarantined
+      r.c_retries;
     List.iter (pp_incident ppf) m.Campaign.km_incidents
-  end
+  end;
+  if m.Campaign.km_interrupted then
+    fprintf ppf "INTERRUPTED: partial kill matrix@."
 
 (* The extracted-vs-curated corpus comparison (ROADMAP item 3): path
    counts, exit-condition mix, and — when a kill comparison was run —

@@ -1,4 +1,11 @@
-type kind = Solver_raise | Explorer_hang | Alloc_bomb
+type kind =
+  | Solver_raise
+  | Explorer_hang
+  | Alloc_bomb
+  | Worker_kill
+  | Worker_stop
+  | Worker_exit
+  | Pipe_garbage
 
 exception Injected of string
 
@@ -15,8 +22,18 @@ let kind_name = function
   | Solver_raise -> "solver-raise"
   | Explorer_hang -> "explorer-hang"
   | Alloc_bomb -> "alloc-bomb"
+  | Worker_kill -> "worker-kill"
+  | Worker_stop -> "worker-stop"
+  | Worker_exit -> "worker-exit"
+  | Pipe_garbage -> "pipe-garbage"
 
 let kinds = [| Solver_raise; Explorer_hang; Alloc_bomb |]
+
+(* Process-level faults: only meaningful under the procpool — three of
+   them take the whole worker process down, the fourth corrupts its
+   result pipe.  Containment is the supervisor's job (heartbeat,
+   preemptive SIGKILL, re-deal, frame resync), not the budget's. *)
+let process_kinds = [| Worker_kill; Worker_stop; Worker_exit; Pipe_garbage |]
 
 (* Small splitmix-style mixer: deterministic across runs and OCaml
    versions (unlike [Hashtbl.hash] we control every bit). *)
@@ -26,7 +43,7 @@ let mix seed i =
   z := (!z lxor (!z lsr 12)) * 0x297A2D39;
   (!z lxor (!z lsr 15)) land max_int
 
-let plan ~seed ~faults ~units =
+let plan ?(kinds = kinds) ~seed ~faults ~units () =
   let faults = max 0 (min faults units) in
   let targets =
     if faults = 0 then []
@@ -70,6 +87,26 @@ let require_budget what =
   if not (Budget.active ()) then
     raise (Injected (what ^ " injected without an active watchdog budget"))
 
+(* The process-level kinds only make sense inside a procpool worker;
+   firing one in the coordinator would kill the campaign the fault is
+   meant to exercise.  Same loud-misuse discipline as [require_budget]. *)
+let in_worker = ref false
+let mark_worker () = in_worker := true
+
+let require_worker what =
+  if not !in_worker then
+    raise (Injected (what ^ " injected outside a worker process"))
+
+(* Garbage destined for the worker's result pipe.  The payload starts
+   with the frame magic but is not a valid frame, and carries no
+   newline, so it exercises both the invalid-line path and the decoder
+   resync past garbage glued onto the next frame. *)
+let pipe_garbage_bytes = "vmw1|ffffffff|deadbeef-not-a-frame\xfe\xff"
+let pending_garbage = Atomic.make false
+
+let take_pending_garbage () =
+  if Atomic.exchange pending_garbage false then Some pipe_garbage_bytes else None
+
 let hook_solver () =
   match armed () with
   | Some Solver_raise -> raise (Injected "chaos: solver query raised")
@@ -89,4 +126,18 @@ let hook_explorer () =
         hold := Bytes.create 65536 :: !hold;
         Budget.tick ~cost:65536 ()
       done
+  | Some Worker_kill ->
+      require_worker "worker kill";
+      Unix.kill (Unix.getpid ()) Sys.sigkill
+  | Some Worker_stop ->
+      require_worker "worker stop";
+      (* stops the process mid-unit; the coordinator's heartbeat
+         deadline must notice the silence and SIGKILL us *)
+      Unix.kill (Unix.getpid ()) Sys.sigstop
+  | Some Worker_exit ->
+      require_worker "worker exit";
+      exit 2
+  | Some Pipe_garbage ->
+      require_worker "pipe garbage";
+      Atomic.set pending_garbage true
   | _ -> ()

@@ -10,6 +10,13 @@
     to grade the supervisor itself: every injected fault must be
     contained as a per-unit verdict with zero collateral damage.
 
+    The process-level kinds extend the same discipline to the
+    {!Procpool} worker tier: a worker that is SIGKILLed mid-unit,
+    freezes under SIGSTOP, exits with a nonzero status, or smears
+    garbage over its result pipe must be contained by the coordinator
+    (heartbeat deadline, preemptive kill, re-deal, frame resync) with
+    the faulted unit becoming a counted verdict, never a lost row.
+
     Hooks fire {e before} the shared memo caches ([Solver.Solve],
     [Concolic.Explorer]), so a warm cache can never mask an injected
     fault and a faulted attempt can never poison a cache. *)
@@ -21,29 +28,43 @@ type kind =
   | Alloc_bomb
       (** exploration allocates unboundedly (contained by the fuel
           watchdog, which charges per chunk) *)
+  | Worker_kill  (** the worker SIGKILLs itself mid-unit *)
+  | Worker_stop
+      (** the worker SIGSTOPs itself mid-unit (caught by the
+          coordinator's heartbeat deadline) *)
+  | Worker_exit  (** the worker exits 2 mid-unit *)
+  | Pipe_garbage
+      (** the worker writes garbage bytes onto its result pipe before
+          the unit's frame (recovered by decoder resync, counted) *)
 
 exception Injected of string
 (** The fault raised by {!Solver_raise} — and by the non-terminating
-    kinds when no watchdog budget is active, so an unsupervised run
-    crashes loudly instead of hanging. *)
+    kinds when no watchdog budget is active, or by the process-level
+    kinds outside a worker process, so an unsupervised misuse crashes
+    loudly instead of hanging or killing the coordinator. *)
 
 type plan = { seed : int; targets : (int * kind) list }
 (** Seeded fault schedule: [targets] maps stable unit indices to fault
     kinds, sorted by index. *)
 
-val plan : seed:int -> faults:int -> units:int -> plan
+val plan : ?kinds:kind array -> seed:int -> faults:int -> units:int -> unit -> plan
 (** Deterministically pick [min faults units] distinct unit indices
     (seed-derived, evenly scattered so no two targets are adjacent when
     the unit count allows — keeping injected crashes from tripping the
     circuit breaker) and assign kinds round-robin in declaration
-    order. *)
+    order.  [kinds] defaults to the in-process triple; pass
+    {!process_kinds} for a procpool drill. *)
 
 val kind_of : plan -> int -> kind option
 (** The fault (if any) scheduled for unit index [i]. *)
 
 val kind_name : kind -> string
-(** ["solver-raise" | "explorer-hang" | "alloc-bomb"] — stable names
-    for JSON and journals. *)
+(** ["solver-raise" | "explorer-hang" | "alloc-bomb" | "worker-kill" |
+    "worker-stop" | "worker-exit" | "pipe-garbage"] — stable names for
+    JSON and journals. *)
+
+val process_kinds : kind array
+(** The four process-level kinds, in round-robin order for {!plan}. *)
 
 val with_fault : kind option -> (unit -> 'a) -> 'a
 (** [with_fault k f] runs [f ()] with [k] armed in this domain's slot
@@ -53,6 +74,15 @@ val with_fault : kind option -> (unit -> 'a) -> 'a
 val armed : unit -> kind option
 (** The fault armed in the calling domain, if any. *)
 
+val mark_worker : unit -> unit
+(** Declare this process a procpool worker, unlocking the
+    process-level kinds (called by the worker entry point). *)
+
+val take_pending_garbage : unit -> string option
+(** Consume the garbage bytes scheduled by a fired {!Pipe_garbage}
+    fault; the worker loop writes them onto the result pipe just
+    before the unit's real frame. *)
+
 val hook_solver : unit -> unit
 (** Hook point at solver-query entry: raises {!Injected} when
     {!Solver_raise} is armed. *)
@@ -60,4 +90,6 @@ val hook_solver : unit -> unit
 val hook_explorer : unit -> unit
 (** Hook point at exploration entry: spins (respectively allocates)
     until the watchdog raises [Budget.Exhausted] when {!Explorer_hang}
-    (respectively {!Alloc_bomb}) is armed. *)
+    (respectively {!Alloc_bomb}) is armed; fires the process-level
+    kinds — self-SIGKILL, self-SIGSTOP, [exit 2], pending pipe
+    garbage — when one of those is armed inside a worker. *)

@@ -1,4 +1,4 @@
-type status = Ok | Timed_out | Crashed
+type status = Ok | Timed_out | Crashed | Worker_died
 
 type entry = {
   key : string;
@@ -12,11 +12,13 @@ let status_name = function
   | Ok -> "ok"
   | Timed_out -> "timed_out"
   | Crashed -> "crashed"
+  | Worker_died -> "worker_died"
 
 let status_of_name = function
   | "ok" -> Ok
   | "timed_out" -> Timed_out
   | "crashed" -> Crashed
+  | "worker_died" -> Worker_died
   | s -> failwith ("unknown journal status " ^ s)
 
 let json_escape s =
@@ -50,12 +52,17 @@ let write_header oc ~config =
     (json_escape config);
   flush oc
 
-let append oc e =
+let append ?(sync = false) oc e =
   Printf.fprintf oc
     "{\"key\":\"%s\",\"status\":\"%s\",\"attempts\":%d,\"detail\":\"%s\",\"payload\":\"%s\"}\n"
     (json_escape e.key) (status_name e.status) e.attempts (json_escape e.detail)
     (to_hex e.payload);
-  flush oc
+  flush oc;
+  (* [--journal-sync]: force the line to stable storage so even a
+     power-cut-style kill resumes byte-identically.  The default only
+     flushes to the OS — a killed *process* loses nothing, a killed
+     *machine* may lose the tail (and resume then recomputes it). *)
+  if sync then try Unix.fsync (Unix.descr_of_out_channel oc) with Unix.Unix_error _ -> ()
 
 (* Minimal parser for the exact shape we write: enough JSON to read our
    own lines back, never a general-purpose parser. *)

@@ -14,7 +14,7 @@
     output of a resumed run is byte-identical, never the journal
     itself. *)
 
-type status = Ok | Timed_out | Crashed
+type status = Ok | Timed_out | Crashed | Worker_died
 
 type entry = {
   key : string;  (** stable unit key, e.g. ["s2r|dup"] *)
@@ -30,9 +30,13 @@ val write_header : out_channel -> config:string -> unit
 (** Emit the header line.  Call once when creating a fresh journal;
     appending to an existing journal keeps its header. *)
 
-val append : out_channel -> entry -> unit
+val append : ?sync:bool -> out_channel -> entry -> unit
 (** Emit one entry line and flush, so a killed run loses at most the
-    line being written. *)
+    line being written.  With [~sync:true] ([--journal-sync]) the line
+    is also [fsync]ed to stable storage, extending the guarantee from
+    process kills to power-cut-style machine kills; the default's
+    weaker guarantee merely degrades resume to recomputing a lost
+    tail. *)
 
 val load : config:string -> string -> (string, entry) Hashtbl.t
 (** Parse a journal back into a key-indexed table (last entry wins).

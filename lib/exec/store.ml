@@ -170,12 +170,22 @@ let find t ~ns ~key : string option =
   | None -> Atomic.incr t.misses);
   verdict
 
+(* Distinct temp names per writer: two *processes* (or domains) racing
+   the same key must each stage into their own file — a shared ".tmp"
+   name would interleave their writes and could rename a torn entry
+   into place.  Racing renames of complete files remain benign: the
+   entries are byte-identical, whichever wins. *)
+let tmp_seq = Atomic.make 0
+
 let add t ~ns ~key payload =
   try
     let path = entry_path t ~ns ~key in
     ensure_dir t.dir;
     ensure_dir (Filename.dirname path);
-    let tmp = path ^ ".tmp" in
+    let tmp =
+      Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
+        (Atomic.fetch_and_add tmp_seq 1)
+    in
     let oc = open_out_bin tmp in
     Fun.protect
       ~finally:(fun () -> close_out_noerr oc)

@@ -4,6 +4,7 @@ type 'a verdict =
   | Ok of 'a
   | Timed_out of string
   | Unit_crashed of failure
+  | Worker_died of string
   | Quarantined of string
 
 type 'a outcome = { verdict : 'a verdict; attempts : int }
@@ -12,6 +13,7 @@ type counts = {
   c_ok : int;
   c_timed_out : int;
   c_crashed : int;
+  c_worker_died : int;
   c_quarantined : int;
   c_retries : int;
 }
@@ -31,12 +33,14 @@ let verdict_name = function
   | Ok _ -> "ok"
   | Timed_out _ -> "timed_out"
   | Unit_crashed _ -> "crashed"
+  | Worker_died _ -> "worker_died"
   | Quarantined _ -> "quarantined"
 
 let verdict_detail = function
   | Ok _ -> ""
   | Timed_out reason -> reason
   | Unit_crashed f -> f.exn
+  | Worker_died status -> status
   | Quarantined group -> group
 
 (* Same splitmix-style mixer as [Chaos]: the backoff spin count must be
@@ -47,6 +51,12 @@ let mix a b c =
   z := (!z lxor (!z lsr 12)) * 0x297A2D39;
   (!z lxor (!z lsr 15)) land max_int
 
+let backoff ~policy ~idx ~attempt =
+  let spins = mix policy.seed idx attempt land 0x3FF in
+  for _ = 1 to spins do
+    Domain.cpu_relax ()
+  done
+
 let tally outs =
   Array.fold_left
     (fun c o ->
@@ -55,16 +65,23 @@ let tally outs =
       | Ok _ -> { c with c_ok = c.c_ok + 1 }
       | Timed_out _ -> { c with c_timed_out = c.c_timed_out + 1 }
       | Unit_crashed _ -> { c with c_crashed = c.c_crashed + 1 }
+      | Worker_died _ -> { c with c_worker_died = c.c_worker_died + 1 }
       | Quarantined _ -> { c with c_quarantined = c.c_quarantined + 1 })
-    { c_ok = 0; c_timed_out = 0; c_crashed = 0; c_quarantined = 0; c_retries = 0 }
+    {
+      c_ok = 0;
+      c_timed_out = 0;
+      c_crashed = 0;
+      c_worker_died = 0;
+      c_quarantined = 0;
+      c_retries = 0;
+    }
     outs
 
-let run ?jobs ?(policy = default_policy) ?(chaos = fun _ -> None) ?precomputed ?record
-    ~group f units =
+(* Stable group membership: [members.(g)] lists unit indices of group
+   [g] in input order, [posn.(i)] is [i]'s position within its group. *)
+let grouping ~group units =
   let n = Array.length units in
   let group_name = Array.map group units in
-  (* Stable group membership: [members.(g)] lists unit indices of group
-     [g] in input order, [posn.(i)] is [i]'s position within its group. *)
   let gid = Hashtbl.create 8 in
   let rev_members = ref [] in
   let group_of =
@@ -88,6 +105,39 @@ let run ?jobs ?(policy = default_policy) ?(chaos = fun _ -> None) ?precomputed ?
       cell := i :: !cell)
     group_of;
   let members = Array.map (fun cell -> Array.of_list (List.rev !cell)) members_rev in
+  (group_name, group_of, posn, members)
+
+(* Deterministic circuit breaker: walk each group in stable input
+   order; after [breaker_k] consecutive fatalities (crashes or worker
+   deaths), every later unit of the group is quarantined (an [Ok]
+   computed there is discarded — deterministically, so fresh, resumed,
+   in-process and multi-process runs all agree). *)
+let breaker_postpass ~breaker_k ~group units outcomes =
+  if breaker_k > 0 then begin
+    let group_name, _, _, members = grouping ~group units in
+    Array.iter
+      (fun m ->
+        let streak = ref 0 and tripped = ref false in
+        Array.iter
+          (fun idx ->
+            if !tripped then
+              outcomes.(idx) <-
+                { outcomes.(idx) with verdict = Quarantined group_name.(idx) }
+            else
+              match outcomes.(idx).verdict with
+              | Unit_crashed _ | Worker_died _ ->
+                  incr streak;
+                  if !streak >= breaker_k then tripped := true
+              | Quarantined _ -> () (* advisory skip; only reachable post-trip *)
+              | Ok _ | Timed_out _ -> streak := 0)
+          m)
+      members
+  end
+
+let run ?jobs ?(policy = default_policy) ?(chaos = fun _ -> None) ?precomputed ?record
+    ~group f units =
+  let n = Array.length units in
+  let group_name, group_of, posn, members = grouping ~group units in
   (* Raw outcomes land in atomics: each slot is written by the domain
      that dealt the unit, but the advisory breaker reads other slots. *)
   let raw = Array.init n (fun _ -> Atomic.make None) in
@@ -98,14 +148,8 @@ let run ?jobs ?(policy = default_policy) ?(chaos = fun _ -> None) ?precomputed ?
         match pre i with None -> () | Some o -> Atomic.set raw.(i) (Some o)
       done);
   let journal_mutex = Mutex.create () in
-  let backoff idx a =
-    let spins = mix policy.seed idx a land 0x3FF in
-    for _ = 1 to spins do
-      Domain.cpu_relax ()
-    done
-  in
   (* Sound advisory skip: quarantine without running only when
-     [breaker_k] *completed* crashes sit at the immediately preceding
+     [breaker_k] *completed* fatalities sit at the immediately preceding
      group positions — evidence the deterministic post-pass must reach
      the same way, whatever the undecided earlier units turn out to be
      (they could only move the trip point earlier). *)
@@ -119,7 +163,9 @@ let run ?jobs ?(policy = default_policy) ?(chaos = fun _ -> None) ?precomputed ?
       || q >= 0
          &&
          match Atomic.get raw.(m.(q)) with
-         | Some { verdict = Unit_crashed _; _ } -> streak (q - 1) (count + 1)
+         | Some { verdict = Unit_crashed _; _ } | Some { verdict = Worker_died _; _ }
+           ->
+             streak (q - 1) (count + 1)
          | _ -> false
     in
     streak (posn.(idx) - 1) 0
@@ -131,7 +177,12 @@ let run ?jobs ?(policy = default_policy) ?(chaos = fun _ -> None) ?precomputed ?
   in
   let run_unit idx =
     if Atomic.get raw.(idx) = None then
-      if provably_tripped idx then
+      if Interrupt.requested () then
+        (* not-run, not a failure: the resumed run recomputes it (the
+           quarantine verdict is never journaled) *)
+        Atomic.set raw.(idx)
+          (Some { verdict = Quarantined "interrupted"; attempts = 0 })
+      else if provably_tripped idx then
         Atomic.set raw.(idx)
           (Some { verdict = Quarantined group_name.(idx); attempts = 0 })
       else begin
@@ -139,12 +190,12 @@ let run ?jobs ?(policy = default_policy) ?(chaos = fun _ -> None) ?precomputed ?
           match attempt idx units.(idx) with
           | v -> { verdict = Ok v; attempts = a }
           | exception Budget.Exhausted reason ->
-              if a <= policy.retries then (backoff idx a; go (a + 1))
+              if a <= policy.retries then (backoff ~policy ~idx ~attempt:a; go (a + 1))
               else { verdict = Timed_out reason; attempts = a }
           | exception e ->
               let backtrace = Printexc.get_backtrace () in
               let failure = { exn = Printexc.to_string e; backtrace } in
-              if a <= policy.retries then (backoff idx a; go (a + 1))
+              if a <= policy.retries then (backoff ~policy ~idx ~attempt:a; go (a + 1))
               else { verdict = Unit_crashed failure; attempts = a }
         in
         let o = go 1 in
@@ -158,26 +209,5 @@ let run ?jobs ?(policy = default_policy) ?(chaos = fun _ -> None) ?precomputed ?
   let outcomes =
     Array.map (fun slot -> match Atomic.get slot with Some o -> o | None -> assert false) raw
   in
-  (* Deterministic circuit breaker: walk each group in stable input
-     order; after [breaker_k] consecutive crashes, every later unit of
-     the group is quarantined (an [Ok] computed there is discarded —
-     deterministically, so fresh and resumed runs agree). *)
-  if policy.breaker_k > 0 then
-    Array.iter
-      (fun m ->
-        let streak = ref 0 and tripped = ref false in
-        Array.iter
-          (fun idx ->
-            if !tripped then
-              outcomes.(idx) <-
-                { outcomes.(idx) with verdict = Quarantined group_name.(idx) }
-            else
-              match outcomes.(idx).verdict with
-              | Unit_crashed _ ->
-                  incr streak;
-                  if !streak >= policy.breaker_k then tripped := true
-              | Quarantined _ -> () (* advisory skip; only reachable post-trip *)
-              | Ok _ | Timed_out _ -> streak := 0)
-          m)
-      members;
+  breaker_postpass ~breaker_k:policy.breaker_k ~group units outcomes;
   outcomes

@@ -3,25 +3,30 @@
     Wraps each unit of a run — one (compiler × subject) cell, one
     mutant, one validation target — in an isolated, budgeted,
     retryable execution and returns a per-unit verdict from the
-    lattice [Ok | Timed_out | Unit_crashed | Quarantined] instead of
-    letting one misbehaving unit kill or hang the whole matrix.
+    lattice [Ok | Timed_out | Unit_crashed | Worker_died | Quarantined]
+    instead of letting one misbehaving unit kill or hang the whole
+    matrix.  [Worker_died] is produced by the {!Procpool} tier: the
+    unit's disposable worker process was killed, crashed, or went
+    silent past its heartbeat deadline, and re-dealing exhausted the
+    retry budget.
 
     Everything is deterministic by construction so aggregate output
-    stays byte-identical at any [-j]:
+    stays byte-identical at any [-j] (and, via the procpool's
+    stable-index merge, at any [--workers]):
     {ul
     {- timeouts come from the {!Budget} fuel watchdog, which counts
        work steps, not wall time (the optional deadline is a coarse
        safety net and should stay far above any real unit);}
     {- retry backoff is a seed-derived spin, not a wall-clock sleep;}
     {- the per-group circuit breaker (trips after [breaker_k]
-       consecutive crashes within one group, quarantining the rest of
-       that group) is decided by a post-pass over units in stable input
-       order, never by completion order.  Workers may additionally skip
-       a unit early when they can already {e prove} the breaker has
-       tripped before it — [breaker_k] adjacent, completed crashes at
-       the immediately preceding group positions — which can only agree
-       with the post-pass, so the advisory skip saves work without
-       costing determinism.}} *)
+       consecutive fatalities within one group, quarantining the rest
+       of that group) is decided by {!breaker_postpass} over units in
+       stable input order, never by completion order.  Workers may
+       additionally skip a unit early when they can already {e prove}
+       the breaker has tripped before it — [breaker_k] adjacent,
+       completed fatalities at the immediately preceding group
+       positions — which can only agree with the post-pass, so the
+       advisory skip saves work without costing determinism.}} *)
 
 type failure = { exn : string; backtrace : string }
 
@@ -29,9 +34,13 @@ type 'a verdict =
   | Ok of 'a
   | Timed_out of string  (** budget exhausted; payload is ["fuel"] or ["deadline"] *)
   | Unit_crashed of failure
+  | Worker_died of string
+      (** the unit's worker process died (payload: wait status such as
+          ["sigkill"], ["exit 2"], or ["deadline sigkill"] for a
+          preemptive kill) and re-dealing exhausted the retries *)
   | Quarantined of string
-      (** skipped because the group's circuit breaker tripped; payload
-          is the group key *)
+      (** skipped because the group's circuit breaker tripped (payload:
+          the group key) or the run was interrupted (["interrupted"]) *)
 
 type 'a outcome = { verdict : 'a verdict; attempts : int }
 (** [attempts] is how many executions the unit consumed (0 for
@@ -41,6 +50,7 @@ type counts = {
   c_ok : int;
   c_timed_out : int;
   c_crashed : int;
+  c_worker_died : int;
   c_quarantined : int;
   c_retries : int;  (** extra attempts beyond the first, summed *)
 }
@@ -49,7 +59,7 @@ type policy = {
   retries : int;  (** extra attempts after a failed first one *)
   fuel : int option;  (** per-attempt step budget (see {!Budget}) *)
   deadline_s : float option;  (** per-attempt monotonic deadline *)
-  breaker_k : int;  (** consecutive crashes tripping the breaker; 0 disables *)
+  breaker_k : int;  (** consecutive fatalities tripping the breaker; 0 disables *)
   seed : int;  (** backoff derivation seed *)
 }
 
@@ -80,15 +90,30 @@ val run :
     (completion order — only aggregate results are [-j]-stable);
     quarantined units are not recorded so a resumed run re-derives
     quarantine from the same crash evidence.  [group u] keys the
-    circuit breaker (typically the compiler short name). *)
+    circuit breaker (typically the compiler short name).
+
+    If {!Interrupt.requested} becomes true, units not yet started are
+    given [Quarantined "interrupted"] (attempts 0, never recorded) and
+    the run drains quickly instead of dying mid-journal-write. *)
+
+val breaker_postpass :
+  breaker_k:int -> group:('u -> string) -> 'u array -> 'b outcome array -> unit
+(** Apply the deterministic circuit breaker to [outcomes] in place
+    (stable input order per group, [Unit_crashed]/[Worker_died] feed
+    the streak).  Exposed so the procpool merge applies exactly the
+    in-process rule after collecting worker results. *)
+
+val backoff : policy:policy -> idx:int -> attempt:int -> unit
+(** Seed-derived retry backoff spin — exported so worker processes
+    replicate the coordinator's retry behaviour exactly. *)
 
 val tally : 'a outcome array -> counts
 (** Aggregate verdict counts over a slice of outcomes. *)
 
 val verdict_name : 'a verdict -> string
-(** ["ok" | "timed_out" | "crashed" | "quarantined"] — stable names
-    for tables, JSON, and journals. *)
+(** ["ok" | "timed_out" | "crashed" | "worker_died" | "quarantined"] —
+    stable names for tables, JSON, and journals. *)
 
 val verdict_detail : 'a verdict -> string
-(** Human-readable detail: exhaustion reason, exception text, or the
-    quarantining group; [""] for [Ok]. *)
+(** Human-readable detail: exhaustion reason, exception text, wait
+    status, or the quarantining group; [""] for [Ok]. *)

@@ -343,6 +343,166 @@ let test_supervised_chaos_determinism () =
     (t.Exec.Supervise.c_timed_out + t.Exec.Supervise.c_crashed);
   check_int "no quarantine collateral" 0 t.Exec.Supervise.c_quarantined
 
+(* --- unit wire protocol: round-trips and torn-frame recovery --- *)
+
+module Wire = Exec.Unit_wire
+
+let wire_string_gen =
+  (* adversarial payload bytes: newlines, pipes, NULs, even the frame
+     magic itself — hex armouring must make all of them inert *)
+  QCheck.Gen.(
+    map (String.concat "")
+      (list_size (int_bound 6)
+         (oneofl [ "a"; "\n"; "|"; "\x00"; "vmw1"; "\xff"; "payload" ])))
+
+let wire_msg_gen =
+  QCheck.Gen.(
+    let str = wire_string_gen in
+    let idx = int_bound 100_000 in
+    let verdict =
+      oneof
+        [
+          map (fun s -> Wire.W_ok s) str;
+          map (fun s -> Wire.W_timed_out s) str;
+          map2 (fun e b -> Wire.W_crashed { exn = e; backtrace = b }) str str;
+        ]
+    in
+    oneof
+      [
+        map (fun s -> Wire.Hello s) str;
+        map
+          (fun ((i, a), (k, p)) ->
+            Wire.Unit { Wire.w_index = i; w_attempt = a; w_key = k; w_payload = p })
+          (pair (pair idx (int_bound 9)) (pair str str));
+        map2 (fun i a -> Wire.Ack { index = i; attempt = a }) idx (int_bound 9);
+        map
+          (fun ((i, a), v) ->
+            Wire.Result { index = i; attempt = a; attempts = a; verdict = v })
+          (pair (pair idx (int_bound 9)) verdict);
+        return Wire.Bye;
+      ])
+
+let wire_msg_arb =
+  QCheck.make ~print:(fun m -> String.escaped (Wire.encode m)) wire_msg_gen
+
+let qcheck_wire_round_trip =
+  QCheck.Test.make ~name:"qcheck: wire frames round-trip" ~count:500 wire_msg_arb
+    (fun m ->
+      let f = Wire.encode m in
+      String.length f > 0
+      && f.[String.length f - 1] = '\n'
+      && Wire.decode_line (String.sub f 0 (String.length f - 1)) = Some m)
+
+let qcheck_wire_chunked_stream =
+  (* the decoder must reassemble a frame stream fed at any chunk
+     granularity, with zero garbage *)
+  QCheck.Test.make ~name:"qcheck: decoder reassembles arbitrary chunking"
+    ~count:200
+    QCheck.(pair (list_of_size (QCheck.Gen.int_range 1 8) wire_msg_arb) (int_range 1 13))
+    (fun (msgs, chunk) ->
+      let dec = Wire.decoder () in
+      let stream = String.concat "" (List.map Wire.encode msgs) in
+      let n = String.length stream in
+      let rec feed off =
+        if off < n then begin
+          let k = min chunk (n - off) in
+          Wire.feed dec (String.sub stream off k);
+          feed (off + k)
+        end
+      in
+      feed 0;
+      Wire.eof dec;
+      let rec drain acc =
+        match Wire.next dec with Some m -> drain (m :: acc) | None -> List.rev acc
+      in
+      drain [] = msgs && Wire.garbage dec = 0)
+
+let ack1 = Wire.Ack { index = 1; attempt = 1 }
+
+let test_wire_decoder_recovery () =
+  let f1 = Wire.encode ack1 in
+  let f2 = Wire.encode Wire.Bye in
+  (* a whole garbage line between two frames is counted and skipped *)
+  let dec = Wire.decoder () in
+  Wire.feed dec f1;
+  Wire.feed dec "complete garbage line\n";
+  Wire.feed dec f2;
+  check_bool "first frame survives" true (Wire.next dec = Some ack1);
+  check_bool "second frame survives" true (Wire.next dec = Some Wire.Bye);
+  check_bool "stream drained" true (Wire.next dec = None);
+  check_int "garbage line counted" 1 (Wire.garbage dec);
+  (* newline-less garbage glued in front of a frame: resync scans for
+     the embedded magic and recovers the frame *)
+  let dec = Wire.decoder () in
+  Wire.feed dec ("\x00\xff torn noise " ^ f1);
+  check_bool "frame behind garbage recovered" true (Wire.next dec = Some ack1);
+  check_int "glued garbage counted" 1 (Wire.garbage dec);
+  (* a frame torn mid-payload is one incident, and the retransmission
+     behind it still decodes *)
+  let dec = Wire.decoder () in
+  Wire.feed dec (String.sub f2 0 (String.length f2 / 2));
+  Wire.feed dec "\n";
+  Wire.feed dec f2;
+  check_bool "frame after torn one survives" true (Wire.next dec = Some Wire.Bye);
+  check_int "torn frame counted" 1 (Wire.garbage dec);
+  (* a single corrupted payload character fails the checksum *)
+  let corrupt = Bytes.of_string f1 in
+  let pos = String.length f1 - 2 in
+  Bytes.set corrupt pos (if Bytes.get corrupt pos = '0' then '1' else '0');
+  let dec = Wire.decoder () in
+  Wire.feed dec (Bytes.to_string corrupt);
+  check_bool "checksum mismatch rejected" true (Wire.next dec = None);
+  check_int "corruption counted" 1 (Wire.garbage dec);
+  (* eof flushes a final frame missing only its newline *)
+  let dec = Wire.decoder () in
+  Wire.feed dec (String.sub f1 0 (String.length f1 - 1));
+  check_bool "incomplete line buffered" true (Wire.next dec = None);
+  Wire.eof dec;
+  check_bool "flushed at eof" true (Wire.next dec = Some ack1);
+  check_int "clean tail is not garbage" 0 (Wire.garbage dec)
+
+(* --- process-pool determinism: --workers 1 == --workers 4 == in-process ---
+
+   The pool deals units to disposable worker processes (re-exec'ing
+   this test binary through the hidden worker mode intercepted in
+   {!Test_main}) and merges results by stable unit index; the
+   supervised result must be indistinguishable from the in-process
+   engine at any worker count. *)
+
+let run_workers_subset workers =
+  Solver.Solve.reset_cache ();
+  Concolic.Explorer.reset_cache ();
+  Campaign.run_supervised ?workers ~max_iterations:8 ~units:(subset_units ()) ()
+
+let test_procpool_determinism () =
+  let inproc = run_workers_subset None in
+  let w1 = run_workers_subset (Some 1) in
+  let w4 = run_workers_subset (Some 4) in
+  Alcotest.(check (list string))
+    "workers=1 == in-process"
+    (unit_report_strings inproc)
+    (unit_report_strings w1);
+  Alcotest.(check (list string))
+    "workers=4 == workers=1" (unit_report_strings w1) (unit_report_strings w4);
+  check_bool "totals: workers=1 == in-process" true
+    (w1.Campaign.sup_totals = inproc.Campaign.sup_totals);
+  check_bool "totals: workers=4 == in-process" true
+    (w4.Campaign.sup_totals = inproc.Campaign.sup_totals);
+  (match w4.Campaign.sup_process with
+  | Some p ->
+      check_int "pristine run: no deaths" 0 p.Exec.Procpool.p_deaths;
+      check_int "pristine run: no redeals" 0 p.Exec.Procpool.p_redeals;
+      (* this binary prints the qcheck seed banner at startup, before
+         the worker mode re-points fd 1 — so every worker sheds exactly
+         one stray line onto its protocol pipe.  The decoder must count
+         one incident per worker and lose nothing (the verdict checks
+         above already proved nothing was lost). *)
+      check_int "stray startup prints counted, never fatal"
+        p.Exec.Procpool.p_workers p.Exec.Procpool.p_garbage
+  | None -> Alcotest.fail "workers run must report pool stats");
+  check_bool "in-process run has no pool stats" true
+    (inproc.Campaign.sup_process = None)
+
 let suite =
   [
     Alcotest.test_case "pool matches List.map" `Quick test_pool_matches_list_map;
@@ -365,4 +525,10 @@ let suite =
       test_kill_matrix_determinism;
     Alcotest.test_case "supervised chaos determinism -j1 == -j8" `Slow
       test_supervised_chaos_determinism;
+    QCheck_alcotest.to_alcotest qcheck_wire_round_trip;
+    QCheck_alcotest.to_alcotest qcheck_wire_chunked_stream;
+    Alcotest.test_case "wire decoder recovers torn frames" `Quick
+      test_wire_decoder_recovery;
+    Alcotest.test_case "procpool determinism --workers 1 == 4 == in-process"
+      `Slow test_procpool_determinism;
   ]

@@ -1,3 +1,16 @@
+(* The process-pool determinism tests in {!Test_exec} spawn workers by
+   re-exec'ing this very binary, so the hidden worker mode must be
+   intercepted before Alcotest ever sees argv. *)
+let () =
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "worker" then begin
+    Ijdt_core.Campaign.worker_main ();
+    exit 0
+  end;
+  if Array.length Sys.argv > 3 && Sys.argv.(1) = "store-race-writer" then begin
+    Test_store.race_writer ~dir:Sys.argv.(2) ~tag:Sys.argv.(3);
+    exit 0
+  end
+
 let () =
   Alcotest.run "ijdt"
     [

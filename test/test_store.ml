@@ -176,6 +176,56 @@ let test_fault_tag_isolation () =
         ((Store.lookup ~ns:"iso:1" ~key:("unit|" ^ pristine) : string option)
         = Some "pristine verdict"))
 
+(* --- concurrent writers: two processes racing the same entries ---
+
+   Workers open the store read-write concurrently, so publication must
+   be atomic: two processes adding the same (ns, key) both succeed, the
+   surviving entry is one writer's complete payload (never a torn
+   interleave of both), and a fresh handle reads it back.  The tmp
+   names carry pid + sequence precisely so this race cannot collide. *)
+
+let race_keys = List.init 50 (fun i -> Printf.sprintf "k%d" i)
+
+let race_payload tag key =
+  Printf.sprintf "%s's payload for %s %s" tag key (String.make 64 tag.[0])
+
+(* child-process body, entered through the hidden argv mode intercepted
+   in {!Test_main} ([Unix.fork] is off-limits once earlier suites have
+   created domains) *)
+let race_writer ~dir ~tag =
+  let t = Store.open_store ~dir in
+  List.iter (fun k -> Store.add t ~ns:"race:1" ~key:k (race_payload tag k)) race_keys
+
+let test_concurrent_writer_race () =
+  let dir = fresh_dir () in
+  let spawn_writer tag =
+    let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+    let exe = Sys.executable_name in
+    let pid =
+      Unix.create_process exe
+        [| exe; "store-race-writer"; dir; tag |]
+        Unix.stdin devnull Unix.stderr
+    in
+    Unix.close devnull;
+    pid
+  in
+  let pa = spawn_writer "a" in
+  let pb = spawn_writer "b" in
+  let exit_code pid =
+    match Unix.waitpid [] pid with _, Unix.WEXITED n -> n | _ -> -1
+  in
+  check_int "writer a exits cleanly" 0 (exit_code pa);
+  check_int "writer b exits cleanly" 0 (exit_code pb);
+  let t = Store.open_store ~dir in
+  List.iter
+    (fun k ->
+      match Store.find t ~ns:"race:1" ~key:k with
+      | Some got ->
+          check_bool ("one complete payload for " ^ k) true
+            (got = race_payload "a" k || got = race_payload "b" k)
+      | None -> Alcotest.fail ("entry lost in the race: " ^ k))
+    race_keys
+
 (* --- determinism with persistence on: -j 1 == -j 8, cold == warm --- *)
 
 let take k xs = List.filteri (fun i _ -> i < k) xs
@@ -259,6 +309,8 @@ let suite =
     Alcotest.test_case "marshal layer and activation" `Quick
       test_marshal_layer;
     Alcotest.test_case "fault-tag isolation" `Quick test_fault_tag_isolation;
+    Alcotest.test_case "concurrent writers race one entry" `Quick
+      test_concurrent_writer_race;
     Alcotest.test_case "campaign determinism with store -j1 == -j8" `Slow
       test_campaign_determinism_with_store;
   ]

@@ -272,6 +272,14 @@ let test_journal_resume_equivalence () =
             detail = f.S.exn;
             payload = "";
           }
+      | S.Worker_died status ->
+          {
+            J.key = string_of_int i;
+            status = J.Worker_died;
+            attempts = o.S.attempts;
+            detail = status;
+            payload = "";
+          }
       | S.Quarantined _ -> assert false
     in
     J.append oc entry
@@ -302,6 +310,7 @@ let test_journal_resume_equivalence () =
           | J.Ok -> S.Ok (Marshal.from_string e.J.payload 0 : int)
           | J.Timed_out -> S.Timed_out e.J.detail
           | J.Crashed -> S.Unit_crashed { S.exn = e.J.detail; backtrace = "" }
+          | J.Worker_died -> S.Worker_died e.J.detail
         in
         { S.verdict; attempts = e.J.attempts })
       (Hashtbl.find_opt tbl (string_of_int i))
@@ -329,7 +338,7 @@ let qcheck_chaos_contained =
     ~count:30
     QCheck.(triple (int_range 1 40) (int_range 0 6) (int_range 0 10_000))
     (fun (n, faults, seed) ->
-      let plan = Exec.Chaos.plan ~seed ~faults ~units:n in
+      let plan = Exec.Chaos.plan ~seed ~faults ~units:n () in
       let policy =
         { S.default_policy with S.fuel = Some 100_000; retries = 1; seed }
       in
